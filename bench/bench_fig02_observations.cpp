@@ -1,0 +1,69 @@
+// Fig. 2 — Doppler, phase, and RSS values measured over time, with and
+// without hand movement around a tag.
+//
+// Reproduces the paper's preliminary observation: Doppler is noise-like in
+// both cases, while phase and RSS clearly separate static from
+// hand-movement conditions.
+#include <cstdio>
+#include <iostream>
+
+#include "common/angles.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "harness/harness.hpp"
+
+using namespace rfipad;
+
+int main() {
+  std::puts("=== Fig. 2: Doppler / phase / RSS, static vs hand movement ===");
+  sim::ScenarioConfig cfg;
+  cfg.seed = 202;
+  sim::Scenario scenario(cfg);
+  const auto tag = scenario.array().indexOf(2, 2);
+
+  // 10 s static capture.
+  const auto quiet = scenario.captureStatic(10.0);
+
+  // 10 s with the hand sweeping back and forth over the centre tag.
+  sim::TrajectoryBuilder b(sim::defaultUser(1), scenario.forkRng(1));
+  b.hold(0.5);
+  for (int i = 0; i < 4; ++i) {
+    b.stroke({StrokeKind::kHLine, i % 2 ? StrokeDir::kReverse
+                                        : StrokeDir::kForward},
+             0.9 * scenario.padHalfExtent());
+  }
+  b.retract();
+  const auto moving = scenario.capture(b.build(), sim::defaultUser(1)).stream;
+
+  auto summarize = [&](const reader::SampleStream& s, const char* label,
+                       Table& t) {
+    const auto series = s.seriesFor(tag);
+    RunningStats phase, rssi, doppler;
+    for (std::size_t i = 0; i < series.times.size(); ++i) {
+      phase.add(series.phases[i]);
+      rssi.add(series.rssi[i]);
+    }
+    for (const auto& r : s.reports()) {
+      if (r.tag_index == tag) doppler.add(r.doppler_hz);
+    }
+    t.addRow({label, Table::fmt(doppler.stddev(), 2),
+              Table::fmt(stddev(unwrapped(series.phases)), 3),
+              Table::fmt(rssi.max() - rssi.min(), 1)});
+  };
+
+  Table t({"condition", "doppler std (Hz)", "phase std (rad)",
+           "RSS swing (dB)"});
+  summarize(quiet, "static", t);
+  summarize(moving, "hand movement", t);
+  t.print(std::cout);
+
+  std::puts("\nsampled series (centre tag, hand movement), t / phase / rssi:");
+  const auto series = moving.seriesFor(tag);
+  for (std::size_t i = 0; i < series.times.size(); i += 8) {
+    std::printf("  %6.2f  %6.3f  %6.1f\n", series.times[i], series.phases[i],
+                series.rssi[i]);
+  }
+  std::puts("\npaper shape: Doppler indistinguishable between cases; phase and"
+            "\nRSS show significant variation only with hand movement.");
+  return 0;
+}

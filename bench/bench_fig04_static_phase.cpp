@@ -1,0 +1,37 @@
+// Fig. 4 — Average phase value of different tags in the static scenario.
+//
+// Reproduces the tag-diversity observation: each tag's static phase sits
+// near a different central value, irregularly distributed within [0, 2π),
+// because θ_tag differs across tags (manufacturing diversity).
+#include <cstdio>
+#include <iostream>
+
+#include "common/angles.hpp"
+#include "common/table.hpp"
+#include "harness/harness.hpp"
+
+using namespace rfipad;
+
+int main() {
+  std::puts("=== Fig. 4: static mean phase per tag (rad) ===");
+  sim::ScenarioConfig cfg;
+  cfg.seed = 204;
+  sim::Scenario scenario(cfg);
+  // Paper: each tag interrogated ~100 times with no hand movement.
+  const auto stream = scenario.captureStatic(6.0);
+
+  Table t({"tag#", "mean phase (rad)", "reads"});
+  double lo = 10.0, hi = -1.0;
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    const auto s = stream.seriesFor(i);
+    const double m = circularMean(s.phases);
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+    t.addRow({std::to_string(i + 1), Table::fmt(m, 3),
+              std::to_string(s.phases.size())});
+  }
+  t.print(std::cout);
+  std::printf("\nspread: %.2f rad of the [0, 2π) circle\n", hi - lo);
+  std::puts("paper shape: phases irregularly distributed within [0, 2π).");
+  return 0;
+}

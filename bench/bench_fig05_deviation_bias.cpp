@@ -1,0 +1,47 @@
+// Fig. 5 — Standard deviation of phase measurements of different tags
+// (the "Deviation bias" b_i), derived from multiple static captures.
+//
+// Reproduces the location-diversity observation: the phase of different
+// tags vibrates at significantly different levels, which motivates the
+// Eq. 9 weighting.
+#include <cstdio>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/static_profile.hpp"
+#include "harness/harness.hpp"
+
+using namespace rfipad;
+
+int main() {
+  std::puts("=== Fig. 5: deviation bias per tag (multiple static groups) ===");
+  sim::ScenarioConfig cfg;
+  cfg.seed = 205;
+  cfg.location = 3;  // a multipath-rich spot makes the spread visible
+  sim::Scenario scenario(cfg);
+
+  // Three groups of static experiments, as the paper averages several runs.
+  std::vector<core::StaticProfile> groups;
+  for (int g = 0; g < 3; ++g) {
+    groups.push_back(
+        core::StaticProfile::calibrate(scenario.captureStatic(4.0), 25));
+  }
+
+  Table t({"tag#", "E[b_i] (rad)", "weight w_i"});
+  std::vector<double> biases;
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    double b = 0.0;
+    for (const auto& p : groups) b += p.tag(i).deviation_bias;
+    b /= static_cast<double>(groups.size());
+    biases.push_back(b);
+    t.addRow({std::to_string(i + 1), Table::fmt(b, 4),
+              Table::fmt(groups[0].weight(i), 4)});
+  }
+  t.print(std::cout);
+  std::printf("\nmin %.4f  median %.4f  max %.4f  (max/min = %.1fx)\n",
+              percentile(biases, 0.0), median(biases), percentile(biases, 100.0),
+              percentile(biases, 100.0) / percentile(biases, 0.0));
+  std::puts("paper shape: deviation bias varies significantly across tags.");
+  return 0;
+}

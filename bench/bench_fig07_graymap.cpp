@@ -1,0 +1,60 @@
+// Fig. 7 — Motion identification graymaps when a volunteer moves his hand
+// across the third column of the array: (a) without diversity suppression,
+// (b) with diversity suppression, (c) after OTSU's algorithm.
+#include <cstdio>
+
+#include "core/activation.hpp"
+#include "core/static_profile.hpp"
+#include "harness/harness.hpp"
+#include "imgproc/binary_map.hpp"
+
+using namespace rfipad;
+
+int main() {
+  std::puts("=== Fig. 7: graymaps for a pass over the third column ===");
+  sim::ScenarioConfig cfg;
+  cfg.seed = 214;
+  cfg.location = 3;  // a multipath-rich spot makes the contrast visible
+  sim::Scenario scenario(cfg);
+  const auto profile =
+      core::StaticProfile::calibrate(scenario.captureStatic(5.0), 25);
+
+  sim::TrajectoryBuilder b(sim::defaultUser(1), scenario.forkRng(3));
+  b.hold(0.4)
+      .stroke({StrokeKind::kVLine, StrokeDir::kForward},
+              0.9 * scenario.padHalfExtent())
+      .retract();
+  const auto cap = scenario.capture(b.build(), sim::defaultUser(1));
+  const auto& truth = cap.truth.front();
+  const auto window = cap.stream.slice(truth.t0 - 0.1, truth.t1 + 0.1);
+
+  core::ActivationOptions without;
+  without.diversity_suppression = false;
+  const auto raw = core::activationImage(window, profile, 5, 5, without);
+  const auto suppressed = core::activationImage(window, profile, 5, 5, {});
+  const auto binary = imgproc::otsuBinarize(suppressed);
+
+  std::puts("\n(a) without diversity suppression:");
+  std::fputs(raw.ascii().c_str(), stdout);
+  std::puts("\n(b) with diversity suppression:");
+  std::fputs(suppressed.ascii().c_str(), stdout);
+  std::puts("\n(c) after OTSU's algorithm:");
+  std::fputs(binary.ascii().c_str(), stdout);
+
+  // Quantify the improvement: fraction of foreground energy on column 3.
+  auto columnFraction = [](const imgproc::GrayMap& g) {
+    double col = 0.0, all = 0.0;
+    for (int r = 0; r < 5; ++r) {
+      for (int c = 0; c < 5; ++c) {
+        all += g.at(r, c);
+        if (c == 2) col += g.at(r, c);
+      }
+    }
+    return all > 0.0 ? col / all : 0.0;
+  };
+  std::printf("\ncolumn-3 energy fraction: %.2f (raw) -> %.2f (suppressed)\n",
+              columnFraction(raw), columnFraction(suppressed));
+  std::puts("paper shape: diversity interference significantly weakened;"
+            "\nthe hand-movement area explicitly outlined after OTSU.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Fig. 9 — Phase, frame RMS and std(RMS) while a volunteer writes the
+// letter 'H': strokes light up std(RMS), adjustment intervals stay quiet.
+#include <cstdio>
+
+#include "core/segmenter.hpp"
+#include "core/static_profile.hpp"
+#include "harness/harness.hpp"
+#include "sim/letters.hpp"
+
+using namespace rfipad;
+
+int main() {
+  std::puts("=== Fig. 9: segmentation trace while writing 'H' ===");
+  sim::ScenarioConfig cfg;
+  cfg.seed = 209;
+  sim::Scenario scenario(cfg);
+  const auto profile =
+      core::StaticProfile::calibrate(scenario.captureStatic(5.0), 25);
+
+  const auto plans = sim::letterPlans('H', scenario.padHalfExtent(),
+                                      0.95 * scenario.padHalfExtent());
+  sim::TrajectoryBuilder b(sim::defaultUser(1), scenario.forkRng(4));
+  b.hold(0.6);
+  for (const auto& p : plans) b.stroke(p);
+  b.retract().hold(0.4);
+  const auto cap = scenario.capture(b.build(), sim::defaultUser(1));
+
+  for (std::size_t i = 0; i < cap.truth.size(); ++i) {
+    std::printf("true stroke %zu (%s): [%.2f, %.2f] s\n", i + 1,
+                directedStrokeName(cap.truth[i].plan.stroke).c_str(),
+                cap.truth[i].t0, cap.truth[i].t1);
+  }
+
+  const core::Segmenter segmenter(profile, {});
+  const auto tr = segmenter.trace(cap.stream);
+  std::printf("\nthreshold (Eq. 12): %.2f\n", tr.threshold_used);
+  std::puts("   t(s)  frameRMS  std(RMS)  state");
+  for (std::size_t i = 0; i < tr.window_std.size(); i += 2) {
+    bool in_stroke = false;
+    for (const auto& s : cap.truth) {
+      if (tr.window_times[i] >= s.t0 && tr.window_times[i] <= s.t1)
+        in_stroke = true;
+    }
+    const std::size_t fi = std::min(i + 2, tr.frame_rms.size() - 1);
+    std::printf("  %5.2f   %6.2f    %5.2f   %s%s\n", tr.window_times[i],
+                tr.frame_rms[fi], tr.window_std[i],
+                tr.window_std[i] > tr.threshold_used ? "ACTIVE" : "quiet ",
+                in_stroke ? "  <- stroke" : "");
+  }
+
+  const auto intervals = segmenter.segment(cap.stream);
+  std::printf("\ndetected %zu stroke windows:", intervals.size());
+  for (const auto& iv : intervals) std::printf(" [%.2f,%.2f]", iv.t0, iv.t1);
+  std::puts("\n\npaper shape: std(RMS) ~ 0 in adjustment intervals, large"
+            "\nduring strokes, cleanly separating the three strokes of 'H'.");
+  return 0;
+}

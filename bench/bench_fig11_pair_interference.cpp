@@ -1,0 +1,36 @@
+// Fig. 11 — Interference within a pair of tags: a testing tag approaching a
+// target tag (baseline ≈ −41 dBm at 2 m) suppresses its RSS, strongly when
+// both antennas face the same way and within the near field, negligibly
+// beyond ~12 cm or with opposite facing.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "rf/coupling.hpp"
+#include "tag/tag_type.hpp"
+
+using namespace rfipad;
+
+int main() {
+  std::puts("=== Fig. 11: pair interference (target tag RSS vs distance) ===");
+  const double baseline_dbm = -41.0;  // target tag 2 m from the reader
+  const auto interferer = tag::tagType(tag::TagModel::kA).couplingParams();
+
+  Table t({"separation (cm)", "same facing (dBm)", "opposite facing (dBm)"});
+  for (double cm : {3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 15.0}) {
+    const double same =
+        baseline_dbm + rf::pairShadowDb(cm / 100.0, rf::TagFacing::kSame,
+                                        interferer);
+    const double opp =
+        baseline_dbm + rf::pairShadowDb(cm / 100.0, rf::TagFacing::kOpposite,
+                                        interferer);
+    t.addRow({Table::fmt(cm, 0), Table::fmt(same, 1), Table::fmt(opp, 1)});
+  }
+  t.print(std::cout);
+
+  std::puts("\npaper shape: significant RSS decrease at 3 cm same-facing"
+            "\n(shadow effect); opposite facing restores the target tag;"
+            "\nbeyond ~12 cm (2*lambda/2pi) interference nearly negligible."
+            "\nRecommended deployment: 6 cm pitch, alternating orientation.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 12 — Measured RSS of a target tag behind a plane populated with
+// various numbers of rows/columns of tags, for the four commercial tag
+// designs.  The unmodulated RCS of the array tags governs the shadow:
+// Tag D (large) costs ~20 dB at 3 columns; Tag B (Impinj AZ-E53) ~2 dB.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "rf/coupling.hpp"
+#include "tag/tag_type.hpp"
+
+using namespace rfipad;
+
+int main() {
+  std::puts("=== Fig. 12: array shadow at a target tag (RSS delta, dB) ===");
+  const double spacing = 0.06;
+
+  for (const tag::TagModel model :
+       {tag::TagModel::kA, tag::TagModel::kB, tag::TagModel::kC,
+        tag::TagModel::kD}) {
+    const auto params = tag::tagType(model);
+    std::printf("\n%s (RCS %.4f m^2):\n", params.name.c_str(), params.rcs_m2);
+    Table t({"rows", "1 column", "2 columns", "3 columns"});
+    for (int rows : {1, 2, 3, 4, 5}) {
+      std::vector<double> row_vals;
+      for (int cols : {1, 2, 3}) {
+        row_vals.push_back(rf::arrayShadowDb(rows, cols, spacing,
+                                             rf::TagFacing::kSame,
+                                             params.couplingParams()));
+      }
+      t.addRow(std::to_string(rows), row_vals, 1);
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("\n3-column, 5-row summary:  Tag B %.1f dB   vs   Tag D %.1f dB\n",
+              rf::arrayShadowDb(5, 3, spacing, rf::TagFacing::kSame,
+                                tag::tagType(tag::TagModel::kB).couplingParams()),
+              rf::arrayShadowDb(5, 3, spacing, rf::TagFacing::kSame,
+                                tag::tagType(tag::TagModel::kD).couplingParams()));
+  std::puts("paper shape: shadow grows with rows and columns; smaller-RCS"
+            "\ntags (Tag B) disturb far less -> best choice for the array.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 13 / §IV-B3 — Idealised radiation pattern of the reader antenna:
+// beam angle from the gain (Eqs. 13–14) and the minimum antenna-to-plane
+// distance that keeps every tag inside the 3 dB beam.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/angles.hpp"
+#include "common/table.hpp"
+#include "rf/antenna.hpp"
+#include "tag/array.hpp"
+
+using namespace rfipad;
+
+int main() {
+  std::puts("=== Fig. 13: beam geometry and minimum reader distance ===");
+
+  Table t({"gain (dBi)", "beam angle (deg)", "min distance for l=46cm (cm)"});
+  for (double gain : {6.0, 8.0, 10.0, 12.0}) {
+    const rf::DirectionalAntenna ant({0, 0, 0}, {0, 0, 1}, gain);
+    const double beam = ant.beamwidthDeg();
+    // d = (l/2) / tan(beam/2), with l the plate length (paper: ~46 cm).
+    const double l = 0.46;
+    const double d = (l / 2.0) / std::tan(beam / 2.0 * kPi / 180.0);
+    t.addRow({Table::fmt(gain, 0), Table::fmt(beam, 0),
+              Table::fmt(d * 100.0, 1)});
+  }
+  t.print(std::cout);
+
+  // The paper's prototype numbers.
+  const rf::DirectionalAntenna laird({0, 0, 0}, {0, 0, 1}, 8.0);
+  Rng rng(1);
+  const tag::TagArray array(tag::ArrayConfig{}, rng);
+  const double beam = laird.beamwidthDeg();
+  const double l = 5 * 0.06 + 0.044 * 2;  // tag span + antenna margins
+  const double d = (l / 2.0) / std::tan(beam / 2.0 * kPi / 180.0);
+  std::printf("\nprototype: 8 dBi antenna -> beam %.0f deg;"
+              " plate l=%.0f cm -> d_min about %.1f cm\n",
+              beam, l * 100.0, d * 100.0);
+  std::printf("paper: sqrt(4pi/G)=%.0f deg -> 72 deg; d = l/2 / tan(36deg) = 31.7 cm\n",
+              std::sqrt(4.0 * kPi / std::pow(10.0, 0.8)) * 180.0 / kPi);
+  std::puts("shape: higher gain -> narrower beam -> larger minimum distance.");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 20 — Detection accuracy across the ten volunteers.  Most users score
+// comparably (median above 90%); the two fast movers (#6 and #9) dip but
+// stay at a usable level.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness/harness.hpp"
+
+using namespace rfipad;
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 6;
+  std::puts("=== Fig. 20: accuracy per user ===");
+
+  bench::HarnessOptions opt;
+  opt.scenario.seed = 2000;
+  bench::Harness h(opt);
+
+  Table t({"user", "speed scale", "accuracy"});
+  std::vector<double> accs;
+  for (int u = 1; u <= 10; ++u) {
+    std::vector<bench::StrokeTrial> trials;
+    for (int r = 0; r < reps; ++r) {
+      for (const auto& s : allDirectedStrokes()) {
+        trials.push_back(h.runStroke(s, sim::defaultUser(u)));
+      }
+    }
+    const double acc = bench::Harness::accuracy(trials);
+    accs.push_back(acc);
+    t.addRow({"#" + std::to_string(u),
+              Table::fmt(sim::defaultUser(u).speed_scale, 2),
+              Table::fmt(acc, 2)});
+  }
+  t.print(std::cout);
+
+  std::vector<double> sorted = accs;
+  std::sort(sorted.begin(), sorted.end());
+  std::printf("\nmedian accuracy: %.2f; fast users #6/#9: %.2f / %.2f\n",
+              sorted[5], accs[5], accs[8]);
+  std::puts("paper shape: median > 0.90; users #6 and #9 (fast hands)"
+            "\ndegrade a little but stay high -> scales across users.");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 22 — Impact of stroke segmentation on letter deduction for five
+// representative letters (L, T, Z, H, E): insertion rate, underfill rate,
+// stroke recognition accuracy and letter recognition accuracy.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "harness/harness.hpp"
+
+using namespace rfipad;
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 12;
+  std::puts("=== Fig. 22: segmentation impact for L, T, Z, H, E ===");
+
+  bench::HarnessOptions opt;
+  opt.scenario.seed = 2200;
+  bench::Harness h(opt);
+
+  Table t({"letter", "strokes", "insertion", "underfill", "stroke acc",
+           "letter acc"});
+  for (char letter : {'L', 'T', 'Z', 'H', 'E'}) {
+    core::DetectionCounts seg;
+    int stroke_total = 0, stroke_ok = 0, letter_ok = 0;
+    for (int r = 0; r < reps; ++r) {
+      const auto trial = h.runLetter(letter, sim::defaultUsers()[r % 5]);
+      seg += trial.segmentation;
+      stroke_total += trial.true_strokes;
+      stroke_ok += trial.kind_correct_strokes;
+      letter_ok += trial.correct ? 1 : 0;
+    }
+    t.addRow({std::string(1, letter),
+              std::to_string(sim::letterStrokeCount(letter)),
+              Table::fmt(seg.insertionRate(), 2),
+              Table::fmt(seg.underfillRate(), 2),
+              Table::fmt(static_cast<double>(stroke_ok) / stroke_total, 2),
+              Table::fmt(static_cast<double>(letter_ok) / reps, 2)});
+  }
+  t.print(std::cout);
+  std::puts("\npaper shape: underfill < 0.07 throughout; insertion grows"
+            "\nwith the number of strokes; letter accuracy tracks stroke"
+            "\naccuracy compounded over the stroke count.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 23 — Letter recognition accuracy across the 26 letters, grouped by
+// stroke count (group 1: {C,I} … group 4: {E,M,W}).  The paper reports an
+// average of ≈91%, declining mildly with the number of strokes.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "common/table.hpp"
+#include "harness/harness.hpp"
+#include "sim/letters.hpp"
+
+using namespace rfipad;
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 8;
+  std::puts("=== Fig. 23: letter recognition accuracy (26 letters) ===");
+
+  bench::HarnessOptions opt;
+  opt.scenario.seed = 2300;
+  bench::Harness h(opt);
+
+  double group_acc[5] = {};
+  int group_n[5] = {};
+  Table t({"letter", "group", "accuracy", "common confusion"});
+  int total_ok = 0, total_n = 0;
+  for (char letter = 'A'; letter <= 'Z'; ++letter) {
+    int ok = 0;
+    std::map<char, int> confusions;
+    for (int r = 0; r < reps; ++r) {
+      const auto trial = h.runLetter(letter, sim::defaultUsers()[r % 5]);
+      if (trial.correct) {
+        ++ok;
+      } else if (trial.recognized != '\0') {
+        confusions[trial.recognized]++;
+      }
+    }
+    const int group = sim::letterStrokeCount(letter);
+    group_acc[group] += static_cast<double>(ok) / reps;
+    group_n[group]++;
+    total_ok += ok;
+    total_n += reps;
+    std::string confused = "-";
+    int best = 0;
+    for (const auto& [c, n] : confusions) {
+      if (n > best) {
+        best = n;
+        confused = std::string(1, c);
+      }
+    }
+    t.addRow({std::string(1, letter), std::to_string(group),
+              Table::fmt(static_cast<double>(ok) / reps, 2), confused});
+  }
+  t.print(std::cout);
+
+  std::puts("\nper-group average accuracy:");
+  for (int g = 1; g <= 4; ++g) {
+    std::printf("  group %d (%d-stroke letters): %.2f\n", g, g,
+                group_acc[g] / group_n[g]);
+  }
+  std::printf("overall: %.2f\n", static_cast<double>(total_ok) / total_n);
+  std::puts("\npaper shape: ~0.91 average; accuracy declines gently from"
+            "\n1-stroke letters to 4-stroke letters (compounding errors).");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Internal tuning sweep: per-stroke accuracy + failure dumps.
+#include <cstdio>
+#include <map>
+#include "harness/harness.hpp"
+#include "imgproc/binary_map.hpp"
+using namespace rfipad;
+
+int main(int argc, char** argv) {
+  int reps = argc > 1 ? std::atoi(argv[1]) : 5;
+  bool verbose = argc > 2;
+  bench::HarnessOptions opt;
+  opt.scenario.seed = 11;
+  bench::Harness h(opt);
+  std::map<int, std::pair<int,int>> perStroke, kindOnly;
+  int detected = 0, total = 0;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& s : allDirectedStrokes()) {
+      // inline trial with introspection
+      auto& eng = h.engine();
+      auto trial = h.runStroke(s, sim::defaultUser(1 + (r % 5)));
+      (void)eng;
+      int idx = directedStrokeIndex(s);
+      perStroke[idx].second++; kindOnly[idx].second++;
+      if (trial.directed_correct) perStroke[idx].first++;
+      if (trial.kind_correct) kindOnly[idx].first++;
+      if (trial.detected) detected++;
+      total++;
+    }
+  }
+  for (auto& [idx, pr] : perStroke)
+    printf("%-10s directed %2d/%2d   kind %2d/%2d\n",
+           directedStrokeName(allDirectedStrokes()[idx]).c_str(),
+           pr.first, pr.second, kindOnly[idx].first, kindOnly[idx].second);
+  printf("detected %d/%d\n", detected, total);
+
+  if (verbose) {
+    // One capture per stroke kind with full dump.
+    for (const auto& s : allDirectedStrokes()) {
+      sim::TrajectoryBuilder b(sim::defaultUser(1), h.scenario().forkRng(777));
+      b.hold(0.4).stroke(s, 0.9 * h.scenario().padHalfExtent()).retract().hold(0.3);
+      auto cap = h.scenario().capture(b.build(), sim::defaultUser(1));
+      auto evs = h.engine().detectStrokes(cap.stream);
+      printf("=== truth %s  (true window %.2f-%.2f), %zu events\n",
+             directedStrokeName(s).c_str(), cap.truth.front().t0,
+             cap.truth.front().t1, evs.size());
+      for (auto& ev : evs) {
+        auto& o = ev.observation;
+        printf(" det [%.2f %.2f] -> %s conf %.2f elong %.2f angle %.0fdeg cells %zu dirvalid %d dir (%.2f %.2f)\n",
+               ev.interval.t0, ev.interval.t1,
+               directedStrokeName(o.stroke).c_str(), o.confidence,
+               o.moments.elongation, o.moments.axis_angle * 57.3,
+               o.cells.size(), ev.direction.valid,
+               ev.direction.direction.x, ev.direction.direction.y);
+        printf("%s", ev.graymap.ascii().c_str());
+        printf("binary:\n%s", imgproc::otsuBinarize(ev.graymap).ascii().c_str());
+      }
+    }
+  }
+  return 0;
+}

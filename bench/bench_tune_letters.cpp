@@ -1,0 +1,23 @@
+// Internal tuning: letter recognition accuracy over the full alphabet.
+#include <cstdio>
+#include "harness/harness.hpp"
+using namespace rfipad;
+int main(int argc, char** argv) {
+  int reps = argc > 1 ? std::atoi(argv[1]) : 2;
+  bench::HarnessOptions opt;
+  opt.scenario.seed = 31;
+  bench::Harness h(opt);
+  int ok = 0, n = 0;
+  for (int r = 0; r < reps; ++r) {
+    for (char c = 'A'; c <= 'Z'; ++c) {
+      auto t = h.runLetter(c, sim::defaultUsers()[(n*3) % 5]);  // slower half
+      ++n; ok += t.correct;
+      if (!t.correct)
+        printf("%c -> %c (strokes true %d det %d kindok %d)\n", c,
+               t.recognized ? t.recognized : '?', t.true_strokes,
+               t.detected_strokes, t.kind_correct_strokes);
+    }
+  }
+  printf("letters: %d/%d = %.3f\n", ok, n, double(ok)/n);
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "harness/harness.hpp"
+
+#include <algorithm>
+
+namespace rfipad::bench {
+
+core::EngineOptions engineOptionsFor(const sim::Scenario& scenario,
+                                     core::EngineOptions base) {
+  base.rows = scenario.array().rows();
+  base.cols = scenario.array().cols();
+  base.tag_xy.clear();
+  for (const auto& t : scenario.array().tags())
+    base.tag_xy.push_back({t.position.x, t.position.y});
+  return base;
+}
+
+Harness::Harness(HarnessOptions options)
+    : options_(std::move(options)),
+      scenario_(std::make_unique<sim::Scenario>(options_.scenario)),
+      workload_rng_(options_.scenario.seed ^ 0x517cc1b727220a95ull) {
+  const auto static_stream = scenario_->captureStatic(options_.calibration_s);
+  profile_ = core::StaticProfile::calibrate(
+      static_stream, static_cast<std::uint32_t>(scenario_->array().size()));
+  engine_ = std::make_unique<core::RecognitionEngine>(
+      profile_, engineOptionsFor(*scenario_, options_.engine));
+}
+
+sim::Capture Harness::captureStroke(const DirectedStroke& stroke,
+                                    const sim::UserProfile& user) {
+  sim::TrajectoryBuilder builder(user, workload_rng_.fork(workload_rng_.engine()()));
+  builder.hold(0.4)
+      .stroke(stroke, options_.stroke_extent_frac * scenario_->padHalfExtent())
+      .retract()
+      .hold(0.3);
+  return scenario_->capture(builder.build(), user);
+}
+
+StrokeTrial Harness::runStroke(const DirectedStroke& stroke,
+                               const sim::UserProfile& user) {
+  StrokeTrial trial;
+  trial.truth = stroke;
+
+  const sim::Capture cap = captureStroke(stroke, user);
+  const auto events = engine_->detectStrokes(cap.stream);
+
+  // Match detections against the single truth interval.
+  std::vector<core::Interval> truth_ivs;
+  for (const auto& t : cap.truth) truth_ivs.push_back({t.t0, t.t1});
+  std::vector<core::Interval> det_ivs;
+  for (const auto& ev : events) det_ivs.push_back(ev.interval);
+  std::vector<int> assignment;
+  const auto counts = core::matchIntervals(truth_ivs, det_ivs, {}, &assignment);
+  trial.spurious = counts.false_positives;
+
+  if (!assignment.empty() && assignment.front() >= 0) {
+    const auto& ev = events[static_cast<std::size_t>(assignment.front())];
+    trial.detected = true;
+    trial.kind_correct =
+        ev.observation.valid && ev.observation.stroke.kind == stroke.kind;
+    const bool dir_ok = stroke.kind == StrokeKind::kClick ||
+                        ev.observation.stroke.dir == stroke.dir;
+    trial.directed_correct = trial.kind_correct && dir_ok;
+    trial.processing_s = ev.processing_time_s;
+    trial.recognition_span_s =
+        (ev.interval.t1 - cap.truth.front().t0) + ev.processing_time_s;
+  }
+  return trial;
+}
+
+LetterTrial Harness::runLetter(char letter, const sim::UserProfile& user) {
+  LetterTrial trial;
+  trial.truth = letter;
+
+  const double hw = options_.letter_half_width_frac * scenario_->padHalfExtent();
+  const double hh = options_.letter_half_height_frac * scenario_->padHalfExtent();
+  const auto plans = sim::letterPlans(letter, hw, hh);
+  trial.true_strokes = static_cast<int>(plans.size());
+
+  sim::TrajectoryBuilder builder(user, workload_rng_.fork(workload_rng_.engine()()));
+  builder.hold(0.4);
+  for (const auto& plan : plans) builder.stroke(plan);
+  builder.retract().hold(0.3);
+  const sim::Capture cap = scenario_->capture(builder.build(), user);
+
+  const auto events = engine_->detectStrokes(cap.stream);
+  trial.detected_strokes = static_cast<int>(events.size());
+
+  std::vector<core::Interval> truth_ivs;
+  for (const auto& t : cap.truth) truth_ivs.push_back({t.t0, t.t1});
+  std::vector<core::Interval> det_ivs;
+  for (const auto& ev : events) det_ivs.push_back(ev.interval);
+  std::vector<int> assignment;
+  trial.segmentation = core::matchIntervals(truth_ivs, det_ivs, {}, &assignment);
+
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] < 0) continue;
+    const auto& ev = events[static_cast<std::size_t>(assignment[i])];
+    if (ev.observation.valid &&
+        ev.observation.stroke.kind == cap.truth[i].plan.stroke.kind) {
+      ++trial.kind_correct_strokes;
+    }
+  }
+
+  trial.recognized = engine_->recognizeLetter(events);
+  trial.correct = trial.recognized == letter;
+  return trial;
+}
+
+std::vector<StrokeTrial> Harness::runMotionBattery(int reps,
+                                                   const sim::UserProfile& user) {
+  std::vector<StrokeTrial> trials;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& s : allDirectedStrokes()) {
+      trials.push_back(runStroke(s, user));
+    }
+  }
+  return trials;
+}
+
+double Harness::accuracy(const std::vector<StrokeTrial>& trials) {
+  if (trials.empty()) return 0.0;
+  const auto n = std::count_if(trials.begin(), trials.end(),
+                               [](const StrokeTrial& t) { return t.directed_correct; });
+  return static_cast<double>(n) / static_cast<double>(trials.size());
+}
+
+double Harness::kindAccuracy(const std::vector<StrokeTrial>& trials) {
+  if (trials.empty()) return 0.0;
+  const auto n = std::count_if(trials.begin(), trials.end(),
+                               [](const StrokeTrial& t) { return t.kind_correct; });
+  return static_cast<double>(n) / static_cast<double>(trials.size());
+}
+
+double Harness::fpr(const std::vector<StrokeTrial>& trials) {
+  int detections = 0;
+  int spurious = 0;
+  for (const auto& t : trials) {
+    detections += (t.detected ? 1 : 0) + t.spurious;
+    spurious += t.spurious;
+  }
+  return detections > 0 ? static_cast<double>(spurious) / detections : 0.0;
+}
+
+double Harness::fnr(const std::vector<StrokeTrial>& trials) {
+  if (trials.empty()) return 0.0;
+  const auto missed = std::count_if(trials.begin(), trials.end(),
+                                    [](const StrokeTrial& t) { return !t.detected; });
+  return static_cast<double>(missed) / static_cast<double>(trials.size());
+}
+
+}  // namespace rfipad::bench

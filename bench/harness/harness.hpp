@@ -1,0 +1,102 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Wraps the full loop every evaluation section uses: build a scenario,
+// calibrate a static profile, synthesise volunteer trajectories, capture
+// report streams, run the recognition engine, and score the outcome against
+// ground truth.  Each bench binary is then a thin parameter sweep printing
+// the same rows/series as the corresponding paper table or figure.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/letters.hpp"
+#include "sim/scenario.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/user.hpp"
+
+namespace rfipad::bench {
+
+struct HarnessOptions {
+  sim::ScenarioConfig scenario{};
+  /// Static calibration length, s.
+  double calibration_s = 5.0;
+  /// Fraction of the pad half-extent strokes span.
+  double stroke_extent_frac = 0.9;
+  /// Letter box half-sizes as fractions of the pad half-extent.
+  double letter_half_width_frac = 0.75;
+  double letter_half_height_frac = 0.95;
+  core::EngineOptions engine{};
+};
+
+/// Outcome of one stroke trial.
+struct StrokeTrial {
+  DirectedStroke truth{};
+  bool detected = false;        ///< a detection matched the truth interval
+  bool kind_correct = false;    ///< stroke shape recognised
+  bool directed_correct = false;///< shape + direction recognised
+  int spurious = 0;             ///< detections with no truth overlap
+  /// Wall-clock span from stroke start to the moment recognition completes
+  /// (write time + trailing window + processing) — Fig. 21's "time used to
+  /// correctly recognise".
+  double recognition_span_s = 0.0;
+  /// Engine processing time after the stroke window closed (Fig. 24).
+  double processing_s = 0.0;
+};
+
+/// Outcome of one letter trial.
+struct LetterTrial {
+  char truth = '?';
+  char recognized = '\0';
+  bool correct = false;
+  int true_strokes = 0;
+  int detected_strokes = 0;
+  int kind_correct_strokes = 0;
+  core::DetectionCounts segmentation{};
+};
+
+class Harness {
+ public:
+  explicit Harness(HarnessOptions options);
+
+  sim::Scenario& scenario() { return *scenario_; }
+  const core::StaticProfile& profile() const { return profile_; }
+  const core::RecognitionEngine& engine() const { return *engine_; }
+
+  /// One directed-stroke trial for the given user.
+  StrokeTrial runStroke(const DirectedStroke& stroke,
+                        const sim::UserProfile& user);
+
+  /// One letter trial.
+  LetterTrial runLetter(char letter, const sim::UserProfile& user);
+
+  /// Convenience sweep: all 13 directed motions × `reps`, default user mix.
+  /// Returns the directed-stroke accuracy.
+  std::vector<StrokeTrial> runMotionBattery(int reps,
+                                            const sim::UserProfile& user);
+
+  /// Fraction of trials with directed_correct.
+  static double accuracy(const std::vector<StrokeTrial>& trials);
+  /// Fraction with kind_correct (shape only).
+  static double kindAccuracy(const std::vector<StrokeTrial>& trials);
+  /// FPR: spurious detections / all detections; FNR: missed / truths.
+  static double fpr(const std::vector<StrokeTrial>& trials);
+  static double fnr(const std::vector<StrokeTrial>& trials);
+
+ private:
+  sim::Capture captureStroke(const DirectedStroke& stroke,
+                             const sim::UserProfile& user);
+
+  HarnessOptions options_;
+  std::unique_ptr<sim::Scenario> scenario_;
+  core::StaticProfile profile_;
+  std::unique_ptr<core::RecognitionEngine> engine_;
+  Rng workload_rng_;
+};
+
+/// Engine options pre-wired to a scenario's tag layout.
+core::EngineOptions engineOptionsFor(const sim::Scenario& scenario,
+                                     core::EngineOptions base = {});
+
+}  // namespace rfipad::bench

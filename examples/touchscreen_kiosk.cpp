@@ -1,0 +1,122 @@
+// Touch-screen-style kiosk: the paper's motivating application (§I) — a
+// public display driven contactlessly.  Clicks select, horizontal swipes
+// flip pages, vertical swipes scroll.  A scripted "visitor" operates a
+// three-page departure board.
+//
+//   $ ./examples/touchscreen_kiosk
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/scenario.hpp"
+
+using namespace rfipad;
+
+namespace {
+
+/// A minimal kiosk UI: pages of rows, a cursor, a selection.
+class Kiosk {
+ public:
+  void render() const {
+    std::printf("+---------------- kiosk: page %d/3 ----------------+\n",
+                page_ + 1);
+    const auto& rows = kPages[page_];
+    for (int i = 0; i < static_cast<int>(rows.size()); ++i) {
+      std::printf("| %c %-46s |\n", i == cursor_ ? '>' : ' ', rows[i].c_str());
+    }
+    std::puts("+--------------------------------------------------+");
+  }
+
+  void apply(const DirectedStroke& s) {
+    switch (s.kind) {
+      case StrokeKind::kHLine:
+        page_ = s.dir == StrokeDir::kForward ? std::min(page_ + 1, 2)
+                                             : std::max(page_ - 1, 0);
+        cursor_ = 0;
+        std::puts(s.dir == StrokeDir::kForward ? "[swipe ->] next page"
+                                               : "[swipe <-] previous page");
+        break;
+      case StrokeKind::kVLine:
+        cursor_ = s.dir == StrokeDir::kForward
+                      ? std::min(cursor_ + 1,
+                                 static_cast<int>(kPages[page_].size()) - 1)
+                      : std::max(cursor_ - 1, 0);
+        std::puts(s.dir == StrokeDir::kForward ? "[scroll v] cursor down"
+                                               : "[scroll ^] cursor up");
+        break;
+      case StrokeKind::kClick:
+        std::printf("[click] selected: %s\n", kPages[page_][cursor_].c_str());
+        break;
+      default:
+        std::puts("[?] gesture not bound to a kiosk action");
+        break;
+    }
+  }
+
+ private:
+  static const std::vector<std::vector<std::string>> kPages;
+  int page_ = 0;
+  int cursor_ = 0;
+};
+
+const std::vector<std::vector<std::string>> Kiosk::kPages = {
+    {"CA117  SFO  on time", "MU588  PVG  boarding", "LH720  FRA  delayed"},
+    {"clinic room 3 -> corridor B, floor 2", "pharmacy -> ground floor",
+     "radiology -> follow the blue line"},
+    {"library: RFID systems -> shelf 11C", "library: DSP -> shelf 09A",
+     "returns -> front desk"},
+};
+
+}  // namespace
+
+int main() {
+  sim::ScenarioConfig config;
+  config.seed = 88;
+  sim::Scenario scenario(config);
+  const auto profile = core::StaticProfile::calibrate(
+      scenario.captureStatic(5.0),
+      static_cast<std::uint32_t>(scenario.array().size()));
+  core::EngineOptions eo;
+  for (const auto& t : scenario.array().tags())
+    eo.tag_xy.push_back({t.position.x, t.position.y});
+  const core::RecognitionEngine engine(profile, eo);
+
+  // The visitor's gesture script: scroll down twice, select, next page,
+  // scroll down, select, back one page.
+  const std::vector<DirectedStroke> script = {
+      {StrokeKind::kVLine, StrokeDir::kForward},
+      {StrokeKind::kVLine, StrokeDir::kForward},
+      {StrokeKind::kClick, StrokeDir::kForward},
+      {StrokeKind::kHLine, StrokeDir::kForward},
+      {StrokeKind::kVLine, StrokeDir::kForward},
+      {StrokeKind::kClick, StrokeDir::kForward},
+      {StrokeKind::kHLine, StrokeDir::kReverse},
+  };
+
+  Kiosk kiosk;
+  kiosk.render();
+  auto rng = scenario.forkRng(21);
+  int performed = 0, understood = 0;
+  for (const auto& gesture : script) {
+    sim::TrajectoryBuilder b(sim::defaultUser(4), rng.fork(performed));
+    b.hold(0.4).stroke(gesture, 0.9 * scenario.padHalfExtent()).retract();
+    const auto cap = scenario.capture(b.build(), sim::defaultUser(4));
+    const auto events = engine.detectStrokes(cap.stream);
+    ++performed;
+    std::printf("\nvisitor performs: %s\n",
+                directedStrokeName(gesture).c_str());
+    if (events.empty()) {
+      std::puts("kiosk: (no gesture detected)");
+      continue;
+    }
+    const auto& got = events.front().observation.stroke;
+    std::printf("kiosk understood: %s\n", directedStrokeName(got).c_str());
+    if (got == gesture) ++understood;
+    kiosk.apply(got);
+    kiosk.render();
+  }
+  std::printf("\nsession: %d/%d gestures understood correctly\n", understood,
+              performed);
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "common/angles.hpp"
+
+#include <cmath>
+
+namespace rfipad {
+
+double wrapTwoPi(double theta) {
+  double r = std::fmod(theta, kTwoPi);
+  if (r < 0.0) r += kTwoPi;
+  return r;
+}
+
+double wrapPi(double theta) {
+  double r = std::fmod(theta + kPi, kTwoPi);
+  if (r <= 0.0) r += kTwoPi;
+  return r - kPi;
+}
+
+double angleDiff(double a, double b) { return wrapPi(a - b); }
+
+void unwrapInPlace(std::vector<double>& phases) {
+  if (phases.size() < 2) return;
+  double offset = 0.0;
+  double prev = phases.front();
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    const double raw = phases[i];
+    const double d = raw - prev;
+    if (d > kPi) {
+      offset -= kTwoPi;
+    } else if (d < -kPi) {
+      offset += kTwoPi;
+    }
+    prev = raw;
+    phases[i] = raw + offset;
+  }
+}
+
+std::vector<double> unwrapped(std::vector<double> phases) {
+  unwrapInPlace(phases);
+  return phases;
+}
+
+double circularMean(const std::vector<double>& phases) {
+  if (phases.empty()) return 0.0;
+  double s = 0.0;
+  double c = 0.0;
+  for (double p : phases) {
+    s += std::sin(p);
+    c += std::cos(p);
+  }
+  return wrapTwoPi(std::atan2(s, c));
+}
+
+double circularStddev(const std::vector<double>& phases) {
+  if (phases.size() < 2) return 0.0;
+  double s = 0.0;
+  double c = 0.0;
+  for (double p : phases) {
+    s += std::sin(p);
+    c += std::cos(p);
+  }
+  const double n = static_cast<double>(phases.size());
+  const double r = std::sqrt(s * s + c * c) / n;
+  // Mardia's circular standard deviation; for small dispersion it converges
+  // to the ordinary standard deviation, which is what the paper plots.
+  if (r <= 0.0) return std::sqrt(kTwoPi);
+  return std::sqrt(-2.0 * std::log(r));
+}
+
+}  // namespace rfipad

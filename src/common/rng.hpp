@@ -1,0 +1,71 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the simulator draws from an Rng that is
+// seeded explicitly, so experiments are reproducible run-to-run and the
+// benches can state their seeds.  Child streams (`fork`) let independent
+// subsystems (channel noise, MAC slot choice, user jitter) evolve without
+// consuming each other's sequences.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rfipad {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal deviate.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponential deviate with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Derive an independent child stream.  Mixing in `salt` makes forks with
+  /// different purposes decorrelated even from the same parent.
+  Rng fork(std::uint64_t salt) {
+    const std::uint64_t s = splitmix(seed_ ^ (salt * 0x9E3779B97F4A7C15ull) ^
+                                     engine_());
+    return Rng(s);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  static std::uint64_t splitmix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rfipad

@@ -1,0 +1,68 @@
+#include "common/strokes.hpp"
+
+#include <stdexcept>
+
+namespace rfipad {
+
+const std::vector<DirectedStroke>& allDirectedStrokes() {
+  static const std::vector<DirectedStroke> kAll = [] {
+    std::vector<DirectedStroke> v;
+    v.push_back({StrokeKind::kClick, StrokeDir::kForward});
+    for (StrokeKind k : {StrokeKind::kHLine, StrokeKind::kVLine,
+                         StrokeKind::kSlash, StrokeKind::kBackslash,
+                         StrokeKind::kLeftArc, StrokeKind::kRightArc}) {
+      v.push_back({k, StrokeDir::kForward});
+      v.push_back({k, StrokeDir::kReverse});
+    }
+    return v;
+  }();
+  return kAll;
+}
+
+std::string strokeName(StrokeKind kind) {
+  switch (kind) {
+    case StrokeKind::kClick: return "click";
+    case StrokeKind::kHLine: return "-";
+    case StrokeKind::kVLine: return "|";
+    case StrokeKind::kSlash: return "/";
+    case StrokeKind::kBackslash: return "\\";
+    case StrokeKind::kLeftArc: return "C";
+    case StrokeKind::kRightArc: return "D)";
+  }
+  return "?";
+}
+
+std::string directedStrokeName(const DirectedStroke& s) {
+  if (s.kind == StrokeKind::kClick) return "click";
+  const bool fwd = s.dir == StrokeDir::kForward;
+  const char* arrow = nullptr;
+  switch (s.kind) {
+    case StrokeKind::kHLine: arrow = fwd ? "->" : "<-"; break;
+    case StrokeKind::kVLine: arrow = fwd ? "v" : "^"; break;
+    case StrokeKind::kSlash: arrow = fwd ? "NE" : "SW"; break;
+    case StrokeKind::kBackslash: arrow = fwd ? "SE" : "NW"; break;
+    case StrokeKind::kLeftArc: arrow = fwd ? "v" : "^"; break;
+    case StrokeKind::kRightArc: arrow = fwd ? "v" : "^"; break;
+    default: arrow = "";
+  }
+  return strokeName(s.kind) + " " + arrow;
+}
+
+bool isArc(StrokeKind kind) {
+  return kind == StrokeKind::kLeftArc || kind == StrokeKind::kRightArc;
+}
+
+bool isLine(StrokeKind kind) {
+  return kind == StrokeKind::kHLine || kind == StrokeKind::kVLine ||
+         kind == StrokeKind::kSlash || kind == StrokeKind::kBackslash;
+}
+
+int directedStrokeIndex(const DirectedStroke& s) {
+  const auto& all = allDirectedStrokes();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == s) return static_cast<int>(i);
+  }
+  throw std::invalid_argument("directedStrokeIndex: unknown stroke");
+}
+
+}  // namespace rfipad

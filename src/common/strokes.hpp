@@ -1,0 +1,53 @@
+// The RFIPad stroke vocabulary, shared between workload generation (sim)
+// and recognition (core).
+//
+// The paper defines 7 basic hand motions (§II-C): click "•", "−", "|", "/",
+// "\", "⊂", "⊃" (numbered #1..#7).  Strokes #2–#7 each carry two directions
+// (e.g. "−" is "←" or "→"), giving the 13 directed motions evaluated in
+// Table I and Figs. 16–21.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfipad {
+
+enum class StrokeKind {
+  kClick = 1,      ///< #1: push toward a tag
+  kHLine = 2,      ///< #2: "−"
+  kVLine = 3,      ///< #3: "|"
+  kSlash = 4,      ///< #4: "/"
+  kBackslash = 5,  ///< #5: "\"
+  kLeftArc = 6,    ///< #6: "⊂"
+  kRightArc = 7,   ///< #7: "⊃"
+};
+
+/// Travel direction along the stroke's canonical path.  For lines,
+/// kForward means → (HLine), ↓ (VLine), ↗ (Slash), ↘ (Backslash); arcs are
+/// drawn top→bottom in kForward.  Clicks have no direction.
+enum class StrokeDir { kForward, kReverse };
+
+/// A directed stroke: the unit of recognition.
+struct DirectedStroke {
+  StrokeKind kind = StrokeKind::kClick;
+  StrokeDir dir = StrokeDir::kForward;
+
+  bool operator==(const DirectedStroke&) const = default;
+};
+
+/// All 13 directed motions of the evaluation (click + 6 strokes × 2).
+const std::vector<DirectedStroke>& allDirectedStrokes();
+
+std::string strokeName(StrokeKind kind);
+std::string directedStrokeName(const DirectedStroke& s);
+
+/// Whether the kind is an arc ("⊂" or "⊃").
+bool isArc(StrokeKind kind);
+/// Whether the kind is a straight line.
+bool isLine(StrokeKind kind);
+
+/// Stable dense index of a directed stroke within allDirectedStrokes()
+/// (0 = click, 1.. = pairs); used by confusion matrices.
+int directedStrokeIndex(const DirectedStroke& s);
+
+}  // namespace rfipad

@@ -1,0 +1,32 @@
+// Minimal aligned-console-table printer used by the bench binaries to emit
+// the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rfipad {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; it must have the same number of cells as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void addRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  void print(std::ostream& os) const;
+  std::string toString() const;
+
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rfipad

@@ -1,0 +1,21 @@
+// Unit conversions between dB-domain and linear-domain quantities.
+// All powers are in watts internally; dBm is a presentation/config unit.
+#pragma once
+
+#include <cmath>
+
+namespace rfipad {
+
+/// Speed of light in vacuum, m/s.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+inline double dbToLinear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linearToDb(double lin) { return 10.0 * std::log10(lin); }
+
+inline double dbmToWatts(double dbm) { return 1e-3 * dbToLinear(dbm); }
+inline double wattsToDbm(double watts) { return linearToDb(watts / 1e-3); }
+
+/// Wavelength (m) for a carrier frequency (Hz).
+inline double wavelength(double freq_hz) { return kSpeedOfLight / freq_hz; }
+
+}  // namespace rfipad

@@ -1,0 +1,67 @@
+// Small fixed-dimension vector types used throughout the RF geometry code.
+//
+// Everything here is a plain value type: cheap to copy, no invariants beyond
+// "holds three doubles", so members are public (C.2 / C.8 of the Core
+// Guidelines do not apply — these are structs of data).
+#pragma once
+
+#include <cmath>
+
+namespace rfipad {
+
+/// 2-D point/vector in metres (pad-plane coordinates).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; sign gives turn direction.
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+/// 3-D point/vector in metres (world coordinates: pad plane is z = 0,
+/// +z points away from the pad toward the user's hand).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr double dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(x * x + y * y + z * z); }
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+  constexpr Vec2 xy() const { return {x, y}; }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+constexpr Vec3 operator*(double s, Vec3 v) { return v * s; }
+
+inline double distance(Vec3 a, Vec3 b) { return (a - b).norm(); }
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Linear interpolation between two points, t in [0, 1].
+constexpr Vec3 lerp(Vec3 a, Vec3 b, double t) { return a + (b - a) * t; }
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+/// Shortest distance from point `p` to the segment [a, b].
+double pointSegmentDistance(Vec3 p, Vec3 a, Vec3 b);
+
+}  // namespace rfipad

@@ -1,0 +1,94 @@
+#include "core/activation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/stats.hpp"
+
+namespace rfipad::core {
+
+std::vector<double> calibratedPhases(const std::vector<double>& phases,
+                                     double staticMeanPhase, bool unwrap) {
+  // Subtract the static mean on the circle first, then unwrap, so the
+  // calibrated series vibrates around zero (Eq. 8).
+  std::vector<double> out;
+  out.reserve(phases.size());
+  for (double p : phases) out.push_back(angleDiff(p, staticMeanPhase));
+  if (unwrap) {
+    // angleDiff already wraps to (−π, π]; unwrapping restores continuity
+    // when the true excursion exceeds π.
+    unwrapInPlace(out);
+  }
+  return out;
+}
+
+std::vector<double> activationMap(const reader::SampleStream& window,
+                                  const StaticProfile& profile,
+                                  const ActivationOptions& options) {
+  const std::uint32_t n = profile.numTags();
+  if (n == 0) throw std::invalid_argument("activationMap: empty profile");
+  std::vector<double> activation(n, 0.0);
+
+  const double median_bias = profile.medianBias();
+  const double t0 = window.startTime();
+  const double t1 = window.endTime();
+  const double span = std::max(t1 - t0, 1e-9);
+  // Raised-cosine taper over the leading/trailing `edge_taper` fraction.
+  const auto taper = [&](double t) {
+    if (options.edge_taper <= 0.0) return 1.0;
+    const double f = std::min(options.edge_taper, 0.5);
+    const double u = std::clamp((t - t0) / span, 0.0, 1.0);
+    const double edge = std::min(u, 1.0 - u);
+    if (edge >= f) return 1.0;
+    return 0.5 * (1.0 - std::cos(kPi * edge / f));
+  };
+
+  const auto series = window.allSeries();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i >= series.size()) break;
+    const auto& s = series[i];
+    if (s.phases.size() < options.min_samples) continue;
+    const auto theta = calibratedPhases(s.phases, profile.tag(i).mean_phase,
+                                        options.unwrap);
+    double acc = 0.0;
+    double weight_sum = 0.0;
+    for (std::size_t j = 0; j + 1 < theta.size(); ++j) {
+      const double w = taper(0.5 * (s.times[j] + s.times[j + 1]));
+      acc += w * std::abs(theta[j + 1] - theta[j]);
+      weight_sum += w;
+    }
+    if (weight_sum <= 0.0) continue;
+    if (options.per_sample) acc /= weight_sum;
+    const double mean_w =
+        options.per_sample ? 1.0
+                           : weight_sum / static_cast<double>(theta.size() - 1);
+    if (options.diversity_suppression) {
+      const double bias = profile.tag(i).deviation_bias;
+      // Expected |Δθ| per sample for white noise of std b_i: 2 b_i / √π
+      // (scaled by the mean taper weight when not normalising per sample).
+      constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+      acc = std::max(
+          0.0, acc - options.noise_floor_kappa * kTwoOverSqrtPi * bias * mean_w);
+      // Regularised Eq. 10 weighting: divide by the tag's relative bias.
+      const double reg = options.weight_regularization * median_bias;
+      const double rel_weight = (bias + reg) / (median_bias + reg);
+      acc /= std::max(rel_weight, 1e-6);
+    }
+    if (options.sqrt_compress) acc = std::sqrt(acc);
+    activation[i] = acc;
+  }
+  return activation;
+}
+
+imgproc::GrayMap activationImage(const reader::SampleStream& window,
+                                 const StaticProfile& profile, int rows,
+                                 int cols, const ActivationOptions& options) {
+  auto act = activationMap(window, profile, options);
+  if (static_cast<std::size_t>(rows) * cols != act.size())
+    throw std::invalid_argument("activationImage: grid size mismatch");
+  return imgproc::GrayMap(rows, cols, std::move(act));
+}
+
+}  // namespace rfipad::core

@@ -1,0 +1,69 @@
+// Accumulative phase difference per tag (Eqs. 5, 8, 10) — the activation
+// value I'_i that becomes one pixel of the motion graymap.
+//
+// Pipeline per tag: de-periodicise (unwrap) the phase series, subtract the
+// static mean (Eq. 8 — removes θ_T, θ_R, θ_tag), accumulate the total
+// variation Σ|θ'_{k} − θ'_{j}| over the window, normalise by sample count
+// (so unevenly-sampled tags compare fairly), and divide by the Eq. 9 weight
+// w_i (location-diversity suppression).
+#pragma once
+
+#include <vector>
+
+#include "core/static_profile.hpp"
+#include "imgproc/graymap.hpp"
+#include "reader/sample_stream.hpp"
+
+namespace rfipad::core {
+
+struct ActivationOptions {
+  /// Apply phase unwrapping before differencing (paper §III-A3).  Without
+  /// it, 0/2π seam crossings masquerade as huge activations.
+  bool unwrap = true;
+  /// Apply location-diversity suppression (Eqs. 9–10).  Disable to
+  /// reproduce the "without diversity suppression" baseline of
+  /// Figs. 7(a)/16.  Our realisation (DESIGN.md §5) divides by a
+  /// regularised Eq. 9 weight, so noisy tags are de-emphasised without
+  /// unboundedly amplifying unusually quiet ones.
+  bool diversity_suppression = true;
+  /// Optional extra step (ablation): subtract each tag's expected *noise*
+  /// total variation — white phase noise of standard deviation b_i
+  /// contributes E|Δθ| = (2/√π)·b_i per sample — before weighting.
+  /// Off by default: the ablation bench shows it costs accuracy in quiet
+  /// environments by eating weak real activations.
+  double noise_floor_kappa = 0.0;
+  /// Regularisation of the weight divide, as a fraction of the median bias
+  /// added to every tag's bias.
+  double weight_regularization = 1.0;
+  /// Normalise the accumulated variation by the number of phase samples so
+  /// read-rate differences between tags cancel.
+  bool per_sample = true;
+  /// Ignore tags with fewer reads than this in the window (activation 0).
+  std::size_t min_samples = 3;
+  /// Compress the dynamic range of the final activation (I' ← √I').  The
+  /// hand dwells longer over stroke endpoints (landing/lift-off), which
+  /// otherwise makes those two pixels so bright that Otsu's threshold
+  /// splits endpoints-vs-path instead of path-vs-background.
+  bool sqrt_compress = true;
+  /// Fraction of the window duration cosine-tapered at each end.  Detected
+  /// stroke windows include the hand's descent/lift-off skirts; tapering
+  /// weights the central (writing) span highest without a hard cut.
+  double edge_taper = 0.25;
+};
+
+/// Calibrated, unwrapped phase series θ'_ij for one tag (Eq. 8).
+std::vector<double> calibratedPhases(const std::vector<double>& phases,
+                                     double staticMeanPhase, bool unwrap);
+
+/// Activation I'_i for every tag over the given stream window.
+std::vector<double> activationMap(const reader::SampleStream& window,
+                                  const StaticProfile& profile,
+                                  const ActivationOptions& options = {});
+
+/// Activation rendered as a graymap over the tag grid (row-major tag
+/// indexing, as produced by tag::TagArray).
+imgproc::GrayMap activationImage(const reader::SampleStream& window,
+                                 const StaticProfile& profile, int rows,
+                                 int cols, const ActivationOptions& options = {});
+
+}  // namespace rfipad::core

@@ -1,0 +1,122 @@
+#include "core/direction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace rfipad::core {
+
+bool estimateTrough(const std::vector<double>& times,
+                    const std::vector<double>& rssi,
+                    const DirectionOptions& options, TroughEstimate* out) {
+  if (times.size() != rssi.size())
+    throw std::invalid_argument("estimateTrough: series size mismatch");
+  if (times.size() < options.min_samples) return false;
+
+  // Stage 1: smooth and locate the global minimum.
+  const auto smooth = movingAverage(rssi, options.smooth_window | 1);
+  std::size_t k = 0;
+  for (std::size_t i = 1; i < smooth.size(); ++i) {
+    if (smooth[i] < smooth[k]) k = i;
+  }
+  // Baseline: the higher of the two window edges (the hand is away from the
+  // tag at at least one end of a pass).
+  const double baseline = std::max(smooth.front(), smooth.back());
+  const double depth = baseline - smooth[k];
+  if (depth < options.min_trough_depth_db) return false;
+
+  // Stage 2: parabolic refinement over (k−1, k, k+1).
+  double t = times[k];
+  if (k > 0 && k + 1 < smooth.size()) {
+    const double y0 = smooth[k - 1];
+    const double y1 = smooth[k];
+    const double y2 = smooth[k + 1];
+    const double denom = y0 - 2.0 * y1 + y2;
+    if (std::abs(denom) > 1e-12) {
+      const double delta = 0.5 * (y0 - y2) / denom;  // in sample units
+      if (delta > -1.0 && delta < 1.0) {
+        // Map the fractional offset onto the (possibly uneven) time grid.
+        const double t_lo = delta < 0.0 ? times[k - 1] : times[k];
+        const double t_hi = delta < 0.0 ? times[k] : times[k + 1];
+        const double frac = delta < 0.0 ? 1.0 + delta : delta;
+        t = t_lo + (t_hi - t_lo) * frac;
+      }
+    }
+  }
+  if (out != nullptr) *out = {0, t, depth};
+  return true;
+}
+
+DirectionResult estimateDirection(const reader::SampleStream& window,
+                                  const std::vector<Vec2>& tagXy,
+                                  const std::vector<std::uint32_t>& candidateTags,
+                                  const DirectionOptions& options) {
+  DirectionResult result;
+  std::vector<std::uint32_t> candidates = candidateTags;
+  if (candidates.empty()) {
+    candidates.resize(tagXy.size());
+    for (std::uint32_t i = 0; i < tagXy.size(); ++i) candidates[i] = i;
+  }
+
+  const auto series = window.allSeries();
+  for (std::uint32_t idx : candidates) {
+    if (idx >= series.size() || idx >= tagXy.size()) continue;
+    TroughEstimate te;
+    if (estimateTrough(series[idx].times, series[idx].rssi, options, &te)) {
+      te.tag_index = idx;
+      result.ordered.push_back(te);
+    }
+  }
+  if (result.ordered.size() < 2) return result;
+
+  std::sort(result.ordered.begin(), result.ordered.end(),
+            [](const TroughEstimate& a, const TroughEstimate& b) {
+              return a.time_s < b.time_s;
+            });
+
+  // Principal axis of the trough tags' positions.
+  Vec2 centroid{};
+  for (const auto& te : result.ordered) centroid = centroid + tagXy[te.tag_index];
+  centroid = centroid / static_cast<double>(result.ordered.size());
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (const auto& te : result.ordered) {
+    const Vec2 d = tagXy[te.tag_index] - centroid;
+    sxx += d.x * d.x;
+    syy += d.y * d.y;
+    sxy += d.x * d.y;
+  }
+  const double tr = sxx + syy;
+  if (tr <= 1e-12) return result;  // all troughs on one tag
+  const double disc = std::sqrt(std::max(0.0, tr * tr / 4.0 - (sxx * syy - sxy * sxy)));
+  const double l1 = tr / 2.0 + disc;
+  Vec2 axis = std::abs(sxy) > 1e-12 ? Vec2{l1 - syy, sxy}.normalized()
+                                    : (sxx >= syy ? Vec2{1, 0} : Vec2{0, 1});
+
+  // Regress axis position against trough time.
+  std::vector<double> proj, ts;
+  for (const auto& te : result.ordered) {
+    proj.push_back((tagXy[te.tag_index] - centroid).dot(axis));
+    ts.push_back(te.time_s);
+  }
+  const double mp = mean(proj);
+  const double mt = mean(ts);
+  double cov = 0.0, vp = 0.0, vt = 0.0;
+  for (std::size_t i = 0; i < proj.size(); ++i) {
+    cov += (proj[i] - mp) * (ts[i] - mt);
+    vp += (proj[i] - mp) * (proj[i] - mp);
+    vt += (ts[i] - mt) * (ts[i] - mt);
+  }
+  if (vp <= 1e-12 || vt <= 1e-12) return result;
+
+  const double corr = cov / std::sqrt(vp * vt);
+  // Positive correlation: positions further along +axis are visited later,
+  // so travel is along +axis.
+  result.direction = corr >= 0.0 ? axis : axis * -1.0;
+  result.confidence = std::abs(corr);
+  result.valid = result.confidence > 0.25;
+  return result;
+}
+
+}  // namespace rfipad::core

@@ -1,0 +1,63 @@
+// RSS-based direction estimation (paper §III-B).
+//
+// Phase trends during a pass are inconsistent (monotone / axially /
+// circularly symmetric, Fig. 8), but RSS always shows a distinct trough
+// when the hand crosses a tag — near-field detuning plus blockage.  The
+// order in which troughs appear across tags therefore gives the travel
+// direction.  Two stages: (1) coarse — smooth each tag's RSS and find the
+// global minimum, gated on trough depth; (2) fine — parabolic interpolation
+// around the minimum for sub-sample timing, then a linear fit of trough
+// time against position along the stroke's principal axis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/vec.hpp"
+#include "core/static_profile.hpp"
+#include "reader/sample_stream.hpp"
+
+namespace rfipad::core {
+
+struct DirectionOptions {
+  /// Moving-average window (samples, odd) for RSS smoothing.
+  std::size_t smooth_window = 5;
+  /// Minimum trough depth below the tag's in-window RSS baseline, dB.
+  double min_trough_depth_db = 1.2;
+  /// Minimum reads for a tag to participate.
+  std::size_t min_samples = 4;
+};
+
+struct TroughEstimate {
+  std::uint32_t tag_index = 0;
+  /// Refined trough time, s.
+  double time_s = 0.0;
+  /// Depth below the in-window baseline, dB.
+  double depth_db = 0.0;
+};
+
+struct DirectionResult {
+  bool valid = false;
+  /// Unit travel direction in the pad plane.
+  Vec2 direction;
+  /// Accepted troughs ordered by time (the tag visit sequence).
+  std::vector<TroughEstimate> ordered;
+  /// |Pearson correlation| between axis position and trough time.
+  double confidence = 0.0;
+};
+
+/// Stage 1+2 trough estimation for one tag's RSS series.  Returns whether a
+/// qualifying trough was found.
+bool estimateTrough(const std::vector<double>& times,
+                    const std::vector<double>& rssi,
+                    const DirectionOptions& options, TroughEstimate* out);
+
+/// Full direction estimate over a stroke window.  `tagXy[i]` is tag i's pad
+/// position; `candidateTags` restricts the search (e.g. the foreground tags
+/// of the binarised activation image) — pass empty to use all tags.
+DirectionResult estimateDirection(const reader::SampleStream& window,
+                                  const std::vector<Vec2>& tagXy,
+                                  const std::vector<std::uint32_t>& candidateTags,
+                                  const DirectionOptions& options = {});
+
+}  // namespace rfipad::core

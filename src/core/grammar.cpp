@@ -1,0 +1,236 @@
+#include "core/grammar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rfipad::core {
+
+namespace {
+
+using K = StrokeKind;
+
+std::vector<std::vector<StrokeKind>> buildSequences() {
+  std::vector<std::vector<StrokeKind>> seq(26);
+  auto set = [&](char c, std::vector<StrokeKind> s) {
+    seq[static_cast<std::size_t>(c - 'A')] = std::move(s);
+  };
+  set('A', {K::kSlash, K::kBackslash, K::kHLine});
+  set('B', {K::kVLine, K::kRightArc, K::kRightArc});
+  set('C', {K::kLeftArc});
+  set('D', {K::kVLine, K::kRightArc});
+  set('E', {K::kVLine, K::kHLine, K::kHLine, K::kHLine});
+  set('F', {K::kVLine, K::kHLine, K::kHLine});
+  set('G', {K::kLeftArc, K::kHLine, K::kVLine});
+  set('H', {K::kVLine, K::kHLine, K::kVLine});
+  set('I', {K::kVLine});
+  set('J', {K::kVLine, K::kLeftArc});
+  set('K', {K::kVLine, K::kSlash, K::kBackslash});
+  set('L', {K::kVLine, K::kHLine});
+  set('M', {K::kVLine, K::kBackslash, K::kSlash, K::kVLine});
+  set('N', {K::kVLine, K::kBackslash, K::kVLine});
+  set('O', {K::kLeftArc, K::kRightArc});
+  set('P', {K::kVLine, K::kRightArc});
+  set('Q', {K::kLeftArc, K::kRightArc, K::kBackslash});
+  set('R', {K::kVLine, K::kRightArc, K::kBackslash});
+  set('S', {K::kLeftArc, K::kRightArc});
+  set('T', {K::kHLine, K::kVLine});
+  set('U', {K::kVLine, K::kLeftArc, K::kVLine});
+  set('V', {K::kBackslash, K::kSlash});
+  set('W', {K::kBackslash, K::kSlash, K::kBackslash, K::kSlash});
+  set('X', {K::kBackslash, K::kSlash});
+  set('Y', {K::kBackslash, K::kSlash, K::kVLine});
+  set('Z', {K::kHLine, K::kSlash, K::kHLine});
+  return seq;
+}
+
+/// Whether segments [a0,a1] and [b0,b1] cross in their interiors (both
+/// intersection parameters well away from the endpoints).
+bool segmentsCrossInterior(Vec2 a0, Vec2 a1, Vec2 b0, Vec2 b1) {
+  const Vec2 da = a1 - a0;
+  const Vec2 db = b1 - b0;
+  const double denom = da.cross(db);
+  if (std::abs(denom) < 1e-9) return false;  // parallel
+  const Vec2 d0 = b0 - a0;
+  const double t = d0.cross(db) / denom;
+  const double u = d0.cross(da) / denom;
+  constexpr double kMargin = 0.18;
+  return t > kMargin && t < 1.0 - kMargin && u > kMargin && u < 1.0 - kMargin;
+}
+
+}  // namespace
+
+LetterGrammar::LetterGrammar() : sequences_(buildSequences()) {}
+
+const LetterGrammar& LetterGrammar::instance() {
+  static const LetterGrammar kGrammar;
+  return kGrammar;
+}
+
+const std::vector<char>& LetterGrammar::alphabet() {
+  static const std::vector<char> kAlphabet = [] {
+    std::vector<char> v;
+    for (char c = 'A'; c <= 'Z'; ++c) v.push_back(c);
+    return v;
+  }();
+  return kAlphabet;
+}
+
+const std::vector<StrokeKind>& LetterGrammar::sequenceFor(char letter) const {
+  if (letter < 'A' || letter > 'Z')
+    throw std::invalid_argument("LetterGrammar: letter must be 'A'..'Z'");
+  return sequences_[static_cast<std::size_t>(letter - 'A')];
+}
+
+std::vector<char> LetterGrammar::candidates(
+    const std::vector<StrokeKind>& seq) const {
+  std::vector<char> out;
+  for (char c = 'A'; c <= 'Z'; ++c) {
+    if (sequenceFor(c) == seq) out.push_back(c);
+  }
+  return out;
+}
+
+char LetterGrammar::disambiguate(
+    const std::vector<char>& cands,
+    const std::vector<ObservedStroke>& strokes) const {
+  // D vs P: "the last position of ⊃ is usually overlapped with the bottom
+  // of stroke |" for D, while P's bowl ends mid-height.
+  if (cands == std::vector<char>{'D', 'P'}) {
+    const ObservedStroke& bar = strokes[0];
+    const ObservedStroke& bowl = strokes[1];
+    const double bar_bottom = std::min(bar.start_cell.y, bar.end_cell.y);
+    const double bowl_end = std::min(bowl.start_cell.y, bowl.end_cell.y);
+    return std::abs(bowl_end - bar_bottom) <= 1.0 ? 'D' : 'P';
+  }
+  // O vs S: O's two arcs share the same vertical span; S stacks ⊂ above ⊃.
+  if (cands == std::vector<char>{'O', 'S'}) {
+    const double dy = strokes[0].centroid.y - strokes[1].centroid.y;
+    return std::abs(dy) <= 1.0 ? 'O' : 'S';
+  }
+  // V vs X: V's strokes meet at an endpoint; X's cross in their interiors.
+  // The crossing test is direction-agnostic, so a flipped travel estimate
+  // cannot turn a V into an X.
+  if (cands == std::vector<char>{'V', 'X'}) {
+    return segmentsCrossInterior(strokes[0].start_cell, strokes[0].end_cell,
+                                 strokes[1].start_cell, strokes[1].end_cell)
+               ? 'X'
+               : 'V';
+  }
+  return cands.front();
+}
+
+namespace {
+
+/// Substitution affinity: how easily one stroke kind is mistaken for
+/// another on a 5×5 grid.  Steep diagonals blur into verticals, arcs into
+/// each other and into the adjacent line, clicks into short anything.
+double substitutionBase(StrokeKind a, StrokeKind b) {
+  if (a == b) return 0.0;
+  auto confusable = [](StrokeKind x, StrokeKind y) {
+    auto pair = [&](StrokeKind p, StrokeKind q) {
+      return (x == p && y == q) || (x == q && y == p);
+    };
+    using K = StrokeKind;
+    return pair(K::kVLine, K::kSlash) || pair(K::kVLine, K::kBackslash) ||
+           pair(K::kSlash, K::kBackslash) || pair(K::kLeftArc, K::kRightArc) ||
+           pair(K::kVLine, K::kLeftArc) || pair(K::kVLine, K::kRightArc) ||
+           pair(K::kHLine, K::kLeftArc) || pair(K::kHLine, K::kRightArc) ||
+           x == K::kClick || y == K::kClick;
+  };
+  return confusable(a, b) ? 0.55 : 1.1;
+}
+
+}  // namespace
+
+double LetterGrammar::alignmentCost(const std::vector<ObservedStroke>& strokes,
+                                    const std::vector<double>& confidences,
+                                    char letter) const {
+  const auto& target = sequenceFor(letter);
+  const std::size_t n = strokes.size();
+  const std::size_t m = target.size();
+  const double kInsert = 0.75;  // letter stroke the user wrote but we missed
+
+  auto conf = [&](std::size_t i) {
+    return i < confidences.size() ? std::clamp(confidences[i], 0.0, 1.0) : 0.5;
+  };
+  // Deleting a low-confidence observation (likely spurious) is cheap.
+  auto delCost = [&](std::size_t i) { return 0.3 + 0.5 * conf(i); };
+  // Substituting against a confident observation is expensive.
+  auto subCost = [&](std::size_t i, StrokeKind t) {
+    return substitutionBase(strokes[i].kind, t) * (0.55 + 0.45 * conf(i));
+  };
+
+  // Segmentation sometimes fuses two quick strokes into one window; allow
+  // one observed stroke to consume two adjacent target strokes when its
+  // kind is compatible with either of them.
+  const double kMergedPair = 0.6;
+  std::vector<std::vector<double>> dp(n + 1, std::vector<double>(m + 1, 0.0));
+  for (std::size_t i = 1; i <= n; ++i) dp[i][0] = dp[i - 1][0] + delCost(i - 1);
+  for (std::size_t j = 1; j <= m; ++j) dp[0][j] = dp[0][j - 1] + kInsert;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      dp[i][j] = std::min({dp[i - 1][j - 1] + subCost(i - 1, target[j - 1]),
+                           dp[i - 1][j] + delCost(i - 1),
+                           dp[i][j - 1] + kInsert});
+      if (j >= 2) {
+        const bool compatible =
+            substitutionBase(strokes[i - 1].kind, target[j - 1]) < 1.0 ||
+            substitutionBase(strokes[i - 1].kind, target[j - 2]) < 1.0;
+        if (compatible) {
+          dp[i][j] = std::min(dp[i][j], dp[i - 1][j - 2] + kMergedPair);
+        }
+      }
+    }
+  }
+  return dp[n][m];
+}
+
+char LetterGrammar::recognizeRobust(const std::vector<ObservedStroke>& strokes,
+                                    const std::vector<double>& confidences,
+                                    double max_cost) const {
+  if (strokes.empty()) return '\0';
+  // Exact match (with positional disambiguation) wins outright.
+  if (const char c = recognize(strokes); c != '\0') return c;
+
+  char best = '\0';
+  double best_cost = max_cost;
+  std::vector<char> tied;
+  for (char c = 'A'; c <= 'Z'; ++c) {
+    const double cost = alignmentCost(strokes, confidences, c);
+    if (cost < best_cost - 1e-9) {
+      best_cost = cost;
+      best = c;
+      tied = {c};
+    } else if (best != '\0' && std::abs(cost - best_cost) < 1e-9) {
+      tied.push_back(c);
+    }
+  }
+  // If the tie is one of the known ambiguous pairs and the stroke count
+  // matches, use the positional rules.
+  if (tied.size() == 2) {
+    std::sort(tied.begin(), tied.end());
+    const std::vector<char> pair = tied;
+    if ((pair == std::vector<char>{'D', 'P'} ||
+         pair == std::vector<char>{'O', 'S'} ||
+         pair == std::vector<char>{'V', 'X'}) &&
+        strokes.size() == sequenceFor(pair[0]).size()) {
+      return disambiguate(pair, strokes);
+    }
+  }
+  return best;
+}
+
+char LetterGrammar::recognize(const std::vector<ObservedStroke>& strokes) const {
+  if (strokes.empty()) return '\0';
+  std::vector<StrokeKind> seq;
+  seq.reserve(strokes.size());
+  for (const auto& s : strokes) seq.push_back(s.kind);
+  const auto cands = candidates(seq);
+  if (cands.empty()) return '\0';
+  if (cands.size() == 1) return cands.front();
+  return disambiguate(cands, strokes);
+}
+
+}  // namespace rfipad::core

@@ -1,0 +1,72 @@
+// Tree-structure letter grammar (paper §III-C2, Fig. 10).
+//
+// A letter is a sequence of 1–4 strokes from {−, |, /, \, ⊂, ⊃}.  Three
+// pairs share a stroke sequence — D/P ("|⊃"), O/S ("⊂⊃"), V/X ("\/") — and
+// are told apart by stroke *position* metadata: "when writing D, the last
+// position of ⊃ is usually overlapped with the bottom of stroke |", etc.
+// RFIPad gets that position information from the tag IDs a stroke activated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/strokes.hpp"
+#include "common/vec.hpp"
+
+namespace rfipad::core {
+
+/// The recogniser's view of one stroke of a letter (grid coordinates:
+/// x = column, y = row).
+struct ObservedStroke {
+  StrokeKind kind = StrokeKind::kClick;
+  StrokeDir dir = StrokeDir::kForward;
+  Vec2 start_cell;
+  Vec2 end_cell;
+  Vec2 centroid;
+};
+
+class LetterGrammar {
+ public:
+  /// The canonical grammar (Fig. 10 reconstruction).
+  static const LetterGrammar& instance();
+
+  /// Stroke-kind sequence of `letter` ('A'..'Z').
+  const std::vector<StrokeKind>& sequenceFor(char letter) const;
+
+  /// Letters whose sequence equals `seq` (0–2 results; ambiguous pairs give
+  /// two).
+  std::vector<char> candidates(const std::vector<StrokeKind>& seq) const;
+
+  /// Full recognition: sequence lookup + positional disambiguation.
+  /// Returns '\0' when no letter matches.
+  char recognize(const std::vector<ObservedStroke>& strokes) const;
+
+  /// Robust recognition: weighted edit-distance decoding over all 26
+  /// letters, tolerating stroke-kind confusions (scaled by classifier
+  /// confidence), spurious strokes (splits, transition residue) and missed
+  /// strokes.  Falls back to positional disambiguation for the ambiguous
+  /// pairs when the alignment is exact.  Returns '\0' when even the best
+  /// letter costs more than `max_cost`.
+  char recognizeRobust(const std::vector<ObservedStroke>& strokes,
+                       const std::vector<double>& confidences,
+                       double max_cost = 1.8) const;
+
+  /// Alignment cost of an observed stroke sequence against a letter
+  /// (exposed for tests).
+  double alignmentCost(const std::vector<ObservedStroke>& strokes,
+                       const std::vector<double>& confidences,
+                       char letter) const;
+
+  /// All letters (A..Z).
+  static const std::vector<char>& alphabet();
+
+ private:
+  LetterGrammar();
+
+  char disambiguate(const std::vector<char>& candidates,
+                    const std::vector<ObservedStroke>& strokes) const;
+
+  std::vector<std::vector<StrokeKind>> sequences_;  // indexed by letter−'A'
+};
+
+}  // namespace rfipad::core

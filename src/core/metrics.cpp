@@ -1,0 +1,130 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfipad::core {
+
+ConfusionMatrix::ConfusionMatrix(int n) : n_(n) {
+  if (n <= 0) throw std::invalid_argument("ConfusionMatrix: n must be > 0");
+  cells_.assign(static_cast<std::size_t>(n) * n, 0);
+  class_total_.assign(static_cast<std::size_t>(n), 0);
+  class_correct_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0 || truth >= n_)
+    throw std::invalid_argument("ConfusionMatrix::add: bad truth class");
+  if (predicted >= n_)
+    throw std::invalid_argument("ConfusionMatrix::add: bad predicted class");
+  ++total_;
+  ++class_total_[static_cast<std::size_t>(truth)];
+  if (predicted < 0) {
+    ++misses_;
+    return;
+  }
+  ++cells_[static_cast<std::size_t>(truth) * n_ + predicted];
+  if (predicted == truth) {
+    ++correct_;
+    ++class_correct_[static_cast<std::size_t>(truth)];
+  }
+}
+
+double ConfusionMatrix::accuracy() const {
+  return total_ > 0 ? static_cast<double>(correct_) / total_ : 0.0;
+}
+
+double ConfusionMatrix::classAccuracy(int truth) const {
+  if (truth < 0 || truth >= n_)
+    throw std::invalid_argument("ConfusionMatrix::classAccuracy: bad class");
+  const int t = class_total_[static_cast<std::size_t>(truth)];
+  return t > 0 ? static_cast<double>(class_correct_[static_cast<std::size_t>(truth)]) / t
+               : 0.0;
+}
+
+int ConfusionMatrix::count(int truth, int predicted) const {
+  if (truth < 0 || truth >= n_ || predicted < 0 || predicted >= n_)
+    throw std::invalid_argument("ConfusionMatrix::count: bad class");
+  return cells_[static_cast<std::size_t>(truth) * n_ + predicted];
+}
+
+double DetectionCounts::fpr() const {
+  const int denom = detections;
+  return denom > 0 ? static_cast<double>(false_positives) / denom : 0.0;
+}
+
+double DetectionCounts::fnr() const {
+  return truths > 0 ? static_cast<double>(missed) / truths : 0.0;
+}
+
+double DetectionCounts::insertionRate() const {
+  return truths > 0 ? static_cast<double>(false_positives) / truths : 0.0;
+}
+
+double DetectionCounts::underfillRate() const {
+  return matched > 0 ? static_cast<double>(underfilled) / matched : 0.0;
+}
+
+DetectionCounts& DetectionCounts::operator+=(const DetectionCounts& o) {
+  truths += o.truths;
+  detections += o.detections;
+  matched += o.matched;
+  false_positives += o.false_positives;
+  missed += o.missed;
+  underfilled += o.underfilled;
+  return *this;
+}
+
+namespace {
+
+double overlap(const Interval& a, const Interval& b) {
+  return std::max(0.0, std::min(a.t1, b.t1) - std::max(a.t0, b.t0));
+}
+
+}  // namespace
+
+DetectionCounts matchIntervals(const std::vector<Interval>& truth,
+                               const std::vector<Interval>& detected,
+                               const MatchOptions& options,
+                               std::vector<int>* assignment) {
+  DetectionCounts counts;
+  counts.truths = static_cast<int>(truth.size());
+  counts.detections = static_cast<int>(detected.size());
+
+  std::vector<int> assign(truth.size(), -1);
+  std::vector<bool> used(detected.size(), false);
+
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    double best_ov = 0.0;
+    int best = -1;
+    for (std::size_t j = 0; j < detected.size(); ++j) {
+      if (used[j]) continue;
+      const double ov = overlap(truth[i], detected[j]);
+      const double shorter =
+          std::min(truth[i].duration(), detected[j].duration());
+      if (shorter <= 0.0) continue;
+      if (ov / shorter >= options.min_overlap_frac && ov > best_ov) {
+        best_ov = ov;
+        best = static_cast<int>(j);
+      }
+    }
+    if (best >= 0) {
+      used[static_cast<std::size_t>(best)] = true;
+      assign[i] = best;
+      ++counts.matched;
+      const double coverage =
+          truth[i].duration() > 0.0
+              ? overlap(truth[i], detected[static_cast<std::size_t>(best)]) /
+                    truth[i].duration()
+              : 1.0;
+      if (coverage < options.coverage_gate) ++counts.underfilled;
+    } else {
+      ++counts.missed;
+    }
+  }
+  counts.false_positives = counts.detections - counts.matched;
+  if (assignment != nullptr) *assignment = std::move(assign);
+  return counts;
+}
+
+}  // namespace rfipad::core

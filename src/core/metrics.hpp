@@ -1,0 +1,76 @@
+// Evaluation metrics: confusion matrices, accuracy / FPR / FNR (paper §V-A),
+// and the segmentation-quality rates of Fig. 22 (insertion, underfill).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/segmenter.hpp"
+
+namespace rfipad::core {
+
+class ConfusionMatrix {
+ public:
+  /// `n` classes; predictions of −1 count as misses (detected nothing).
+  explicit ConfusionMatrix(int n);
+
+  void add(int truth, int predicted);
+
+  int classes() const { return n_; }
+  int total() const { return total_; }
+  int correct() const { return correct_; }
+  int misses() const { return misses_; }
+  double accuracy() const;
+  /// Accuracy restricted to one true class.
+  double classAccuracy(int truth) const;
+  int count(int truth, int predicted) const;
+
+ private:
+  int n_;
+  std::vector<int> cells_;  // n×n row-major, truth-major
+  std::vector<int> class_total_;
+  std::vector<int> class_correct_;
+  int total_ = 0;
+  int correct_ = 0;
+  int misses_ = 0;
+};
+
+/// Detection bookkeeping for FPR/FNR: the paper defines FPR as the
+/// percentage of falsely detected motions and FNR as the percentage of
+/// undetected motions.
+struct DetectionCounts {
+  int truths = 0;            ///< ground-truth motions presented
+  int detections = 0;        ///< intervals the system reported
+  int matched = 0;           ///< detections overlapping a truth
+  int false_positives = 0;   ///< detections in quiet periods
+  int missed = 0;            ///< truths with no matching detection
+  int underfilled = 0;       ///< matched detections covering < coverage gate
+
+  double fpr() const;
+  double fnr() const;
+  /// Insertion rate (Fig. 22): spurious detections per presented stroke.
+  double insertionRate() const;
+  /// Underfill rate (Fig. 22): incomplete segmentations per matched stroke.
+  double underfillRate() const;
+
+  DetectionCounts& operator+=(const DetectionCounts& o);
+};
+
+struct MatchOptions {
+  /// A detection matches a truth if their overlap covers at least this
+  /// fraction of the *shorter* of the two intervals.
+  double min_overlap_frac = 0.3;
+  /// A matched detection is "underfilled" if it covers less than this
+  /// fraction of the truth interval.
+  double coverage_gate = 0.7;
+};
+
+/// Greedy in-order matching of detected intervals against truth intervals.
+/// Returns per-truth matched detection index (−1 when missed) via
+/// `assignment` (optional) and the aggregate counts.
+DetectionCounts matchIntervals(const std::vector<Interval>& truth,
+                               const std::vector<Interval>& detected,
+                               const MatchOptions& options = {},
+                               std::vector<int>* assignment = nullptr);
+
+}  // namespace rfipad::core

@@ -1,0 +1,81 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+
+namespace rfipad::core {
+
+OnlineRecognizer::OnlineRecognizer(StaticProfile profile, OnlineOptions options)
+    : engine_(std::move(profile), options.engine), options_(options) {}
+
+void OnlineRecognizer::push(const reader::TagReport& report) {
+  buffer_.push(report);
+  const double now = report.time_s;
+  if (now - last_process_ >= options_.process_interval_s) {
+    last_process_ = now;
+    process(now, /*flushing=*/false);
+  }
+}
+
+void OnlineRecognizer::flush() {
+  if (!buffer_.empty()) {
+    process(buffer_.endTime(), /*flushing=*/true);
+  }
+  maybeEmitLetter(buffer_.empty() ? 0.0 : buffer_.endTime(), /*flushing=*/true);
+}
+
+void OnlineRecognizer::process(double now, bool flushing) {
+  if (buffer_.empty()) return;
+
+  const Segmenter segmenter(engine_.profile(), options_.engine.segmenter);
+  const auto intervals = segmenter.segment(buffer_);
+  for (const Interval& iv : intervals) {
+    // Buffer trimming can shift interval boundaries between rounds, so an
+    // interval may straddle the consumed frontier; emit only its
+    // unconsumed remainder.
+    if (iv.t1 <= consumed_until_ + 0.05) continue;  // fully emitted
+    const double t0 = std::max(iv.t0, consumed_until_);
+    if (iv.t1 - t0 < options_.engine.segmenter.min_stroke_s) {
+      consumed_until_ = std::max(consumed_until_, iv.t1);
+      continue;
+    }
+    const bool closed = flushing || (now - iv.t1 >= options_.close_after_s);
+    if (!closed) break;  // later intervals are even more recent
+
+    StrokeEvent ev = engine_.classifyWindow(buffer_.slice(t0, iv.t1));
+    ev.interval = {t0, iv.t1};
+    consumed_until_ = iv.t1;
+    if (!ev.observation.valid) continue;
+    emitted_.push_back(ev);
+    letter_pending_.push_back(ev);
+    if (stroke_cb_) stroke_cb_(ev);
+  }
+
+  // The letter-gap clock must consider *all* detected activity (including
+  // windows not yet closed), or a slow writer's letter would be cut off
+  // between strokes.
+  if (!intervals.empty()) {
+    last_activity_end_ = std::max(last_activity_end_, intervals.back().t1);
+  }
+  maybeEmitLetter(now, flushing);
+
+  // Trim the buffer: everything consumed and beyond the horizon can go,
+  // but always keep a half-window of context before unconsumed data.
+  const double keep_from =
+      std::max(consumed_until_ - 0.5, now - options_.buffer_horizon_s);
+  if (buffer_.startTime() < keep_from - 1.0) {
+    buffer_ = buffer_.slice(keep_from, buffer_.endTime() + 1.0);
+  }
+}
+
+void OnlineRecognizer::maybeEmitLetter(double now, bool flushing) {
+  if (letter_pending_.empty()) return;
+  const double last_end =
+      std::max(letter_pending_.back().interval.t1, last_activity_end_);
+  if (!flushing && now - last_end < options_.letter_gap_s) return;
+
+  const char letter = engine_.recognizeLetter(letter_pending_);
+  if (letter_cb_) letter_cb_(letter, letter_pending_);
+  letter_pending_.clear();
+}
+
+}  // namespace rfipad::core

@@ -1,0 +1,72 @@
+// Online (streaming) recognition.
+//
+// The batch RecognitionEngine assumes a complete capture; a deployment
+// receives LLRP reports one at a time and must react "instantly" (§I).
+// OnlineRecognizer buffers reports, re-segments the (bounded) buffer as
+// time advances, and emits a StrokeEvent as soon as a stroke window has
+// been quiet for `close_after_s` — the latency the paper measures in
+// Fig. 24.  When the pad stays quiet for `letter_gap_s` after one or more
+// strokes, they are composed into a letter.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace rfipad::core {
+
+struct OnlineOptions {
+  EngineOptions engine{};
+  /// A stroke window is final once this much quiet follows it.
+  double close_after_s = 0.45;
+  /// Re-run segmentation at most this often (simulated time).
+  double process_interval_s = 0.15;
+  /// Quiet gap that ends a letter (the user dropped the hand).
+  double letter_gap_s = 1.9;
+  /// Buffer horizon; reports older than this behind the newest are dropped
+  /// once consumed.
+  double buffer_horizon_s = 12.0;
+};
+
+class OnlineRecognizer {
+ public:
+  using StrokeCallback = std::function<void(const StrokeEvent&)>;
+  using LetterCallback =
+      std::function<void(char, const std::vector<StrokeEvent>&)>;
+
+  OnlineRecognizer(StaticProfile profile, OnlineOptions options = {});
+
+  void onStroke(StrokeCallback cb) { stroke_cb_ = std::move(cb); }
+  void onLetter(LetterCallback cb) { letter_cb_ = std::move(cb); }
+
+  /// Feed one report (time must be non-decreasing).
+  void push(const reader::TagReport& report);
+
+  /// End of input: finalise any pending stroke and letter.
+  void flush();
+
+  /// Strokes emitted so far (also delivered through the callback).
+  const std::vector<StrokeEvent>& strokes() const { return emitted_; }
+
+ private:
+  void process(double now, bool flushing);
+  void maybeEmitLetter(double now, bool flushing);
+
+  RecognitionEngine engine_;
+  OnlineOptions options_;
+  StrokeCallback stroke_cb_;
+  LetterCallback letter_cb_;
+
+  reader::SampleStream buffer_;
+  double last_process_ = -1e18;
+  /// Everything before this reader-clock time has been consumed.
+  double consumed_until_ = -1e18;
+  /// End of the most recent segmented activity (even if not yet closed).
+  double last_activity_end_ = -1e18;
+
+  std::vector<StrokeEvent> emitted_;
+  std::vector<StrokeEvent> letter_pending_;
+};
+
+}  // namespace rfipad::core

@@ -1,0 +1,203 @@
+#include "core/segmenter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/activation.hpp"
+#include "common/stats.hpp"
+
+namespace rfipad::core {
+
+Segmenter::Segmenter(StaticProfile profile, SegmenterOptions options)
+    : profile_(std::move(profile)), options_(options) {
+  if (options.frame_s <= 0.0)
+    throw std::invalid_argument("Segmenter: non-positive frame length");
+  if (options.window_frames < 2)
+    throw std::invalid_argument("Segmenter: window needs >= 2 frames");
+}
+
+SegmentationTrace Segmenter::trace(const reader::SampleStream& stream) const {
+  SegmentationTrace tr;
+  if (stream.empty()) return tr;
+
+  const double t0 = stream.startTime();
+  const double t1 = stream.endTime();
+  const int num_frames =
+      std::max(1, static_cast<int>(std::ceil((t1 - t0) / options_.frame_s)));
+
+  // Calibrated, unwrapped phase series per tag; then bucket into frames.
+  const auto series = stream.allSeries();
+  std::vector<std::vector<std::vector<double>>> frame_buckets(
+      static_cast<std::size_t>(num_frames),
+      std::vector<std::vector<double>>(series.size()));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& s = series[i];
+    if (s.phases.empty()) continue;
+    const double mean_phase =
+        i < profile_.numTags() ? profile_.tag(static_cast<std::uint32_t>(i)).mean_phase : 0.0;
+    const auto theta = calibratedPhases(s.phases, mean_phase, /*unwrap=*/true);
+    for (std::size_t j = 0; j < theta.size(); ++j) {
+      int f = static_cast<int>((s.times[j] - t0) / options_.frame_s);
+      f = std::clamp(f, 0, num_frames - 1);
+      frame_buckets[static_cast<std::size_t>(f)][i].push_back(theta[j]);
+    }
+  }
+
+  // Eq. 11: rms(f) = Σ_i sqrt(Σ_j p_ij² / n).  For the spatial-peakiness
+  // refinement we use the per-tag RMS of *successive differences* (motion
+  // energy) so a tag merely holding a phase offset does not count.
+  tr.frame_times.reserve(static_cast<std::size_t>(num_frames));
+  tr.frame_rms.reserve(static_cast<std::size_t>(num_frames));
+  for (int f = 0; f < num_frames; ++f) {
+    double sum = 0.0;
+    for (const auto& tag_samples : frame_buckets[static_cast<std::size_t>(f)]) {
+      if (!tag_samples.empty()) sum += rms(tag_samples);
+    }
+    tr.frame_times.push_back(t0 + (f + 0.5) * options_.frame_s);
+    tr.frame_rms.push_back(sum);
+  }
+
+  // Sliding window of `window_frames` frames, stride one frame.  The
+  // per-window spatial peak pools each tag's samples across the whole
+  // window (frames alone hold too few reads for a stable estimate).
+  const int w = options_.window_frames;
+  for (int f = 0; f + w <= num_frames; ++f) {
+    const std::vector<double> win(tr.frame_rms.begin() + f,
+                                  tr.frame_rms.begin() + f + w);
+    tr.window_times.push_back(t0 + (f + w / 2.0) * options_.frame_s);
+    tr.window_std.push_back(stddev(win));
+    double peak = 0.0;
+    for (std::size_t tag = 0; tag < series.size(); ++tag) {
+      std::vector<double> pooled;
+      for (int g = f; g < f + w; ++g) {
+        const auto& bucket = frame_buckets[static_cast<std::size_t>(g)][tag];
+        pooled.insert(pooled.end(), bucket.begin(), bucket.end());
+      }
+      if (pooled.size() >= 3) peak = std::max(peak, rms(diff(pooled)));
+    }
+    tr.window_peak.push_back(peak);
+  }
+  tr.threshold_used = resolveThreshold(tr.window_std);
+  return tr;
+}
+
+double Segmenter::resolveThreshold(const std::vector<double>& window_stds) const {
+  if (options_.threshold > 0.0) return options_.threshold;
+  if (window_stds.empty()) return options_.adaptive_floor;
+  const double floor_est =
+      percentile(std::vector<double>(window_stds), 20.0);
+  return std::max(options_.adaptive_floor,
+                  options_.adaptive_factor * floor_est);
+}
+
+std::vector<Interval> Segmenter::segment(const reader::SampleStream& stream) const {
+  std::vector<Interval> intervals;
+  const SegmentationTrace tr = trace(stream);
+  if (tr.window_std.empty()) return intervals;
+  const double thr = tr.threshold_used;
+  const double half_window = options_.window_frames * options_.frame_s / 2.0;
+
+  // Collect active windows as intervals, then merge.  Each active window
+  // contributes only its centre frame: padding by the full half-window
+  // would bridge the short adjustment gaps between letter strokes.
+  bool open = false;
+  Interval cur;
+  for (std::size_t i = 0; i < tr.window_std.size(); ++i) {
+    const bool active = tr.window_std[i] > thr;
+    const double w0 = tr.window_times[i] - options_.frame_s / 2.0;
+    const double w1 = tr.window_times[i] + options_.frame_s / 2.0;
+    if (active && !open) {
+      cur = {w0, w1};
+      open = true;
+    } else if (active && open) {
+      cur.t1 = w1;
+    } else if (!active && open) {
+      intervals.push_back(cur);
+      open = false;
+    }
+  }
+  if (open) intervals.push_back(cur);
+
+  // Merge near-adjacent intervals, and intervals whose separating gap
+  // never becomes properly quiet (hysteresis: a lull inside one stroke).
+  const double off_thr = options_.off_fraction * thr;
+  auto gapIsQuiet = [&](double g0, double g1) {
+    for (std::size_t i = 0; i < tr.window_std.size(); ++i) {
+      const double t = tr.window_times[i];
+      if (t < g0 || t > g1) continue;
+      if (tr.window_std[i] <= off_thr) return true;
+    }
+    return false;
+  };
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals) {
+    const bool near = !merged.empty() &&
+                      iv.t0 - merged.back().t1 < options_.merge_gap_s;
+    const bool loud_gap = !merged.empty() &&
+                          !gapIsQuiet(merged.back().t1, iv.t0);
+    if (near || loud_gap) {
+      merged.back().t1 = iv.t1;
+    } else {
+      merged.push_back(iv);
+    }
+  }
+
+  // Spatial-peakiness refinement: keep the span where at least one tag
+  // shows strong motion energy (hand at writing height).  An interval with
+  // *no* such window is a far-hand transition (approach/retract with the
+  // arm raised), not a stroke — drop it entirely.
+  if (options_.peak_threshold > 0.0) {
+    std::vector<Interval> kept;
+    for (const Interval& iv : merged) {
+      double core0 = iv.t1, core1 = iv.t0;
+      for (std::size_t i = 0; i < tr.window_peak.size(); ++i) {
+        const double t = tr.window_times[i];
+        if (t < iv.t0 - half_window || t > iv.t1 + half_window) continue;
+        if (tr.window_peak[i] < options_.peak_threshold) continue;
+        core0 = std::min(core0, t - half_window);
+        core1 = std::max(core1, t + half_window);
+      }
+      if (core1 > core0)
+        kept.push_back({std::max(core0, iv.t0 - half_window),
+                        std::min(core1, iv.t1 + half_window)});
+    }
+    merged = std::move(kept);
+  }
+
+  // Core refinement: shrink each interval to the span where window std
+  // reaches a fraction of its in-interval peak.
+  if (options_.core_fraction > 0.0) {
+    for (Interval& iv : merged) {
+      double peak = 0.0;
+      for (std::size_t i = 0; i < tr.window_std.size(); ++i) {
+        if (tr.window_times[i] >= iv.t0 && tr.window_times[i] <= iv.t1)
+          peak = std::max(peak, tr.window_std[i]);
+      }
+      const double gate = std::max(thr, options_.core_fraction * peak);
+      double core0 = iv.t1, core1 = iv.t0;
+      for (std::size_t i = 0; i < tr.window_std.size(); ++i) {
+        const double t = tr.window_times[i];
+        if (t < iv.t0 || t > iv.t1 || tr.window_std[i] < gate) continue;
+        core0 = std::min(core0, t - half_window);
+        core1 = std::max(core1, t + half_window);
+      }
+      if (core1 > core0) iv = {core0, core1};
+    }
+  }
+
+  // Refinement can expand adjacent intervals into overlap; clamp so the
+  // output is strictly ordered and disjoint.
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    if (merged[i].t0 < merged[i - 1].t1) merged[i].t0 = merged[i - 1].t1;
+  }
+
+  // Length gate.
+  std::vector<Interval> out;
+  for (const Interval& iv : merged) {
+    if (iv.duration() >= options_.min_stroke_s) out.push_back(iv);
+  }
+  return out;
+}
+
+}  // namespace rfipad::core

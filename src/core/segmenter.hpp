@@ -1,0 +1,89 @@
+// Stroke segmentation from continuous phase streams (paper §III-C1).
+//
+// The stream is cut into non-overlapping 100 ms frames; each frame's
+// root-mean-square over all tags' calibrated phases (Eq. 11) feeds a
+// sliding 5-frame window, and a window is "active" when the standard
+// deviation of its frame RMS values exceeds a threshold (Eq. 12).  Active
+// windows merge into stroke intervals; quiet spans are the adjustment
+// intervals between strokes.
+#pragma once
+
+#include <vector>
+
+#include "core/static_profile.hpp"
+#include "reader/sample_stream.hpp"
+
+namespace rfipad::core {
+
+struct SegmenterOptions {
+  /// Frame length, s (paper: 100 ms).
+  double frame_s = 0.1;
+  /// Frames per decision window (paper: 5 → 0.5 s).
+  int window_frames = 5;
+  /// std(RMS) activity threshold (Eq. 12).  The paper determines it
+  /// empirically; 0.5 rad separates quiet windows (≈0.1–0.35 with no hand
+  /// at writing height) from stroke windows (≈0.6–2).  ≤ 0 selects the
+  /// adaptive mode: `adaptive_factor` × the 20th percentile of window
+  /// stds, floored at `adaptive_floor` — only sensible on long captures
+  /// that are mostly quiet.
+  double threshold = 0.45;
+  double adaptive_factor = 4.0;
+  double adaptive_floor = 0.18;
+  /// Discard detected intervals shorter than this, s.
+  double min_stroke_s = 0.25;
+  /// Merge intervals separated by quiet gaps shorter than this, s.
+  double merge_gap_s = 0.15;
+  /// Hysteresis: also merge across a gap whose window std never falls
+  /// below this fraction of the on-threshold — a mid-stroke lull, not an
+  /// adjustment interval.
+  double off_fraction = 0.65;
+  /// After merging, optionally shrink each interval to its high-activity
+  /// core: the outermost windows whose std reaches `core_fraction` × the
+  /// interval's peak std.  Off by default (see peak_threshold).
+  double core_fraction = 0.0;
+  /// Spatial-peakiness refinement: shrink each interval to the span of
+  /// frames whose *maximum single-tag* RMS reaches this value (radians).
+  /// Writing swings the nearest tag's phase by ≥0.5 rad, while far-hand
+  /// transitions (approach/retract with the arm raised) only wiggle many
+  /// tags slightly — this cleanly separates the writing core from the
+  /// skirts.  0 disables.
+  double peak_threshold = 0.30;
+};
+
+struct Interval {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double duration() const { return t1 - t0; }
+};
+
+/// Intermediate series, used by the Fig. 9 bench and for threshold tuning.
+struct SegmentationTrace {
+  std::vector<double> frame_times;  ///< frame centres
+  std::vector<double> frame_rms;    ///< Eq. 11 per frame (sum over tags)
+  std::vector<double> window_times; ///< window centres
+  std::vector<double> window_std;   ///< std of frame RMS per window
+  std::vector<double> window_peak;  ///< max single-tag motion RMS per window
+  double threshold_used = 0.0;
+};
+
+class Segmenter {
+ public:
+  Segmenter(StaticProfile profile, SegmenterOptions options = {});
+
+  /// Detected stroke intervals over the stream, in time order.
+  std::vector<Interval> segment(const reader::SampleStream& stream) const;
+
+  /// Full trace (frame RMS + window std) for inspection.
+  SegmentationTrace trace(const reader::SampleStream& stream) const;
+
+  const SegmenterOptions& options() const { return options_; }
+  const StaticProfile& profile() const { return profile_; }
+
+ private:
+  double resolveThreshold(const std::vector<double>& window_stds) const;
+
+  StaticProfile profile_;
+  SegmenterOptions options_;
+};
+
+}  // namespace rfipad::core

@@ -1,0 +1,63 @@
+#include "core/static_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/stats.hpp"
+
+namespace rfipad::core {
+
+StaticProfile::StaticProfile(std::vector<TagProfile> tags)
+    : tags_(std::move(tags)) {
+  for (const auto& t : tags_) bias_sum_ += t.deviation_bias;
+}
+
+StaticProfile StaticProfile::calibrate(const reader::SampleStream& stream,
+                                       std::uint32_t numTags) {
+  if (numTags == 0)
+    throw std::invalid_argument("StaticProfile::calibrate: zero tags");
+  std::vector<TagProfile> profiles(numTags);
+  std::vector<double> observed_biases;
+
+  const auto series = stream.allSeries();
+  for (std::uint32_t i = 0; i < numTags && i < series.size(); ++i) {
+    const auto& s = series[i];
+    auto& p = profiles[i];
+    p.samples = s.phases.size();
+    if (p.samples == 0) continue;
+    p.mean_phase = circularMean(s.phases);
+    // Deviation bias from the *unwrapped* phase so that noise across the
+    // 0/2π seam does not masquerade as huge variance.
+    p.deviation_bias = stddev(unwrapped(s.phases));
+    p.mean_rssi = mean(s.rssi);
+    observed_biases.push_back(p.deviation_bias);
+  }
+
+  // Unseen tags (e.g. shadowed during calibration) get the median bias so
+  // the weighting stays finite and neutral.
+  const double fallback =
+      observed_biases.empty() ? 0.05 : median(observed_biases);
+  for (auto& p : profiles) {
+    if (p.samples == 0) p.deviation_bias = fallback;
+    // A zero bias would give that tag infinite weight in Eq. 10; clamp to a
+    // small floor (one phase-quantisation step).
+    p.deviation_bias = std::max(p.deviation_bias, 1.6e-3);
+  }
+  return StaticProfile(std::move(profiles));
+}
+
+double StaticProfile::medianBias() const {
+  std::vector<double> biases;
+  biases.reserve(tags_.size());
+  for (const auto& t : tags_) biases.push_back(t.deviation_bias);
+  return biases.empty() ? 0.0 : median(std::move(biases));
+}
+
+double StaticProfile::weight(std::uint32_t i) const {
+  if (bias_sum_ <= 0.0)
+    return 1.0 / static_cast<double>(std::max<std::size_t>(tags_.size(), 1));
+  return tags_.at(i).deviation_bias / bias_sum_;
+}
+
+}  // namespace rfipad::core

@@ -1,0 +1,57 @@
+// Static calibration profile: per-tag central phase θ̃_i and deviation bias
+// b_i, estimated from a capture with no hand present (paper §III-A2).
+//
+// θ̃_i absorbs θ_T + θ_R + θ_tag (Eq. 6), so subtracting it (Eq. 8) removes
+// tag diversity; b_i feeds the weighting function (Eq. 9) that suppresses
+// location diversity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reader/sample_stream.hpp"
+
+namespace rfipad::core {
+
+struct TagProfile {
+  /// Circular mean of the static phase, radians in [0, 2π).
+  double mean_phase = 0.0;
+  /// Deviation bias b_i: standard deviation of the static phase, radians.
+  double deviation_bias = 0.0;
+  /// Static mean RSSI, dBm.
+  double mean_rssi = 0.0;
+  /// Number of calibration reads observed.
+  std::size_t samples = 0;
+};
+
+class StaticProfile {
+ public:
+  StaticProfile() = default;
+
+  /// Estimate the profile from a static capture.  Tags never observed get a
+  /// neutral profile (bias = the median of observed biases).
+  static StaticProfile calibrate(const reader::SampleStream& stream,
+                                 std::uint32_t numTags);
+
+  std::uint32_t numTags() const { return static_cast<std::uint32_t>(tags_.size()); }
+  const TagProfile& tag(std::uint32_t i) const { return tags_.at(i); }
+  const std::vector<TagProfile>& tags() const { return tags_; }
+
+  /// Normalised weight w_i of Eq. 9: E(b_i) / Σ E(b_i).  High-bias tags get
+  /// a large w_i, and Eq. 10 divides by it to de-emphasise them.
+  double weight(std::uint32_t i) const;
+
+  /// Median deviation bias across tags — used to regularise the Eq. 10
+  /// weighting so that an unusually quiet tag cannot be amplified without
+  /// bound (see DESIGN.md §5).
+  double medianBias() const;
+
+  /// Construct directly (tests, synthetic profiles).
+  explicit StaticProfile(std::vector<TagProfile> tags);
+
+ private:
+  std::vector<TagProfile> tags_;
+  double bias_sum_ = 0.0;
+};
+
+}  // namespace rfipad::core

@@ -1,0 +1,136 @@
+#include "core/stroke_classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace rfipad::core {
+
+namespace {
+
+/// Order cells along an axis vector (x = col, y = row); returns cells
+/// sorted by ascending projection.
+std::vector<imgproc::Cell> orderAlongAxis(std::vector<imgproc::Cell> cells,
+                                          Vec2 axis) {
+  std::stable_sort(cells.begin(), cells.end(),
+                   [axis](const imgproc::Cell& a, const imgproc::Cell& b) {
+                     const double pa = axis.x * a.col + axis.y * a.row;
+                     const double pb = axis.x * b.col + axis.y * b.row;
+                     return pa < pb;
+                   });
+  return cells;
+}
+
+StrokeDir lineDirection(StrokeKind kind, Vec2 travel) {
+  switch (kind) {
+    case StrokeKind::kHLine:
+      return travel.x > 0 ? StrokeDir::kForward : StrokeDir::kReverse;
+    case StrokeKind::kVLine:
+      return travel.y < 0 ? StrokeDir::kForward : StrokeDir::kReverse;
+    case StrokeKind::kSlash:
+    case StrokeKind::kBackslash:
+      return travel.x > 0 ? StrokeDir::kForward : StrokeDir::kReverse;
+    default:
+      return StrokeDir::kForward;
+  }
+}
+
+}  // namespace
+
+StrokeObservation classifyStrokeBinary(const imgproc::BinaryMap& binary,
+                                       const DirectionResult& dir,
+                                       const ClassifierOptions& options) {
+  StrokeObservation obs;
+  const auto comps = binary.components();
+  if (comps.empty()) return obs;
+  obs.cells = comps.front();
+  obs.moments = imgproc::computeMoments(obs.cells);
+  obs.centroid = {obs.moments.centroid_col, obs.moments.centroid_row};
+
+  // Axis vector in (x=col, y=row) coordinates.
+  Vec2 axis{std::cos(obs.moments.axis_angle), std::sin(obs.moments.axis_angle)};
+  // Align the axis with the estimated travel direction so that "ordered"
+  // means visit order.
+  double dir_conf = 0.3;  // residual confidence when no RSS ordering exists
+  if (dir.valid) {
+    if (dir.direction.dot(axis) < 0.0) axis = axis * -1.0;
+    dir_conf = 0.5 + 0.5 * dir.confidence;
+  }
+  const auto ordered = orderAlongAxis(obs.cells, axis);
+  obs.start_cell = {static_cast<double>(ordered.front().col),
+                    static_cast<double>(ordered.front().row)};
+  obs.end_cell = {static_cast<double>(ordered.back().col),
+                  static_cast<double>(ordered.back().row)};
+  const Vec2 travel = dir.valid
+                          ? dir.direction
+                          : Vec2{obs.end_cell.x - obs.start_cell.x,
+                                 obs.end_cell.y - obs.start_cell.y};
+
+  const int count = static_cast<int>(obs.cells.size());
+  const bool compact = obs.moments.bboxWidth() <= 2 && obs.moments.bboxHeight() <= 2;
+
+  // Click: a compact low-elongation blob.
+  if (count <= options.max_click_cells &&
+      obs.moments.elongation <= options.max_click_elongation && compact) {
+    obs.valid = true;
+    obs.stroke = {StrokeKind::kClick, StrokeDir::kForward};
+    obs.confidence = 0.9;
+    return obs;
+  }
+
+  // Arc: elongated with a consistent one-sided bow.
+  const double bow = imgproc::arcBowSigned(ordered);
+  if (count >= 4 && std::abs(bow) >= options.arc_bow_threshold) {
+    const Vec2 chord{obs.end_cell.x - obs.start_cell.x,
+                     obs.end_cell.y - obs.start_cell.y};
+    const double clen = chord.norm();
+    if (clen > 1e-9) {
+      const Vec2 left_normal{-chord.y / clen, chord.x / clen};
+      const Vec2 bow_vec = left_normal * bow;
+      const bool vertical = std::abs(chord.y) >= std::abs(chord.x);
+      StrokeKind kind;
+      if (vertical) {
+        kind = bow_vec.x < 0 ? StrokeKind::kLeftArc : StrokeKind::kRightArc;
+      } else {
+        kind = bow_vec.y < 0 ? StrokeKind::kLeftArc : StrokeKind::kRightArc;
+      }
+      const StrokeDir d =
+          (vertical ? chord.y < 0 : chord.x > 0) ? StrokeDir::kForward
+                                                 : StrokeDir::kReverse;
+      obs.valid = true;
+      obs.stroke = {kind, d};
+      const double margin =
+          std::min(1.0, std::abs(bow) / (2.0 * options.arc_bow_threshold));
+      obs.confidence = margin * dir_conf;
+      return obs;
+    }
+  }
+
+  // Line: bin the principal-axis angle.
+  const double deg = obs.moments.axis_angle * 180.0 / kPi;
+  StrokeKind kind;
+  if (std::abs(deg) <= options.hline_max_deg) {
+    kind = StrokeKind::kHLine;
+  } else if (std::abs(deg) >= options.vline_min_deg) {
+    kind = StrokeKind::kVLine;
+  } else if (deg > 0.0) {
+    kind = StrokeKind::kSlash;  // positive slope in (col, row) coords
+  } else {
+    kind = StrokeKind::kBackslash;
+  }
+  obs.valid = true;
+  obs.stroke = {kind, lineDirection(kind, travel)};
+  const double elong_margin =
+      std::min(1.0, obs.moments.elongation / 3.0);
+  obs.confidence = elong_margin * dir_conf;
+  return obs;
+}
+
+StrokeObservation classifyStroke(const imgproc::GrayMap& gray,
+                                 const DirectionResult& dir,
+                                 const ClassifierOptions& options) {
+  return classifyStrokeBinary(imgproc::otsuBinarize(gray), dir, options);
+}
+
+}  // namespace rfipad::core

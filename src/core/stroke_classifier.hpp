@@ -1,0 +1,64 @@
+// Image-assisted motion recognition (paper §III-A3): classify the binarised
+// activation image — possibly fused with the RSS-trough visit order — into
+// one of the 7 basic motions plus a travel direction.
+//
+// Geometry on the 5×5 grid: clicks are compact blobs; lines are elongated
+// with the principal-axis angle selecting −, |, /, \; arcs are elongated
+// sets that bow consistently to one side of their chord, with the bow side
+// selecting ⊂ vs ⊃.
+#pragma once
+
+#include <vector>
+
+#include "common/strokes.hpp"
+#include "common/vec.hpp"
+#include "core/direction.hpp"
+#include "imgproc/binary_map.hpp"
+#include "imgproc/graymap.hpp"
+#include "imgproc/moments.hpp"
+
+namespace rfipad::core {
+
+struct ClassifierOptions {
+  /// Elongation (sqrt eigenvalue ratio) below which a small blob is a click.
+  double max_click_elongation = 1.8;
+  /// Foreground cells at or below which a compact blob is a click.
+  int max_click_cells = 3;
+  /// Mean |signed bow| (in cells) above which an elongated set is an arc.
+  double arc_bow_threshold = 0.32;
+  /// Line angle bins, degrees: |a| ≤ h → "−"; |a| ≥ v → "|"; otherwise a
+  /// diagonal by slope sign.
+  double hline_max_deg = 30.0;
+  double vline_min_deg = 60.0;
+};
+
+/// A recognised stroke with its geometric evidence.
+struct StrokeObservation {
+  bool valid = false;
+  DirectedStroke stroke;
+  /// Heuristic confidence in [0, 1] (shape margin × direction confidence).
+  double confidence = 0.0;
+  /// Foreground cells of the dominant component (grid coordinates).
+  std::vector<imgproc::Cell> cells;
+  imgproc::ShapeMoments moments;
+  /// First/last cell in travel order, as (col, row) = (x, y) grid coords.
+  Vec2 start_cell;
+  Vec2 end_cell;
+  /// Centroid in (col, row).
+  Vec2 centroid;
+};
+
+/// Classify a stroke window.  `gray` is the activation image; `dir` is the
+/// RSS-trough direction estimate for the same window (pass a default
+/// DirectionResult when unavailable — kind is still recovered, direction
+/// defaults to kForward with reduced confidence).
+StrokeObservation classifyStroke(const imgproc::GrayMap& gray,
+                                 const DirectionResult& dir,
+                                 const ClassifierOptions& options = {});
+
+/// Classify from an already-binarised map (ablation/testing entry point).
+StrokeObservation classifyStrokeBinary(const imgproc::BinaryMap& binary,
+                                       const DirectionResult& dir,
+                                       const ClassifierOptions& options = {});
+
+}  // namespace rfipad::core

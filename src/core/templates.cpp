@@ -1,0 +1,353 @@
+#include "core/templates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+
+namespace rfipad::core {
+
+namespace {
+
+constexpr double kSplatSigma = 0.62;   // cells
+constexpr int kPathSamples = 28;
+
+/// Sample a semicircular arc from `from` to `to` bulging toward `bulge`
+/// (unit vector), in grid coordinates.
+std::vector<Vec2> arcPath(Vec2 from, Vec2 to, Vec2 bulge) {
+  const Vec2 center = (from + to) * 0.5;
+  const Vec2 r0 = from - center;
+  const double radius = r0.norm();
+  const double a0 = std::atan2(r0.y, r0.x);
+  const double ab = std::atan2(bulge.y, bulge.x);
+  const double ccw_gap = wrapTwoPi(ab - a0);
+  const double sign = ccw_gap <= kPi ? 1.0 : -1.0;
+  std::vector<Vec2> pts;
+  pts.reserve(kPathSamples);
+  for (int i = 0; i < kPathSamples; ++i) {
+    const double u = static_cast<double>(i) / (kPathSamples - 1);
+    const double a = a0 + sign * kPi * u;
+    pts.push_back(center + Vec2{radius * std::cos(a), radius * std::sin(a)});
+  }
+  return pts;
+}
+
+std::vector<Vec2> linePath(Vec2 from, Vec2 to) {
+  std::vector<Vec2> pts;
+  pts.reserve(kPathSamples);
+  for (int i = 0; i < kPathSamples; ++i) {
+    const double u = static_cast<double>(i) / (kPathSamples - 1);
+    pts.push_back(lerp(from, to, u));
+  }
+  return pts;
+}
+
+}  // namespace
+
+TemplateLibrary::TemplateLibrary(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows <= 0 || cols <= 0)
+    throw std::invalid_argument("TemplateLibrary: non-positive grid");
+  buildClicks();
+  buildLines();
+  buildArcs();
+}
+
+const TemplateLibrary& TemplateLibrary::standard5x5() {
+  static const TemplateLibrary kLib(5, 5);
+  return kLib;
+}
+
+void TemplateLibrary::addTemplate(StrokeKind kind, std::vector<Vec2> path,
+                                  double sigma) {
+  StrokeTemplate t;
+  t.kind = kind;
+  t.start = path.front();
+  t.end = path.back();
+  t.path = std::move(path);
+
+  // Rasterise: Gaussian splat of every path sample.
+  t.pixels.assign(static_cast<std::size_t>(rows_) * cols_, 0.0);
+  for (const Vec2& p : t.path) {
+    for (int r = 0; r < rows_; ++r) {
+      for (int c = 0; c < cols_; ++c) {
+        const double dx = p.x - c;
+        const double dy = p.y - r;
+        const double d2 = dx * dx + dy * dy;
+        double& px = t.pixels[static_cast<std::size_t>(r) * cols_ + c];
+        px = std::max(px, std::exp(-d2 / (2.0 * sigma * sigma)));
+      }
+    }
+  }
+  // Zero-mean, unit-norm.
+  double mean = 0.0;
+  for (double v : t.pixels) mean += v;
+  mean /= static_cast<double>(t.pixels.size());
+  double norm2 = 0.0;
+  for (double& v : t.pixels) {
+    v -= mean;
+    norm2 += v * v;
+  }
+  if (norm2 <= 1e-12) return;  // degenerate (uniform) — skip
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (double& v : t.pixels) v *= inv;
+  templates_.push_back(std::move(t));
+}
+
+void TemplateLibrary::buildClicks() {
+  // A click's activation blob can be tight (hand dips fast) or a broad
+  // plus-shape (detune spills onto the 4-neighbours), so offer several
+  // splat widths per position.
+  for (double x = 0.0; x <= cols_ - 1.0; x += 1.0) {
+    for (double y = 0.0; y <= rows_ - 1.0; y += 1.0) {
+      for (double sigma : {kSplatSigma, 1.0, 1.35}) {
+        addTemplate(StrokeKind::kClick, {Vec2{x, y}}, sigma);
+      }
+    }
+  }
+}
+
+void TemplateLibrary::buildLines() {
+  const double W = cols_ - 1.0;
+  const double H = rows_ - 1.0;
+
+  // Vertical "|": canonical travel top→bottom.  Lengths ≥ 2 cells.
+  for (double x = 0.0; x <= W; x += 0.5) {
+    for (double len : {2.0, 2.5, 3.0, H}) {
+      if (len > H) continue;
+      for (double top = H; top - len >= -1e-9; top -= 1.0) {
+        addTemplate(StrokeKind::kVLine,
+                    linePath({x, top}, {x, top - len}));
+      }
+    }
+  }
+  // Horizontal "−": canonical travel left→right.
+  for (double y = 0.0; y <= H; y += 0.5) {
+    for (double len : {2.0, 2.5, 3.0, W}) {
+      if (len > W) continue;
+      for (double left = 0.0; left + len <= W + 1e-9; left += 1.0) {
+        addTemplate(StrokeKind::kHLine,
+                    linePath({left, y}, {left + len, y}));
+      }
+    }
+  }
+  // Diagonals: a curated set of (dx, dy) spans covering 20°–72° slopes,
+  // placed everywhere they fit (integer offsets).  "/" travels SW→NE
+  // (canonical kForward = toward +x,+y); "\" travels NW→SE.
+  const std::pair<double, double> spans[] = {
+      {2, 2}, {3, 3}, {4, 4}, {2, 3}, {3, 2}, {3, 4}, {4, 3},
+      {2, 4}, {4, 2}, {1.5, 3.5}, {3.5, 1.5}, {1, 3}, {3, 1},
+      {1.5, 4}, {4, 1.5}};
+  for (const auto& [dx, dy] : spans) {
+    for (double x0 = 0.0; x0 + dx <= W + 1e-9; x0 += 1.0) {
+      for (double y0 = 0.0; y0 + dy <= H + 1e-9; y0 += 1.0) {
+        // "/" from bottom-left to top-right.
+        addTemplate(StrokeKind::kSlash,
+                    linePath({x0, y0}, {x0 + dx, y0 + dy}));
+        // "\" from top-left to bottom-right.
+        addTemplate(StrokeKind::kBackslash,
+                    linePath({x0, y0 + dy}, {x0 + dx, y0}));
+      }
+    }
+  }
+}
+
+void TemplateLibrary::buildArcs() {
+  const double W = cols_ - 1.0;
+  const double H = rows_ - 1.0;
+
+  // Vertical-chord arcs: "⊂" bulges −x, "⊃" bulges +x; canonical travel
+  // top→bottom.  Chord heights from small letter bowls up to full pad.
+  for (double chord : {1.5, 2.0, 2.5, 3.0, 4.0}) {
+    if (chord > H) continue;
+    const double r = chord / 2.0;
+    for (double x = 0.0; x <= W; x += 0.5) {
+      for (double top = H; top - chord >= -1e-9; top -= 0.5) {
+        if (x - r >= -0.75) {
+          addTemplate(StrokeKind::kLeftArc,
+                      arcPath({x, top}, {x, top - chord}, {-1.0, 0.0}));
+        }
+        if (x + r <= W + 0.75) {
+          addTemplate(StrokeKind::kRightArc,
+                      arcPath({x, top}, {x, top - chord}, {1.0, 0.0}));
+        }
+      }
+    }
+  }
+  // Horizontal-chord arcs (letter hooks: J, U): "⊂" bows downward, "⊃"
+  // upward; canonical travel left→right.
+  for (double chord : {1.5, 2.0, 2.5, 3.0, 4.0}) {
+    if (chord > W) continue;
+    const double r = chord / 2.0;
+    for (double y = 0.0; y <= H; y += 0.5) {
+      for (double left = 0.0; left + chord <= W + 1e-9; left += 0.5) {
+        if (y - r >= -0.75) {
+          addTemplate(StrokeKind::kLeftArc,
+                      arcPath({left, y}, {left + chord, y}, {0.0, -1.0}));
+        }
+        if (y + r <= H + 0.75) {
+          addTemplate(StrokeKind::kRightArc,
+                      arcPath({left, y}, {left + chord, y}, {0.0, 1.0}));
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Zero-mean, unit-norm copy of an image; false when flat.
+bool normalizeImage(const imgproc::GrayMap& gray, std::vector<double>* out) {
+  *out = gray.values();
+  double mean = 0.0;
+  for (double v : *out) mean += v;
+  mean /= static_cast<double>(out->size());
+  double norm2 = 0.0;
+  for (double& v : *out) {
+    v -= mean;
+    norm2 += v * v;
+  }
+  if (norm2 <= 1e-12) return false;
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (double& v : *out) v *= inv;
+  return true;
+}
+
+TemplateMatch bestTemplate(const std::vector<double>* imgA,
+                           const std::vector<double>* imgB, double wB,
+                           const TemplateLibrary& library,
+                           const TemplateMatchOptions& options) {
+  TemplateMatch match;
+  double best = -2.0;
+  double best_other = -2.0;
+  const StrokeTemplate* best_shape = nullptr;
+  for (const auto& t : library.templates()) {
+    double score = 0.0;
+    if (imgA != nullptr) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < imgA->size(); ++i)
+        s += (*imgA)[i] * t.pixels[i];
+      score += (1.0 - wB) * s;
+    }
+    if (imgB != nullptr) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < imgB->size(); ++i)
+        s += (*imgB)[i] * t.pixels[i];
+      score += wB * s;
+    }
+    if (isArc(t.kind)) score -= options.arc_penalty;
+    if (score > best) {
+      if (best_shape != nullptr && best_shape->kind != t.kind)
+        best_other = std::max(best_other, best);
+      best = score;
+      best_shape = &t;
+    } else if (best_shape != nullptr && t.kind != best_shape->kind) {
+      best_other = std::max(best_other, score);
+    }
+  }
+  if (best_shape == nullptr) return match;
+  match.valid = true;
+  match.shape = best_shape;
+  match.score = best;
+  match.margin = best_other > -2.0 ? best - best_other : best;
+  return match;
+}
+
+}  // namespace
+
+TemplateMatch matchTemplate(const imgproc::GrayMap& gray,
+                            const TemplateLibrary& library,
+                            const TemplateMatchOptions& options) {
+  if (gray.rows() != library.rows() || gray.cols() != library.cols())
+    throw std::invalid_argument("matchTemplate: grid size mismatch");
+  std::vector<double> img;
+  if (!normalizeImage(gray, &img)) return {};
+  return bestTemplate(&img, nullptr, 0.0, library, options);
+}
+
+TemplateMatch matchTemplateFused(const imgproc::GrayMap& activation,
+                                 const imgproc::GrayMap& troughs,
+                                 double trough_weight,
+                                 const TemplateLibrary& library,
+                                 const TemplateMatchOptions& options) {
+  if (activation.rows() != library.rows() ||
+      activation.cols() != library.cols() ||
+      troughs.rows() != library.rows() || troughs.cols() != library.cols())
+    throw std::invalid_argument("matchTemplateFused: grid size mismatch");
+  std::vector<double> img_a, img_b;
+  const bool has_a = normalizeImage(activation, &img_a);
+  const bool has_b = normalizeImage(troughs, &img_b);
+  if (!has_a && !has_b) return {};
+  if (!has_b) return bestTemplate(&img_a, nullptr, 0.0, library, options);
+  if (!has_a) return bestTemplate(nullptr, &img_b, 1.0, library, options);
+  return bestTemplate(&img_a, &img_b, trough_weight, library, options);
+}
+
+double resolveTravel(const StrokeTemplate& shape,
+                     const std::vector<TroughEstimate>& troughs, int cols,
+                     StrokeDir* dir) {
+  *dir = StrokeDir::kForward;
+  if (shape.path.size() < 2 || troughs.size() < 2) return 0.0;
+
+  // Arclength parameter of each path sample.
+  std::vector<double> u(shape.path.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 1; i < shape.path.size(); ++i) {
+    total += (shape.path[i] - shape.path[i - 1]).norm();
+    u[i] = total;
+  }
+  if (total <= 1e-9) return 0.0;
+  for (double& v : u) v /= total;
+
+  // The hand passing directly over a tag carves a deep trough (8–14 dB);
+  // approach/retract skirts leave shallow ones (1–4 dB) that would
+  // otherwise poison the fit, so gate on relative depth and weight the
+  // regression by depth.
+  double max_depth = 0.0;
+  for (const auto& tr : troughs) max_depth = std::max(max_depth, tr.depth_db);
+  const double depth_gate = 0.35 * max_depth;
+
+  // Map each qualifying trough tag to the nearest path sample.
+  std::vector<double> us, ts, ws;
+  for (const auto& tr : troughs) {
+    if (tr.depth_db < depth_gate) continue;
+    const Vec2 cell{static_cast<double>(tr.tag_index % cols),
+                    static_cast<double>(tr.tag_index / cols)};
+    double best_d = 1e9;
+    double best_u = 0.0;
+    for (std::size_t i = 0; i < shape.path.size(); ++i) {
+      const double d = (shape.path[i] - cell).norm();
+      if (d < best_d) {
+        best_d = d;
+        best_u = u[i];
+      }
+    }
+    if (best_d <= 1.3) {
+      us.push_back(best_u);
+      ts.push_back(tr.time_s);
+      ws.push_back(tr.depth_db);
+    }
+  }
+  if (us.size() < 2) return 0.0;
+
+  double wsum = 0.0, mu = 0.0, mt = 0.0;
+  for (std::size_t i = 0; i < us.size(); ++i) {
+    wsum += ws[i];
+    mu += ws[i] * us[i];
+    mt += ws[i] * ts[i];
+  }
+  mu /= wsum;
+  mt /= wsum;
+  double cov = 0.0, vu = 0.0, vt = 0.0;
+  for (std::size_t i = 0; i < us.size(); ++i) {
+    cov += ws[i] * (us[i] - mu) * (ts[i] - mt);
+    vu += ws[i] * (us[i] - mu) * (us[i] - mu);
+    vt += ws[i] * (ts[i] - mt) * (ts[i] - mt);
+  }
+  if (vu <= 1e-12 || vt <= 1e-12) return 0.0;
+  const double corr = cov / std::sqrt(vu * vt);
+  *dir = corr >= 0.0 ? StrokeDir::kForward : StrokeDir::kReverse;
+  return std::abs(corr);
+}
+
+}  // namespace rfipad::core

@@ -1,0 +1,100 @@
+// Matched-filter stroke classification.
+//
+// The paper's image-assisted recognition (§III-A3) identifies the motion
+// from the pattern of '1' pixels after Otsu.  On a 5×5 grid with real
+// noise, raw geometric moments are brittle, so our primary classifier is a
+// matched filter: the activation image is correlated (zero-mean NCC)
+// against a library of rasterised canonical stroke shapes — every kind at
+// multiple positions, lengths and aspect ratios — and the best-scoring
+// template gives the stroke kind plus a canonical path.  Travel direction
+// then comes from regressing RSS-trough times against arclength along that
+// path (§III-B).  The moments-based classifier remains available for
+// ablation (bench_ablation_classifier).
+#pragma once
+
+#include <vector>
+
+#include "common/strokes.hpp"
+#include "common/vec.hpp"
+#include "core/direction.hpp"
+#include "imgproc/graymap.hpp"
+
+namespace rfipad::core {
+
+/// One rasterised candidate shape.
+struct StrokeTemplate {
+  StrokeKind kind = StrokeKind::kClick;
+  /// Path samples in grid coordinates (x = col, y = row), ordered in the
+  /// canonical kForward travel direction; single point for clicks.
+  std::vector<Vec2> path;
+  /// Zero-mean, unit-norm rasterisation (row-major, rows*cols).
+  std::vector<double> pixels;
+  /// Canonical endpoints (path.front() / path.back()).
+  Vec2 start, end;
+};
+
+class TemplateLibrary {
+ public:
+  TemplateLibrary(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  const std::vector<StrokeTemplate>& templates() const { return templates_; }
+
+  /// Shared library for the default 5×5 pad.
+  static const TemplateLibrary& standard5x5();
+
+ private:
+  void addTemplate(StrokeKind kind, std::vector<Vec2> path,
+                   double sigma = 0.62);
+  void buildClicks();
+  void buildLines();
+  void buildArcs();
+
+  int rows_;
+  int cols_;
+  std::vector<StrokeTemplate> templates_;
+};
+
+struct TemplateMatch {
+  bool valid = false;
+  const StrokeTemplate* shape = nullptr;
+  /// Normalised cross-correlation of the winning template, in [−1, 1]
+  /// (after any kind penalty).
+  double score = 0.0;
+  /// Score gap to the best template of any *other* kind.
+  double margin = 0.0;
+};
+
+struct TemplateMatchOptions {
+  /// Subtracted from every arc template's score: arcs have more shape
+  /// freedom than lines and would otherwise over-match noisy lines/blobs.
+  double arc_penalty = 0.03;
+};
+
+/// Correlate the activation image against the library.
+TemplateMatch matchTemplate(const imgproc::GrayMap& gray,
+                            const TemplateLibrary& library,
+                            const TemplateMatchOptions& options = {});
+
+/// Fused matching: phase-activation image plus an RSS-trough image (deep
+/// troughs mark the cells the hand actually crossed, §III-B) scored as
+/// (1−w)·NCC(activation) + w·NCC(troughs).  The trough image is far
+/// sharper spatially, which disambiguates lines from arcs from clicks on a
+/// 5×5 grid.
+TemplateMatch matchTemplateFused(const imgproc::GrayMap& activation,
+                                 const imgproc::GrayMap& troughs,
+                                 double trough_weight,
+                                 const TemplateLibrary& library,
+                                 const TemplateMatchOptions& options = {});
+
+/// Resolve travel direction along a matched template's path from the RSS
+/// trough sequence: each trough tag maps to the nearest path sample's
+/// arclength parameter; a positive time-vs-arclength correlation means the
+/// canonical (kForward) direction.  Returns confidence |corr| (0 when fewer
+/// than two usable troughs).
+double resolveTravel(const StrokeTemplate& shape,
+                     const std::vector<TroughEstimate>& troughs, int cols,
+                     StrokeDir* dir);
+
+}  // namespace rfipad::core

@@ -1,0 +1,86 @@
+#include "core/words.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "core/grammar.hpp"
+
+namespace rfipad::core {
+
+double letterConfusionCost(char seen, char truth) {
+  if (seen == truth) return 0.0;
+  if (seen == '?' || seen == '\0') return 0.45;  // recogniser abstained
+  if (seen < 'A' || seen > 'Z' || truth < 'A' || truth > 'Z') return 1.0;
+  // The positional pairs share an identical stroke sequence.
+  auto pair = [&](char a, char b) {
+    return (seen == a && truth == b) || (seen == b && truth == a);
+  };
+  if (pair('D', 'P') || pair('O', 'S') || pair('V', 'X')) return 0.25;
+  // Letters whose stroke sequences are within edit distance 1 of each other
+  // confuse easily (e.g. E/F, K/R, M/H); approximate via the grammar.
+  const auto& g = LetterGrammar::instance();
+  const auto& sa = g.sequenceFor(seen);
+  const auto& sb = g.sequenceFor(truth);
+  const int d = static_cast<int>(sa.size()) - static_cast<int>(sb.size());
+  if (d >= -1 && d <= 1) {
+    int common = 0;
+    for (std::size_t i = 0; i < std::min(sa.size(), sb.size()); ++i) {
+      if (sa[i] == sb[i]) ++common;
+    }
+    if (common + 1 >= static_cast<int>(std::min(sa.size(), sb.size()))) {
+      return 0.45;
+    }
+  }
+  return 1.0;
+}
+
+WordRecognizer::WordRecognizer(std::vector<std::string> dictionary)
+    : dictionary_(std::move(dictionary)) {
+  if (dictionary_.empty())
+    throw std::invalid_argument("WordRecognizer: empty dictionary");
+  for (auto& w : dictionary_) {
+    for (char& c : w) c = static_cast<char>(std::toupper(c));
+  }
+}
+
+double WordRecognizer::wordCost(const std::string& letters,
+                                const std::string& word) {
+  const std::size_t n = letters.size();
+  const std::size_t m = word.size();
+  constexpr double kInsert = 0.7;  // letter the recogniser missed entirely
+  constexpr double kDelete = 0.7;  // spurious letter event
+  std::vector<std::vector<double>> dp(n + 1, std::vector<double>(m + 1, 0.0));
+  for (std::size_t i = 1; i <= n; ++i) dp[i][0] = dp[i - 1][0] + kDelete;
+  for (std::size_t j = 1; j <= m; ++j) dp[0][j] = dp[0][j - 1] + kInsert;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      dp[i][j] = std::min(
+          {dp[i - 1][j - 1] + letterConfusionCost(letters[i - 1], word[j - 1]),
+           dp[i - 1][j] + kDelete, dp[i][j - 1] + kInsert});
+    }
+  }
+  return dp[n][m];
+}
+
+std::string WordRecognizer::bestMatch(const std::string& letters,
+                                      double max_cost_per_letter) const {
+  std::string upper = letters;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+
+  std::string best;
+  double best_cost = 1e18;
+  for (const auto& word : dictionary_) {
+    const double cost = wordCost(upper, word);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = word;
+    }
+  }
+  const double budget =
+      max_cost_per_letter * static_cast<double>(std::max<std::size_t>(
+                                upper.size(), 1));
+  return best_cost <= budget ? best : std::string{};
+}
+
+}  // namespace rfipad::core

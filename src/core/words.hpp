@@ -1,0 +1,39 @@
+// Word-level recognition — the paper's future work ("we will leave the
+// recognition of a succession of letters as our future work", §III-C2).
+//
+// Letters recognised per §III-C arrive with occasional confusions (the
+// ambiguous pairs D/P, O/S, V/X above all), so a small dictionary plus a
+// confusion-aware edit distance recovers whole words reliably even when
+// per-letter accuracy is imperfect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfipad::core {
+
+class WordRecognizer {
+ public:
+  explicit WordRecognizer(std::vector<std::string> dictionary);
+
+  /// Best dictionary match for the recognised letter sequence ('?' or '\0'
+  /// marks an unrecognised letter).  Returns the empty string when nothing
+  /// scores below `max_cost_per_letter` × length.
+  std::string bestMatch(const std::string& letters,
+                        double max_cost_per_letter = 0.8) const;
+
+  /// Alignment cost between a recognised sequence and a candidate word
+  /// (exposed for tests/benches).
+  static double wordCost(const std::string& letters, const std::string& word);
+
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+
+ private:
+  std::vector<std::string> dictionary_;
+};
+
+/// Cost of the classifier mistaking `truth` for `seen` — ambiguous pairs
+/// and same-stroke-count letters are cheap, anything else expensive.
+double letterConfusionCost(char seen, char truth);
+
+}  // namespace rfipad::core

@@ -1,0 +1,90 @@
+#include "gen2/inventory.hpp"
+
+#include <stdexcept>
+
+namespace rfipad::gen2 {
+
+InventorySimulator::InventorySimulator(Gen2Timing timing, QConfig qconfig,
+                                       std::uint32_t numTags, Rng rng)
+    : timing_(std::move(timing)),
+      q_(qconfig),
+      num_tags_(numTags),
+      rng_(std::move(rng)),
+      powered_([](std::uint32_t, double) { return true; }),
+      decodable_([](std::uint32_t, double) { return true; }) {
+  if (numTags == 0)
+    throw std::invalid_argument("InventorySimulator: zero tags");
+  counters_.assign(numTags, -1);
+  frame_size_ = 0;  // forces a round start on first run()
+  slot_in_round_ = 0;
+}
+
+void InventorySimulator::startRound() {
+  ++round_;
+  ++stats_.rounds;
+  frame_size_ = q_.frameSize();
+  slot_in_round_ = 0;
+  // Query command opens the round; tags powered *now* draw slot counters.
+  now_s_ += timing_.queryS();
+  for (std::uint32_t i = 0; i < num_tags_; ++i) {
+    counters_[i] = powered_(i, now_s_)
+                       ? static_cast<int>(rng_.uniformInt(0, frame_size_ - 1))
+                       : -1;
+  }
+}
+
+void InventorySimulator::run(double until_s, const ReadSink& sink) {
+  while (now_s_ < until_s) {
+    if (slot_in_round_ >= frame_size_) startRound();
+    if (now_s_ >= until_s) break;
+
+    // Identify responders for this slot.
+    std::uint32_t responder = 0;
+    int responders = 0;
+    for (std::uint32_t i = 0; i < num_tags_; ++i) {
+      if (counters_[i] == slot_in_round_) {
+        // A tag that lost power between Query and its slot stays silent.
+        if (powered_(i, now_s_)) {
+          responder = i;
+          ++responders;
+        } else {
+          counters_[i] = -1;
+        }
+      }
+    }
+
+    ++stats_.slots;
+    if (responders == 0) {
+      now_s_ += timing_.emptySlotS();
+      q_.onEmptySlot();
+    } else if (responders > 1) {
+      now_s_ += timing_.collisionSlotS();
+      q_.onCollisionSlot();
+      // Collided tags back off until next round.
+      for (std::uint32_t i = 0; i < num_tags_; ++i) {
+        if (counters_[i] == slot_in_round_) counters_[i] = -1;
+      }
+      ++stats_.collisions;
+    } else {
+      // Single responder: RN16 → ACK → EPC, unless the backscatter is too
+      // weak for the reader to decode.
+      const double epc_done = now_s_ + timing_.successSlotS();
+      if (decodable_(responder, now_s_) && powered_(responder, epc_done)) {
+        now_s_ = epc_done;
+        q_.onSuccessSlot();
+        ++stats_.successes;
+        counters_[responder] = -1;
+        sink(Singulation{responder, now_s_, round_, slot_in_round_});
+      } else {
+        // Reply lost: reader sees noise → treats like a collision-ish slot.
+        now_s_ += timing_.collisionSlotS();
+        ++stats_.lost_replies;
+        counters_[responder] = -1;
+      }
+    }
+    if (responders == 0) ++stats_.empties;
+    ++slot_in_round_;
+  }
+}
+
+}  // namespace rfipad::gen2

@@ -1,0 +1,39 @@
+#include "gen2/q_algorithm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rfipad::gen2 {
+
+QAlgorithm::QAlgorithm(QConfig config) : config_(config), qfp_(config.initial_q) {
+  if (config.min_q < 0 || config.max_q > 15 || config.min_q > config.max_q)
+    throw std::invalid_argument("QAlgorithm: invalid Q bounds");
+  if (config.initial_q < config.min_q || config.initial_q > config.max_q)
+    throw std::invalid_argument("QAlgorithm: initial Q outside bounds");
+  if (config.c_collision <= 0.0 || config.c_empty <= 0.0)
+    throw std::invalid_argument("QAlgorithm: adjustment constants must be > 0");
+}
+
+int QAlgorithm::roundQ() const {
+  const double rounded = std::round(qfp_);
+  return static_cast<int>(
+      std::clamp(rounded, static_cast<double>(config_.min_q),
+                 static_cast<double>(config_.max_q)));
+}
+
+int QAlgorithm::frameSize() const { return 1 << roundQ(); }
+
+void QAlgorithm::onEmptySlot() {
+  qfp_ = std::max(static_cast<double>(config_.min_q), qfp_ - config_.c_empty);
+}
+
+void QAlgorithm::onCollisionSlot() {
+  qfp_ = std::min(static_cast<double>(config_.max_q), qfp_ + config_.c_collision);
+}
+
+void QAlgorithm::onSuccessSlot() {}
+
+void QAlgorithm::reset() { qfp_ = config_.initial_q; }
+
+}  // namespace rfipad::gen2

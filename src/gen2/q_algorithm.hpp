@@ -1,0 +1,42 @@
+// Dynamic frame-size adaptation (the Gen2 "Q algorithm").
+//
+// Readers adjust the slot-count exponent Q between rounds so the expected
+// frame size tracks the responding population: collisions push Q up, empty
+// slots pull it down.  We implement the floating-point variant from Annex D
+// of the Gen2 spec, which is what commercial readers approximate.
+#pragma once
+
+namespace rfipad::gen2 {
+
+struct QConfig {
+  double initial_q = 4.0;
+  /// Increment applied on a collision slot.  The spec allows 0.1–0.5.
+  double c_collision = 0.35;
+  /// Decrement applied on an empty slot.
+  double c_empty = 0.15;
+  int min_q = 0;
+  int max_q = 15;
+};
+
+class QAlgorithm {
+ public:
+  explicit QAlgorithm(QConfig config = {});
+
+  /// Q to use for the next inventory round.
+  int roundQ() const;
+  /// Number of slots in the next round: 2^Q.
+  int frameSize() const;
+
+  void onEmptySlot();
+  void onCollisionSlot();
+  void onSuccessSlot();  // no-op on Qfp, kept for symmetry/metrics
+
+  double qfp() const { return qfp_; }
+  void reset();
+
+ private:
+  QConfig config_;
+  double qfp_;
+};
+
+}  // namespace rfipad::gen2

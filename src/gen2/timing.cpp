@@ -1,0 +1,75 @@
+#include "gen2/timing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfipad::gen2 {
+
+LinkProfile denseReaderM4() {
+  return {"dense-reader-m4", 25e-6, 250e3, TagEncoding::kMiller4, true};
+}
+
+LinkProfile hybridM2() {
+  return {"hybrid-m2", 12.5e-6, 320e3, TagEncoding::kMiller2, false};
+}
+
+LinkProfile maxThroughputFm0() {
+  return {"max-throughput-fm0", 6.25e-6, 640e3, TagEncoding::kFM0, false};
+}
+
+Gen2Timing::Gen2Timing(const LinkProfile& profile) : profile_(profile) {
+  if (profile.tari_s < 6.25e-6 || profile.tari_s > 25e-6)
+    throw std::invalid_argument("Gen2Timing: Tari outside 6.25..25 us");
+  if (profile.blf_hz < 40e3 || profile.blf_hz > 640e3)
+    throw std::invalid_argument("Gen2Timing: BLF outside 40..640 kHz");
+
+  // PIE encoding: data-0 is one Tari, data-1 is 1.5–2 Tari; assume equiprobable
+  // bits at the midpoint 1.75 Tari → average 1.375 Tari per reader bit.
+  reader_bit_s_ = 1.375 * profile.tari_s;
+
+  const double m = static_cast<double>(profile.encoding);
+  tag_bit_s_ = m / profile.blf_hz;
+
+  // Reader preamble: delimiter(12.5us) + data-0 + RTcal(2.75 Tari) +
+  // TRcal(~3 Tari); frame-sync omits TRcal.
+  const double rtcal = 2.75 * profile.tari_s;
+  const double trcal = 3.0 * profile.tari_s;
+  preamble_s_ = 12.5e-6 + profile.tari_s + rtcal + trcal;
+  frame_sync_s_ = 12.5e-6 + profile.tari_s + rtcal;
+
+  query_s_ = preamble_s_ + readerBitsS(22);
+  query_rep_s_ = frame_sync_s_ + readerBitsS(4);
+  query_adjust_s_ = frame_sync_s_ + readerBitsS(9);
+  ack_s_ = frame_sync_s_ + readerBitsS(18);
+
+  // Tag preamble: 6 (FM0) or 4·M (Miller) symbols, +12 pilot symbols if TRext.
+  const int preamble_bits =
+      (profile.encoding == TagEncoding::kFM0 ? 6 : 4) + (profile.trext ? 12 : 0);
+  rn16_s_ = tagBitsS(preamble_bits + 16 + 1);            // +1 dummy bit
+  epc_reply_s_ = tagBitsS(preamble_bits + 16 + 96 + 16 + 1);  // PC+EPC+CRC
+
+  // Turnaround: T1 = max(RTcal, 10/BLF) nominal, T2 up to 20/BLF, T3 small.
+  t1_s_ = std::max(rtcal, 10.0 / profile.blf_hz);
+  t2_s_ = 12.0 / profile.blf_hz;
+  t3_s_ = std::max(0.0, 2.0 * profile.tari_s);
+}
+
+double Gen2Timing::readerBitsS(int bits) const { return bits * reader_bit_s_; }
+double Gen2Timing::tagBitsS(int bits) const { return bits * tag_bit_s_; }
+
+double Gen2Timing::emptySlotS() const {
+  // QueryRep, wait T1, no reply, timeout T3.
+  return query_rep_s_ + t1_s_ + t3_s_;
+}
+
+double Gen2Timing::collisionSlotS() const {
+  // QueryRep, T1, garbled RN16, T2 — reader issues no ACK.
+  return query_rep_s_ + t1_s_ + rn16_s_ + t2_s_;
+}
+
+double Gen2Timing::successSlotS() const {
+  return query_rep_s_ + t1_s_ + rn16_s_ + t2_s_ + ack_s_ + t1_s_ +
+         epc_reply_s_ + t2_s_;
+}
+
+}  // namespace rfipad::gen2

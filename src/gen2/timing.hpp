@@ -1,0 +1,87 @@
+// EPC Class-1 Generation-2 air-interface timing.
+//
+// The paper's system is "fully compatible with industrial standards, i.e.
+// EPC Global C1G2" and its throughput ceiling — the undersampling that makes
+// fast hand motions hard (Fig. 21, §VI "Low throughput") — comes straight
+// from Gen2 slot durations.  This module computes those durations from the
+// physical-layer parameters (Tari, backscatter link frequency, Miller
+// factor) the way the standard derives them, so per-tag read rates in the
+// simulator are realistic rather than assumed.
+#pragma once
+
+#include <string>
+
+namespace rfipad::gen2 {
+
+/// Tag-to-reader encoding.
+enum class TagEncoding { kFM0 = 1, kMiller2 = 2, kMiller4 = 4, kMiller8 = 8 };
+
+struct LinkProfile {
+  std::string name = "autoset-dense-m4";
+  /// Reader data-0 symbol length, seconds (6.25, 12.5 or 25 µs).
+  double tari_s = 25e-6;
+  /// Backscatter link frequency, Hz.
+  double blf_hz = 250e3;
+  TagEncoding encoding = TagEncoding::kMiller4;
+  /// Pilot tone / extended preamble on tag replies (TRext).
+  bool trext = true;
+};
+
+/// Impinj-style reader modes.
+LinkProfile denseReaderM4();     ///< robust, ~250 reads/s aggregate
+LinkProfile hybridM2();          ///< balanced, ~450 reads/s
+LinkProfile maxThroughputFm0();  ///< fast, ~900 reads/s, fragile links
+
+/// All Gen2 frame durations needed by the MAC simulator, in seconds.
+class Gen2Timing {
+ public:
+  explicit Gen2Timing(const LinkProfile& profile);
+
+  const LinkProfile& profile() const { return profile_; }
+
+  // Reader command durations (including preamble / frame-sync).
+  double queryS() const { return query_s_; }
+  double queryRepS() const { return query_rep_s_; }
+  double queryAdjustS() const { return query_adjust_s_; }
+  double ackS() const { return ack_s_; }
+
+  // Tag reply durations.
+  double rn16S() const { return rn16_s_; }
+  double epcReplyS() const { return epc_reply_s_; }
+
+  // Link turn-around times.
+  double t1S() const { return t1_s_; }
+  double t2S() const { return t2_s_; }
+  double t3S() const { return t3_s_; }
+
+  // Composite slot durations (starting from the QueryRep that opens the
+  // slot).  These are what the inventory loop advances time by.
+  double emptySlotS() const;
+  double collisionSlotS() const;
+  double successSlotS() const;
+
+  /// Upper bound on aggregate singulation rate (reads/s) if every slot were
+  /// a success — useful for sanity checks and capacity planning.
+  double maxReadRateHz() const { return 1.0 / successSlotS(); }
+
+ private:
+  double readerBitsS(int bits) const;
+  double tagBitsS(int bits) const;
+
+  LinkProfile profile_;
+  double reader_bit_s_;
+  double tag_bit_s_;
+  double preamble_s_;
+  double frame_sync_s_;
+  double query_s_;
+  double query_rep_s_;
+  double query_adjust_s_;
+  double ack_s_;
+  double rn16_s_;
+  double epc_reply_s_;
+  double t1_s_;
+  double t2_s_;
+  double t3_s_;
+};
+
+}  // namespace rfipad::gen2

@@ -1,0 +1,139 @@
+#include "imgproc/binary_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfipad::imgproc {
+
+BinaryMap::BinaryMap(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows <= 0 || cols <= 0)
+    throw std::invalid_argument("BinaryMap: non-positive dimensions");
+  bits_.assign(static_cast<std::size_t>(rows) * cols, 0);
+}
+
+bool BinaryMap::at(int r, int c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+    throw std::out_of_range("BinaryMap::at");
+  return bits_[static_cast<std::size_t>(r) * cols_ + c] != 0;
+}
+
+void BinaryMap::set(int r, int c, bool v) {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+    throw std::out_of_range("BinaryMap::set");
+  bits_[static_cast<std::size_t>(r) * cols_ + c] = v ? 1 : 0;
+}
+
+int BinaryMap::count() const {
+  return static_cast<int>(std::count(bits_.begin(), bits_.end(), 1));
+}
+
+std::vector<Cell> BinaryMap::foreground() const {
+  std::vector<Cell> cells;
+  for (int r = 0; r < rows_; ++r)
+    for (int c = 0; c < cols_; ++c)
+      if (at(r, c)) cells.push_back({r, c});
+  return cells;
+}
+
+std::vector<std::vector<Cell>> BinaryMap::components() const {
+  std::vector<std::vector<Cell>> comps;
+  std::vector<std::uint8_t> seen(bits_.size(), 0);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const std::size_t idx = static_cast<std::size_t>(r) * cols_ + c;
+      if (!at(r, c) || seen[idx]) continue;
+      // Flood fill with an explicit stack (8-connectivity).
+      std::vector<Cell> comp;
+      std::vector<Cell> stack{{r, c}};
+      seen[idx] = 1;
+      while (!stack.empty()) {
+        const Cell cur = stack.back();
+        stack.pop_back();
+        comp.push_back(cur);
+        for (int dr = -1; dr <= 1; ++dr) {
+          for (int dc = -1; dc <= 1; ++dc) {
+            if (dr == 0 && dc == 0) continue;
+            const int nr = cur.row + dr;
+            const int nc = cur.col + dc;
+            if (nr < 0 || nr >= rows_ || nc < 0 || nc >= cols_) continue;
+            const std::size_t nidx = static_cast<std::size_t>(nr) * cols_ + nc;
+            if (!at(nr, nc) || seen[nidx]) continue;
+            seen[nidx] = 1;
+            stack.push_back({nr, nc});
+          }
+        }
+      }
+      comps.push_back(std::move(comp));
+    }
+  }
+  std::sort(comps.begin(), comps.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  return comps;
+}
+
+BinaryMap BinaryMap::largestComponent() const {
+  BinaryMap out(rows_, cols_);
+  const auto comps = components();
+  if (!comps.empty()) {
+    for (const Cell& c : comps.front()) out.set(c.row, c.col, true);
+  }
+  return out;
+}
+
+std::string BinaryMap::ascii() const {
+  std::string out;
+  for (int r = rows_ - 1; r >= 0; --r) {
+    for (int c = 0; c < cols_; ++c) {
+      out.push_back(at(r, c) ? '#' : '.');
+      out.push_back(' ');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+double otsuThreshold(const std::vector<double>& values) {
+  if (values.size() < 2)
+    throw std::invalid_argument("otsuThreshold: need at least 2 values");
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Prefix sums for O(n) class statistics at each candidate split.
+  std::vector<double> prefix(sorted.size() + 1, 0.0);
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    prefix[i + 1] = prefix[i] + sorted[i];
+  const double total = prefix.back();
+  const double n = static_cast<double>(sorted.size());
+
+  double best_sigma = -1.0;
+  double best_threshold = sorted.front();
+  for (std::size_t k = 1; k < sorted.size(); ++k) {
+    if (sorted[k] == sorted[k - 1]) continue;  // no split between equals
+    const double n0 = static_cast<double>(k);
+    const double n1 = n - n0;
+    const double mu0 = prefix[k] / n0;
+    const double mu1 = (total - prefix[k]) / n1;
+    const double w0 = n0 / n;
+    const double w1 = n1 / n;
+    const double sigma_b = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+    if (sigma_b > best_sigma) {
+      best_sigma = sigma_b;
+      best_threshold = 0.5 * (sorted[k - 1] + sorted[k]);
+    }
+  }
+  return best_threshold;
+}
+
+BinaryMap binarize(const GrayMap& map, double threshold) {
+  BinaryMap out(map.rows(), map.cols());
+  for (int r = 0; r < map.rows(); ++r)
+    for (int c = 0; c < map.cols(); ++c)
+      out.set(r, c, map.at(r, c) > threshold);
+  return out;
+}
+
+BinaryMap otsuBinarize(const GrayMap& map) {
+  return binarize(map, otsuThreshold(map.values()));
+}
+
+}  // namespace rfipad::imgproc

@@ -1,0 +1,58 @@
+// Binary image over the tag grid plus connected-component analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "imgproc/graymap.hpp"
+
+namespace rfipad::imgproc {
+
+struct Cell {
+  int row = 0;
+  int col = 0;
+  bool operator==(const Cell&) const = default;
+};
+
+class BinaryMap {
+ public:
+  BinaryMap(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  bool at(int r, int c) const;
+  void set(int r, int c, bool v);
+
+  /// Number of foreground ('1') pixels.
+  int count() const;
+  /// All foreground cells in row-major order.
+  std::vector<Cell> foreground() const;
+
+  /// Connected components of the foreground (8-connectivity), largest first.
+  std::vector<std::vector<Cell>> components() const;
+  /// Foreground restricted to the largest component (empty map if none).
+  BinaryMap largestComponent() const;
+
+  std::string ascii() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Otsu's clustering threshold over a small set of values (paper §III-A3,
+/// [21]).  With as few as 25 pixels an exhaustive scan over candidate
+/// thresholds is exact and robust; returns the threshold maximising
+/// between-class variance.  Values above the threshold are foreground.
+double otsuThreshold(const std::vector<double>& values);
+
+/// Binarise a graymap with Otsu's method.
+BinaryMap otsuBinarize(const GrayMap& map);
+
+/// Binarise with an explicit threshold (ablation baseline).
+BinaryMap binarize(const GrayMap& map, double threshold);
+
+}  // namespace rfipad::imgproc

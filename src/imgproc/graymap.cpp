@@ -1,0 +1,72 @@
+#include "imgproc/graymap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfipad::imgproc {
+
+GrayMap::GrayMap(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols) {
+  if (rows <= 0 || cols <= 0)
+    throw std::invalid_argument("GrayMap: non-positive dimensions");
+  values_.assign(static_cast<std::size_t>(rows) * cols, fill);
+}
+
+GrayMap::GrayMap(int rows, int cols, std::vector<double> values)
+    : rows_(rows), cols_(cols), values_(std::move(values)) {
+  if (rows <= 0 || cols <= 0)
+    throw std::invalid_argument("GrayMap: non-positive dimensions");
+  if (values_.size() != static_cast<std::size_t>(rows) * cols)
+    throw std::invalid_argument("GrayMap: value count mismatch");
+}
+
+double GrayMap::at(int r, int c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+    throw std::out_of_range("GrayMap::at");
+  return values_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+double& GrayMap::at(int r, int c) {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+    throw std::out_of_range("GrayMap::at");
+  return values_[static_cast<std::size_t>(r) * cols_ + c];
+}
+
+double GrayMap::minValue() const {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double GrayMap::maxValue() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+GrayMap GrayMap::normalized() const {
+  const double lo = minValue();
+  const double hi = maxValue();
+  GrayMap out(rows_, cols_);
+  if (hi > lo) {
+    for (std::size_t i = 0; i < values_.size(); ++i)
+      out.values_[i] = (values_[i] - lo) / (hi - lo);
+  }
+  return out;
+}
+
+std::string GrayMap::ascii() const {
+  static const char kLevels[] = {'.', ':', '-', '=', '+', '*', '%', '@', '#'};
+  constexpr int kNumLevels = static_cast<int>(sizeof(kLevels));
+  const GrayMap n = normalized();
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows_) * (cols_ * 2 + 1));
+  for (int r = rows_ - 1; r >= 0; --r) {  // row 0 at the bottom of the pad
+    for (int c = 0; c < cols_; ++c) {
+      const int lvl = std::min(kNumLevels - 1,
+                               static_cast<int>(n.at(r, c) * kNumLevels));
+      out.push_back(kLevels[lvl]);
+      out.push_back(' ');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rfipad::imgproc

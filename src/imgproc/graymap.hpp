@@ -1,0 +1,42 @@
+// Gray-scale image over the tag grid.  Each pixel is one tag's activation
+// (the revised accumulative phase difference I'_i of Eq. 10); "the whiter
+// the pixel, the larger the I'_i value the tag bears" (Fig. 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfipad::imgproc {
+
+class GrayMap {
+ public:
+  GrayMap(int rows, int cols, double fill = 0.0);
+  /// Builds from row-major values; size must equal rows*cols.
+  GrayMap(int rows, int cols, std::vector<double> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return values_.size(); }
+
+  double at(int r, int c) const;
+  double& at(int r, int c);
+  const std::vector<double>& values() const { return values_; }
+
+  double minValue() const;
+  double maxValue() const;
+
+  /// Linearly rescaled copy with values in [0, 1] (flat maps come back as
+  /// all-zeros).
+  GrayMap normalized() const;
+
+  /// Multi-level ASCII rendering (darkest '.', brightest '#'), row 0 at the
+  /// top; used by the examples and the Fig. 7 / Fig. 25 benches.
+  std::string ascii() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace rfipad::imgproc

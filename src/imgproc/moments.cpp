@@ -1,0 +1,109 @@
+#include "imgproc/moments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rfipad::imgproc {
+
+namespace {
+
+ShapeMoments momentsFromWeighted(const std::vector<Cell>& cells,
+                                 const std::vector<double>& weights) {
+  if (cells.empty()) throw std::invalid_argument("computeMoments: empty set");
+  ShapeMoments m;
+  m.count = static_cast<int>(cells.size());
+  double wsum = 0.0;
+  double sr = 0.0, sc = 0.0;
+  m.min_row = m.max_row = cells.front().row;
+  m.min_col = m.max_col = cells.front().col;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double w = weights[i];
+    wsum += w;
+    sr += w * cells[i].row;
+    sc += w * cells[i].col;
+    m.min_row = std::min(m.min_row, cells[i].row);
+    m.max_row = std::max(m.max_row, cells[i].row);
+    m.min_col = std::min(m.min_col, cells[i].col);
+    m.max_col = std::max(m.max_col, cells[i].col);
+  }
+  if (wsum <= 0.0) throw std::invalid_argument("computeMoments: zero weight");
+  m.centroid_row = sr / wsum;
+  m.centroid_col = sc / wsum;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double w = weights[i];
+    const double dr = cells[i].row - m.centroid_row;
+    const double dc = cells[i].col - m.centroid_col;
+    m.mu_rr += w * dr * dr;
+    m.mu_cc += w * dc * dc;
+    m.mu_rc += w * dr * dc;
+  }
+  m.mu_rr /= wsum;
+  m.mu_cc /= wsum;
+  m.mu_rc /= wsum;
+
+  // Eigen-decomposition of the 2×2 covariance.
+  const double tr = m.mu_rr + m.mu_cc;
+  const double det = m.mu_rr * m.mu_cc - m.mu_rc * m.mu_rc;
+  const double disc = std::sqrt(std::max(0.0, tr * tr / 4.0 - det));
+  const double l1 = tr / 2.0 + disc;  // major
+  const double l2 = tr / 2.0 - disc;  // minor
+  m.elongation = l2 > 1e-12 ? std::sqrt(l1 / l2) : (l1 > 1e-12 ? 1e9 : 1.0);
+  // Major-axis direction: eigenvector of l1.
+  if (std::abs(m.mu_rc) > 1e-12) {
+    m.axis_angle = std::atan2(l1 - m.mu_cc, m.mu_rc);
+  } else {
+    m.axis_angle = m.mu_rr >= m.mu_cc ? 3.14159265358979323846 / 2.0 : 0.0;
+  }
+  // Normalise to (−π/2, π/2].
+  while (m.axis_angle > 3.14159265358979323846 / 2.0)
+    m.axis_angle -= 3.14159265358979323846;
+  while (m.axis_angle <= -3.14159265358979323846 / 2.0)
+    m.axis_angle += 3.14159265358979323846;
+  return m;
+}
+
+}  // namespace
+
+ShapeMoments computeMoments(const std::vector<Cell>& cells) {
+  return momentsFromWeighted(cells, std::vector<double>(cells.size(), 1.0));
+}
+
+ShapeMoments computeMoments(const BinaryMap& map) {
+  return computeMoments(map.foreground());
+}
+
+ShapeMoments computeWeightedMoments(const GrayMap& map) {
+  std::vector<Cell> cells;
+  std::vector<double> weights;
+  for (int r = 0; r < map.rows(); ++r) {
+    for (int c = 0; c < map.cols(); ++c) {
+      const double v = map.at(r, c);
+      if (v > 0.0) {
+        cells.push_back({r, c});
+        weights.push_back(v);
+      }
+    }
+  }
+  return momentsFromWeighted(cells, weights);
+}
+
+double arcBowSigned(const std::vector<Cell>& ordered) {
+  if (ordered.size() < 3) return 0.0;
+  const Cell& a = ordered.front();
+  const Cell& b = ordered.back();
+  const double dr = b.row - a.row;
+  const double dc = b.col - a.col;
+  const double len = std::sqrt(dr * dr + dc * dc);
+  if (len < 1e-9) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 1; i + 1 < ordered.size(); ++i) {
+    const double vr = ordered[i].row - a.row;
+    const double vc = ordered[i].col - a.col;
+    // Perpendicular (signed, left-of-chord positive) distance.
+    sum += (dc * vr - dr * vc) / len;
+  }
+  return sum / static_cast<double>(ordered.size() - 2);
+}
+
+}  // namespace rfipad::imgproc

@@ -1,0 +1,51 @@
+// Image-moment analysis of a foreground point set: centroid, principal
+// axis, elongation and bounding box.  These are the geometric features the
+// stroke classifier uses to tell a column from a row from a diagonal from
+// an arc on the 5×5 pad.
+#pragma once
+
+#include <vector>
+
+#include "imgproc/binary_map.hpp"
+
+namespace rfipad::imgproc {
+
+struct ShapeMoments {
+  int count = 0;
+  /// Centroid in (row, col) coordinates.
+  double centroid_row = 0.0;
+  double centroid_col = 0.0;
+  /// Central second moments.
+  double mu_rr = 0.0;
+  double mu_cc = 0.0;
+  double mu_rc = 0.0;
+  /// Principal-axis angle, radians in (−π/2, π/2], measured from the +col
+  /// axis toward +row (i.e. atan2 over the dominant eigenvector).
+  double axis_angle = 0.0;
+  /// sqrt of eigenvalue ratio λ_major/λ_minor; large → line-like, near 1 →
+  /// blob-like.  Defined as +inf-ish (1e9) for perfectly collinear sets.
+  double elongation = 1.0;
+  /// Bounding box, inclusive.
+  int min_row = 0, max_row = 0, min_col = 0, max_col = 0;
+
+  int bboxHeight() const { return max_row - min_row + 1; }
+  int bboxWidth() const { return max_col - min_col + 1; }
+};
+
+/// Moments of an explicit cell set (weights all equal).
+ShapeMoments computeMoments(const std::vector<Cell>& cells);
+
+/// Moments of the foreground of a binary map.
+ShapeMoments computeMoments(const BinaryMap& map);
+
+/// Weighted moments over a graymap (pixel value = weight); background
+/// pixels with non-positive weight are ignored.
+ShapeMoments computeWeightedMoments(const GrayMap& map);
+
+/// Mean perpendicular offset of the cells from the straight line through
+/// the endpoints, signed toward +normal.  Arcs bow consistently to one side
+/// (|value| large); straight strokes stay near 0.  `ordered` must list the
+/// cells in stroke order (e.g. sorted along the principal axis).
+double arcBowSigned(const std::vector<Cell>& ordered);
+
+}  // namespace rfipad::imgproc

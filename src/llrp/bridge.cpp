@@ -1,0 +1,93 @@
+#include "llrp/bridge.hpp"
+
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace rfipad::llrp {
+
+namespace {
+
+/// Default EPC→index mapping for EPCs minted by tag::makeEpc: the dense
+/// index lives in the last 8 hex digits.
+std::uint32_t defaultEpcToIndex(const std::string& epc) {
+  if (epc.size() < 8) throw DecodeError("EPC too short for index suffix");
+  return static_cast<std::uint32_t>(
+      std::stoul(epc.substr(epc.size() - 8), nullptr, 16));
+}
+
+}  // namespace
+
+TagReportData toWire(const reader::TagReport& report) {
+  TagReportData t;
+  t.epc = TagReportData::epcFromHex(report.epc);
+  t.antenna_id = report.antenna_id;
+  t.peak_rssi_dbm = static_cast<std::int8_t>(std::lround(report.rssi_dbm));
+  t.first_seen_utc_us =
+      static_cast<std::uint64_t>(std::llround(report.time_s * 1e6));
+  t.impinj_phase_angle = static_cast<std::uint16_t>(
+      std::lround(wrapTwoPi(report.phase_rad) / kTwoPi * 4096.0)) % 4096;
+  t.impinj_doppler_16hz =
+      static_cast<std::int16_t>(std::lround(report.doppler_hz * 16.0));
+  t.impinj_rssi_centidbm =
+      static_cast<std::int16_t>(std::lround(report.rssi_dbm * 100.0));
+  return t;
+}
+
+reader::TagReport fromWire(
+    const TagReportData& wire,
+    const std::function<std::uint32_t(const std::string&)>& epcToIndex) {
+  reader::TagReport r;
+  r.epc = wire.epcHex();
+  r.tag_index = epcToIndex ? epcToIndex(r.epc) : defaultEpcToIndex(r.epc);
+  r.antenna_id = wire.antenna_id;
+  r.time_s = static_cast<double>(wire.first_seen_utc_us) / 1e6;
+  if (wire.impinj_phase_angle) {
+    r.phase_rad = static_cast<double>(*wire.impinj_phase_angle) / 4096.0 * kTwoPi;
+  }
+  if (wire.impinj_rssi_centidbm) {
+    r.rssi_dbm = static_cast<double>(*wire.impinj_rssi_centidbm) / 100.0;
+  } else {
+    r.rssi_dbm = wire.peak_rssi_dbm;
+  }
+  if (wire.impinj_doppler_16hz) {
+    r.doppler_hz = static_cast<double>(*wire.impinj_doppler_16hz) / 16.0;
+  }
+  return r;
+}
+
+std::vector<Bytes> encodeStream(const reader::SampleStream& stream,
+                                std::size_t reportsPerMessage,
+                                std::uint32_t firstMessageId) {
+  if (reportsPerMessage == 0)
+    throw std::invalid_argument("encodeStream: zero batch size");
+  std::vector<Bytes> frames;
+  RoAccessReport batch;
+  std::uint32_t id = firstMessageId;
+  for (const auto& r : stream.reports()) {
+    batch.reports.push_back(toWire(r));
+    if (batch.reports.size() == reportsPerMessage) {
+      frames.push_back(encodeRoAccessReport(id++, batch));
+      batch.reports.clear();
+    }
+  }
+  if (!batch.reports.empty()) {
+    frames.push_back(encodeRoAccessReport(id, batch));
+  }
+  return frames;
+}
+
+reader::SampleStream decodeFrames(
+    const std::vector<Bytes>& frames,
+    const std::function<std::uint32_t(const std::string&)>& epcToIndex) {
+  reader::SampleStream stream;
+  for (const auto& frame : frames) {
+    const RoAccessReport report = decodeRoAccessReport(frame);
+    for (const auto& wire : report.reports) {
+      stream.push(fromWire(wire, epcToIndex));
+    }
+  }
+  return stream;
+}
+
+}  // namespace rfipad::llrp

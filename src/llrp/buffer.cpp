@@ -1,0 +1,111 @@
+#include "llrp/buffer.hpp"
+
+namespace rfipad::llrp {
+
+void BufferWriter::u8(std::uint8_t v) { bytes_.push_back(v); }
+
+void BufferWriter::u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void BufferWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v >> 16));
+  u16(static_cast<std::uint16_t>(v));
+}
+
+void BufferWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void BufferWriter::s8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+void BufferWriter::s16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+
+void BufferWriter::raw(const Bytes& bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
+std::size_t BufferWriter::reserveLength16() {
+  const std::size_t slot = bytes_.size();
+  u16(0);
+  return slot;
+}
+
+void BufferWriter::patchLength16(std::size_t slot, std::size_t start) {
+  const std::size_t len = bytes_.size() - start;
+  if (len > 0xFFFF) throw std::length_error("LLRP parameter too long");
+  bytes_[slot] = static_cast<std::uint8_t>(len >> 8);
+  bytes_[slot + 1] = static_cast<std::uint8_t>(len);
+}
+
+std::size_t BufferWriter::reserveLength32() {
+  const std::size_t slot = bytes_.size();
+  u32(0);
+  return slot;
+}
+
+void BufferWriter::patchLength32(std::size_t slot, std::size_t start) {
+  const std::size_t len = bytes_.size() - start;
+  bytes_[slot] = static_cast<std::uint8_t>(len >> 24);
+  bytes_[slot + 1] = static_cast<std::uint8_t>(len >> 16);
+  bytes_[slot + 2] = static_cast<std::uint8_t>(len >> 8);
+  bytes_[slot + 3] = static_cast<std::uint8_t>(len);
+}
+
+void BufferReader::need(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("LLRP frame truncated");
+}
+
+std::uint8_t BufferReader::u8() {
+  need(1);
+  return data_[offset_++];
+}
+
+std::uint16_t BufferReader::u16() {
+  need(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[offset_]) << 8) | data_[offset_ + 1]);
+  offset_ += 2;
+  return v;
+}
+
+std::uint32_t BufferReader::u32() {
+  const std::uint32_t hi = u16();
+  return (hi << 16) | u16();
+}
+
+std::uint64_t BufferReader::u64() {
+  const std::uint64_t hi = u32();
+  return (hi << 32) | u32();
+}
+
+std::int8_t BufferReader::s8() { return static_cast<std::int8_t>(u8()); }
+std::int16_t BufferReader::s16() { return static_cast<std::int16_t>(u16()); }
+
+Bytes BufferReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_ + offset_, data_ + offset_ + n);
+  offset_ += n;
+  return out;
+}
+
+std::uint16_t BufferReader::peek16() const {
+  need(2);
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[offset_]) << 8) | data_[offset_ + 1]);
+}
+
+void BufferReader::skip(std::size_t n) {
+  need(n);
+  offset_ += n;
+}
+
+BufferReader BufferReader::sub(std::size_t n) {
+  need(n);
+  BufferReader r(data_ + offset_, n);
+  offset_ += n;
+  return r;
+}
+
+}  // namespace rfipad::llrp

@@ -1,0 +1,82 @@
+// Big-endian binary buffer primitives for the LLRP wire format.
+//
+// LLRP (EPCglobal Low Level Reader Protocol [12]) frames every message as
+// big-endian binary TLVs; these two helpers keep the encode/decode code in
+// messages.cpp free of byte-twiddling.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rfipad::llrp {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class BufferWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void s8(std::int8_t v);
+  void s16(std::int16_t v);
+  void raw(const Bytes& bytes);
+
+  /// Reserve a 16-bit length slot; returns its offset for patchLength16.
+  std::size_t reserveLength16();
+  /// Patch a previously reserved slot with (current size − start).
+  void patchLength16(std::size_t slot, std::size_t start);
+  /// Same for the 32-bit message-length field of an LLRP header.
+  std::size_t reserveLength32();
+  void patchLength32(std::size_t slot, std::size_t start);
+
+  std::size_t size() const { return bytes_.size(); }
+  const Bytes& bytes() const { return bytes_; }
+  Bytes take() { return std::move(bytes_); }
+
+ private:
+  Bytes bytes_;
+};
+
+/// Thrown when a frame is truncated or malformed.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class BufferReader {
+ public:
+  BufferReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BufferReader(const Bytes& bytes)
+      : BufferReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int8_t s8();
+  std::int16_t s16();
+  Bytes raw(std::size_t n);
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return size_ - offset_; }
+  bool atEnd() const { return offset_ == size_; }
+  /// Peek the next 16 bits without consuming (for TLV dispatch).
+  std::uint16_t peek16() const;
+  void skip(std::size_t n);
+
+  /// A sub-reader covering the next `n` bytes, which are consumed here.
+  BufferReader sub(std::size_t n);
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace rfipad::llrp

@@ -1,0 +1,345 @@
+#include "llrp/messages.hpp"
+
+#include <cstdio>
+
+namespace rfipad::llrp {
+
+namespace {
+
+constexpr std::uint8_t kVersion = 1;  // LLRP protocol version 1.x
+
+/// Write an LLRP message header; returns the length-slot offset.
+std::size_t beginMessage(BufferWriter& w, MessageType type,
+                         std::uint32_t messageId) {
+  // 3 reserved bits, 3 version bits, 10 type bits.
+  const std::uint16_t first =
+      static_cast<std::uint16_t>((kVersion << 10) |
+                                 (static_cast<std::uint16_t>(type) & 0x3FF));
+  w.u16(first);
+  const std::size_t slot = w.reserveLength32();
+  w.u32(messageId);
+  return slot;
+}
+
+/// TLV parameter header; returns the length-slot offset.
+std::size_t beginTlv(BufferWriter& w, std::uint16_t type) {
+  w.u16(type & 0x3FF);
+  return w.reserveLength16();
+}
+
+void endTlv(BufferWriter& w, std::size_t slot) {
+  // TLV length counts from the type field (4 bytes before the slot end).
+  w.patchLength16(slot, slot - 2);
+}
+
+void writeLlrpStatus(BufferWriter& w, const LlrpStatus& st) {
+  const std::size_t slot = beginTlv(w, kParamLlrpStatus);
+  w.u16(st.code);
+  w.u16(static_cast<std::uint16_t>(st.description.size()));
+  for (char c : st.description) w.u8(static_cast<std::uint8_t>(c));
+  endTlv(w, slot);
+}
+
+void writeImpinjCustom(BufferWriter& w, std::uint32_t subtype,
+                       std::int32_t value, bool sixteenBit) {
+  const std::size_t slot = beginTlv(w, kParamCustom);
+  w.u32(kImpinjVendorId);
+  w.u32(subtype);
+  if (sixteenBit) {
+    w.u16(static_cast<std::uint16_t>(value));
+  } else {
+    w.u32(static_cast<std::uint32_t>(value));
+  }
+  endTlv(w, slot);
+}
+
+void writeTagReportData(BufferWriter& w, const TagReportData& t) {
+  const std::size_t slot = beginTlv(w, kParamTagReportData);
+
+  // EPC-96: TV-encoded parameter (high bit set, 7-bit type).
+  w.u8(0x80 | kParamEpc96);
+  if (t.epc.size() != 12) throw std::length_error("EPC-96 must be 12 bytes");
+  w.raw(t.epc);
+
+  w.u8(0x80 | kParamAntennaId);
+  w.u16(t.antenna_id);
+
+  w.u8(0x80 | kParamPeakRssi);
+  w.s8(t.peak_rssi_dbm);
+
+  w.u8(0x80 | kParamFirstSeenUtc);
+  w.u64(t.first_seen_utc_us);
+
+  if (t.impinj_phase_angle) {
+    writeImpinjCustom(w, kImpinjPhaseSubtype, *t.impinj_phase_angle, true);
+  }
+  if (t.impinj_doppler_16hz) {
+    writeImpinjCustom(w, kImpinjDopplerSubtype, *t.impinj_doppler_16hz, true);
+  }
+  if (t.impinj_rssi_centidbm) {
+    writeImpinjCustom(w, kImpinjPeakRssiSubtype, *t.impinj_rssi_centidbm, true);
+  }
+  endTlv(w, slot);
+}
+
+}  // namespace
+
+std::string TagReportData::epcHex() const {
+  std::string out;
+  out.reserve(epc.size() * 2);
+  char buf[3];
+  for (std::uint8_t b : epc) {
+    std::snprintf(buf, sizeof(buf), "%02X", b);
+    out += buf;
+  }
+  return out;
+}
+
+Bytes TagReportData::epcFromHex(const std::string& hex) {
+  if (hex.size() != 24)
+    throw std::invalid_argument("EPC-96 hex must be 24 chars");
+  Bytes out(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        std::stoul(hex.substr(i * 2, 2), nullptr, 16));
+  }
+  return out;
+}
+
+Bytes encodeAddRospec(std::uint32_t messageId, const Rospec& rospec) {
+  BufferWriter w;
+  const std::size_t msg = beginMessage(w, MessageType::kAddRospec, messageId);
+
+  const std::size_t ro = beginTlv(w, kParamRospec);
+  w.u32(rospec.rospec_id);
+  w.u8(rospec.priority);
+  w.u8(rospec.state);
+
+  // ROBoundarySpec-ish: just the triggers, flattened for our subset.
+  {
+    const std::size_t t = beginTlv(w, kParamRospecStartTrigger);
+    w.u8(rospec.start.type);
+    endTlv(w, t);
+  }
+  {
+    const std::size_t t = beginTlv(w, kParamRospecStopTrigger);
+    w.u8(rospec.stop.type);
+    endTlv(w, t);
+  }
+  // AISpec: antenna list.
+  {
+    const std::size_t t = beginTlv(w, kParamAispec);
+    w.u16(static_cast<std::uint16_t>(rospec.antenna_ids.size()));
+    for (std::uint16_t a : rospec.antenna_ids) w.u16(a);
+    endTlv(w, t);
+  }
+  endTlv(w, ro);
+
+  w.patchLength32(msg, 0);
+  return w.take();
+}
+
+Bytes encodeAddRospecResponse(std::uint32_t messageId, const LlrpStatus& st) {
+  BufferWriter w;
+  const std::size_t msg =
+      beginMessage(w, MessageType::kAddRospecResponse, messageId);
+  writeLlrpStatus(w, st);
+  w.patchLength32(msg, 0);
+  return w.take();
+}
+
+namespace {
+Bytes encodeRospecIdMessage(MessageType type, std::uint32_t messageId,
+                            std::uint32_t rospecId) {
+  BufferWriter w;
+  const std::size_t msg = beginMessage(w, type, messageId);
+  w.u32(rospecId);
+  w.patchLength32(msg, 0);
+  return w.take();
+}
+}  // namespace
+
+Bytes encodeEnableRospec(std::uint32_t messageId, std::uint32_t rospecId) {
+  return encodeRospecIdMessage(MessageType::kEnableRospec, messageId, rospecId);
+}
+
+Bytes encodeStartRospec(std::uint32_t messageId, std::uint32_t rospecId) {
+  return encodeRospecIdMessage(MessageType::kStartRospec, messageId, rospecId);
+}
+
+Bytes encodeRoAccessReport(std::uint32_t messageId, const RoAccessReport& r) {
+  BufferWriter w;
+  const std::size_t msg =
+      beginMessage(w, MessageType::kRoAccessReport, messageId);
+  for (const auto& t : r.reports) writeTagReportData(w, t);
+  w.patchLength32(msg, 0);
+  return w.take();
+}
+
+Bytes encodeKeepalive(std::uint32_t messageId) {
+  BufferWriter w;
+  const std::size_t msg = beginMessage(w, MessageType::kKeepalive, messageId);
+  w.patchLength32(msg, 0);
+  return w.take();
+}
+
+Bytes encodeKeepaliveAck(std::uint32_t messageId) {
+  BufferWriter w;
+  const std::size_t msg = beginMessage(w, MessageType::kKeepaliveAck, messageId);
+  w.patchLength32(msg, 0);
+  return w.take();
+}
+
+Bytes encodeReaderEventNotification(std::uint32_t messageId,
+                                    std::uint64_t utc_us) {
+  BufferWriter w;
+  const std::size_t msg =
+      beginMessage(w, MessageType::kReaderEventNotification, messageId);
+  const std::size_t ev = beginTlv(w, kParamReaderEventData);
+  {
+    const std::size_t ts = beginTlv(w, kParamUtcTimestamp);
+    w.u64(utc_us);
+    endTlv(w, ts);
+  }
+  endTlv(w, ev);
+  w.patchLength32(msg, 0);
+  return w.take();
+}
+
+MessageHeader decodeHeader(BufferReader& reader, std::uint32_t* length) {
+  const std::uint16_t first = reader.u16();
+  const std::uint8_t version = (first >> 10) & 0x7;
+  if (version != kVersion) throw DecodeError("unsupported LLRP version");
+  MessageHeader h;
+  h.type = static_cast<MessageType>(first & 0x3FF);
+  const std::uint32_t len = reader.u32();
+  if (len < 10) throw DecodeError("LLRP message length < header size");
+  h.id = reader.u32();
+  if (length != nullptr) *length = len;
+  return h;
+}
+
+namespace {
+
+TagReportData decodeTagReportData(BufferReader body) {
+  TagReportData t;
+  while (!body.atEnd()) {
+    const std::uint8_t first = body.u8();
+    if (first & 0x80) {
+      // TV parameter.
+      const std::uint8_t type = first & 0x7F;
+      switch (type) {
+        case kParamEpc96: t.epc = body.raw(12); break;
+        case kParamAntennaId: t.antenna_id = body.u16(); break;
+        case kParamPeakRssi: t.peak_rssi_dbm = body.s8(); break;
+        case kParamFirstSeenUtc: t.first_seen_utc_us = body.u64(); break;
+        default: throw DecodeError("unknown TV parameter in TagReportData");
+      }
+    } else {
+      // TLV parameter: first byte already consumed; re-assemble the type.
+      const std::uint16_t type =
+          static_cast<std::uint16_t>((first & 0x3) << 8) | body.u8();
+      const std::uint16_t len = body.u16();
+      if (len < 4) throw DecodeError("bad TLV length");
+      BufferReader sub = body.sub(len - 4);
+      if (type == kParamCustom) {
+        const std::uint32_t vendor = sub.u32();
+        const std::uint32_t subtype = sub.u32();
+        if (vendor == kImpinjVendorId) {
+          if (subtype == kImpinjPhaseSubtype) {
+            t.impinj_phase_angle = sub.u16();
+          } else if (subtype == kImpinjDopplerSubtype) {
+            t.impinj_doppler_16hz = sub.s16();
+          } else if (subtype == kImpinjPeakRssiSubtype) {
+            t.impinj_rssi_centidbm = sub.s16();
+          }
+        }
+      }
+      // Unknown TLVs are skipped (sub-reader already consumed them).
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+RoAccessReport decodeRoAccessReport(const Bytes& frame) {
+  BufferReader r(frame);
+  std::uint32_t len = 0;
+  const MessageHeader h = decodeHeader(r, &len);
+  if (h.type != MessageType::kRoAccessReport)
+    throw DecodeError("not an RO_ACCESS_REPORT");
+  RoAccessReport report;
+  while (!r.atEnd()) {
+    const std::uint16_t type = r.peek16() & 0x3FF;
+    if (type != kParamTagReportData)
+      throw DecodeError("unexpected parameter in RO_ACCESS_REPORT");
+    r.skip(2);
+    const std::uint16_t plen = r.u16();
+    if (plen < 4) throw DecodeError("bad TagReportData length");
+    report.reports.push_back(decodeTagReportData(r.sub(plen - 4)));
+  }
+  return report;
+}
+
+Rospec decodeAddRospec(const Bytes& frame, std::uint32_t* messageId) {
+  BufferReader r(frame);
+  std::uint32_t len = 0;
+  const MessageHeader h = decodeHeader(r, &len);
+  if (h.type != MessageType::kAddRospec) throw DecodeError("not ADD_ROSPEC");
+  if (messageId != nullptr) *messageId = h.id;
+
+  const std::uint16_t type = r.u16() & 0x3FF;
+  if (type != kParamRospec) throw DecodeError("ROSpec parameter expected");
+  const std::uint16_t plen = r.u16();
+  BufferReader body = r.sub(plen - 4);
+
+  Rospec spec;
+  spec.rospec_id = body.u32();
+  spec.priority = body.u8();
+  spec.state = body.u8();
+  while (!body.atEnd()) {
+    const std::uint16_t ptype = body.u16() & 0x3FF;
+    const std::uint16_t len2 = body.u16();
+    BufferReader sub = body.sub(len2 - 4);
+    if (ptype == kParamRospecStartTrigger) {
+      spec.start.type = sub.u8();
+    } else if (ptype == kParamRospecStopTrigger) {
+      spec.stop.type = sub.u8();
+    } else if (ptype == kParamAispec) {
+      const std::uint16_t n = sub.u16();
+      spec.antenna_ids.clear();
+      for (std::uint16_t i = 0; i < n; ++i) spec.antenna_ids.push_back(sub.u16());
+    }
+  }
+  return spec;
+}
+
+std::uint32_t decodeRospecIdMessage(const Bytes& frame) {
+  BufferReader r(frame);
+  std::uint32_t len = 0;
+  const MessageHeader h = decodeHeader(r, &len);
+  if (h.type != MessageType::kEnableRospec &&
+      h.type != MessageType::kStartRospec)
+    throw DecodeError("not an ENABLE/START_ROSPEC");
+  return r.u32();
+}
+
+std::vector<Bytes> splitFrames(Bytes& stream) {
+  std::vector<Bytes> frames;
+  std::size_t pos = 0;
+  while (stream.size() - pos >= 10) {
+    BufferReader peek(stream.data() + pos, stream.size() - pos);
+    peek.skip(2);
+    const std::uint32_t len = peek.u32();
+    if (len < 10) throw DecodeError("LLRP message length < header size");
+    if (stream.size() - pos < len) break;  // partial frame
+    frames.emplace_back(stream.begin() + static_cast<std::ptrdiff_t>(pos),
+                        stream.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+  stream.erase(stream.begin(), stream.begin() + static_cast<std::ptrdiff_t>(pos));
+  return frames;
+}
+
+}  // namespace rfipad::llrp

@@ -1,0 +1,85 @@
+#include "llrp/octane.hpp"
+
+namespace rfipad::llrp {
+
+Bytes OctaneEmulator::handleControl(const Bytes& frame) {
+  BufferReader r(frame);
+  std::uint32_t len = 0;
+  const MessageHeader h = decodeHeader(r, &len);
+  switch (h.type) {
+    case MessageType::kAddRospec: {
+      rospec_ = decodeAddRospec(frame);
+      installed_ = true;
+      enabled_ = started_ = false;
+      return encodeAddRospecResponse(h.id, LlrpStatus{0, "M_Success"});
+    }
+    case MessageType::kEnableRospec: {
+      const std::uint32_t id = decodeRospecIdMessage(frame);
+      if (!installed_ || id != rospec_.rospec_id)
+        return encodeAddRospecResponse(h.id, LlrpStatus{100, "unknown ROSpec"});
+      enabled_ = true;
+      return encodeAddRospecResponse(h.id, LlrpStatus{0, "M_Success"});
+    }
+    case MessageType::kStartRospec: {
+      const std::uint32_t id = decodeRospecIdMessage(frame);
+      if (!enabled_ || id != rospec_.rospec_id)
+        return encodeAddRospecResponse(h.id,
+                                       LlrpStatus{101, "ROSpec not enabled"});
+      started_ = true;
+      return encodeAddRospecResponse(h.id, LlrpStatus{0, "M_Success"});
+    }
+    case MessageType::kKeepalive:
+      return encodeKeepaliveAck(h.id);
+    default:
+      return encodeAddRospecResponse(h.id,
+                                     LlrpStatus{102, "unsupported message"});
+  }
+}
+
+std::vector<Bytes> OctaneEmulator::poll(double duration_s,
+                                        const reader::SceneFn& scene,
+                                        std::size_t reportsPerMessage) {
+  if (!started_) throw std::logic_error("OctaneEmulator: ROSpec not started");
+  const auto stream = hw_.capture(duration_s, scene);
+  return encodeStream(stream, reportsPerMessage, next_message_id_++ * 10000);
+}
+
+namespace {
+
+void expectSuccess(const Bytes& response) {
+  BufferReader r(response);
+  std::uint32_t len = 0;
+  decodeHeader(r, &len);
+  const std::uint16_t type = r.u16() & 0x3FF;
+  if (type != kParamLlrpStatus) throw DecodeError("expected LLRPStatus");
+  r.skip(2);  // TLV length
+  const std::uint16_t code = r.u16();
+  if (code != 0) throw std::runtime_error("LLRP operation failed");
+}
+
+}  // namespace
+
+void OctaneClient::connect(OctaneEmulator& reader) {
+  Rospec spec;
+  spec.rospec_id = 1;
+  expectSuccess(reader.handleControl(
+      encodeAddRospec(next_message_id_++, spec)));
+  expectSuccess(reader.handleControl(
+      encodeEnableRospec(next_message_id_++, spec.rospec_id)));
+  expectSuccess(reader.handleControl(
+      encodeStartRospec(next_message_id_++, spec.rospec_id)));
+}
+
+void OctaneClient::pump(OctaneEmulator& reader, double duration_s,
+                        const reader::SceneFn& scene) {
+  for (const Bytes& frame : reader.poll(duration_s, scene)) {
+    const RoAccessReport report = decodeRoAccessReport(frame);
+    for (const auto& wire : report.reports) {
+      const reader::TagReport r = fromWire(wire);
+      if (callback_) callback_(r);
+      stream_.push(r);
+    }
+  }
+}
+
+}  // namespace rfipad::llrp

@@ -1,0 +1,75 @@
+// An Octane-SDK-flavoured facade over the simulated reader and the LLRP
+// wire format: the paper's host software drives an Impinj Speedway through
+// exactly this kind of API ("implemented using C# and adopting the LLRP
+// protocol... We modify the Octane SDK to enable the phase reporting").
+//
+//   OctaneEmulator reader(hw);                 // the "Speedway"
+//   OctaneClient client;                       // the host SDK
+//   client.onReport([&](const TagReport& r) { ... });
+//   client.connect(reader);                    // ADD/ENABLE/START_ROSPEC
+//   client.pump(reader, seconds, scene);       // RO_ACCESS_REPORTs flow
+#pragma once
+
+#include <functional>
+
+#include "llrp/bridge.hpp"
+#include "reader/reader.hpp"
+
+namespace rfipad::llrp {
+
+/// Reader-side protocol endpoint: owns the control-plane state machine
+/// (ROSpec install/enable/start) and converts inventory output to
+/// RO_ACCESS_REPORT frames.
+class OctaneEmulator {
+ public:
+  explicit OctaneEmulator(reader::RfidReader& hw) : hw_(hw) {}
+
+  /// Handle one control message; returns the response frame.
+  Bytes handleControl(const Bytes& frame);
+
+  /// Run the air protocol for `duration_s` under `scene` and return the
+  /// resulting report frames.  Requires a started ROSpec.
+  std::vector<Bytes> poll(double duration_s, const reader::SceneFn& scene,
+                          std::size_t reportsPerMessage = 16);
+
+  bool installed() const { return installed_; }
+  bool enabled() const { return enabled_; }
+  bool started() const { return started_; }
+  std::uint32_t rospecId() const { return rospec_.rospec_id; }
+
+ private:
+  reader::RfidReader& hw_;
+  Rospec rospec_{};
+  bool installed_ = false;
+  bool enabled_ = false;
+  bool started_ = false;
+  std::uint32_t next_message_id_ = 1000;
+};
+
+/// Host-side SDK facade: performs the LLRP handshake and dispatches tag
+/// reports to a callback.
+class OctaneClient {
+ public:
+  using ReportCallback = std::function<void(const reader::TagReport&)>;
+
+  void onReport(ReportCallback cb) { callback_ = std::move(cb); }
+
+  /// ADD_ROSPEC → ENABLE_ROSPEC → START_ROSPEC.  Throws on a non-success
+  /// response.
+  void connect(OctaneEmulator& reader);
+
+  /// Poll the reader and dispatch every report; also accumulates them into
+  /// `stream()` for batch processing.
+  void pump(OctaneEmulator& reader, double duration_s,
+            const reader::SceneFn& scene);
+
+  const reader::SampleStream& stream() const { return stream_; }
+  reader::SampleStream takeStream() { return std::move(stream_); }
+
+ private:
+  ReportCallback callback_;
+  reader::SampleStream stream_;
+  std::uint32_t next_message_id_ = 1;
+};
+
+}  // namespace rfipad::llrp

@@ -1,0 +1,178 @@
+#include "reader/reader.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/units.hpp"
+
+namespace rfipad::reader {
+
+rf::ScattererList emptyScene(double) { return {}; }
+
+RfidReader::RfidReader(ReaderConfig config, rf::ChannelModel channel,
+                       const tag::TagArray& array, Rng rng)
+    : config_(config),
+      tags_(array.tags()),
+      rng_(std::move(rng)),
+      inventory_(gen2::Gen2Timing(config.link), config.qconfig,
+                 static_cast<std::uint32_t>(array.size()),
+                 rng_.fork(0x6e21)) {
+  // One channel model per hop channel (a single one for a fixed carrier);
+  // each gets its own static cache and cable phase rotation.
+  if (config_.hop_channels_mhz.empty()) {
+    channels_.push_back(std::move(channel));
+  } else {
+    if (config_.hop_interval_s <= 0.0)
+      throw std::invalid_argument("RfidReader: non-positive hop interval");
+    for (double mhz : config_.hop_channels_mhz) {
+      channels_.emplace_back(rf::CarrierConfig{mhz * 1e6}, channel.antenna(),
+                             channel.environment());
+    }
+  }
+  for (const auto& model : channels_) {
+    auto& cache = static_caches_.emplace_back();
+    cache.reserve(tags_.size());
+    for (const auto& t : tags_) cache.push_back(model.precompute(t.endpoint()));
+    cable_phases_.push_back(rng_.uniform(0.0, kTwoPi));
+  }
+}
+
+std::size_t RfidReader::channelIndexAt(double t) const {
+  if (channels_.size() == 1) return 0;
+  const auto hop = static_cast<long long>(std::floor(t / config_.hop_interval_s));
+  return static_cast<std::size_t>(hop % static_cast<long long>(channels_.size()));
+}
+
+double RfidReader::channelMhzAt(double t) const {
+  return channels_[channelIndexAt(t)].carrier().freq_hz / 1e6;
+}
+
+const rf::ChannelModel& RfidReader::modelAt(double t) const {
+  return channels_[channelIndexAt(t)];
+}
+
+const rf::ChannelModel::StaticTagChannel& RfidReader::cacheAt(
+    double t, std::uint32_t tag) const {
+  return static_caches_[channelIndexAt(t)][tag];
+}
+
+double RfidReader::incidentDbm(std::uint32_t tagIndex, double t,
+                               const SceneFn& scene) const {
+  const auto& tag = tags_.at(tagIndex);
+  const auto& model = modelAt(t);
+  const auto snap =
+      model.evaluateCached(tag.endpoint(), cacheAt(t, tagIndex), scene(t));
+  const double w = model.incidentPowerW(snap, dbmToWatts(config_.tx_power_dbm));
+  return wattsToDbm(std::max(w, 1e-30));
+}
+
+double RfidReader::backscatterDbm(std::uint32_t tagIndex, double t,
+                                  const SceneFn& scene) const {
+  const auto& tag = tags_.at(tagIndex);
+  const auto& model = modelAt(t);
+  const auto snap =
+      model.evaluateCached(tag.endpoint(), cacheAt(t, tagIndex), scene(t));
+  const double mod_eff =
+      tag.type.modulation_efficiency * dbToLinear(tag.coupling_penalty_db);
+  const double w = model.backscatterPowerW(
+      snap, dbmToWatts(config_.tx_power_dbm), mod_eff);
+  return wattsToDbm(std::max(w, 1e-30));
+}
+
+double RfidReader::rawRoundTripPhase(std::uint32_t tagIndex,
+                                     const rf::ChannelSnapshot& snap,
+                                     std::size_t channel) const {
+  // Round-trip phase is twice the one-way propagation phase (the 4πd/λ term
+  // of Eq. 6/7) plus the tag's reflection characteristic (including any
+  // near-field detuning rotation) and the reader's TX/RX circuit rotations.
+  const double prop = -2.0 * std::arg(snap.forward);
+  return prop + tags_[tagIndex].theta_tag + snap.detunePhase() +
+         cable_phases_[channel];
+}
+
+double RfidReader::quantizePhase(double phase) const {
+  const double step = kTwoPi / static_cast<double>(1 << config_.phase_bits);
+  return wrapTwoPi(std::round(wrapTwoPi(phase) / step) * step);
+}
+
+double RfidReader::quantizeRssi(double dbm) const {
+  return std::round(dbm / config_.rssi_step_db) * config_.rssi_step_db;
+}
+
+TagReport RfidReader::measure(std::uint32_t tagIndex, double t,
+                              const SceneFn& scene) {
+  const auto& tag = tags_.at(tagIndex);
+  const std::size_t ch = channelIndexAt(t);
+  const auto& model = channels_[ch];
+  const auto snap =
+      model.evaluateCached(tag.endpoint(), static_caches_[ch][tagIndex],
+                           scene(t));
+
+  const double rx_dbm = backscatterDbm(tagIndex, t, scene);
+  const rf::NoiseModel noise(config_.noise);
+  const double env_flicker = model.environment().flicker_scale;
+  // Forward-link margin above the IC threshold: responses get noisier as
+  // the tag starves (drives the power/angle/distance sensitivity of
+  // Figs. 17-19).
+  const double margin_db =
+      incidentDbm(tagIndex, t, scene) - tag.type.ic_sensitivity_dbm;
+  const double margin_std = noise.tagMarginStd(margin_db);
+  const double phase_std =
+      std::hypot(noise.phaseStd(rx_dbm, tag.flicker_bias, env_flicker),
+                 margin_std);
+  const double rss_std =
+      std::hypot(noise.rssStdDb(rx_dbm, tag.flicker_bias, env_flicker),
+                 8.0 * margin_std);
+
+  TagReport r;
+  r.epc = tag.epc;
+  r.tag_index = tagIndex;
+  r.antenna_id = config_.antenna_id;
+  r.time_s = t;
+  r.phase_rad = quantizePhase(rawRoundTripPhase(tagIndex, snap, ch) +
+                              rng_.normal(0.0, phase_std));
+  r.rssi_dbm = quantizeRssi(rx_dbm + rng_.normal(0.0, rss_std));
+
+  // Doppler: the reader estimates carrier shift from the phase slope across
+  // the read; emulate with a central difference of the round-trip phase
+  // (always within one dwell, so a single channel applies).
+  const double dt = 1e-3;
+  const auto snap_m =
+      model.evaluateCached(tag.endpoint(), static_caches_[ch][tagIndex],
+                           scene(t - dt));
+  const auto snap_p =
+      model.evaluateCached(tag.endpoint(), static_caches_[ch][tagIndex],
+                           scene(t + dt));
+  const double dphi = angleDiff(rawRoundTripPhase(tagIndex, snap_p, ch),
+                                rawRoundTripPhase(tagIndex, snap_m, ch));
+  r.doppler_hz =
+      dphi / (kTwoPi * 2.0 * dt) + rng_.normal(0.0, noise.dopplerStdHz());
+  r.channel_mhz = model.carrier().freq_hz / 1e6;
+  return r;
+}
+
+SampleStream RfidReader::capture(double duration_s, const SceneFn& scene) {
+  SampleStream stream(static_cast<std::uint32_t>(tags_.size()));
+
+  auto powered = [this, &scene](std::uint32_t i, double t) {
+    return incidentDbm(i, t, scene) >= tags_[i].type.ic_sensitivity_dbm;
+  };
+  auto decodable = [this, &scene](std::uint32_t i, double t) {
+    return backscatterDbm(i, t, scene) >= config_.rx_sensitivity_dbm;
+  };
+  inventory_.setPoweredPredicate(powered);
+  inventory_.setDecodablePredicate(decodable);
+
+  const double until = inventory_.now() + duration_s;
+  inventory_.run(until, [&](const gen2::Singulation& s) {
+    stream.push(measure(s.tag_index, s.time_s, scene));
+  });
+  return stream;
+}
+
+SampleStream RfidReader::captureStatic(double duration_s) {
+  return capture(duration_s, emptyScene);
+}
+
+}  // namespace rfipad::reader

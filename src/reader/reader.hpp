@@ -1,0 +1,109 @@
+// Emulation of an Impinj Speedway-class UHF reader.
+//
+// Combines the Gen2 MAC simulator (when each tag gets singulated), the RF
+// channel model (what the backscatter looks like at that instant) and the
+// noise/quantisation model (what the SDK finally reports).  The output is a
+// SampleStream of LLRP-style TagReports — phase quantised to 2π/4096
+// (0.0015 rad), RSSI to 0.5 dB — which is exactly the interface the paper's
+// C# software consumed through the modified Octane SDK.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gen2/inventory.hpp"
+#include "reader/sample_stream.hpp"
+#include "rf/channel.hpp"
+#include "rf/noise.hpp"
+#include "tag/array.hpp"
+
+namespace rfipad::reader {
+
+struct ReaderConfig {
+  /// Conducted transmit power, dBm (regulatory ceiling 32.5 dBm, §V-B3).
+  double tx_power_dbm = 30.0;
+  /// Receive sensitivity for decoding tag backscatter, dBm.
+  double rx_sensitivity_dbm = -84.0;
+  gen2::LinkProfile link = gen2::hybridM2();
+  gen2::QConfig qconfig{};
+  std::uint16_t antenna_id = 1;
+  rf::NoiseParams noise{};
+  /// Phase report resolution: 2π / 2^phase_bits (12 → the paper's 0.0015 rad).
+  int phase_bits = 12;
+  double rssi_step_db = 0.5;
+  /// Frequency-hopping plan, MHz.  Empty = fixed carrier (the paper's
+  /// 922.38 MHz China-band deployment).  Regulated bands (e.g. FCC
+  /// 902–928) force hopping, which shifts every tag's phase offset at each
+  /// hop — see tests/reader/test_hopping.cpp for the calibration
+  /// consequences.
+  std::vector<double> hop_channels_mhz{};
+  /// Dwell time per channel, s (FCC: ≤ 0.4 s).
+  double hop_interval_s = 0.2;
+};
+
+/// The dynamic scene (hand + arm scatterers) at a given time.
+using SceneFn = std::function<rf::ScattererList(double)>;
+
+/// An always-empty scene (static environment).
+rf::ScattererList emptyScene(double t);
+
+class RfidReader {
+ public:
+  /// The reader snapshots the array's tags at construction.
+  RfidReader(ReaderConfig config, rf::ChannelModel channel,
+             const tag::TagArray& array, Rng rng);
+
+  const ReaderConfig& config() const { return config_; }
+  const rf::ChannelModel& channel() const { return channels_.front(); }
+  double now() const { return inventory_.now(); }
+  const gen2::InventoryStats& macStats() const { return inventory_.stats(); }
+
+  /// Run continuous inventory for `duration_s` of air time, with the dynamic
+  /// scene given by `scene`.  Successive calls continue the same clock, so a
+  /// static calibration capture can be followed by motion captures.
+  SampleStream capture(double duration_s, const SceneFn& scene);
+
+  /// Convenience: capture with no moving objects.
+  SampleStream captureStatic(double duration_s);
+
+  /// Synthesise the measurement for one singulation (exposed for tests).
+  TagReport measure(std::uint32_t tagIndex, double t, const SceneFn& scene);
+
+  /// Incident power (dBm) at a tag IC under the given scene — the quantity
+  /// compared against the tag sensitivity for the forward-link limit.
+  double incidentDbm(std::uint32_t tagIndex, double t, const SceneFn& scene) const;
+
+  /// Backscatter power (dBm) received back at the reader from a tag.
+  double backscatterDbm(std::uint32_t tagIndex, double t, const SceneFn& scene) const;
+
+  /// Index into the hop plan active at time t (0 when not hopping).
+  std::size_t channelIndexAt(double t) const;
+  /// Carrier frequency in use at time t, MHz.
+  double channelMhzAt(double t) const;
+
+ private:
+  double rawRoundTripPhase(std::uint32_t tagIndex,
+                           const rf::ChannelSnapshot& snap,
+                           std::size_t channel) const;
+  double quantizePhase(double phase) const;
+  double quantizeRssi(double dbm) const;
+  const rf::ChannelModel& modelAt(double t) const;
+  const rf::ChannelModel::StaticTagChannel& cacheAt(double t,
+                                                    std::uint32_t tag) const;
+
+  ReaderConfig config_;
+  /// One channel model (and static cache) per hop channel; a single entry
+  /// when the carrier is fixed.
+  std::vector<rf::ChannelModel> channels_;
+  std::vector<std::vector<rf::ChannelModel::StaticTagChannel>> static_caches_;
+  std::vector<tag::Tag> tags_;
+  Rng rng_;
+  gen2::InventorySimulator inventory_;
+  /// Combined TX+RX circuit phase rotation θ_T + θ_R (Eq. 6) per channel —
+  /// cable electrical length differs with frequency, which is what breaks
+  /// single-profile calibration under hopping.
+  std::vector<double> cable_phases_;
+};
+
+}  // namespace rfipad::reader

@@ -1,0 +1,84 @@
+#include "reader/sample_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rfipad::reader {
+
+void SampleStream::push(TagReport report) {
+  if (!reports_.empty() && report.time_s < reports_.back().time_s)
+    throw std::invalid_argument("SampleStream::push: time went backwards");
+  if (report.tag_index >= num_tags_) num_tags_ = report.tag_index + 1;
+  reports_.push_back(std::move(report));
+}
+
+TagSeries SampleStream::seriesFor(std::uint32_t tagIndex) const {
+  TagSeries s;
+  s.tag_index = tagIndex;
+  for (const auto& r : reports_) {
+    if (r.tag_index != tagIndex) continue;
+    s.times.push_back(r.time_s);
+    s.phases.push_back(r.phase_rad);
+    s.rssi.push_back(r.rssi_dbm);
+  }
+  return s;
+}
+
+std::vector<TagSeries> SampleStream::allSeries() const {
+  std::vector<TagSeries> all(num_tags_);
+  for (std::uint32_t i = 0; i < num_tags_; ++i) all[i].tag_index = i;
+  for (const auto& r : reports_) {
+    auto& s = all[r.tag_index];
+    s.times.push_back(r.time_s);
+    s.phases.push_back(r.phase_rad);
+    s.rssi.push_back(r.rssi_dbm);
+  }
+  return all;
+}
+
+std::size_t SampleStream::countFor(std::uint32_t tagIndex) const {
+  return static_cast<std::size_t>(
+      std::count_if(reports_.begin(), reports_.end(),
+                    [&](const TagReport& r) { return r.tag_index == tagIndex; }));
+}
+
+double SampleStream::readRateHz() const {
+  const double d = durationS();
+  return d > 0.0 ? static_cast<double>(reports_.size()) / d : 0.0;
+}
+
+SampleStream SampleStream::slice(double t0, double t1) const {
+  SampleStream out(num_tags_);
+  for (const auto& r : reports_) {
+    if (r.time_s >= t0 && r.time_s < t1) out.push(r);
+  }
+  return out;
+}
+
+SampleStream SampleStream::filterChannel(double channel_mhz) const {
+  SampleStream out(num_tags_);
+  for (const auto& r : reports_) {
+    if (std::abs(r.channel_mhz - channel_mhz) < 1e-3) out.push(r);
+  }
+  return out;
+}
+
+std::vector<double> SampleStream::channels() const {
+  std::vector<double> out;
+  for (const auto& r : reports_) {
+    bool seen = false;
+    for (double c : out) {
+      if (std::abs(c - r.channel_mhz) < 1e-3) seen = true;
+    }
+    if (!seen) out.push_back(r.channel_mhz);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SampleStream::append(const SampleStream& other) {
+  for (const auto& r : other.reports()) push(r);
+}
+
+}  // namespace rfipad::reader

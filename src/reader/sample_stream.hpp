@@ -1,0 +1,69 @@
+// A time-ordered capture of tag reports plus per-tag slicing utilities.
+// This is the only data structure the RFIPad recognition pipeline consumes —
+// the same information a real deployment would pull from the reader SDK.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reader/tag_report.hpp"
+
+namespace rfipad::reader {
+
+/// One tag's time series extracted from a stream.
+struct TagSeries {
+  std::uint32_t tag_index = 0;
+  std::vector<double> times;
+  std::vector<double> phases;
+  std::vector<double> rssi;
+};
+
+class SampleStream {
+ public:
+  SampleStream() = default;
+  explicit SampleStream(std::uint32_t numTags) : num_tags_(numTags) {}
+
+  void push(TagReport report);
+  void reserve(std::size_t n) { reports_.reserve(n); }
+
+  std::size_t size() const { return reports_.size(); }
+  bool empty() const { return reports_.empty(); }
+  const std::vector<TagReport>& reports() const { return reports_; }
+  const TagReport& operator[](std::size_t i) const { return reports_[i]; }
+
+  std::uint32_t numTags() const { return num_tags_; }
+  void setNumTags(std::uint32_t n) { num_tags_ = n; }
+
+  double startTime() const { return reports_.empty() ? 0.0 : reports_.front().time_s; }
+  double endTime() const { return reports_.empty() ? 0.0 : reports_.back().time_s; }
+  double durationS() const { return endTime() - startTime(); }
+
+  /// Reads belonging to one tag, in time order.
+  TagSeries seriesFor(std::uint32_t tagIndex) const;
+  /// All per-tag series (index == tag index; absent tags give empty series).
+  std::vector<TagSeries> allSeries() const;
+
+  std::size_t countFor(std::uint32_t tagIndex) const;
+  /// Aggregate read rate over the capture, reads/second.
+  double readRateHz() const;
+
+  /// Sub-stream restricted to [t0, t1).
+  SampleStream slice(double t0, double t1) const;
+
+  /// Sub-stream of reports taken on one hop channel (±1 kHz tolerance).
+  /// Under frequency hopping, phase offsets differ per channel, so
+  /// calibration and recognition must be run per channel.
+  SampleStream filterChannel(double channel_mhz) const;
+
+  /// Distinct hop channels present in the capture, ascending MHz.
+  std::vector<double> channels() const;
+
+  /// Append another stream (must not go back in time).
+  void append(const SampleStream& other);
+
+ private:
+  std::vector<TagReport> reports_;
+  std::uint32_t num_tags_ = 0;
+};
+
+}  // namespace rfipad::reader

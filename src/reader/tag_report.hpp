@@ -1,0 +1,32 @@
+// Per-read report record, mirroring the LLRP TagReportData fields an Impinj
+// Speedway exposes once low-level data reporting is enabled (the paper
+// "modified the Octane SDK to enable the phase reporting", §IV-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfipad::reader {
+
+struct TagReport {
+  /// EPC-96 as upper-case hex.
+  std::string epc;
+  /// Dense array index (convenience; real deployments map EPC → index).
+  std::uint32_t tag_index = 0;
+  /// Reader antenna port (1-based, as in LLRP).
+  std::uint16_t antenna_id = 1;
+  /// Read timestamp, seconds from capture start (LLRP reports µs UTC).
+  double time_s = 0.0;
+  /// RF phase angle in [0, 2π), quantised to 2π/4096 — the 0.0015 rad
+  /// resolution the paper quotes in §III-A.
+  double phase_rad = 0.0;
+  /// Peak RSSI in dBm, quantised to 0.5 dB.
+  double rssi_dbm = 0.0;
+  /// RF Doppler frequency estimate, Hz (noisy; Fig. 2(a)).
+  double doppler_hz = 0.0;
+  /// Carrier channel, MHz.
+  double channel_mhz = 922.38;
+};
+
+}  // namespace rfipad::reader

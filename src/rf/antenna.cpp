@@ -1,0 +1,46 @@
+#include "rf/antenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/units.hpp"
+
+namespace rfipad::rf {
+
+DirectionalAntenna::DirectionalAntenna(Vec3 position, Vec3 boresight,
+                                       double gain_dbi)
+    : position_(position), gain_dbi_(gain_dbi) {
+  if (boresight.norm() <= 0.0)
+    throw std::invalid_argument("DirectionalAntenna: zero boresight");
+  boresight_ = boresight.normalized();
+  peak_gain_ = dbToLinear(gain_dbi_);
+  // Eq. 14: θ_beam ≈ sqrt(4π/G).  This is the *full* beam angle.
+  beamwidth_rad_ = std::sqrt(4.0 * kPi / peak_gain_);
+}
+
+double DirectionalAntenna::beamwidthDeg() const {
+  return beamwidth_rad_ * 180.0 / kPi;
+}
+
+double DirectionalAntenna::offAxisAngle(Vec3 point) const {
+  const Vec3 dir = (point - position_).normalized();
+  const double c = std::clamp(dir.dot(boresight_), -1.0, 1.0);
+  return std::acos(c);
+}
+
+double DirectionalAntenna::gainAtAngle(double angle_rad) const {
+  // Gaussian mainlobe: −3 dB at half the full beam angle.
+  const double half = beamwidth_rad_ / 2.0;
+  const double x = angle_rad / half;
+  const double mainlobe = std::exp(-std::numbers::ln2_v<double> * x * x);
+  return peak_gain_ * std::max(mainlobe, kSidelobeFloor);
+}
+
+double DirectionalAntenna::gainToward(Vec3 point) const {
+  return gainAtAngle(offAxisAngle(point));
+}
+
+}  // namespace rfipad::rf

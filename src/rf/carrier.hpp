@@ -1,0 +1,24 @@
+// Carrier configuration for the UHF backscatter link.
+//
+// The paper's prototype operates at a fixed 922.38 MHz (China UHF band).
+// Channel hopping is supported by the reader layer by swapping this config.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace rfipad::rf {
+
+struct CarrierConfig {
+  double freq_hz = 922.38e6;
+
+  double wavelengthM() const { return rfipad::wavelength(freq_hz); }
+  /// Phase advance per metre of one-way path, radians.
+  double waveNumber() const { return kTwoPiOverLambda(); }
+
+ private:
+  double kTwoPiOverLambda() const {
+    return 2.0 * 3.14159265358979323846 / wavelengthM();
+  }
+};
+
+}  // namespace rfipad::rf

@@ -1,0 +1,99 @@
+#include "rf/channel.hpp"
+
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace rfipad::rf {
+
+ChannelModel::ChannelModel(CarrierConfig carrier, DirectionalAntenna antenna,
+                           MultipathEnvironment env)
+    : carrier_(carrier), antenna_(std::move(antenna)), env_(std::move(env)) {}
+
+Complex ChannelModel::parasiticGain(const PointScatterer& dyn,
+                                    const PointScatterer& stat,
+                                    const TagEndpoint& tag) const {
+  // Double bounce reader → dyn → stat → tag.  Amplitude composes the
+  // bistatic factors of both hops; phase accumulates along the full path.
+  const double lambda = carrier_.wavelengthM();
+  const double four_pi = 4.0 * kPi;
+  const double d1 = std::max(distance(antenna_.position(), dyn.position), 0.01);
+  const double d2 = std::max(distance(dyn.position, stat.position), 0.05);
+  const double d3 = std::max(distance(stat.position, tag.position), 0.05);
+  const double g = antenna_.gainToward(dyn.position) * tag.gain_linear *
+                   tag.polarization_loss;
+  const double amp = std::sqrt(g) * (lambda / (four_pi * d1)) *
+                     (std::sqrt(dyn.rcs_m2 / four_pi) / d2) *
+                     (std::sqrt(stat.rcs_m2 / four_pi) / d3) *
+                     env_.parasitic_scale;
+  const double phase = -carrier_.waveNumber() * (d1 + d2 + d3) +
+                       dyn.reflection_phase + stat.reflection_phase;
+  return std::polar(amp, phase);
+}
+
+ChannelModel::StaticTagChannel ChannelModel::precompute(
+    const TagEndpoint& tag) const {
+  StaticTagChannel cache;
+  cache.los = losGain(antenna_, tag.position, tag.gain_linear,
+                      tag.polarization_loss, carrier_);
+  cache.reflections = {0.0, 0.0};
+  for (const auto& r : env_.reflectors) {
+    cache.reflections +=
+        scatteredGain(antenna_, r.position, r.rcs_m2, r.reflection_phase,
+                      tag.position, tag.gain_linear, tag.polarization_loss,
+                      carrier_);
+  }
+  return cache;
+}
+
+ChannelSnapshot ChannelModel::evaluate(const TagEndpoint& tag,
+                                       const ScattererList& dynamic) const {
+  return evaluateCached(tag, precompute(tag), dynamic);
+}
+
+ChannelSnapshot ChannelModel::evaluateCached(const TagEndpoint& tag,
+                                             const StaticTagChannel& cache,
+                                             const ScattererList& dynamic) const {
+  ChannelSnapshot snap;
+
+  // Direct path, attenuated by any body part grazing the LOS segment.
+  const double block = combinedBlockage(dynamic, antenna_.position(), tag.position);
+  Complex h = std::sqrt(block) * cache.los + cache.reflections;
+
+  // Hand / arm scattering: the "virtual transmitter" of §III-A1.
+  double detune = 1.0;
+  for (const auto& s : dynamic) {
+    h += scatteredGain(antenna_, s.position, s.rcs_m2, s.reflection_phase,
+                       tag.position, tag.gain_linear, tag.polarization_loss,
+                       carrier_);
+    for (const auto& r : env_.reflectors) {
+      h += parasiticGain(s, r, tag);
+    }
+    // Near-field detuning when a body scatterer hovers right over the tag.
+    const double dist = distance(s.position, tag.position);
+    const double x = dist / kDetuneSigma;
+    detune *= 1.0 - kDetuneDepth * std::exp(-x * x);
+  }
+
+  snap.forward = h;
+  snap.detune = detune;
+  return snap;
+}
+
+double ChannelModel::incidentPowerW(const ChannelSnapshot& snap,
+                                    double txPowerW) const {
+  return txPowerW * std::norm(snap.forward);
+}
+
+double ChannelModel::backscatterPowerW(const ChannelSnapshot& snap,
+                                       double txPowerW,
+                                       double modulationEfficiency) const {
+  // Round trip |forward|⁴ with the tag's modulation efficiency and any
+  // near-field detune applied (amplitude factor → squared in power, and the
+  // backscatter traverses the detuned antenna twice).
+  const double fwd2 = std::norm(snap.forward);
+  const double det2 = snap.detune * snap.detune;
+  return txPowerW * fwd2 * fwd2 * modulationEfficiency * det2 * det2;
+}
+
+}  // namespace rfipad::rf

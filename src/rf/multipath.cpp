@@ -1,0 +1,71 @@
+#include "rf/multipath.hpp"
+
+#include <stdexcept>
+
+namespace rfipad::rf {
+
+namespace {
+
+PointScatterer reflector(Vec3 pos, double rcs) {
+  PointScatterer s;
+  s.position = pos;
+  s.rcs_m2 = rcs;
+  s.reflection_phase = 3.14159265358979323846;  // conducting-surface flip
+  s.blocks_los = false;
+  return s;
+}
+
+}  // namespace
+
+MultipathEnvironment anechoic() {
+  MultipathEnvironment env;
+  env.name = "anechoic";
+  env.flicker_scale = 0.2;
+  env.parasitic_scale = 0.0;
+  return env;
+}
+
+MultipathEnvironment labLocation(int location) {
+  MultipathEnvironment env;
+  switch (location) {
+    case 1:
+      // Open area in the middle of the lab: distant walls only.
+      env.name = "location-1 (open)";
+      env.reflectors = {reflector({2.5, 0.5, 0.8}, 0.8)};
+      env.flicker_scale = 1.0;
+      env.parasitic_scale = 0.6;
+      break;
+    case 2:
+      // Near a single wall.
+      env.name = "location-2 (near wall)";
+      env.reflectors = {reflector({1.2, 0.0, 0.5}, 1.2),
+                        reflector({2.8, -1.0, 0.9}, 0.6)};
+      env.flicker_scale = 1.3;
+      env.parasitic_scale = 1.0;
+      break;
+    case 3:
+      // Beside a metal desk and a wall.
+      env.name = "location-3 (desk)";
+      env.reflectors = {reflector({0.9, 0.6, 0.2}, 1.5),
+                        reflector({1.6, -0.8, 0.6}, 1.0),
+                        reflector({3.0, 0.0, 1.0}, 0.5)};
+      env.flicker_scale = 1.7;
+      env.parasitic_scale = 1.5;
+      break;
+    case 4:
+      // Corner: two close walls plus tables — strongest multipath (Fig. 16).
+      env.name = "location-4 (corner)";
+      env.reflectors = {reflector({0.7, 0.5, 0.3}, 2.0),
+                        reflector({0.6, -0.6, 0.4}, 1.8),
+                        reflector({1.1, 0.0, 0.15}, 1.2),
+                        reflector({1.8, 0.9, 0.7}, 0.8)};
+      env.flicker_scale = 2.4;
+      env.parasitic_scale = 2.4;
+      break;
+    default:
+      throw std::invalid_argument("labLocation: location must be 1..4");
+  }
+  return env;
+}
+
+}  // namespace rfipad::rf

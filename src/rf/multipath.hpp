@@ -1,0 +1,38 @@
+// Static multipath environments.
+//
+// The paper evaluates in four locations of an office lab (Fig. 15/16);
+// location #4 sits in a corner and "may experience the strongest multipath
+// reflections from nearby objects, such as walls and tables".  We model each
+// location as a set of static specular reflectors plus an environmental
+// phase-flicker scale.  Static reflectors contribute (a) a constant complex
+// offset per tag — harmless after the paper's mean-subtraction — and
+// (b) *dynamic parasitic paths* reader → hand → reflector → tag that smear
+// hand activation onto distant tags, which is exactly the location-diversity
+// effect the deviation-bias weighting (Eq. 9–10) suppresses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rf/scatterer.hpp"
+
+namespace rfipad::rf {
+
+struct MultipathEnvironment {
+  std::string name = "open";
+  /// Static reflectors (walls, desks) as point-scatterer images.
+  ScattererList reflectors;
+  /// Multiplier on environmental phase flicker noise (location diversity).
+  double flicker_scale = 1.0;
+  /// Strength multiplier for second-order hand→reflector→tag paths.
+  double parasitic_scale = 1.0;
+};
+
+/// The four lab locations of Fig. 15.  `location` is 1-based (1..4);
+/// geometry is expressed relative to a pad centred at the origin.
+MultipathEnvironment labLocation(int location);
+
+/// Free-space environment (no reflectors, unit flicker).
+MultipathEnvironment anechoic();
+
+}  // namespace rfipad::rf

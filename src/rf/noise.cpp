@@ -1,0 +1,41 @@
+#include "rf/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace rfipad::rf {
+
+NoiseModel::NoiseModel(NoiseParams params) : params_(params) {}
+
+double NoiseModel::snrLinear(double rxPowerDbm) const {
+  const double snr_db = rxPowerDbm - params_.noise_floor_dbm;
+  // Clamp to avoid degenerate σ at absurd link budgets.
+  return dbToLinear(std::clamp(snr_db, -10.0, 60.0));
+}
+
+double NoiseModel::phaseStd(double rxPowerDbm, double tagFlicker,
+                            double envFlicker) const {
+  // Phase jitter of a noisy phasor: σ ≈ 1/sqrt(2·SNR) for moderate SNR.
+  const double thermal = 1.0 / std::sqrt(2.0 * snrLinear(rxPowerDbm));
+  const double flicker = params_.base_flicker_rad * tagFlicker * envFlicker;
+  return std::sqrt(thermal * thermal + flicker * flicker);
+}
+
+double NoiseModel::tagMarginStd(double marginDb) const {
+  const double m = std::max(marginDb, 0.0);
+  return params_.tag_margin_coeff * std::pow(10.0, -m / 20.0);
+}
+
+double NoiseModel::rssStdDb(double rxPowerDbm, double tagFlicker,
+                            double envFlicker) const {
+  // Amplitude jitter σ_A/A ≈ 1/sqrt(2·SNR) → dB via 10/ln10 · 2σ_A/A.
+  const double rel = 1.0 / std::sqrt(2.0 * snrLinear(rxPowerDbm));
+  const double thermal_db = 20.0 / std::log(10.0) * rel;
+  const double flicker_db =
+      params_.base_rss_flicker_db * std::sqrt(tagFlicker * envFlicker);
+  return std::sqrt(thermal_db * thermal_db + flicker_db * flicker_db);
+}
+
+}  // namespace rfipad::rf

@@ -1,0 +1,60 @@
+// Measurement noise for reader-reported phase and RSS.
+//
+// Two regimes add in quadrature:
+//  * thermal noise at the reader receiver — depends on the backscatter
+//    power, so it grows when TX power, distance, or antenna angle degrade
+//    the link budget (drives Figs. 17–19);
+//  * environmental flicker — slow multipath jitter that differs per tag and
+//    per location (the "Deviation bias" of Fig. 5, drives Fig. 16).
+#pragma once
+
+namespace rfipad::rf {
+
+struct NoiseParams {
+  /// Effective reader receive noise floor, dBm.  Includes carrier-leakage
+  /// residue after self-jammer cancellation (the dominant impairment on
+  /// monostatic readers), so it is far above thermal kTB.
+  double noise_floor_dbm = -52.0;
+  /// Tag-response degradation near the IC threshold: extra phase noise
+  /// sigma = tag_margin_coeff * 10^(-margin_dB/20), where margin is the
+  /// incident power above the IC sensitivity.  Captures the paper's Fig. 17
+  /// finding that higher reader power makes the hand's influence more
+  /// distinct.
+  double tag_margin_coeff = 0.5;
+  /// Baseline environmental phase flicker, radians (1σ), for a tag with
+  /// unit deviation-bias multiplier in a unit-flicker environment.
+  double base_flicker_rad = 0.035;
+  /// Baseline RSS flicker, dB (1σ).
+  double base_rss_flicker_db = 0.35;
+  /// Doppler estimate noise, Hz (1σ) — large, per Fig. 2(a).
+  double doppler_noise_hz = 0.8;
+};
+
+class NoiseModel {
+ public:
+  explicit NoiseModel(NoiseParams params = {});
+
+  const NoiseParams& params() const { return params_; }
+
+  /// Phase noise standard deviation (radians) for a read whose backscatter
+  /// reaches the reader at `rxPowerDbm`, from a tag with deviation-bias
+  /// multiplier `tagFlicker` in an environment with flicker scale
+  /// `envFlicker`.
+  double phaseStd(double rxPowerDbm, double tagFlicker, double envFlicker) const;
+
+  /// RSS noise standard deviation in dB for the same read.
+  double rssStdDb(double rxPowerDbm, double tagFlicker, double envFlicker) const;
+
+  double dopplerStdHz() const { return params_.doppler_noise_hz; }
+
+  /// Extra phase noise (radians, 1σ) from a tag operating `marginDb` above
+  /// its IC sensitivity — degrades as the margin shrinks.
+  double tagMarginStd(double marginDb) const;
+
+ private:
+  double snrLinear(double rxPowerDbm) const;
+
+  NoiseParams params_;
+};
+
+}  // namespace rfipad::rf

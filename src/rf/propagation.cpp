@@ -1,0 +1,49 @@
+#include "rf/propagation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+
+namespace rfipad::rf {
+
+namespace {
+constexpr double kFourPi = 4.0 * kPi;
+// Guard against division blow-ups when a scatterer coincides with an
+// endpoint; physically the near field saturates, so clamp path lengths.
+constexpr double kMinDistance = 0.01;  // 1 cm
+}  // namespace
+
+Complex freeSpaceFactor(double distance_m, const CarrierConfig& carrier) {
+  const double d = std::max(distance_m, kMinDistance);
+  const double lambda = carrier.wavelengthM();
+  const double amp = lambda / (kFourPi * d);
+  const double phase = -carrier.waveNumber() * d;
+  return std::polar(amp, phase);
+}
+
+Complex losGain(const DirectionalAntenna& ant, Vec3 rxPos, double rxGain,
+                double polarizationLoss, const CarrierConfig& carrier) {
+  if (rxGain < 0.0) throw std::invalid_argument("losGain: negative rxGain");
+  const double d = distance(ant.position(), rxPos);
+  const double g = ant.gainToward(rxPos) * rxGain * polarizationLoss;
+  return std::sqrt(g) * freeSpaceFactor(d, carrier);
+}
+
+Complex scatteredGain(const DirectionalAntenna& ant, Vec3 scattererPos,
+                      double rcs_m2, double extraPhase, Vec3 rxPos,
+                      double rxGain, double polarizationLoss,
+                      const CarrierConfig& carrier) {
+  if (rcs_m2 < 0.0) throw std::invalid_argument("scatteredGain: negative RCS");
+  const double lambda = carrier.wavelengthM();
+  const double d1 = std::max(distance(ant.position(), scattererPos), kMinDistance);
+  const double d2 = std::max(distance(scattererPos, rxPos), kMinDistance);
+  // Bistatic radar amplitude: sqrt(Gtx·Grx·pol) · λ/(4π d1) · sqrt(σ/4π)/d2.
+  const double g = ant.gainToward(scattererPos) * rxGain * polarizationLoss;
+  const double amp = std::sqrt(g) * (lambda / (kFourPi * d1)) *
+                     std::sqrt(rcs_m2 / kFourPi) / d2;
+  const double phase = -carrier.waveNumber() * (d1 + d2) + extraPhase;
+  return std::polar(amp, phase);
+}
+
+}  // namespace rfipad::rf

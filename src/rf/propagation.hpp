@@ -1,0 +1,39 @@
+// Free-space propagation and bistatic scattering primitives.
+//
+// All channel quantities are complex *amplitude* gains: the one-way power
+// gain is |h|², and a monostatic backscatter round trip is h² (reciprocal
+// channel traversed twice), which is exactly why the reader-reported phase
+// advances by 2π per λ/2 of range — the 4πd/λ term in the paper's Eq. 6/7.
+#pragma once
+
+#include <complex>
+
+#include "common/vec.hpp"
+#include "rf/antenna.hpp"
+#include "rf/carrier.hpp"
+
+namespace rfipad::rf {
+
+using Complex = std::complex<double>;
+
+/// Complex one-way amplitude gain of the direct (line-of-sight) path from a
+/// reader antenna to a point receiver with linear gain `rxGain`.
+/// `polarizationLoss` is the linear power factor for the circular→linear
+/// mismatch (0.5, i.e. −3 dB, for a circularly polarised panel and a dipole
+/// tag).
+Complex losGain(const DirectionalAntenna& ant, Vec3 rxPos, double rxGain,
+                double polarizationLoss, const CarrierConfig& carrier);
+
+/// Complex amplitude gain of a single-bounce scattered path
+/// antenna → scatterer → receiver.  The scatterer is modelled as a point
+/// target with bistatic radar cross section `rcs_m2`; `extraPhase` captures
+/// the reflection phase of the scattering surface.
+Complex scatteredGain(const DirectionalAntenna& ant, Vec3 scattererPos,
+                      double rcs_m2, double extraPhase, Vec3 rxPos,
+                      double rxGain, double polarizationLoss,
+                      const CarrierConfig& carrier);
+
+/// One-way free-space amplitude factor λ/(4πd) with propagation phase.
+Complex freeSpaceFactor(double distance_m, const CarrierConfig& carrier);
+
+}  // namespace rfipad::rf

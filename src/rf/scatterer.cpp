@@ -1,0 +1,37 @@
+#include "rf/scatterer.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace rfipad::rf {
+
+namespace {
+// Fraction of the nominal blockage depth a body part imposes mid-path
+// (Fresnel-zone argument; full depth only near the tag).
+constexpr double kMidPathFraction = 0.22;
+}  // namespace
+
+double blockageFactor(const PointScatterer& s, Vec3 a, Vec3 b) {
+  if (!s.blocks_los || s.blockage_depth_db <= 0.0) return 1.0;
+  const double clearance = pointSegmentDistance(s.position, a, b);
+  const double x = clearance / s.blockage_radius;
+  // At UHF the first Fresnel zone is tens of centimetres wide, so a hand or
+  // forearm crossing the middle of a link only shaves a dB or two; the full
+  // blockage depth applies only when the scatterer sits in the receiver's
+  // near field (shadowing the tag antenna itself).
+  const double d_rx = distance(s.position, b);
+  const double near_rx = std::exp(-(d_rx * d_rx) / (2.0 * 0.08 * 0.08));
+  const double depth_scale = kMidPathFraction + (1.0 - kMidPathFraction) * near_rx;
+  const double depth_db =
+      s.blockage_depth_db * depth_scale * std::exp(-x * x);
+  return dbToLinear(-depth_db);
+}
+
+double combinedBlockage(const ScattererList& list, Vec3 a, Vec3 b) {
+  double f = 1.0;
+  for (const auto& s : list) f *= blockageFactor(s, a, b);
+  return f;
+}
+
+}  // namespace rfipad::rf

@@ -1,0 +1,63 @@
+#include "sim/ground_truth.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfipad::sim {
+
+std::vector<SkeletalSample> kinectTrack(const Trajectory& traj,
+                                        const KinectConfig& config, Rng& rng) {
+  if (config.fps <= 0.0)
+    throw std::invalid_argument("kinectTrack: non-positive fps");
+  std::vector<SkeletalSample> track;
+  const double dt = 1.0 / config.fps;
+  for (double t = traj.startTime(); t <= traj.endTime(); t += dt) {
+    const Vec3 p = traj.positionAt(t);
+    track.push_back({t, {p.x + rng.normal(0.0, config.noise_std_m),
+                         p.y + rng.normal(0.0, config.noise_std_m),
+                         p.z + rng.normal(0.0, config.noise_std_m)}});
+  }
+  return track;
+}
+
+imgproc::GrayMap rasterizeTrack(const std::vector<SkeletalSample>& track,
+                                const tag::TagArray& array, double maxHeight) {
+  imgproc::GrayMap map(array.rows(), array.cols());
+  const double sigma = array.spacing() * 0.6;
+  for (const auto& s : track) {
+    if (s.hand.z > maxHeight || s.hand.z < -0.02) continue;
+    // Soft splat: each near-plane sample votes for nearby cells.
+    for (const auto& t : array.tags()) {
+      const double d = (t.position.xy() - s.hand.xy()).norm();
+      map.at(t.row, t.col) += std::exp(-d * d / (2.0 * sigma * sigma));
+    }
+  }
+  return map;
+}
+
+double mapCorrelation(const imgproc::GrayMap& a, const imgproc::GrayMap& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("mapCorrelation: size mismatch");
+  const auto& va = a.values();
+  const auto& vb = b.values();
+  const double n = static_cast<double>(va.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    ma += va[i];
+    mb += vb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, sa = 0.0, sb = 0.0;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    const double da = va[i] - ma;
+    const double db = vb[i] - mb;
+    cov += da * db;
+    sa += da * da;
+    sb += db * db;
+  }
+  if (sa <= 0.0 || sb <= 0.0) return 0.0;
+  return cov / std::sqrt(sa * sb);
+}
+
+}  // namespace rfipad::sim

@@ -1,0 +1,44 @@
+// Simulated Kinect ground truth (paper §V-A: a Kinect behind the user
+// captures skeletal output to trace the hand trajectory).  We sample the
+// true trajectory at the Kinect's frame rate with centimetre-class skeletal
+// noise, and provide helpers to rasterise a track onto the tag grid for
+// comparison against RFIPad's graymaps (Fig. 25).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec.hpp"
+#include "imgproc/graymap.hpp"
+#include "sim/trajectory.hpp"
+#include "tag/array.hpp"
+
+namespace rfipad::sim {
+
+struct SkeletalSample {
+  double t = 0.0;
+  Vec3 hand;
+};
+
+struct KinectConfig {
+  double fps = 30.0;
+  /// 1σ positional noise of skeletal joints, m.
+  double noise_std_m = 0.008;
+};
+
+/// Skeletal track of the hand over the trajectory's span.
+std::vector<SkeletalSample> kinectTrack(const Trajectory& traj,
+                                        const KinectConfig& config, Rng& rng);
+
+/// Occupancy of the tag grid by a (near-plane portion of a) hand track:
+/// each cell accumulates the time the hand spent overhead within
+/// `maxHeight` of the plane.  This is the Kinect-derived reference image
+/// for Fig. 25.
+imgproc::GrayMap rasterizeTrack(const std::vector<SkeletalSample>& track,
+                                const tag::TagArray& array, double maxHeight);
+
+/// Pearson correlation between two equally-sized graymaps — the quantitative
+/// "the two trajectories are very consistent" check of §V-C.
+double mapCorrelation(const imgproc::GrayMap& a, const imgproc::GrayMap& b);
+
+}  // namespace rfipad::sim

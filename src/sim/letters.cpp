@@ -1,0 +1,142 @@
+#include "sim/letters.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace rfipad::sim {
+
+namespace {
+
+struct RawStroke {
+  StrokeKind kind;
+  StrokeDir dir;
+  double x0, y0, x1, y1;  // letter-box coordinates in [−1, 1]
+};
+
+using RawLetter = std::vector<RawStroke>;
+
+const std::map<char, RawLetter>& rawTable() {
+  using K = StrokeKind;
+  constexpr StrokeDir F = StrokeDir::kForward;
+  constexpr StrokeDir R = StrokeDir::kReverse;
+  static const std::map<char, RawLetter> kTable = {
+      {'A', {{K::kSlash, F, -1, -1, 0, 1},
+             {K::kBackslash, F, 0, 1, 1, -1},
+             {K::kHLine, F, -0.6, -0.1, 0.6, -0.1}}},
+      {'B', {{K::kVLine, F, -1, 1, -1, -1},
+             {K::kRightArc, F, -1, 1, -1, 0},
+             {K::kRightArc, F, -1, 0, -1, -1}}},
+      {'C', {{K::kLeftArc, F, 0.7, 1, 0.7, -1}}},
+      {'D', {{K::kVLine, F, -1, 1, -1, -1},
+             {K::kRightArc, F, -1, 1, -1, -1}}},
+      {'E', {{K::kVLine, F, -1, 1, -1, -1},
+             {K::kHLine, F, -1, 1, 0.9, 1},
+             {K::kHLine, F, -1, 0, 0.7, 0},
+             {K::kHLine, F, -1, -1, 0.9, -1}}},
+      {'F', {{K::kVLine, F, -1, 1, -1, -1},
+             {K::kHLine, F, -1, 1, 0.9, 1},
+             {K::kHLine, F, -1, 0, 0.7, 0}}},
+      {'G', {{K::kLeftArc, F, 0.7, 1, 0.7, -1},
+             {K::kHLine, F, 0, -0.1, 0.8, -0.1},
+             {K::kVLine, F, 0.8, -0.1, 0.8, -1}}},
+      {'H', {{K::kVLine, F, -1, 1, -1, -1},
+             {K::kHLine, F, -1, 0, 1, 0},
+             {K::kVLine, F, 1, 1, 1, -1}}},
+      {'I', {{K::kVLine, F, 0, 1, 0, -1}}},
+      {'J', {{K::kVLine, F, 0.4, 1, 0.4, -0.5},
+             {K::kLeftArc, F, 0.4, -0.5, -0.6, -0.5}}},
+      {'K', {{K::kVLine, F, -1, 1, -1, -1},
+             {K::kSlash, R, 0.9, 1, -1, -0.1},
+             {K::kBackslash, F, -0.6, 0.15, 1, -1}}},
+      {'L', {{K::kVLine, F, -1, 1, -1, -1},
+             {K::kHLine, F, -1, -1, 0.9, -1}}},
+      {'M', {{K::kVLine, R, -1, -1, -1, 1},
+             {K::kBackslash, F, -1, 1, 0, -0.2},
+             {K::kSlash, F, 0, -0.2, 1, 1},
+             {K::kVLine, F, 1, 1, 1, -1}}},
+      {'N', {{K::kVLine, R, -1, -1, -1, 1},
+             {K::kBackslash, F, -1, 1, 1, -1},
+             {K::kVLine, R, 1, -1, 1, 1}}},
+      {'O', {{K::kLeftArc, F, 0, 1, 0, -1},
+             {K::kRightArc, F, 0, 1, 0, -1}}},
+      {'P', {{K::kVLine, F, -1, 1, -1, -1},
+             {K::kRightArc, F, -1, 1, -1, 0}}},
+      {'Q', {{K::kLeftArc, F, 0, 1, 0, -1},
+             {K::kRightArc, F, 0, 1, 0, -1},
+             {K::kBackslash, F, 0.3, -0.4, 1, -1}}},
+      {'R', {{K::kVLine, F, -1, 1, -1, -1},
+             {K::kRightArc, F, -1, 1, -1, 0},
+             {K::kBackslash, F, -1, 0, 0.8, -1}}},
+      {'S', {{K::kLeftArc, F, 0.5, 1, 0.5, 0},
+             {K::kRightArc, F, -0.5, 0, -0.5, -1}}},
+      {'T', {{K::kHLine, F, -1, 1, 1, 1},
+             {K::kVLine, F, 0, 1, 0, -1}}},
+      {'U', {{K::kVLine, F, -1, 1, -1, -0.4},
+             {K::kLeftArc, F, -1, -0.4, 1, -0.4},
+             {K::kVLine, R, 1, -0.4, 1, 1}}},
+      {'V', {{K::kBackslash, F, -1, 1, 0, -1},
+             {K::kSlash, F, 0, -1, 1, 1}}},
+      {'W', {{K::kBackslash, F, -1, 1, -0.5, -1},
+             {K::kSlash, F, -0.5, -1, 0, 0.6},
+             {K::kBackslash, F, 0, 0.6, 0.5, -1},
+             {K::kSlash, F, 0.5, -1, 1, 1}}},
+      {'X', {{K::kBackslash, F, -1, 1, 1, -1},
+             {K::kSlash, F, -1, -1, 1, 1}}},
+      {'Y', {{K::kBackslash, F, -1, 1, 0, 0},
+             {K::kSlash, R, 1, 1, 0, 0},
+             {K::kVLine, F, 0, 0, 0, -1}}},
+      {'Z', {{K::kHLine, F, -1, 1, 1, 1},
+             {K::kSlash, R, 1, 1, -1, -1},
+             {K::kHLine, F, -1, -1, 1, -1}}},
+  };
+  return kTable;
+}
+
+const RawLetter& rawLetter(char letter) {
+  const auto it = rawTable().find(letter);
+  if (it == rawTable().end())
+    throw std::invalid_argument("letterPlans: letter must be 'A'..'Z'");
+  return it->second;
+}
+
+}  // namespace
+
+std::vector<StrokePlan> letterPlans(char letter, double halfWidth,
+                                    double halfHeight) {
+  if (halfWidth <= 0.0 || halfHeight <= 0.0)
+    throw std::invalid_argument("letterPlans: non-positive box");
+  std::vector<StrokePlan> plans;
+  for (const RawStroke& rs : rawLetter(letter)) {
+    StrokePlan p;
+    p.stroke = {rs.kind, rs.dir};
+    p.from = {rs.x0 * halfWidth, rs.y0 * halfHeight};
+    p.to = {rs.x1 * halfWidth, rs.y1 * halfHeight};
+    plans.push_back(p);
+  }
+  return plans;
+}
+
+std::vector<StrokeKind> letterStrokeKinds(char letter) {
+  std::vector<StrokeKind> kinds;
+  for (const RawStroke& rs : rawLetter(letter)) kinds.push_back(rs.kind);
+  return kinds;
+}
+
+int letterStrokeCount(char letter) {
+  return static_cast<int>(rawLetter(letter).size());
+}
+
+const std::vector<char>& lettersWithStrokeCount(int count) {
+  static const std::vector<char> kGroups[5] = {
+      {},
+      {'C', 'I'},
+      {'D', 'J', 'L', 'O', 'P', 'S', 'T', 'V', 'X'},
+      {'A', 'B', 'F', 'G', 'H', 'K', 'N', 'Q', 'R', 'U', 'Y', 'Z'},
+      {'E', 'M', 'W'},
+  };
+  if (count < 1 || count > 4)
+    throw std::invalid_argument("lettersWithStrokeCount: count must be 1..4");
+  return kGroups[count];
+}
+
+}  // namespace rfipad::sim

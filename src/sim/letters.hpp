@@ -1,0 +1,31 @@
+// Stroke decompositions for the 26 upper-case English letters.
+//
+// The decompositions follow the tree-structure grammar of the paper's
+// Fig. 10 (adopted from PhonePoint Pen [6]).  The paper only spells out the
+// group sizes — 1 stroke {C, I}, 2 strokes {D,J,L,O,P,S,T,V,X}, 3 strokes
+// {A,B,F,G,H,K,N,Q,R,U,Y,Z}, 4 strokes {E,M,W} — which these plans satisfy
+// exactly.  Coordinates are in a normalised letter box ([−1,1]²) that the
+// writer scales onto the pad.
+#pragma once
+
+#include <vector>
+
+#include "sim/stroke.hpp"
+
+namespace rfipad::sim {
+
+/// Stroke plans for `letter` ('A'..'Z'), scaled so the letter box spans
+/// ±halfWidth in x and ±halfHeight in y (metres, pad-plane coordinates).
+std::vector<StrokePlan> letterPlans(char letter, double halfWidth,
+                                    double halfHeight);
+
+/// The stroke-kind sequence of a letter (the grammar key).
+std::vector<StrokeKind> letterStrokeKinds(char letter);
+
+/// Number of strokes composing the letter (1..4).
+int letterStrokeCount(char letter);
+
+/// Letters grouped by stroke count, as in Fig. 23: group 1 → 1 stroke, etc.
+const std::vector<char>& lettersWithStrokeCount(int count);
+
+}  // namespace rfipad::sim

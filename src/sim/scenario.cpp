@@ -1,0 +1,123 @@
+#include "sim/scenario.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "rf/multipath.hpp"
+
+namespace rfipad::sim {
+
+// The user faces the (vertical) tag plane, so the forearm extends mostly
+// *away* from the plane (+z) toward the elbow, drooping only slightly below
+// the writing hand.
+Vec3 bodyAnchor() { return {0.05, -0.20, 0.60}; }
+
+rf::DirectionalAntenna Scenario::makeAntenna(const ScenarioConfig& config) {
+  if (config.reader_distance_m <= 0.0)
+    throw std::invalid_argument("Scenario: non-positive reader distance");
+  const double tilt = config.antenna_tilt_deg * kPi / 180.0;
+  if (config.placement == AntennaPlacement::kNLOS) {
+    // Behind the plane, nominally boresight-normal onto the pad centre.
+    // Tilt swivels the panel about the y axis (Fig. 18 top view).
+    const Vec3 pos{0.0, 0.0, -config.reader_distance_m};
+    const Vec3 boresight{std::sin(tilt), 0.0, std::cos(tilt)};
+    return rf::DirectionalAntenna(pos, boresight, config.antenna_gain_dbi);
+  }
+  // LOS: ceiling-mounted in front of the plane on the user's side, so the
+  // writing hand and forearm cross the reader->tag paths (Table I).
+  const double d = config.reader_distance_m;
+  const Vec3 pos{0.05, -0.12 - 0.2 * d, 0.60 + 0.5 * d};
+  const Vec3 toPad = (Vec3{0, 0, 0} - pos).normalized();
+  // Apply tilt as a rotation of the boresight about the y axis as well.
+  const Vec3 boresight{toPad.x * std::cos(tilt) + toPad.z * std::sin(tilt),
+                       toPad.y,
+                       -toPad.x * std::sin(tilt) + toPad.z * std::cos(tilt)};
+  return rf::DirectionalAntenna(pos, boresight, config.antenna_gain_dbi);
+}
+
+rf::MultipathEnvironment Scenario::makeEnvironment(const ScenarioConfig& config) {
+  if (config.location == 0) return rf::anechoic();
+  return rf::labLocation(config.location);
+}
+
+namespace {
+
+reader::ReaderConfig makeReaderConfig(const ScenarioConfig& config) {
+  reader::ReaderConfig rc;
+  rc.tx_power_dbm = config.tx_power_dbm;
+  rc.link = config.link;
+  rc.noise = config.noise;
+  return rc;
+}
+
+}  // namespace
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      array_(config.array, rng_),
+      reader_(makeReaderConfig(config),
+              rf::ChannelModel(rf::CarrierConfig{config.carrier_hz},
+                               makeAntenna(config), makeEnvironment(config)),
+              array_, rng_.fork(0xbeef)) {}
+
+double Scenario::padHalfExtent() const {
+  return (array_.cols() - 1) * array_.spacing() / 2.0;
+}
+
+const rf::DirectionalAntenna& Scenario::antenna() const {
+  return reader_.channel().antenna();
+}
+
+reader::SceneFn Scenario::sceneFor(const Trajectory& traj,
+                                   const UserProfile& user,
+                                   double t_offset) const {
+  // Captured by value so the SceneFn outlives this call; Trajectory is a
+  // value type (copied into the closure).
+  return [traj, user, t_offset](double t) {
+    const Vec3 hand = traj.positionAt(t - t_offset);
+    rf::ScattererList scene;
+
+    rf::PointScatterer h;
+    h.position = hand;
+    h.rcs_m2 = user.hand_rcs_m2;
+    h.reflection_phase = kPi;
+    h.blocks_los = true;
+    h.blockage_radius = 0.05;
+    h.blockage_depth_db = 8.0;
+    scene.push_back(h);
+
+    // Forearm: two lumped scatterers between hand and the body anchor.
+    const Vec3 anchor = bodyAnchor();
+    for (double frac : {0.45, 0.8}) {
+      rf::PointScatterer a;
+      a.position = lerp(hand, anchor, frac);
+      a.rcs_m2 = user.arm_rcs_m2 / 2.0;
+      a.reflection_phase = kPi;
+      a.blocks_los = true;
+      a.blockage_radius = 0.06;
+      a.blockage_depth_db = 5.0;
+      scene.push_back(a);
+    }
+    return scene;
+  };
+}
+
+reader::SampleStream Scenario::captureStatic(double duration_s) {
+  return reader_.captureStatic(duration_s);
+}
+
+Capture Scenario::capture(const Trajectory& traj, const UserProfile& user) {
+  Capture cap;
+  cap.start_time = reader_.now() - traj.startTime();
+  const reader::SceneFn scene = sceneFor(traj, user, cap.start_time);
+  cap.stream = reader_.capture(traj.durationS() + 0.3, scene);
+  for (const StrokeInterval& si : traj.strokes()) {
+    cap.truth.push_back(
+        {si.plan, si.t0 + cap.start_time, si.t1 + cap.start_time});
+  }
+  return cap;
+}
+
+}  // namespace rfipad::sim

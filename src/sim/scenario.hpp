@@ -1,0 +1,97 @@
+// End-to-end experimental setup: tag array + reader antenna pose +
+// environment + Gen2 link, matching the paper's prototype (§IV-A, §V-A).
+//
+// Default configuration: 5×5 tags at 6 cm pitch on a carton, Laird-class
+// 8 dBi circularly-polarised antenna 32 cm behind the plane (NLOS mode),
+// 922.38 MHz, 30 dBm conducted power.  The LOS mode mounts the antenna on
+// the ceiling in front of the plane so hand and arm cross reader→tag paths.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "gen2/timing.hpp"
+#include "reader/reader.hpp"
+#include "rf/channel.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/user.hpp"
+#include "tag/array.hpp"
+
+namespace rfipad::sim {
+
+enum class AntennaPlacement {
+  kNLOS,  ///< behind the tag plane — the recommended deployment (Table I)
+  kLOS,   ///< ceiling-mounted in front — body parts block LOS paths
+};
+
+struct ScenarioConfig {
+  AntennaPlacement placement = AntennaPlacement::kNLOS;
+  /// Distance from the antenna to the tag plane, m (paper default ≈32 cm;
+  /// varied 20–80 cm in Fig. 19).
+  double reader_distance_m = 0.32;
+  /// Angle between antenna panel and tag panel, degrees (Fig. 18).
+  double antenna_tilt_deg = 0.0;
+  /// 0 = anechoic, 1..4 = the lab locations of Fig. 15.
+  int location = 1;
+  double tx_power_dbm = 30.0;
+  double antenna_gain_dbi = 8.0;
+  double carrier_hz = 922.38e6;
+  tag::ArrayConfig array{};
+  gen2::LinkProfile link = gen2::hybridM2();
+  rf::NoiseParams noise{};
+  std::uint64_t seed = 1;
+};
+
+/// One motion capture: the report stream plus ground truth on the reader's
+/// clock.
+struct Capture {
+  reader::SampleStream stream;
+  /// Reader-clock time at which the trajectory's t = 0 fell.
+  double start_time = 0.0;
+  /// Stroke intervals shifted onto the reader clock.
+  std::vector<StrokeInterval> truth;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+
+  const ScenarioConfig& config() const { return config_; }
+  const tag::TagArray& array() const { return array_; }
+  reader::RfidReader& reader() { return reader_; }
+  const reader::RfidReader& reader() const { return reader_; }
+
+  /// Half-span of the tag grid (centre of outermost tags), m.
+  double padHalfExtent() const;
+
+  /// Derive an independent RNG stream for workload generation.
+  Rng forkRng(std::uint64_t salt) { return rng_.fork(salt); }
+
+  /// Scene function placing the hand (and trailing arm) scatterers along
+  /// the trajectory; `t` is on the reader clock, offset by `t_offset`.
+  reader::SceneFn sceneFor(const Trajectory& traj, const UserProfile& user,
+                           double t_offset) const;
+
+  /// Static capture (no person present) for calibration.
+  reader::SampleStream captureStatic(double duration_s);
+
+  /// Capture an entire trajectory (plus a short post-roll).
+  Capture capture(const Trajectory& traj, const UserProfile& user);
+
+  /// The antenna pose used by this scenario (exposed for geometry benches).
+  const rf::DirectionalAntenna& antenna() const;
+
+ private:
+  static rf::DirectionalAntenna makeAntenna(const ScenarioConfig& config);
+  static rf::MultipathEnvironment makeEnvironment(const ScenarioConfig& config);
+
+  ScenarioConfig config_;
+  Rng rng_;
+  tag::TagArray array_;
+  reader::RfidReader reader_;
+};
+
+/// Body-anchor point (shoulder region) the simulated arm extends toward.
+Vec3 bodyAnchor();
+
+}  // namespace rfipad::sim

@@ -1,0 +1,72 @@
+#include "sim/stroke.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/angles.hpp"
+
+namespace rfipad::sim {
+
+StrokePlan canonicalPlan(const DirectedStroke& s, double halfExtent) {
+  if (halfExtent <= 0.0)
+    throw std::invalid_argument("canonicalPlan: non-positive extent");
+  const double e = halfExtent;
+  Vec2 from, to;
+  switch (s.kind) {
+    case StrokeKind::kClick: from = to = {0.0, 0.0}; break;
+    case StrokeKind::kHLine: from = {-e, 0.0}; to = {e, 0.0}; break;
+    case StrokeKind::kVLine: from = {0.0, e}; to = {0.0, -e}; break;
+    case StrokeKind::kSlash: from = {-e, -e}; to = {e, e}; break;
+    case StrokeKind::kBackslash: from = {-e, e}; to = {e, -e}; break;
+    // Arcs: chord near the vertical midline, drawn top→bottom in kForward;
+    // the bulge (−x for "⊂", +x for "⊃") is a shape property and does not
+    // change with travel direction.
+    case StrokeKind::kLeftArc: from = {0.35 * e, e}; to = {0.35 * e, -e}; break;
+    case StrokeKind::kRightArc: from = {-0.35 * e, e}; to = {-0.35 * e, -e}; break;
+  }
+  if (s.dir == StrokeDir::kReverse) std::swap(from, to);
+  return StrokePlan{s, from, to};
+}
+
+namespace {
+
+/// Bulge direction of an arc plan (unit vector from chord midpoint toward
+/// the arc apex).  Vertical-ish chords bow in ±x; horizontal-ish chords
+/// (letter hooks like J's or U's bottom) bow in ±y.
+Vec2 arcBulge(const StrokePlan& plan) {
+  const Vec2 chord = plan.to - plan.from;
+  const bool vertical = std::abs(chord.y) >= std::abs(chord.x);
+  if (plan.stroke.kind == StrokeKind::kLeftArc)
+    return vertical ? Vec2{-1.0, 0.0} : Vec2{0.0, -1.0};
+  return vertical ? Vec2{1.0, 0.0} : Vec2{0.0, 1.0};
+}
+
+}  // namespace
+
+Vec2 strokePoint(const StrokePlan& plan, double u) {
+  u = std::clamp(u, 0.0, 1.0);
+  if (!isArc(plan.stroke.kind)) return lerp(plan.from, plan.to, u);
+
+  const Vec2 center = (plan.from + plan.to) * 0.5;
+  const Vec2 r0 = plan.from - center;
+  const double radius = r0.norm();
+  if (radius < 1e-9) return plan.from;
+  const double a0 = std::atan2(r0.y, r0.x);
+  const Vec2 b = arcBulge(plan);
+  const double ab = std::atan2(b.y, b.x);
+  // Sweep half a turn in whichever rotational sense passes through the apex.
+  const double ccw_gap = wrapTwoPi(ab - a0);
+  const double sign = ccw_gap <= kPi ? 1.0 : -1.0;
+  const double a = a0 + sign * kPi * u;
+  return center + Vec2{radius * std::cos(a), radius * std::sin(a)};
+}
+
+double strokeLength(const StrokePlan& plan) {
+  if (plan.stroke.kind == StrokeKind::kClick) return 0.06;  // dip + rise
+  const double chord = (plan.to - plan.from).norm();
+  return isArc(plan.stroke.kind) ? kPi * chord / 2.0 : chord;
+}
+
+}  // namespace rfipad::sim

@@ -1,0 +1,37 @@
+// Geometric stroke plans: how a directed stroke from the shared vocabulary
+// (common/strokes.hpp) is traced over the pad plane by the hand simulator.
+#pragma once
+
+#include "common/strokes.hpp"
+#include "common/vec.hpp"
+
+namespace rfipad::sim {
+
+// The vocabulary lives in ::rfipad (shared with the recogniser).
+using rfipad::DirectedStroke;
+using rfipad::StrokeDir;
+using rfipad::StrokeKind;
+
+/// Geometric plan of one stroke in *pad-plane* coordinates (metres, origin
+/// at pad centre).  For lines the path is the segment from→to; for arcs it
+/// is the semicircle over the chord from→to bulging toward −x for "⊂" /
+/// +x for "⊃" on vertical-ish chords (−y / +y on horizontal-ish chords —
+/// the convention used by letter hooks like J and U); clicks dip toward the
+/// plane at `from`.
+struct StrokePlan {
+  DirectedStroke stroke;
+  Vec2 from;
+  Vec2 to;
+};
+
+/// Canonical full-pad plan for a directed stroke; `halfExtent` is the pad
+/// half-span to cover (e.g. 0.10 m on the 5×5/6 cm prototype).
+StrokePlan canonicalPlan(const DirectedStroke& s, double halfExtent);
+
+/// Evaluate the stroke path at parameter u in [0, 1] (pad-plane position).
+Vec2 strokePoint(const StrokePlan& plan, double u);
+
+/// Geometric length of the stroke path, metres.
+double strokeLength(const StrokePlan& plan);
+
+}  // namespace rfipad::sim

@@ -1,0 +1,198 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+
+namespace rfipad::sim {
+
+namespace {
+
+/// C¹ ease-in/ease-out ramp on [0,1] (hands accelerate smoothly).
+double smoothstep(double u) {
+  u = std::clamp(u, 0.0, 1.0);
+  return u * u * (3.0 - 2.0 * u);
+}
+
+constexpr double kBaseWriteSpeed = 0.22;  // m/s along the stroke
+constexpr double kBaseMoveSpeed = 0.45;   // m/s for adjustment moves
+constexpr double kSettleS = 0.40;         // inter-stroke adjustment pause
+constexpr double kClickDipS = 0.55;       // duration of a click dip
+
+}  // namespace
+
+Vec3 Trajectory::evalSegment(const Segment& s, double t) const {
+  const double span = s.t1 - s.t0;
+  const double u = span > 0.0 ? std::clamp((t - s.t0) / span, 0.0, 1.0) : 0.0;
+  switch (s.kind) {
+    case Segment::Kind::kHold:
+      return s.p0;
+    case Segment::Kind::kLine:
+      return lerp(s.p0, s.p1, smoothstep(u));
+    case Segment::Kind::kStroke: {
+      const Vec2 p = strokePoint(s.plan, smoothstep(u));
+      return {p.x, p.y, s.z};
+    }
+    case Segment::Kind::kDip: {
+      const Vec2 p = s.plan.from;
+      const double z = s.z_high - (s.z_high - s.z_low) * std::sin(kPi * u);
+      return {p.x, p.y, z};
+    }
+  }
+  return s.p0;
+}
+
+Vec3 Trajectory::positionAt(double t) const {
+  if (segments_.empty()) return {};
+  // Clamp outside the span.
+  if (t <= segments_.front().t0) t = segments_.front().t0;
+  if (t >= segments_.back().t1) t = segments_.back().t1;
+  // Binary search for the segment containing t.
+  std::size_t lo = 0;
+  std::size_t hi = segments_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (segments_[mid].t1 < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  Vec3 p = evalSegment(segments_[lo], t);
+  // Smooth physiological jitter.
+  const double axes[3] = {0, 1, 2};
+  double d[3] = {0, 0, 0};
+  for (int a = 0; a < 3; ++a) {
+    (void)axes;
+    for (const auto& j : jitter_[a]) {
+      d[a] += j.amp * std::sin(kTwoPi * j.freq_hz * t + j.phase);
+    }
+  }
+  return {p.x + d[0], p.y + d[1], p.z + d[2]};
+}
+
+Vec3 Trajectory::velocityAt(double t) const {
+  const double dt = 2e-3;
+  const Vec3 a = positionAt(t - dt);
+  const Vec3 b = positionAt(t + dt);
+  return (b - a) / (2.0 * dt);
+}
+
+TrajectoryBuilder::TrajectoryBuilder(UserProfile user, Rng rng)
+    : user_(std::move(user)), rng_(std::move(rng)), cursor_(restPosition()) {
+  // Personalised jitter: two sinusoids per axis, ~0.7–2.8 Hz tremor band.
+  for (int a = 0; a < 3; ++a) {
+    for (int k = 0; k < 2; ++k) {
+      auto& j = traj_.jitter_[a][k];
+      j.amp = user_.jitter_std_m * rng_.uniform(0.4, 0.9);
+      j.freq_hz = rng_.uniform(0.7, 2.8);
+      j.phase = rng_.uniform(0.0, kTwoPi);
+    }
+  }
+}
+
+Vec3 TrajectoryBuilder::restPosition() { return {0.0, -0.30, 0.34}; }
+
+double TrajectoryBuilder::writeSpeed() const {
+  return kBaseWriteSpeed * user_.speed_scale;
+}
+
+double TrajectoryBuilder::moveSpeed() const {
+  return kBaseMoveSpeed * user_.speed_scale;
+}
+
+void TrajectoryBuilder::addLine(Vec3 to, double speed) {
+  const double len = distance(cursor_, to);
+  if (len < 1e-6) return;
+  Trajectory::Segment s;
+  s.kind = Trajectory::Segment::Kind::kLine;
+  s.t0 = now_;
+  s.t1 = now_ + len / speed;
+  s.p0 = cursor_;
+  s.p1 = to;
+  traj_.segments_.push_back(s);
+  cursor_ = to;
+  now_ = s.t1;
+}
+
+void TrajectoryBuilder::addHold(double duration) {
+  if (duration <= 0.0) return;
+  Trajectory::Segment s;
+  s.kind = Trajectory::Segment::Kind::kHold;
+  s.t0 = now_;
+  s.t1 = now_ + duration;
+  s.p0 = cursor_;
+  traj_.segments_.push_back(s);
+  now_ = s.t1;
+}
+
+TrajectoryBuilder& TrajectoryBuilder::hold(double duration_s) {
+  addHold(duration_s);
+  return *this;
+}
+
+TrajectoryBuilder& TrajectoryBuilder::stroke(const StrokePlan& plan) {
+  const double hover = user_.hover_height_m;
+  const double lift = user_.lift_height_m;
+
+  if (plan.stroke.kind == StrokeKind::kClick) {
+    // Move above the click cell at lift height, then dip toward the plane.
+    addLine({plan.from.x, plan.from.y, lift}, moveSpeed());
+    addHold(kSettleS * rng_.uniform(0.8, 1.2));
+    Trajectory::Segment s;
+    s.kind = Trajectory::Segment::Kind::kDip;
+    s.t0 = now_;
+    s.t1 = now_ + kClickDipS / user_.speed_scale * rng_.uniform(0.9, 1.1);
+    s.plan = plan;
+    s.z_high = lift;
+    s.z_low = 0.015;  // pushes to ~1.5 cm over the tag
+    traj_.segments_.push_back(s);
+    traj_.strokes_.push_back({plan, s.t0, s.t1});
+    cursor_ = {plan.from.x, plan.from.y, lift};
+    now_ = s.t1;
+    return *this;
+  }
+
+  // Adjustment move: travel at lift height to the stroke start, settle,
+  // lower to hover.  (The paper recommends raising the arm here so the
+  // segmenter sees a quiet window.)
+  addLine({plan.from.x, plan.from.y, lift}, moveSpeed());
+  addHold(kSettleS * rng_.uniform(0.7, 1.3));
+  addLine({plan.from.x, plan.from.y, hover}, moveSpeed());
+
+  // The stroke itself.
+  Trajectory::Segment s;
+  s.kind = Trajectory::Segment::Kind::kStroke;
+  s.t0 = now_;
+  const double len = strokeLength(plan);
+  s.t1 = now_ + std::max(0.25, len / writeSpeed()) * rng_.uniform(0.92, 1.08);
+  s.plan = plan;
+  s.z = hover;
+  traj_.segments_.push_back(s);
+  traj_.strokes_.push_back({plan, s.t0, s.t1});
+  cursor_ = {plan.to.x, plan.to.y, hover};
+  now_ = s.t1;
+
+  // Lift off the writing plane again.
+  addLine({plan.to.x, plan.to.y, lift}, moveSpeed() * 0.7);
+  return *this;
+}
+
+TrajectoryBuilder& TrajectoryBuilder::stroke(const DirectedStroke& s,
+                                             double halfExtent) {
+  return stroke(canonicalPlan(s, halfExtent));
+}
+
+TrajectoryBuilder& TrajectoryBuilder::retract() {
+  addLine(restPosition(), moveSpeed());
+  return *this;
+}
+
+Trajectory TrajectoryBuilder::build() {
+  if (traj_.segments_.empty()) addHold(0.1);
+  return traj_;
+}
+
+}  // namespace rfipad::sim

@@ -1,0 +1,111 @@
+// Hand-trajectory synthesis.
+//
+// A Trajectory is an analytic, continuous function t → hand position built
+// from piecewise segments: writing strokes at hover height, inter-stroke
+// adjustment moves with the arm raised (the paper's "adjustment interval",
+// §III-C1), click dips, and idle holds.  Smooth per-user jitter is overlaid
+// so no two repetitions are identical.  Because the function is evaluable at
+// any t, the Gen2 MAC can sample it at the exact singulation instants.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec.hpp"
+#include "sim/stroke.hpp"
+#include "sim/user.hpp"
+
+namespace rfipad::sim {
+
+/// Ground-truth annotation: when each stroke was actually written.
+struct StrokeInterval {
+  StrokePlan plan;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+class Trajectory {
+ public:
+  /// Hand position at time t (clamped to the trajectory's span).
+  Vec3 positionAt(double t) const;
+  /// Hand velocity at time t (central difference), m/s.
+  Vec3 velocityAt(double t) const;
+
+  double startTime() const { return segments_.empty() ? 0.0 : segments_.front().t0; }
+  double endTime() const { return segments_.empty() ? 0.0 : segments_.back().t1; }
+  double durationS() const { return endTime() - startTime(); }
+
+  /// Ground-truth stroke intervals in time order.
+  const std::vector<StrokeInterval>& strokes() const { return strokes_; }
+
+ private:
+  friend class TrajectoryBuilder;
+
+  struct Segment {
+    enum class Kind { kLine, kStroke, kDip, kHold };
+    Kind kind = Kind::kHold;
+    double t0 = 0.0;
+    double t1 = 0.0;
+    // kLine / kHold: endpoints (kHold uses p0 only).
+    Vec3 p0, p1;
+    // kStroke: the pad-plane path, written at height z.
+    StrokePlan plan{};
+    double z = 0.0;
+    // kDip: vertical push at xy = p0.xy(), from z_high to z_low and back.
+    double z_high = 0.0;
+    double z_low = 0.0;
+  };
+
+  Vec3 evalSegment(const Segment& s, double t) const;
+
+  std::vector<Segment> segments_;
+  std::vector<StrokeInterval> strokes_;
+  /// Smooth jitter: two sinusoids per axis (amplitude, frequency, phase).
+  struct JitterComponent {
+    double amp = 0.0;
+    double freq_hz = 0.0;
+    double phase = 0.0;
+  };
+  JitterComponent jitter_[3][2]{};
+};
+
+class TrajectoryBuilder {
+ public:
+  /// `rng` personalises jitter and micro-timing; `user` sets kinematics.
+  TrajectoryBuilder(UserProfile user, Rng rng);
+
+  /// Hand rest position (off-pad, arm lowered).
+  static Vec3 restPosition();
+
+  /// Append an idle hold at the current position.
+  TrajectoryBuilder& hold(double duration_s);
+
+  /// Append one stroke: approach (adjustment move at lift height), settle,
+  /// write.  Clicks become a vertical dip toward the plan's `from` cell.
+  TrajectoryBuilder& stroke(const StrokePlan& plan);
+
+  /// Append the canonical full-pad version of a directed stroke.
+  TrajectoryBuilder& stroke(const DirectedStroke& s, double halfExtent);
+
+  /// Retract to the rest position.
+  TrajectoryBuilder& retract();
+
+  Trajectory build();
+
+  /// Base writing speed along the stroke path for this user, m/s.
+  double writeSpeed() const;
+  /// Speed of adjustment moves, m/s.
+  double moveSpeed() const;
+
+ private:
+  void addLine(Vec3 to, double speed);
+  void addHold(double duration);
+
+  UserProfile user_;
+  Rng rng_;
+  Trajectory traj_;
+  Vec3 cursor_;
+  double now_ = 0.0;
+};
+
+}  // namespace rfipad::sim

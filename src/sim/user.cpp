@@ -1,0 +1,43 @@
+#include "sim/user.hpp"
+
+#include <stdexcept>
+
+namespace rfipad::sim {
+
+const std::vector<UserProfile>& defaultUsers() {
+  static const std::vector<UserProfile> kUsers = [] {
+    std::vector<UserProfile> u(10);
+    auto set = [&](int i, double speed, double hover, double jitter,
+                   double hand_rcs, double arm_len) {
+      u[i].name = "user-" + std::to_string(i + 1);
+      u[i].speed_scale = speed;
+      u[i].hover_height_m = hover;
+      u[i].jitter_std_m = jitter;
+      u[i].hand_rcs_m2 = hand_rcs;
+      u[i].arm_length_m = arm_len;
+      u[i].arm_rcs_m2 = 0.016 + 0.08 * (arm_len - 0.56);
+    };
+    //        speed  hover   jitter  handRCS  arm
+    set(0,    0.95,  0.034,  0.0035, 0.014,  0.62);
+    set(1,    1.05,  0.030,  0.0045, 0.012,  0.58);
+    set(2,    0.90,  0.038,  0.0030, 0.016,  0.66);
+    set(3,    1.00,  0.032,  0.0040, 0.011,  0.56);
+    set(4,    1.10,  0.036,  0.0050, 0.015,  0.64);
+    set(5,    1.35,  0.040,  0.0060, 0.013,  0.63);  // user #6: fast
+    set(6,    0.85,  0.033,  0.0030, 0.013,  0.60);
+    set(7,    1.00,  0.035,  0.0040, 0.015,  0.68);
+    set(8,    1.32,  0.042,  0.0065, 0.012,  0.70);  // user #9: fast
+    set(9,    1.05,  0.031,  0.0045, 0.014,  0.59);
+    return u;
+  }();
+  return kUsers;
+}
+
+const UserProfile& defaultUser(int oneBasedIndex) {
+  const auto& users = defaultUsers();
+  if (oneBasedIndex < 1 || oneBasedIndex > static_cast<int>(users.size()))
+    throw std::invalid_argument("defaultUser: index must be 1..10");
+  return users[static_cast<std::size_t>(oneBasedIndex - 1)];
+}
+
+}  // namespace rfipad::sim

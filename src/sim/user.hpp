@@ -1,0 +1,43 @@
+// Volunteer profiles.
+//
+// The paper's user study (§V-B6) balances ten volunteers over gender, age
+// (22–30), height (158–183 cm), weight and arm length (56–70 cm), and notes
+// that users #6 and #9 "move their hands in a relatively fast speed",
+// costing them a few accuracy points (Fig. 20).  These profiles drive the
+// trajectory generator's kinematics and the body scatterer strengths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfipad::sim {
+
+struct UserProfile {
+  std::string name = "user";
+  /// Multiplies the base writing speed (1.0 ≈ 0.22 m/s along the stroke).
+  double speed_scale = 1.0;
+  /// Hand height above the tag plane while writing, m (the paper's soft
+  /// constraint is ≤ 5 cm, §VI).
+  double hover_height_m = 0.035;
+  /// Hand height during inter-stroke adjustment intervals, m.  The paper
+  /// recommends raising the arm while repositioning (§V-C) so the
+  /// adjustment window stays quiet.
+  double lift_height_m = 0.24;
+  /// 1σ of the smooth positional jitter overlaid on trajectories, m.
+  double jitter_std_m = 0.004;
+  /// Bistatic RCS of the hand, m² (scales with hand size).
+  double hand_rcs_m2 = 0.012;
+  /// Total RCS of the forearm, m².
+  double arm_rcs_m2 = 0.020;
+  /// Arm length, m — sets where the body anchor sits behind the hand.
+  double arm_length_m = 0.62;
+};
+
+/// The ten volunteers (1-based indexing matches Fig. 20: users 6 and 9 are
+/// the fast movers).
+const std::vector<UserProfile>& defaultUsers();
+
+/// Convenience: user #n (1-based).
+const UserProfile& defaultUser(int oneBasedIndex = 1);
+
+}  // namespace rfipad::sim

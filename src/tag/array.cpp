@@ -1,0 +1,93 @@
+#include "tag/array.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "rf/coupling.hpp"
+
+namespace rfipad::tag {
+
+TagArray::TagArray(const ArrayConfig& config, Rng& rng) : config_(config) {
+  if (config.rows <= 0 || config.cols <= 0)
+    throw std::invalid_argument("TagArray: non-positive dimensions");
+  if (config.spacing_m <= 0.0)
+    throw std::invalid_argument("TagArray: non-positive spacing");
+
+  const TagTypeParams type = tagType(config.model);
+  const double x0 = -(config.cols - 1) * config.spacing_m / 2.0;
+  const double y0 = -(config.rows - 1) * config.spacing_m / 2.0;
+
+  tags_.reserve(static_cast<std::size_t>(config.rows) * config.cols);
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c < config.cols; ++c) {
+      Tag t;
+      t.index = indexOf(r, c);
+      t.epc = makeEpc(t.index);
+      t.row = r;
+      t.col = c;
+      t.position = {x0 + c * config.spacing_m, y0 + r * config.spacing_m, 0.0};
+      t.facing = (config.alternate_facing && ((r + c) % 2 == 1))
+                     ? Facing::kReverse
+                     : Facing::kForward;
+      t.type = type;
+      t.theta_tag =
+          config.tag_phase_diversity ? rng.uniform(0.0, kTwoPi) : 0.0;
+      t.flicker_bias = config.flicker_bias_sigma > 0.0
+                           ? std::exp(rng.normal(0.0, config.flicker_bias_sigma))
+                           : 1.0;
+      tags_.push_back(std::move(t));
+    }
+  }
+
+  // Static coupling penalty from the 8-neighbourhood, using the facing
+  // relationship of each pair.
+  for (auto& t : tags_) {
+    double penalty = 0.0;
+    for (const auto& other : tags_) {
+      if (other.index == t.index) continue;
+      const double d = distance(t.position, other.position);
+      if (d > 2.5 * config.spacing_m) continue;
+      const rf::TagFacing facing = (t.facing == other.facing)
+                                       ? rf::TagFacing::kSame
+                                       : rf::TagFacing::kOpposite;
+      penalty += rf::pairShadowDb(d, facing, other.type.couplingParams());
+    }
+    t.coupling_penalty_db = penalty;
+  }
+}
+
+const Tag& TagArray::at(int row, int col) const {
+  return tags_.at(indexOf(row, col));
+}
+
+std::uint32_t TagArray::indexOf(int row, int col) const {
+  if (row < 0 || row >= config_.rows || col < 0 || col >= config_.cols)
+    throw std::out_of_range("TagArray::indexOf: cell out of range");
+  return static_cast<std::uint32_t>(row * config_.cols + col);
+}
+
+std::uint32_t TagArray::nearestTag(Vec3 p) const {
+  std::uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& t : tags_) {
+    const double d = (t.position.xy() - p.xy()).norm();
+    if (d < best_d) {
+      best_d = d;
+      best = t.index;
+    }
+  }
+  return best;
+}
+
+double TagArray::plateExtentM() const {
+  const double span =
+      (std::max(config_.rows, config_.cols) - 1) * config_.spacing_m;
+  return tags_.empty() ? span : span + tags_.front().type.antenna_size_m;
+}
+
+Vec3 TagArray::cellCenter(int row, int col) const { return at(row, col).position; }
+
+}  // namespace rfipad::tag

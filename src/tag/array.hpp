@@ -1,0 +1,65 @@
+// The RFIPad sensing plate: a grid of passive tags.
+//
+// Default geometry mirrors the prototype: 5×5 tags at 6 cm pitch (the
+// near-field/far-field transition distance, §IV-B1), alternating antenna
+// facing, deployed in the z = 0 plane centred at the origin with columns
+// along +x and rows along +y.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec.hpp"
+#include "tag/tag.hpp"
+
+namespace rfipad::tag {
+
+struct ArrayConfig {
+  int rows = 5;
+  int cols = 5;
+  double spacing_m = 0.06;
+  TagModel model = TagModel::kB;
+  /// Alternate facing checkerboard-style (recommended); otherwise all same.
+  bool alternate_facing = true;
+  /// Spread of the per-tag deviation-bias multiplier: flicker_bias =
+  /// exp(N(0, σ)).  0 disables tag/location diversity (for ablations).
+  double flicker_bias_sigma = 0.45;
+  /// Disable the uniform per-tag θ_tag offsets (for ablations).
+  bool tag_phase_diversity = true;
+};
+
+class TagArray {
+ public:
+  /// Builds the array; `rng` seeds the per-tag diversity draws.
+  TagArray(const ArrayConfig& config, Rng& rng);
+
+  int rows() const { return config_.rows; }
+  int cols() const { return config_.cols; }
+  double spacing() const { return config_.spacing_m; }
+  const ArrayConfig& config() const { return config_; }
+
+  std::size_t size() const { return tags_.size(); }
+  const std::vector<Tag>& tags() const { return tags_; }
+  const Tag& at(std::size_t index) const { return tags_.at(index); }
+  const Tag& at(int row, int col) const;
+
+  /// Row-major index for (row, col).
+  std::uint32_t indexOf(int row, int col) const;
+
+  /// Index of the tag whose centre is closest to `p` (projected to z = 0).
+  std::uint32_t nearestTag(Vec3 p) const;
+
+  /// Physical extent of the plate along x/y (tag span plus one antenna
+  /// size): the paper's l ≈ 46 cm for the 5×5 prototype.
+  double plateExtentM() const;
+
+  /// Centre position of cell (row, col) — identical to the tag position.
+  Vec3 cellCenter(int row, int col) const;
+
+ private:
+  ArrayConfig config_;
+  std::vector<Tag> tags_;
+};
+
+}  // namespace rfipad::tag

@@ -1,0 +1,14 @@
+#include "tag/tag.hpp"
+
+#include <cstdio>
+
+namespace rfipad::tag {
+
+std::string makeEpc(std::uint32_t index) {
+  // Header 0x3000 (SGTIN-96-like), a fixed manager prefix, then the index.
+  char buf[25];
+  std::snprintf(buf, sizeof(buf), "3000AA00BB00CC00%08X", index);
+  return std::string(buf);
+}
+
+}  // namespace rfipad::tag

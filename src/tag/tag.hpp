@@ -1,0 +1,49 @@
+// A single deployed passive tag: identity, geometry, electrical type and the
+// per-tag manufacturing diversity the paper's suppression algorithm targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/vec.hpp"
+#include "rf/channel.hpp"
+#include "tag/tag_type.hpp"
+
+namespace rfipad::tag {
+
+/// Orientation of the tag antenna in the pad plane.  Alternating facing is
+/// the paper's recommended deployment (it decouples neighbours, Fig. 11).
+enum class Facing { kForward, kReverse };
+
+struct Tag {
+  /// Dense index within the array (0-based, row-major).
+  std::uint32_t index = 0;
+  /// EPC-96 identifier, upper-case hex (24 chars).
+  std::string epc;
+  /// Grid coordinates within the pad.
+  int row = 0;
+  int col = 0;
+  Vec3 position;
+  Facing facing = Facing::kForward;
+  TagTypeParams type;
+
+  // -- manufacturing / placement diversity (targets of Eqs. 8-10) --
+
+  /// Per-tag reflection phase θ_tag — uniform over [0, 2π) across tags,
+  /// which is why raw phases spread over the full circle (Fig. 4).
+  double theta_tag = 0.0;
+  /// Per-tag deviation-bias multiplier: scales environmental flicker for
+  /// this tag (location + hardware diversity; Fig. 5).
+  double flicker_bias = 1.0;
+  /// Static RSS penalty (dB, ≤0) from coupling with neighbouring tags.
+  double coupling_penalty_db = 0.0;
+
+  rf::TagEndpoint endpoint() const {
+    return rf::TagEndpoint{position, type.antenna_gain, 0.5};
+  }
+};
+
+/// Synthesises a plausible EPC-96 hex string for array position `index`.
+std::string makeEpc(std::uint32_t index);
+
+}  // namespace rfipad::tag

@@ -1,0 +1,58 @@
+#include "tag/tag_type.hpp"
+
+#include <stdexcept>
+
+namespace rfipad::tag {
+
+TagTypeParams tagType(TagModel model) {
+  TagTypeParams p;
+  p.model = model;
+  switch (model) {
+    case TagModel::kA:
+      // Mid-size general-purpose inlay.
+      p.name = "Alien Squiggle-class (Tag A)";
+      p.rcs_m2 = 0.006;
+      p.ic_sensitivity_dbm = -17.0;
+      p.modulation_efficiency = 0.10;
+      p.antenna_size_m = 0.095;
+      break;
+    case TagModel::kB:
+      // Small near-field-friendly inlay — smallest RCS, least interference.
+      p.name = "Impinj AZ-E53 (Tag B)";
+      p.rcs_m2 = 0.0012;
+      p.ic_sensitivity_dbm = -18.0;
+      p.modulation_efficiency = 0.08;
+      p.antenna_size_m = 0.044;
+      break;
+    case TagModel::kC:
+      p.name = "Large-dipole inlay (Tag C)";
+      p.rcs_m2 = 0.009;
+      p.ic_sensitivity_dbm = -17.5;
+      p.modulation_efficiency = 0.11;
+      p.antenna_size_m = 0.11;
+      break;
+    case TagModel::kD:
+      // Big high-RCS label: strongest shadow effect (≈20 dB for 3 columns).
+      p.name = "Wide-band label (Tag D)";
+      p.rcs_m2 = 0.014;
+      p.ic_sensitivity_dbm = -16.5;
+      p.modulation_efficiency = 0.12;
+      p.antenna_size_m = 0.13;
+      break;
+    default:
+      throw std::invalid_argument("tagType: unknown model");
+  }
+  return p;
+}
+
+const char* tagModelName(TagModel model) {
+  switch (model) {
+    case TagModel::kA: return "Tag A";
+    case TagModel::kB: return "Tag B";
+    case TagModel::kC: return "Tag C";
+    case TagModel::kD: return "Tag D";
+  }
+  return "Tag ?";
+}
+
+}  // namespace rfipad::tag

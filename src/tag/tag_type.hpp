@@ -1,0 +1,39 @@
+// Catalogue of commercial tag models.
+//
+// The paper tests four commercial tag designs (§IV-B2, Fig. 12) and finds
+// that the unmodulated radar scattering cross-section (RCS) governs how much
+// a tag disturbs its neighbours: "Tag B (Impinj AZ-E53) is the best choice
+// for deploying the tag array".  We keep the same lettering.
+#pragma once
+
+#include <string>
+
+#include "rf/coupling.hpp"
+
+namespace rfipad::tag {
+
+enum class TagModel { kA, kB, kC, kD };
+
+struct TagTypeParams {
+  TagModel model = TagModel::kB;
+  std::string name = "Impinj AZ-E53";
+  /// Unmodulated RCS, m² — drives inter-tag shadowing (Figs. 11–12).
+  double rcs_m2 = 0.0025;
+  /// Minimum incident power for the IC to operate, dBm (forward-link limit).
+  double ic_sensitivity_dbm = -18.0;
+  /// Fraction of incident power re-radiated in the modulated sideband.
+  double modulation_efficiency = 0.1;
+  /// Linear antenna gain.
+  double antenna_gain = 1.64;
+  /// Largest antenna dimension, m (the paper's inlays are ≈4.4 cm).
+  double antenna_size_m = 0.044;
+
+  rf::CouplingParams couplingParams() const { return {rcs_m2}; }
+};
+
+/// Parameters for one of the four tested tag models.
+TagTypeParams tagType(TagModel model);
+
+const char* tagModelName(TagModel model);
+
+}  // namespace rfipad::tag

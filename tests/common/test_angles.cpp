@@ -1,0 +1,138 @@
+#include "common/angles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace rfipad {
+namespace {
+
+TEST(WrapTwoPi, CanonicalRange) {
+  EXPECT_NEAR(wrapTwoPi(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrapTwoPi(kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(wrapTwoPi(-0.1), kTwoPi - 0.1, 1e-12);
+  EXPECT_NEAR(wrapTwoPi(3.0 * kTwoPi + 1.0), 1.0, 1e-12);
+}
+
+TEST(WrapPi, CanonicalRange) {
+  EXPECT_NEAR(wrapPi(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrapPi(kPi + 0.1), -kPi + 0.1, 1e-12);
+  EXPECT_NEAR(wrapPi(-kPi - 0.1), kPi - 0.1, 1e-12);
+  // π maps to +π (half-open on the negative side).
+  EXPECT_NEAR(wrapPi(kPi), kPi, 1e-12);
+}
+
+class WrapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WrapSweep, TwoPiInvariant) {
+  const double theta = GetParam();
+  const double w = wrapTwoPi(theta);
+  EXPECT_GE(w, 0.0);
+  EXPECT_LT(w, kTwoPi);
+  // Wrapping is idempotent and preserves the angle modulo 2π.
+  EXPECT_NEAR(wrapTwoPi(w), w, 1e-9);
+  EXPECT_NEAR(std::remainder(theta - w, kTwoPi), 0.0, 1e-9);
+}
+
+TEST_P(WrapSweep, PiInvariant) {
+  const double theta = GetParam();
+  const double w = wrapPi(theta);
+  EXPECT_GT(w, -kPi - 1e-12);
+  EXPECT_LE(w, kPi + 1e-12);
+  EXPECT_NEAR(std::remainder(theta - w, kTwoPi), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, WrapSweep,
+                         ::testing::Values(-100.0, -7.3, -3.2, -0.001, 0.0,
+                                           0.5, 3.15, 6.2, 6.4, 55.5, 1e4));
+
+TEST(AngleDiff, ShortestPath) {
+  EXPECT_NEAR(angleDiff(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angleDiff(kTwoPi - 0.1, 0.1), -0.2, 1e-12);
+  EXPECT_NEAR(angleDiff(1.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(Unwrap, RemovesSingleWrap) {
+  // Phase climbing through the 2π seam.
+  std::vector<double> phases = {6.0, 6.2, 0.2, 0.4};
+  unwrapInPlace(phases);
+  EXPECT_NEAR(phases[2], 0.2 + kTwoPi, 1e-12);
+  EXPECT_NEAR(phases[3], 0.4 + kTwoPi, 1e-12);
+  // Continuity: all successive steps now < π.
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    EXPECT_LT(std::abs(phases[i] - phases[i - 1]), kPi);
+  }
+}
+
+TEST(Unwrap, RemovesDownwardWrap) {
+  std::vector<double> phases = {0.3, 0.1, 6.1, 5.9};
+  unwrapInPlace(phases);
+  EXPECT_NEAR(phases[2], 6.1 - kTwoPi, 1e-12);
+}
+
+TEST(Unwrap, HandlesMultipleWraps) {
+  // A tone climbing 4π: samples at π/2 steps wrapped into [0, 2π).
+  std::vector<double> truth;
+  std::vector<double> wrapped;
+  for (int i = 0; i <= 16; ++i) {
+    const double theta = i * kPi / 4.0;
+    truth.push_back(theta);
+    wrapped.push_back(wrapTwoPi(theta));
+  }
+  unwrapInPlace(wrapped);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(wrapped[i] - wrapped[0], truth[i] - truth[0], 1e-9) << i;
+  }
+}
+
+TEST(Unwrap, EmptyAndSingle) {
+  std::vector<double> empty;
+  unwrapInPlace(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<double> one = {1.0};
+  unwrapInPlace(one);
+  EXPECT_DOUBLE_EQ(one[0], 1.0);
+}
+
+TEST(Unwrapped, NonMutating) {
+  const std::vector<double> phases = {6.0, 0.1};
+  const auto out = unwrapped(phases);
+  EXPECT_NEAR(out[1], 0.1 + kTwoPi, 1e-12);
+  EXPECT_DOUBLE_EQ(phases[1], 0.1);
+}
+
+TEST(CircularMean, SimpleCluster) {
+  EXPECT_NEAR(circularMean({1.0, 1.2, 0.8}), 1.0, 1e-9);
+}
+
+TEST(CircularMean, AcrossSeam) {
+  // Samples straddling 0/2π: the arithmetic mean would be ~π (wrong);
+  // the circular mean is ~0.
+  const double m = circularMean({0.1, kTwoPi - 0.1});
+  EXPECT_TRUE(m < 0.05 || m > kTwoPi - 0.05) << m;
+}
+
+TEST(CircularMean, Empty) { EXPECT_DOUBLE_EQ(circularMean({}), 0.0); }
+
+TEST(CircularStddev, ZeroForConstant) {
+  EXPECT_NEAR(circularStddev({2.0, 2.0, 2.0}), 0.0, 1e-9);
+}
+
+TEST(CircularStddev, MatchesLinearForSmallSpread) {
+  // For small dispersion the circular std ≈ ordinary std.
+  std::vector<double> xs = {1.0, 1.02, 0.98, 1.01, 0.99};
+  const double c = circularStddev(xs);
+  EXPECT_NEAR(c, 0.0149, 2e-3);
+}
+
+TEST(CircularStddev, SeamInvariant) {
+  // The same small cluster shifted to straddle the seam: same dispersion.
+  std::vector<double> a = {1.0, 1.1, 0.9};
+  std::vector<double> b;
+  for (double x : a) b.push_back(wrapTwoPi(x - 1.0));  // near 0/2π
+  EXPECT_NEAR(circularStddev(a), circularStddev(b), 1e-9);
+}
+
+}  // namespace
+}  // namespace rfipad

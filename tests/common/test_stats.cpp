@@ -1,0 +1,142 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfipad {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats rs;
+  EXPECT_TRUE(rs.empty());
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats rs;
+  rs.add(42.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEquivalentToCombined) {
+  RunningStats a, b, all;
+  const std::vector<double> xs = {1.0, 5.0, -3.0, 2.5, 7.0, 0.0, 4.0};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 3 ? a : b).add(xs[i]);
+    all.add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(FreeFunctions, MeanVarianceStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({1.0}), 0.0);
+}
+
+TEST(Rms, MatchesDefinition) {
+  EXPECT_DOUBLE_EQ(rms({3.0, 4.0}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+  EXPECT_DOUBLE_EQ(rms({-2.0}), 2.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Percentile, Throws) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, MonotoneAndComplete) {
+  const auto cdf = empiricalCdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_NEAR(cdf[0].second, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].first, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+}
+
+TEST(MovingAverage, SmoothsAndPreservesLength) {
+  const std::vector<double> xs = {0, 0, 9, 0, 0};
+  const auto out = movingAverage(xs, 3);
+  ASSERT_EQ(out.size(), xs.size());
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  // Edges use a shrunken window.
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(MovingAverage, RejectsBadWindows) {
+  EXPECT_THROW(movingAverage({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(movingAverage({1.0}, 2), std::invalid_argument);
+}
+
+TEST(EmaFilter, ConvergesToConstant) {
+  const auto out = emaFilter({1, 1, 1, 1}, 0.5);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_THROW(emaFilter({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(emaFilter({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Diff, FirstDifferences) {
+  const auto d = diff({1.0, 4.0, 2.0});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], -2.0);
+  EXPECT_TRUE(diff({1.0}).empty());
+}
+
+TEST(TotalVariation, SumsAbsoluteSteps) {
+  EXPECT_DOUBLE_EQ(totalVariation({0.0, 1.0, -1.0}), 3.0);
+  EXPECT_DOUBLE_EQ(totalVariation({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(totalVariation({}), 0.0);
+}
+
+// Property: TV is invariant under constant offsets (this is why the Eq. 8
+// mean subtraction does not change the accumulated difference itself).
+class TvOffset : public ::testing::TestWithParam<double> {};
+TEST_P(TvOffset, OffsetInvariant) {
+  const std::vector<double> xs = {0.2, -0.4, 1.0, 0.3, -0.9};
+  std::vector<double> shifted;
+  for (double x : xs) shifted.push_back(x + GetParam());
+  EXPECT_NEAR(totalVariation(xs), totalVariation(shifted), 1e-12);
+}
+INSTANTIATE_TEST_SUITE_P(Stats, TvOffset,
+                         ::testing::Values(-10.0, -1.0, 0.0, 2.5, 100.0));
+
+}  // namespace
+}  // namespace rfipad

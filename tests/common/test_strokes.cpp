@@ -1,0 +1,53 @@
+#include "common/strokes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace rfipad {
+namespace {
+
+TEST(Strokes, ThirteenDirectedMotions) {
+  const auto& all = allDirectedStrokes();
+  EXPECT_EQ(all.size(), 13u);  // click + 6 strokes × 2 directions
+  EXPECT_EQ(all.front().kind, StrokeKind::kClick);
+}
+
+TEST(Strokes, DirectedStrokesUnique) {
+  std::set<std::pair<int, int>> seen;
+  for (const auto& s : allDirectedStrokes()) {
+    EXPECT_TRUE(seen.insert({static_cast<int>(s.kind),
+                             static_cast<int>(s.dir)}).second);
+  }
+}
+
+TEST(Strokes, IndexRoundTrip) {
+  const auto& all = allDirectedStrokes();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(directedStrokeIndex(all[i]), static_cast<int>(i));
+  }
+}
+
+TEST(Strokes, ClassPredicates) {
+  EXPECT_TRUE(isArc(StrokeKind::kLeftArc));
+  EXPECT_TRUE(isArc(StrokeKind::kRightArc));
+  EXPECT_FALSE(isArc(StrokeKind::kVLine));
+  EXPECT_FALSE(isArc(StrokeKind::kClick));
+  EXPECT_TRUE(isLine(StrokeKind::kHLine));
+  EXPECT_TRUE(isLine(StrokeKind::kSlash));
+  EXPECT_FALSE(isLine(StrokeKind::kClick));
+  EXPECT_FALSE(isLine(StrokeKind::kLeftArc));
+}
+
+TEST(Strokes, NamesNonEmptyAndDistinctPerDirection) {
+  for (const auto& s : allDirectedStrokes()) {
+    EXPECT_FALSE(directedStrokeName(s).empty());
+  }
+  const DirectedStroke fwd{StrokeKind::kHLine, StrokeDir::kForward};
+  const DirectedStroke rev{StrokeKind::kHLine, StrokeDir::kReverse};
+  EXPECT_NE(directedStrokeName(fwd), directedStrokeName(rev));
+}
+
+}  // namespace
+}  // namespace rfipad

@@ -1,0 +1,54 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rfipad {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22"});
+  const std::string s = t.toString();
+  // Header first, separator second.
+  std::istringstream is(s);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_NE(line.find("name"), std::string::npos);
+  EXPECT_NE(line.find("value"), std::string::npos);
+  std::getline(is, line);
+  EXPECT_EQ(line.find_first_not_of('-'), std::string::npos);
+  // Columns align: "alpha" and "b" rows put values at the same offset.
+  std::string r1, r2;
+  std::getline(is, r1);
+  std::getline(is, r2);
+  EXPECT_EQ(r1.find('1'), r2.find("22"));
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"label", "x", "y"});
+  t.addRow("row", {1.23456, 2.0}, 2);
+  const std::string s = t.toString();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace rfipad

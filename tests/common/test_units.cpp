@@ -1,0 +1,31 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfipad {
+namespace {
+
+TEST(Units, DbLinearRoundTrip) {
+  for (double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 20.0}) {
+    EXPECT_NEAR(linearToDb(dbToLinear(db)), db, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(dbToLinear(0.0), 1.0);
+  EXPECT_NEAR(dbToLinear(3.0), 2.0, 0.01);
+  EXPECT_DOUBLE_EQ(dbToLinear(10.0), 10.0);
+}
+
+TEST(Units, DbmWattsRoundTrip) {
+  EXPECT_DOUBLE_EQ(dbmToWatts(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(dbmToWatts(30.0), 1.0);
+  EXPECT_NEAR(wattsToDbm(dbmToWatts(-41.0)), -41.0, 1e-9);
+}
+
+TEST(Units, WavelengthAtUhf) {
+  // The paper's 922.38 MHz carrier: λ ≈ 32.5 cm.
+  EXPECT_NEAR(wavelength(922.38e6), 0.325, 0.001);
+  // And the near-field boundary it quotes: λ/2π ≈ 5.2 cm.
+  EXPECT_NEAR(wavelength(922.38e6) / (2.0 * 3.14159265), 0.052, 0.001);
+}
+
+}  // namespace
+}  // namespace rfipad

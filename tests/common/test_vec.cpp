@@ -1,0 +1,107 @@
+#include "common/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfipad {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+  EXPECT_DOUBLE_EQ((a + b).y, -2.0);
+  EXPECT_DOUBLE_EQ((a - b).x, -2.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).y, 4.0);
+  EXPECT_DOUBLE_EQ((b / 2.0).x, 1.5);
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 x{1.0, 0.0};
+  const Vec2 y{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_DOUBLE_EQ(x.cross(y), 1.0);
+  EXPECT_DOUBLE_EQ(y.cross(x), -1.0);
+  EXPECT_DOUBLE_EQ(x.dot(x), 1.0);
+}
+
+TEST(Vec2, NormAndNormalized) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  const Vec2 n = v.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  // Zero vector normalises to zero, not NaN.
+  const Vec2 z = Vec2{}.normalized();
+  EXPECT_DOUBLE_EQ(z.x, 0.0);
+  EXPECT_DOUBLE_EQ(z.y, 0.0);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  EXPECT_DOUBLE_EQ((a + b).z, 5.0);
+  EXPECT_DOUBLE_EQ((a - b).x, 2.0);
+  EXPECT_DOUBLE_EQ((a * 3.0).y, 6.0);
+}
+
+TEST(Vec3, CrossProduct) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  const Vec3 z = x.cross(y);
+  EXPECT_DOUBLE_EQ(z.x, 0.0);
+  EXPECT_DOUBLE_EQ(z.y, 0.0);
+  EXPECT_DOUBLE_EQ(z.z, 1.0);
+  // Anti-commutative.
+  const Vec3 mz = y.cross(x);
+  EXPECT_DOUBLE_EQ(mz.z, -1.0);
+}
+
+TEST(Vec3, XyProjection) {
+  const Vec3 v{1.5, -2.5, 9.0};
+  EXPECT_DOUBLE_EQ(v.xy().x, 1.5);
+  EXPECT_DOUBLE_EQ(v.xy().y, -2.5);
+}
+
+TEST(Vec3, DistanceSymmetry) {
+  const Vec3 a{0, 0, 0};
+  const Vec3 b{1, 2, 2};
+  EXPECT_DOUBLE_EQ(distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(distance(b, a), 3.0);
+}
+
+TEST(Lerp, EndpointsAndMidpoint) {
+  const Vec3 a{0, 0, 0};
+  const Vec3 b{2, 4, 6};
+  EXPECT_DOUBLE_EQ(lerp(a, b, 0.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(lerp(a, b, 1.0).z, 6.0);
+  EXPECT_DOUBLE_EQ(lerp(a, b, 0.5).y, 2.0);
+}
+
+TEST(PointSegmentDistance, PerpendicularFoot) {
+  // Point above the middle of a horizontal segment.
+  const double d = pointSegmentDistance({0.5, 1.0, 0.0}, {0, 0, 0}, {1, 0, 0});
+  EXPECT_DOUBLE_EQ(d, 1.0);
+}
+
+TEST(PointSegmentDistance, ClampsToEndpoints) {
+  const double d = pointSegmentDistance({-3.0, 4.0, 0.0}, {0, 0, 0}, {1, 0, 0});
+  EXPECT_DOUBLE_EQ(d, 5.0);  // distance to the (0,0,0) endpoint
+  const double d2 = pointSegmentDistance({4.0, 4.0, 0.0}, {0, 0, 0}, {1, 0, 0});
+  EXPECT_DOUBLE_EQ(d2, 5.0);
+}
+
+TEST(PointSegmentDistance, DegenerateSegment) {
+  const double d = pointSegmentDistance({3.0, 4.0, 0.0}, {0, 0, 0}, {0, 0, 0});
+  EXPECT_DOUBLE_EQ(d, 5.0);
+}
+
+TEST(PointSegmentDistance, PointOnSegmentIsZero) {
+  const double d = pointSegmentDistance({0.25, 0.0, 0.0}, {0, 0, 0}, {1, 0, 0});
+  EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+}  // namespace
+}  // namespace rfipad

@@ -1,0 +1,154 @@
+#include "core/activation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+
+namespace rfipad::core {
+namespace {
+
+/// Builds a stream where tag 0 carries a moving-phase signal and the rest
+/// only noise; per-tag noise levels vary to exercise the weighting.
+struct SyntheticWindow {
+  reader::SampleStream stream{4};
+  StaticProfile profile;
+
+  explicit SyntheticWindow(double signal_amp = 1.2, std::uint64_t seed = 3) {
+    Rng rng(seed);
+    std::vector<TagProfile> tags(4);
+    const double noise[4] = {0.03, 0.03, 0.09, 0.03};
+    for (int i = 0; i < 4; ++i) {
+      tags[i].mean_phase = 1.0 + i;
+      tags[i].deviation_bias = noise[i];
+      tags[i].samples = 100;
+    }
+    profile = StaticProfile(std::move(tags));
+    for (int j = 0; j < 40; ++j) {
+      const double t = j * 0.025;
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        reader::TagReport r;
+        r.tag_index = i;
+        r.time_s = t + i * 0.004;
+        double phase = 1.0 + i + rng.normal(0.0, noise[i]);
+        if (i == 0) phase += signal_amp * std::sin(kTwoPi * 1.2 * t);
+        r.phase_rad = wrapTwoPi(phase);
+        r.rssi_dbm = -40.0;
+        stream.push(r);
+      }
+    }
+  }
+};
+
+TEST(Activation, SignalTagDominates) {
+  SyntheticWindow w;
+  const auto act = activationMap(w.stream, w.profile);
+  EXPECT_GT(act[0], act[1]);
+  EXPECT_GT(act[0], act[2]);
+  EXPECT_GT(act[0], act[3]);
+}
+
+TEST(Activation, SuppressionFlattensNoisyTag) {
+  SyntheticWindow w;
+  ActivationOptions with;
+  ActivationOptions without;
+  without.diversity_suppression = false;
+  const auto a = activationMap(w.stream, w.profile, with);
+  const auto b = activationMap(w.stream, w.profile, without);
+  // Tag 2 is 3× noisier than tags 1/3; suppression knocks its activation
+  // down (noise-floor subtraction + bias weighting) while the true signal
+  // tag keeps a healthy margin over it.
+  EXPECT_LT(a[2], b[2]);
+  EXPECT_GT(a[0], 1.5 * a[2]);
+}
+
+TEST(Activation, UnwrapPreventsSeamArtifacts) {
+  // A tag whose static centre sits right at the 0/2π seam.
+  Rng rng(5);
+  reader::SampleStream stream(1);
+  std::vector<TagProfile> tags(1);
+  tags[0].mean_phase = 0.0;
+  tags[0].deviation_bias = 0.02;
+  StaticProfile profile(std::move(tags));
+  for (int j = 0; j < 50; ++j) {
+    reader::TagReport r;
+    r.tag_index = 0;
+    r.time_s = j * 0.02;
+    r.phase_rad = wrapTwoPi(rng.normal(0.0, 0.02));
+    stream.push(r);
+  }
+  ActivationOptions opt;
+  const auto act = activationMap(stream, profile, opt);
+  // Near-constant phase at the seam → tiny activation, not 2π jumps.
+  EXPECT_LT(act[0], 0.3);
+}
+
+TEST(Activation, MinSamplesGate) {
+  SyntheticWindow w;
+  ActivationOptions opt;
+  opt.min_samples = 1000;  // nobody qualifies
+  const auto act = activationMap(w.stream, w.profile, opt);
+  for (double a : act) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(Activation, ImageShapeMatchesGrid) {
+  SyntheticWindow w;
+  const auto img = activationImage(w.stream, w.profile, 2, 2);
+  EXPECT_EQ(img.rows(), 2);
+  EXPECT_EQ(img.cols(), 2);
+  EXPECT_THROW(activationImage(w.stream, w.profile, 3, 3),
+               std::invalid_argument);
+}
+
+TEST(Activation, SqrtCompressionShrinksRatios) {
+  SyntheticWindow w;
+  ActivationOptions plain;
+  plain.sqrt_compress = false;
+  ActivationOptions compressed;
+  compressed.sqrt_compress = true;
+  const auto a = activationMap(w.stream, w.profile, plain);
+  const auto b = activationMap(w.stream, w.profile, compressed);
+  EXPECT_NEAR(b[0], std::sqrt(a[0]), 1e-9);
+}
+
+TEST(Activation, EdgeTaperReducesEdgeContribution) {
+  // A burst confined to the window edge contributes less when tapered.
+  Rng rng(9);
+  reader::SampleStream stream(1);
+  std::vector<TagProfile> tags(1);
+  tags[0].mean_phase = 0.0;
+  tags[0].deviation_bias = 0.01;
+  StaticProfile profile(std::move(tags));
+  for (int j = 0; j < 60; ++j) {
+    reader::TagReport r;
+    r.tag_index = 0;
+    r.time_s = j * 0.02;
+    // Big swings only in the first 15% of the window.
+    r.phase_rad = wrapTwoPi(j < 9 ? rng.uniform(0.0, 2.0) : 0.5);
+    stream.push(r);
+  }
+  ActivationOptions no_taper;
+  no_taper.edge_taper = 0.0;
+  ActivationOptions taper;
+  taper.edge_taper = 0.3;
+  const auto a = activationMap(stream, profile, no_taper);
+  const auto b = activationMap(stream, profile, taper);
+  EXPECT_LT(b[0], a[0]);
+}
+
+TEST(Activation, CalibratedPhasesCentredOnZero) {
+  const std::vector<double> phases = {1.1, 1.2, 1.0, 1.15};
+  const auto theta = calibratedPhases(phases, 1.1, true);
+  for (double t : theta) EXPECT_LT(std::abs(t), 0.2);
+}
+
+TEST(Activation, RejectsEmptyProfile) {
+  reader::SampleStream s;
+  StaticProfile empty;
+  EXPECT_THROW(activationMap(s, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfipad::core

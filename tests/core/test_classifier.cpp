@@ -1,0 +1,111 @@
+#include "core/stroke_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfipad::core {
+namespace {
+
+imgproc::BinaryMap mapOf(const std::vector<std::pair<int, int>>& cells) {
+  imgproc::BinaryMap m(5, 5);
+  for (auto [r, c] : cells) m.set(r, c, true);
+  return m;
+}
+
+DirectionResult towards(Vec2 v) {
+  DirectionResult d;
+  d.valid = true;
+  d.direction = v.normalized();
+  d.confidence = 0.9;
+  return d;
+}
+
+TEST(Classifier, EmptyMapInvalid) {
+  const auto obs = classifyStrokeBinary(mapOf({}), {});
+  EXPECT_FALSE(obs.valid);
+}
+
+TEST(Classifier, VerticalLine) {
+  const auto obs = classifyStrokeBinary(
+      mapOf({{0, 2}, {1, 2}, {2, 2}, {3, 2}, {4, 2}}), towards({0, -1}));
+  ASSERT_TRUE(obs.valid);
+  EXPECT_EQ(obs.stroke.kind, StrokeKind::kVLine);
+  EXPECT_EQ(obs.stroke.dir, StrokeDir::kForward);  // ↓
+}
+
+TEST(Classifier, VerticalLineReverse) {
+  const auto obs = classifyStrokeBinary(
+      mapOf({{0, 2}, {1, 2}, {2, 2}, {3, 2}, {4, 2}}), towards({0, 1}));
+  EXPECT_EQ(obs.stroke.dir, StrokeDir::kReverse);  // ↑
+}
+
+TEST(Classifier, HorizontalLineBothDirections) {
+  const auto fwd = classifyStrokeBinary(
+      mapOf({{2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4}}), towards({1, 0}));
+  EXPECT_EQ(fwd.stroke.kind, StrokeKind::kHLine);
+  EXPECT_EQ(fwd.stroke.dir, StrokeDir::kForward);
+  const auto rev = classifyStrokeBinary(
+      mapOf({{2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4}}), towards({-1, 0}));
+  EXPECT_EQ(rev.stroke.dir, StrokeDir::kReverse);
+}
+
+TEST(Classifier, SlashAndBackslash) {
+  const auto slash = classifyStrokeBinary(
+      mapOf({{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}}), towards({1, 1}));
+  EXPECT_EQ(slash.stroke.kind, StrokeKind::kSlash);
+  const auto back = classifyStrokeBinary(
+      mapOf({{4, 0}, {3, 1}, {2, 2}, {1, 3}, {0, 4}}), towards({1, -1}));
+  EXPECT_EQ(back.stroke.kind, StrokeKind::kBackslash);
+  EXPECT_EQ(back.stroke.dir, StrokeDir::kForward);
+}
+
+TEST(Classifier, ClickBlob) {
+  const auto obs = classifyStrokeBinary(mapOf({{2, 2}, {2, 3}, {3, 2}}), {});
+  ASSERT_TRUE(obs.valid);
+  EXPECT_EQ(obs.stroke.kind, StrokeKind::kClick);
+}
+
+TEST(Classifier, LeftAndRightArcs) {
+  const auto left = classifyStrokeBinary(
+      mapOf({{4, 2}, {3, 1}, {2, 0}, {1, 1}, {0, 2}}), towards({0, -1}));
+  ASSERT_TRUE(left.valid);
+  EXPECT_EQ(left.stroke.kind, StrokeKind::kLeftArc);
+  const auto right = classifyStrokeBinary(
+      mapOf({{4, 2}, {3, 3}, {2, 4}, {1, 3}, {0, 2}}), towards({0, -1}));
+  EXPECT_EQ(right.stroke.kind, StrokeKind::kRightArc);
+}
+
+TEST(Classifier, LargestComponentWins) {
+  // A 5-cell column plus an isolated noise pixel.
+  const auto obs = classifyStrokeBinary(
+      mapOf({{0, 1}, {1, 1}, {2, 1}, {3, 1}, {4, 1}, {0, 4}}), towards({0, -1}));
+  EXPECT_EQ(obs.stroke.kind, StrokeKind::kVLine);
+  EXPECT_EQ(obs.cells.size(), 5u);
+}
+
+TEST(Classifier, StartEndFollowTravel) {
+  const auto obs = classifyStrokeBinary(
+      mapOf({{2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4}}), towards({1, 0}));
+  EXPECT_LT(obs.start_cell.x, obs.end_cell.x);
+  const auto rev = classifyStrokeBinary(
+      mapOf({{2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4}}), towards({-1, 0}));
+  EXPECT_GT(rev.start_cell.x, rev.end_cell.x);
+}
+
+TEST(Classifier, NoDirectionStillClassifiesShape) {
+  const auto obs = classifyStrokeBinary(
+      mapOf({{0, 2}, {1, 2}, {2, 2}, {3, 2}, {4, 2}}), {});
+  ASSERT_TRUE(obs.valid);
+  EXPECT_EQ(obs.stroke.kind, StrokeKind::kVLine);
+  EXPECT_LT(obs.confidence, 0.5);  // degraded without RSS ordering
+}
+
+TEST(Classifier, ConfidenceHigherWithDirection) {
+  const auto with = classifyStrokeBinary(
+      mapOf({{2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4}}), towards({1, 0}));
+  const auto without = classifyStrokeBinary(
+      mapOf({{2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4}}), {});
+  EXPECT_GT(with.confidence, without.confidence);
+}
+
+}  // namespace
+}  // namespace rfipad::core

@@ -1,0 +1,143 @@
+#include "core/direction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace rfipad::core {
+namespace {
+
+/// Builds a window where each listed tag's RSS dips (Gaussian trough) at a
+/// given time; other tags stay flat.
+reader::SampleStream troughStream(
+    const std::vector<std::pair<std::uint32_t, double>>& troughs,
+    std::uint32_t num_tags, double depth_db = 8.0, double noise = 0.2,
+    std::uint64_t seed = 1) {
+  Rng rng(seed);
+  reader::SampleStream stream(num_tags);
+  for (int j = 0; j < 60; ++j) {
+    const double t = j * 0.05;
+    for (std::uint32_t i = 0; i < num_tags; ++i) {
+      reader::TagReport r;
+      r.tag_index = i;
+      r.time_s = t + i * 0.001;
+      double rssi = -40.0 + rng.normal(0.0, noise);
+      for (const auto& [tag, t0] : troughs) {
+        if (tag == i) {
+          rssi -= depth_db * std::exp(-std::pow((t - t0) / 0.25, 2));
+        }
+      }
+      r.rssi_dbm = rssi;
+      r.phase_rad = 1.0;
+      stream.push(r);
+    }
+  }
+  return stream;
+}
+
+std::vector<Vec2> rowOfTags(int n) {
+  std::vector<Vec2> xy;
+  for (int i = 0; i < n; ++i) xy.push_back({i * 0.06, 0.0});
+  return xy;
+}
+
+TEST(Trough, DetectsCleanTrough) {
+  const auto stream = troughStream({{0, 1.5}}, 1);
+  const auto s = stream.seriesFor(0);
+  TroughEstimate te;
+  ASSERT_TRUE(estimateTrough(s.times, s.rssi, {}, &te));
+  EXPECT_NEAR(te.time_s, 1.5, 0.15);
+  EXPECT_GT(te.depth_db, 5.0);
+}
+
+TEST(Trough, RejectsFlatSeries) {
+  const auto stream = troughStream({}, 1);
+  const auto s = stream.seriesFor(0);
+  TroughEstimate te;
+  EXPECT_FALSE(estimateTrough(s.times, s.rssi, {}, &te));
+}
+
+TEST(Trough, RespectsMinSamples) {
+  DirectionOptions opt;
+  opt.min_samples = 100;
+  const auto stream = troughStream({{0, 1.5}}, 1);
+  const auto s = stream.seriesFor(0);
+  TroughEstimate te;
+  EXPECT_FALSE(estimateTrough(s.times, s.rssi, opt, &te));
+}
+
+TEST(Trough, SizeMismatchThrows) {
+  TroughEstimate te;
+  EXPECT_THROW(estimateTrough({1.0, 2.0}, {1.0}, {}, &te),
+               std::invalid_argument);
+}
+
+TEST(Direction, LeftToRightSweep) {
+  // Troughs appear on tags 0→4 in order: travel along +x.
+  const auto stream = troughStream(
+      {{0, 0.5}, {1, 1.0}, {2, 1.5}, {3, 2.0}, {4, 2.5}}, 5);
+  const auto res = estimateDirection(stream, rowOfTags(5), {});
+  ASSERT_TRUE(res.valid);
+  EXPECT_GT(res.direction.x, 0.9);
+  EXPECT_NEAR(res.direction.y, 0.0, 0.3);
+  EXPECT_EQ(res.ordered.size(), 5u);
+  EXPECT_EQ(res.ordered.front().tag_index, 0u);
+  EXPECT_EQ(res.ordered.back().tag_index, 4u);
+  EXPECT_GT(res.confidence, 0.9);
+}
+
+TEST(Direction, RightToLeftSweep) {
+  const auto stream = troughStream(
+      {{4, 0.5}, {3, 1.0}, {2, 1.5}, {1, 2.0}, {0, 2.5}}, 5);
+  const auto res = estimateDirection(stream, rowOfTags(5), {});
+  ASSERT_TRUE(res.valid);
+  EXPECT_LT(res.direction.x, -0.9);
+}
+
+TEST(Direction, InvalidWithSingleTrough) {
+  const auto stream = troughStream({{2, 1.0}}, 5);
+  const auto res = estimateDirection(stream, rowOfTags(5), {});
+  EXPECT_FALSE(res.valid);
+}
+
+TEST(Direction, CandidateRestrictionFiltersTags) {
+  const auto stream = troughStream(
+      {{0, 0.5}, {1, 1.0}, {2, 1.5}, {3, 2.0}, {4, 2.5}}, 5);
+  const auto res = estimateDirection(stream, rowOfTags(5), {0, 1, 2});
+  EXPECT_EQ(res.ordered.size(), 3u);
+}
+
+TEST(Direction, VerticalSweepAlongY) {
+  std::vector<Vec2> col;
+  for (int i = 0; i < 5; ++i) col.push_back({0.0, i * 0.06});
+  // Troughs from high y to low y: travel −y.
+  const auto stream = troughStream(
+      {{4, 0.5}, {3, 1.0}, {2, 1.5}, {1, 2.0}, {0, 2.5}}, 5);
+  const auto res = estimateDirection(stream, col, {});
+  ASSERT_TRUE(res.valid);
+  EXPECT_LT(res.direction.y, -0.9);
+}
+
+TEST(Direction, ShuffledTimesLowerConfidence) {
+  // Troughs in scrambled spatial order → weak correlation.
+  const auto stream = troughStream(
+      {{2, 0.5}, {0, 1.0}, {4, 1.2}, {1, 2.0}, {3, 2.3}}, 5);
+  const auto res = estimateDirection(stream, rowOfTags(5), {});
+  const auto ordered_stream = troughStream(
+      {{0, 0.5}, {1, 1.0}, {2, 1.5}, {3, 2.0}, {4, 2.5}}, 5);
+  const auto ordered_res = estimateDirection(ordered_stream, rowOfTags(5), {});
+  EXPECT_LT(res.confidence, ordered_res.confidence);
+}
+
+TEST(Direction, AllTroughsOnOneTagInvalid) {
+  // Two tags at the same position cannot define an axis.
+  const auto stream = troughStream({{0, 1.0}, {1, 2.0}}, 2);
+  const std::vector<Vec2> same = {{0.0, 0.0}, {0.0, 0.0}};
+  const auto res = estimateDirection(stream, same, {});
+  EXPECT_FALSE(res.valid);
+}
+
+}  // namespace
+}  // namespace rfipad::core

@@ -1,0 +1,185 @@
+#include "core/grammar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/letters.hpp"
+
+namespace rfipad::core {
+namespace {
+
+const LetterGrammar& grammar() { return LetterGrammar::instance(); }
+
+ObservedStroke obs(StrokeKind kind, Vec2 start = {}, Vec2 end = {},
+                   Vec2 centroid = {}) {
+  return ObservedStroke{kind, StrokeDir::kForward, start, end, centroid};
+}
+
+TEST(Grammar, SequencesMatchSimulatorPlans) {
+  // The recogniser's grammar and the workload generator's letter table must
+  // agree stroke-for-stroke.
+  for (char c = 'A'; c <= 'Z'; ++c) {
+    EXPECT_EQ(grammar().sequenceFor(c), sim::letterStrokeKinds(c)) << c;
+  }
+}
+
+TEST(Grammar, GroupSizesMatchPaper) {
+  // Fig. 23 groups: 2 / 9 / 12 / 3 letters with 1..4 strokes.
+  int counts[5] = {};
+  for (char c = 'A'; c <= 'Z'; ++c) {
+    counts[grammar().sequenceFor(c).size()]++;
+  }
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 9);
+  EXPECT_EQ(counts[3], 12);
+  EXPECT_EQ(counts[4], 3);
+}
+
+TEST(Grammar, UnambiguousLettersRecognized) {
+  // Letters whose stroke sequence is unique resolve directly.
+  for (char c : {'H', 'L', 'T', 'Z', 'E', 'C', 'I', 'M', 'W', 'K'}) {
+    std::vector<ObservedStroke> strokes;
+    for (StrokeKind k : grammar().sequenceFor(c)) strokes.push_back(obs(k));
+    EXPECT_EQ(grammar().recognize(strokes), c) << c;
+  }
+}
+
+TEST(Grammar, CandidatesForAmbiguousPairs) {
+  EXPECT_EQ(grammar().candidates({StrokeKind::kVLine, StrokeKind::kRightArc}),
+            (std::vector<char>{'D', 'P'}));
+  EXPECT_EQ(grammar().candidates({StrokeKind::kLeftArc, StrokeKind::kRightArc}),
+            (std::vector<char>{'O', 'S'}));
+  EXPECT_EQ(grammar().candidates({StrokeKind::kBackslash, StrokeKind::kSlash}),
+            (std::vector<char>{'V', 'X'}));
+}
+
+TEST(Grammar, NoCandidatesForGibberish) {
+  EXPECT_TRUE(grammar().candidates({StrokeKind::kClick}).empty());
+  EXPECT_EQ(grammar().recognize({obs(StrokeKind::kClick)}), '\0');
+}
+
+TEST(Grammar, DisambiguatesDvsP) {
+  // D: the bowl's lower end meets the bar's bottom.
+  std::vector<ObservedStroke> d = {
+      obs(StrokeKind::kVLine, {0, 4}, {0, 0}),
+      obs(StrokeKind::kRightArc, {0, 4}, {0, 0}, {1, 2})};
+  EXPECT_EQ(grammar().recognize(d), 'D');
+  // P: the bowl ends mid-height.
+  std::vector<ObservedStroke> p = {
+      obs(StrokeKind::kVLine, {0, 4}, {0, 0}),
+      obs(StrokeKind::kRightArc, {0, 4}, {0, 2}, {1, 3})};
+  EXPECT_EQ(grammar().recognize(p), 'P');
+}
+
+TEST(Grammar, DisambiguatesOvsS) {
+  // O: both arcs span the same rows (centroids at the same height).
+  std::vector<ObservedStroke> o = {
+      obs(StrokeKind::kLeftArc, {2, 4}, {2, 0}, {1, 2}),
+      obs(StrokeKind::kRightArc, {2, 4}, {2, 0}, {3, 2})};
+  EXPECT_EQ(grammar().recognize(o), 'O');
+  // S: "⊂" on top, "⊃" below.
+  std::vector<ObservedStroke> s = {
+      obs(StrokeKind::kLeftArc, {3, 4}, {3, 2}, {2, 3}),
+      obs(StrokeKind::kRightArc, {1, 2}, {1, 0}, {2, 1})};
+  EXPECT_EQ(grammar().recognize(s), 'S');
+}
+
+TEST(Grammar, DisambiguatesVvsX) {
+  // V: strokes meet at the bottom (no interior crossing).
+  std::vector<ObservedStroke> v = {
+      obs(StrokeKind::kBackslash, {0, 4}, {2, 0}),
+      obs(StrokeKind::kSlash, {2, 0}, {4, 4})};
+  EXPECT_EQ(grammar().recognize(v), 'V');
+  // X: strokes cross at the centre.
+  std::vector<ObservedStroke> x = {
+      obs(StrokeKind::kBackslash, {0, 4}, {4, 0}),
+      obs(StrokeKind::kSlash, {0, 0}, {4, 4})};
+  EXPECT_EQ(grammar().recognize(x), 'X');
+}
+
+TEST(Grammar, VvsXDirectionAgnostic) {
+  // Same X with the second stroke's endpoints swapped (flipped travel
+  // estimate) still crosses → still X.
+  std::vector<ObservedStroke> x = {
+      obs(StrokeKind::kBackslash, {0, 4}, {4, 0}),
+      obs(StrokeKind::kSlash, {4, 4}, {0, 0})};
+  EXPECT_EQ(grammar().recognize(x), 'X');
+}
+
+TEST(Grammar, AlphabetComplete) {
+  EXPECT_EQ(LetterGrammar::alphabet().size(), 26u);
+  EXPECT_THROW(grammar().sequenceFor('a'), std::invalid_argument);
+  EXPECT_THROW(grammar().sequenceFor('1'), std::invalid_argument);
+}
+
+TEST(Grammar, EveryLetterReachableFromItsOwnSequence) {
+  // With neutral positions, every letter resolves to itself or, for the
+  // three ambiguous pairs, to a member of the pair.
+  for (char c = 'A'; c <= 'Z'; ++c) {
+    std::vector<ObservedStroke> strokes;
+    for (StrokeKind k : grammar().sequenceFor(c)) strokes.push_back(obs(k));
+    const char got = grammar().recognize(strokes);
+    if (c == 'D' || c == 'P') {
+      EXPECT_TRUE(got == 'D' || got == 'P') << c;
+    } else if (c == 'O' || c == 'S') {
+      EXPECT_TRUE(got == 'O' || got == 'S') << c;
+    } else if (c == 'V' || c == 'X') {
+      EXPECT_TRUE(got == 'V' || got == 'X') << c;
+    } else {
+      EXPECT_EQ(got, c) << c;
+    }
+  }
+}
+
+TEST(GrammarRobust, ExactSequenceZeroCost) {
+  std::vector<ObservedStroke> h;
+  for (StrokeKind k : grammar().sequenceFor('H')) h.push_back(obs(k));
+  EXPECT_DOUBLE_EQ(
+      grammar().alignmentCost(h, std::vector<double>(h.size(), 1.0), 'H'),
+      0.0);
+}
+
+TEST(GrammarRobust, ToleratesOneSubstitution) {
+  // K = | / \ observed with the "/" degraded into "|" (steep leg).
+  std::vector<ObservedStroke> k = {obs(StrokeKind::kVLine),
+                                   obs(StrokeKind::kVLine),
+                                   obs(StrokeKind::kBackslash)};
+  const char c = grammar().recognizeRobust(k, {0.9, 0.3, 0.9});
+  EXPECT_EQ(c, 'K');
+}
+
+TEST(GrammarRobust, ToleratesSpuriousStroke) {
+  // H with an extra low-confidence click between strokes.
+  std::vector<ObservedStroke> h = {obs(StrokeKind::kVLine),
+                                   obs(StrokeKind::kClick),
+                                   obs(StrokeKind::kHLine),
+                                   obs(StrokeKind::kVLine)};
+  EXPECT_EQ(grammar().recognizeRobust(h, {0.9, 0.1, 0.9, 0.9}), 'H');
+}
+
+TEST(GrammarRobust, ToleratesMissingStroke) {
+  // E = |−−− with one "−" lost by segmentation.
+  std::vector<ObservedStroke> e = {obs(StrokeKind::kVLine),
+                                   obs(StrokeKind::kHLine),
+                                   obs(StrokeKind::kHLine)};
+  // With exact-match priority this is F (a real letter); that is the
+  // intended behaviour — prefixes resolve to their own letter.
+  EXPECT_EQ(grammar().recognizeRobust(e, {0.9, 0.9, 0.9}), 'F');
+}
+
+TEST(GrammarRobust, RejectsHopelessInput) {
+  std::vector<ObservedStroke> junk(8, obs(StrokeKind::kClick));
+  EXPECT_EQ(grammar().recognizeRobust(junk, std::vector<double>(8, 1.0), 0.5),
+            '\0');
+}
+
+TEST(GrammarRobust, CostLowerForCloserLetter) {
+  std::vector<ObservedStroke> almost_h = {obs(StrokeKind::kVLine),
+                                          obs(StrokeKind::kHLine),
+                                          obs(StrokeKind::kSlash)};
+  const std::vector<double> conf = {0.9, 0.9, 0.4};
+  EXPECT_LT(grammar().alignmentCost(almost_h, conf, 'H'),
+            grammar().alignmentCost(almost_h, conf, 'O'));
+}
+
+}  // namespace
+}  // namespace rfipad::core

@@ -1,0 +1,120 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfipad::core {
+namespace {
+
+TEST(Confusion, AccuracyAndCounts) {
+  ConfusionMatrix m(3);
+  m.add(0, 0);
+  m.add(0, 1);
+  m.add(1, 1);
+  m.add(2, -1);  // missed
+  EXPECT_EQ(m.total(), 4);
+  EXPECT_EQ(m.correct(), 2);
+  EXPECT_EQ(m.misses(), 1);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.5);
+  EXPECT_EQ(m.count(0, 1), 1);
+  EXPECT_DOUBLE_EQ(m.classAccuracy(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.classAccuracy(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.classAccuracy(2), 0.0);
+}
+
+TEST(Confusion, Validation) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.add(-1, 0), std::invalid_argument);
+  EXPECT_THROW(m.add(0, 2), std::invalid_argument);
+  EXPECT_THROW(m.count(0, -1), std::invalid_argument);
+}
+
+TEST(Confusion, EmptyAccuracyZero) {
+  ConfusionMatrix m(2);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+}
+
+TEST(Match, PerfectAlignment) {
+  const std::vector<Interval> truth = {{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<Interval> det = {{1.05, 1.95}, {3.1, 4.0}};
+  std::vector<int> assign;
+  const auto c = matchIntervals(truth, det, {}, &assign);
+  EXPECT_EQ(c.matched, 2);
+  EXPECT_EQ(c.missed, 0);
+  EXPECT_EQ(c.false_positives, 0);
+  EXPECT_EQ(assign[0], 0);
+  EXPECT_EQ(assign[1], 1);
+  EXPECT_DOUBLE_EQ(c.fnr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.0);
+}
+
+TEST(Match, MissedTruth) {
+  const auto c = matchIntervals({{1.0, 2.0}, {5.0, 6.0}}, {{1.0, 2.0}});
+  EXPECT_EQ(c.matched, 1);
+  EXPECT_EQ(c.missed, 1);
+  EXPECT_DOUBLE_EQ(c.fnr(), 0.5);
+}
+
+TEST(Match, FalsePositiveDetection) {
+  const auto c = matchIntervals({{1.0, 2.0}}, {{1.0, 2.0}, {8.0, 9.0}});
+  EXPECT_EQ(c.false_positives, 1);
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.insertionRate(), 1.0);
+}
+
+TEST(Match, UnderfillDetection) {
+  MatchOptions opt;
+  opt.coverage_gate = 0.7;
+  // Detection covers only half of the truth interval.
+  const auto c = matchIntervals({{0.0, 2.0}}, {{0.0, 1.0}}, opt);
+  EXPECT_EQ(c.matched, 1);
+  EXPECT_EQ(c.underfilled, 1);
+  EXPECT_DOUBLE_EQ(c.underfillRate(), 1.0);
+}
+
+TEST(Match, FullCoverageNotUnderfilled) {
+  const auto c = matchIntervals({{0.0, 2.0}}, {{-0.2, 2.2}});
+  EXPECT_EQ(c.underfilled, 0);
+}
+
+TEST(Match, OverlapGateRejectsGrazing) {
+  MatchOptions opt;
+  opt.min_overlap_frac = 0.5;
+  // Only 10% of the shorter interval overlaps.
+  const auto c = matchIntervals({{0.0, 1.0}}, {{0.9, 1.9}}, opt);
+  EXPECT_EQ(c.matched, 0);
+  EXPECT_EQ(c.missed, 1);
+  EXPECT_EQ(c.false_positives, 1);
+}
+
+TEST(Match, EachDetectionUsedOnce) {
+  // Two truths, one detection spanning both: only one can claim it.
+  const auto c = matchIntervals({{0.0, 1.0}, {1.2, 2.2}}, {{0.0, 2.2}});
+  EXPECT_EQ(c.matched, 1);
+  EXPECT_EQ(c.missed, 1);
+}
+
+TEST(Match, AccumulateCounts) {
+  DetectionCounts a;
+  a.truths = 2;
+  a.matched = 1;
+  DetectionCounts b;
+  b.truths = 3;
+  b.matched = 3;
+  a += b;
+  EXPECT_EQ(a.truths, 5);
+  EXPECT_EQ(a.matched, 4);
+}
+
+TEST(Match, EmptyInputs) {
+  const auto c = matchIntervals({}, {});
+  EXPECT_EQ(c.truths, 0);
+  EXPECT_DOUBLE_EQ(c.fnr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.underfillRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rfipad::core

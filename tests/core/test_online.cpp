@@ -1,0 +1,140 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/letters.hpp"
+#include "sim/scenario.hpp"
+
+namespace rfipad::core {
+namespace {
+
+struct Rig {
+  sim::Scenario scenario;
+  StaticProfile profile;
+  OnlineOptions options;
+
+  explicit Rig(std::uint64_t seed = 51)
+      : scenario([&] {
+          sim::ScenarioConfig cfg;
+          cfg.seed = seed;
+          return cfg;
+        }()),
+        profile(StaticProfile::calibrate(scenario.captureStatic(5.0), 25)) {
+    options.engine.rows = 5;
+    options.engine.cols = 5;
+    for (const auto& t : scenario.array().tags())
+      options.engine.tag_xy.push_back({t.position.x, t.position.y});
+  }
+
+  sim::Capture write(const std::vector<sim::StrokePlan>& plans) {
+    sim::TrajectoryBuilder b(sim::defaultUser(1), scenario.forkRng(3));
+    b.hold(0.5);
+    for (const auto& p : plans) b.stroke(p);
+    b.retract().hold(0.6);
+    return scenario.capture(b.build(), sim::defaultUser(1));
+  }
+};
+
+TEST(Online, EmitsStrokeShortlyAfterItEnds) {
+  Rig rig;
+  OnlineRecognizer rec(rig.profile, rig.options);
+  std::vector<double> emit_times;
+  rec.onStroke([&](const StrokeEvent& ev) {
+    emit_times.push_back(ev.interval.t1);
+  });
+
+  const auto cap = rig.write(
+      {sim::canonicalPlan({StrokeKind::kVLine, StrokeDir::kForward}, 0.1)});
+  double last_pushed = 0.0;
+  double emitted_at_push_time = -1.0;
+  for (const auto& r : cap.stream.reports()) {
+    rec.push(r);
+    last_pushed = r.time_s;
+    if (!emit_times.empty() && emitted_at_push_time < 0.0) {
+      emitted_at_push_time = last_pushed;
+    }
+  }
+  rec.flush();
+  ASSERT_FALSE(emit_times.empty());
+  // The stroke was reported online — before the input stream ended, within
+  // ~1 s of the window closing (the paper's online property).
+  if (emitted_at_push_time > 0.0) {
+    EXPECT_LT(emitted_at_push_time - emit_times.front(), 1.2);
+  }
+}
+
+TEST(Online, MatchesBatchRecognitionForSingleStroke) {
+  Rig rig;
+  const auto cap = rig.write(
+      {sim::canonicalPlan({StrokeKind::kHLine, StrokeDir::kForward}, 0.1)});
+
+  OnlineRecognizer rec(rig.profile, rig.options);
+  for (const auto& r : cap.stream.reports()) rec.push(r);
+  rec.flush();
+  ASSERT_EQ(rec.strokes().size(), 1u);
+  EXPECT_EQ(rec.strokes()[0].observation.stroke.kind, StrokeKind::kHLine);
+
+  const RecognitionEngine batch(rig.profile, rig.options.engine);
+  const auto batch_events = batch.detectStrokes(cap.stream);
+  ASSERT_EQ(batch_events.size(), 1u);
+  EXPECT_EQ(batch_events[0].observation.stroke.kind,
+            rec.strokes()[0].observation.stroke.kind);
+}
+
+TEST(Online, ComposesLetterAfterQuietGap) {
+  Rig rig(57);
+  OnlineRecognizer rec(rig.profile, rig.options);
+  char letter = '\0';
+  std::size_t letter_strokes = 0;
+  rec.onLetter([&](char c, const std::vector<StrokeEvent>& evs) {
+    letter = c;
+    letter_strokes = evs.size();
+  });
+
+  const auto cap = rig.write(sim::letterPlans('L', 0.12, 0.114));
+  for (const auto& r : cap.stream.reports()) rec.push(r);
+  rec.flush();
+  EXPECT_EQ(letter, 'L');
+  // Two real strokes; an occasional transition residue may ride along (the
+  // robust decoder discounts it).
+  EXPECT_GE(letter_strokes, 2u);
+  EXPECT_LE(letter_strokes, 3u);
+}
+
+TEST(Online, QuietStreamEmitsNothing) {
+  Rig rig(58);
+  OnlineRecognizer rec(rig.profile, rig.options);
+  int strokes = 0, letters = 0;
+  rec.onStroke([&](const StrokeEvent&) { ++strokes; });
+  rec.onLetter([&](char, const std::vector<StrokeEvent>&) { ++letters; });
+  const auto quiet = rig.scenario.captureStatic(3.0);
+  for (const auto& r : quiet.reports()) rec.push(r);
+  rec.flush();
+  EXPECT_EQ(strokes, 0);
+  EXPECT_EQ(letters, 0);
+}
+
+TEST(Online, NoDuplicateEmission) {
+  Rig rig(59);
+  OnlineRecognizer rec(rig.profile, rig.options);
+  const auto cap = rig.write(
+      {sim::canonicalPlan({StrokeKind::kSlash, StrokeDir::kForward}, 0.1)});
+  for (const auto& r : cap.stream.reports()) rec.push(r);
+  rec.flush();
+  rec.flush();  // idempotent
+  EXPECT_EQ(rec.strokes().size(), 1u);
+}
+
+TEST(Online, TwoStrokesTwoEvents) {
+  Rig rig(60);
+  OnlineRecognizer rec(rig.profile, rig.options);
+  const auto cap = rig.write(
+      {sim::canonicalPlan({StrokeKind::kVLine, StrokeDir::kForward}, 0.09),
+       sim::canonicalPlan({StrokeKind::kHLine, StrokeDir::kForward}, 0.09)});
+  for (const auto& r : cap.stream.reports()) rec.push(r);
+  rec.flush();
+  EXPECT_EQ(rec.strokes().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rfipad::core

@@ -1,0 +1,148 @@
+#include "core/segmenter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+
+namespace rfipad::core {
+namespace {
+
+/// Stream with quiet noise except during [burst0, burst1] windows, where
+/// one tag swings hard (as when the hand writes over it).
+reader::SampleStream syntheticStream(
+    const std::vector<std::pair<double, double>>& bursts, double duration,
+    std::uint64_t seed = 1, int tags = 9) {
+  Rng rng(seed);
+  reader::SampleStream stream(static_cast<std::uint32_t>(tags));
+  // ~25 reads/s per tag, matching a Gen2 reader sharing its slots.
+  const double dt = 0.04;
+  for (double t = 0.0; t < duration; t += dt) {
+    for (int i = 0; i < tags; ++i) {
+      reader::TagReport r;
+      r.tag_index = static_cast<std::uint32_t>(i);
+      r.time_s = t + i * dt / tags;
+      double phase = 1.0 + 0.3 * i + rng.normal(0.0, 0.03);
+      for (const auto& [b0, b1] : bursts) {
+        if (t >= b0 && t <= b1 && (i == 4 || i == 5)) {
+          phase += 2.5 * std::sin(kTwoPi * 2.0 * (t - b0) + 0.7 * i);
+        }
+      }
+      r.phase_rad = wrapTwoPi(phase);
+      r.rssi_dbm = -40.0;
+      stream.push(r);
+    }
+  }
+  return stream;
+}
+
+StaticProfile neutralProfile(int tags = 9) {
+  std::vector<TagProfile> p(tags);
+  for (int i = 0; i < tags; ++i) {
+    p[static_cast<std::size_t>(i)].mean_phase = 1.0 + 0.3 * i;
+    p[static_cast<std::size_t>(i)].deviation_bias = 0.03;
+    p[static_cast<std::size_t>(i)].samples = 100;
+  }
+  return StaticProfile(std::move(p));
+}
+
+TEST(Segmenter, QuietStreamYieldsNothing) {
+  const Segmenter seg(neutralProfile(), {});
+  const auto ivs = seg.segment(syntheticStream({}, 4.0));
+  EXPECT_TRUE(ivs.empty());
+}
+
+TEST(Segmenter, SingleBurstDetected) {
+  const Segmenter seg(neutralProfile(), {});
+  const auto ivs = seg.segment(syntheticStream({{1.5, 2.5}}, 4.0));
+  ASSERT_EQ(ivs.size(), 1u);
+  EXPECT_NEAR(ivs[0].t0, 1.5, 0.4);
+  EXPECT_NEAR(ivs[0].t1, 2.5, 0.5);
+}
+
+TEST(Segmenter, TwoBurstsSeparated) {
+  const Segmenter seg(neutralProfile(), {});
+  const auto ivs = seg.segment(syntheticStream({{1.0, 1.8}, {3.0, 3.8}}, 5.0));
+  ASSERT_EQ(ivs.size(), 2u);
+  EXPECT_LT(ivs[0].t1, ivs[1].t0);
+}
+
+TEST(Segmenter, ShortBlipFilteredByMinStroke) {
+  SegmenterOptions opt;
+  opt.min_stroke_s = 1.5;  // longer than any blip-induced interval
+  const Segmenter seg(neutralProfile(), opt);
+  const auto ivs = seg.segment(syntheticStream({{2.0, 2.25}}, 4.0));
+  EXPECT_TRUE(ivs.empty());
+}
+
+TEST(Segmenter, TraceShapesConsistent) {
+  const Segmenter seg(neutralProfile(), {});
+  const auto tr = seg.trace(syntheticStream({{1.0, 2.0}}, 3.0));
+  EXPECT_EQ(tr.frame_times.size(), tr.frame_rms.size());
+  EXPECT_EQ(tr.window_times.size(), tr.window_std.size());
+  EXPECT_EQ(tr.window_times.size(), tr.window_peak.size());
+  EXPECT_GT(tr.threshold_used, 0.0);
+  // Window count = frames − window_frames + 1.
+  EXPECT_EQ(tr.window_times.size(),
+            tr.frame_times.size() - 5 + 1);
+}
+
+TEST(Segmenter, StdHigherDuringBurst) {
+  const Segmenter seg(neutralProfile(), {});
+  const auto tr = seg.trace(syntheticStream({{1.0, 2.0}}, 3.0));
+  double in_burst = 0.0, quiet = 0.0;
+  int n_in = 0, n_q = 0;
+  for (std::size_t i = 0; i < tr.window_std.size(); ++i) {
+    if (tr.window_times[i] > 1.1 && tr.window_times[i] < 1.9) {
+      in_burst += tr.window_std[i];
+      ++n_in;
+    } else if (tr.window_times[i] < 0.7 || tr.window_times[i] > 2.4) {
+      quiet += tr.window_std[i];
+      ++n_q;
+    }
+  }
+  EXPECT_GT(in_burst / n_in, 3.0 * quiet / std::max(n_q, 1));
+}
+
+TEST(Segmenter, EmptyStreamSafe) {
+  const Segmenter seg(neutralProfile(), {});
+  EXPECT_TRUE(seg.segment(reader::SampleStream{}).empty());
+  const auto tr = seg.trace(reader::SampleStream{});
+  EXPECT_TRUE(tr.frame_rms.empty());
+}
+
+TEST(Segmenter, Validation) {
+  SegmenterOptions bad;
+  bad.frame_s = 0.0;
+  EXPECT_THROW(Segmenter(neutralProfile(), bad), std::invalid_argument);
+  bad = SegmenterOptions{};
+  bad.window_frames = 1;
+  EXPECT_THROW(Segmenter(neutralProfile(), bad), std::invalid_argument);
+}
+
+TEST(Segmenter, AdaptiveThresholdOnQuietCapture) {
+  SegmenterOptions opt;
+  opt.threshold = -1.0;  // adaptive
+  const Segmenter seg(neutralProfile(), opt);
+  const auto tr = seg.trace(syntheticStream({}, 4.0));
+  EXPECT_GE(tr.threshold_used, opt.adaptive_floor);
+}
+
+TEST(Segmenter, MergeGapJoinsAdjacentBursts) {
+  SegmenterOptions opt;
+  opt.merge_gap_s = 1.0;  // aggressive merging
+  const Segmenter seg(neutralProfile(), opt);
+  const auto ivs = seg.segment(syntheticStream({{1.0, 1.6}, {2.2, 2.8}}, 4.0));
+  EXPECT_EQ(ivs.size(), 1u);
+}
+
+TEST(Segmenter, IntervalDurationHelper) {
+  const Interval iv{1.5, 2.75};
+  EXPECT_DOUBLE_EQ(iv.duration(), 1.25);
+}
+
+}  // namespace
+}  // namespace rfipad::core

@@ -1,0 +1,119 @@
+#include "core/static_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+
+namespace rfipad::core {
+namespace {
+
+reader::SampleStream syntheticStatic(int tags, int reads_per_tag,
+                                     double noise_std, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> centre(tags);
+  for (int i = 0; i < tags; ++i) centre[i] = rng.uniform(0.0, kTwoPi);
+  reader::SampleStream stream(static_cast<std::uint32_t>(tags));
+  for (int j = 0; j < reads_per_tag; ++j) {
+    for (int i = 0; i < tags; ++i) {
+      reader::TagReport r;
+      r.tag_index = static_cast<std::uint32_t>(i);
+      r.time_s = j * 0.05 + i * 0.001;
+      r.phase_rad = wrapTwoPi(centre[i] + rng.normal(0.0, noise_std * (1 + i % 3)));
+      r.rssi_dbm = -40.0;
+      stream.push(r);
+    }
+  }
+  return stream;
+}
+
+TEST(StaticProfile, RecoversCentralPhases) {
+  const auto stream = syntheticStatic(5, 200, 0.02, 7);
+  const auto profile = StaticProfile::calibrate(stream, 5);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const auto series = stream.seriesFor(i);
+    EXPECT_NEAR(angleDiff(profile.tag(i).mean_phase, circularMean(series.phases)),
+                0.0, 1e-9);
+    EXPECT_EQ(profile.tag(i).samples, series.phases.size());
+  }
+}
+
+TEST(StaticProfile, BiasTracksNoiseLevel) {
+  const auto stream = syntheticStatic(6, 300, 0.03, 9);
+  const auto profile = StaticProfile::calibrate(stream, 6);
+  // Tags 2,5 were generated with 3× noise of tags 0,3.
+  EXPECT_GT(profile.tag(2).deviation_bias, profile.tag(0).deviation_bias);
+  EXPECT_GT(profile.tag(5).deviation_bias, profile.tag(3).deviation_bias);
+}
+
+TEST(StaticProfile, WeightsNormalised) {
+  const auto stream = syntheticStatic(8, 100, 0.05, 3);
+  const auto profile = StaticProfile::calibrate(stream, 8);
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < 8; ++i) sum += profile.weight(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(StaticProfile, HighBiasTagsGetHighWeight) {
+  // Eq. 9: w_i ∝ E(b_i).
+  const auto stream = syntheticStatic(6, 300, 0.03, 5);
+  const auto profile = StaticProfile::calibrate(stream, 6);
+  EXPECT_GT(profile.weight(2), profile.weight(0));
+}
+
+TEST(StaticProfile, UnseenTagGetsMedianBias) {
+  auto stream = syntheticStatic(4, 100, 0.02, 1);
+  // Calibrate declaring 6 tags although only 4 were observed.
+  const auto profile = StaticProfile::calibrate(stream, 6);
+  EXPECT_EQ(profile.tag(5).samples, 0u);
+  EXPECT_GT(profile.tag(5).deviation_bias, 0.0);
+  EXPECT_NEAR(profile.tag(5).deviation_bias, profile.medianBias(), 0.05);
+}
+
+TEST(StaticProfile, BiasFlooredAboveZero) {
+  // Constant phases would give zero bias → infinite weight in Eq. 10;
+  // the profile floors it at one quantisation step.
+  reader::SampleStream stream(2);
+  for (int j = 0; j < 50; ++j) {
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      reader::TagReport r;
+      r.tag_index = i;
+      r.time_s = j * 0.01 + i * 0.001;
+      r.phase_rad = 1.0;
+      stream.push(r);
+    }
+  }
+  const auto profile = StaticProfile::calibrate(stream, 2);
+  EXPECT_GT(profile.tag(0).deviation_bias, 0.0);
+}
+
+TEST(StaticProfile, SeamStraddlingPhasesHandled) {
+  // Phases around 0/2π must not produce a huge fake bias.
+  Rng rng(11);
+  reader::SampleStream stream(1);
+  for (int j = 0; j < 200; ++j) {
+    reader::TagReport r;
+    r.tag_index = 0;
+    r.time_s = j * 0.01;
+    r.phase_rad = wrapTwoPi(rng.normal(0.0, 0.05));
+    stream.push(r);
+  }
+  const auto profile = StaticProfile::calibrate(stream, 1);
+  EXPECT_LT(profile.tag(0).deviation_bias, 0.15);
+}
+
+TEST(StaticProfile, RejectsZeroTags) {
+  reader::SampleStream s;
+  EXPECT_THROW(StaticProfile::calibrate(s, 0), std::invalid_argument);
+}
+
+TEST(StaticProfile, MeanRssiRecorded) {
+  const auto stream = syntheticStatic(3, 50, 0.02, 2);
+  const auto profile = StaticProfile::calibrate(stream, 3);
+  EXPECT_NEAR(profile.tag(0).mean_rssi, -40.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rfipad::core

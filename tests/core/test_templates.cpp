@@ -1,0 +1,180 @@
+#include "core/templates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfipad::core {
+namespace {
+
+const TemplateLibrary& lib() { return TemplateLibrary::standard5x5(); }
+
+/// Rasterise a synthetic activation image from a set of bright cells.
+imgproc::GrayMap imageOf(const std::vector<std::pair<int, int>>& cells,
+                         double bright = 1.0, double floor_val = 0.08) {
+  imgproc::GrayMap g(5, 5, floor_val);
+  for (auto [r, c] : cells) g.at(r, c) = bright;
+  return g;
+}
+
+TEST(TemplateLibrary, CoversAllKinds) {
+  bool seen[8] = {};
+  for (const auto& t : lib().templates()) seen[static_cast<int>(t.kind)] = true;
+  for (int k = 1; k <= 7; ++k) EXPECT_TRUE(seen[k]) << "kind " << k;
+}
+
+TEST(TemplateLibrary, TemplatesAreNormalised) {
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto& t = lib().templates()[i * 37 % lib().templates().size()];
+    double mean = 0.0, norm2 = 0.0;
+    for (double v : t.pixels) mean += v;
+    for (double v : t.pixels) norm2 += v * v;
+    EXPECT_NEAR(mean / t.pixels.size(), 0.0, 1e-9);
+    EXPECT_NEAR(norm2, 1.0, 1e-9);
+  }
+}
+
+TEST(Match, VerticalColumn) {
+  const auto m = matchTemplate(
+      imageOf({{0, 2}, {1, 2}, {2, 2}, {3, 2}, {4, 2}}), lib());
+  ASSERT_TRUE(m.valid);
+  EXPECT_EQ(m.shape->kind, StrokeKind::kVLine);
+  EXPECT_GT(m.score, 0.7);
+}
+
+TEST(Match, HorizontalRow) {
+  const auto m = matchTemplate(
+      imageOf({{2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4}}), lib());
+  ASSERT_TRUE(m.valid);
+  EXPECT_EQ(m.shape->kind, StrokeKind::kHLine);
+}
+
+TEST(Match, Diagonals) {
+  const auto slash = matchTemplate(
+      imageOf({{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}}), lib());
+  EXPECT_EQ(slash.shape->kind, StrokeKind::kSlash);
+  const auto back = matchTemplate(
+      imageOf({{4, 0}, {3, 1}, {2, 2}, {1, 3}, {0, 4}}), lib());
+  EXPECT_EQ(back.shape->kind, StrokeKind::kBackslash);
+}
+
+TEST(Match, Arcs) {
+  // "⊂": bulges −x; chord on the right.
+  const auto left = matchTemplate(
+      imageOf({{4, 2}, {3, 1}, {2, 0}, {1, 1}, {0, 2}}), lib());
+  EXPECT_EQ(left.shape->kind, StrokeKind::kLeftArc);
+  const auto right = matchTemplate(
+      imageOf({{4, 2}, {3, 3}, {2, 4}, {1, 3}, {0, 2}}), lib());
+  EXPECT_EQ(right.shape->kind, StrokeKind::kRightArc);
+}
+
+TEST(Match, Click) {
+  const auto m = matchTemplate(
+      imageOf({{2, 2}}, 1.0, 0.05), lib());
+  ASSERT_TRUE(m.valid);
+  EXPECT_EQ(m.shape->kind, StrokeKind::kClick);
+}
+
+TEST(Match, OffCenterShapes) {
+  // A short column on the left edge.
+  const auto m = matchTemplate(imageOf({{1, 0}, {2, 0}, {3, 0}}), lib());
+  EXPECT_EQ(m.shape->kind, StrokeKind::kVLine);
+  EXPECT_NEAR(m.shape->start.x, 0.0, 0.6);
+}
+
+TEST(Match, FlatImageInvalid) {
+  imgproc::GrayMap flat(5, 5, 0.3);
+  const auto m = matchTemplate(flat, lib());
+  EXPECT_FALSE(m.valid);
+}
+
+TEST(Match, SizeMismatchThrows) {
+  imgproc::GrayMap g(3, 3, 0.0);
+  EXPECT_THROW(matchTemplate(g, lib()), std::invalid_argument);
+}
+
+TEST(Match, MarginPositiveForCleanShapes) {
+  const auto m = matchTemplate(
+      imageOf({{0, 2}, {1, 2}, {2, 2}, {3, 2}, {4, 2}}), lib());
+  EXPECT_GT(m.margin, 0.0);
+}
+
+TEST(MatchFused, TroughImageResolvesAmbiguity) {
+  // Activation smeared over two columns; troughs clean on column 2 only.
+  imgproc::GrayMap act(5, 5, 0.1);
+  for (int r = 0; r < 5; ++r) {
+    act.at(r, 2) = 0.8;
+    act.at(r, 3) = 0.7;
+  }
+  imgproc::GrayMap troughs(5, 5, 0.0);
+  for (int r = 0; r < 5; ++r) troughs.at(r, 2) = 8.0;
+  const auto m = matchTemplateFused(act, troughs, 0.5, lib());
+  ASSERT_TRUE(m.valid);
+  EXPECT_EQ(m.shape->kind, StrokeKind::kVLine);
+  EXPECT_NEAR(m.shape->start.x, 2.0, 0.6);
+}
+
+TEST(MatchFused, FallsBackWhenOneImageFlat) {
+  imgproc::GrayMap act = imageOf({{2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4}});
+  imgproc::GrayMap flat(5, 5, 0.0);
+  const auto m = matchTemplateFused(act, flat, 0.5, lib());
+  ASSERT_TRUE(m.valid);
+  EXPECT_EQ(m.shape->kind, StrokeKind::kHLine);
+}
+
+TEST(ResolveTravel, ForwardAndReverse) {
+  // Use a full-height vertical template; canonical travel is top→bottom.
+  const StrokeTemplate* vline = nullptr;
+  for (const auto& t : lib().templates()) {
+    if (t.kind == StrokeKind::kVLine && std::abs(t.start.x - 2.0) < 0.01 &&
+        t.start.y == 4.0 && t.end.y == 0.0) {
+      vline = &t;
+      break;
+    }
+  }
+  ASSERT_NE(vline, nullptr);
+
+  // Troughs visiting rows 4→0 (tag index = row*5 + 2).
+  std::vector<TroughEstimate> down = {{22, 0.5, 8}, {17, 1.0, 9},
+                                      {12, 1.5, 8}, {7, 2.0, 9}, {2, 2.5, 8}};
+  StrokeDir dir;
+  const double conf = resolveTravel(*vline, down, 5, &dir);
+  EXPECT_GT(conf, 0.9);
+  EXPECT_EQ(dir, StrokeDir::kForward);
+
+  std::vector<TroughEstimate> up = {{2, 0.5, 8}, {7, 1.0, 9},
+                                    {12, 1.5, 8}, {17, 2.0, 9}, {22, 2.5, 8}};
+  const double conf2 = resolveTravel(*vline, up, 5, &dir);
+  EXPECT_GT(conf2, 0.9);
+  EXPECT_EQ(dir, StrokeDir::kReverse);
+}
+
+TEST(ResolveTravel, ShallowOutliersIgnored) {
+  const StrokeTemplate* hline = nullptr;
+  for (const auto& t : lib().templates()) {
+    if (t.kind == StrokeKind::kHLine && std::abs(t.start.y - 2.0) < 0.01 &&
+        t.start.x == 0.0 && t.end.x == 4.0) {
+      hline = &t;
+      break;
+    }
+  }
+  ASSERT_NE(hline, nullptr);
+  // Deep troughs left→right plus shallow anti-ordered outliers.
+  std::vector<TroughEstimate> troughs = {
+      {10, 1.0, 10}, {11, 1.4, 11}, {12, 1.8, 10}, {13, 2.2, 11}, {14, 2.6, 12},
+      {14, 0.5, 2.0}, {10, 3.0, 2.0}};  // outliers (shallow)
+  StrokeDir dir;
+  const double conf = resolveTravel(*hline, troughs, 5, &dir);
+  EXPECT_EQ(dir, StrokeDir::kForward);
+  EXPECT_GT(conf, 0.8);
+}
+
+TEST(ResolveTravel, TooFewTroughsNeutral) {
+  const auto& t = lib().templates().front();
+  StrokeDir dir = StrokeDir::kReverse;
+  EXPECT_DOUBLE_EQ(resolveTravel(t, {}, 5, &dir), 0.0);
+  EXPECT_EQ(dir, StrokeDir::kForward);
+}
+
+}  // namespace
+}  // namespace rfipad::core

@@ -1,0 +1,75 @@
+#include "core/words.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfipad::core {
+namespace {
+
+WordRecognizer kiosk() {
+  return WordRecognizer(
+      {"HELLO", "HELP", "EXIT", "PHARMACY", "RADIOLOGY", "LIBRARY", "GATE"});
+}
+
+TEST(Words, ExactMatchIsFree) {
+  EXPECT_DOUBLE_EQ(WordRecognizer::wordCost("HELLO", "HELLO"), 0.0);
+  EXPECT_EQ(kiosk().bestMatch("HELLO"), "HELLO");
+}
+
+TEST(Words, AmbiguousPairSubstitutionIsCheap) {
+  // D/P, O/S, V/X share stroke sequences — the classic confusions.
+  EXPECT_LT(letterConfusionCost('D', 'P'), 0.3);
+  EXPECT_LT(letterConfusionCost('S', 'O'), 0.3);
+  EXPECT_LT(letterConfusionCost('X', 'V'), 0.3);
+  EXPECT_DOUBLE_EQ(letterConfusionCost('A', 'A'), 0.0);
+  EXPECT_GE(letterConfusionCost('A', 'U'), 1.0);
+}
+
+TEST(Words, SimilarStrokeSequencesAreCheap) {
+  // F = |−− is a prefix of E = |−−−.
+  EXPECT_LT(letterConfusionCost('F', 'E'), 0.5);
+}
+
+TEST(Words, RecoversWordWithOneConfusion) {
+  // "HELLS" — O misread as S.
+  EXPECT_EQ(kiosk().bestMatch("HELLS"), "HELLO");
+  // "EXIT" with V/X confusion.
+  EXPECT_EQ(kiosk().bestMatch("EVIT"), "EXIT");
+}
+
+TEST(Words, HandlesAbstainedLetters) {
+  EXPECT_EQ(kiosk().bestMatch("HE?LO"), "HELLO");
+  EXPECT_EQ(kiosk().bestMatch("G?TE"), "GATE");
+}
+
+TEST(Words, HandlesMissingAndSpuriousLetters) {
+  EXPECT_EQ(kiosk().bestMatch("HLLO"), "HELLO");    // one letter lost
+  EXPECT_EQ(kiosk().bestMatch("HELLLO"), "HELLO");  // one spurious event
+}
+
+TEST(Words, RejectsGibberish) {
+  EXPECT_EQ(kiosk().bestMatch("QQQQQQQ", 0.4), "");
+}
+
+TEST(Words, CaseInsensitive) {
+  EXPECT_EQ(kiosk().bestMatch("hello"), "HELLO");
+  const WordRecognizer lower({"hello"});
+  EXPECT_EQ(lower.bestMatch("HELLO"), "HELLO");
+}
+
+TEST(Words, EmptyDictionaryThrows) {
+  EXPECT_THROW(WordRecognizer({}), std::invalid_argument);
+}
+
+TEST(Words, PrefersCloserWord) {
+  // "HELPO": HELLO needs one P→L substitution — P=|⊃ and L=|− share their
+  // first stroke, so the grammar-aware cost (0.45) beats HELP's deletion
+  // of the trailing O (0.7).
+  EXPECT_EQ(kiosk().bestMatch("HELPO"), "HELLO");
+  // With no shared-stroke affinity the deletion wins: "GATEQ" → GATE.
+  EXPECT_EQ(kiosk().bestMatch("GATEQ"), "GATE");
+}
+
+}  // namespace
+}  // namespace rfipad::core

@@ -1,0 +1,143 @@
+#include "gen2/inventory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace rfipad::gen2 {
+namespace {
+
+InventorySimulator makeSim(std::uint32_t tags, std::uint64_t seed = 1) {
+  return InventorySimulator(Gen2Timing(hybridM2()), QConfig{}, tags, Rng(seed));
+}
+
+TEST(Inventory, RejectsZeroTags) {
+  EXPECT_THROW(makeSim(0), std::invalid_argument);
+}
+
+TEST(Inventory, AllTagsGetRead) {
+  auto sim = makeSim(25);
+  std::set<std::uint32_t> seen;
+  sim.run(1.0, [&](const Singulation& s) { seen.insert(s.tag_index); });
+  EXPECT_EQ(seen.size(), 25u);
+}
+
+TEST(Inventory, TimeAdvancesMonotonically) {
+  auto sim = makeSim(10);
+  double prev = -1.0;
+  sim.run(0.5, [&](const Singulation& s) {
+    EXPECT_GT(s.time_s, prev);
+    prev = s.time_s;
+  });
+  EXPECT_GE(sim.now(), 0.5);
+}
+
+TEST(Inventory, ReadRateRealisticFor25Tags) {
+  auto sim = makeSim(25);
+  int reads = 0;
+  sim.run(5.0, [&](const Singulation&) { ++reads; });
+  const double rate = reads / 5.0;
+  // Commercial hybrid mode: a few hundred reads/s aggregate.
+  EXPECT_GT(rate, 200.0);
+  EXPECT_LT(rate, 800.0);
+}
+
+TEST(Inventory, PerTagRateRoughlyFair) {
+  auto sim = makeSim(25);
+  std::vector<int> counts(25, 0);
+  sim.run(5.0, [&](const Singulation& s) { ++counts[s.tag_index]; });
+  int lo = counts[0], hi = counts[0];
+  for (int c : counts) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_GT(lo, 0);
+  EXPECT_LT(hi, 3 * lo);  // no starvation in session-S0 operation
+}
+
+TEST(Inventory, CollisionsOccurWithManyTags) {
+  auto sim = makeSim(50);
+  sim.run(2.0, [](const Singulation&) {});
+  EXPECT_GT(sim.stats().collisions, 0u);
+  EXPECT_GT(sim.stats().empties, 0u);
+  EXPECT_GT(sim.stats().successes, 0u);
+}
+
+TEST(Inventory, SlotEfficiencyReasonable) {
+  auto sim = makeSim(25);
+  sim.run(5.0, [](const Singulation&) {});
+  const double eff = sim.stats().slotEfficiency();
+  // Framed-slotted ALOHA with Q adaptation lands in the 0.2–0.7 band.
+  EXPECT_GT(eff, 0.2);
+  EXPECT_LT(eff, 0.75);
+}
+
+TEST(Inventory, DeterministicForSeed) {
+  auto a = makeSim(10, 42);
+  auto b = makeSim(10, 42);
+  std::vector<std::pair<std::uint32_t, double>> ra, rb;
+  a.run(1.0, [&](const Singulation& s) { ra.push_back({s.tag_index, s.time_s}); });
+  b.run(1.0, [&](const Singulation& s) { rb.push_back({s.tag_index, s.time_s}); });
+  EXPECT_EQ(ra, rb);
+}
+
+TEST(Inventory, UnpoweredTagsNeverRead) {
+  auto sim = makeSim(10);
+  sim.setPoweredPredicate(
+      [](std::uint32_t tag, double) { return tag % 2 == 0; });
+  std::set<std::uint32_t> seen;
+  sim.run(2.0, [&](const Singulation& s) { seen.insert(s.tag_index); });
+  for (std::uint32_t t : seen) EXPECT_EQ(t % 2, 0u);
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Inventory, UndecodableRepliesAreLost) {
+  auto sim = makeSim(5);
+  sim.setDecodablePredicate([](std::uint32_t, double) { return false; });
+  int reads = 0;
+  sim.run(1.0, [&](const Singulation&) { ++reads; });
+  EXPECT_EQ(reads, 0);
+  EXPECT_GT(sim.stats().lost_replies, 0u);
+}
+
+TEST(Inventory, PowerLossMidCaptureStopsReads) {
+  auto sim = makeSim(8);
+  sim.setPoweredPredicate([](std::uint32_t, double t) { return t < 0.5; });
+  double last_read = 0.0;
+  sim.run(2.0, [&](const Singulation& s) { last_read = s.time_s; });
+  EXPECT_LT(last_read, 0.55);
+}
+
+TEST(Inventory, RunIsResumable) {
+  auto sim = makeSim(10);
+  int first = 0, second = 0;
+  sim.run(0.5, [&](const Singulation&) { ++first; });
+  const double mid = sim.now();
+  sim.run(1.0, [&](const Singulation&) { ++second; });
+  EXPECT_GE(mid, 0.5);
+  EXPECT_GT(first, 0);
+  EXPECT_GT(second, 0);
+  EXPECT_GE(sim.now(), 1.0);
+}
+
+TEST(Inventory, SingleTagNeverCollides) {
+  auto sim = makeSim(1);
+  sim.run(1.0, [](const Singulation&) {});
+  EXPECT_EQ(sim.stats().collisions, 0u);
+  EXPECT_GT(sim.stats().successes, 100u);
+}
+
+class PopulationSweep : public ::testing::TestWithParam<int> {};
+TEST_P(PopulationSweep, ThroughputScalesGracefully) {
+  auto sim = makeSim(static_cast<std::uint32_t>(GetParam()), 3);
+  int reads = 0;
+  sim.run(2.0, [&](const Singulation&) { ++reads; });
+  EXPECT_GT(reads, 100);  // the MAC keeps working across populations
+}
+INSTANTIATE_TEST_SUITE_P(Gen2, PopulationSweep,
+                         ::testing::Values(1, 4, 9, 25, 64, 128));
+
+}  // namespace
+}  // namespace rfipad::gen2

@@ -1,0 +1,91 @@
+#include "gen2/q_algorithm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfipad::gen2 {
+namespace {
+
+TEST(QAlgorithm, InitialState) {
+  QAlgorithm q;
+  EXPECT_EQ(q.roundQ(), 4);
+  EXPECT_EQ(q.frameSize(), 16);
+}
+
+TEST(QAlgorithm, CollisionsRaiseQ) {
+  QAlgorithm q;
+  for (int i = 0; i < 10; ++i) q.onCollisionSlot();
+  EXPECT_GT(q.roundQ(), 4);
+}
+
+TEST(QAlgorithm, EmptiesLowerQ) {
+  QAlgorithm q;
+  for (int i = 0; i < 40; ++i) q.onEmptySlot();
+  EXPECT_LT(q.roundQ(), 4);
+}
+
+TEST(QAlgorithm, SuccessIsNeutral) {
+  QAlgorithm q;
+  const double before = q.qfp();
+  for (int i = 0; i < 100; ++i) q.onSuccessSlot();
+  EXPECT_DOUBLE_EQ(q.qfp(), before);
+}
+
+TEST(QAlgorithm, ClampsAtBounds) {
+  QConfig cfg;
+  cfg.min_q = 2;
+  cfg.max_q = 6;
+  cfg.initial_q = 4;
+  QAlgorithm q(cfg);
+  for (int i = 0; i < 1000; ++i) q.onEmptySlot();
+  EXPECT_EQ(q.roundQ(), 2);
+  for (int i = 0; i < 1000; ++i) q.onCollisionSlot();
+  EXPECT_EQ(q.roundQ(), 6);
+}
+
+TEST(QAlgorithm, ResetRestoresInitial) {
+  QAlgorithm q;
+  for (int i = 0; i < 10; ++i) q.onCollisionSlot();
+  q.reset();
+  EXPECT_EQ(q.roundQ(), 4);
+}
+
+TEST(QAlgorithm, FrameSizeIsPowerOfTwo) {
+  QAlgorithm q;
+  for (int i = 0; i < 30; ++i) {
+    q.onCollisionSlot();
+    const int f = q.frameSize();
+    EXPECT_EQ(f & (f - 1), 0) << f;
+  }
+}
+
+TEST(QAlgorithm, Validation) {
+  QConfig bad;
+  bad.min_q = -1;
+  EXPECT_THROW(QAlgorithm{bad}, std::invalid_argument);
+  bad = QConfig{};
+  bad.max_q = 20;
+  EXPECT_THROW(QAlgorithm{bad}, std::invalid_argument);
+  bad = QConfig{};
+  bad.initial_q = 99;
+  EXPECT_THROW(QAlgorithm{bad}, std::invalid_argument);
+  bad = QConfig{};
+  bad.c_empty = 0.0;
+  EXPECT_THROW(QAlgorithm{bad}, std::invalid_argument);
+}
+
+TEST(QAlgorithm, EquilibriumTracksPopulation) {
+  // Alternating collision-heavy and empty-heavy feedback settles between
+  // the extremes (rough behavioural check of the Annex-D loop).
+  QAlgorithm q;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 3; ++i) q.onCollisionSlot();
+    for (int i = 0; i < 7; ++i) q.onEmptySlot();
+  }
+  EXPECT_GE(q.roundQ(), 2);
+  EXPECT_LE(q.roundQ(), 7);
+}
+
+}  // namespace
+}  // namespace rfipad::gen2

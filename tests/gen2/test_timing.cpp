@@ -1,0 +1,80 @@
+#include "gen2/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfipad::gen2 {
+namespace {
+
+TEST(Timing, SlotOrdering) {
+  // empty < collision < success, for every profile.
+  for (const auto& p : {denseReaderM4(), hybridM2(), maxThroughputFm0()}) {
+    const Gen2Timing t(p);
+    EXPECT_LT(t.emptySlotS(), t.collisionSlotS()) << p.name;
+    EXPECT_LT(t.collisionSlotS(), t.successSlotS()) << p.name;
+    EXPECT_GT(t.emptySlotS(), 0.0);
+  }
+}
+
+TEST(Timing, FasterProfilesShorterSlots) {
+  const Gen2Timing dense(denseReaderM4());
+  const Gen2Timing hybrid(hybridM2());
+  const Gen2Timing fast(maxThroughputFm0());
+  EXPECT_GT(dense.successSlotS(), hybrid.successSlotS());
+  EXPECT_GT(hybrid.successSlotS(), fast.successSlotS());
+}
+
+TEST(Timing, RealisticReadRates) {
+  // Commercial readers singulate a few hundred tags/s in robust modes and
+  // up to ~1000/s in fast modes.
+  EXPECT_GT(Gen2Timing(denseReaderM4()).maxReadRateHz(), 150.0);
+  EXPECT_LT(Gen2Timing(denseReaderM4()).maxReadRateHz(), 600.0);
+  EXPECT_GT(Gen2Timing(maxThroughputFm0()).maxReadRateHz(), 800.0);
+}
+
+TEST(Timing, EpcReplyLongerThanRn16) {
+  const Gen2Timing t(hybridM2());
+  // The EPC reply carries PC+EPC+CRC (128 bits) vs the RN16's 16.
+  EXPECT_GT(t.epcReplyS(), 3.0 * t.rn16S());
+}
+
+TEST(Timing, CommandDurationsOrdered) {
+  const Gen2Timing t(denseReaderM4());
+  // QueryRep (4 bits) < QueryAdjust (9) < ACK (18) < Query (22 + preamble).
+  EXPECT_LT(t.queryRepS(), t.queryAdjustS());
+  EXPECT_LT(t.queryAdjustS(), t.ackS());
+  EXPECT_LT(t.ackS(), t.queryS());
+}
+
+TEST(Timing, MillerSlowerThanFm0) {
+  LinkProfile fm0 = maxThroughputFm0();
+  LinkProfile m4 = fm0;
+  m4.encoding = TagEncoding::kMiller4;
+  EXPECT_GT(Gen2Timing(m4).rn16S(), Gen2Timing(fm0).rn16S());
+}
+
+TEST(Timing, TrextLengthensTagPreamble) {
+  LinkProfile with = hybridM2();
+  with.trext = true;
+  LinkProfile without = hybridM2();
+  without.trext = false;
+  EXPECT_GT(Gen2Timing(with).rn16S(), Gen2Timing(without).rn16S());
+}
+
+TEST(Timing, Validation) {
+  LinkProfile bad = hybridM2();
+  bad.tari_s = 1e-6;
+  EXPECT_THROW(Gen2Timing{bad}, std::invalid_argument);
+  bad = hybridM2();
+  bad.blf_hz = 1e6;
+  EXPECT_THROW(Gen2Timing{bad}, std::invalid_argument);
+}
+
+TEST(Timing, T1AtLeastRtcal) {
+  const Gen2Timing t(denseReaderM4());
+  EXPECT_GE(t.t1S(), 2.75 * denseReaderM4().tari_s - 1e-12);
+}
+
+}  // namespace
+}  // namespace rfipad::gen2

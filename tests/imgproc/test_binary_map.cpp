@@ -1,0 +1,137 @@
+#include "imgproc/binary_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfipad::imgproc {
+namespace {
+
+TEST(BinaryMap, SetAndCount) {
+  BinaryMap m(3, 3);
+  EXPECT_EQ(m.count(), 0);
+  m.set(1, 1, true);
+  m.set(0, 2, true);
+  EXPECT_EQ(m.count(), 2);
+  EXPECT_TRUE(m.at(1, 1));
+  EXPECT_FALSE(m.at(0, 0));
+  m.set(1, 1, false);
+  EXPECT_EQ(m.count(), 1);
+}
+
+TEST(BinaryMap, Validation) {
+  EXPECT_THROW(BinaryMap(0, 1), std::invalid_argument);
+  BinaryMap m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.set(0, 2, true), std::out_of_range);
+}
+
+TEST(BinaryMap, ForegroundRowMajor) {
+  BinaryMap m(2, 2);
+  m.set(0, 1, true);
+  m.set(1, 0, true);
+  const auto fg = m.foreground();
+  ASSERT_EQ(fg.size(), 2u);
+  EXPECT_EQ(fg[0], (Cell{0, 1}));
+  EXPECT_EQ(fg[1], (Cell{1, 0}));
+}
+
+TEST(BinaryMap, ComponentsEightConnectivity) {
+  BinaryMap m(3, 3);
+  m.set(0, 0, true);
+  m.set(1, 1, true);  // diagonal neighbour → same component
+  m.set(2, 2, true);
+  const auto comps = m.components();
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 3u);
+}
+
+TEST(BinaryMap, SeparateComponentsSortedBySize) {
+  BinaryMap m(5, 5);
+  // Big component: a 3-cell row at the top.
+  m.set(4, 0, true);
+  m.set(4, 1, true);
+  m.set(4, 2, true);
+  // Small isolated pixel far away.
+  m.set(0, 4, true);
+  const auto comps = m.components();
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0].size(), 3u);
+  EXPECT_EQ(comps[1].size(), 1u);
+}
+
+TEST(BinaryMap, LargestComponentFilter) {
+  BinaryMap m(5, 5);
+  m.set(0, 0, true);
+  m.set(0, 1, true);
+  m.set(4, 4, true);
+  const auto big = m.largestComponent();
+  EXPECT_EQ(big.count(), 2);
+  EXPECT_TRUE(big.at(0, 0));
+  EXPECT_FALSE(big.at(4, 4));
+}
+
+TEST(BinaryMap, LargestComponentOfEmptyMap) {
+  BinaryMap m(2, 2);
+  EXPECT_EQ(m.largestComponent().count(), 0);
+}
+
+TEST(Otsu, SeparatesBimodalData) {
+  // Background ≈ 0.1, foreground ≈ 0.9 → threshold in between.
+  const std::vector<double> v = {0.1, 0.12, 0.09, 0.11, 0.9, 0.88, 0.92};
+  const double t = otsuThreshold(v);
+  EXPECT_GT(t, 0.12);
+  EXPECT_LT(t, 0.88);
+}
+
+TEST(Otsu, ThrowsOnDegenerateInput) {
+  EXPECT_THROW(otsuThreshold({1.0}), std::invalid_argument);
+}
+
+TEST(Otsu, ShiftInvariantSplit) {
+  const std::vector<double> v = {0.0, 0.05, 1.0, 1.05};
+  std::vector<double> shifted;
+  for (double x : v) shifted.push_back(x + 3.0);
+  EXPECT_NEAR(otsuThreshold(shifted) - otsuThreshold(v), 3.0, 1e-9);
+}
+
+TEST(Otsu, BinarizeMarksUpperClass) {
+  GrayMap g(1, 4, std::vector<double>{0.0, 0.1, 0.9, 1.0});
+  const auto b = otsuBinarize(g);
+  EXPECT_FALSE(b.at(0, 0));
+  EXPECT_FALSE(b.at(0, 1));
+  EXPECT_TRUE(b.at(0, 2));
+  EXPECT_TRUE(b.at(0, 3));
+}
+
+TEST(Otsu, FixedThresholdBinarize) {
+  GrayMap g(1, 3, std::vector<double>{0.2, 0.5, 0.8});
+  const auto b = binarize(g, 0.5);
+  EXPECT_FALSE(b.at(0, 0));
+  EXPECT_FALSE(b.at(0, 1));  // strictly greater
+  EXPECT_TRUE(b.at(0, 2));
+}
+
+TEST(Otsu, PaperColumnScenario) {
+  // A 5×5 activation map with one bright column (the hand's path, Fig. 7):
+  // Otsu must recover exactly that column.
+  GrayMap g(5, 5, 0.1);
+  for (int r = 0; r < 5; ++r) g.at(r, 2) = 0.8 + 0.05 * r;
+  const auto b = otsuBinarize(g);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_EQ(b.at(r, c), c == 2) << r << "," << c;
+    }
+  }
+}
+
+TEST(BinaryMap, AsciiRender) {
+  BinaryMap m(2, 2);
+  m.set(0, 0, true);
+  const std::string s = m.ascii();
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('.'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfipad::imgproc

@@ -1,0 +1,70 @@
+#include "imgproc/graymap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfipad::imgproc {
+namespace {
+
+TEST(GrayMap, ConstructionAndAccess) {
+  GrayMap m(3, 4, 0.5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_DOUBLE_EQ(m.at(2, 3), 0.5);
+  m.at(1, 2) = 2.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 2.0);
+}
+
+TEST(GrayMap, FromValuesRowMajor) {
+  GrayMap m(2, 2, std::vector<double>{1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(GrayMap, Validation) {
+  EXPECT_THROW(GrayMap(0, 3), std::invalid_argument);
+  EXPECT_THROW(GrayMap(2, 2, std::vector<double>{1.0}), std::invalid_argument);
+  GrayMap m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, -1), std::out_of_range);
+}
+
+TEST(GrayMap, MinMax) {
+  GrayMap m(2, 2, std::vector<double>{-1, 5, 2, 0});
+  EXPECT_DOUBLE_EQ(m.minValue(), -1.0);
+  EXPECT_DOUBLE_EQ(m.maxValue(), 5.0);
+}
+
+TEST(GrayMap, NormalizedRange) {
+  GrayMap m(1, 3, std::vector<double>{2, 4, 6});
+  const GrayMap n = m.normalized();
+  EXPECT_DOUBLE_EQ(n.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(n.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(n.at(0, 2), 1.0);
+}
+
+TEST(GrayMap, NormalizedFlatMapIsZero) {
+  GrayMap m(2, 2, 7.0);
+  const GrayMap n = m.normalized();
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(n.at(r, c), 0.0);
+}
+
+TEST(GrayMap, AsciiRendersBrightnessLevels) {
+  GrayMap m(1, 2, std::vector<double>{0.0, 1.0});
+  const std::string s = m.ascii();
+  EXPECT_NE(s.find('.'), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(GrayMap, AsciiHasOneLinePerRow) {
+  GrayMap m(4, 3);
+  const std::string s = m.ascii();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace rfipad::imgproc

@@ -1,0 +1,101 @@
+#include "imgproc/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfipad::imgproc {
+namespace {
+
+constexpr double kDeg = 180.0 / 3.14159265358979323846;
+
+TEST(Moments, Centroid) {
+  const auto m = computeMoments({{0, 0}, {0, 2}, {2, 0}, {2, 2}});
+  EXPECT_DOUBLE_EQ(m.centroid_row, 1.0);
+  EXPECT_DOUBLE_EQ(m.centroid_col, 1.0);
+  EXPECT_EQ(m.count, 4);
+}
+
+TEST(Moments, ThrowsOnEmpty) {
+  EXPECT_THROW(computeMoments(std::vector<Cell>{}), std::invalid_argument);
+}
+
+TEST(Moments, HorizontalLineAxis) {
+  const auto m = computeMoments({{2, 0}, {2, 1}, {2, 2}, {2, 3}, {2, 4}});
+  EXPECT_NEAR(m.axis_angle * kDeg, 0.0, 1.0);
+  EXPECT_GT(m.elongation, 10.0);
+  EXPECT_EQ(m.bboxWidth(), 5);
+  EXPECT_EQ(m.bboxHeight(), 1);
+}
+
+TEST(Moments, VerticalLineAxis) {
+  const auto m = computeMoments({{0, 2}, {1, 2}, {2, 2}, {3, 2}, {4, 2}});
+  EXPECT_NEAR(std::abs(m.axis_angle) * kDeg, 90.0, 1.0);
+  EXPECT_GT(m.elongation, 10.0);
+}
+
+TEST(Moments, DiagonalAxes) {
+  // "/" in (col=x, row=y): y grows with x → +45°.
+  const auto slash = computeMoments({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_NEAR(slash.axis_angle * kDeg, 45.0, 1.0);
+  // "\": y falls with x → −45°.
+  const auto back = computeMoments({{3, 0}, {2, 1}, {1, 2}, {0, 3}});
+  EXPECT_NEAR(back.axis_angle * kDeg, -45.0, 1.0);
+}
+
+TEST(Moments, CompactBlobLowElongation) {
+  const auto m = computeMoments({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  EXPECT_NEAR(m.elongation, 1.0, 1e-9);
+}
+
+TEST(Moments, WeightedMomentsFollowBrightCells) {
+  GrayMap g(3, 3, 0.0);
+  g.at(0, 0) = 1.0;
+  g.at(2, 2) = 3.0;
+  const auto m = computeWeightedMoments(g);
+  EXPECT_EQ(m.count, 2);
+  EXPECT_NEAR(m.centroid_row, 1.5, 1e-12);
+  EXPECT_NEAR(m.centroid_col, 1.5, 1e-12);
+}
+
+TEST(Moments, FromBinaryMapMatchesCellList) {
+  BinaryMap b(3, 3);
+  b.set(0, 0, true);
+  b.set(1, 1, true);
+  b.set(2, 2, true);
+  const auto m1 = computeMoments(b);
+  const auto m2 = computeMoments(std::vector<Cell>{{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_DOUBLE_EQ(m1.axis_angle, m2.axis_angle);
+  EXPECT_DOUBLE_EQ(m1.centroid_row, m2.centroid_row);
+}
+
+TEST(ArcBow, StraightLineNearZero) {
+  EXPECT_NEAR(arcBowSigned({{0, 0}, {1, 1}, {2, 2}, {3, 3}}), 0.0, 1e-9);
+}
+
+TEST(ArcBow, LeftArcNegativeForDownwardTravel) {
+  // "⊂" drawn top→bottom: cells bow toward −x.  Travel direction (0,−1);
+  // apex at col 0 left of the chord col 2 → cross(chord, offset) sign.
+  const std::vector<Cell> arc = {{4, 2}, {3, 1}, {2, 0}, {1, 1}, {0, 2}};
+  const double bow = arcBowSigned(arc);
+  EXPECT_GT(std::abs(bow), 1.0);
+}
+
+TEST(ArcBow, OppositeArcsOppositeSigns) {
+  const std::vector<Cell> left = {{4, 2}, {3, 1}, {2, 0}, {1, 1}, {0, 2}};
+  const std::vector<Cell> right = {{4, 2}, {3, 3}, {2, 4}, {1, 3}, {0, 2}};
+  EXPECT_LT(arcBowSigned(left) * arcBowSigned(right), 0.0);
+}
+
+TEST(ArcBow, TooFewCellsIsZero) {
+  EXPECT_DOUBLE_EQ(arcBowSigned({{0, 0}, {1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(arcBowSigned({}), 0.0);
+}
+
+TEST(ArcBow, DegenerateChordIsZero) {
+  EXPECT_DOUBLE_EQ(arcBowSigned({{1, 1}, {2, 2}, {1, 1}}), 0.0);
+}
+
+}  // namespace
+}  // namespace rfipad::imgproc

@@ -1,0 +1,174 @@
+// End-to-end integration: simulated testbed → calibration → recognition
+// engine.  These mirror the paper's headline behaviours at small scale (the
+// full sweeps live in bench/).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "sim/letters.hpp"
+#include "sim/scenario.hpp"
+
+namespace rfipad {
+namespace {
+
+struct Rig {
+  sim::Scenario scenario;
+  core::StaticProfile profile;
+  core::RecognitionEngine engine;
+
+  static sim::ScenarioConfig config(std::uint64_t seed) {
+    sim::ScenarioConfig cfg;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  static core::EngineOptions engineOptions(const sim::Scenario& s) {
+    core::EngineOptions eo;
+    eo.rows = s.array().rows();
+    eo.cols = s.array().cols();
+    for (const auto& t : s.array().tags())
+      eo.tag_xy.push_back({t.position.x, t.position.y});
+    return eo;
+  }
+
+  explicit Rig(std::uint64_t seed = 42)
+      : scenario(config(seed)),
+        profile(core::StaticProfile::calibrate(scenario.captureStatic(5.0),
+                                               25)),
+        engine(profile, engineOptions(scenario)) {}
+
+  sim::Capture write(const DirectedStroke& s, int user = 1,
+                     std::uint64_t salt = 7) {
+    sim::TrajectoryBuilder b(sim::defaultUser(user), scenario.forkRng(salt));
+    b.hold(0.4).stroke(s, 0.9 * scenario.padHalfExtent()).retract().hold(0.3);
+    return scenario.capture(b.build(), sim::defaultUser(user));
+  }
+
+  sim::Capture writeLetter(char c, int user = 1, std::uint64_t salt = 9) {
+    const auto plans = sim::letterPlans(c, scenario.padHalfExtent(),
+                                        0.95 * scenario.padHalfExtent());
+    sim::TrajectoryBuilder b(sim::defaultUser(user), scenario.forkRng(salt));
+    b.hold(0.4);
+    for (const auto& p : plans) b.stroke(p);
+    b.retract().hold(0.3);
+    return scenario.capture(b.build(), sim::defaultUser(user));
+  }
+};
+
+TEST(EndToEnd, CalibrationSeesAllTags) {
+  Rig rig(1);
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    EXPECT_GT(rig.profile.tag(i).samples, 20u) << i;
+    EXPECT_GT(rig.profile.tag(i).deviation_bias, 0.0);
+  }
+}
+
+TEST(EndToEnd, RecognisesVerticalStroke) {
+  Rig rig(42);
+  const DirectedStroke truth{StrokeKind::kVLine, StrokeDir::kForward};
+  const auto cap = rig.write(truth);
+  const auto events = rig.engine.detectStrokes(cap.stream);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front().observation.stroke.kind, StrokeKind::kVLine);
+}
+
+TEST(EndToEnd, MotionBatteryAccuracyAboveEightyPercent) {
+  // Full 13-motion battery, default NLOS setup: the paper reports ≈94%;
+  // our simulator should land comfortably above 80% on a small sample.
+  Rig rig(7);
+  int correct = 0, total = 0;
+  std::uint64_t salt = 100;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const auto& s : allDirectedStrokes()) {
+      const auto cap = rig.write(s, 1 + (total % 4), salt++);
+      const auto events = rig.engine.detectStrokes(cap.stream);
+      ++total;
+      for (const auto& ev : events) {
+        const double ov = std::min(ev.interval.t1, cap.truth[0].t1) -
+                          std::max(ev.interval.t0, cap.truth[0].t0);
+        if (ov <= 0.2) continue;
+        const bool kind_ok = ev.observation.stroke.kind == s.kind;
+        const bool dir_ok = s.kind == StrokeKind::kClick ||
+                            ev.observation.stroke.dir == s.dir;
+        if (kind_ok && dir_ok) ++correct;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(correct, total * 4 / 5) << correct << "/" << total;
+}
+
+TEST(EndToEnd, RecognisesLetterH) {
+  Rig rig(21);
+  const auto cap = rig.writeLetter('H');
+  EXPECT_EQ(rig.engine.recognizeLetter(cap.stream), 'H');
+}
+
+TEST(EndToEnd, RecognisesSingleStrokeLetters) {
+  Rig rig(22);
+  EXPECT_EQ(rig.engine.recognizeLetter(rig.writeLetter('I', 1, 31).stream),
+            'I');
+  // 'C' is a single arc; accept a couple of attempts (the arc/line margin
+  // is genuinely thin on a 5x5 grid).
+  int c_ok = 0;
+  for (std::uint64_t salt : {32u, 33u, 34u}) {
+    if (rig.engine.recognizeLetter(rig.writeLetter('C', 1, salt).stream) == 'C')
+      ++c_ok;
+  }
+  EXPECT_GE(c_ok, 2);
+}
+
+TEST(EndToEnd, SegmentationFindsEachStrokeOfL) {
+  Rig rig(23);
+  const auto cap = rig.writeLetter('L');
+  const auto events = rig.engine.detectStrokes(cap.stream);
+  EXPECT_GE(events.size(), 2u);
+  EXPECT_LE(events.size(), 3u);
+}
+
+TEST(EndToEnd, ProcessingTimeIsInteractive) {
+  // Fig. 24: response times well under 0.4 s even on modest hardware.
+  Rig rig(25);
+  const auto cap = rig.write({StrokeKind::kHLine, StrokeDir::kForward});
+  const auto events = rig.engine.detectStrokes(cap.stream);
+  ASSERT_FALSE(events.empty());
+  EXPECT_LT(events.front().processing_time_s, 0.4);
+}
+
+TEST(EndToEnd, QuietCaptureYieldsNoStrokes) {
+  Rig rig(26);
+  const auto stream = rig.scenario.captureStatic(3.0);
+  EXPECT_TRUE(rig.engine.detectStrokes(stream).empty());
+}
+
+TEST(EndToEnd, GraymapBrightAlongStrokePath) {
+  Rig rig(27);
+  const auto cap = rig.write({StrokeKind::kVLine, StrokeDir::kForward});
+  const auto events = rig.engine.detectStrokes(cap.stream);
+  ASSERT_FALSE(events.empty());
+  const auto& g = events.front().graymap;
+  double col2 = 0.0, col0 = 0.0;
+  for (int r = 0; r < 5; ++r) {
+    col2 += g.at(r, 2);
+    col0 += g.at(r, 0);
+  }
+  EXPECT_GT(col2, col0);
+}
+
+TEST(EndToEnd, DirectionDistinguishesUpDown) {
+  Rig rig(28);
+  int ok = 0;
+  for (std::uint64_t salt = 50; salt < 54; ++salt) {
+    const DirectedStroke down{StrokeKind::kVLine, StrokeDir::kForward};
+    const auto cap = rig.write(down, 1, salt);
+    const auto events = rig.engine.detectStrokes(cap.stream);
+    if (!events.empty() &&
+        events.front().observation.stroke.kind == StrokeKind::kVLine &&
+        events.front().observation.stroke.dir == StrokeDir::kForward) {
+      ++ok;
+    }
+  }
+  EXPECT_GE(ok, 3);
+}
+
+}  // namespace
+}  // namespace rfipad

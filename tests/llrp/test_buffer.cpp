@@ -1,0 +1,93 @@
+#include "llrp/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfipad::llrp {
+namespace {
+
+TEST(Buffer, RoundTripScalars) {
+  BufferWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.s8(-5);
+  w.s16(-1000);
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.s8(), -5);
+  EXPECT_EQ(r.s16(), -1000);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Buffer, BigEndianLayout) {
+  BufferWriter w;
+  w.u16(0x0102);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[1], 0x02);
+}
+
+TEST(Buffer, TruncationThrows) {
+  BufferWriter w;
+  w.u16(7);
+  BufferReader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.u16(), DecodeError);
+}
+
+TEST(Buffer, LengthPatching16) {
+  BufferWriter w;
+  w.u16(0x1111);                    // some prefix
+  const std::size_t start = w.size();
+  const std::size_t slot = w.reserveLength16();
+  w.u32(0);                         // 4 bytes of payload
+  w.patchLength16(slot, start);
+  BufferReader r(w.bytes());
+  r.u16();
+  EXPECT_EQ(r.u16(), 6u);           // length slot (2) + payload (4)
+}
+
+TEST(Buffer, LengthPatching32) {
+  BufferWriter w;
+  const std::size_t slot = w.reserveLength32();
+  w.u16(0);
+  w.patchLength32(slot, 0);
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 6u);
+}
+
+TEST(Buffer, PeekDoesNotConsume) {
+  BufferWriter w;
+  w.u16(0x4242);
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.peek16(), 0x4242);
+  EXPECT_EQ(r.offset(), 0u);
+  EXPECT_EQ(r.u16(), 0x4242);
+}
+
+TEST(Buffer, SubReaderIsolatesRange) {
+  BufferWriter w;
+  w.u16(1);
+  w.u16(2);
+  w.u16(3);
+  BufferReader r(w.bytes());
+  r.u16();
+  BufferReader sub = r.sub(2);
+  EXPECT_EQ(sub.u16(), 2u);
+  EXPECT_TRUE(sub.atEnd());
+  EXPECT_THROW(sub.u8(), DecodeError);
+  EXPECT_EQ(r.u16(), 3u);  // parent continues after the sub-range
+}
+
+TEST(Buffer, RawBytes) {
+  BufferWriter w;
+  w.raw({1, 2, 3});
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.raw(3), (Bytes{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace rfipad::llrp

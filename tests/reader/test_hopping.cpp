@@ -1,0 +1,127 @@
+// Frequency hopping — what the paper avoids by fixing 922.38 MHz, but any
+// FCC-band deployment must handle: every hop changes the carrier phase
+// offsets, so calibration only transfers within a channel.
+#include <gtest/gtest.h>
+
+#include "common/angles.hpp"
+#include "core/activation.hpp"
+#include "core/static_profile.hpp"
+#include "reader/reader.hpp"
+#include "rf/multipath.hpp"
+#include "tag/array.hpp"
+
+namespace rfipad::reader {
+namespace {
+
+ReaderConfig hoppingConfig() {
+  ReaderConfig cfg;
+  // A small China-band hop set around the paper's fixed channel.
+  cfg.hop_channels_mhz = {920.625, 921.375, 922.375, 923.125};
+  cfg.hop_interval_s = 0.2;
+  return cfg;
+}
+
+struct Fixture {
+  Rng rng{77};
+  tag::TagArray array{tag::ArrayConfig{}, rng};
+  RfidReader reader;
+
+  explicit Fixture(ReaderConfig cfg)
+      : reader(cfg,
+               rf::ChannelModel(rf::CarrierConfig{922.38e6},
+                                rf::DirectionalAntenna({0, 0, -0.32},
+                                                       {0, 0, 1}, 8.0),
+                                rf::anechoic()),
+               array, rng.fork(1)) {}
+};
+
+TEST(Hopping, FixedCarrierReportsOneChannel) {
+  Fixture f{ReaderConfig{}};
+  const auto stream = f.reader.captureStatic(1.0);
+  EXPECT_EQ(stream.channels().size(), 1u);
+  EXPECT_NEAR(stream.channels()[0], 922.38, 1e-6);
+}
+
+TEST(Hopping, PlanCyclesThroughChannels) {
+  Fixture f{hoppingConfig()};
+  EXPECT_EQ(f.reader.channelIndexAt(0.1), 0u);
+  EXPECT_EQ(f.reader.channelIndexAt(0.3), 1u);
+  EXPECT_EQ(f.reader.channelIndexAt(0.5), 2u);
+  EXPECT_EQ(f.reader.channelIndexAt(0.7), 3u);
+  EXPECT_EQ(f.reader.channelIndexAt(0.9), 0u);  // wraps
+  EXPECT_NEAR(f.reader.channelMhzAt(0.3), 921.375, 1e-6);
+}
+
+TEST(Hopping, CaptureSpansAllChannels) {
+  Fixture f{hoppingConfig()};
+  const auto stream = f.reader.captureStatic(2.0);
+  EXPECT_EQ(stream.channels().size(), 4u);
+}
+
+TEST(Hopping, RejectsBadInterval) {
+  ReaderConfig bad = hoppingConfig();
+  bad.hop_interval_s = 0.0;
+  Rng rng{1};
+  tag::TagArray array{tag::ArrayConfig{}, rng};
+  EXPECT_THROW(
+      RfidReader(bad,
+                 rf::ChannelModel(rf::CarrierConfig{922.38e6},
+                                  rf::DirectionalAntenna({0, 0, -0.32},
+                                                         {0, 0, 1}, 8.0),
+                                  rf::anechoic()),
+                 array, rng.fork(1)),
+      std::invalid_argument);
+}
+
+TEST(Hopping, PhaseOffsetsDifferAcrossChannels) {
+  // The same static tag reads at different central phases per channel —
+  // carrier wavelength and cable rotation both change.
+  Fixture f{hoppingConfig()};
+  const auto stream = f.reader.captureStatic(3.0);
+  const auto chans = stream.channels();
+  ASSERT_EQ(chans.size(), 4u);
+  std::vector<double> means;
+  for (double c : chans) {
+    const auto sub = stream.filterChannel(c).seriesFor(12);
+    ASSERT_GE(sub.phases.size(), 5u) << c;
+    means.push_back(circularMean(sub.phases));
+  }
+  double max_gap = 0.0;
+  for (std::size_t i = 1; i < means.size(); ++i) {
+    max_gap = std::max(max_gap, std::abs(angleDiff(means[i], means[0])));
+  }
+  EXPECT_GT(max_gap, 0.3);
+}
+
+TEST(Hopping, NaiveCalibrationInflatesDeviationBias) {
+  // Calibrating across all channels as if they were one makes every tag
+  // look noisy; per-channel calibration restores the true (small) bias.
+  Fixture f{hoppingConfig()};
+  const auto stream = f.reader.captureStatic(4.0);
+
+  const auto naive = core::StaticProfile::calibrate(stream, 25);
+  const auto one_channel = core::StaticProfile::calibrate(
+      stream.filterChannel(stream.channels().front()), 25);
+
+  double naive_median = naive.medianBias();
+  double clean_median = one_channel.medianBias();
+  EXPECT_GT(naive_median, 3.0 * clean_median);
+}
+
+TEST(Hopping, PerChannelStreamsStayQuiet) {
+  // Within one channel, the static phase is as stable as a fixed carrier.
+  Fixture f{hoppingConfig()};
+  const auto stream = f.reader.captureStatic(4.0);
+  for (double c : stream.channels()) {
+    const auto sub = stream.filterChannel(c);
+    for (std::uint32_t i = 0; i < 25; i += 6) {
+      const auto series = sub.seriesFor(i);
+      if (series.phases.size() < 5) continue;
+      EXPECT_LT(circularStddev(series.phases), 0.4)
+          << "tag " << i << " channel " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfipad::reader

@@ -1,0 +1,163 @@
+#include "reader/reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/stats.hpp"
+#include "rf/multipath.hpp"
+
+namespace rfipad::reader {
+namespace {
+
+struct Fixture {
+  Rng rng{11};
+  tag::TagArray array{tag::ArrayConfig{}, rng};
+  ReaderConfig config{};
+  RfidReader reader;
+
+  explicit Fixture(ReaderConfig cfg = {},
+                   rf::MultipathEnvironment env = rf::anechoic())
+      : config(cfg),
+        reader(cfg,
+               rf::ChannelModel(rf::CarrierConfig{922.38e6},
+                                rf::DirectionalAntenna({0, 0, -0.32}, {0, 0, 1},
+                                                       8.0),
+                                std::move(env)),
+               array, rng.fork(1)) {}
+};
+
+TEST(Reader, StaticCaptureReadsEveryTag) {
+  Fixture f;
+  const auto stream = f.reader.captureStatic(2.0);
+  EXPECT_GT(stream.size(), 400u);
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    EXPECT_GT(stream.countFor(i), 10u) << "tag " << i;
+  }
+}
+
+TEST(Reader, PhaseQuantisedToPaperResolution) {
+  // §III-A: reported phase has 0.0015 rad resolution (2π/4096).
+  Fixture f;
+  const auto stream = f.reader.captureStatic(0.5);
+  const double step = kTwoPi / 4096.0;
+  for (const auto& r : stream.reports()) {
+    const double q = r.phase_rad / step;
+    EXPECT_NEAR(q, std::round(q), 1e-6);
+    EXPECT_GE(r.phase_rad, 0.0);
+    EXPECT_LT(r.phase_rad, kTwoPi);
+  }
+}
+
+TEST(Reader, RssiQuantisedToHalfDb) {
+  Fixture f;
+  const auto stream = f.reader.captureStatic(0.5);
+  for (const auto& r : stream.reports()) {
+    const double q = r.rssi_dbm / 0.5;
+    EXPECT_NEAR(q, std::round(q), 1e-9);
+  }
+}
+
+TEST(Reader, StaticPhaseStableButDiverse) {
+  Fixture f;
+  const auto stream = f.reader.captureStatic(3.0);
+  std::vector<double> means;
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    const auto s = stream.seriesFor(i);
+    // Per-tag phase is stable over time (Fig. 2b, black line)...
+    EXPECT_LT(circularStddev(s.phases), 0.5) << i;
+    means.push_back(circularMean(s.phases));
+  }
+  // ...but spreads across tags due to θ_tag diversity (Fig. 4).
+  double lo = means[0], hi = means[0];
+  for (double m : means) {
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  EXPECT_GT(hi - lo, 1.0);
+}
+
+TEST(Reader, BackscatterPowerBallpark) {
+  // At 32 cm / 30 dBm the backscatter reaches the reader tens of dB above
+  // its sensitivity.
+  Fixture f;
+  const auto stream = f.reader.captureStatic(0.5);
+  for (const auto& r : stream.reports()) {
+    EXPECT_GT(r.rssi_dbm, -60.0);
+    EXPECT_LT(r.rssi_dbm, 0.0);
+  }
+}
+
+TEST(Reader, DopplerNoisyAroundZeroWhenStatic) {
+  // Fig. 2(a): Doppler is indistinguishable from noise in the static case.
+  Fixture f;
+  const auto stream = f.reader.captureStatic(2.0);
+  RunningStats ds;
+  for (const auto& r : stream.reports()) ds.add(r.doppler_hz);
+  EXPECT_NEAR(ds.mean(), 0.0, 0.3);
+  EXPECT_GT(ds.stddev(), 0.2);
+}
+
+TEST(Reader, SceneBlockadeSuppressesReads) {
+  // A strong absorber parked over a tag starves it of power (LOS antenna
+  // side) or at least dents its RSS.
+  Fixture f;
+  const auto base = f.reader.captureStatic(1.0);
+
+  rf::PointScatterer blocker;
+  blocker.position = {0.0, 0.0, 0.035};
+  blocker.rcs_m2 = 0.012;
+  blocker.blocks_los = true;
+  blocker.blockage_radius = 0.05;
+  blocker.blockage_depth_db = 8.0;
+  const SceneFn scene = [&](double) { return rf::ScattererList{blocker}; };
+  const auto blocked = f.reader.capture(1.0, scene);
+
+  const auto centre = f.array.indexOf(2, 2);
+  const double base_rssi = mean(base.seriesFor(centre).rssi);
+  const double blocked_rssi = mean(blocked.seriesFor(centre).rssi);
+  EXPECT_LT(blocked_rssi, base_rssi - 3.0);
+}
+
+TEST(Reader, LowTxPowerReducesReadsOrSnr) {
+  ReaderConfig weak;
+  weak.tx_power_dbm = 10.0;
+  Fixture strong;
+  Fixture weak_f(weak);
+  const auto s_strong = strong.reader.captureStatic(1.0);
+  const auto s_weak = weak_f.reader.captureStatic(1.0);
+  // Backscatter power is linear in TX power: 20 dB less TX → 20 dB less
+  // received backscatter.
+  RunningStats a, b;
+  for (const auto& r : s_strong.reports()) a.add(r.rssi_dbm);
+  for (const auto& r : s_weak.reports()) b.add(r.rssi_dbm);
+  EXPECT_NEAR(a.mean() - b.mean(), 20.0, 3.0);
+}
+
+TEST(Reader, IncidentPowerQueriesScene) {
+  Fixture f;
+  const double dbm = f.reader.incidentDbm(12, 0.0, emptyScene);
+  EXPECT_GT(dbm, -5.0);
+  EXPECT_LT(dbm, 25.0);
+}
+
+TEST(Reader, ClockContinuesAcrossCaptures) {
+  Fixture f;
+  f.reader.captureStatic(0.5);
+  const double t1 = f.reader.now();
+  const auto stream = f.reader.captureStatic(0.5);
+  EXPECT_GE(stream.startTime(), t1);
+}
+
+TEST(Reader, MeasureProducesConsistentReport) {
+  Fixture f;
+  const TagReport r = f.reader.measure(5, 1.0, emptyScene);
+  EXPECT_EQ(r.tag_index, 5u);
+  EXPECT_EQ(r.epc, f.array.at(5 / 5, 5 % 5).epc);
+  EXPECT_DOUBLE_EQ(r.time_s, 1.0);
+  EXPECT_NEAR(r.channel_mhz, 922.38, 1e-9);
+}
+
+}  // namespace
+}  // namespace rfipad::reader

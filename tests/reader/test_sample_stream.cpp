@@ -1,0 +1,102 @@
+#include "reader/sample_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfipad::reader {
+namespace {
+
+TagReport report(std::uint32_t tag, double t, double phase = 1.0,
+                 double rssi = -40.0) {
+  TagReport r;
+  r.tag_index = tag;
+  r.time_s = t;
+  r.phase_rad = phase;
+  r.rssi_dbm = rssi;
+  r.epc = "EPC";
+  return r;
+}
+
+TEST(SampleStream, PushAndBasics) {
+  SampleStream s(4);
+  EXPECT_TRUE(s.empty());
+  s.push(report(0, 0.1));
+  s.push(report(3, 0.2));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.numTags(), 4u);
+  EXPECT_DOUBLE_EQ(s.startTime(), 0.1);
+  EXPECT_DOUBLE_EQ(s.endTime(), 0.2);
+  EXPECT_DOUBLE_EQ(s.durationS(), 0.1);
+}
+
+TEST(SampleStream, RejectsTimeTravel) {
+  SampleStream s(2);
+  s.push(report(0, 1.0));
+  EXPECT_THROW(s.push(report(1, 0.5)), std::invalid_argument);
+}
+
+TEST(SampleStream, GrowsNumTags) {
+  SampleStream s;
+  s.push(report(7, 0.0));
+  EXPECT_EQ(s.numTags(), 8u);
+}
+
+TEST(SampleStream, SeriesExtraction) {
+  SampleStream s(3);
+  s.push(report(0, 0.0, 1.0, -40));
+  s.push(report(1, 0.1, 2.0, -41));
+  s.push(report(0, 0.2, 3.0, -42));
+  const auto series = s.seriesFor(0);
+  ASSERT_EQ(series.times.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.phases[0], 1.0);
+  EXPECT_DOUBLE_EQ(series.phases[1], 3.0);
+  EXPECT_DOUBLE_EQ(series.rssi[1], -42.0);
+  EXPECT_TRUE(s.seriesFor(2).times.empty());
+}
+
+TEST(SampleStream, AllSeriesCoversEveryTag) {
+  SampleStream s(3);
+  s.push(report(1, 0.0));
+  const auto all = s.allSeries();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[1].times.size(), 1u);
+  EXPECT_TRUE(all[0].times.empty());
+  EXPECT_EQ(all[2].tag_index, 2u);
+}
+
+TEST(SampleStream, CountAndRate) {
+  SampleStream s(2);
+  for (int i = 0; i < 10; ++i) s.push(report(i % 2, i * 0.1));
+  EXPECT_EQ(s.countFor(0), 5u);
+  EXPECT_NEAR(s.readRateHz(), 10.0 / 0.9, 1e-9);
+}
+
+TEST(SampleStream, SliceHalfOpen) {
+  SampleStream s(1);
+  for (int i = 0; i < 10; ++i) s.push(report(0, i * 0.1));
+  const auto sub = s.slice(0.2, 0.5);
+  ASSERT_EQ(sub.size(), 3u);  // 0.2, 0.3, 0.4
+  EXPECT_DOUBLE_EQ(sub.startTime(), 0.2);
+  EXPECT_LT(sub.endTime(), 0.5);
+  EXPECT_EQ(sub.numTags(), 1u);
+}
+
+TEST(SampleStream, AppendPreservesOrder) {
+  SampleStream a(1), b(1);
+  a.push(report(0, 0.0));
+  b.push(report(0, 1.0));
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_THROW(b.append(a), std::invalid_argument);  // would go back in time
+}
+
+TEST(SampleStream, EmptyStreamDefaults) {
+  const SampleStream s;
+  EXPECT_DOUBLE_EQ(s.startTime(), 0.0);
+  EXPECT_DOUBLE_EQ(s.durationS(), 0.0);
+  EXPECT_DOUBLE_EQ(s.readRateHz(), 0.0);
+}
+
+}  // namespace
+}  // namespace rfipad::reader

@@ -1,0 +1,72 @@
+#include "rf/antenna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/units.hpp"
+
+namespace rfipad::rf {
+namespace {
+
+TEST(Antenna, BeamwidthMatchesPaperEq14) {
+  // The paper: an 8 dBi antenna has θ_beam = sqrt(4π/G) ≈ 72°.
+  const DirectionalAntenna ant({0, 0, 0}, {0, 0, 1}, 8.0);
+  EXPECT_NEAR(ant.beamwidthDeg(), 81.0, 10.0);
+  EXPECT_GT(ant.beamwidthDeg(), 70.0);
+}
+
+TEST(Antenna, HigherGainNarrowerBeam) {
+  const DirectionalAntenna a({0, 0, 0}, {0, 0, 1}, 6.0);
+  const DirectionalAntenna b({0, 0, 0}, {0, 0, 1}, 12.0);
+  EXPECT_GT(a.beamwidthDeg(), b.beamwidthDeg());
+}
+
+TEST(Antenna, PeakGainOnBoresight) {
+  const DirectionalAntenna ant({0, 0, 0}, {0, 0, 1}, 8.0);
+  EXPECT_NEAR(ant.gainToward({0, 0, 2.0}), dbToLinear(8.0), 1e-9);
+}
+
+TEST(Antenna, GainMonotoneOffAxis) {
+  const DirectionalAntenna ant({0, 0, 0}, {0, 0, 1}, 8.0);
+  double prev = ant.gainAtAngle(0.0);
+  for (double a = 0.1; a < 1.5; a += 0.1) {
+    const double g = ant.gainAtAngle(a);
+    EXPECT_LE(g, prev + 1e-12);
+    prev = g;
+  }
+}
+
+TEST(Antenna, HalfPowerAtHalfBeamwidth) {
+  const DirectionalAntenna ant({0, 0, 0}, {0, 0, 1}, 8.0);
+  const double half = ant.beamwidthDeg() / 2.0 * kPi / 180.0;
+  EXPECT_NEAR(ant.gainAtAngle(half) / ant.peakGainLinear(), 0.5, 0.02);
+}
+
+TEST(Antenna, SidelobeFloorNeverZero) {
+  const DirectionalAntenna ant({0, 0, 0}, {0, 0, 1}, 8.0);
+  // Even behind the antenna some energy leaks (sidelobe floor).
+  EXPECT_GT(ant.gainToward({0, 0, -1.0}), 0.0);
+  EXPECT_LT(ant.gainToward({0, 0, -1.0}), ant.peakGainLinear() * 0.05);
+}
+
+TEST(Antenna, BoresightNormalised) {
+  const DirectionalAntenna ant({0, 0, 0}, {0, 0, 10.0}, 8.0);
+  EXPECT_NEAR(ant.boresight().norm(), 1.0, 1e-12);
+}
+
+TEST(Antenna, RejectsZeroBoresight) {
+  EXPECT_THROW(DirectionalAntenna({0, 0, 0}, {0, 0, 0}, 8.0),
+               std::invalid_argument);
+}
+
+TEST(Antenna, OffAxisAngleGeometry) {
+  const DirectionalAntenna ant({0, 0, 0}, {0, 0, 1}, 8.0);
+  EXPECT_NEAR(ant.offAxisAngle({0, 0, 5}), 0.0, 1e-12);
+  EXPECT_NEAR(ant.offAxisAngle({1, 0, 0}), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(ant.offAxisAngle({0, 0, -3}), kPi, 1e-12);
+}
+
+}  // namespace
+}  // namespace rfipad::rf

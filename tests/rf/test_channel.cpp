@@ -1,0 +1,142 @@
+#include "rf/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace rfipad::rf {
+namespace {
+
+ChannelModel nlosModel(MultipathEnvironment env = anechoic()) {
+  return ChannelModel(CarrierConfig{922.38e6},
+                      DirectionalAntenna({0, 0, -0.32}, {0, 0, 1}, 8.0),
+                      std::move(env));
+}
+
+PointScatterer handAt(Vec3 pos, double rcs = 0.012) {
+  PointScatterer s;
+  s.position = pos;
+  s.rcs_m2 = rcs;
+  s.reflection_phase = 3.14159;
+  s.blocks_los = true;
+  s.blockage_radius = 0.05;
+  s.blockage_depth_db = 8.0;
+  return s;
+}
+
+TEST(Channel, StaticChannelIsDeterministic) {
+  const auto model = nlosModel();
+  const TagEndpoint tag{{0.03, -0.03, 0.0}, 1.64, 0.5};
+  const auto a = model.evaluate(tag, {});
+  const auto b = model.evaluate(tag, {});
+  EXPECT_EQ(a.forward, b.forward);
+  EXPECT_DOUBLE_EQ(a.detune, 1.0);
+}
+
+TEST(Channel, CachedEvaluationMatchesDirect) {
+  const auto model = nlosModel(labLocation(3));
+  const TagEndpoint tag{{0.06, 0.06, 0.0}, 1.64, 0.5};
+  const auto cache = model.precompute(tag);
+  const ScattererList dyn = {handAt({0.05, 0.0, 0.04})};
+  const auto a = model.evaluate(tag, dyn);
+  const auto b = model.evaluateCached(tag, cache, dyn);
+  EXPECT_NEAR(std::abs(a.forward - b.forward), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(a.detune, b.detune);
+}
+
+TEST(Channel, HandPerturbsPhase) {
+  const auto model = nlosModel();
+  const TagEndpoint tag{{0.0, 0.0, 0.0}, 1.64, 0.5};
+  const auto quiet = model.evaluate(tag, {});
+  const auto disturbed = model.evaluate(tag, {handAt({0.0, 0.0, 0.04})});
+  EXPECT_GT(std::abs(std::arg(disturbed.forward) - std::arg(quiet.forward)),
+            0.01);
+}
+
+TEST(Channel, HandInfluenceDecaysWithDistance) {
+  const auto model = nlosModel();
+  const TagEndpoint tag{{0.0, 0.0, 0.0}, 1.64, 0.5};
+  const auto quiet = model.evaluate(tag, {});
+  double prev = 1e9;
+  for (double dx : {0.0, 0.06, 0.12, 0.24}) {
+    auto h = handAt({dx, 0.0, 0.04});
+    h.blockage_depth_db = 0.0;  // isolate the scattering term
+    const auto snap = model.evaluate(tag, {h});
+    const double delta = std::abs(snap.forward - quiet.forward);
+    EXPECT_LT(delta, prev);
+    prev = delta;
+  }
+}
+
+TEST(Channel, DetuneTroughWhenHandOverTag) {
+  const auto model = nlosModel();
+  const TagEndpoint tag{{0.0, 0.0, 0.0}, 1.64, 0.5};
+  const auto over = model.evaluate(tag, {handAt({0.0, 0.0, 0.035})});
+  const auto beside = model.evaluate(tag, {handAt({0.12, 0.0, 0.035})});
+  EXPECT_LT(over.detune, 0.8);
+  EXPECT_GT(beside.detune, 0.95);
+  // Detuning also rotates the reflection phase.
+  EXPECT_GT(over.detunePhase(), beside.detunePhase());
+}
+
+TEST(Channel, IncidentPowerScalesWithTxPower) {
+  const auto model = nlosModel();
+  const TagEndpoint tag{{0.0, 0.0, 0.0}, 1.64, 0.5};
+  const auto snap = model.evaluate(tag, {});
+  const double p1 = model.incidentPowerW(snap, 1.0);
+  const double p2 = model.incidentPowerW(snap, 2.0);
+  EXPECT_NEAR(p2 / p1, 2.0, 1e-12);
+}
+
+TEST(Channel, IncidentPowerRealistic) {
+  // 30 dBm, 8 dBi, 32 cm: the tag IC sees roughly +10..+20 dBm — far above
+  // a −18 dBm sensitivity (forward-link margin).
+  const auto model = nlosModel();
+  const TagEndpoint tag{{0.0, 0.0, 0.0}, 1.64, 0.5};
+  const auto snap = model.evaluate(tag, {});
+  const double dbm = wattsToDbm(model.incidentPowerW(snap, dbmToWatts(30.0)));
+  EXPECT_GT(dbm, 0.0);
+  EXPECT_LT(dbm, 25.0);
+}
+
+TEST(Channel, BackscatterIsRoundTrip) {
+  const auto model = nlosModel();
+  const TagEndpoint tag{{0.0, 0.0, 0.0}, 1.64, 0.5};
+  const auto snap = model.evaluate(tag, {});
+  const double fwd2 = std::norm(snap.forward);
+  EXPECT_NEAR(model.backscatterPowerW(snap, 1.0, 0.1), fwd2 * fwd2 * 0.1,
+              1e-15);
+}
+
+TEST(Channel, StaticReflectorsShiftChannel) {
+  const TagEndpoint tag{{0.0, 0.0, 0.0}, 1.64, 0.5};
+  const auto quiet = nlosModel().evaluate(tag, {});
+  const auto rich = nlosModel(labLocation(4)).evaluate(tag, {});
+  EXPECT_GT(std::abs(quiet.forward - rich.forward), 1e-6);
+}
+
+TEST(Channel, ParasiticPathsSpreadHandInfluence) {
+  // With reflectors present, a hand far from the tag leaks extra energy via
+  // hand → wall → tag double bounces.  Compare two environments identical
+  // except for the parasitic scale: the dynamic part of the channel must
+  // differ by exactly those double-bounce terms.
+  const TagEndpoint tag{{-0.12, 0.12, 0.0}, 1.64, 0.5};
+  auto env_on = labLocation(4);
+  auto env_off = env_on;
+  env_off.parasitic_scale = 0.0;
+  const auto on = nlosModel(env_on);
+  const auto off = nlosModel(env_off);
+  auto far_hand = handAt({0.12, -0.12, 0.3});
+  far_hand.blockage_depth_db = 0.0;
+  // Statics agree...
+  EXPECT_LT(std::abs(on.evaluate(tag, {}).forward -
+                     off.evaluate(tag, {}).forward), 1e-15);
+  // ...but the hand-present channels differ by the parasitic contribution.
+  EXPECT_GT(std::abs(on.evaluate(tag, {far_hand}).forward -
+                     off.evaluate(tag, {far_hand}).forward), 1e-9);
+}
+
+}  // namespace
+}  // namespace rfipad::rf

@@ -1,0 +1,107 @@
+#include "rf/coupling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfipad::rf {
+namespace {
+
+const CouplingParams kRef{0.005};
+
+TEST(PairShadow, StrongInNearField) {
+  // Two tags 3 cm apart, same facing: significant suppression (Fig. 11(b)).
+  EXPECT_LT(pairShadowDb(0.03, TagFacing::kSame, kRef), -6.0);
+}
+
+TEST(PairShadow, NegligibleBeyondTwelveCm) {
+  // §IV-B1: beyond ~12 cm (2λ/2π) the interference is nearly negligible.
+  EXPECT_GT(pairShadowDb(0.13, TagFacing::kSame, kRef), -1.0);
+}
+
+TEST(PairShadow, OppositeFacingMitigates) {
+  // Fig. 11(c): opposite antennas decouple the pair.
+  const double same = pairShadowDb(0.03, TagFacing::kSame, kRef);
+  const double opp = pairShadowDb(0.03, TagFacing::kOpposite, kRef);
+  EXPECT_GT(opp, same);
+  EXPECT_GT(opp, -2.0);
+}
+
+TEST(PairShadow, MonotoneInDistance) {
+  double prev = -1e9;
+  for (double d : {0.02, 0.04, 0.06, 0.09, 0.12, 0.2}) {
+    const double s = pairShadowDb(d, TagFacing::kSame, kRef);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(PairShadow, ScalesWithRcs) {
+  // §IV-B2: larger unmodulated RCS → more interference injected.
+  const double small = pairShadowDb(0.06, TagFacing::kSame, {0.0012});
+  const double big = pairShadowDb(0.06, TagFacing::kSame, {0.014});
+  EXPECT_LT(big, small);
+}
+
+TEST(PairShadow, Validation) {
+  EXPECT_THROW(pairShadowDb(-0.1, TagFacing::kSame, kRef),
+               std::invalid_argument);
+  EXPECT_THROW(pairShadowDb(0.1, TagFacing::kSame, {0.0}),
+               std::invalid_argument);
+}
+
+TEST(ArrayShadow, GrowsWithRows) {
+  // Fig. 12: more tags in the column → larger shadow.
+  double prev = 1.0;
+  for (int rows = 1; rows <= 5; ++rows) {
+    const double s = arrayShadowDb(rows, 1, 0.06, TagFacing::kSame, kRef);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ArrayShadow, GrowsWithColumns) {
+  double prev = 1.0;
+  for (int cols = 1; cols <= 3; ++cols) {
+    const double s = arrayShadowDb(5, cols, 0.06, TagFacing::kSame, kRef);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ArrayShadow, TagDWorstTagBBest) {
+  // Fig. 12: 3 columns of Tag D drop ≈20 dB; Tag B only ≈2 dB.
+  const double tag_b = arrayShadowDb(5, 3, 0.06, TagFacing::kSame, {0.0012});
+  const double tag_d = arrayShadowDb(5, 3, 0.06, TagFacing::kSame, {0.014});
+  EXPECT_LT(tag_d, -12.0);
+  EXPECT_GT(tag_b, -4.0);
+}
+
+TEST(ArrayShadow, EmptyArrayIsZero) {
+  EXPECT_DOUBLE_EQ(arrayShadowDb(0, 0, 0.06, TagFacing::kSame, kRef), 0.0);
+  EXPECT_DOUBLE_EQ(arrayShadowDb(5, 0, 0.06, TagFacing::kSame, kRef), 0.0);
+}
+
+TEST(ArrayShadow, Validation) {
+  EXPECT_THROW(arrayShadowDb(-1, 1, 0.06, TagFacing::kSame, kRef),
+               std::invalid_argument);
+  EXPECT_THROW(arrayShadowDb(1, 1, 0.0, TagFacing::kSame, kRef),
+               std::invalid_argument);
+}
+
+// Parameterised sanity sweep: shadows are always ≤ 0 and finite.
+class ShadowSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+TEST_P(ShadowSweep, BoundedNonPositive) {
+  const auto [rows, cols, rcs] = GetParam();
+  const double s = arrayShadowDb(rows, cols, 0.06, TagFacing::kSame, {rcs});
+  EXPECT_LE(s, 0.0);
+  EXPECT_GT(s, -60.0);
+}
+INSTANTIATE_TEST_SUITE_P(
+    Rf, ShadowSweep,
+    ::testing::Combine(::testing::Values(1, 3, 5), ::testing::Values(1, 2, 3),
+                       ::testing::Values(0.0012, 0.006, 0.014)));
+
+}  // namespace
+}  // namespace rfipad::rf

@@ -1,0 +1,59 @@
+#include "rf/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfipad::rf {
+namespace {
+
+TEST(Multipath, AnechoicHasNoReflectors) {
+  const auto env = anechoic();
+  EXPECT_TRUE(env.reflectors.empty());
+  EXPECT_DOUBLE_EQ(env.parasitic_scale, 0.0);
+  EXPECT_LT(env.flicker_scale, 1.0);
+}
+
+TEST(Multipath, FourLocationsExist) {
+  for (int loc = 1; loc <= 4; ++loc) {
+    const auto env = labLocation(loc);
+    EXPECT_FALSE(env.name.empty());
+    EXPECT_FALSE(env.reflectors.empty());
+  }
+}
+
+TEST(Multipath, RejectsUnknownLocation) {
+  EXPECT_THROW(labLocation(0), std::invalid_argument);
+  EXPECT_THROW(labLocation(5), std::invalid_argument);
+}
+
+TEST(Multipath, Location4IsRichest) {
+  // Fig. 15/16: the corner location experiences the strongest multipath.
+  const auto l1 = labLocation(1);
+  const auto l4 = labLocation(4);
+  EXPECT_GT(l4.flicker_scale, l1.flicker_scale);
+  EXPECT_GT(l4.parasitic_scale, l1.parasitic_scale);
+  EXPECT_GT(l4.reflectors.size(), l1.reflectors.size());
+}
+
+TEST(Multipath, FlickerMonotoneAcrossLocations) {
+  double prev = 0.0;
+  for (int loc = 1; loc <= 4; ++loc) {
+    const double f = labLocation(loc).flicker_scale;
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Multipath, ReflectorsDontBlockLos) {
+  // Wall images are specular contributors, not shadowing screens.
+  for (int loc = 1; loc <= 4; ++loc) {
+    for (const auto& r : labLocation(loc).reflectors) {
+      EXPECT_FALSE(r.blocks_los);
+      EXPECT_GT(r.rcs_m2, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfipad::rf

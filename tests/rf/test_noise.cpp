@@ -1,0 +1,65 @@
+#include "rf/noise.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfipad::rf {
+namespace {
+
+TEST(Noise, PhaseStdDecreasesWithRxPower) {
+  const NoiseModel model;
+  const double weak = model.phaseStd(-75.0, 1.0, 1.0);
+  const double strong = model.phaseStd(-30.0, 1.0, 1.0);
+  EXPECT_GT(weak, strong);
+}
+
+TEST(Noise, PhaseStdIncreasesWithTagFlicker) {
+  const NoiseModel model;
+  EXPECT_GT(model.phaseStd(-40.0, 2.0, 1.0), model.phaseStd(-40.0, 0.5, 1.0));
+}
+
+TEST(Noise, PhaseStdIncreasesWithEnvFlicker) {
+  const NoiseModel model;
+  EXPECT_GT(model.phaseStd(-40.0, 1.0, 2.4), model.phaseStd(-40.0, 1.0, 1.0));
+}
+
+TEST(Noise, HighSnrFloorIsFlicker) {
+  // At very strong rx power, thermal vanishes and flicker dominates.
+  const NoiseModel model;
+  const double s = model.phaseStd(0.0, 1.0, 1.0);
+  EXPECT_NEAR(s, model.params().base_flicker_rad, 0.01);
+}
+
+TEST(Noise, RssStdBehaviour) {
+  const NoiseModel model;
+  EXPECT_GT(model.rssStdDb(-75.0, 1.0, 1.0), model.rssStdDb(-30.0, 1.0, 1.0));
+  EXPECT_GT(model.rssStdDb(-40.0, 3.0, 1.0), model.rssStdDb(-40.0, 1.0, 1.0));
+}
+
+TEST(Noise, SnrClampPreventsBlowup) {
+  const NoiseModel model;
+  // Even absurdly weak reads stay bounded (clamped SNR).
+  EXPECT_LT(model.phaseStd(-200.0, 1.0, 1.0), 3.0);
+  EXPECT_GT(model.phaseStd(-200.0, 1.0, 1.0), 0.0);
+}
+
+TEST(Noise, DopplerStdFromParams) {
+  NoiseParams p;
+  p.doppler_noise_hz = 1.5;
+  const NoiseModel model(p);
+  EXPECT_DOUBLE_EQ(model.dopplerStdHz(), 1.5);
+}
+
+// Property: noise std is strictly positive across the operating envelope.
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+TEST_P(NoiseSweep, PositiveFinite) {
+  const NoiseModel model;
+  const double p = GetParam();
+  EXPECT_GT(model.phaseStd(p, 1.0, 1.0), 0.0);
+  EXPECT_LT(model.phaseStd(p, 1.0, 1.0), 10.0);
+  EXPECT_GT(model.rssStdDb(p, 1.0, 1.0), 0.0);
+}
+INSTANTIATE_TEST_SUITE_P(Rf, NoiseSweep,
+                         ::testing::Values(-90.0, -70.0, -50.0, -30.0, -10.0));
+
+}  // namespace
+}  // namespace rfipad::rf

@@ -1,0 +1,125 @@
+#include "rf/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/units.hpp"
+
+namespace rfipad::rf {
+namespace {
+
+const CarrierConfig kCarrier{922.38e6};
+
+TEST(Carrier, WavelengthAt922MHz) {
+  EXPECT_NEAR(kCarrier.wavelengthM(), 0.325, 0.001);
+}
+
+TEST(FreeSpace, AmplitudeFollowsInverseDistance) {
+  const Complex h1 = freeSpaceFactor(1.0, kCarrier);
+  const Complex h2 = freeSpaceFactor(2.0, kCarrier);
+  EXPECT_NEAR(std::abs(h1) / std::abs(h2), 2.0, 1e-9);
+}
+
+TEST(FreeSpace, PhaseIsMinusKd) {
+  const double d = 0.5;
+  const Complex h = freeSpaceFactor(d, kCarrier);
+  EXPECT_NEAR(wrapPi(std::arg(h) + kCarrier.waveNumber() * d), 0.0, 1e-9);
+}
+
+TEST(FreeSpace, FriisPowerBudget) {
+  // Friis: P_r/P_t = G_t·G_r·(λ/4πd)².  Verify for isotropic endpoints.
+  const double d = 2.0;
+  const Complex h = freeSpaceFactor(d, kCarrier);
+  const double path_loss_db = -linearToDb(std::norm(h));
+  // λ = 0.325 m, d = 2 m → 20·log10(4πd/λ) ≈ 37.7 dB.
+  EXPECT_NEAR(path_loss_db, 37.7, 0.2);
+}
+
+TEST(FreeSpace, NearFieldClamped) {
+  // Distances below 1 cm clamp rather than blow up.
+  EXPECT_EQ(std::abs(freeSpaceFactor(0.0, kCarrier)),
+            std::abs(freeSpaceFactor(0.01, kCarrier)));
+}
+
+TEST(LosGain, IncludesGainsAndPolarisation) {
+  const DirectionalAntenna ant({0, 0, 0}, {0, 0, 1}, 8.0);
+  const Vec3 rx{0, 0, 2.0};
+  const Complex h = losGain(ant, rx, 1.64, 0.5, kCarrier);
+  const double expected =
+      std::sqrt(dbToLinear(8.0) * 1.64 * 0.5) * std::abs(freeSpaceFactor(2.0, kCarrier));
+  EXPECT_NEAR(std::abs(h), expected, 1e-12);
+}
+
+TEST(LosGain, PaperLinkBudgetAtTwoMetres) {
+  // §IV-B1: a tag 2 m from the reader antenna shows ≈ −41 dBm backscatter
+  // at 30 dBm TX.  One-way: P_inc = P_t·|h|²; round trip with modulation
+  // efficiency ~0.1 gives ≈ −41 dBm.
+  const DirectionalAntenna ant({0, 0, 0}, {0, 0, 1}, 8.0);
+  const Complex h = losGain(ant, {0, 0, 2.0}, 1.64, 0.5, kCarrier);
+  const double tx_w = dbmToWatts(30.0);
+  const double fwd2 = std::norm(h);
+  const double backscatter_dbm = wattsToDbm(tx_w * fwd2 * fwd2 * 0.1);
+  EXPECT_NEAR(backscatter_dbm, -41.0, 3.0);
+}
+
+TEST(LosGain, RejectsNegativeGain) {
+  const DirectionalAntenna ant({0, 0, 0}, {0, 0, 1}, 8.0);
+  EXPECT_THROW(losGain(ant, {0, 0, 1}, -1.0, 0.5, kCarrier),
+               std::invalid_argument);
+}
+
+TEST(ScatteredGain, DecaysWithBothLegs) {
+  const DirectionalAntenna ant({0, 0, -0.32}, {0, 0, 1}, 8.0);
+  const Vec3 tag{0, 0, 0};
+  const Complex near = scatteredGain(ant, {0, 0, 0.04}, 0.01, 0.0, tag, 1.64,
+                                     0.5, kCarrier);
+  const Complex far = scatteredGain(ant, {0.2, 0, 0.04}, 0.01, 0.0, tag, 1.64,
+                                    0.5, kCarrier);
+  EXPECT_GT(std::abs(near), std::abs(far));
+}
+
+TEST(ScatteredGain, ScalesWithSqrtRcs) {
+  const DirectionalAntenna ant({0, 0, -0.32}, {0, 0, 1}, 8.0);
+  const Vec3 tag{0, 0, 0};
+  const Vec3 s{0.05, 0, 0.05};
+  const Complex a = scatteredGain(ant, s, 0.01, 0.0, tag, 1.64, 0.5, kCarrier);
+  const Complex b = scatteredGain(ant, s, 0.04, 0.0, tag, 1.64, 0.5, kCarrier);
+  EXPECT_NEAR(std::abs(b) / std::abs(a), 2.0, 1e-9);
+}
+
+TEST(ScatteredGain, PhaseIncludesBothLegsAndReflection) {
+  const DirectionalAntenna ant({0, 0, -1.0}, {0, 0, 1}, 8.0);
+  const Vec3 tag{0, 0, 0};
+  const Vec3 s{0, 0, 0.5};
+  const double d1 = 1.5, d2 = 0.5;
+  const Complex h = scatteredGain(ant, s, 0.01, 0.7, tag, 1.64, 0.5, kCarrier);
+  const double expected = -kCarrier.waveNumber() * (d1 + d2) + 0.7;
+  EXPECT_NEAR(wrapPi(std::arg(h) - expected), 0.0, 1e-9);
+}
+
+TEST(ScatteredGain, RejectsNegativeRcs) {
+  const DirectionalAntenna ant({0, 0, 0}, {0, 0, 1}, 8.0);
+  EXPECT_THROW(scatteredGain(ant, {0, 0, 1}, -0.1, 0.0, {1, 0, 0}, 1.0, 0.5,
+                             kCarrier),
+               std::invalid_argument);
+}
+
+// Property: the scattered path is always weaker than a LOS path of the same
+// total length for realistic RCS (< 0.1 m²).
+class ScatterWeaker : public ::testing::TestWithParam<double> {};
+TEST_P(ScatterWeaker, ScatterBelowLos) {
+  const DirectionalAntenna ant({0, 0, -0.32}, {0, 0, 1}, 8.0);
+  const Vec3 tag{0, 0, 0};
+  const Vec3 s{GetParam(), 0, 0.04};
+  const Complex sc = scatteredGain(ant, s, 0.02, 0.0, tag, 1.64, 0.5, kCarrier);
+  const Complex los = losGain(ant, tag, 1.64, 0.5, kCarrier);
+  EXPECT_LT(std::abs(sc), 2.5 * std::abs(los));
+}
+INSTANTIATE_TEST_SUITE_P(Rf, ScatterWeaker,
+                         ::testing::Values(0.02, 0.06, 0.12, 0.2, 0.3));
+
+}  // namespace
+}  // namespace rfipad::rf

@@ -1,0 +1,74 @@
+#include "rf/scatterer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace rfipad::rf {
+namespace {
+
+PointScatterer hand(Vec3 pos) {
+  PointScatterer s;
+  s.position = pos;
+  s.rcs_m2 = 0.01;
+  s.blocks_los = true;
+  s.blockage_radius = 0.05;
+  s.blockage_depth_db = 8.0;
+  return s;
+}
+
+TEST(Blockage, FullDepthOnlyNearReceiver) {
+  // Mid-path obstruction is mild at UHF (Fresnel-zone argument)...
+  const auto mid = hand({0.5, 0, 0});
+  const double f_mid = blockageFactor(mid, {0, 0, 0}, {1, 0, 0});
+  EXPECT_GT(f_mid, dbToLinear(-3.0));
+  EXPECT_LT(f_mid, dbToLinear(-1.0));
+  // ...while a hand right at the tag shadows it with the full depth.
+  const auto near_rx = hand({0.99, 0, 0});
+  const double f_rx = blockageFactor(near_rx, {0, 0, 0}, {1, 0, 0});
+  EXPECT_NEAR(f_rx, dbToLinear(-8.0), 0.05);
+}
+
+TEST(Blockage, NegligibleFarFromSegment) {
+  const auto s = hand({0.5, 0.5, 0});  // 10 blockage radii away
+  const double f = blockageFactor(s, {0, 0, 0}, {1, 0, 0});
+  EXPECT_GT(f, 0.999);
+}
+
+TEST(Blockage, MonotoneInClearance) {
+  double prev = 0.0;
+  for (double y : {0.0, 0.02, 0.04, 0.08, 0.15}) {
+    const auto s = hand({0.5, y, 0});
+    const double f = blockageFactor(s, {0, 0, 0}, {1, 0, 0});
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Blockage, NonBlockingScattererIsTransparent) {
+  auto s = hand({0.5, 0, 0});
+  s.blocks_los = false;
+  EXPECT_DOUBLE_EQ(blockageFactor(s, {0, 0, 0}, {1, 0, 0}), 1.0);
+}
+
+TEST(Blockage, ZeroDepthIsTransparent) {
+  auto s = hand({0.5, 0, 0});
+  s.blockage_depth_db = 0.0;
+  EXPECT_DOUBLE_EQ(blockageFactor(s, {0, 0, 0}, {1, 0, 0}), 1.0);
+}
+
+TEST(Blockage, CombinedMultipliesScreens) {
+  const auto a = hand({0.3, 0, 0});
+  const auto b = hand({0.7, 0, 0});
+  const double fa = blockageFactor(a, {0, 0, 0}, {1, 0, 0});
+  const double fb = blockageFactor(b, {0, 0, 0}, {1, 0, 0});
+  const double fc = combinedBlockage({a, b}, {0, 0, 0}, {1, 0, 0});
+  EXPECT_NEAR(fc, fa * fb, 1e-12);
+}
+
+TEST(Blockage, EmptyListTransparent) {
+  EXPECT_DOUBLE_EQ(combinedBlockage({}, {0, 0, 0}, {1, 0, 0}), 1.0);
+}
+
+}  // namespace
+}  // namespace rfipad::rf

@@ -1,0 +1,105 @@
+#include "sim/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfipad::sim {
+namespace {
+
+Trajectory vlineTrajectory() {
+  UserProfile u;
+  u.jitter_std_m = 0.0;
+  TrajectoryBuilder b(u, Rng(5));
+  b.hold(0.3).stroke({StrokeKind::kVLine, StrokeDir::kForward}, 0.1).retract();
+  return b.build();
+}
+
+TEST(Kinect, SamplesAtFrameRate) {
+  const auto traj = vlineTrajectory();
+  Rng rng(1);
+  const auto track = kinectTrack(traj, {30.0, 0.0}, rng);
+  ASSERT_GT(track.size(), 10u);
+  // ~30 fps spacing.
+  EXPECT_NEAR(track[1].t - track[0].t, 1.0 / 30.0, 1e-9);
+  EXPECT_NEAR(track.size() / traj.durationS(), 30.0, 1.5);
+}
+
+TEST(Kinect, NoiselessTrackFollowsTrajectory) {
+  const auto traj = vlineTrajectory();
+  Rng rng(1);
+  const auto track = kinectTrack(traj, {30.0, 0.0}, rng);
+  for (const auto& s : track) {
+    EXPECT_NEAR(distance(s.hand, traj.positionAt(s.t)), 0.0, 1e-9);
+  }
+}
+
+TEST(Kinect, NoiseBounded) {
+  const auto traj = vlineTrajectory();
+  Rng rng(2);
+  const auto track = kinectTrack(traj, {30.0, 0.01}, rng);
+  double worst = 0.0;
+  for (const auto& s : track) {
+    worst = std::max(worst, distance(s.hand, traj.positionAt(s.t)));
+  }
+  EXPECT_GT(worst, 0.001);
+  EXPECT_LT(worst, 0.08);
+}
+
+TEST(Kinect, RejectsBadFps) {
+  const auto traj = vlineTrajectory();
+  Rng rng(1);
+  EXPECT_THROW(kinectTrack(traj, {0.0, 0.01}, rng), std::invalid_argument);
+}
+
+TEST(Rasterize, ColumnTrackLightsColumn) {
+  Rng rng(3);
+  tag::TagArray array(tag::ArrayConfig{}, rng);
+  const auto traj = vlineTrajectory();
+  Rng krng(4);
+  const auto track = kinectTrack(traj, {60.0, 0.0}, krng);
+  const auto map = rasterizeTrack(track, array, 0.08);
+  // The centre column (x = 0) accumulates more than edge columns.
+  double centre = 0.0, edge = 0.0;
+  for (int r = 0; r < 5; ++r) {
+    centre += map.at(r, 2);
+    edge += map.at(r, 0) + map.at(r, 4);
+  }
+  EXPECT_GT(centre, edge);
+}
+
+TEST(Rasterize, HighSamplesExcluded) {
+  Rng rng(3);
+  tag::TagArray array(tag::ArrayConfig{}, rng);
+  // A track hovering far above the pad contributes nothing.
+  std::vector<SkeletalSample> track = {{0.0, {0.0, 0.0, 0.5}},
+                                       {0.1, {0.0, 0.0, 0.4}}};
+  const auto map = rasterizeTrack(track, array, 0.08);
+  EXPECT_DOUBLE_EQ(map.maxValue(), 0.0);
+}
+
+TEST(Correlation, IdenticalMapsPerfect) {
+  imgproc::GrayMap a(3, 3, std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_NEAR(mapCorrelation(a, a), 1.0, 1e-12);
+}
+
+TEST(Correlation, AntiCorrelatedMaps) {
+  imgproc::GrayMap a(1, 3, std::vector<double>{1, 2, 3});
+  imgproc::GrayMap b(1, 3, std::vector<double>{3, 2, 1});
+  EXPECT_NEAR(mapCorrelation(a, b), -1.0, 1e-12);
+}
+
+TEST(Correlation, FlatMapGivesZero) {
+  imgproc::GrayMap a(2, 2, 1.0);
+  imgproc::GrayMap b(2, 2, std::vector<double>{1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(mapCorrelation(a, b), 0.0);
+}
+
+TEST(Correlation, SizeMismatchThrows) {
+  imgproc::GrayMap a(2, 2);
+  imgproc::GrayMap b(3, 3);
+  EXPECT_THROW(mapCorrelation(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfipad::sim

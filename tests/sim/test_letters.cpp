@@ -1,0 +1,116 @@
+#include "sim/letters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace rfipad::sim {
+namespace {
+
+TEST(Letters, GroupSizesMatchFig23) {
+  EXPECT_EQ(lettersWithStrokeCount(1).size(), 2u);
+  EXPECT_EQ(lettersWithStrokeCount(2).size(), 9u);
+  EXPECT_EQ(lettersWithStrokeCount(3).size(), 12u);
+  EXPECT_EQ(lettersWithStrokeCount(4).size(), 3u);
+  EXPECT_THROW(lettersWithStrokeCount(0), std::invalid_argument);
+  EXPECT_THROW(lettersWithStrokeCount(5), std::invalid_argument);
+}
+
+TEST(Letters, GroupsPartitionAlphabet) {
+  std::set<char> all;
+  for (int g = 1; g <= 4; ++g) {
+    for (char c : lettersWithStrokeCount(g)) {
+      EXPECT_TRUE(all.insert(c).second) << c;
+      EXPECT_EQ(letterStrokeCount(c), g) << c;
+    }
+  }
+  EXPECT_EQ(all.size(), 26u);
+}
+
+TEST(Letters, PaperGroupMembership) {
+  // §V-C: Group #1 = {C, I}; Group #4 = {E, M, W}.
+  const auto& g1 = lettersWithStrokeCount(1);
+  EXPECT_NE(std::find(g1.begin(), g1.end(), 'C'), g1.end());
+  EXPECT_NE(std::find(g1.begin(), g1.end(), 'I'), g1.end());
+  const auto& g4 = lettersWithStrokeCount(4);
+  for (char c : {'E', 'M', 'W'}) {
+    EXPECT_NE(std::find(g4.begin(), g4.end(), c), g4.end()) << c;
+  }
+}
+
+TEST(Letters, PlansStayInsideBox) {
+  const double hw = 0.1, hh = 0.12;
+  for (char c = 'A'; c <= 'Z'; ++c) {
+    for (const auto& plan : letterPlans(c, hw, hh)) {
+      for (double u = 0.0; u <= 1.0; u += 0.05) {
+        const Vec2 p = strokePoint(plan, u);
+        EXPECT_LE(std::abs(p.x), hw * 1.6) << c;
+        EXPECT_LE(std::abs(p.y), hh * 1.6) << c;
+      }
+    }
+  }
+}
+
+TEST(Letters, KindsMatchPlans) {
+  for (char c = 'A'; c <= 'Z'; ++c) {
+    const auto plans = letterPlans(c, 0.1, 0.1);
+    const auto kinds = letterStrokeKinds(c);
+    ASSERT_EQ(plans.size(), kinds.size()) << c;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      EXPECT_EQ(plans[i].stroke.kind, kinds[i]) << c << " stroke " << i;
+    }
+  }
+}
+
+TEST(Letters, AmbiguousPairsShareSequences) {
+  EXPECT_EQ(letterStrokeKinds('D'), letterStrokeKinds('P'));
+  EXPECT_EQ(letterStrokeKinds('O'), letterStrokeKinds('S'));
+  EXPECT_EQ(letterStrokeKinds('V'), letterStrokeKinds('X'));
+}
+
+TEST(Letters, DBowlReachesBarBottomButPDoesNot) {
+  // The positional fact the paper uses to split D from P.
+  const auto d = letterPlans('D', 0.1, 0.1);
+  const auto p = letterPlans('P', 0.1, 0.1);
+  const double d_bar_bottom = std::min(d[0].from.y, d[0].to.y);
+  const double d_bowl_end = std::min(d[1].from.y, d[1].to.y);
+  EXPECT_NEAR(d_bowl_end, d_bar_bottom, 0.02);
+  const double p_bar_bottom = std::min(p[0].from.y, p[0].to.y);
+  const double p_bowl_end = std::min(p[1].from.y, p[1].to.y);
+  EXPECT_GT(p_bowl_end, p_bar_bottom + 0.05);
+}
+
+TEST(Letters, XCrossesVDoesNot) {
+  auto segs = [](char c) {
+    const auto plans = letterPlans(c, 0.1, 0.1);
+    return std::pair{plans[0], plans[1]};
+  };
+  // X: midpoints of both strokes nearly coincide (they cross).
+  const auto [x1, x2] = segs('X');
+  const Vec2 xm1 = lerp(x1.from, x1.to, 0.5);
+  const Vec2 xm2 = lerp(x2.from, x2.to, 0.5);
+  EXPECT_LT(distance(xm1, xm2), 0.03);
+  // V: stroke 1 ends where stroke 2 begins.
+  const auto [v1, v2] = segs('V');
+  EXPECT_LT(distance(v1.to, v2.from), 0.01);
+}
+
+TEST(Letters, RejectsBadInput) {
+  EXPECT_THROW(letterPlans('a', 0.1, 0.1), std::invalid_argument);
+  EXPECT_THROW(letterPlans('A', 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(letterStrokeKinds('@'), std::invalid_argument);
+}
+
+TEST(Letters, ScalingIsLinear) {
+  const auto small = letterPlans('H', 0.05, 0.05);
+  const auto big = letterPlans('H', 0.1, 0.1);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_NEAR(big[i].from.x, 2.0 * small[i].from.x, 1e-12);
+    EXPECT_NEAR(big[i].to.y, 2.0 * small[i].to.y, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rfipad::sim

@@ -1,0 +1,124 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfipad::sim {
+namespace {
+
+TEST(Scenario, DefaultMatchesPaperPrototype) {
+  Scenario s(ScenarioConfig{});
+  EXPECT_EQ(s.array().rows(), 5);
+  EXPECT_EQ(s.array().cols(), 5);
+  EXPECT_NEAR(s.padHalfExtent(), 0.12, 1e-9);
+  // NLOS: antenna behind the plane at 32 cm.
+  EXPECT_NEAR(s.antenna().position().z, -0.32, 1e-9);
+  EXPECT_NEAR(s.antenna().boresight().z, 1.0, 1e-9);
+}
+
+TEST(Scenario, LosPutsAntennaInFront) {
+  ScenarioConfig cfg;
+  cfg.placement = AntennaPlacement::kLOS;
+  Scenario s(cfg);
+  EXPECT_GT(s.antenna().position().z, 0.0);
+  // Boresight points back toward the pad.
+  EXPECT_LT(s.antenna().boresight().z, 0.0);
+}
+
+TEST(Scenario, TiltRotatesBoresight) {
+  ScenarioConfig straight;
+  ScenarioConfig tilted;
+  tilted.antenna_tilt_deg = 45.0;
+  Scenario a(straight);
+  Scenario b(tilted);
+  EXPECT_NEAR(a.antenna().boresight().x, 0.0, 1e-9);
+  EXPECT_NEAR(b.antenna().boresight().x, std::sin(45.0 * 3.14159 / 180.0),
+              1e-3);
+}
+
+TEST(Scenario, RejectsBadDistance) {
+  ScenarioConfig cfg;
+  cfg.reader_distance_m = 0.0;
+  EXPECT_THROW(Scenario{cfg}, std::invalid_argument);
+}
+
+TEST(Scenario, StaticCaptureProducesReads) {
+  Scenario s(ScenarioConfig{});
+  const auto stream = s.captureStatic(1.0);
+  EXPECT_GT(stream.size(), 200u);
+  EXPECT_EQ(stream.numTags(), 25u);
+}
+
+TEST(Scenario, SceneContainsHandAndArm) {
+  Scenario s(ScenarioConfig{});
+  TrajectoryBuilder b(defaultUser(1), s.forkRng(1));
+  b.hold(1.0);
+  const auto traj = b.build();
+  const auto scene = s.sceneFor(traj, defaultUser(1), 0.0);
+  const auto scatterers = scene(0.5);
+  ASSERT_EQ(scatterers.size(), 3u);  // hand + two forearm lumps
+  // The hand leads; arm lumps sit between hand and body anchor.
+  EXPECT_NEAR(scatterers[0].rcs_m2, defaultUser(1).hand_rcs_m2, 1e-12);
+  EXPECT_GT(scatterers[1].position.z, scatterers[0].position.z);
+  EXPECT_GT(scatterers[2].position.z, scatterers[1].position.z);
+}
+
+TEST(Scenario, CaptureShiftsTruthToReaderClock) {
+  Scenario s(ScenarioConfig{});
+  s.captureStatic(2.0);  // advance the clock
+  TrajectoryBuilder b(defaultUser(1), s.forkRng(2));
+  b.hold(0.3).stroke({StrokeKind::kVLine, StrokeDir::kForward}, 0.1).retract();
+  const auto cap = s.capture(b.build(), defaultUser(1));
+  ASSERT_EQ(cap.truth.size(), 1u);
+  EXPECT_GT(cap.truth.front().t0, 2.0);  // on the reader clock
+  EXPECT_GE(cap.stream.startTime(), 2.0);
+  EXPECT_LE(cap.truth.front().t1, cap.stream.endTime() + 0.5);
+}
+
+TEST(Scenario, MotionDisturbsPhases) {
+  Scenario s(ScenarioConfig{});
+  const auto quiet = s.captureStatic(1.5);
+  TrajectoryBuilder b(defaultUser(1), s.forkRng(3));
+  b.hold(0.2).stroke({StrokeKind::kVLine, StrokeDir::kForward}, 0.1).retract();
+  const auto cap = s.capture(b.build(), defaultUser(1));
+  // Compare phase spread of the centre tag between quiet and motion.
+  const auto centre = s.array().indexOf(2, 2);
+  auto spread = [&](const reader::SampleStream& st) {
+    const auto series = st.seriesFor(centre);
+    double lo = 1e9, hi = -1e9;
+    for (double p : series.phases) {
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(spread(cap.stream), spread(quiet));
+}
+
+TEST(Scenario, AnechoicLocationZero) {
+  ScenarioConfig cfg;
+  cfg.location = 0;
+  Scenario s(cfg);
+  EXPECT_TRUE(s.reader().channel().environment().reflectors.empty());
+}
+
+TEST(Scenario, SeedsReproduceCaptures) {
+  auto run = [](std::uint64_t seed) {
+    ScenarioConfig cfg;
+    cfg.seed = seed;
+    Scenario s(cfg);
+    return s.captureStatic(0.5).size();
+  };
+  EXPECT_EQ(run(99), run(99));
+}
+
+TEST(Scenario, BodyAnchorBehindHand) {
+  const Vec3 anchor = bodyAnchor();
+  EXPECT_GT(anchor.z, 0.3);  // well away from the plane
+  EXPECT_LT(anchor.y, 0.0);  // below the pad centre
+}
+
+}  // namespace
+}  // namespace rfipad::sim

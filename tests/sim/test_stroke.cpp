@@ -1,0 +1,122 @@
+#include "sim/stroke.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfipad::sim {
+namespace {
+
+TEST(StrokePlan, CanonicalLineEndpoints) {
+  const auto h = canonicalPlan({StrokeKind::kHLine, StrokeDir::kForward}, 0.1);
+  EXPECT_DOUBLE_EQ(h.from.x, -0.1);
+  EXPECT_DOUBLE_EQ(h.to.x, 0.1);
+  EXPECT_DOUBLE_EQ(h.from.y, 0.0);
+
+  const auto v = canonicalPlan({StrokeKind::kVLine, StrokeDir::kForward}, 0.1);
+  EXPECT_DOUBLE_EQ(v.from.y, 0.1);   // top
+  EXPECT_DOUBLE_EQ(v.to.y, -0.1);    // bottom (kForward = ↓)
+}
+
+TEST(StrokePlan, ReverseSwapsEndpoints) {
+  const auto fwd = canonicalPlan({StrokeKind::kSlash, StrokeDir::kForward}, 0.1);
+  const auto rev = canonicalPlan({StrokeKind::kSlash, StrokeDir::kReverse}, 0.1);
+  EXPECT_DOUBLE_EQ(fwd.from.x, rev.to.x);
+  EXPECT_DOUBLE_EQ(fwd.to.y, rev.from.y);
+}
+
+TEST(StrokePlan, ClickIsAPoint) {
+  const auto c = canonicalPlan({StrokeKind::kClick, StrokeDir::kForward}, 0.1);
+  EXPECT_DOUBLE_EQ(c.from.x, c.to.x);
+  EXPECT_DOUBLE_EQ(c.from.y, c.to.y);
+}
+
+TEST(StrokePlan, RejectsNonPositiveExtent) {
+  EXPECT_THROW(canonicalPlan({StrokeKind::kHLine, StrokeDir::kForward}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(StrokePoint, LineInterpolation) {
+  const auto plan = canonicalPlan({StrokeKind::kHLine, StrokeDir::kForward}, 0.1);
+  EXPECT_DOUBLE_EQ(strokePoint(plan, 0.0).x, -0.1);
+  EXPECT_DOUBLE_EQ(strokePoint(plan, 1.0).x, 0.1);
+  EXPECT_DOUBLE_EQ(strokePoint(plan, 0.5).x, 0.0);
+  // Clamped outside [0,1].
+  EXPECT_DOUBLE_EQ(strokePoint(plan, -1.0).x, -0.1);
+  EXPECT_DOUBLE_EQ(strokePoint(plan, 2.0).x, 0.1);
+}
+
+TEST(StrokePoint, LeftArcBulgesLeft) {
+  const auto plan =
+      canonicalPlan({StrokeKind::kLeftArc, StrokeDir::kForward}, 0.1);
+  const Vec2 apex = strokePoint(plan, 0.5);
+  // "⊂" bulges toward −x of its chord.
+  EXPECT_LT(apex.x, plan.from.x - 0.05);
+  // Endpoints honoured.
+  EXPECT_NEAR(distance(strokePoint(plan, 0.0), plan.from), 0.0, 1e-12);
+  EXPECT_NEAR(distance(strokePoint(plan, 1.0), plan.to), 0.0, 1e-12);
+}
+
+TEST(StrokePoint, RightArcBulgesRight) {
+  const auto plan =
+      canonicalPlan({StrokeKind::kRightArc, StrokeDir::kForward}, 0.1);
+  EXPECT_GT(strokePoint(plan, 0.5).x, plan.from.x + 0.05);
+}
+
+TEST(StrokePoint, ArcBulgeInvariantToDirection) {
+  // The shape is a property of the stroke kind, not travel direction.
+  const auto fwd =
+      canonicalPlan({StrokeKind::kLeftArc, StrokeDir::kForward}, 0.1);
+  const auto rev =
+      canonicalPlan({StrokeKind::kLeftArc, StrokeDir::kReverse}, 0.1);
+  EXPECT_NEAR(strokePoint(fwd, 0.5).x, strokePoint(rev, 0.5).x, 1e-9);
+}
+
+TEST(StrokePoint, HorizontalChordArcBowsDown) {
+  // Letter hooks (J, U): a "⊂" with a horizontal chord bows toward −y.
+  StrokePlan plan;
+  plan.stroke = {StrokeKind::kLeftArc, StrokeDir::kForward};
+  plan.from = {-0.05, 0.0};
+  plan.to = {0.05, 0.0};
+  EXPECT_LT(strokePoint(plan, 0.5).y, -0.03);
+}
+
+TEST(StrokePoint, ArcStaysOnCircle) {
+  const auto plan =
+      canonicalPlan({StrokeKind::kRightArc, StrokeDir::kForward}, 0.1);
+  const Vec2 center = (plan.from + plan.to) * 0.5;
+  const double radius = (plan.from - center).norm();
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    EXPECT_NEAR((strokePoint(plan, u) - center).norm(), radius, 1e-9) << u;
+  }
+}
+
+TEST(StrokeLength, LinesAndArcs) {
+  const auto h = canonicalPlan({StrokeKind::kHLine, StrokeDir::kForward}, 0.1);
+  EXPECT_NEAR(strokeLength(h), 0.2, 1e-12);
+  const auto d = canonicalPlan({StrokeKind::kSlash, StrokeDir::kForward}, 0.1);
+  EXPECT_NEAR(strokeLength(d), 0.2 * std::sqrt(2.0), 1e-12);
+  const auto arc =
+      canonicalPlan({StrokeKind::kLeftArc, StrokeDir::kForward}, 0.1);
+  EXPECT_NEAR(strokeLength(arc), 3.14159 * 0.1, 1e-3);  // π·chord/2
+  const auto click =
+      canonicalPlan({StrokeKind::kClick, StrokeDir::kForward}, 0.1);
+  EXPECT_GT(strokeLength(click), 0.0);
+}
+
+class AllStrokesSweep : public ::testing::TestWithParam<int> {};
+TEST_P(AllStrokesSweep, PathContinuous) {
+  const auto& s = allDirectedStrokes()[static_cast<std::size_t>(GetParam())];
+  const auto plan = canonicalPlan(s, 0.1);
+  Vec2 prev = strokePoint(plan, 0.0);
+  for (double u = 0.02; u <= 1.0; u += 0.02) {
+    const Vec2 p = strokePoint(plan, u);
+    EXPECT_LT(distance(p, prev), 0.02) << directedStrokeName(s) << " u=" << u;
+    prev = p;
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Sim, AllStrokesSweep, ::testing::Range(0, 13));
+
+}  // namespace
+}  // namespace rfipad::sim

@@ -1,0 +1,161 @@
+#include "sim/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfipad::sim {
+namespace {
+
+UserProfile calmUser() {
+  UserProfile u;
+  u.jitter_std_m = 0.0;  // deterministic paths for geometric assertions
+  return u;
+}
+
+Trajectory strokeTraj(const DirectedStroke& s, UserProfile u = calmUser()) {
+  TrajectoryBuilder b(u, Rng(3));
+  b.hold(0.3).stroke(s, 0.1).retract();
+  return b.build();
+}
+
+TEST(Trajectory, StartsAtRest) {
+  const auto traj = strokeTraj({StrokeKind::kVLine, StrokeDir::kForward});
+  const Vec3 p0 = traj.positionAt(traj.startTime());
+  EXPECT_NEAR(distance(p0, TrajectoryBuilder::restPosition()), 0.0, 1e-9);
+}
+
+TEST(Trajectory, EndsAtRestAfterRetract) {
+  const auto traj = strokeTraj({StrokeKind::kHLine, StrokeDir::kForward});
+  const Vec3 pe = traj.positionAt(traj.endTime());
+  EXPECT_NEAR(distance(pe, TrajectoryBuilder::restPosition()), 0.0, 1e-9);
+}
+
+TEST(Trajectory, RecordsStrokeInterval) {
+  const auto traj = strokeTraj({StrokeKind::kVLine, StrokeDir::kForward});
+  ASSERT_EQ(traj.strokes().size(), 1u);
+  const auto& si = traj.strokes().front();
+  EXPECT_GT(si.t1, si.t0);
+  EXPECT_GT(si.t0, 0.3);  // after the initial hold
+  EXPECT_LT(si.t1, traj.endTime());
+}
+
+TEST(Trajectory, WritesAtHoverHeight) {
+  UserProfile u = calmUser();
+  const auto traj = strokeTraj({StrokeKind::kHLine, StrokeDir::kForward}, u);
+  const auto& si = traj.strokes().front();
+  for (double t = si.t0 + 0.01; t < si.t1; t += 0.05) {
+    EXPECT_NEAR(traj.positionAt(t).z, u.hover_height_m, 1e-9);
+  }
+}
+
+TEST(Trajectory, FollowsStrokePath) {
+  const auto traj = strokeTraj({StrokeKind::kHLine, StrokeDir::kForward});
+  const auto& si = traj.strokes().front();
+  const Vec3 start = traj.positionAt(si.t0);
+  const Vec3 end = traj.positionAt(si.t1);
+  EXPECT_NEAR(start.x, -0.1, 1e-6);
+  EXPECT_NEAR(end.x, 0.1, 1e-6);
+}
+
+TEST(Trajectory, ContinuousEverywhere) {
+  UserProfile u;  // with jitter
+  TrajectoryBuilder b(u, Rng(7));
+  b.hold(0.2)
+      .stroke({StrokeKind::kLeftArc, StrokeDir::kForward}, 0.1)
+      .stroke({StrokeKind::kClick, StrokeDir::kForward}, 0.1)
+      .retract();
+  const auto traj = b.build();
+  Vec3 prev = traj.positionAt(traj.startTime());
+  for (double t = traj.startTime(); t <= traj.endTime(); t += 0.005) {
+    const Vec3 p = traj.positionAt(t);
+    EXPECT_LT(distance(p, prev), 0.02) << "jump at t=" << t;
+    prev = p;
+  }
+}
+
+TEST(Trajectory, ClampedOutsideSpan) {
+  const auto traj = strokeTraj({StrokeKind::kVLine, StrokeDir::kForward});
+  const Vec3 before = traj.positionAt(traj.startTime() - 5.0);
+  const Vec3 after = traj.positionAt(traj.endTime() + 5.0);
+  EXPECT_NEAR(distance(before, traj.positionAt(traj.startTime())), 0.0, 1e-9);
+  EXPECT_NEAR(distance(after, traj.positionAt(traj.endTime())), 0.0, 1e-9);
+}
+
+TEST(Trajectory, ClickDipsTowardPlane) {
+  const auto traj = strokeTraj({StrokeKind::kClick, StrokeDir::kForward});
+  const auto& si = traj.strokes().front();
+  double min_z = 1.0;
+  for (double t = si.t0; t <= si.t1; t += 0.01) {
+    min_z = std::min(min_z, traj.positionAt(t).z);
+  }
+  EXPECT_LT(min_z, 0.03);
+  EXPECT_GT(min_z, 0.0);
+}
+
+TEST(Trajectory, FasterUserFinishesSooner) {
+  UserProfile slow = calmUser();
+  slow.speed_scale = 0.8;
+  UserProfile fast = calmUser();
+  fast.speed_scale = 1.6;
+  const auto a = strokeTraj({StrokeKind::kHLine, StrokeDir::kForward}, slow);
+  const auto b = strokeTraj({StrokeKind::kHLine, StrokeDir::kForward}, fast);
+  EXPECT_GT(a.strokes().front().t1 - a.strokes().front().t0,
+            b.strokes().front().t1 - b.strokes().front().t0);
+}
+
+TEST(Trajectory, VelocityFiniteAndReasonable) {
+  const auto traj = strokeTraj({StrokeKind::kSlash, StrokeDir::kForward});
+  for (double t = traj.startTime(); t <= traj.endTime(); t += 0.05) {
+    const double v = traj.velocityAt(t).norm();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 3.0);  // human hands stay under a few m/s
+  }
+}
+
+TEST(Trajectory, MultiStrokeIntervalsOrdered) {
+  TrajectoryBuilder b(calmUser(), Rng(5));
+  b.hold(0.3);
+  for (int i = 0; i < 3; ++i)
+    b.stroke({StrokeKind::kVLine, StrokeDir::kForward}, 0.08);
+  const auto traj = b.build();
+  ASSERT_EQ(traj.strokes().size(), 3u);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_GT(traj.strokes()[i].t0, traj.strokes()[i - 1].t1);
+  }
+}
+
+TEST(Trajectory, AdjustmentsHappenAtLiftHeight) {
+  UserProfile u = calmUser();
+  TrajectoryBuilder b(u, Rng(5));
+  b.hold(0.2)
+      .stroke({StrokeKind::kVLine, StrokeDir::kForward}, 0.08)
+      .stroke({StrokeKind::kHLine, StrokeDir::kForward}, 0.08);
+  const auto traj = b.build();
+  // Midpoint between the strokes: the hand is raised.
+  const double gap_mid =
+      (traj.strokes()[0].t1 + traj.strokes()[1].t0) / 2.0;
+  EXPECT_GT(traj.positionAt(gap_mid).z, u.hover_height_m * 2.0);
+}
+
+TEST(Trajectory, EmptyBuilderStillValid) {
+  TrajectoryBuilder b(calmUser(), Rng(1));
+  const auto traj = b.build();
+  EXPECT_GT(traj.durationS(), 0.0);
+  EXPECT_TRUE(traj.strokes().empty());
+}
+
+TEST(Trajectory, JitterBoundedByProfile) {
+  UserProfile u = calmUser();
+  u.jitter_std_m = 0.004;
+  TrajectoryBuilder b(u, Rng(9));
+  b.hold(5.0);
+  const auto traj = b.build();
+  const Vec3 anchor = TrajectoryBuilder::restPosition();
+  for (double t = 0.0; t < 5.0; t += 0.05) {
+    EXPECT_LT(distance(traj.positionAt(t), anchor), 0.03);
+  }
+}
+
+}  // namespace
+}  // namespace rfipad::sim

@@ -1,0 +1,60 @@
+#include "sim/user.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rfipad::sim {
+namespace {
+
+TEST(Users, TenVolunteers) {
+  EXPECT_EQ(defaultUsers().size(), 10u);
+}
+
+TEST(Users, FastUsersAreSixAndNine) {
+  // Fig. 20: volunteers #6 and #9 move relatively fast.
+  const auto& users = defaultUsers();
+  double max_speed = 0.0;
+  for (const auto& u : users) max_speed = std::max(max_speed, u.speed_scale);
+  EXPECT_DOUBLE_EQ(
+      std::max(defaultUser(6).speed_scale, defaultUser(9).speed_scale),
+      max_speed);
+  EXPECT_GT(defaultUser(6).speed_scale, 1.2);
+  EXPECT_GT(defaultUser(9).speed_scale, 1.2);
+  for (int i : {1, 2, 3, 4, 5, 7, 8, 10}) {
+    EXPECT_LT(defaultUser(i).speed_scale, 1.2) << i;
+  }
+}
+
+TEST(Users, PhysiologyInPaperRanges) {
+  for (const auto& u : defaultUsers()) {
+    EXPECT_GT(u.hover_height_m, 0.0);
+    EXPECT_LE(u.hover_height_m, 0.05);  // §VI: within 5 cm of the plane
+    EXPECT_GT(u.lift_height_m, u.hover_height_m);
+    EXPECT_GE(u.arm_length_m, 0.56);    // §V-B6: 56–70 cm arm lengths
+    EXPECT_LE(u.arm_length_m, 0.70);
+    EXPECT_GT(u.hand_rcs_m2, 0.0);
+    EXPECT_GT(u.jitter_std_m, 0.0);
+  }
+}
+
+TEST(Users, OneBasedAccessor) {
+  EXPECT_EQ(defaultUser(1).name, "user-1");
+  EXPECT_EQ(defaultUser(10).name, "user-10");
+  EXPECT_THROW(defaultUser(0), std::invalid_argument);
+  EXPECT_THROW(defaultUser(11), std::invalid_argument);
+}
+
+TEST(Users, ArmRcsGrowsWithArmLength) {
+  const auto& users = defaultUsers();
+  const UserProfile* longest = &users[0];
+  const UserProfile* shortest = &users[0];
+  for (const auto& u : users) {
+    if (u.arm_length_m > longest->arm_length_m) longest = &u;
+    if (u.arm_length_m < shortest->arm_length_m) shortest = &u;
+  }
+  EXPECT_GT(longest->arm_rcs_m2, shortest->arm_rcs_m2);
+}
+
+}  // namespace
+}  // namespace rfipad::sim

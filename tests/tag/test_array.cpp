@@ -1,0 +1,172 @@
+#include "tag/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "common/angles.hpp"
+#include "common/stats.hpp"
+
+namespace rfipad::tag {
+namespace {
+
+TagArray makeDefault(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return TagArray(ArrayConfig{}, rng);
+}
+
+TEST(TagArray, DefaultIsPaperPrototype) {
+  const auto arr = makeDefault();
+  EXPECT_EQ(arr.rows(), 5);
+  EXPECT_EQ(arr.cols(), 5);
+  EXPECT_EQ(arr.size(), 25u);
+  EXPECT_DOUBLE_EQ(arr.spacing(), 0.06);
+}
+
+TEST(TagArray, GridCenteredAtOrigin) {
+  const auto arr = makeDefault();
+  Vec3 sum{};
+  for (const auto& t : arr.tags()) sum = sum + t.position;
+  EXPECT_NEAR(sum.x, 0.0, 1e-12);
+  EXPECT_NEAR(sum.y, 0.0, 1e-12);
+  EXPECT_NEAR(sum.z, 0.0, 1e-12);
+  // Corner tag at (−0.12, −0.12).
+  EXPECT_NEAR(arr.at(0, 0).position.x, -0.12, 1e-12);
+  EXPECT_NEAR(arr.at(0, 0).position.y, -0.12, 1e-12);
+  EXPECT_NEAR(arr.at(4, 4).position.x, 0.12, 1e-12);
+}
+
+TEST(TagArray, RowMajorIndexing) {
+  const auto arr = makeDefault();
+  EXPECT_EQ(arr.indexOf(0, 0), 0u);
+  EXPECT_EQ(arr.indexOf(0, 4), 4u);
+  EXPECT_EQ(arr.indexOf(1, 0), 5u);
+  EXPECT_EQ(arr.indexOf(4, 4), 24u);
+  EXPECT_EQ(arr.at(2, 3).index, arr.indexOf(2, 3));
+  EXPECT_THROW(arr.indexOf(5, 0), std::out_of_range);
+  EXPECT_THROW(arr.indexOf(0, -1), std::out_of_range);
+}
+
+TEST(TagArray, UniqueEpcs) {
+  const auto arr = makeDefault();
+  std::set<std::string> epcs;
+  for (const auto& t : arr.tags()) EXPECT_TRUE(epcs.insert(t.epc).second);
+}
+
+TEST(TagArray, AlternatingFacingCheckerboard) {
+  const auto arr = makeDefault();
+  for (const auto& t : arr.tags()) {
+    const Facing expect =
+        (t.row + t.col) % 2 == 1 ? Facing::kReverse : Facing::kForward;
+    EXPECT_EQ(t.facing, expect);
+  }
+}
+
+TEST(TagArray, UniformFacingWhenDisabled) {
+  ArrayConfig cfg;
+  cfg.alternate_facing = false;
+  Rng rng(1);
+  const TagArray arr(cfg, rng);
+  for (const auto& t : arr.tags()) EXPECT_EQ(t.facing, Facing::kForward);
+}
+
+TEST(TagArray, PhaseDiversitySpreadsOverCircle) {
+  // Fig. 4: static phases distribute irregularly within [0, 2π).
+  const auto arr = makeDefault();
+  double min_theta = 10.0, max_theta = -1.0;
+  for (const auto& t : arr.tags()) {
+    EXPECT_GE(t.theta_tag, 0.0);
+    EXPECT_LT(t.theta_tag, kTwoPi);
+    min_theta = std::min(min_theta, t.theta_tag);
+    max_theta = std::max(max_theta, t.theta_tag);
+  }
+  EXPECT_GT(max_theta - min_theta, kPi);  // spread over most of the circle
+}
+
+TEST(TagArray, DiversityCanBeDisabled) {
+  ArrayConfig cfg;
+  cfg.tag_phase_diversity = false;
+  cfg.flicker_bias_sigma = 0.0;
+  Rng rng(1);
+  const TagArray arr(cfg, rng);
+  for (const auto& t : arr.tags()) {
+    EXPECT_DOUBLE_EQ(t.theta_tag, 0.0);
+    EXPECT_DOUBLE_EQ(t.flicker_bias, 1.0);
+  }
+}
+
+TEST(TagArray, FlickerBiasVariesAcrossTags) {
+  // Fig. 5: deviation bias differs significantly between tags.
+  const auto arr = makeDefault();
+  std::vector<double> biases;
+  for (const auto& t : arr.tags()) biases.push_back(t.flicker_bias);
+  EXPECT_GT(stddev(biases), 0.15);
+  for (double b : biases) EXPECT_GT(b, 0.0);
+}
+
+TEST(TagArray, NearestTagSnapsToGrid) {
+  const auto arr = makeDefault();
+  EXPECT_EQ(arr.nearestTag({0.0, 0.0, 0.05}), arr.indexOf(2, 2));
+  EXPECT_EQ(arr.nearestTag({-0.13, -0.11, 0.0}), arr.indexOf(0, 0));
+  EXPECT_EQ(arr.nearestTag({0.125, 0.125, 0.2}), arr.indexOf(4, 4));
+}
+
+TEST(TagArray, PlateExtentMatchesPaper) {
+  // §IV-B3: l ≈ 46 cm for 5 tags at 6 cm plus the 4.4 cm antenna.
+  const auto arr = makeDefault();
+  EXPECT_NEAR(arr.plateExtentM(), 0.284, 0.01);
+}
+
+TEST(TagArray, CouplingPenaltyNegativeAndBounded) {
+  const auto arr = makeDefault();
+  for (const auto& t : arr.tags()) {
+    EXPECT_LE(t.coupling_penalty_db, 0.0);
+    EXPECT_GT(t.coupling_penalty_db, -15.0);
+  }
+}
+
+TEST(TagArray, CenterTagsMoreCoupledThanCorners) {
+  const auto arr = makeDefault();
+  // The centre tag has 8 neighbours; a corner only 3.
+  EXPECT_LT(arr.at(2, 2).coupling_penalty_db, arr.at(0, 0).coupling_penalty_db);
+}
+
+TEST(TagArray, SameFacingArraysCoupleMore) {
+  ArrayConfig alt;
+  ArrayConfig same;
+  same.alternate_facing = false;
+  Rng r1(1), r2(1);
+  const TagArray a(alt, r1);
+  const TagArray b(same, r2);
+  EXPECT_LT(b.at(2, 2).coupling_penalty_db, a.at(2, 2).coupling_penalty_db);
+}
+
+TEST(TagArray, Validation) {
+  Rng rng(1);
+  ArrayConfig bad;
+  bad.rows = 0;
+  EXPECT_THROW(TagArray(bad, rng), std::invalid_argument);
+  bad = ArrayConfig{};
+  bad.spacing_m = -0.1;
+  EXPECT_THROW(TagArray(bad, rng), std::invalid_argument);
+}
+
+class GridShape : public ::testing::TestWithParam<std::pair<int, int>> {};
+TEST_P(GridShape, ArbitraryDimensions) {
+  const auto [rows, cols] = GetParam();
+  ArrayConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  Rng rng(5);
+  const TagArray arr(cfg, rng);
+  EXPECT_EQ(arr.size(), static_cast<std::size_t>(rows) * cols);
+  EXPECT_EQ(arr.at(rows - 1, cols - 1).index, arr.size() - 1);
+}
+INSTANTIATE_TEST_SUITE_P(Tag, GridShape,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 5},
+                                           std::pair{5, 1}, std::pair{3, 7},
+                                           std::pair{10, 10}));
+
+}  // namespace
+}  // namespace rfipad::tag

@@ -1,0 +1,82 @@
+#include "tag/tag.hpp"
+#include "tag/tag_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rfipad::tag {
+namespace {
+
+TEST(TagType, AllFourModelsDistinct) {
+  std::set<double> rcs;
+  for (TagModel m : {TagModel::kA, TagModel::kB, TagModel::kC, TagModel::kD}) {
+    const auto p = tagType(m);
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GT(p.rcs_m2, 0.0);
+    EXPECT_TRUE(rcs.insert(p.rcs_m2).second) << "duplicate RCS";
+  }
+}
+
+TEST(TagType, TagBHasSmallestRcs) {
+  // §IV-B2: "Tag B (Impinj AZ-E53) is the best choice" — smallest RCS.
+  const double b = tagType(TagModel::kB).rcs_m2;
+  for (TagModel m : {TagModel::kA, TagModel::kC, TagModel::kD}) {
+    EXPECT_LT(b, tagType(m).rcs_m2);
+  }
+}
+
+TEST(TagType, TagDHasLargestRcs) {
+  const double d = tagType(TagModel::kD).rcs_m2;
+  for (TagModel m : {TagModel::kA, TagModel::kB, TagModel::kC}) {
+    EXPECT_GT(d, tagType(m).rcs_m2);
+  }
+}
+
+TEST(TagType, SensitivityInRealisticRange) {
+  for (TagModel m : {TagModel::kA, TagModel::kB, TagModel::kC, TagModel::kD}) {
+    const auto p = tagType(m);
+    EXPECT_LT(p.ic_sensitivity_dbm, -10.0);
+    EXPECT_GT(p.ic_sensitivity_dbm, -25.0);
+    EXPECT_GT(p.modulation_efficiency, 0.0);
+    EXPECT_LE(p.modulation_efficiency, 1.0);
+  }
+}
+
+TEST(TagType, CouplingParamsForwardRcs) {
+  const auto p = tagType(TagModel::kC);
+  EXPECT_DOUBLE_EQ(p.couplingParams().rcs_m2, p.rcs_m2);
+}
+
+TEST(TagType, ModelNames) {
+  EXPECT_STREQ(tagModelName(TagModel::kA), "Tag A");
+  EXPECT_STREQ(tagModelName(TagModel::kD), "Tag D");
+}
+
+TEST(Epc, FormatIs96BitHex) {
+  const std::string epc = makeEpc(7);
+  EXPECT_EQ(epc.size(), 24u);  // 96 bits = 24 hex chars
+  for (char c : epc) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'A' && c <= 'F')) << c;
+  }
+}
+
+TEST(Epc, UniquePerIndex) {
+  std::set<std::string> seen;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(seen.insert(makeEpc(i)).second);
+  }
+}
+
+TEST(Tag, EndpointReflectsTypeAndPosition) {
+  Tag t;
+  t.position = {0.1, -0.2, 0.0};
+  t.type = tagType(TagModel::kB);
+  const auto ep = t.endpoint();
+  EXPECT_DOUBLE_EQ(ep.position.x, 0.1);
+  EXPECT_DOUBLE_EQ(ep.gain_linear, t.type.antenna_gain);
+  EXPECT_DOUBLE_EQ(ep.polarization_loss, 0.5);
+}
+
+}  // namespace
+}  // namespace rfipad::tag
