@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_observations.dir/bench_fig02_observations.cpp.o"
+  "CMakeFiles/bench_fig02_observations.dir/bench_fig02_observations.cpp.o.d"
+  "bench_fig02_observations"
+  "bench_fig02_observations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_observations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_static_phase.dir/bench_fig04_static_phase.cpp.o"
+  "CMakeFiles/bench_fig04_static_phase.dir/bench_fig04_static_phase.cpp.o.d"
+  "bench_fig04_static_phase"
+  "bench_fig04_static_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_static_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_deviation_bias.dir/bench_fig05_deviation_bias.cpp.o"
+  "CMakeFiles/bench_fig05_deviation_bias.dir/bench_fig05_deviation_bias.cpp.o.d"
+  "bench_fig05_deviation_bias"
+  "bench_fig05_deviation_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_deviation_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_unwrap.dir/bench_fig06_unwrap.cpp.o"
+  "CMakeFiles/bench_fig06_unwrap.dir/bench_fig06_unwrap.cpp.o.d"
+  "bench_fig06_unwrap"
+  "bench_fig06_unwrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_unwrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_graymap.dir/bench_fig07_graymap.cpp.o"
+  "CMakeFiles/bench_fig07_graymap.dir/bench_fig07_graymap.cpp.o.d"
+  "bench_fig07_graymap"
+  "bench_fig07_graymap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_graymap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

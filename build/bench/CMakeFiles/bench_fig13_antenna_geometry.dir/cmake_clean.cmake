@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_antenna_geometry.dir/bench_fig13_antenna_geometry.cpp.o"
+  "CMakeFiles/bench_fig13_antenna_geometry.dir/bench_fig13_antenna_geometry.cpp.o.d"
+  "bench_fig13_antenna_geometry"
+  "bench_fig13_antenna_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_antenna_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

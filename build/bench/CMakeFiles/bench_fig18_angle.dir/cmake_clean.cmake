@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_angle.dir/bench_fig18_angle.cpp.o"
+  "CMakeFiles/bench_fig18_angle.dir/bench_fig18_angle.cpp.o.d"
+  "bench_fig18_angle"
+  "bench_fig18_angle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_angle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

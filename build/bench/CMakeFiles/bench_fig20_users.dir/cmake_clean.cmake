@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_users.dir/bench_fig20_users.cpp.o"
+  "CMakeFiles/bench_fig20_users.dir/bench_fig20_users.cpp.o.d"
+  "bench_fig20_users"
+  "bench_fig20_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

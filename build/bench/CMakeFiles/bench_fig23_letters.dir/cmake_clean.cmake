@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_letters.dir/bench_fig23_letters.cpp.o"
+  "CMakeFiles/bench_fig23_letters.dir/bench_fig23_letters.cpp.o.d"
+  "bench_fig23_letters"
+  "bench_fig23_letters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_letters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_trajectory.dir/bench_fig25_trajectory.cpp.o"
+  "CMakeFiles/bench_fig25_trajectory.dir/bench_fig25_trajectory.cpp.o.d"
+  "bench_fig25_trajectory"
+  "bench_fig25_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_los_nlos.dir/bench_table1_los_nlos.cpp.o"
+  "CMakeFiles/bench_table1_los_nlos.dir/bench_table1_los_nlos.cpp.o.d"
+  "bench_table1_los_nlos"
+  "bench_table1_los_nlos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_los_nlos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

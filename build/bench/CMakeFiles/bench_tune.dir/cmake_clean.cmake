@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tune.dir/bench_tune.cpp.o"
+  "CMakeFiles/bench_tune.dir/bench_tune.cpp.o.d"
+  "bench_tune"
+  "bench_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tune_letters.dir/bench_tune_letters.cpp.o"
+  "CMakeFiles/bench_tune_letters.dir/bench_tune_letters.cpp.o.d"
+  "bench_tune_letters"
+  "bench_tune_letters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tune_letters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfipad_bench_harness.dir/harness/harness.cpp.o"
+  "CMakeFiles/rfipad_bench_harness.dir/harness/harness.cpp.o.d"
+  "librfipad_bench_harness.a"
+  "librfipad_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfipad_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

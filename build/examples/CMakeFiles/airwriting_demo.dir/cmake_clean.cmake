@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airwriting_demo.dir/airwriting_demo.cpp.o"
+  "CMakeFiles/airwriting_demo.dir/airwriting_demo.cpp.o.d"
+  "airwriting_demo"
+  "airwriting_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airwriting_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

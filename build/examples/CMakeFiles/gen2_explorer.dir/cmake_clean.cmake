@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen2_explorer.dir/gen2_explorer.cpp.o"
+  "CMakeFiles/gen2_explorer.dir/gen2_explorer.cpp.o.d"
+  "gen2_explorer"
+  "gen2_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen2_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_llrp_demo.dir/online_llrp_demo.cpp.o"
+  "CMakeFiles/online_llrp_demo.dir/online_llrp_demo.cpp.o.d"
+  "online_llrp_demo"
+  "online_llrp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_llrp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/touchscreen_kiosk.dir/touchscreen_kiosk.cpp.o"
+  "CMakeFiles/touchscreen_kiosk.dir/touchscreen_kiosk.cpp.o.d"
+  "touchscreen_kiosk"
+  "touchscreen_kiosk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/touchscreen_kiosk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for touchscreen_kiosk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfipad_common.dir/angles.cpp.o"
+  "CMakeFiles/rfipad_common.dir/angles.cpp.o.d"
+  "CMakeFiles/rfipad_common.dir/stats.cpp.o"
+  "CMakeFiles/rfipad_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rfipad_common.dir/strokes.cpp.o"
+  "CMakeFiles/rfipad_common.dir/strokes.cpp.o.d"
+  "CMakeFiles/rfipad_common.dir/table.cpp.o"
+  "CMakeFiles/rfipad_common.dir/table.cpp.o.d"
+  "CMakeFiles/rfipad_common.dir/vec.cpp.o"
+  "CMakeFiles/rfipad_common.dir/vec.cpp.o.d"
+  "librfipad_common.a"
+  "librfipad_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfipad_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activation.cpp" "src/core/CMakeFiles/rfipad_core.dir/activation.cpp.o" "gcc" "src/core/CMakeFiles/rfipad_core.dir/activation.cpp.o.d"
+  "/root/repo/src/core/direction.cpp" "src/core/CMakeFiles/rfipad_core.dir/direction.cpp.o" "gcc" "src/core/CMakeFiles/rfipad_core.dir/direction.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/rfipad_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/rfipad_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/grammar.cpp" "src/core/CMakeFiles/rfipad_core.dir/grammar.cpp.o" "gcc" "src/core/CMakeFiles/rfipad_core.dir/grammar.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/rfipad_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/rfipad_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/rfipad_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/rfipad_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/segmenter.cpp" "src/core/CMakeFiles/rfipad_core.dir/segmenter.cpp.o" "gcc" "src/core/CMakeFiles/rfipad_core.dir/segmenter.cpp.o.d"
+  "/root/repo/src/core/static_profile.cpp" "src/core/CMakeFiles/rfipad_core.dir/static_profile.cpp.o" "gcc" "src/core/CMakeFiles/rfipad_core.dir/static_profile.cpp.o.d"
+  "/root/repo/src/core/stroke_classifier.cpp" "src/core/CMakeFiles/rfipad_core.dir/stroke_classifier.cpp.o" "gcc" "src/core/CMakeFiles/rfipad_core.dir/stroke_classifier.cpp.o.d"
+  "/root/repo/src/core/templates.cpp" "src/core/CMakeFiles/rfipad_core.dir/templates.cpp.o" "gcc" "src/core/CMakeFiles/rfipad_core.dir/templates.cpp.o.d"
+  "/root/repo/src/core/words.cpp" "src/core/CMakeFiles/rfipad_core.dir/words.cpp.o" "gcc" "src/core/CMakeFiles/rfipad_core.dir/words.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfipad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/rfipad_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/rfipad_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/rfipad_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfipad_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfipad_gen2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

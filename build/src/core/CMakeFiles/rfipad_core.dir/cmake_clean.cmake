@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfipad_core.dir/activation.cpp.o"
+  "CMakeFiles/rfipad_core.dir/activation.cpp.o.d"
+  "CMakeFiles/rfipad_core.dir/direction.cpp.o"
+  "CMakeFiles/rfipad_core.dir/direction.cpp.o.d"
+  "CMakeFiles/rfipad_core.dir/engine.cpp.o"
+  "CMakeFiles/rfipad_core.dir/engine.cpp.o.d"
+  "CMakeFiles/rfipad_core.dir/grammar.cpp.o"
+  "CMakeFiles/rfipad_core.dir/grammar.cpp.o.d"
+  "CMakeFiles/rfipad_core.dir/metrics.cpp.o"
+  "CMakeFiles/rfipad_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/rfipad_core.dir/online.cpp.o"
+  "CMakeFiles/rfipad_core.dir/online.cpp.o.d"
+  "CMakeFiles/rfipad_core.dir/segmenter.cpp.o"
+  "CMakeFiles/rfipad_core.dir/segmenter.cpp.o.d"
+  "CMakeFiles/rfipad_core.dir/static_profile.cpp.o"
+  "CMakeFiles/rfipad_core.dir/static_profile.cpp.o.d"
+  "CMakeFiles/rfipad_core.dir/stroke_classifier.cpp.o"
+  "CMakeFiles/rfipad_core.dir/stroke_classifier.cpp.o.d"
+  "CMakeFiles/rfipad_core.dir/templates.cpp.o"
+  "CMakeFiles/rfipad_core.dir/templates.cpp.o.d"
+  "CMakeFiles/rfipad_core.dir/words.cpp.o"
+  "CMakeFiles/rfipad_core.dir/words.cpp.o.d"
+  "librfipad_core.a"
+  "librfipad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfipad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen2/inventory.cpp" "src/gen2/CMakeFiles/rfipad_gen2.dir/inventory.cpp.o" "gcc" "src/gen2/CMakeFiles/rfipad_gen2.dir/inventory.cpp.o.d"
+  "/root/repo/src/gen2/q_algorithm.cpp" "src/gen2/CMakeFiles/rfipad_gen2.dir/q_algorithm.cpp.o" "gcc" "src/gen2/CMakeFiles/rfipad_gen2.dir/q_algorithm.cpp.o.d"
+  "/root/repo/src/gen2/timing.cpp" "src/gen2/CMakeFiles/rfipad_gen2.dir/timing.cpp.o" "gcc" "src/gen2/CMakeFiles/rfipad_gen2.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfipad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfipad_gen2.dir/inventory.cpp.o"
+  "CMakeFiles/rfipad_gen2.dir/inventory.cpp.o.d"
+  "CMakeFiles/rfipad_gen2.dir/q_algorithm.cpp.o"
+  "CMakeFiles/rfipad_gen2.dir/q_algorithm.cpp.o.d"
+  "CMakeFiles/rfipad_gen2.dir/timing.cpp.o"
+  "CMakeFiles/rfipad_gen2.dir/timing.cpp.o.d"
+  "librfipad_gen2.a"
+  "librfipad_gen2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfipad_gen2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

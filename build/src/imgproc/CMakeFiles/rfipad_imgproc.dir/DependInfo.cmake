@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imgproc/binary_map.cpp" "src/imgproc/CMakeFiles/rfipad_imgproc.dir/binary_map.cpp.o" "gcc" "src/imgproc/CMakeFiles/rfipad_imgproc.dir/binary_map.cpp.o.d"
+  "/root/repo/src/imgproc/graymap.cpp" "src/imgproc/CMakeFiles/rfipad_imgproc.dir/graymap.cpp.o" "gcc" "src/imgproc/CMakeFiles/rfipad_imgproc.dir/graymap.cpp.o.d"
+  "/root/repo/src/imgproc/moments.cpp" "src/imgproc/CMakeFiles/rfipad_imgproc.dir/moments.cpp.o" "gcc" "src/imgproc/CMakeFiles/rfipad_imgproc.dir/moments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfipad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfipad_imgproc.dir/binary_map.cpp.o"
+  "CMakeFiles/rfipad_imgproc.dir/binary_map.cpp.o.d"
+  "CMakeFiles/rfipad_imgproc.dir/graymap.cpp.o"
+  "CMakeFiles/rfipad_imgproc.dir/graymap.cpp.o.d"
+  "CMakeFiles/rfipad_imgproc.dir/moments.cpp.o"
+  "CMakeFiles/rfipad_imgproc.dir/moments.cpp.o.d"
+  "librfipad_imgproc.a"
+  "librfipad_imgproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfipad_imgproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

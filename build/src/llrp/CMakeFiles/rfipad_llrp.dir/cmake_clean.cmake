@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfipad_llrp.dir/bridge.cpp.o"
+  "CMakeFiles/rfipad_llrp.dir/bridge.cpp.o.d"
+  "CMakeFiles/rfipad_llrp.dir/buffer.cpp.o"
+  "CMakeFiles/rfipad_llrp.dir/buffer.cpp.o.d"
+  "CMakeFiles/rfipad_llrp.dir/messages.cpp.o"
+  "CMakeFiles/rfipad_llrp.dir/messages.cpp.o.d"
+  "CMakeFiles/rfipad_llrp.dir/octane.cpp.o"
+  "CMakeFiles/rfipad_llrp.dir/octane.cpp.o.d"
+  "librfipad_llrp.a"
+  "librfipad_llrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfipad_llrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfipad_reader.dir/reader.cpp.o"
+  "CMakeFiles/rfipad_reader.dir/reader.cpp.o.d"
+  "CMakeFiles/rfipad_reader.dir/sample_stream.cpp.o"
+  "CMakeFiles/rfipad_reader.dir/sample_stream.cpp.o.d"
+  "librfipad_reader.a"
+  "librfipad_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfipad_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

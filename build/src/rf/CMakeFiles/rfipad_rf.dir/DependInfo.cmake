@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/antenna.cpp" "src/rf/CMakeFiles/rfipad_rf.dir/antenna.cpp.o" "gcc" "src/rf/CMakeFiles/rfipad_rf.dir/antenna.cpp.o.d"
+  "/root/repo/src/rf/channel.cpp" "src/rf/CMakeFiles/rfipad_rf.dir/channel.cpp.o" "gcc" "src/rf/CMakeFiles/rfipad_rf.dir/channel.cpp.o.d"
+  "/root/repo/src/rf/coupling.cpp" "src/rf/CMakeFiles/rfipad_rf.dir/coupling.cpp.o" "gcc" "src/rf/CMakeFiles/rfipad_rf.dir/coupling.cpp.o.d"
+  "/root/repo/src/rf/multipath.cpp" "src/rf/CMakeFiles/rfipad_rf.dir/multipath.cpp.o" "gcc" "src/rf/CMakeFiles/rfipad_rf.dir/multipath.cpp.o.d"
+  "/root/repo/src/rf/noise.cpp" "src/rf/CMakeFiles/rfipad_rf.dir/noise.cpp.o" "gcc" "src/rf/CMakeFiles/rfipad_rf.dir/noise.cpp.o.d"
+  "/root/repo/src/rf/propagation.cpp" "src/rf/CMakeFiles/rfipad_rf.dir/propagation.cpp.o" "gcc" "src/rf/CMakeFiles/rfipad_rf.dir/propagation.cpp.o.d"
+  "/root/repo/src/rf/scatterer.cpp" "src/rf/CMakeFiles/rfipad_rf.dir/scatterer.cpp.o" "gcc" "src/rf/CMakeFiles/rfipad_rf.dir/scatterer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfipad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfipad_rf.dir/antenna.cpp.o"
+  "CMakeFiles/rfipad_rf.dir/antenna.cpp.o.d"
+  "CMakeFiles/rfipad_rf.dir/channel.cpp.o"
+  "CMakeFiles/rfipad_rf.dir/channel.cpp.o.d"
+  "CMakeFiles/rfipad_rf.dir/coupling.cpp.o"
+  "CMakeFiles/rfipad_rf.dir/coupling.cpp.o.d"
+  "CMakeFiles/rfipad_rf.dir/multipath.cpp.o"
+  "CMakeFiles/rfipad_rf.dir/multipath.cpp.o.d"
+  "CMakeFiles/rfipad_rf.dir/noise.cpp.o"
+  "CMakeFiles/rfipad_rf.dir/noise.cpp.o.d"
+  "CMakeFiles/rfipad_rf.dir/propagation.cpp.o"
+  "CMakeFiles/rfipad_rf.dir/propagation.cpp.o.d"
+  "CMakeFiles/rfipad_rf.dir/scatterer.cpp.o"
+  "CMakeFiles/rfipad_rf.dir/scatterer.cpp.o.d"
+  "librfipad_rf.a"
+  "librfipad_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfipad_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

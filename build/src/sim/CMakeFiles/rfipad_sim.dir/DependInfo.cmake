@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ground_truth.cpp" "src/sim/CMakeFiles/rfipad_sim.dir/ground_truth.cpp.o" "gcc" "src/sim/CMakeFiles/rfipad_sim.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/sim/letters.cpp" "src/sim/CMakeFiles/rfipad_sim.dir/letters.cpp.o" "gcc" "src/sim/CMakeFiles/rfipad_sim.dir/letters.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/rfipad_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/rfipad_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/stroke.cpp" "src/sim/CMakeFiles/rfipad_sim.dir/stroke.cpp.o" "gcc" "src/sim/CMakeFiles/rfipad_sim.dir/stroke.cpp.o.d"
+  "/root/repo/src/sim/trajectory.cpp" "src/sim/CMakeFiles/rfipad_sim.dir/trajectory.cpp.o" "gcc" "src/sim/CMakeFiles/rfipad_sim.dir/trajectory.cpp.o.d"
+  "/root/repo/src/sim/user.cpp" "src/sim/CMakeFiles/rfipad_sim.dir/user.cpp.o" "gcc" "src/sim/CMakeFiles/rfipad_sim.dir/user.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfipad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfipad_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/rfipad_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfipad_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/rfipad_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/rfipad_imgproc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

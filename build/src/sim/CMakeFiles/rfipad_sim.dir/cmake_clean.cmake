@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfipad_sim.dir/ground_truth.cpp.o"
+  "CMakeFiles/rfipad_sim.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/rfipad_sim.dir/letters.cpp.o"
+  "CMakeFiles/rfipad_sim.dir/letters.cpp.o.d"
+  "CMakeFiles/rfipad_sim.dir/scenario.cpp.o"
+  "CMakeFiles/rfipad_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/rfipad_sim.dir/stroke.cpp.o"
+  "CMakeFiles/rfipad_sim.dir/stroke.cpp.o.d"
+  "CMakeFiles/rfipad_sim.dir/trajectory.cpp.o"
+  "CMakeFiles/rfipad_sim.dir/trajectory.cpp.o.d"
+  "CMakeFiles/rfipad_sim.dir/user.cpp.o"
+  "CMakeFiles/rfipad_sim.dir/user.cpp.o.d"
+  "librfipad_sim.a"
+  "librfipad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfipad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tag/array.cpp" "src/tag/CMakeFiles/rfipad_tag.dir/array.cpp.o" "gcc" "src/tag/CMakeFiles/rfipad_tag.dir/array.cpp.o.d"
+  "/root/repo/src/tag/tag.cpp" "src/tag/CMakeFiles/rfipad_tag.dir/tag.cpp.o" "gcc" "src/tag/CMakeFiles/rfipad_tag.dir/tag.cpp.o.d"
+  "/root/repo/src/tag/tag_type.cpp" "src/tag/CMakeFiles/rfipad_tag.dir/tag_type.cpp.o" "gcc" "src/tag/CMakeFiles/rfipad_tag.dir/tag_type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfipad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfipad_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

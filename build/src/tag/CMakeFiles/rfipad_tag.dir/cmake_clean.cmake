@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfipad_tag.dir/array.cpp.o"
+  "CMakeFiles/rfipad_tag.dir/array.cpp.o.d"
+  "CMakeFiles/rfipad_tag.dir/tag.cpp.o"
+  "CMakeFiles/rfipad_tag.dir/tag.cpp.o.d"
+  "CMakeFiles/rfipad_tag.dir/tag_type.cpp.o"
+  "CMakeFiles/rfipad_tag.dir/tag_type.cpp.o.d"
+  "librfipad_tag.a"
+  "librfipad_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfipad_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary_map.dir/imgproc/test_binary_map.cpp.o"
+  "CMakeFiles/test_binary_map.dir/imgproc/test_binary_map.cpp.o.d"
+  "test_binary_map"
+  "test_binary_map.pdb"
+  "test_binary_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

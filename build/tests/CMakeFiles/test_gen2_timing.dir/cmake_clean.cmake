@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gen2_timing.dir/gen2/test_timing.cpp.o"
+  "CMakeFiles/test_gen2_timing.dir/gen2/test_timing.cpp.o.d"
+  "test_gen2_timing"
+  "test_gen2_timing.pdb"
+  "test_gen2_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gen2_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

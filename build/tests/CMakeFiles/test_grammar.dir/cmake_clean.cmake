@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grammar.dir/core/test_grammar.cpp.o"
+  "CMakeFiles/test_grammar.dir/core/test_grammar.cpp.o.d"
+  "test_grammar"
+  "test_grammar.pdb"
+  "test_grammar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graymap.dir/imgproc/test_graymap.cpp.o"
+  "CMakeFiles/test_graymap.dir/imgproc/test_graymap.cpp.o.d"
+  "test_graymap"
+  "test_graymap.pdb"
+  "test_graymap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graymap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

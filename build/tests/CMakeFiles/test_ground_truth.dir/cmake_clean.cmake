@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ground_truth.dir/sim/test_ground_truth.cpp.o"
+  "CMakeFiles/test_ground_truth.dir/sim/test_ground_truth.cpp.o.d"
+  "test_ground_truth"
+  "test_ground_truth.pdb"
+  "test_ground_truth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ground_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hopping.dir/reader/test_hopping.cpp.o"
+  "CMakeFiles/test_hopping.dir/reader/test_hopping.cpp.o.d"
+  "test_hopping"
+  "test_hopping.pdb"
+  "test_hopping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

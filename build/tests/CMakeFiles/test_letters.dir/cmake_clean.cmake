@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_letters.dir/sim/test_letters.cpp.o"
+  "CMakeFiles/test_letters.dir/sim/test_letters.cpp.o.d"
+  "test_letters"
+  "test_letters.pdb"
+  "test_letters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_letters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/llrp/test_bridge.cpp" "tests/CMakeFiles/test_llrp_bridge.dir/llrp/test_bridge.cpp.o" "gcc" "tests/CMakeFiles/test_llrp_bridge.dir/llrp/test_bridge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/llrp/CMakeFiles/rfipad_llrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/rfipad_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/rfipad_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfipad_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfipad_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfipad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llrp_bridge.dir/llrp/test_bridge.cpp.o"
+  "CMakeFiles/test_llrp_bridge.dir/llrp/test_bridge.cpp.o.d"
+  "test_llrp_bridge"
+  "test_llrp_bridge.pdb"
+  "test_llrp_bridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llrp_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llrp_buffer.dir/llrp/test_buffer.cpp.o"
+  "CMakeFiles/test_llrp_buffer.dir/llrp/test_buffer.cpp.o.d"
+  "test_llrp_buffer"
+  "test_llrp_buffer.pdb"
+  "test_llrp_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llrp_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

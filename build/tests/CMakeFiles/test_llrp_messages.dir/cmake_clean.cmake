@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llrp_messages.dir/llrp/test_messages.cpp.o"
+  "CMakeFiles/test_llrp_messages.dir/llrp/test_messages.cpp.o.d"
+  "test_llrp_messages"
+  "test_llrp_messages.pdb"
+  "test_llrp_messages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llrp_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qalgo.dir/gen2/test_qalgo.cpp.o"
+  "CMakeFiles/test_qalgo.dir/gen2/test_qalgo.cpp.o.d"
+  "test_qalgo"
+  "test_qalgo.pdb"
+  "test_qalgo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qalgo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sample_stream.dir/reader/test_sample_stream.cpp.o"
+  "CMakeFiles/test_sample_stream.dir/reader/test_sample_stream.cpp.o.d"
+  "test_sample_stream"
+  "test_sample_stream.pdb"
+  "test_sample_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sample_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scatterer.dir/rf/test_scatterer.cpp.o"
+  "CMakeFiles/test_scatterer.dir/rf/test_scatterer.cpp.o.d"
+  "test_scatterer"
+  "test_scatterer.pdb"
+  "test_scatterer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scatterer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segmenter.dir/core/test_segmenter.cpp.o"
+  "CMakeFiles/test_segmenter.dir/core/test_segmenter.cpp.o.d"
+  "test_segmenter"
+  "test_segmenter.pdb"
+  "test_segmenter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segmenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

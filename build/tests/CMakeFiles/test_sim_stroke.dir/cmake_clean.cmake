@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_stroke.dir/sim/test_stroke.cpp.o"
+  "CMakeFiles/test_sim_stroke.dir/sim/test_stroke.cpp.o.d"
+  "test_sim_stroke"
+  "test_sim_stroke.pdb"
+  "test_sim_stroke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_stroke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_profile.dir/core/test_static_profile.cpp.o"
+  "CMakeFiles/test_static_profile.dir/core/test_static_profile.cpp.o.d"
+  "test_static_profile"
+  "test_static_profile.pdb"
+  "test_static_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

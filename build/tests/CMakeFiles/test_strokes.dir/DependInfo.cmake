@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_strokes.cpp" "tests/CMakeFiles/test_strokes.dir/common/test_strokes.cpp.o" "gcc" "tests/CMakeFiles/test_strokes.dir/common/test_strokes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rfipad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfipad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/rfipad_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/rfipad_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/rfipad_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfipad_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfipad_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfipad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strokes.dir/common/test_strokes.cpp.o"
+  "CMakeFiles/test_strokes.dir/common/test_strokes.cpp.o.d"
+  "test_strokes"
+  "test_strokes.pdb"
+  "test_strokes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strokes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_user.dir/sim/test_user.cpp.o"
+  "CMakeFiles/test_user.dir/sim/test_user.cpp.o.d"
+  "test_user"
+  "test_user.pdb"
+  "test_user[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_words.dir/core/test_words.cpp.o"
+  "CMakeFiles/test_words.dir/core/test_words.cpp.o.d"
+  "test_words"
+  "test_words.pdb"
+  "test_words[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
