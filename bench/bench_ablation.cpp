@@ -3,24 +3,35 @@
 //   (b) RSS-trough image fusion weight (0 = phase-activation only);
 //   (c) the diversity-suppression realisation (noise-floor subtraction and
 //       regularised Eq. 10 weighting).
+//
+// Each variant's battery runs through the deterministic batch runner
+// (same rep/user grid as the legacy sequential loop); outcomes are
+// independent of --threads.  Pass --json PATH to record throughput.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 
 #include "common/table.hpp"
 #include "harness/harness.hpp"
+#include "harness/perf.hpp"
 
 using namespace rfipad;
 
 namespace {
 
-double runBattery(bench::HarnessOptions opt, int reps) {
+double runBattery(bench::HarnessOptions opt, int reps, int threads,
+                  bench::ThroughputRecord& rec) {
   bench::Harness h(std::move(opt));
-  std::vector<bench::StrokeTrial> trials;
+  std::vector<bench::StrokeTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(reps) * allDirectedStrokes().size());
   for (int r = 0; r < reps; ++r) {
     for (const auto& s : allDirectedStrokes()) {
-      trials.push_back(h.runStroke(s, sim::defaultUsers()[r % 5]));
+      tasks.push_back({s, sim::defaultUsers()[r % 5]});
     }
+  }
+  const auto trials = h.runStrokeBatch(tasks, {threads, 0});
+  for (const auto& trial : trials) {
+    ++rec.trials;
+    rec.samples += trial.samples;
   }
   return bench::Harness::accuracy(trials);
 }
@@ -28,58 +39,89 @@ double runBattery(bench::HarnessOptions opt, int reps) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int reps = argc > 1 ? std::atoi(argv[1]) : 5;
+  const auto args = bench::parseBenchArgs(argc, argv, /*default_reps=*/5);
+  const int reps = args.reps;
   std::puts("=== Ablations (13-motion battery, default NLOS setup) ===");
+
+  bench::ThroughputRecord rec;
+  rec.bench = "bench_ablation";
+  rec.mode = "batch";
+  rec.threads = args.threads;
+  const double wall0 = bench::wallTimeS();
+  const double cpu0 = bench::cpuTimeS();
 
   Table t({"variant", "accuracy"});
 
   {
     bench::HarnessOptions opt;
+    opt.scenario.doppler_probes = false;
     opt.scenario.seed = 2600;
-    t.addRow({"full pipeline (default)", Table::fmt(runBattery(opt, reps), 2)});
+    t.addRow({"full pipeline (default)",
+              Table::fmt(runBattery(opt, reps, args.threads, rec), 2)});
   }
   {
     bench::HarnessOptions opt;
+    opt.scenario.doppler_probes = false;
     opt.scenario.seed = 2600;
     opt.engine.use_matched_filter = false;
     t.addRow({"moments classifier instead of matched filter",
-              Table::fmt(runBattery(opt, reps), 2)});
+              Table::fmt(runBattery(opt, reps, args.threads, rec), 2)});
   }
   {
     bench::HarnessOptions opt;
+    opt.scenario.doppler_probes = false;
     opt.scenario.seed = 2600;
     opt.engine.trough_weight = 0.0;
     t.addRow({"no RSS-trough fusion (phase image only)",
-              Table::fmt(runBattery(opt, reps), 2)});
+              Table::fmt(runBattery(opt, reps, args.threads, rec), 2)});
   }
   {
     bench::HarnessOptions opt;
+    opt.scenario.doppler_probes = false;
     opt.scenario.seed = 2600;
     opt.engine.activation.diversity_suppression = false;
     t.addRow({"no diversity suppression (Eqs. 8-10 off)",
-              Table::fmt(runBattery(opt, reps), 2)});
+              Table::fmt(runBattery(opt, reps, args.threads, rec), 2)});
   }
   {
     bench::HarnessOptions opt;
+    opt.scenario.doppler_probes = false;
     opt.scenario.seed = 2600;
     opt.engine.activation.noise_floor_kappa = 0.0;
     t.addRow({"suppression without noise-floor subtraction",
-              Table::fmt(runBattery(opt, reps), 2)});
+              Table::fmt(runBattery(opt, reps, args.threads, rec), 2)});
   }
   {
     bench::HarnessOptions opt;
+    opt.scenario.doppler_probes = false;
     opt.scenario.seed = 2600;
     opt.engine.activation.edge_taper = 0.0;
-    t.addRow({"no window edge taper", Table::fmt(runBattery(opt, reps), 2)});
+    t.addRow({"no window edge taper",
+              Table::fmt(runBattery(opt, reps, args.threads, rec), 2)});
   }
   {
     bench::HarnessOptions opt;
+    opt.scenario.doppler_probes = false;
     opt.scenario.seed = 2600;
     opt.engine.segmenter.peak_threshold = 0.0;
     t.addRow({"no spatial-peak window refinement",
-              Table::fmt(runBattery(opt, reps), 2)});
+              Table::fmt(runBattery(opt, reps, args.threads, rec), 2)});
   }
   t.print(std::cout);
+
+  rec.wall_s = bench::wallTimeS() - wall0;
+  rec.cpu_s = bench::cpuTimeS() - cpu0;
+  bench::finaliseRates(rec);
+  std::printf("\n[%lld trials, %lld samples, %.2fs wall]\n",
+              static_cast<long long>(rec.trials),
+              static_cast<long long>(rec.samples), rec.wall_s);
+  if (!args.json_path.empty()) {
+    std::vector<bench::ThroughputRecord> records{rec};
+    bench::computeSpeedups(records, args.baseline_wall_s);
+    bench::writeThroughputJson(args.json_path, records, {},
+                               args.baseline_wall_s);
+  }
+
   std::puts("\nexpected ordering: the full pipeline leads; removing the"
             "\ntrough fusion or the matched filter costs the most.");
   return 0;

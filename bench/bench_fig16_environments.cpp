@@ -1,18 +1,29 @@
 // Fig. 16 — Detection accuracy in four lab locations, with and without the
 // diversity-suppression algorithm.  Location #4 (corner, strongest
 // multipath) gains the most from suppression (paper: 75% → 93%).
+//
+// Uses the deterministic batch runner: outcomes are independent of
+// --threads; pass --json PATH to record throughput.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 
 #include "common/table.hpp"
 #include "harness/harness.hpp"
+#include "harness/perf.hpp"
 
 using namespace rfipad;
 
 int main(int argc, char** argv) {
-  const int reps = argc > 1 ? std::atoi(argv[1]) : 6;
+  const auto args = bench::parseBenchArgs(argc, argv, /*default_reps=*/6);
+  const int reps = args.reps;
   std::puts("=== Fig. 16: accuracy vs environment, +/- diversity suppression ===");
+
+  bench::ThroughputRecord rec;
+  rec.bench = "bench_fig16_environments";
+  rec.mode = "batch";
+  rec.threads = args.threads;
+  const double wall0 = bench::wallTimeS();
+  const double cpu0 = bench::cpuTimeS();
 
   Table t({"location", "without suppression", "with suppression", "gain"});
   for (int loc = 1; loc <= 4; ++loc) {
@@ -21,15 +32,25 @@ int main(int argc, char** argv) {
       std::vector<bench::StrokeTrial> trials;
       for (int scenario_rep = 0; scenario_rep < 2; ++scenario_rep) {
         bench::HarnessOptions opt;
+        opt.scenario.doppler_probes = false;
         opt.scenario.location = loc;
         opt.scenario.seed = 1600 + loc + 101 * scenario_rep;
         opt.engine.activation.diversity_suppression = mode == 1;
         bench::Harness h(opt);
+        std::vector<bench::StrokeTask> tasks;
+        tasks.reserve(static_cast<std::size_t>(reps) *
+                      allDirectedStrokes().size());
         for (int r = 0; r < reps; ++r) {
           for (const auto& s : allDirectedStrokes()) {
-            trials.push_back(h.runStroke(s, sim::defaultUsers()[r % 5]));
+            tasks.push_back({s, sim::defaultUsers()[r % 5]});
           }
         }
+        auto batch = h.runStrokeBatch(tasks, {args.threads, 0});
+        for (const auto& trial : batch) {
+          ++rec.trials;
+          rec.samples += trial.samples;
+        }
+        trials.insert(trials.end(), batch.begin(), batch.end());
       }
       acc[mode] = bench::Harness::accuracy(trials);
     }
@@ -37,6 +58,20 @@ int main(int argc, char** argv) {
              {acc[0], acc[1], acc[1] - acc[0]}, 2);
   }
   t.print(std::cout);
+
+  rec.wall_s = bench::wallTimeS() - wall0;
+  rec.cpu_s = bench::cpuTimeS() - cpu0;
+  bench::finaliseRates(rec);
+  std::printf("\n[%lld trials, %lld samples, %.2fs wall]\n",
+              static_cast<long long>(rec.trials),
+              static_cast<long long>(rec.samples), rec.wall_s);
+  if (!args.json_path.empty()) {
+    std::vector<bench::ThroughputRecord> records{rec};
+    bench::computeSpeedups(records, args.baseline_wall_s);
+    bench::writeThroughputJson(args.json_path, records, {},
+                               args.baseline_wall_s);
+  }
+
   std::puts("\npaper shape: suppression improves every location; largest"
             "\ngain at location #4 (strongest multipath reflections).");
   return 0;

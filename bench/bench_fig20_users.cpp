@@ -1,31 +1,47 @@
 // Fig. 20 — Detection accuracy across the ten volunteers.  Most users score
 // comparably (median above 90%); the two fast movers (#6 and #9) dip but
 // stay at a usable level.
+//
+// Runs one deterministic batch per user via runMotionBattery; outcomes are
+// independent of --threads.  Pass --json PATH to record throughput.
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 
 #include "common/table.hpp"
 #include "harness/harness.hpp"
+#include "harness/perf.hpp"
 
 using namespace rfipad;
 
 int main(int argc, char** argv) {
-  const int reps = argc > 1 ? std::atoi(argv[1]) : 6;
+  const auto args = bench::parseBenchArgs(argc, argv, /*default_reps=*/6);
+  const int reps = args.reps;
   std::puts("=== Fig. 20: accuracy per user ===");
 
   bench::HarnessOptions opt;
+  opt.scenario.doppler_probes = false;
   opt.scenario.seed = 2000;
   bench::Harness h(opt);
+
+  bench::ThroughputRecord rec;
+  rec.bench = "bench_fig20_users";
+  rec.mode = "batch";
+  rec.threads = args.threads;
+  const double wall0 = bench::wallTimeS();
+  const double cpu0 = bench::cpuTimeS();
 
   Table t({"user", "speed scale", "accuracy"});
   std::vector<double> accs;
   for (int u = 1; u <= 10; ++u) {
-    std::vector<bench::StrokeTrial> trials;
-    for (int r = 0; r < reps; ++r) {
-      for (const auto& s : allDirectedStrokes()) {
-        trials.push_back(h.runStroke(s, sim::defaultUser(u)));
-      }
+    // Distinct base seed per user so the per-user batteries stay
+    // statistically independent, as the sequential loop's shared RNG was.
+    const auto trials = h.runMotionBattery(
+        reps, sim::defaultUser(u),
+        {args.threads, Rng::deriveSeed(opt.scenario.seed, 0x20'00 + u)});
+    for (const auto& trial : trials) {
+      ++rec.trials;
+      rec.samples += trial.samples;
     }
     const double acc = bench::Harness::accuracy(trials);
     accs.push_back(acc);
@@ -34,6 +50,19 @@ int main(int argc, char** argv) {
               Table::fmt(acc, 2)});
   }
   t.print(std::cout);
+
+  rec.wall_s = bench::wallTimeS() - wall0;
+  rec.cpu_s = bench::cpuTimeS() - cpu0;
+  bench::finaliseRates(rec);
+  std::printf("\n[%lld trials, %lld samples, %.2fs wall]\n",
+              static_cast<long long>(rec.trials),
+              static_cast<long long>(rec.samples), rec.wall_s);
+  if (!args.json_path.empty()) {
+    std::vector<bench::ThroughputRecord> records{rec};
+    bench::computeSpeedups(records, args.baseline_wall_s);
+    bench::writeThroughputJson(args.json_path, records, {},
+                               args.baseline_wall_s);
+  }
 
   std::vector<double> sorted = accs;
   std::sort(sorted.begin(), sorted.end());

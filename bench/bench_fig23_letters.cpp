@@ -1,34 +1,61 @@
 // Fig. 23 — Letter recognition accuracy across the 26 letters, grouped by
 // stroke count (group 1: {C,I} … group 4: {E,M,W}).  The paper reports an
 // average of ≈91%, declining mildly with the number of strokes.
+//
+// All 26×reps letter trials run as ONE deterministic batch (letter-major
+// order), then aggregate per-letter; outcomes are independent of
+// --threads.  Pass --json PATH to record throughput.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <map>
 
 #include "common/table.hpp"
 #include "harness/harness.hpp"
+#include "harness/perf.hpp"
 #include "sim/letters.hpp"
 
 using namespace rfipad;
 
 int main(int argc, char** argv) {
-  const int reps = argc > 1 ? std::atoi(argv[1]) : 8;
+  const auto args = bench::parseBenchArgs(argc, argv, /*default_reps=*/8);
+  const int reps = args.reps;
   std::puts("=== Fig. 23: letter recognition accuracy (26 letters) ===");
 
   bench::HarnessOptions opt;
+  opt.scenario.doppler_probes = false;
   opt.scenario.seed = 2300;
   bench::Harness h(opt);
+
+  bench::ThroughputRecord rec;
+  rec.bench = "bench_fig23_letters";
+  rec.mode = "batch";
+  rec.threads = args.threads;
+  const double wall0 = bench::wallTimeS();
+  const double cpu0 = bench::cpuTimeS();
+
+  // One flat batch, letter-major: tasks[l * reps + r].
+  std::vector<bench::LetterTask> tasks;
+  tasks.reserve(26 * static_cast<std::size_t>(reps));
+  for (char letter = 'A'; letter <= 'Z'; ++letter) {
+    for (int r = 0; r < reps; ++r) {
+      tasks.push_back({letter, sim::defaultUsers()[r % 5]});
+    }
+  }
+  const auto trials = h.runLetterBatch(tasks, {args.threads, 0});
 
   double group_acc[5] = {};
   int group_n[5] = {};
   Table t({"letter", "group", "accuracy", "common confusion"});
   int total_ok = 0, total_n = 0;
   for (char letter = 'A'; letter <= 'Z'; ++letter) {
+    const std::size_t base = static_cast<std::size_t>(letter - 'A') *
+                             static_cast<std::size_t>(reps);
     int ok = 0;
     std::map<char, int> confusions;
     for (int r = 0; r < reps; ++r) {
-      const auto trial = h.runLetter(letter, sim::defaultUsers()[r % 5]);
+      const auto& trial = trials[base + static_cast<std::size_t>(r)];
+      ++rec.trials;
+      rec.samples += trial.samples;
       if (trial.correct) {
         ++ok;
       } else if (trial.recognized != '\0') {
@@ -59,6 +86,20 @@ int main(int argc, char** argv) {
                 group_acc[g] / group_n[g]);
   }
   std::printf("overall: %.2f\n", static_cast<double>(total_ok) / total_n);
+
+  rec.wall_s = bench::wallTimeS() - wall0;
+  rec.cpu_s = bench::cpuTimeS() - cpu0;
+  bench::finaliseRates(rec);
+  std::printf("\n[%lld trials, %lld samples, %.2fs wall]\n",
+              static_cast<long long>(rec.trials),
+              static_cast<long long>(rec.samples), rec.wall_s);
+  if (!args.json_path.empty()) {
+    std::vector<bench::ThroughputRecord> records{rec};
+    bench::computeSpeedups(records, args.baseline_wall_s);
+    bench::writeThroughputJson(args.json_path, records, {},
+                               args.baseline_wall_s);
+  }
+
   std::puts("\npaper shape: ~0.91 average; accuracy declines gently from"
             "\n1-stroke letters to 4-stroke letters (compounding errors).");
   return 0;

@@ -1,0 +1,127 @@
+// Perf smoke test (ctest label: perf).  Fixed small workload — the
+// 13-motion NLOS battery × reps — executed three ways:
+//   1. "sequential": the legacy shared-clock runStroke() loop,
+//   2. "batch" at 1 thread,
+//   3. "batch" at max(4, hardware_concurrency) threads,
+// then verifies the two batch runs produced bit-identical trial outcomes
+// (exit 1 if not) and writes BENCH_throughput.json with wall/CPU time,
+// trials/s, samples/s, and speedups.  Pass --baseline-wall S to also
+// record speedup against an externally measured baseline (e.g. the
+// pre-optimisation seed build's wall time for the same workload).
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "harness/harness.hpp"
+#include "harness/perf.hpp"
+
+using namespace rfipad;
+
+int main(int argc, char** argv) {
+  auto args = bench::parseBenchArgs(argc, argv, /*default_reps=*/3);
+  if (args.json_path.empty()) args.json_path = "BENCH_throughput.json";
+  const int reps = args.reps;
+  const int wide_threads =
+      args.threads > 0
+          ? args.threads
+          : std::max(4, static_cast<int>(std::thread::hardware_concurrency()));
+  std::printf("=== perf smoke: %d reps x 13 motions, NLOS, %d threads ===\n",
+              reps, wide_threads);
+
+  bench::HarnessOptions opt;
+  opt.scenario.doppler_probes = false;
+  opt.scenario.seed = 1000;
+  bench::Harness h(opt);
+  const auto user = sim::defaultUser(1);
+
+  std::vector<bench::StageTime> stages;
+  std::vector<bench::ThroughputRecord> records;
+
+  auto record = [&](const char* mode, int threads,
+                    const std::vector<bench::StrokeTrial>& trials,
+                    const bench::StageTime& st) {
+    bench::ThroughputRecord rec;
+    rec.bench = "bench_perf_smoke";
+    rec.mode = mode;
+    rec.threads = threads;
+    rec.trials = static_cast<std::int64_t>(trials.size());
+    for (const auto& t : trials) rec.samples += t.samples;
+    rec.wall_s = st.wall_s;
+    rec.cpu_s = st.cpu_s;
+    bench::finaliseRates(rec);
+    records.push_back(rec);
+  };
+
+  // 1. Legacy sequential path (shared reader clock + RNG streams).
+  std::vector<bench::StrokeTrial> seq;
+  {
+    stages.push_back({"sequential", 0.0, 0.0, 0});
+    bench::StageTimer timer(stages.back());
+    for (int r = 0; r < reps; ++r)
+      for (const auto& s : allDirectedStrokes())
+        seq.push_back(h.runStroke(s, user));
+  }
+  record("sequential", 1, seq, stages.back());
+
+  // 2. Batch, 1 thread.
+  std::vector<bench::StrokeTrial> batch1;
+  {
+    stages.push_back({"batch_1thread", 0.0, 0.0, 0});
+    bench::StageTimer timer(stages.back());
+    batch1 = h.runMotionBattery(reps, user, {1, 0});
+  }
+  record("batch", 1, batch1, stages.back());
+
+  // 3. Batch, wide.
+  std::vector<bench::StrokeTrial> batchN;
+  {
+    stages.push_back({"batch_wide", 0.0, 0.0, 0});
+    bench::StageTimer timer(stages.back());
+    batchN = h.runMotionBattery(reps, user, {wide_threads, 0});
+  }
+  record("batch", wide_threads, batchN, stages.back());
+
+  const bool identical = bench::sameOutcomes(batch1, batchN);
+  records.back().identical_checked = true;
+  records.back().identical_to_1thread = identical;
+
+  bench::computeSpeedups(records, args.baseline_wall_s);
+  for (const auto& r : records) {
+    std::printf(
+        "%-11s threads=%2d  %5.2fs wall  %5.2fs cpu  %6.1f trials/s"
+        "  %8.0f samples/s\n",
+        r.mode.c_str(), r.threads, r.wall_s, r.cpu_s, r.trials_per_s,
+        r.samples_per_s);
+  }
+  if (args.baseline_wall_s > 0.0) {
+    std::printf("speedup vs %.2fs baseline: batch(1)=%.2fx batch(%d)=%.2fx\n",
+                args.baseline_wall_s, records[1].speedup_vs_baseline,
+                wide_threads, records[2].speedup_vs_baseline);
+  }
+  std::printf("batch outcomes identical across thread counts: %s\n",
+              identical ? "yes" : "NO");
+
+  bench::writeThroughputJson(args.json_path, records, stages,
+                             args.baseline_wall_s);
+  std::printf("wrote %s\n", args.json_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: 1-thread and %d-thread batches disagree\n",
+                 wide_threads);
+    return 1;
+  }
+  // The batch path must not be slower than the legacy sequential path on
+  // the same workload (it additionally skips redundant channel evals).
+  if (records[1].wall_s > records[0].wall_s * 1.25) {
+    std::fprintf(stderr,
+                 "FAIL: batch(1 thread) %.2fs is slower than sequential "
+                 "%.2fs x1.25\n",
+                 records[1].wall_s, records[0].wall_s);
+    return 1;
+  }
+  std::puts("PASS");
+  return 0;
+}

@@ -2,18 +2,31 @@
 // NLOS (antenna behind the plane), three groups of the full 13-motion
 // battery.  The paper reports LOS ≈ 0.88 and NLOS ≈ 0.94 — NLOS wins
 // because the arm does not cross reader→tag paths.
+//
+// Trials run through the deterministic batch runner: results are
+// bit-identical at any --threads value.  With --json PATH the bench also
+// records wall/CPU throughput for perf tracking.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 
 #include "common/table.hpp"
 #include "harness/harness.hpp"
+#include "harness/perf.hpp"
 
 using namespace rfipad;
 
 int main(int argc, char** argv) {
-  const int reps = argc > 1 ? std::atoi(argv[1]) : 7;  // strokes per group
+  const auto args = bench::parseBenchArgs(argc, argv, /*default_reps=*/7);
+  const int reps = args.reps;  // strokes per group
   std::puts("=== Table I: motion identification accuracy, LOS vs NLOS ===");
+
+  std::vector<bench::ThroughputRecord> records;
+  bench::ThroughputRecord rec;
+  rec.bench = "bench_table1_los_nlos";
+  rec.mode = "batch";
+  rec.threads = args.threads;
+  const double wall0 = bench::wallTimeS();
+  const double cpu0 = bench::cpuTimeS();
 
   Table t({"case", "group 1", "group 2", "group 3", "average"});
   for (const auto placement :
@@ -22,15 +35,23 @@ int main(int argc, char** argv) {
     double sum = 0.0;
     for (int group = 0; group < 3; ++group) {
       bench::HarnessOptions opt;
+      opt.scenario.doppler_probes = false;
       opt.scenario.placement = placement;
       opt.scenario.seed = 1000 + group;
       bench::Harness h(opt);
-      std::vector<bench::StrokeTrial> trials;
+      // Same rep × stroke × user grid as the legacy sequential loop.
+      std::vector<bench::StrokeTask> tasks;
+      tasks.reserve(static_cast<std::size_t>(reps) *
+                    allDirectedStrokes().size());
       for (int r = 0; r < reps; ++r) {
         for (const auto& s : allDirectedStrokes()) {
-          trials.push_back(
-              h.runStroke(s, sim::defaultUsers()[(r * 13 + group) % 10]));
+          tasks.push_back({s, sim::defaultUsers()[(r * 13 + group) % 10]});
         }
+      }
+      const auto trials = h.runStrokeBatch(tasks, {args.threads, 0});
+      for (const auto& trial : trials) {
+        ++rec.trials;
+        rec.samples += trial.samples;
       }
       const double acc = bench::Harness::accuracy(trials);
       accs.push_back(acc);
@@ -41,6 +62,20 @@ int main(int argc, char** argv) {
              2);
   }
   t.print(std::cout);
+
+  rec.wall_s = bench::wallTimeS() - wall0;
+  rec.cpu_s = bench::cpuTimeS() - cpu0;
+  bench::finaliseRates(rec);
+  records.push_back(rec);
+  bench::computeSpeedups(records, args.baseline_wall_s);
+  std::printf("\n[%lld trials, %lld samples, %.2fs wall, %.1f trials/s]\n",
+              static_cast<long long>(rec.trials),
+              static_cast<long long>(rec.samples), rec.wall_s,
+              records.back().trials_per_s);
+  if (!args.json_path.empty())
+    bench::writeThroughputJson(args.json_path, records, {},
+                               args.baseline_wall_s);
+
   std::puts("\npaper: LOS 0.88 (0.86-0.91), NLOS 0.94 (0.92-0.96)."
             "\nshape to hold: NLOS > LOS (arm blocks LOS paths to tags).");
   return 0;

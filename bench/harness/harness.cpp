@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.hpp"
+
 namespace rfipad::bench {
 
 core::EngineOptions engineOptionsFor(const sim::Scenario& scenario,
@@ -23,24 +25,28 @@ Harness::Harness(HarnessOptions options)
       static_stream, static_cast<std::uint32_t>(scenario_->array().size()));
   engine_ = std::make_unique<core::RecognitionEngine>(
       profile_, engineOptionsFor(*scenario_, options_.engine));
+  // Snapshot the calibrated state: batch trials clone this baseline so they
+  // all start from the identical post-calibration reader clock.
+  baseline_ = std::make_unique<const sim::Scenario>(*scenario_);
 }
 
-sim::Capture Harness::captureStroke(const DirectedStroke& stroke,
-                                    const sim::UserProfile& user) {
-  sim::TrajectoryBuilder builder(user, workload_rng_.fork(workload_rng_.engine()()));
+sim::Capture Harness::captureStroke(sim::Scenario& scenario, Rng& workload,
+                                    const DirectedStroke& stroke,
+                                    const sim::UserProfile& user) const {
+  sim::TrajectoryBuilder builder(user, workload.fork(workload.engine()()));
   builder.hold(0.4)
-      .stroke(stroke, options_.stroke_extent_frac * scenario_->padHalfExtent())
+      .stroke(stroke, options_.stroke_extent_frac * scenario.padHalfExtent())
       .retract()
       .hold(0.3);
-  return scenario_->capture(builder.build(), user);
+  return scenario.capture(builder.build(), user);
 }
 
-StrokeTrial Harness::runStroke(const DirectedStroke& stroke,
-                               const sim::UserProfile& user) {
+StrokeTrial Harness::scoreStroke(const DirectedStroke& stroke,
+                                 const sim::Capture& cap) const {
   StrokeTrial trial;
   trial.truth = stroke;
+  trial.samples = static_cast<int>(cap.stream.size());
 
-  const sim::Capture cap = captureStroke(stroke, user);
   const auto events = engine_->detectStrokes(cap.stream);
 
   // Match detections against the single truth interval.
@@ -67,20 +73,34 @@ StrokeTrial Harness::runStroke(const DirectedStroke& stroke,
   return trial;
 }
 
-LetterTrial Harness::runLetter(char letter, const sim::UserProfile& user) {
+StrokeTrial Harness::runStrokeOn(sim::Scenario& scenario, Rng& workload,
+                                 const DirectedStroke& stroke,
+                                 const sim::UserProfile& user) const {
+  return scoreStroke(stroke, captureStroke(scenario, workload, stroke, user));
+}
+
+StrokeTrial Harness::runStroke(const DirectedStroke& stroke,
+                               const sim::UserProfile& user) {
+  return runStrokeOn(*scenario_, workload_rng_, stroke, user);
+}
+
+LetterTrial Harness::runLetterOn(sim::Scenario& scenario, Rng& workload,
+                                 char letter,
+                                 const sim::UserProfile& user) const {
   LetterTrial trial;
   trial.truth = letter;
 
-  const double hw = options_.letter_half_width_frac * scenario_->padHalfExtent();
-  const double hh = options_.letter_half_height_frac * scenario_->padHalfExtent();
+  const double hw = options_.letter_half_width_frac * scenario.padHalfExtent();
+  const double hh = options_.letter_half_height_frac * scenario.padHalfExtent();
   const auto plans = sim::letterPlans(letter, hw, hh);
   trial.true_strokes = static_cast<int>(plans.size());
 
-  sim::TrajectoryBuilder builder(user, workload_rng_.fork(workload_rng_.engine()()));
+  sim::TrajectoryBuilder builder(user, workload.fork(workload.engine()()));
   builder.hold(0.4);
   for (const auto& plan : plans) builder.stroke(plan);
   builder.retract().hold(0.3);
-  const sim::Capture cap = scenario_->capture(builder.build(), user);
+  const sim::Capture cap = scenario.capture(builder.build(), user);
+  trial.samples = static_cast<int>(cap.stream.size());
 
   const auto events = engine_->detectStrokes(cap.stream);
   trial.detected_strokes = static_cast<int>(events.size());
@@ -106,15 +126,51 @@ LetterTrial Harness::runLetter(char letter, const sim::UserProfile& user) {
   return trial;
 }
 
-std::vector<StrokeTrial> Harness::runMotionBattery(int reps,
-                                                   const sim::UserProfile& user) {
-  std::vector<StrokeTrial> trials;
+LetterTrial Harness::runLetter(char letter, const sim::UserProfile& user) {
+  return runLetterOn(*scenario_, workload_rng_, letter, user);
+}
+
+std::uint64_t Harness::effectiveBaseSeed(const BatchOptions& batch) const {
+  if (batch.base_seed != 0) return batch.base_seed;
+  return Rng::deriveSeed(options_.scenario.seed, 0xba7c4);
+}
+
+std::vector<StrokeTrial> Harness::runStrokeBatch(
+    const std::vector<StrokeTask>& tasks, const BatchOptions& batch) const {
+  std::vector<StrokeTrial> out(tasks.size());
+  const std::uint64_t base = effectiveBaseSeed(batch);
+  rfipad::parallelFor(batch.threads, tasks.size(), [&](std::size_t i) {
+    const std::uint64_t trial_seed = Rng::deriveSeed(base, i);
+    sim::Scenario local(*baseline_);
+    local.reseedForTrial(trial_seed);
+    Rng workload(Rng::deriveSeed(trial_seed, 0x774b));
+    out[i] = runStrokeOn(local, workload, tasks[i].stroke, tasks[i].user);
+  });
+  return out;
+}
+
+std::vector<LetterTrial> Harness::runLetterBatch(
+    const std::vector<LetterTask>& tasks, const BatchOptions& batch) const {
+  std::vector<LetterTrial> out(tasks.size());
+  const std::uint64_t base = effectiveBaseSeed(batch);
+  rfipad::parallelFor(batch.threads, tasks.size(), [&](std::size_t i) {
+    const std::uint64_t trial_seed = Rng::deriveSeed(base, i);
+    sim::Scenario local(*baseline_);
+    local.reseedForTrial(trial_seed);
+    Rng workload(Rng::deriveSeed(trial_seed, 0x774b));
+    out[i] = runLetterOn(local, workload, tasks[i].letter, tasks[i].user);
+  });
+  return out;
+}
+
+std::vector<StrokeTrial> Harness::runMotionBattery(
+    int reps, const sim::UserProfile& user, const BatchOptions& batch) const {
+  std::vector<StrokeTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(reps) * allDirectedStrokes().size());
   for (int r = 0; r < reps; ++r) {
-    for (const auto& s : allDirectedStrokes()) {
-      trials.push_back(runStroke(s, user));
-    }
+    for (const auto& s : allDirectedStrokes()) tasks.push_back({s, user});
   }
-  return trials;
+  return runStrokeBatch(tasks, batch);
 }
 
 double Harness::accuracy(const std::vector<StrokeTrial>& trials) {
@@ -146,6 +202,47 @@ double Harness::fnr(const std::vector<StrokeTrial>& trials) {
   const auto missed = std::count_if(trials.begin(), trials.end(),
                                     [](const StrokeTrial& t) { return !t.detected; });
   return static_cast<double>(missed) / static_cast<double>(trials.size());
+}
+
+bool sameOutcome(const StrokeTrial& a, const StrokeTrial& b) {
+  return a.truth == b.truth && a.detected == b.detected &&
+         a.kind_correct == b.kind_correct &&
+         a.directed_correct == b.directed_correct &&
+         a.spurious == b.spurious && a.samples == b.samples;
+}
+
+bool sameOutcome(const LetterTrial& a, const LetterTrial& b) {
+  return a.truth == b.truth && a.recognized == b.recognized &&
+         a.correct == b.correct && a.true_strokes == b.true_strokes &&
+         a.detected_strokes == b.detected_strokes &&
+         a.kind_correct_strokes == b.kind_correct_strokes &&
+         a.samples == b.samples &&
+         a.segmentation.truths == b.segmentation.truths &&
+         a.segmentation.detections == b.segmentation.detections &&
+         a.segmentation.matched == b.segmentation.matched &&
+         a.segmentation.false_positives == b.segmentation.false_positives &&
+         a.segmentation.missed == b.segmentation.missed &&
+         a.segmentation.underfilled == b.segmentation.underfilled;
+}
+
+template <typename Trial>
+static bool sameOutcomeVectors(const std::vector<Trial>& a,
+                               const std::vector<Trial>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!sameOutcome(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+bool sameOutcomes(const std::vector<StrokeTrial>& a,
+                  const std::vector<StrokeTrial>& b) {
+  return sameOutcomeVectors(a, b);
+}
+
+bool sameOutcomes(const std::vector<LetterTrial>& a,
+                  const std::vector<LetterTrial>& b) {
+  return sameOutcomeVectors(a, b);
 }
 
 }  // namespace rfipad::bench

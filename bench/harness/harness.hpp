@@ -5,8 +5,19 @@
 // report streams, run the recognition engine, and score the outcome against
 // ground truth.  Each bench binary is then a thin parameter sweep printing
 // the same rows/series as the corresponding paper table or figure.
+//
+// Two execution modes:
+//  - runStroke()/runLetter(): sequential trials sharing the scenario's
+//    continuous reader clock and RNG streams (the seed behaviour).
+//  - runStrokeBatch()/runLetterBatch()/runMotionBattery(): deterministic
+//    parallel batches.  Each trial runs on its own clone of the calibrated
+//    baseline scenario, with every RNG stream derived statelessly from
+//    (base seed, trial index), so the outcome is bit-identical at any
+//    thread count — a 1-thread run and an N-thread run produce the same
+//    trial vectors.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -37,6 +48,8 @@ struct StrokeTrial {
   bool kind_correct = false;    ///< stroke shape recognised
   bool directed_correct = false;///< shape + direction recognised
   int spurious = 0;             ///< detections with no truth overlap
+  /// Tag reports consumed by the trial (throughput accounting).
+  int samples = 0;
   /// Wall-clock span from stroke start to the moment recognition completes
   /// (write time + trailing window + processing) — Fig. 21's "time used to
   /// correctly recognise".
@@ -53,7 +66,28 @@ struct LetterTrial {
   int true_strokes = 0;
   int detected_strokes = 0;
   int kind_correct_strokes = 0;
+  int samples = 0;  ///< tag reports consumed by the trial
   core::DetectionCounts segmentation{};
+};
+
+/// One work item of a stroke batch.
+struct StrokeTask {
+  DirectedStroke stroke{};
+  sim::UserProfile user{};
+};
+
+/// One work item of a letter batch.
+struct LetterTask {
+  char letter = 'A';
+  sim::UserProfile user{};
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = inline (no pool).
+  int threads = 0;
+  /// Base seed for per-trial stream derivation; 0 = derive from the
+  /// scenario seed (so a given harness configuration is reproducible).
+  std::uint64_t base_seed = 0;
 };
 
 class Harness {
@@ -71,10 +105,20 @@ class Harness {
   /// One letter trial.
   LetterTrial runLetter(char letter, const sim::UserProfile& user);
 
-  /// Convenience sweep: all 13 directed motions × `reps`, default user mix.
-  /// Returns the directed-stroke accuracy.
+  /// Deterministic parallel stroke batch (see file comment): result i only
+  /// depends on (base seed, i, tasks[i]), never on thread count or order.
+  std::vector<StrokeTrial> runStrokeBatch(const std::vector<StrokeTask>& tasks,
+                                          const BatchOptions& batch = {}) const;
+
+  /// Deterministic parallel letter batch.
+  std::vector<LetterTrial> runLetterBatch(const std::vector<LetterTask>& tasks,
+                                          const BatchOptions& batch = {}) const;
+
+  /// Convenience sweep: all 13 directed motions × `reps`, one user,
+  /// executed as a parallel batch.
   std::vector<StrokeTrial> runMotionBattery(int reps,
-                                            const sim::UserProfile& user);
+                                            const sim::UserProfile& user,
+                                            const BatchOptions& batch = {}) const;
 
   /// Fraction of trials with directed_correct.
   static double accuracy(const std::vector<StrokeTrial>& trials);
@@ -85,15 +129,37 @@ class Harness {
   static double fnr(const std::vector<StrokeTrial>& trials);
 
  private:
-  sim::Capture captureStroke(const DirectedStroke& stroke,
-                             const sim::UserProfile& user);
+  sim::Capture captureStroke(sim::Scenario& scenario, Rng& workload,
+                             const DirectedStroke& stroke,
+                             const sim::UserProfile& user) const;
+  StrokeTrial scoreStroke(const DirectedStroke& stroke,
+                          const sim::Capture& cap) const;
+  StrokeTrial runStrokeOn(sim::Scenario& scenario, Rng& workload,
+                          const DirectedStroke& stroke,
+                          const sim::UserProfile& user) const;
+  LetterTrial runLetterOn(sim::Scenario& scenario, Rng& workload, char letter,
+                          const sim::UserProfile& user) const;
+  std::uint64_t effectiveBaseSeed(const BatchOptions& batch) const;
 
   HarnessOptions options_;
   std::unique_ptr<sim::Scenario> scenario_;
   core::StaticProfile profile_;
   std::unique_ptr<core::RecognitionEngine> engine_;
+  /// Calibrated snapshot cloned per batch trial (clock just past the
+  /// calibration capture, noise/MAC streams reseeded per trial).
+  std::unique_ptr<const sim::Scenario> baseline_;
   Rng workload_rng_;
 };
+
+/// Deterministic-outcome equality for batch determinism checks.  Compares
+/// every field except the measured processing / recognition-span times,
+/// which are wall-clock measurements and not reproducible bit-for-bit.
+bool sameOutcome(const StrokeTrial& a, const StrokeTrial& b);
+bool sameOutcome(const LetterTrial& a, const LetterTrial& b);
+bool sameOutcomes(const std::vector<StrokeTrial>& a,
+                  const std::vector<StrokeTrial>& b);
+bool sameOutcomes(const std::vector<LetterTrial>& a,
+                  const std::vector<LetterTrial>& b);
 
 /// Engine options pre-wired to a scenario's tag layout.
 core::EngineOptions engineOptionsFor(const sim::Scenario& scenario,

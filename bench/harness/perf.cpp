@@ -1,0 +1,181 @@
+#include "harness/perf.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+namespace rfipad::bench {
+
+double wallTimeS() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+double cpuTimeS() {
+  std::timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+void finaliseRates(ThroughputRecord& rec) {
+  if (rec.wall_s <= 0.0) return;
+  rec.trials_per_s = static_cast<double>(rec.trials) / rec.wall_s;
+  rec.samples_per_s = static_cast<double>(rec.samples) / rec.wall_s;
+}
+
+void computeSpeedups(std::vector<ThroughputRecord>& records,
+                     double baseline_wall_s) {
+  double one_thread_wall = 0.0;
+  for (const auto& r : records) {
+    if (r.mode == "batch" && r.threads == 1 && r.wall_s > 0.0) {
+      one_thread_wall = r.wall_s;
+      break;
+    }
+  }
+  for (auto& r : records) {
+    if (r.wall_s <= 0.0) continue;
+    if (one_thread_wall > 0.0) r.speedup_vs_1thread = one_thread_wall / r.wall_s;
+    if (baseline_wall_s > 0.0) r.speedup_vs_baseline = baseline_wall_s / r.wall_s;
+  }
+}
+
+namespace {
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string jsonNumber(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+bool writeThroughputJson(const std::string& path,
+                         const std::vector<ThroughputRecord>& records,
+                         const std::vector<StageTime>& stages,
+                         double baseline_wall_s) {
+  std::string out = "{\n  \"schema\": \"rfipad-bench-throughput-v1\",\n";
+  if (baseline_wall_s > 0.0) {
+    out += "  \"baseline_wall_s\": " + jsonNumber(baseline_wall_s) + ",\n";
+  }
+  out += "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out += "    {\"bench\": ";
+    appendJsonString(out, r.bench);
+    out += ", \"mode\": ";
+    appendJsonString(out, r.mode);
+    out += ", \"threads\": " + std::to_string(r.threads);
+    out += ", \"trials\": " + std::to_string(r.trials);
+    out += ", \"samples\": " + std::to_string(r.samples);
+    out += ", \"wall_s\": " + jsonNumber(r.wall_s);
+    out += ", \"cpu_s\": " + jsonNumber(r.cpu_s);
+    out += ", \"trials_per_s\": " + jsonNumber(r.trials_per_s);
+    out += ", \"samples_per_s\": " + jsonNumber(r.samples_per_s);
+    if (r.speedup_vs_1thread > 0.0)
+      out += ", \"speedup_vs_1thread\": " + jsonNumber(r.speedup_vs_1thread);
+    if (r.speedup_vs_baseline > 0.0)
+      out += ", \"speedup_vs_baseline\": " + jsonNumber(r.speedup_vs_baseline);
+    if (r.identical_checked) {
+      out += ", \"identical_to_1thread\": ";
+      out += r.identical_to_1thread ? "true" : "false";
+    }
+    out += "}";
+    if (i + 1 < records.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]";
+  if (!stages.empty()) {
+    out += ",\n  \"stages\": [\n";
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      const auto& s = stages[i];
+      out += "    {\"name\": ";
+      appendJsonString(out, s.name);
+      out += ", \"wall_s\": " + jsonNumber(s.wall_s);
+      out += ", \"cpu_s\": " + jsonNumber(s.cpu_s);
+      out += ", \"calls\": " + std::to_string(s.calls);
+      out += "}";
+      if (i + 1 < stages.size()) out += ",";
+      out += "\n";
+    }
+    out += "  ]";
+  }
+  out += "\n}\n";
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "writeThroughputJson: cannot open %s\n", path.c_str());
+    return false;
+  }
+  f << out;
+  f.flush();
+  if (!f) {
+    std::fprintf(stderr, "writeThroughputJson: write to %s failed\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+BenchArgs parseBenchArgs(int argc, char** argv, int default_reps) {
+  BenchArgs args;
+  args.reps = default_reps;
+  bool reps_seen = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--threads") == 0) {
+      args.threads = std::atoi(value("--threads"));
+    } else if (std::strcmp(a, "--json") == 0) {
+      args.json_path = value("--json");
+    } else if (std::strcmp(a, "--baseline-wall") == 0) {
+      args.baseline_wall_s = std::atof(value("--baseline-wall"));
+    } else if (a[0] != '-' && !reps_seen) {
+      args.reps = std::atoi(a);
+      reps_seen = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [reps] [--threads N] [--json PATH] "
+                   "[--baseline-wall S]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (args.reps < 1) args.reps = 1;
+  return args;
+}
+
+}  // namespace rfipad::bench

@@ -1,0 +1,100 @@
+// Lightweight timing + throughput reporting for the bench suite.
+//
+// Measures wall-clock and process-CPU time around batch runs, accumulates
+// named per-stage timings, and emits a machine-readable
+// BENCH_throughput.json so perf regressions are diffable across commits.
+// Hand-rolled JSON writer — no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfipad::bench {
+
+/// Monotonic wall clock, seconds.
+double wallTimeS();
+
+/// Process CPU time (all threads), seconds.
+double cpuTimeS();
+
+/// One named stage's accumulated timings.
+struct StageTime {
+  std::string name;
+  double wall_s = 0.0;
+  double cpu_s = 0.0;
+  int calls = 0;
+};
+
+/// Scoped timer: accumulates wall + CPU time into a StageTime on
+/// destruction.  Usage: { StageTimer t(stage); ...work...; }
+class StageTimer {
+ public:
+  explicit StageTimer(StageTime& stage)
+      : stage_(stage), wall0_(wallTimeS()), cpu0_(cpuTimeS()) {}
+  ~StageTimer() {
+    stage_.wall_s += wallTimeS() - wall0_;
+    stage_.cpu_s += cpuTimeS() - cpu0_;
+    ++stage_.calls;
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  StageTime& stage_;
+  double wall0_;
+  double cpu0_;
+};
+
+/// One timed batch configuration: how fast did `trials` trials
+/// (`samples` tag reports) run in this mode at this thread count.
+struct ThroughputRecord {
+  std::string bench;      ///< bench binary name, e.g. "bench_table1_los_nlos"
+  std::string mode;       ///< "sequential" (legacy path) or "batch"
+  int threads = 1;        ///< resolved worker-thread count
+  std::int64_t trials = 0;
+  std::int64_t samples = 0;  ///< tag reports consumed across all trials
+  double wall_s = 0.0;
+  double cpu_s = 0.0;
+  double trials_per_s = 0.0;
+  double samples_per_s = 0.0;
+  /// Wall-clock speedup vs the 1-thread batch record of the same bench
+  /// (0 = not computed).
+  double speedup_vs_1thread = 0.0;
+  /// Wall-clock speedup vs an externally supplied baseline wall time,
+  /// e.g. the pre-optimisation sequential run (0 = no baseline given).
+  double speedup_vs_baseline = 0.0;
+  /// True when this record's trial outcomes were verified bit-identical
+  /// to the 1-thread batch outcomes.
+  bool identical_to_1thread = false;
+  bool identical_checked = false;
+};
+
+/// Fill trials_per_s / samples_per_s from wall_s (no-op when wall_s <= 0).
+void finaliseRates(ThroughputRecord& rec);
+
+/// Fill speedup_vs_1thread on every record from the first "batch"
+/// record with threads == 1, and speedup_vs_baseline from
+/// `baseline_wall_s` (ignored when <= 0).
+void computeSpeedups(std::vector<ThroughputRecord>& records,
+                     double baseline_wall_s);
+
+/// Write records (+ optional per-stage breakdown) as JSON to `path`.
+/// Returns false (and prints to stderr) on I/O failure.
+bool writeThroughputJson(const std::string& path,
+                         const std::vector<ThroughputRecord>& records,
+                         const std::vector<StageTime>& stages = {},
+                         double baseline_wall_s = 0.0);
+
+/// Common bench CLI: `[reps] [--threads N] [--json PATH]
+/// [--baseline-wall S]`.  Unknown flags abort with a usage message.
+struct BenchArgs {
+  int reps = 0;
+  int threads = 0;        ///< 0 = hardware concurrency
+  std::string json_path;  ///< empty = don't write JSON
+  double baseline_wall_s = 0.0;
+};
+
+BenchArgs parseBenchArgs(int argc, char** argv, int default_reps);
+
+}  // namespace rfipad::bench

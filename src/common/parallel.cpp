@@ -1,0 +1,133 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace rfipad {
+
+namespace {
+thread_local bool tls_on_worker_thread = false;
+}  // namespace
+
+unsigned resolveThreadCount(int threads) {
+  if (threads >= 1) return static_cast<unsigned>(threads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1u;
+}
+
+bool ThreadPool::onWorkerThread() { return tls_on_worker_thread; }
+
+ThreadPool::ThreadPool(int threads) {
+  const unsigned n = resolveThreadCount(threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  tls_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Nested call from inside a pool task, or nothing to fan out to: run
+  // inline.  This keeps nested usage deadlock-free and the single-thread
+  // path free of synchronisation.
+  if (onWorkerThread() || workers_.size() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct SweepState {
+    std::atomic<std::size_t> next{0};
+    std::size_t limit = 0;
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t active_drivers = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<SweepState>();
+  state->limit = n;
+
+  auto drive = [state, &body] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= state->limit) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->m);
+        if (!state->error) state->error = std::current_exception();
+        // Stop handing out further iterations.
+        state->next.store(state->limit);
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      std::min<std::size_t>(workers_.size(), n > 1 ? n - 1 : 0);
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    state->active_drivers = helpers;
+  }
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // `body` is captured by reference: the caller blocks below until every
+    // driver finishes, so the reference stays valid.
+    enqueue([state, drive] {
+      drive();
+      std::lock_guard<std::mutex> lock(state->m);
+      --state->active_drivers;
+      state->done.notify_all();
+    });
+  }
+
+  drive();  // the caller participates in the sweep
+
+  std::unique_lock<std::mutex> lock(state->m);
+  state->done.wait(lock, [&] { return state->active_drivers == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void parallelFor(int threads, std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const unsigned count = resolveThreadCount(threads);
+  if (count <= 1 || n == 1 || ThreadPool::onWorkerThread()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(static_cast<int>(count));
+  pool.parallelFor(n, body);
+}
+
+}  // namespace rfipad

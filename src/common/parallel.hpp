@@ -1,0 +1,82 @@
+// Deterministic parallel execution utilities.
+//
+// A small std::thread-based pool plus parallelFor/parallelMap helpers used
+// by the batch trial runners.  Work is handed out as an atomic index sweep
+// over [0, n); results are written by index, so the outcome of a parallel
+// map is independent of scheduling — callers that also derive their
+// per-item randomness from the item index (Rng::deriveSeed) get bit-stable
+// results at any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfipad {
+
+/// Worker count a `threads` request resolves to: values < 1 mean "use the
+/// hardware concurrency" (never less than 1).
+unsigned resolveThreadCount(int threads);
+
+class ThreadPool {
+ public:
+  /// `threads` < 1 → hardware concurrency.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// True when the calling thread is a pool worker (of any pool).  Nested
+  /// parallelFor calls detect this and run inline instead of deadlocking on
+  /// their own queue.
+  static bool onWorkerThread();
+
+  /// Run body(i) for every i in [0, n), distributing iterations over the
+  /// pool and the calling thread.  Blocks until all iterations finish.
+  /// The first exception thrown by any iteration is rethrown here (after
+  /// all in-flight iterations drain); remaining iterations are skipped.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Order-preserving map: out[i] = fn(items[i]).  Result type must be
+  /// default-constructible.
+  template <typename T, typename F>
+  auto parallelMap(const std::vector<T>& items, const F& fn)
+      -> std::vector<decltype(fn(items[0]))> {
+    std::vector<decltype(fn(items[0]))> out(items.size());
+    parallelFor(items.size(),
+                [&](std::size_t i) { out[i] = fn(items[i]); });
+    return out;
+  }
+
+ private:
+  void workerLoop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// One-shot parallel sweep with a transient pool.  `threads` < 1 → hardware
+/// concurrency; 1 runs inline with no pool at all.
+void parallelFor(int threads, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+/// One-shot order-preserving parallel map.
+template <typename T, typename F>
+auto parallelMap(int threads, const std::vector<T>& items, const F& fn)
+    -> std::vector<decltype(fn(items[0]))> {
+  ThreadPool pool(threads);
+  return pool.parallelMap(items, fn);
+}
+
+}  // namespace rfipad

@@ -54,6 +54,14 @@ class Rng {
     return Rng(s);
   }
 
+  /// Stateless per-index seed derivation (splitmix64 of base ⊕ golden·(i+1)).
+  /// Unlike fork(), this consumes no generator state, so trial i gets the
+  /// same seed no matter how many trials ran before it — the property the
+  /// parallel batch runners rely on for thread-count-independent results.
+  static std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index) {
+    return splitmix(base ^ ((index + 1) * 0x9E3779B97F4A7C15ull));
+  }
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

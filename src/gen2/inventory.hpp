@@ -64,6 +64,11 @@ class InventorySimulator {
   void setPoweredPredicate(TagPredicate p) { powered_ = std::move(p); }
   void setDecodablePredicate(TagPredicate p) { decodable_ = std::move(p); }
 
+  /// Replace the slot-draw RNG stream.  Clock, Q state and per-tag counters
+  /// are untouched; used by the batch trial runner to give each trial an
+  /// independent, order-free MAC randomness stream.
+  void reseed(Rng rng) { rng_ = std::move(rng); }
+
   /// Advance simulated time until at least `until_s`, delivering each
   /// singulation to `sink`.  May be called repeatedly to extend a run.
   void run(double until_s, const ReadSink& sink);

@@ -35,34 +35,47 @@ std::vector<Cell> BinaryMap::foreground() const {
   return cells;
 }
 
+namespace {
+
+/// Flood fill (8-connectivity) from (r, c) into `comp`, marking `seen`.
+/// `stack` is caller-owned scratch so repeated fills reuse its capacity.
+void floodFill(const BinaryMap& map, int r, int c, std::vector<std::uint8_t>& seen,
+               std::vector<Cell>& stack, std::vector<Cell>& comp) {
+  const int cols = map.cols();
+  stack.clear();
+  stack.push_back({r, c});
+  seen[static_cast<std::size_t>(r) * cols + c] = 1;
+  while (!stack.empty()) {
+    const Cell cur = stack.back();
+    stack.pop_back();
+    comp.push_back(cur);
+    for (int dr = -1; dr <= 1; ++dr) {
+      for (int dc = -1; dc <= 1; ++dc) {
+        if (dr == 0 && dc == 0) continue;
+        const int nr = cur.row + dr;
+        const int nc = cur.col + dc;
+        if (nr < 0 || nr >= map.rows() || nc < 0 || nc >= cols) continue;
+        const std::size_t nidx = static_cast<std::size_t>(nr) * cols + nc;
+        if (!map.at(nr, nc) || seen[nidx]) continue;
+        seen[nidx] = 1;
+        stack.push_back({nr, nc});
+      }
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<std::vector<Cell>> BinaryMap::components() const {
   std::vector<std::vector<Cell>> comps;
   std::vector<std::uint8_t> seen(bits_.size(), 0);
+  std::vector<Cell> stack;
   for (int r = 0; r < rows_; ++r) {
     for (int c = 0; c < cols_; ++c) {
       const std::size_t idx = static_cast<std::size_t>(r) * cols_ + c;
       if (!at(r, c) || seen[idx]) continue;
-      // Flood fill with an explicit stack (8-connectivity).
       std::vector<Cell> comp;
-      std::vector<Cell> stack{{r, c}};
-      seen[idx] = 1;
-      while (!stack.empty()) {
-        const Cell cur = stack.back();
-        stack.pop_back();
-        comp.push_back(cur);
-        for (int dr = -1; dr <= 1; ++dr) {
-          for (int dc = -1; dc <= 1; ++dc) {
-            if (dr == 0 && dc == 0) continue;
-            const int nr = cur.row + dr;
-            const int nc = cur.col + dc;
-            if (nr < 0 || nr >= rows_ || nc < 0 || nc >= cols_) continue;
-            const std::size_t nidx = static_cast<std::size_t>(nr) * cols_ + nc;
-            if (!at(nr, nc) || seen[nidx]) continue;
-            seen[nidx] = 1;
-            stack.push_back({nr, nc});
-          }
-        }
-      }
+      floodFill(*this, r, c, seen, stack, comp);
       comps.push_back(std::move(comp));
     }
   }
@@ -72,11 +85,21 @@ std::vector<std::vector<Cell>> BinaryMap::components() const {
 }
 
 BinaryMap BinaryMap::largestComponent() const {
+  // Single pass keeping only the best component so far — no full component
+  // list, no sort, two reusable scratch buffers.
   BinaryMap out(rows_, cols_);
-  const auto comps = components();
-  if (!comps.empty()) {
-    for (const Cell& c : comps.front()) out.set(c.row, c.col, true);
+  std::vector<std::uint8_t> seen(bits_.size(), 0);
+  std::vector<Cell> stack, comp, best;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const std::size_t idx = static_cast<std::size_t>(r) * cols_ + c;
+      if (!at(r, c) || seen[idx]) continue;
+      comp.clear();
+      floodFill(*this, r, c, seen, stack, comp);
+      if (comp.size() > best.size()) best.swap(comp);
+    }
   }
+  for (const Cell& c : best) out.set(c.row, c.col, true);
   return out;
 }
 

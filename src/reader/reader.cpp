@@ -1,5 +1,6 @@
 #include "reader/reader.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -38,6 +39,11 @@ RfidReader::RfidReader(ReaderConfig config, rf::ChannelModel channel,
   }
 }
 
+void RfidReader::reseed(std::uint64_t seed) {
+  rng_ = Rng(seed);
+  inventory_.reseed(rng_.fork(0x6e21));
+}
+
 std::size_t RfidReader::channelIndexAt(double t) const {
   if (channels_.size() == 1) return 0;
   const auto hop = static_cast<long long>(std::floor(t / config_.hop_interval_s));
@@ -57,14 +63,67 @@ const rf::ChannelModel::StaticTagChannel& RfidReader::cacheAt(
   return static_caches_[channelIndexAt(t)][tag];
 }
 
+RfidReader::EvalContext::EvalContext(const RfidReader& reader,
+                                     const SceneFn& scene)
+    : reader_(reader), scene_(scene), snaps_(reader.tags_.size()) {}
+
+const rf::ScattererList& RfidReader::EvalContext::sceneAt(double t) {
+  if (!scene_valid_ || scene_t_ != t) {
+    scene_list_ = scene_(t);
+    // The geometry is antenna/environment-only, so any hop channel's model
+    // produces the same values; use the first.
+    reader_.channels_.front().precomputeScene(scene_list_, scene_geometry_);
+    scene_t_ = t;
+    scene_valid_ = true;
+  }
+  return scene_list_;
+}
+
+const rf::ChannelModel::SceneGeometry& RfidReader::EvalContext::geometryAt(
+    double t) {
+  sceneAt(t);
+  return scene_geometry_;
+}
+
+const rf::ChannelSnapshot& RfidReader::EvalContext::snapshotAt(
+    std::uint32_t tag, double t) {
+  TagSnap& entry = snaps_.at(tag);
+  if (!entry.valid || entry.t != t) {
+    const auto& model = reader_.modelAt(t);
+    const auto& scene = sceneAt(t);
+    entry.snap = model.evaluateCached(reader_.tags_[tag].endpoint(),
+                                      reader_.cacheAt(t, tag), scene,
+                                      scene_geometry_);
+    entry.t = t;
+    entry.valid = true;
+  }
+  return entry.snap;
+}
+
+double RfidReader::incidentDbmFrom(const rf::ChannelSnapshot& snap,
+                                   const rf::ChannelModel& model) const {
+  const double w = model.incidentPowerW(snap, dbmToWatts(config_.tx_power_dbm));
+  return wattsToDbm(std::max(w, 1e-30));
+}
+
+double RfidReader::backscatterDbmFrom(std::uint32_t tagIndex,
+                                      const rf::ChannelSnapshot& snap,
+                                      const rf::ChannelModel& model) const {
+  const auto& tag = tags_[tagIndex];
+  const double mod_eff =
+      tag.type.modulation_efficiency * dbToLinear(tag.coupling_penalty_db);
+  const double w = model.backscatterPowerW(
+      snap, dbmToWatts(config_.tx_power_dbm), mod_eff);
+  return wattsToDbm(std::max(w, 1e-30));
+}
+
 double RfidReader::incidentDbm(std::uint32_t tagIndex, double t,
                                const SceneFn& scene) const {
   const auto& tag = tags_.at(tagIndex);
   const auto& model = modelAt(t);
   const auto snap =
       model.evaluateCached(tag.endpoint(), cacheAt(t, tagIndex), scene(t));
-  const double w = model.incidentPowerW(snap, dbmToWatts(config_.tx_power_dbm));
-  return wattsToDbm(std::max(w, 1e-30));
+  return incidentDbmFrom(snap, model);
 }
 
 double RfidReader::backscatterDbm(std::uint32_t tagIndex, double t,
@@ -73,11 +132,7 @@ double RfidReader::backscatterDbm(std::uint32_t tagIndex, double t,
   const auto& model = modelAt(t);
   const auto snap =
       model.evaluateCached(tag.endpoint(), cacheAt(t, tagIndex), scene(t));
-  const double mod_eff =
-      tag.type.modulation_efficiency * dbToLinear(tag.coupling_penalty_db);
-  const double w = model.backscatterPowerW(
-      snap, dbmToWatts(config_.tx_power_dbm), mod_eff);
-  return wattsToDbm(std::max(w, 1e-30));
+  return backscatterDbmFrom(tagIndex, snap, model);
 }
 
 double RfidReader::rawRoundTripPhase(std::uint32_t tagIndex,
@@ -102,21 +157,27 @@ double RfidReader::quantizeRssi(double dbm) const {
 
 TagReport RfidReader::measure(std::uint32_t tagIndex, double t,
                               const SceneFn& scene) {
+  EvalContext ctx(*this, scene);
+  return measure(tagIndex, t, ctx);
+}
+
+TagReport RfidReader::measure(std::uint32_t tagIndex, double t,
+                              EvalContext& ctx) {
   const auto& tag = tags_.at(tagIndex);
   const std::size_t ch = channelIndexAt(t);
   const auto& model = channels_[ch];
-  const auto snap =
-      model.evaluateCached(tag.endpoint(), static_caches_[ch][tagIndex],
-                           scene(t));
+  // One channel evaluation serves the report phase, the received power and
+  // the forward-link margin (the seed recomputed it for each quantity).
+  const rf::ChannelSnapshot& snap = ctx.snapshotAt(tagIndex, t);
 
-  const double rx_dbm = backscatterDbm(tagIndex, t, scene);
+  const double rx_dbm = backscatterDbmFrom(tagIndex, snap, model);
   const rf::NoiseModel noise(config_.noise);
   const double env_flicker = model.environment().flicker_scale;
   // Forward-link margin above the IC threshold: responses get noisier as
   // the tag starves (drives the power/angle/distance sensitivity of
   // Figs. 17-19).
   const double margin_db =
-      incidentDbm(tagIndex, t, scene) - tag.type.ic_sensitivity_dbm;
+      incidentDbmFrom(snap, model) - tag.type.ic_sensitivity_dbm;
   const double margin_std = noise.tagMarginStd(margin_db);
   const double phase_std =
       std::hypot(noise.phaseStd(rx_dbm, tag.flicker_bias, env_flicker),
@@ -136,16 +197,22 @@ TagReport RfidReader::measure(std::uint32_t tagIndex, double t,
 
   // Doppler: the reader estimates carrier shift from the phase slope across
   // the read; emulate with a central difference of the round-trip phase
-  // (always within one dwell, so a single channel applies).
+  // (always within one dwell, so a single channel applies).  Evaluated
+  // directly (not via snapshotAt) so the memoised snapshot at t survives.
   const double dt = 1e-3;
-  const auto snap_m =
-      model.evaluateCached(tag.endpoint(), static_caches_[ch][tagIndex],
-                           scene(t - dt));
-  const auto snap_p =
-      model.evaluateCached(tag.endpoint(), static_caches_[ch][tagIndex],
-                           scene(t + dt));
-  const double dphi = angleDiff(rawRoundTripPhase(tagIndex, snap_p, ch),
-                                rawRoundTripPhase(tagIndex, snap_m, ch));
+  double dphi = 0.0;
+  if (config_.doppler_probes) {
+    const auto snap_m =
+        model.evaluateCached(tag.endpoint(), static_caches_[ch][tagIndex],
+                             ctx.sceneAt(t - dt), ctx.geometryAt(t - dt));
+    const auto snap_p =
+        model.evaluateCached(tag.endpoint(), static_caches_[ch][tagIndex],
+                             ctx.sceneAt(t + dt), ctx.geometryAt(t + dt));
+    dphi = angleDiff(rawRoundTripPhase(tagIndex, snap_p, ch),
+                     rawRoundTripPhase(tagIndex, snap_m, ch));
+  }
+  // The noise draw happens in both modes so the RNG stream — and therefore
+  // every later phase/RSSI sample — is identical with probes on or off.
   r.doppler_hz =
       dphi / (kTwoPi * 2.0 * dt) + rng_.normal(0.0, noise.dopplerStdHz());
   r.channel_mhz = model.carrier().freq_hz / 1e6;
@@ -154,20 +221,68 @@ TagReport RfidReader::measure(std::uint32_t tagIndex, double t,
 
 SampleStream RfidReader::capture(double duration_s, const SceneFn& scene) {
   SampleStream stream(static_cast<std::uint32_t>(tags_.size()));
+  // Upper bound on reads: every slot a success.
+  const double slot_s = std::max(inventory_.timing().successSlotS(), 1e-6);
+  stream.reserve(std::min<std::size_t>(
+      static_cast<std::size_t>(duration_s / slot_s) + 16, 1u << 20));
 
-  auto powered = [this, &scene](std::uint32_t i, double t) {
-    return incidentDbm(i, t, scene) >= tags_[i].type.ic_sensitivity_dbm;
+  EvalContext ctx(*this, scene);
+  const double tx_w = dbmToWatts(config_.tx_power_dbm);
+  auto powered = [this, &ctx, tx_w](std::uint32_t i, double t) {
+    // Fast path: if even the pessimistic forward-amplitude bound clears the
+    // IC sensitivity, the tag is certainly powered — skip the full channel
+    // evaluation.  This is the Gen2 round-start hot loop (every tag, every
+    // Query), and tags sit tens of dB above sensitivity, so the bound
+    // decides almost every call without changing any outcome.
+    const auto& model = modelAt(t);
+    const auto& scene = ctx.sceneAt(t);
+    const double amp_lo = model.forwardAmpLowerBound(
+        tags_[i].endpoint(), cacheAt(t, i), scene, ctx.geometryAt(t));
+    if (amp_lo > 0.0 &&
+        tx_w * amp_lo * amp_lo >= dbmToWatts(tags_[i].type.ic_sensitivity_dbm))
+      return true;
+    return incidentDbmFrom(ctx.snapshotAt(i, t), model) >=
+           tags_[i].type.ic_sensitivity_dbm;
   };
-  auto decodable = [this, &scene](std::uint32_t i, double t) {
-    return backscatterDbm(i, t, scene) >= config_.rx_sensitivity_dbm;
+  // Per-tag modulation efficiency and the receive threshold in watts, for
+  // the decodability fast path below.
+  std::vector<double> mod_eff(tags_.size());
+  for (std::size_t i = 0; i < tags_.size(); ++i)
+    mod_eff[i] = tags_[i].type.modulation_efficiency *
+                 dbToLinear(tags_[i].coupling_penalty_db);
+  const double rx_sens_w = dbmToWatts(config_.rx_sensitivity_dbm);
+  auto decodable = [this, &ctx, tx_w, &mod_eff,
+                    rx_sens_w](std::uint32_t i, double t) {
+    // Fast path, mirroring the powered predicate: the detune factor is
+    // exact and cheap, so tx·amp_lo⁴·mod_eff·detune⁴ is a sound lower
+    // bound on the backscatter power.  If even that clears the receive
+    // sensitivity the response certainly decodes — skip the evaluation.
+    const auto& model = modelAt(t);
+    const auto& scene = ctx.sceneAt(t);
+    const double amp_lo = model.forwardAmpLowerBound(
+        tags_[i].endpoint(), cacheAt(t, i), scene, ctx.geometryAt(t));
+    if (amp_lo > 0.0) {
+      const double det = model.detuneFactor(tags_[i].endpoint(), scene);
+      const double f2 = amp_lo * amp_lo;
+      const double det2 = det * det;
+      if (tx_w * f2 * f2 * mod_eff[i] * det2 * det2 >= rx_sens_w) return true;
+    }
+    return backscatterDbmFrom(i, ctx.snapshotAt(i, t), model) >=
+           config_.rx_sensitivity_dbm;
   };
   inventory_.setPoweredPredicate(powered);
   inventory_.setDecodablePredicate(decodable);
 
   const double until = inventory_.now() + duration_s;
   inventory_.run(until, [&](const gen2::Singulation& s) {
-    stream.push(measure(s.tag_index, s.time_s, scene));
+    stream.push(measure(s.tag_index, s.time_s, ctx));
   });
+
+  // The predicates capture this capture's EvalContext by reference; reset
+  // them so copies of the reader (the batch runner clones calibrated
+  // readers per trial) never hold dangling captures.
+  inventory_.setPoweredPredicate([](std::uint32_t, double) { return true; });
+  inventory_.setDecodablePredicate([](std::uint32_t, double) { return true; });
   return stream;
 }
 

@@ -40,6 +40,13 @@ struct ReaderConfig {
   std::vector<double> hop_channels_mhz{};
   /// Dwell time per channel, s (FCC: ≤ 0.4 s).
   double hop_interval_s = 0.2;
+  /// Emulate the reader's Doppler estimate (a central difference of the
+  /// round-trip phase, two extra channel evaluations per read).  The
+  /// recognition pipeline never consumes doppler_hz, so throughput-bound
+  /// batch runs disable the probes: every other report field — and every
+  /// RNG draw, so the noise streams stay aligned — is bit-identical, and
+  /// doppler_hz degrades to its noise floor around zero.
+  bool doppler_probes = true;
 };
 
 /// The dynamic scene (hand + arm scatterers) at a given time.
@@ -67,6 +74,12 @@ class RfidReader {
   /// Convenience: capture with no moving objects.
   SampleStream captureStatic(double duration_s);
 
+  /// Reset the stochastic streams (measurement noise + MAC slot draws) to a
+  /// deterministic seed.  The clock, calibrated cable phases and static
+  /// channel caches are untouched, so a reseeded copy of a calibrated
+  /// reader replays an independent trial against the same configuration.
+  void reseed(std::uint64_t seed);
+
   /// Synthesise the measurement for one singulation (exposed for tests).
   TagReport measure(std::uint32_t tagIndex, double t, const SceneFn& scene);
 
@@ -83,6 +96,42 @@ class RfidReader {
   double channelMhzAt(double t) const;
 
  private:
+  /// Per-capture evaluation memo.  The MAC predicates and the measurement
+  /// for one singulation probe the channel at a handful of identical
+  /// (tag, time) points — the Query check, the decodability check, and the
+  /// report synthesis all land on the same instants — so the scene list is
+  /// cached per distinct time and the latest snapshot per tag.  Strictly
+  /// sequential use (one capture at a time per reader).
+  class EvalContext {
+   public:
+    EvalContext(const RfidReader& reader, const SceneFn& scene);
+    const rf::ScattererList& sceneAt(double t);
+    /// Tag-independent geometry of the scene at t (computed alongside the
+    /// scene, shared by every tag evaluated at that instant).
+    const rf::ChannelModel::SceneGeometry& geometryAt(double t);
+    const rf::ChannelSnapshot& snapshotAt(std::uint32_t tag, double t);
+
+   private:
+    const RfidReader& reader_;
+    const SceneFn& scene_;
+    bool scene_valid_ = false;
+    double scene_t_ = 0.0;
+    rf::ScattererList scene_list_;
+    rf::ChannelModel::SceneGeometry scene_geometry_;
+    struct TagSnap {
+      bool valid = false;
+      double t = 0.0;
+      rf::ChannelSnapshot snap;
+    };
+    std::vector<TagSnap> snaps_;
+  };
+
+  TagReport measure(std::uint32_t tagIndex, double t, EvalContext& ctx);
+  double incidentDbmFrom(const rf::ChannelSnapshot& snap,
+                         const rf::ChannelModel& model) const;
+  double backscatterDbmFrom(std::uint32_t tagIndex,
+                            const rf::ChannelSnapshot& snap,
+                            const rf::ChannelModel& model) const;
   double rawRoundTripPhase(std::uint32_t tagIndex,
                            const rf::ChannelSnapshot& snap,
                            std::size_t channel) const;

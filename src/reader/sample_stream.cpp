@@ -16,6 +16,10 @@ void SampleStream::push(TagReport report) {
 TagSeries SampleStream::seriesFor(std::uint32_t tagIndex) const {
   TagSeries s;
   s.tag_index = tagIndex;
+  const std::size_t n = countFor(tagIndex);
+  s.times.reserve(n);
+  s.phases.reserve(n);
+  s.rssi.reserve(n);
   for (const auto& r : reports_) {
     if (r.tag_index != tagIndex) continue;
     s.times.push_back(r.time_s);
@@ -27,7 +31,14 @@ TagSeries SampleStream::seriesFor(std::uint32_t tagIndex) const {
 
 std::vector<TagSeries> SampleStream::allSeries() const {
   std::vector<TagSeries> all(num_tags_);
-  for (std::uint32_t i = 0; i < num_tags_; ++i) all[i].tag_index = i;
+  std::vector<std::size_t> counts(num_tags_, 0);
+  for (const auto& r : reports_) ++counts[r.tag_index];
+  for (std::uint32_t i = 0; i < num_tags_; ++i) {
+    all[i].tag_index = i;
+    all[i].times.reserve(counts[i]);
+    all[i].phases.reserve(counts[i]);
+    all[i].rssi.reserve(counts[i]);
+  }
   for (const auto& r : reports_) {
     auto& s = all[r.tag_index];
     s.times.push_back(r.time_s);
@@ -49,10 +60,17 @@ double SampleStream::readRateHz() const {
 }
 
 SampleStream SampleStream::slice(double t0, double t1) const {
+  // Reports are time-ordered (push() enforces it), so the window is a
+  // contiguous range — binary-search the bounds instead of scanning and
+  // re-pushing one report at a time.
+  const auto lo = std::lower_bound(
+      reports_.begin(), reports_.end(), t0,
+      [](const TagReport& r, double t) { return r.time_s < t; });
+  const auto hi = std::lower_bound(
+      lo, reports_.end(), t1,
+      [](const TagReport& r, double t) { return r.time_s < t; });
   SampleStream out(num_tags_);
-  for (const auto& r : reports_) {
-    if (r.time_s >= t0 && r.time_s < t1) out.push(r);
-  }
+  out.reports_.assign(lo, hi);
   return out;
 }
 
@@ -78,6 +96,7 @@ std::vector<double> SampleStream::channels() const {
 }
 
 void SampleStream::append(const SampleStream& other) {
+  reports_.reserve(reports_.size() + other.size());
   for (const auto& r : other.reports()) push(r);
 }
 

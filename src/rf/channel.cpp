@@ -6,9 +6,51 @@
 
 namespace rfipad::rf {
 
+namespace {
+/// Memo capacity: far above any realistic tag count.  Once full, further
+/// distinct endpoints are computed into thread-local scratch instead of
+/// evicting (eviction would invalidate references other threads may hold).
+constexpr std::size_t kMemoCapacity = 4096;
+}  // namespace
+
 ChannelModel::ChannelModel(CarrierConfig carrier, DirectionalAntenna antenna,
                            MultipathEnvironment env)
     : carrier_(carrier), antenna_(std::move(antenna)), env_(std::move(env)) {}
+
+ChannelModel::ChannelModel(const ChannelModel& other)
+    : carrier_(other.carrier_), antenna_(other.antenna_), env_(other.env_) {}
+
+ChannelModel::ChannelModel(ChannelModel&& other) noexcept
+    : carrier_(other.carrier_),
+      antenna_(std::move(other.antenna_)),
+      env_(std::move(other.env_)) {}
+
+ChannelModel& ChannelModel::operator=(const ChannelModel& other) {
+  if (this == &other) return *this;
+  carrier_ = other.carrier_;
+  antenna_ = other.antenna_;
+  env_ = other.env_;
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  static_memo_.clear();
+  return *this;
+}
+
+ChannelModel& ChannelModel::operator=(ChannelModel&& other) noexcept {
+  if (this == &other) return *this;
+  carrier_ = other.carrier_;
+  antenna_ = std::move(other.antenna_);
+  env_ = std::move(other.env_);
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  static_memo_.clear();
+  return *this;
+}
+
+void ChannelModel::setEnvironment(MultipathEnvironment env) {
+  // Setup-time operation: must not race with concurrent evaluate() calls.
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  env_ = std::move(env);
+  static_memo_.clear();
+}
 
 Complex ChannelModel::parasiticGain(const PointScatterer& dyn,
                                     const PointScatterer& stat,
@@ -37,37 +79,184 @@ ChannelModel::StaticTagChannel ChannelModel::precompute(
   cache.los = losGain(antenna_, tag.position, tag.gain_linear,
                       tag.polarization_loss, carrier_);
   cache.reflections = {0.0, 0.0};
+  cache.reflector_terms.reserve(env_.reflectors.size());
+  const double four_pi = 4.0 * kPi;
+  const double k = carrier_.waveNumber();
   for (const auto& r : env_.reflectors) {
     cache.reflections +=
         scatteredGain(antenna_, r.position, r.rcs_m2, r.reflection_phase,
                       tag.position, tag.gain_linear, tag.polarization_loss,
                       carrier_);
+    const double d3 = std::max(distance(r.position, tag.position), 0.05);
+    cache.reflector_terms.push_back(
+        {std::sqrt(r.rcs_m2 / four_pi) / d3 * env_.parasitic_scale,
+         -k * d3 + r.reflection_phase});
   }
+  precompute_calls_.fetch_add(1, std::memory_order_relaxed);
   return cache;
+}
+
+double ChannelModel::forwardAmpLowerBound(const TagEndpoint& tag,
+                                          const StaticTagChannel& cache,
+                                          const ScattererList& dynamic) const {
+  // The static part (blocked LOS + reflector sum) is computed EXACTLY — the
+  // blockage geometry is a few distance checks, and los/reflections come
+  // from the cache.  Only the dynamic scattering and parasitic double
+  // bounces (the trigonometry-heavy terms of evaluateCached) are bounded:
+  // antenna gain capped at the peak, every term assumed fully destructive.
+  // Distance floors match the exact computation, so each bound dominates
+  // its term and |h_static| - interference <= |forward| always holds.
+  return forwardAmpLowerBound(tag, cache, dynamic, precomputeScene(dynamic));
+}
+
+double ChannelModel::forwardAmpLowerBound(const TagEndpoint& tag,
+                                          const StaticTagChannel& cache,
+                                          const ScattererList& dynamic,
+                                          const SceneGeometry& geometry) const {
+  if (!env_.reflectors.empty() &&
+      cache.reflector_terms.size() != env_.reflectors.size()) {
+    return 0.0;  // hand-built cache without parasitic legs: no bound
+  }
+  const double block =
+      combinedBlockage(dynamic, antenna_.position(), tag.position);
+  const Complex h_static = std::sqrt(block) * cache.los + cache.reflections;
+  const double sqrt_g_peak = std::sqrt(antenna_.peakGainLinear() *
+                                       tag.gain_linear * tag.polarization_loss);
+  // Direct scattering legs need the per-tag distance; the scatterer×
+  // reflector double loop collapses into the precomputed per-reflector
+  // weights (Σ_j base_j/d2r_ij), one multiply-add per reflector.
+  double direct = 0.0;
+  for (std::size_t j = 0; j < dynamic.size(); ++j) {
+    const double d2 =
+        std::max(distance(dynamic[j].position, tag.position), 0.01);
+    direct += geometry.dyn[j].base / d2;
+  }
+  double parasitic = 0.0;
+  for (std::size_t i = 0; i < cache.reflector_terms.size(); ++i)
+    parasitic += cache.reflector_terms[i].amp * geometry.refl_weight[i];
+  const double interference =
+      sqrt_g_peak * carrier_.wavelengthM() * (direct + parasitic);
+  return std::max(std::abs(h_static) - interference, 0.0);
+}
+
+double ChannelModel::detuneFactor(const TagEndpoint& tag,
+                                  const ScattererList& dynamic) const {
+  // Mirrors the detune accumulation of evaluateCached() exactly.
+  double detune = 1.0;
+  for (const auto& s : dynamic) {
+    const double dist = distance(s.position, tag.position);
+    const double x = dist / kDetuneSigma;
+    detune *= 1.0 - kDetuneDepth * std::exp(-x * x);
+  }
+  return detune;
+}
+
+const ChannelModel::StaticTagChannel& ChannelModel::memoisedStatic(
+    const TagEndpoint& tag) const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  for (const auto& e : static_memo_) {
+    if (e.key.position.x == tag.position.x &&
+        e.key.position.y == tag.position.y &&
+        e.key.position.z == tag.position.z &&
+        e.key.gain_linear == tag.gain_linear &&
+        e.key.polarization_loss == tag.polarization_loss) {
+      return e.value;
+    }
+  }
+  if (static_memo_.size() >= kMemoCapacity) {
+    static thread_local StaticTagChannel scratch;
+    scratch = precompute(tag);
+    return scratch;
+  }
+  static_memo_.push_back({tag, precompute(tag)});
+  return static_memo_.back().value;
 }
 
 ChannelSnapshot ChannelModel::evaluate(const TagEndpoint& tag,
                                        const ScattererList& dynamic) const {
-  return evaluateCached(tag, precompute(tag), dynamic);
+  return evaluateCached(tag, memoisedStatic(tag), dynamic);
+}
+
+ChannelModel::SceneGeometry ChannelModel::precomputeScene(
+    const ScattererList& dynamic) const {
+  SceneGeometry geom;
+  precomputeScene(dynamic, geom);
+  return geom;
+}
+
+void ChannelModel::precomputeScene(const ScattererList& dynamic,
+                                   SceneGeometry& out) const {
+  const double four_pi = 4.0 * kPi;
+  out.dyn.resize(dynamic.size());
+  out.refl_weight.assign(env_.reflectors.size(), 0.0);
+  for (std::size_t j = 0; j < dynamic.size(); ++j) {
+    const auto& s = dynamic[j];
+    auto& term = out.dyn[j];
+    term.gain_toward = antenna_.gainToward(s.position);
+    term.d1 = std::max(distance(antenna_.position(), s.position), 0.01);
+    term.base = std::sqrt(s.rcs_m2 / four_pi) / (four_pi * term.d1);
+    term.d2r.clear();
+    for (std::size_t i = 0; i < env_.reflectors.size(); ++i) {
+      const double d2r =
+          std::max(distance(s.position, env_.reflectors[i].position), 0.05);
+      term.d2r.push_back(d2r);
+      out.refl_weight[i] += term.base / d2r;
+    }
+  }
 }
 
 ChannelSnapshot ChannelModel::evaluateCached(const TagEndpoint& tag,
                                              const StaticTagChannel& cache,
                                              const ScattererList& dynamic) const {
+  return evaluateCached(tag, cache, dynamic, precomputeScene(dynamic));
+}
+
+ChannelSnapshot ChannelModel::evaluateCached(const TagEndpoint& tag,
+                                             const StaticTagChannel& cache,
+                                             const ScattererList& dynamic,
+                                             const SceneGeometry& geometry) const {
   ChannelSnapshot snap;
 
   // Direct path, attenuated by any body part grazing the LOS segment.
   const double block = combinedBlockage(dynamic, antenna_.position(), tag.position);
   Complex h = std::sqrt(block) * cache.los + cache.reflections;
 
-  // Hand / arm scattering: the "virtual transmitter" of §III-A1.
+  // Caches produced by precompute() carry per-reflector parasitic legs;
+  // hand-built caches without them fall back to the full double-bounce
+  // computation.
+  const bool have_terms =
+      cache.reflector_terms.size() == env_.reflectors.size();
+  const double lambda = carrier_.wavelengthM();
+  const double k = carrier_.waveNumber();
+
+  // Hand / arm scattering: the "virtual transmitter" of §III-A1.  The
+  // tag-independent legs (antenna gain toward each scatterer, reader→
+  // scatterer and scatterer→reflector distances) come precomputed with the
+  // scene; only the scatterer→tag legs are computed here.
   double detune = 1.0;
-  for (const auto& s : dynamic) {
-    h += scatteredGain(antenna_, s.position, s.rcs_m2, s.reflection_phase,
-                       tag.position, tag.gain_linear, tag.polarization_loss,
-                       carrier_);
-    for (const auto& r : env_.reflectors) {
-      h += parasiticGain(s, r, tag);
+  for (std::size_t j = 0; j < dynamic.size(); ++j) {
+    const auto& s = dynamic[j];
+    const auto& pre = geometry.dyn[j];
+    const double g = pre.gain_toward * tag.gain_linear * tag.polarization_loss;
+    const double d2 = std::max(distance(s.position, tag.position), 0.01);
+    // Bistatic radar amplitude, as in rf::scatteredGain(); the tag- and
+    // λ-independent leg comes precomputed with the scene.
+    const double amp = std::sqrt(g) * lambda * pre.base;
+    h += std::polar(amp / d2,
+                    -k * (pre.d1 + d2) + s.reflection_phase);
+    if (have_terms && !env_.reflectors.empty()) {
+      // Double bounces reader → s → reflector → tag.  `amp` already holds
+      // the reader→s leg; the reflector→tag leg comes from the tag cache.
+      const double pref_phase = -k * pre.d1 + s.reflection_phase;
+      for (std::size_t i = 0; i < env_.reflectors.size(); ++i) {
+        const auto& term = cache.reflector_terms[i];
+        h += std::polar(amp / pre.d2r[i] * term.amp,
+                        pref_phase - k * pre.d2r[i] + term.phase);
+      }
+    } else if (!env_.reflectors.empty()) {
+      for (const auto& r : env_.reflectors) {
+        h += parasiticGain(s, r, tag);
+      }
     }
     // Near-field detuning when a body scatterer hovers right over the tag.
     const double dist = distance(s.position, tag.position);

@@ -8,6 +8,11 @@
 // (reciprocity), which the reader layer converts into reported phase/RSS.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
 #include "rf/antenna.hpp"
 #include "rf/carrier.hpp"
 #include "rf/multipath.hpp"
@@ -50,26 +55,124 @@ class ChannelModel {
   ChannelModel(CarrierConfig carrier, DirectionalAntenna antenna,
                MultipathEnvironment env);
 
+  // The memoised static-channel cache is model-local state, not identity:
+  // copies and moves transfer the configuration and start with a cold cache.
+  ChannelModel(const ChannelModel& other);
+  ChannelModel(ChannelModel&& other) noexcept;
+  ChannelModel& operator=(const ChannelModel& other);
+  ChannelModel& operator=(ChannelModel&& other) noexcept;
+
   const CarrierConfig& carrier() const { return carrier_; }
   const DirectionalAntenna& antenna() const { return antenna_; }
   const MultipathEnvironment& environment() const { return env_; }
 
+  /// Replace the multipath environment.  Invalidates every memoised static
+  /// channel (the reflector sums and parasitic precomputes change).
+  void setEnvironment(MultipathEnvironment env);
+
   /// Evaluate the channel to one tag with the given dynamic scatterers
   /// (hand, arm segments) present.  Pass an empty list for the static case.
+  /// The static part (LOS + reflector sum) is memoised per tag endpoint, so
+  /// repeated calls for the same tag no longer rescan the reflector list.
   ChannelSnapshot evaluate(const TagEndpoint& tag,
                            const ScattererList& dynamic) const;
 
-  /// Time-invariant part of the channel to one tag: the unblocked LOS term
-  /// and the static reflector sum.  Precompute once per tag, then use
-  /// evaluateCached() in per-slot hot paths.
+  /// Time-invariant part of the channel to one tag: the unblocked LOS term,
+  /// the static reflector sum, and the reflector→tag leg of each parasitic
+  /// double bounce.  Precompute once per tag, then use evaluateCached() in
+  /// per-slot hot paths.
   struct StaticTagChannel {
     Complex los;
     Complex reflections;
+    /// Per-reflector static leg of the reader→hand→reflector→tag bounce:
+    /// amplitude √(σ/4π)/d₃ · parasitic_scale and phase −k·d₃ + φ_r.
+    /// Ordered like environment().reflectors.
+    struct ReflectorTerm {
+      double amp = 0.0;
+      double phase = 0.0;
+    };
+    std::vector<ReflectorTerm> reflector_terms;
   };
   StaticTagChannel precompute(const TagEndpoint& tag) const;
   ChannelSnapshot evaluateCached(const TagEndpoint& tag,
                                  const StaticTagChannel& cache,
                                  const ScattererList& dynamic) const;
+
+  /// Tag-independent geometry of one dynamic scene: antenna gain toward
+  /// each scatterer, the reader→scatterer leg, and the scatterer→reflector
+  /// legs of the parasitic bounces.  A Gen2 round evaluates every tag of
+  /// the array against the same scene, so hoisting these out of the
+  /// per-tag evaluation removes the trigonometry that does not depend on
+  /// the tag.  Carrier-independent: one geometry serves all hop channels
+  /// (they share antenna and environment).
+  struct SceneGeometry {
+    struct DynTerm {
+      double gain_toward = 0.0;  ///< antenna linear gain toward scatterer
+      double d1 = 0.0;           ///< reader→scatterer distance (floored)
+      /// √(σ/4π)/(4π·d1): the scatterer's amplitude leg with the λ and tag
+      /// gain factors split off, so per-tag evaluation multiplies instead
+      /// of redoing the sqrt and divisions.
+      double base = 0.0;
+      std::vector<double> d2r;   ///< scatterer→reflector distances (floored)
+    };
+    std::vector<DynTerm> dyn;    ///< ordered like the scene's ScattererList
+    /// Per-reflector Σ_j base_j/d2r_ij: collapses the scatterer×reflector
+    /// double loop of the forward-amplitude bound into one multiply-add per
+    /// reflector.  Ordered like environment().reflectors.
+    std::vector<double> refl_weight;
+  };
+  SceneGeometry precomputeScene(const ScattererList& dynamic) const;
+  /// In-place variant for hot loops: refills `out` reusing its buffers, so
+  /// a caller cycling through scenes performs no allocations at steady
+  /// state.
+  void precomputeScene(const ScattererList& dynamic, SceneGeometry& out) const;
+
+  /// evaluateCached() with the scene geometry precomputed — same result,
+  /// minus the per-call antenna-gain and distance recomputation.  `geometry`
+  /// must come from precomputeScene() on the same scene (and a model with
+  /// the same antenna and environment).
+  ChannelSnapshot evaluateCached(const TagEndpoint& tag,
+                                 const StaticTagChannel& cache,
+                                 const ScattererList& dynamic,
+                                 const SceneGeometry& geometry) const;
+
+  /// Cheap conservative lower bound on |forward| with the given dynamic
+  /// scatterers present: the static part (blocked LOS + reflections) is
+  /// exact, while every dynamic scattering / parasitic term is assumed
+  /// fully destructive with antenna gain capped at the peak.  Costs a
+  /// handful of square roots instead of the trigonometry of a full
+  /// evaluation, and is sound:
+  ///   forwardAmpLowerBound(...) <= |evaluateCached(...).forward|
+  /// always holds.  Returns 0 when no useful bound exists (e.g. `cache`
+  /// lacks precomputed reflector terms), so callers use it as
+  ///   if (bound is already enough) { skip the full evaluation }
+  /// which cannot change any decision, only avoid work.  The reader's
+  /// forward-link (tag powered?) test is the intended consumer: tags sit
+  /// tens of dB above IC sensitivity, so the bound almost always decides.
+  double forwardAmpLowerBound(const TagEndpoint& tag,
+                              const StaticTagChannel& cache,
+                              const ScattererList& dynamic) const;
+
+  /// forwardAmpLowerBound() with precomputed scene geometry (hot path).
+  double forwardAmpLowerBound(const TagEndpoint& tag,
+                              const StaticTagChannel& cache,
+                              const ScattererList& dynamic,
+                              const SceneGeometry& geometry) const;
+
+  /// The near-field detune amplitude factor for this tag under the given
+  /// dynamic scene — identical to the `detune` field a full evaluation
+  /// would report, at the cost of one distance per scatterer.  Combined
+  /// with forwardAmpLowerBound() it yields a sound lower bound on the
+  /// backscatter power (the reader's decodability fast path).
+  double detuneFactor(const TagEndpoint& tag,
+                      const ScattererList& dynamic) const;
+
+  /// Number of full static precomputes this model has performed (memo
+  /// misses included; memo hits excluded).  Regression hook for tests: a
+  /// hot loop over evaluate() must not grow this per call.
+  std::uint64_t precomputeCount() const {
+    return precompute_calls_.load(std::memory_order_relaxed);
+  }
 
   /// Incident power (W) available at the tag for a given transmit power.
   /// Forward-link limited operation (paper §IV-B3) compares this to the tag
@@ -84,10 +187,23 @@ class ChannelModel {
  private:
   Complex parasiticGain(const PointScatterer& dyn, const PointScatterer& stat,
                         const TagEndpoint& tag) const;
+  const StaticTagChannel& memoisedStatic(const TagEndpoint& tag) const;
 
   CarrierConfig carrier_;
   DirectionalAntenna antenna_;
   MultipathEnvironment env_;
+
+  /// Memo for evaluate(): static channel per distinct tag endpoint.  A
+  /// deque keeps references stable across insertions; the mutex makes the
+  /// memo safe under the parallel trial runners (models are usually copied
+  /// per worker, but shared use must not race).
+  struct MemoEntry {
+    TagEndpoint key;
+    StaticTagChannel value;
+  };
+  mutable std::mutex memo_mutex_;
+  mutable std::deque<MemoEntry> static_memo_;
+  mutable std::atomic<std::uint64_t> precompute_calls_{0};
 
   /// Near-field detuning parameters: a hand within ~σ of a tag suppresses
   /// its backscatter by up to `kDetuneDepth` (amplitude), producing the RSS

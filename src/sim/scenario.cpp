@@ -48,6 +48,7 @@ reader::ReaderConfig makeReaderConfig(const ScenarioConfig& config) {
   rc.tx_power_dbm = config.tx_power_dbm;
   rc.link = config.link;
   rc.noise = config.noise;
+  rc.doppler_probes = config.doppler_probes;
   return rc;
 }
 

@@ -40,6 +40,10 @@ struct ScenarioConfig {
   gen2::LinkProfile link = gen2::hybridM2();
   rf::NoiseParams noise{};
   std::uint64_t seed = 1;
+  /// Forwarded to reader::ReaderConfig::doppler_probes.  Recognition never
+  /// reads the Doppler estimate, so throughput-bound benches disable the
+  /// probes; all consumed report fields stay bit-identical.
+  bool doppler_probes = true;
 };
 
 /// One motion capture: the report stream plus ground truth on the reader's
@@ -66,6 +70,14 @@ class Scenario {
 
   /// Derive an independent RNG stream for workload generation.
   Rng forkRng(std::uint64_t salt) { return rng_.fork(salt); }
+
+  /// Reset the stochastic streams (measurement noise + MAC slot draws) to a
+  /// deterministic per-trial seed.  Geometry, calibrated cable phases,
+  /// static channel caches and the reader clock are untouched, so a copied
+  /// scenario replays an independent trial against the same configuration.
+  /// Scenario is copyable precisely so the batch runner can clone the
+  /// calibrated baseline per trial and reseed each clone.
+  void reseedForTrial(std::uint64_t seed) { reader_.reseed(seed); }
 
   /// Scene function placing the hand (and trailing arm) scatterers along
   /// the trajectory; `t` is on the reader clock, offset by `t_offset`.

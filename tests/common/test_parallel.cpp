@@ -1,0 +1,91 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rfipad {
+namespace {
+
+TEST(ResolveThreadCount, NonPositiveMeansHardwareConcurrency) {
+  EXPECT_GE(resolveThreadCount(0), 1);
+  EXPECT_GE(resolveThreadCount(-3), 1);
+  EXPECT_EQ(resolveThreadCount(1), 1);
+  EXPECT_EQ(resolveThreadCount(7), 7);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    parallelFor(threads, hits.size(),
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyBatchIsANoop) {
+  int calls = 0;
+  parallelFor(4, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SingleElementRunsInline) {
+  bool on_worker = true;
+  parallelFor(8, 1, [&](std::size_t) { on_worker = ThreadPool::onWorkerThread(); });
+  EXPECT_FALSE(on_worker);  // caller thread, not a pool worker
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallelFor(4, 64,
+                  [](std::size_t i) {
+                    if (i == 13) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // Pool must still be usable after an exception drained the sweep.
+  std::atomic<int> count{0};
+  parallelFor(4, 32, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  std::atomic<int> inner_total{0};
+  parallelFor(4, 8, [&](std::size_t) {
+    // A nested parallelFor from a worker thread must degrade to inline
+    // execution instead of waiting on the (occupied) pool.
+    parallelFor(4, 16, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  const auto squares =
+      parallelMap(4, items, [](const int& v) { return v * v; });
+  ASSERT_EQ(squares.size(), items.size());
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], static_cast<int>(i) * static_cast<int>(i));
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossSweeps) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallelFor(50, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(sum.load(), 5 * (49L * 50 / 2));
+}
+
+}  // namespace
+}  // namespace rfipad

@@ -1,0 +1,102 @@
+// Determinism contract of the parallel batch runners: a batch executed on
+// one thread and the same batch executed on many threads must produce
+// bit-identical trial outcomes (modulo the wall-clock processing-time
+// fields, which sameOutcome() deliberately ignores).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "harness/harness.hpp"
+
+namespace rfipad::bench {
+namespace {
+
+int wideThreads() {
+  return std::max(4, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+class BatchDeterminism : public ::testing::Test {
+ protected:
+  BatchDeterminism() {
+    HarnessOptions opt;
+    opt.scenario.seed = 4242;
+    harness_ = std::make_unique<Harness>(opt);
+  }
+  std::unique_ptr<Harness> harness_;
+};
+
+TEST_F(BatchDeterminism, StrokeBatchIdenticalAcrossThreadCounts) {
+  std::vector<StrokeTask> tasks;
+  int u = 0;
+  for (const auto& s : allDirectedStrokes())
+    tasks.push_back({s, sim::defaultUser(1 + (u++ % 10))});
+
+  const auto one = harness_->runStrokeBatch(tasks, {1, 0});
+  const auto wide = harness_->runStrokeBatch(tasks, {wideThreads(), 0});
+  ASSERT_EQ(one.size(), tasks.size());
+  ASSERT_EQ(wide.size(), tasks.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(sameOutcome(one[i], wide[i])) << "trial " << i;
+  }
+  EXPECT_TRUE(sameOutcomes(one, wide));
+
+  // At least one trial must actually register a stroke, otherwise the
+  // comparison is vacuous.
+  int detected = 0;
+  for (const auto& t : one) detected += t.detected ? 1 : 0;
+  EXPECT_GT(detected, 0);
+}
+
+TEST_F(BatchDeterminism, StrokeBatchIsRerunnable) {
+  // The batch path must not depend on harness mutable state: running the
+  // same batch twice gives the same outcomes.
+  std::vector<StrokeTask> tasks;
+  for (const auto& s : allDirectedStrokes()) tasks.push_back({s, sim::defaultUser(2)});
+  const auto a = harness_->runStrokeBatch(tasks, {2, 0});
+  const auto b = harness_->runStrokeBatch(tasks, {2, 0});
+  EXPECT_TRUE(sameOutcomes(a, b));
+}
+
+TEST_F(BatchDeterminism, BaseSeedSelectsTheEnsemble) {
+  std::vector<StrokeTask> tasks;
+  for (const auto& s : allDirectedStrokes()) tasks.push_back({s, sim::defaultUser(1)});
+  const auto a = harness_->runStrokeBatch(tasks, {1, 7});
+  const auto b = harness_->runStrokeBatch(tasks, {1, 7});
+  const auto c = harness_->runStrokeBatch(tasks, {1, 8});
+  EXPECT_TRUE(sameOutcomes(a, b));
+  // A different base seed draws different noise/MAC streams; at least one
+  // per-trial sample count should differ across a 13-trial battery.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    any_diff = any_diff || !sameOutcome(a[i], c[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(BatchDeterminism, LetterBatchIdenticalAcrossThreadCounts) {
+  std::vector<LetterTask> tasks;
+  for (char letter : {'A', 'C', 'I', 'L', 'T', 'W'})
+    tasks.push_back({letter, sim::defaultUser(3)});
+
+  const auto one = harness_->runLetterBatch(tasks, {1, 0});
+  const auto wide = harness_->runLetterBatch(tasks, {wideThreads(), 0});
+  ASSERT_EQ(one.size(), tasks.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(sameOutcome(one[i], wide[i]))
+        << "letter " << tasks[i].letter;
+  }
+  EXPECT_TRUE(sameOutcomes(one, wide));
+}
+
+TEST_F(BatchDeterminism, MotionBatteryMatchesExplicitTaskList) {
+  const auto user = sim::defaultUser(1);
+  const auto battery = harness_->runMotionBattery(2, user, {1, 0});
+  std::vector<StrokeTask> tasks;
+  for (int r = 0; r < 2; ++r)
+    for (const auto& s : allDirectedStrokes()) tasks.push_back({s, user});
+  const auto batch = harness_->runStrokeBatch(tasks, {1, 0});
+  EXPECT_TRUE(sameOutcomes(battery, batch));
+}
+
+}  // namespace
+}  // namespace rfipad::bench
