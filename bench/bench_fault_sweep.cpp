@@ -1,0 +1,218 @@
+// Robustness sweep (ISSUE: fault injection + graceful degradation): the
+// Table-I 13-motion battery re-run under increasingly hostile conditions —
+// bursty miss-read dropout, dead tags, and wire-level frame corruption —
+// through the deterministic parallel batch runner.  Emits
+// BENCH_robustness.json (schema rfipad-bench-robustness-v1) so the
+// degradation curves are diffable across commits.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/harness.hpp"
+#include "harness/perf.hpp"
+
+using namespace rfipad;
+
+namespace {
+
+struct LevelResult {
+  double value = 0.0;        ///< swept parameter value
+  double accuracy = 0.0;     ///< directed accuracy
+  double kind_accuracy = 0.0;
+  double fnr = 0.0;          ///< missed strokes / truths
+  long long trials = 0;
+  long long samples = 0;     ///< reports surviving the plan
+  long long dropped = 0;     ///< reports the plan removed
+};
+
+struct Sweep {
+  std::string name;
+  std::string param;
+  std::vector<LevelResult> levels;
+};
+
+std::string jsonNumber(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+bool writeRobustnessJson(const std::string& path, std::uint64_t seed, int reps,
+                         int threads, double wall_s,
+                         const std::vector<Sweep>& sweeps) {
+  std::string out = "{\n  \"schema\": \"rfipad-bench-robustness-v1\",\n";
+  out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"reps\": " + std::to_string(reps) + ",\n";
+  out += "  \"threads\": " + std::to_string(threads) + ",\n";
+  out += "  \"wall_s\": " + jsonNumber(wall_s) + ",\n";
+  out += "  \"sweeps\": [\n";
+  for (std::size_t s = 0; s < sweeps.size(); ++s) {
+    const auto& sw = sweeps[s];
+    out += "    {\"name\": \"" + sw.name + "\", \"param\": \"" + sw.param +
+           "\", \"levels\": [\n";
+    for (std::size_t i = 0; i < sw.levels.size(); ++i) {
+      const auto& l = sw.levels[i];
+      out += "      {\"" + sw.param + "\": " + jsonNumber(l.value);
+      out += ", \"accuracy\": " + jsonNumber(l.accuracy);
+      out += ", \"kind_accuracy\": " + jsonNumber(l.kind_accuracy);
+      out += ", \"fnr\": " + jsonNumber(l.fnr);
+      out += ", \"trials\": " + std::to_string(l.trials);
+      out += ", \"samples\": " + std::to_string(l.samples);
+      out += ", \"dropped\": " + std::to_string(l.dropped);
+      out += "}";
+      if (i + 1 < sw.levels.size()) out += ",";
+      out += "\n";
+    }
+    out += "    ]}";
+    if (s + 1 < sweeps.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "bench_fault_sweep: cannot open %s\n", path.c_str());
+    return false;
+  }
+  f << out;
+  return bool(f);
+}
+
+constexpr std::uint64_t kSeed = 1000;
+
+LevelResult runLevel(double value, const std::optional<fault::FaultPlan>& plan,
+                     int reps, int threads) {
+  std::fprintf(stderr, "[fault_sweep] level %.3g\n", value);
+  bench::HarnessOptions opt;
+  opt.scenario.seed = kSeed;
+  opt.scenario.doppler_probes = false;
+  opt.fault_plan = plan;
+  bench::Harness h(opt);
+
+  std::vector<bench::StrokeTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(reps) * allDirectedStrokes().size());
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& s : allDirectedStrokes())
+      tasks.push_back({s, sim::defaultUsers()[(r * 13) % 10]});
+  }
+  const auto trials = h.runStrokeBatch(tasks, {threads, 0});
+
+  LevelResult lev;
+  lev.value = value;
+  lev.accuracy = bench::Harness::accuracy(trials);
+  lev.kind_accuracy = bench::Harness::kindAccuracy(trials);
+  lev.fnr = bench::Harness::fnr(trials);
+  lev.trials = static_cast<long long>(trials.size());
+  for (const auto& t : trials) {
+    lev.samples += t.samples;
+    lev.dropped += static_cast<long long>(t.faulted_dropped);
+  }
+  return lev;
+}
+
+/// Gilbert–Elliott parameters hitting a target stationary loss rate with
+/// bursty (mean ≈ 4-report) bad states.
+fault::MissReadFault gilbertElliottFor(double target_loss) {
+  fault::MissReadFault mr;
+  mr.drop_prob_bad = 0.9;
+  mr.drop_prob_good = 0.0;
+  mr.p_bad_to_good = 0.25;
+  const double pi_bad = target_loss / mr.drop_prob_bad;
+  mr.p_good_to_bad = mr.p_bad_to_good * pi_bad / (1.0 - pi_bad);
+  return mr;
+}
+
+void printSweep(const Sweep& sw) {
+  Table t({sw.param, "accuracy", "kind acc", "fnr", "dropped"});
+  for (const auto& l : sw.levels) {
+    t.addRow(jsonNumber(l.value),
+             {l.accuracy, l.kind_accuracy, l.fnr,
+              static_cast<double>(l.dropped)},
+             3);
+  }
+  std::printf("-- %s --\n", sw.name.c_str());
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parseBenchArgs(argc, argv, /*default_reps=*/2);
+  std::puts("=== Robustness: Table-I battery under injected faults ===");
+  const double wall0 = bench::wallTimeS();
+
+  std::vector<Sweep> sweeps;
+
+  // 1. Bursty miss-read dropout (Gilbert–Elliott), ≥4 levels.
+  {
+    Sweep sw{"missread_dropout", "target_loss", {}};
+    for (double loss : {0.0, 0.1, 0.25, 0.4, 0.6}) {
+      std::optional<fault::FaultPlan> plan;
+      if (loss > 0.0) {
+        fault::FaultPlan p;
+        p.missread = gilbertElliottFor(loss);
+        plan = p;
+      }
+      sw.levels.push_back(runLevel(loss, plan, args.reps, args.threads));
+    }
+    sweeps.push_back(std::move(sw));
+  }
+
+  // 2. Dead tags (nested sets, centre outward).
+  {
+    Sweep sw{"dead_tags", "dead_count", {}};
+    const std::vector<std::vector<std::uint32_t>> sets = {
+        {}, {12}, {12, 7, 17}, {12, 7, 17, 11, 13}};
+    for (const auto& dead : sets) {
+      std::optional<fault::FaultPlan> plan;
+      if (!dead.empty()) {
+        fault::FaultPlan p;
+        p.death.dead_tags = dead;
+        plan = p;
+      }
+      sw.levels.push_back(runLevel(static_cast<double>(dead.size()), plan,
+                                   args.reps, args.threads));
+    }
+    sweeps.push_back(std::move(sw));
+  }
+
+  // 3. Wire-level frame corruption (truncation + bit flips through the real
+  //    encode → corrupt → lenient-decode round trip).
+  {
+    Sweep sw{"frame_corruption", "corrupt_prob", {}};
+    for (double p : {0.0, 0.05, 0.15, 0.3}) {
+      std::optional<fault::FaultPlan> plan;
+      if (p > 0.0) {
+        fault::FaultPlan fp;
+        fp.frame.truncate_prob = p;
+        fp.frame.bit_flip_prob = p;
+        plan = fp;
+      }
+      sw.levels.push_back(runLevel(p, plan, args.reps, args.threads));
+    }
+    sweeps.push_back(std::move(sw));
+  }
+
+  for (const auto& sw : sweeps) printSweep(sw);
+
+  const double wall = bench::wallTimeS() - wall0;
+  std::printf("\n[%.2fs wall, %d reps, threads=%d]\n", wall, args.reps,
+              args.threads);
+  if (!args.json_path.empty()) {
+    if (writeRobustnessJson(args.json_path, kSeed, args.reps, args.threads,
+                            wall, sweeps)) {
+      std::printf("wrote %s\n", args.json_path.c_str());
+    } else {
+      return 1;
+    }
+  }
+
+  std::puts("\nshape to hold: accuracy falls as dropout/dead tags/corruption"
+            "\nrise, and the pipeline never crashes — degraded, not dead.");
+  return 0;
+}

@@ -20,7 +20,13 @@ Harness::Harness(HarnessOptions options)
     : options_(std::move(options)),
       scenario_(std::make_unique<sim::Scenario>(options_.scenario)),
       workload_rng_(options_.scenario.seed ^ 0x517cc1b727220a95ull) {
-  const auto static_stream = scenario_->captureStatic(options_.calibration_s);
+  auto static_stream = scenario_->captureStatic(options_.calibration_s);
+  if (options_.fault_plan) {
+    // Calibration sees the same broken world as the trials: dead tags go
+    // silent here and get flagged dead by calibrate(), which is exactly how
+    // a deployment would discover them.
+    static_stream = options_.fault_plan->apply(static_stream, /*salt=*/0xCA11B);
+  }
   profile_ = core::StaticProfile::calibrate(
       static_stream, static_cast<std::uint32_t>(scenario_->array().size()));
   engine_ = std::make_unique<core::RecognitionEngine>(
@@ -73,10 +79,27 @@ StrokeTrial Harness::scoreStroke(const DirectedStroke& stroke,
   return trial;
 }
 
+std::uint64_t Harness::maybeDegrade(sim::Capture& cap, Rng& workload) const {
+  if (!options_.fault_plan) return 0;
+  fault::FaultStats fs;
+  cap.stream =
+      options_.fault_plan->apply(cap.stream, workload.engine()(), &fs);
+  // Net loss including wire-level damage (truncated frames, bad decodes),
+  // not just the stream-stage injectors.  Duplication can only add, so the
+  // guard never hides a real loss.
+  return fs.input_reports > fs.output_reports
+             ? fs.input_reports - fs.output_reports
+             : 0;
+}
+
 StrokeTrial Harness::runStrokeOn(sim::Scenario& scenario, Rng& workload,
                                  const DirectedStroke& stroke,
                                  const sim::UserProfile& user) const {
-  return scoreStroke(stroke, captureStroke(scenario, workload, stroke, user));
+  sim::Capture cap = captureStroke(scenario, workload, stroke, user);
+  const std::uint64_t dropped = maybeDegrade(cap, workload);
+  StrokeTrial trial = scoreStroke(stroke, cap);
+  trial.faulted_dropped = dropped;
+  return trial;
 }
 
 StrokeTrial Harness::runStroke(const DirectedStroke& stroke,
@@ -99,7 +122,8 @@ LetterTrial Harness::runLetterOn(sim::Scenario& scenario, Rng& workload,
   builder.hold(0.4);
   for (const auto& plan : plans) builder.stroke(plan);
   builder.retract().hold(0.3);
-  const sim::Capture cap = scenario.capture(builder.build(), user);
+  sim::Capture cap = scenario.capture(builder.build(), user);
+  trial.faulted_dropped = maybeDegrade(cap, workload);
   trial.samples = static_cast<int>(cap.stream.size());
 
   const auto events = engine_->detectStrokes(cap.stream);
@@ -208,7 +232,8 @@ bool sameOutcome(const StrokeTrial& a, const StrokeTrial& b) {
   return a.truth == b.truth && a.detected == b.detected &&
          a.kind_correct == b.kind_correct &&
          a.directed_correct == b.directed_correct &&
-         a.spurious == b.spurious && a.samples == b.samples;
+         a.spurious == b.spurious && a.samples == b.samples &&
+         a.faulted_dropped == b.faulted_dropped;
 }
 
 bool sameOutcome(const LetterTrial& a, const LetterTrial& b) {
@@ -216,7 +241,7 @@ bool sameOutcome(const LetterTrial& a, const LetterTrial& b) {
          a.correct == b.correct && a.true_strokes == b.true_strokes &&
          a.detected_strokes == b.detected_strokes &&
          a.kind_correct_strokes == b.kind_correct_strokes &&
-         a.samples == b.samples &&
+         a.samples == b.samples && a.faulted_dropped == b.faulted_dropped &&
          a.segmentation.truths == b.segmentation.truths &&
          a.segmentation.detections == b.segmentation.detections &&
          a.segmentation.matched == b.segmentation.matched &&

@@ -19,9 +19,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/letters.hpp"
 #include "sim/scenario.hpp"
 #include "sim/trajectory.hpp"
@@ -39,6 +41,10 @@ struct HarnessOptions {
   double letter_half_width_frac = 0.75;
   double letter_half_height_frac = 0.95;
   core::EngineOptions engine{};
+  /// When set, every capture (calibration and trials) is degraded through
+  /// this plan before recognition — the robustness-bench path.  Absent
+  /// (the default) the clean pipeline runs byte-identically to before.
+  std::optional<fault::FaultPlan> fault_plan;
 };
 
 /// Outcome of one stroke trial.
@@ -56,6 +62,9 @@ struct StrokeTrial {
   double recognition_span_s = 0.0;
   /// Engine processing time after the stroke window closed (Fig. 24).
   double processing_s = 0.0;
+  /// Reports removed by the fault plan before recognition (0 on the clean
+  /// path).
+  std::uint64_t faulted_dropped = 0;
 };
 
 /// Outcome of one letter trial.
@@ -68,6 +77,8 @@ struct LetterTrial {
   int kind_correct_strokes = 0;
   int samples = 0;  ///< tag reports consumed by the trial
   core::DetectionCounts segmentation{};
+  /// Reports removed by the fault plan before recognition.
+  std::uint64_t faulted_dropped = 0;
 };
 
 /// One work item of a stroke batch.
@@ -132,6 +143,10 @@ class Harness {
   sim::Capture captureStroke(sim::Scenario& scenario, Rng& workload,
                              const DirectedStroke& stroke,
                              const sim::UserProfile& user) const;
+  /// Degrade a trial capture through the fault plan, if one is configured.
+  /// Draws the per-trial salt from `workload` only when a plan is present,
+  /// so the clean path's RNG sequence is untouched.
+  std::uint64_t maybeDegrade(sim::Capture& cap, Rng& workload) const;
   StrokeTrial scoreStroke(const DirectedStroke& stroke,
                           const sim::Capture& cap) const;
   StrokeTrial runStrokeOn(sim::Scenario& scenario, Rng& workload,

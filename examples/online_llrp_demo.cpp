@@ -7,13 +7,20 @@
 // fixes residual letter confusions — the paper's complete deployment story
 // including its "succession of letters" future work.
 //
-//   $ ./examples/online_llrp_demo [WORD]
+// With --faulty the same session runs over a hostile deployment: scheduled
+// link outages (ridden out by pumpWithReconnect's capped backoff) and
+// corrupted RO_ACCESS_REPORT frames (skipped and counted by the lenient
+// decoder) — recognition degrades instead of crashing.
+//
+//   $ ./examples/online_llrp_demo [WORD] [--faulty]
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "core/online.hpp"
 #include "core/words.hpp"
+#include "fault/fault_plan.hpp"
 #include "llrp/octane.hpp"
 #include "sim/letters.hpp"
 #include "sim/scenario.hpp"
@@ -21,7 +28,14 @@
 using namespace rfipad;
 
 int main(int argc, char** argv) {
-  std::string word = argc > 1 ? argv[1] : "GATE";
+  std::string word = "GATE";
+  bool faulty = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faulty") == 0)
+      faulty = true;
+    else
+      word = argv[i];
+  }
   for (char& c : word) c = static_cast<char>(std::toupper(c));
 
   sim::ScenarioConfig config;
@@ -58,6 +72,28 @@ int main(int argc, char** argv) {
   });
   sdk.onReport([&](const reader::TagReport& r) { live.push(r); });
 
+  // Hostile-deployment mode: flap the link once per letter and corrupt a
+  // slice of the report frames in flight.
+  fault::FaultPlan plan;
+  llrp::PumpStats pump_stats;
+  std::uint64_t frame_salt = 0;  // must outlive the frame tap below
+  if (faulty) {
+    plan.seed = 0xBADF00D;
+    plan.frame.truncate_prob = 0.05;
+    plan.frame.bit_flip_prob = 0.05;
+    std::vector<llrp::OutageWindow> outages;
+    const double t0 = scenario.reader().now();
+    for (std::size_t i = 0; i < word.size(); ++i) {
+      const double start = t0 + 1.7 + 4.5 * static_cast<double>(i);
+      outages.push_back({start, start + 0.35});
+    }
+    reader.setOutages(outages);
+    reader.setFrameTap([&](std::vector<llrp::Bytes> frames) {
+      return plan.applyToFrames(frames, frame_salt++);
+    });
+    std::puts("fault injection armed: link outages + frame corruption");
+  }
+
   // The volunteer writes the word letter by letter.
   auto rng = scenario.forkRng(9);
   std::printf("\nwriting \"%s\" in the air...\n", word.c_str());
@@ -71,13 +107,37 @@ int main(int argc, char** argv) {
     b.retract().hold(1.2);  // the quiet gap that closes the letter
     const auto traj = b.build();
     const auto scene = scenario.sceneFor(traj, user, scenario.reader().now());
-    for (const llrp::Bytes& frame :
-         reader.poll(traj.durationS() + 0.3, scene)) {
-      const auto report = llrp::decodeRoAccessReport(frame);
-      for (const auto& wire : report.reports) live.push(llrp::fromWire(wire));
+    if (faulty) {
+      // The resilient path: outages ridden out with capped backoff,
+      // mangled frames skipped and counted.
+      const auto st =
+          sdk.pumpWithReconnect(reader, traj.durationS() + 0.3, scene);
+      pump_stats.disconnects += st.disconnects;
+      pump_stats.rehandshakes += st.rehandshakes;
+      pump_stats.offline_s += st.offline_s;
+      pump_stats.decode.merge(st.decode);
+    } else {
+      for (const llrp::Bytes& frame :
+           reader.poll(traj.durationS() + 0.3, scene)) {
+        const auto report = llrp::decodeRoAccessReport(frame);
+        for (const auto& wire : report.reports) live.push(llrp::fromWire(wire));
+      }
     }
   }
   live.flush();
+
+  if (faulty) {
+    std::printf(
+        "\nsurvived: %llu disconnects (%.2fs offline), %llu bad frames, "
+        "%llu bad reports, %llu late/invalid drops at the recogniser\n",
+        static_cast<unsigned long long>(pump_stats.disconnects),
+        pump_stats.offline_s,
+        static_cast<unsigned long long>(pump_stats.decode.frames_malformed),
+        static_cast<unsigned long long>(pump_stats.decode.reports_malformed),
+        static_cast<unsigned long long>(live.stats().dropped_invalid +
+                                        live.stats().dropped_late +
+                                        live.stats().dropped_future));
+  }
 
   // Dictionary correction (paper future work: words).
   const core::WordRecognizer dictionary(

@@ -48,6 +48,9 @@ std::vector<double> activationMap(const reader::SampleStream& window,
   const auto series = window.allSeries();
   for (std::uint32_t i = 0; i < n; ++i) {
     if (i >= series.size()) break;
+    // Dead tags contribute nothing: whatever stray reads carry their index
+    // (e.g. a corrupted EPC) must not register as activation.
+    if (profile.tag(i).dead) continue;
     const auto& s = series[i];
     if (s.phases.size() < options.min_samples) continue;
     const auto theta = calibratedPhases(s.phases, profile.tag(i).mean_phase,

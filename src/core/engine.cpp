@@ -9,6 +9,36 @@
 
 namespace rfipad::core {
 
+namespace {
+
+/// Replace each dead tag's cell by the mean of its live in-bounds
+/// 8-neighbours (0 when every neighbour is also dead).
+void inpaintDeadCells(imgproc::GrayMap& map, const StaticProfile& profile,
+                      int rows, int cols) {
+  for (std::uint32_t i = 0; i < profile.numTags(); ++i) {
+    if (!profile.tag(i).dead) continue;
+    const int r = static_cast<int>(i) / cols;
+    const int c = static_cast<int>(i) % cols;
+    double sum = 0.0;
+    int n = 0;
+    for (int dr = -1; dr <= 1; ++dr) {
+      for (int dc = -1; dc <= 1; ++dc) {
+        if (dr == 0 && dc == 0) continue;
+        const int nr = r + dr;
+        const int nc = c + dc;
+        if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+        const auto ni = static_cast<std::uint32_t>(nr * cols + nc);
+        if (ni < profile.numTags() && profile.tag(ni).dead) continue;
+        sum += map.at(nr, nc);
+        ++n;
+      }
+    }
+    map.at(r, c) = n > 0 ? sum / n : 0.0;
+  }
+}
+
+}  // namespace
+
 RecognitionEngine::RecognitionEngine(StaticProfile profile, EngineOptions options)
     : profile_(std::move(profile)), options_(std::move(options)) {
   if (options_.rows <= 0 || options_.cols <= 0)
@@ -43,6 +73,10 @@ StrokeEvent RecognitionEngine::classifyWindow(
                                             options_.cols, options_.activation),
                  .processing_time_s = 0.0};
 
+  const bool inpaint = options_.inpaint_dead && profile_.deadCount() > 0;
+  if (inpaint)
+    inpaintDeadCells(ev.graymap, profile_, options_.rows, options_.cols);
+
   const imgproc::BinaryMap binary = imgproc::otsuBinarize(ev.graymap);
 
   if (options_.use_matched_filter) {
@@ -60,6 +94,8 @@ StrokeEvent RecognitionEngine::classifyWindow(
                     static_cast<int>(tr.tag_index) % options_.cols) =
           tr.depth_db;
     }
+    if (inpaint)
+      inpaintDeadCells(trough_map, profile_, options_.rows, options_.cols);
 
     const TemplateMatch match = matchTemplateFused(
         ev.graymap, trough_map, options_.trough_weight,

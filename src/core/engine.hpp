@@ -41,6 +41,12 @@ struct EngineOptions {
   /// Weight of the RSS-trough image in fused template matching (0 = phase
   /// activation only).
   double trough_weight = 0.45;
+  /// When the profile holds dead tags, fill their grid cells with the mean
+  /// of their live 8-neighbours before Otsu/template matching.  A dead
+  /// cell's hard zero would otherwise punch a hole through any stroke that
+  /// crosses it and skew the Otsu threshold; interpolation lets the
+  /// surviving tags carry the shape.  No effect on a fully-live array.
+  bool inpaint_dead = true;
 };
 
 /// One recognised stroke, with everything the pipeline derived about it.

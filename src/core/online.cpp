@@ -1,6 +1,7 @@
 #include "core/online.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace rfipad::core {
 
@@ -8,11 +9,60 @@ OnlineRecognizer::OnlineRecognizer(StaticProfile profile, OnlineOptions options)
     : engine_(std::move(profile), options.engine), options_(options) {}
 
 void OnlineRecognizer::push(const reader::TagReport& report) {
-  buffer_.push(report);
-  const double now = report.time_s;
-  if (now - last_process_ >= options_.process_interval_s) {
-    last_process_ = now;
-    process(now, /*flushing=*/false);
+  if (!std::isfinite(report.time_s) || report.time_s < 0.0 ||
+      !std::isfinite(report.phase_rad) || !std::isfinite(report.rssi_dbm)) {
+    ++stats_.dropped_invalid;
+    return;
+  }
+  if (report.tag_index >= engine_.profile().numTags()) {
+    ++stats_.dropped_unknown_tag;
+    return;
+  }
+  // Reports behind the consumed frontier arrived too late to influence an
+  // already-emitted stroke; count and drop rather than re-open the window.
+  if (report.time_s < consumed_until_) {
+    ++stats_.dropped_late;
+    return;
+  }
+  // A finite but implausibly far-future timestamp (a bit-flipped wire
+  // clock) must not drag the watermark forward — that would stall the
+  // recogniser clock for the rest of the session.  An isolated jump past
+  // the buffer horizon is dropped; a *genuine* clock jump (reader resumed
+  // after a long gap) is corroborated by the very next report landing near
+  // the same future time, at which point the jump is accepted.
+  if (watermark_ > kClockUnset &&
+      report.time_s > watermark_ + options_.buffer_horizon_s) {
+    if (!future_pending_ ||
+        std::abs(report.time_s - future_candidate_) >
+            options_.buffer_horizon_s) {
+      future_pending_ = true;
+      future_candidate_ = report.time_s;
+      ++stats_.dropped_future;
+      return;
+    }
+    future_pending_ = false;  // corroborated: accept the jump below
+  } else {
+    future_pending_ = false;
+  }
+  switch (buffer_.push(report)) {
+    case reader::PushOutcome::kDuplicate:
+      ++stats_.duplicates;
+      return;
+    case reader::PushOutcome::kInvalid:
+      ++stats_.dropped_invalid;
+      return;
+    case reader::PushOutcome::kReordered:
+      ++stats_.reordered;
+      ++stats_.accepted;
+      break;
+    case reader::PushOutcome::kAppended:
+      ++stats_.accepted;
+      break;
+  }
+  watermark_ = std::max(watermark_, report.time_s);
+  if (watermark_ - last_process_ >= options_.process_interval_s) {
+    last_process_ = watermark_;
+    process(watermark_, /*flushing=*/false);
   }
 }
 

@@ -29,6 +29,26 @@ struct OnlineOptions {
   double buffer_horizon_s = 12.0;
 };
 
+/// Input hygiene counters for the streaming recogniser: what push() did
+/// with reports that were not clean, in-order, in-range deliveries.
+struct OnlineStats {
+  std::uint64_t accepted = 0;
+  /// Non-finite or negative timestamp, non-finite phase/RSSI.
+  std::uint64_t dropped_invalid = 0;
+  /// Arrived after its stroke window was already consumed and trimmed.
+  std::uint64_t dropped_late = 0;
+  /// Tag index outside the calibrated array (e.g. a corrupted EPC).
+  std::uint64_t dropped_unknown_tag = 0;
+  /// Exact re-deliveries, dropped.
+  std::uint64_t duplicates = 0;
+  /// Accepted out of order (reinserted at their timestamp).
+  std::uint64_t reordered = 0;
+  /// Finite but implausibly far-future timestamps (corrupted wire clock),
+  /// dropped so they cannot stall the recogniser watermark.  A genuine
+  /// clock jump is accepted once a second report corroborates it.
+  std::uint64_t dropped_future = 0;
+};
+
 class OnlineRecognizer {
  public:
   using StrokeCallback = std::function<void(const StrokeEvent&)>;
@@ -40,7 +60,11 @@ class OnlineRecognizer {
   void onStroke(StrokeCallback cb) { stroke_cb_ = std::move(cb); }
   void onLetter(LetterCallback cb) { letter_cb_ = std::move(cb); }
 
-  /// Feed one report (time must be non-decreasing).
+  /// Feed one report.  Tolerates real-transport untidiness: bounded
+  /// out-of-order arrivals are reinserted at their timestamp, exact
+  /// duplicates are dropped, and reports with non-finite/negative times,
+  /// non-finite phase/RSSI or an out-of-range tag index are rejected with a
+  /// counted drop (see stats()) instead of corrupting recognition state.
   void push(const reader::TagReport& report);
 
   /// End of input: finalise any pending stroke and letter.
@@ -48,6 +72,9 @@ class OnlineRecognizer {
 
   /// Strokes emitted so far (also delivered through the callback).
   const std::vector<StrokeEvent>& strokes() const { return emitted_; }
+
+  /// Input hygiene counters.
+  const OnlineStats& stats() const { return stats_; }
 
  private:
   void process(double now, bool flushing);
@@ -59,6 +86,16 @@ class OnlineRecognizer {
   LetterCallback letter_cb_;
 
   reader::SampleStream buffer_;
+  OnlineStats stats_;
+  /// Sentinel threshold: clocks below this are "not yet initialised".
+  static constexpr double kClockUnset = -1e17;
+  /// Newest report time seen — the recogniser clock.  A late (out-of-order)
+  /// report must not rewind it.
+  double watermark_ = -1e18;
+  /// Forward-jump corroboration state: a report beyond the buffer horizon
+  /// of the watermark is held here until a second report agrees with it.
+  bool future_pending_ = false;
+  double future_candidate_ = 0.0;
   double last_process_ = -1e18;
   /// Everything before this reader-clock time has been consumed.
   double consumed_until_ = -1e18;

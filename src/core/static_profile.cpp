@@ -10,11 +10,14 @@ namespace rfipad::core {
 
 StaticProfile::StaticProfile(std::vector<TagProfile> tags)
     : tags_(std::move(tags)) {
-  for (const auto& t : tags_) bias_sum_ += t.deviation_bias;
+  for (const auto& t : tags_) {
+    if (!t.dead) bias_sum_ += t.deviation_bias;
+  }
 }
 
 StaticProfile StaticProfile::calibrate(const reader::SampleStream& stream,
-                                       std::uint32_t numTags) {
+                                       std::uint32_t numTags,
+                                       bool markUnseenDead) {
   if (numTags == 0)
     throw std::invalid_argument("StaticProfile::calibrate: zero tags");
   std::vector<TagProfile> profiles(numTags);
@@ -39,7 +42,13 @@ StaticProfile StaticProfile::calibrate(const reader::SampleStream& stream,
   const double fallback =
       observed_biases.empty() ? 0.05 : median(observed_biases);
   for (auto& p : profiles) {
-    if (p.samples == 0) p.deviation_bias = fallback;
+    if (p.samples == 0) {
+      p.deviation_bias = fallback;
+      // A tag silent through the whole calibration capture is treated as
+      // dead — but only if *some* tag answered, so an empty calibration
+      // stream (tests, synthetic profiles) does not kill the whole array.
+      if (markUnseenDead && !observed_biases.empty()) p.dead = true;
+    }
     // A zero bias would give that tag infinite weight in Eq. 10; clamp to a
     // small floor (one phase-quantisation step).
     p.deviation_bias = std::max(p.deviation_bias, 1.6e-3);
@@ -47,17 +56,39 @@ StaticProfile StaticProfile::calibrate(const reader::SampleStream& stream,
   return StaticProfile(std::move(profiles));
 }
 
+void StaticProfile::markDead(std::uint32_t i) {
+  auto& t = tags_.at(i);
+  if (t.dead) return;
+  t.dead = true;
+  bias_sum_ -= t.deviation_bias;
+  if (bias_sum_ < 0.0) bias_sum_ = 0.0;
+}
+
+std::uint32_t StaticProfile::deadCount() const {
+  return static_cast<std::uint32_t>(
+      std::count_if(tags_.begin(), tags_.end(),
+                    [](const TagProfile& t) { return t.dead; }));
+}
+
 double StaticProfile::medianBias() const {
   std::vector<double> biases;
   biases.reserve(tags_.size());
-  for (const auto& t : tags_) biases.push_back(t.deviation_bias);
+  for (const auto& t : tags_) {
+    if (!t.dead) biases.push_back(t.deviation_bias);
+  }
   return biases.empty() ? 0.0 : median(std::move(biases));
 }
 
 double StaticProfile::weight(std::uint32_t i) const {
-  if (bias_sum_ <= 0.0)
-    return 1.0 / static_cast<double>(std::max<std::size_t>(tags_.size(), 1));
-  return tags_.at(i).deviation_bias / bias_sum_;
+  const auto& t = tags_.at(i);
+  if (t.dead) return 0.0;
+  if (bias_sum_ <= 0.0) {
+    const std::uint32_t alive = aliveCount();
+    return alive > 0 ? 1.0 / static_cast<double>(alive)
+                     : 1.0 / static_cast<double>(
+                               std::max<std::size_t>(tags_.size(), 1));
+  }
+  return t.deviation_bias / bias_sum_;
 }
 
 }  // namespace rfipad::core

@@ -22,6 +22,10 @@ struct TagProfile {
   double mean_rssi = 0.0;
   /// Number of calibration reads observed.
   std::size_t samples = 0;
+  /// Tag never responds (dead IC / torn antenna / fully shadowed).  Dead
+  /// tags get Eq. 9 weight 0 and the remaining weights renormalise over the
+  /// live array, so a dying tag degrades the pad instead of poisoning it.
+  bool dead = false;
 };
 
 class StaticProfile {
@@ -29,19 +33,31 @@ class StaticProfile {
   StaticProfile() = default;
 
   /// Estimate the profile from a static capture.  Tags never observed get a
-  /// neutral profile (bias = the median of observed biases).
+  /// neutral profile (bias = the median of observed biases) and — when
+  /// `markUnseenDead` and at least one tag *was* observed — are flagged
+  /// dead: a tag silent through a whole calibration capture will not start
+  /// answering during recognition.
   static StaticProfile calibrate(const reader::SampleStream& stream,
-                                 std::uint32_t numTags);
+                                 std::uint32_t numTags,
+                                 bool markUnseenDead = true);
 
   std::uint32_t numTags() const { return static_cast<std::uint32_t>(tags_.size()); }
   const TagProfile& tag(std::uint32_t i) const { return tags_.at(i); }
   const std::vector<TagProfile>& tags() const { return tags_; }
 
-  /// Normalised weight w_i of Eq. 9: E(b_i) / Σ E(b_i).  High-bias tags get
-  /// a large w_i, and Eq. 10 divides by it to de-emphasise them.
+  /// Flag a tag as dead after calibration (e.g. from an external health
+  /// monitor); its weight drops to 0 and the rest renormalise.
+  void markDead(std::uint32_t i);
+  bool isDead(std::uint32_t i) const { return tags_.at(i).dead; }
+  std::uint32_t deadCount() const;
+  std::uint32_t aliveCount() const { return numTags() - deadCount(); }
+
+  /// Normalised weight w_i of Eq. 9: E(b_i) / Σ E(b_i), taken over the
+  /// *live* tags.  High-bias tags get a large w_i, and Eq. 10 divides by it
+  /// to de-emphasise them.  Dead tags have weight 0.
   double weight(std::uint32_t i) const;
 
-  /// Median deviation bias across tags — used to regularise the Eq. 10
+  /// Median deviation bias across live tags — used to regularise the Eq. 10
   /// weighting so that an unusually quiet tag cannot be amplified without
   /// bound (see DESIGN.md §5).
   double medianBias() const;
@@ -51,6 +67,7 @@ class StaticProfile {
 
  private:
   std::vector<TagProfile> tags_;
+  /// Σ deviation_bias over live tags (the Eq. 9 normaliser).
   double bias_sum_ = 0.0;
 };
 

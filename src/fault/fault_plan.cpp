@@ -1,0 +1,337 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+
+namespace rfipad::fault {
+
+namespace {
+
+// Salt constants keeping each fault dimension on an independent random
+// stream derived from the plan seed.
+constexpr std::uint64_t kSaltDead = 0xDEAD;
+constexpr std::uint64_t kSaltDetune = 0xDE7E;
+constexpr std::uint64_t kSaltDisconnect = 0xD15C;
+constexpr std::uint64_t kSaltReports = 0x4E9;
+constexpr std::uint64_t kSaltFrames = 0xF7A3;
+
+/// Seed-stable choice of `count` distinct indices from [0, numTags),
+/// excluding `taken`.
+std::vector<std::uint32_t> pickTags(std::uint32_t numTags, std::size_t count,
+                                    const std::vector<std::uint32_t>& taken,
+                                    Rng& rng) {
+  std::vector<std::uint32_t> pool;
+  pool.reserve(numTags);
+  for (std::uint32_t i = 0; i < numTags; ++i) {
+    if (std::find(taken.begin(), taken.end(), i) == taken.end())
+      pool.push_back(i);
+  }
+  std::vector<std::uint32_t> out;
+  while (out.size() < count && !pool.empty()) {
+    const auto k = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(pool.size()) - 1));
+    out.push_back(pool[k]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool contains(const std::vector<std::uint32_t>& v, std::uint32_t x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+}  // namespace
+
+void FaultStats::merge(const FaultStats& other) {
+  input_reports += other.input_reports;
+  output_reports += other.output_reports;
+  dropped_dead += other.dropped_dead;
+  dropped_detuned += other.dropped_detuned;
+  dropped_missread += other.dropped_missread;
+  dropped_disconnect += other.dropped_disconnect;
+  phase_glitches += other.phase_glitches;
+  detuned_reports += other.detuned_reports;
+  duplicated += other.duplicated;
+  reordered += other.reordered;
+  time_jittered += other.time_jittered;
+  frames_in += other.frames_in;
+  frames_truncated += other.frames_truncated;
+  frames_bitflipped += other.frames_bitflipped;
+  outage_windows += other.outage_windows;
+  dropped_bad_time += other.dropped_bad_time;
+  decode.merge(other.decode);
+}
+
+bool FaultPlan::anyStreamFaults() const {
+  return !death.dead_tags.empty() || death.dead_fraction > 0.0 ||
+         !detune.tags.empty() || detune.detuned_fraction > 0.0 ||
+         missread.p_good_to_bad > 0.0 || missread.drop_prob_good > 0.0 ||
+         glitch.prob > 0.0 || jitter.reorder_prob > 0.0 ||
+         jitter.duplicate_prob > 0.0 || jitter.clock_jitter_std_s > 0.0 ||
+         disconnect.rate_hz > 0.0;
+}
+
+bool FaultPlan::anyFrameFaults() const {
+  return frame.truncate_prob > 0.0 || frame.bit_flip_prob > 0.0;
+}
+
+std::vector<std::uint32_t> FaultPlan::resolveDeadTags(
+    std::uint32_t numTags) const {
+  std::vector<std::uint32_t> dead;
+  for (std::uint32_t t : death.dead_tags) {
+    if (t < numTags) dead.push_back(t);
+  }
+  std::sort(dead.begin(), dead.end());
+  dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+  if (death.dead_fraction > 0.0) {
+    const auto extra = static_cast<std::size_t>(
+        std::llround(death.dead_fraction * numTags));
+    // Derived from the plan seed only (no per-trial salt): dead hardware
+    // stays dead across every trial of a sweep.
+    Rng rng(Rng::deriveSeed(seed, kSaltDead));
+    auto picked = pickTags(numTags, extra, dead, rng);
+    dead.insert(dead.end(), picked.begin(), picked.end());
+    std::sort(dead.begin(), dead.end());
+  }
+  return dead;
+}
+
+std::vector<std::uint32_t> FaultPlan::resolveDetunedTags(
+    std::uint32_t numTags) const {
+  const auto dead = resolveDeadTags(numTags);
+  std::vector<std::uint32_t> detuned;
+  for (std::uint32_t t : detune.tags) {
+    if (t < numTags && !contains(dead, t)) detuned.push_back(t);
+  }
+  std::sort(detuned.begin(), detuned.end());
+  detuned.erase(std::unique(detuned.begin(), detuned.end()), detuned.end());
+  if (detune.detuned_fraction > 0.0) {
+    const auto extra = static_cast<std::size_t>(
+        std::llround(detune.detuned_fraction * numTags));
+    Rng rng(Rng::deriveSeed(seed, kSaltDetune));
+    std::vector<std::uint32_t> taken = dead;
+    taken.insert(taken.end(), detuned.begin(), detuned.end());
+    auto picked = pickTags(numTags, extra, taken, rng);
+    detuned.insert(detuned.end(), picked.begin(), picked.end());
+    std::sort(detuned.begin(), detuned.end());
+  }
+  return detuned;
+}
+
+std::vector<TimeWindow> FaultPlan::outageWindows(double t0, double t1,
+                                                 std::uint64_t salt) const {
+  std::vector<TimeWindow> out;
+  if (disconnect.rate_hz <= 0.0 || t1 <= t0) return out;
+  Rng rng(Rng::deriveSeed(Rng::deriveSeed(seed, salt), kSaltDisconnect));
+  // Poisson arrivals: exponential inter-arrival gaps, exponential durations.
+  double t = t0 + rng.exponential(1.0 / disconnect.rate_hz);
+  while (t < t1) {
+    const double dur = rng.exponential(disconnect.mean_outage_s);
+    out.push_back({t, std::min(t + dur, t1)});
+    t = out.back().t1 + rng.exponential(1.0 / disconnect.rate_hz);
+  }
+  return out;
+}
+
+std::vector<reader::TagReport> FaultPlan::applyToReports(
+    const std::vector<reader::TagReport>& reports, std::uint32_t numTags,
+    std::uint64_t salt, FaultStats* stats) const {
+  FaultStats local;
+  local.input_reports = reports.size();
+
+  std::vector<reader::TagReport> out;
+  out.reserve(reports.size());
+
+  if (!anyStreamFaults()) {
+    out = reports;
+    local.output_reports = out.size();
+    if (stats) stats->merge(local);
+    return out;
+  }
+
+  const auto dead = resolveDeadTags(numTags);
+  const auto detuned = resolveDetunedTags(numTags);
+  const double t0 = reports.empty() ? 0.0 : reports.front().time_s;
+  const double t1 = reports.empty() ? 0.0 : reports.back().time_s;
+  const auto outages = outageWindows(t0, t1 + 1e-9, salt);
+  local.outage_windows = outages.size();
+
+  Rng rng(Rng::deriveSeed(Rng::deriveSeed(seed, salt), kSaltReports));
+
+  // Gilbert–Elliott channel state, started from the stationary distribution
+  // so short captures see the configured average loss rate.
+  bool bad = false;
+  if (missread.p_good_to_bad > 0.0) {
+    const double denom = missread.p_good_to_bad + missread.p_bad_to_good;
+    const double stationary_bad =
+        denom > 0.0 ? missread.p_good_to_bad / denom : 0.0;
+    bad = rng.chance(stationary_bad);
+  }
+
+  std::size_t outage_idx = 0;
+  for (const auto& in : reports) {
+    // Step the burst chain once per *offered* report, whether or not the
+    // report survives the earlier filters — the channel does not care.
+    if (missread.p_good_to_bad > 0.0) {
+      if (bad) {
+        if (rng.chance(missread.p_bad_to_good)) bad = false;
+      } else {
+        if (rng.chance(missread.p_good_to_bad)) bad = true;
+      }
+    }
+
+    while (outage_idx < outages.size() && in.time_s >= outages[outage_idx].t1)
+      ++outage_idx;
+    if (outage_idx < outages.size() && outages[outage_idx].contains(in.time_s)) {
+      ++local.dropped_disconnect;
+      continue;
+    }
+    if (contains(dead, in.tag_index)) {
+      ++local.dropped_dead;
+      continue;
+    }
+
+    reader::TagReport r = in;
+    if (contains(detuned, in.tag_index)) {
+      if (rng.chance(detune.extra_miss_prob)) {
+        ++local.dropped_detuned;
+        continue;
+      }
+      r.phase_rad = wrapTwoPi(r.phase_rad + detune.phase_offset_rad);
+      r.rssi_dbm -= detune.rssi_loss_db;
+      ++local.detuned_reports;
+    }
+    if (missread.p_good_to_bad > 0.0 || missread.drop_prob_good > 0.0) {
+      const double p =
+          bad ? missread.drop_prob_bad : missread.drop_prob_good;
+      if (rng.chance(p)) {
+        ++local.dropped_missread;
+        continue;
+      }
+    }
+    if (glitch.prob > 0.0 && rng.chance(glitch.prob)) {
+      r.phase_rad = wrapTwoPi(
+          r.phase_rad + rng.uniform(-glitch.max_jump_rad, glitch.max_jump_rad));
+      ++local.phase_glitches;
+    }
+    if (jitter.clock_jitter_std_s > 0.0) {
+      const double jittered =
+          r.time_s + rng.normal(0.0, jitter.clock_jitter_std_s);
+      if (jittered != r.time_s) ++local.time_jittered;
+      r.time_s = std::max(jittered, 0.0);
+    }
+
+    out.push_back(r);
+    if (jitter.duplicate_prob > 0.0 && rng.chance(jitter.duplicate_prob)) {
+      out.push_back(out.back());
+      ++local.duplicated;
+    }
+    if (out.size() >= 2 && jitter.reorder_prob > 0.0 &&
+        rng.chance(jitter.reorder_prob)) {
+      std::swap(out[out.size() - 1], out[out.size() - 2]);
+      ++local.reordered;
+    }
+  }
+
+  local.output_reports = out.size();
+  if (stats) stats->merge(local);
+  return out;
+}
+
+reader::SampleStream FaultPlan::apply(const reader::SampleStream& stream,
+                                      std::uint64_t salt,
+                                      FaultStats* stats) const {
+  const std::uint32_t num_tags = stream.numTags();
+  const auto degraded =
+      applyToReports(stream.reports(), num_tags, salt, stats);
+
+  if (!anyFrameFaults()) {
+    reader::SampleStream out(num_tags);
+    out.reserve(degraded.size());
+    for (const auto& r : degraded) out.push(r);
+    return out;
+  }
+
+  // Route the degraded reports through the real wire format so LLRP decode
+  // robustness is part of the measured pipeline: encode → corrupt frames →
+  // lenient decode.
+  reader::SampleStream mid(num_tags);
+  mid.reserve(degraded.size());
+  for (const auto& r : degraded) mid.push(r);
+  auto frames = llrp::encodeStream(mid);
+  frames = applyToFrames(frames, salt, stats);
+
+  const std::uint32_t cap =
+      max_tag_index != std::numeric_limits<std::uint32_t>::max()
+          ? max_tag_index
+          : (num_tags > 0 ? num_tags - 1
+                          : std::numeric_limits<std::uint32_t>::max());
+  llrp::DecodeStats dstats;
+  const auto decoded = llrp::decodeFrames(frames, {}, &dstats, cap);
+  if (stats) stats->decode.merge(dstats);
+
+  // A flipped FirstSeenUTC bit can teleport a read hours away; bound the
+  // damage to the capture window (with slack for legitimate clock jitter)
+  // so downstream time sweeps stay proportional to the real capture.
+  const double t_lo = mid.empty() ? 0.0 : mid.startTime() - 1.0;
+  const double t_hi = mid.empty() ? 0.0 : mid.endTime() + 1.0;
+  reader::SampleStream out(num_tags);
+  out.reserve(decoded.size());
+  for (const auto& r : decoded.reports()) {
+    if (r.time_s < t_lo || r.time_s > t_hi) {
+      if (stats) ++stats->dropped_bad_time;
+      continue;
+    }
+    out.push(r);
+  }
+  if (out.numTags() < num_tags) out.setNumTags(num_tags);
+  // applyToReports counted the pre-wire population; report what actually
+  // survived the round trip.
+  if (stats)
+    stats->output_reports = stats->output_reports - degraded.size() + out.size();
+  return out;
+}
+
+std::vector<llrp::Bytes> FaultPlan::applyToFrames(
+    const std::vector<llrp::Bytes>& frames, std::uint64_t salt,
+    FaultStats* stats) const {
+  FaultStats local;
+  local.frames_in = frames.size();
+
+  std::vector<llrp::Bytes> out;
+  out.reserve(frames.size());
+  const std::uint64_t base = Rng::deriveSeed(seed, salt);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    llrp::Bytes f = frames[i];
+    if (anyFrameFaults() && !f.empty()) {
+      // Per-frame stateless stream: corruption of frame i does not depend
+      // on how many frames preceded it.
+      Rng rng(Rng::deriveSeed(base, kSaltFrames + i));
+      if (frame.truncate_prob > 0.0 && rng.chance(frame.truncate_prob)) {
+        const auto keep = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(f.size()) - 1));
+        f.resize(keep);
+        ++local.frames_truncated;
+      }
+      if (!f.empty() && frame.bit_flip_prob > 0.0 &&
+          rng.chance(frame.bit_flip_prob)) {
+        for (int b = 0; b < frame.flips_per_frame; ++b) {
+          const auto byte = static_cast<std::size_t>(
+              rng.uniformInt(0, static_cast<std::int64_t>(f.size()) - 1));
+          const auto bit = static_cast<int>(rng.uniformInt(0, 7));
+          f[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        }
+        ++local.frames_bitflipped;
+      }
+    }
+    if (!f.empty()) out.push_back(std::move(f));
+  }
+  if (stats) stats->merge(local);
+  return out;
+}
+
+}  // namespace rfipad::fault

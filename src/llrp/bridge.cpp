@@ -79,12 +79,37 @@ std::vector<Bytes> encodeStream(const reader::SampleStream& stream,
 
 reader::SampleStream decodeFrames(
     const std::vector<Bytes>& frames,
-    const std::function<std::uint32_t(const std::string&)>& epcToIndex) {
+    const std::function<std::uint32_t(const std::string&)>& epcToIndex,
+    DecodeStats* stats, std::uint32_t max_tag_index) {
   reader::SampleStream stream;
+  DecodeStats local;
+  DecodeStats& st = stats != nullptr ? *stats : local;
   for (const auto& frame : frames) {
-    const RoAccessReport report = decodeRoAccessReport(frame);
+    ++st.frames;
+    ReportDecodeStats rstats;
+    RoAccessReport report;
+    try {
+      report = decodeRoAccessReport(frame, &rstats);
+    } catch (const DecodeError&) {
+      ++st.frames_malformed;
+      continue;
+    }
+    st.reports_malformed += rstats.malformed;
     for (const auto& wire : report.reports) {
-      stream.push(fromWire(wire, epcToIndex));
+      reader::TagReport r;
+      try {
+        r = fromWire(wire, epcToIndex);
+      } catch (const std::exception&) {
+        // Custom epcToIndex resolvers may reject corrupted EPCs.
+        ++st.reports_malformed;
+        continue;
+      }
+      if (r.tag_index > max_tag_index) {
+        ++st.reports_bad_index;
+        continue;
+      }
+      ++st.reports;
+      stream.push(std::move(r));
     }
   }
   return stream;

@@ -263,21 +263,64 @@ TagReportData decodeTagReportData(BufferReader body) {
 
 }  // namespace
 
-RoAccessReport decodeRoAccessReport(const Bytes& frame) {
+RoAccessReport decodeRoAccessReport(const Bytes& frame,
+                                    ReportDecodeStats* stats) {
   BufferReader r(frame);
   std::uint32_t len = 0;
   const MessageHeader h = decodeHeader(r, &len);
   if (h.type != MessageType::kRoAccessReport)
     throw DecodeError("not an RO_ACCESS_REPORT");
+  const bool lenient = stats != nullptr;
   RoAccessReport report;
   while (!r.atEnd()) {
-    const std::uint16_t type = r.peek16() & 0x3FF;
-    if (type != kParamTagReportData)
-      throw DecodeError("unexpected parameter in RO_ACCESS_REPORT");
+    // A truncated parameter header ends the frame; in lenient mode the
+    // remainder is counted as one malformed parameter.
+    if (r.remaining() < 4) {
+      if (!lenient) throw DecodeError("truncated parameter header");
+      ++stats->malformed;
+      break;
+    }
+    const std::uint16_t first = r.peek16();
+    const std::uint16_t type = first & 0x3FF;
+    if ((first & 0x8000) != 0 || type != kParamTagReportData) {
+      if (!lenient)
+        throw DecodeError("unexpected parameter in RO_ACCESS_REPORT");
+      // A TV parameter here has no length field, so resynchronisation is
+      // impossible — abandon the rest of the frame.  An unknown TLV can be
+      // skipped by its own length.
+      if ((first & 0x8000) != 0) {
+        ++stats->malformed;
+        break;
+      }
+      r.skip(2);
+      const std::uint16_t plen = r.u16();
+      if (plen < 4 || plen - 4u > r.remaining()) {
+        ++stats->malformed;
+        break;
+      }
+      r.skip(plen - 4);
+      ++stats->malformed;
+      continue;
+    }
     r.skip(2);
     const std::uint16_t plen = r.u16();
-    if (plen < 4) throw DecodeError("bad TagReportData length");
-    report.reports.push_back(decodeTagReportData(r.sub(plen - 4)));
+    if (plen < 4 || plen - 4u > r.remaining()) {
+      if (!lenient) throw DecodeError("bad TagReportData length");
+      ++stats->malformed;
+      break;
+    }
+    BufferReader body = r.sub(plen - 4);
+    if (!lenient) {
+      report.reports.push_back(decodeTagReportData(body));
+      continue;
+    }
+    try {
+      report.reports.push_back(decodeTagReportData(body));
+      ++stats->reports;
+    } catch (const DecodeError&) {
+      // The sub-reader bounded the damage to this one parameter.
+      ++stats->malformed;
+    }
   }
   return report;
 }

@@ -130,8 +130,22 @@ Bytes encodeReaderEventNotification(std::uint32_t messageId,
 /// Parse just the 10-byte header; returns total message length via out-param.
 MessageHeader decodeHeader(BufferReader& reader, std::uint32_t* length);
 
+/// Per-report outcome of a lenient RO_ACCESS_REPORT decode.
+struct ReportDecodeStats {
+  std::uint64_t reports = 0;    ///< TagReportData parameters decoded
+  std::uint64_t malformed = 0;  ///< parameters skipped (bad length/type/body)
+};
+
 /// Full-message decoders; each expects the complete frame (header included).
-RoAccessReport decodeRoAccessReport(const Bytes& frame);
+///
+/// With `stats == nullptr` the decode is strict: any malformed parameter
+/// throws DecodeError (the historical contract).  With a stats object the
+/// decode is lenient: a malformed TagReportData is skipped and counted, and
+/// decoding continues with the next parameter — a corrupted report must
+/// never take down the frames around it.  A bad header or message type
+/// still throws in both modes (the frame as a whole is unusable).
+RoAccessReport decodeRoAccessReport(const Bytes& frame,
+                                    ReportDecodeStats* stats = nullptr);
 Rospec decodeAddRospec(const Bytes& frame, std::uint32_t* messageId = nullptr);
 std::uint32_t decodeRospecIdMessage(const Bytes& frame);  // ENABLE/START
 

@@ -1,8 +1,13 @@
 #include "llrp/octane.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace rfipad::llrp {
 
 Bytes OctaneEmulator::handleControl(const Bytes& frame) {
+  if (!connected_)
+    throw std::logic_error("OctaneEmulator: link is down");
   BufferReader r(frame);
   std::uint32_t len = 0;
   const MessageHeader h = decodeHeader(r, &len);
@@ -36,12 +41,64 @@ Bytes OctaneEmulator::handleControl(const Bytes& frame) {
   }
 }
 
+void OctaneEmulator::dropLink() {
+  connected_ = false;
+  if (clear_rospec_on_disconnect_) {
+    // A full reader reboot: the ROSpec is gone, the client must re-run the
+    // ADD/ENABLE/START handshake after reconnecting.
+    installed_ = enabled_ = started_ = false;
+  }
+}
+
+std::size_t OctaneEmulator::outageAfter(double t) const {
+  for (std::size_t i = 0; i < outages_.size(); ++i) {
+    if (outages_[i].t1 > t) return i;
+  }
+  return outages_.size();
+}
+
+void OctaneEmulator::advance(double duration_s, const reader::SceneFn& scene) {
+  if (duration_s <= 0.0) return;
+  // The physical world runs regardless of link/ROSpec state; the inventory
+  // output is simply discarded.
+  (void)hw_.capture(duration_s, scene);
+}
+
+bool OctaneEmulator::tryReconnect() {
+  if (connected_) return true;
+  const double t = hw_.now();
+  for (const auto& w : outages_) {
+    if (t >= w.t0 && t < w.t1) return false;
+  }
+  connected_ = true;
+  return true;
+}
+
 std::vector<Bytes> OctaneEmulator::poll(double duration_s,
                                         const reader::SceneFn& scene,
                                         std::size_t reportsPerMessage) {
+  if (!connected_) throw std::logic_error("OctaneEmulator: link is down");
   if (!started_) throw std::logic_error("OctaneEmulator: ROSpec not started");
-  const auto stream = hw_.capture(duration_s, scene);
-  return encodeStream(stream, reportsPerMessage, next_message_id_++ * 10000);
+
+  const double t_start = hw_.now();
+  double t_end = t_start + duration_s;
+  bool drops = false;
+  const std::size_t oi = outageAfter(t_start);
+  if (oi < outages_.size() && outages_[oi].t0 < t_end) {
+    // The link goes down mid-poll.  Deliver what was captured before the
+    // outage; the remaining window stays unconsumed for the reconnect loop.
+    t_end = std::max(outages_[oi].t0, t_start);
+    drops = true;
+  }
+
+  std::vector<Bytes> frames;
+  if (t_end > t_start) {
+    const auto stream = hw_.capture(t_end - t_start, scene);
+    frames = encodeStream(stream, reportsPerMessage, next_message_id_++ * 10000);
+  }
+  if (drops) dropLink();
+  if (frame_tap_) frames = frame_tap_(std::move(frames));
+  return frames;
 }
 
 namespace {
@@ -80,6 +137,71 @@ void OctaneClient::pump(OctaneEmulator& reader, double duration_s,
       stream_.push(r);
     }
   }
+}
+
+PumpStats OctaneClient::pumpWithReconnect(OctaneEmulator& reader,
+                                          double duration_s,
+                                          const reader::SceneFn& scene,
+                                          const ReconnectPolicy& policy) {
+  PumpStats st;
+  const double t_end = reader.now() + duration_s;
+  double backoff = policy.initial_backoff_s;
+  int attempts = 0;
+
+  while (reader.now() < t_end - 1e-9) {
+    if (!reader.connected()) {
+      if (attempts >= policy.max_attempts_per_outage)
+        throw std::runtime_error(
+            "OctaneClient: reader unreachable after max reconnect attempts");
+      ++attempts;
+      ++st.reconnect_attempts;
+      const double wait = std::min(backoff, t_end - reader.now());
+      reader.advance(wait, scene);
+      st.offline_s += wait;
+      backoff = std::min(backoff * policy.multiplier, policy.max_backoff_s);
+      if (reader.tryReconnect()) {
+        attempts = 0;
+        backoff = policy.initial_backoff_s;
+        if (!reader.started()) {
+          // The reader rebooted and forgot the ROSpec — redo the handshake.
+          connect(reader);
+          ++st.rehandshakes;
+        }
+      }
+      continue;
+    }
+
+    const double chunk = std::min(policy.poll_chunk_s, t_end - reader.now());
+    const auto frames = reader.poll(chunk, scene);
+    for (const Bytes& frame : frames) {
+      ++st.frames;
+      ++st.decode.frames;
+      ReportDecodeStats rstats;
+      RoAccessReport report;
+      try {
+        report = decodeRoAccessReport(frame, &rstats);
+      } catch (const DecodeError&) {
+        ++st.decode.frames_malformed;
+        continue;
+      }
+      st.decode.reports_malformed += rstats.malformed;
+      for (const auto& wire : report.reports) {
+        reader::TagReport r;
+        try {
+          r = fromWire(wire);
+        } catch (const std::exception&) {
+          ++st.decode.reports_malformed;
+          continue;
+        }
+        ++st.reports;
+        ++st.decode.reports;
+        if (callback_) callback_(r);
+        stream_.push(r);
+      }
+    }
+    if (!reader.connected()) ++st.disconnects;
+  }
+  return st;
 }
 
 }  // namespace rfipad::llrp

@@ -8,6 +8,12 @@
 //   client.onReport([&](const TagReport& r) { ... });
 //   client.connect(reader);                    // ADD/ENABLE/START_ROSPEC
 //   client.pump(reader, seconds, scene);       // RO_ACCESS_REPORTs flow
+//
+// The emulator can also model an unreliable deployment: scheduled link
+// outages (setOutages) drop the connection mid-poll, and a frame tap
+// (setFrameTap) lets tests corrupt the byte stream in flight.  The client's
+// pumpWithReconnect() survives both with capped exponential backoff and
+// lenient decoding.
 #pragma once
 
 #include <functional>
@@ -17,20 +23,58 @@
 
 namespace rfipad::llrp {
 
+/// A scheduled link outage [t0, t1) on the reader clock.
+struct OutageWindow {
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
 /// Reader-side protocol endpoint: owns the control-plane state machine
 /// (ROSpec install/enable/start) and converts inventory output to
 /// RO_ACCESS_REPORT frames.
 class OctaneEmulator {
  public:
+  using FrameTap = std::function<std::vector<Bytes>(std::vector<Bytes>)>;
+
   explicit OctaneEmulator(reader::RfidReader& hw) : hw_(hw) {}
 
-  /// Handle one control message; returns the response frame.
+  /// Handle one control message; returns the response frame.  Requires a
+  /// live link.
   Bytes handleControl(const Bytes& frame);
 
   /// Run the air protocol for `duration_s` under `scene` and return the
-  /// resulting report frames.  Requires a started ROSpec.
+  /// resulting report frames.  Requires a started ROSpec and a live link.
+  /// If a scheduled outage begins inside the window, frames up to the
+  /// outage are delivered and the link drops (connected() turns false);
+  /// the remaining time is *not* consumed — the caller's reconnect loop
+  /// advances the clock through the outage.
   std::vector<Bytes> poll(double duration_s, const reader::SceneFn& scene,
                           std::size_t reportsPerMessage = 16);
+
+  /// Schedule link outages on the reader clock (must be disjoint and
+  /// ascending).
+  void setOutages(std::vector<OutageWindow> outages) {
+    outages_ = std::move(outages);
+  }
+  /// Intercept outgoing report frames (wire-corruption injection for
+  /// robustness tests).  The tap sees whole frames and may drop, truncate
+  /// or mutate them.  No tap = frames pass through untouched.
+  void setFrameTap(FrameTap tap) { frame_tap_ = std::move(tap); }
+  /// When true, a link drop also wipes the ROSpec state, forcing the client
+  /// to re-run the ADD/ENABLE/START handshake (a reader reboot rather than
+  /// a TCP hiccup).  Default false: the session resumes where it left off.
+  void setClearRospecOnDisconnect(bool v) { clear_rospec_on_disconnect_ = v; }
+
+  bool connected() const { return connected_; }
+  /// Reader clock, seconds.
+  double now() const { return hw_.now(); }
+  /// Advance the physical world without delivering reports (the client is
+  /// away); inventory output during this time is lost.  Works while
+  /// disconnected — tags keep backscattering whether or not anyone listens.
+  void advance(double duration_s, const reader::SceneFn& scene);
+  /// Attempt to re-establish the link.  Succeeds iff the clock is outside
+  /// every scheduled outage.
+  bool tryReconnect();
 
   bool installed() const { return installed_; }
   bool enabled() const { return enabled_; }
@@ -38,12 +82,46 @@ class OctaneEmulator {
   std::uint32_t rospecId() const { return rospec_.rospec_id; }
 
  private:
+  void dropLink();
+  /// First outage overlapping [t, ∞), or outages_.size().
+  std::size_t outageAfter(double t) const;
+
   reader::RfidReader& hw_;
   Rospec rospec_{};
   bool installed_ = false;
   bool enabled_ = false;
   bool started_ = false;
+  bool connected_ = true;
+  bool clear_rospec_on_disconnect_ = false;
+  std::vector<OutageWindow> outages_;
+  FrameTap frame_tap_;
   std::uint32_t next_message_id_ = 1000;
+};
+
+/// Backoff schedule for OctaneClient::pumpWithReconnect.
+struct ReconnectPolicy {
+  double initial_backoff_s = 0.05;
+  double max_backoff_s = 1.6;
+  double multiplier = 2.0;
+  /// Give up (throw) after this many consecutive failed attempts.
+  int max_attempts_per_outage = 16;
+  /// Poll granularity; smaller chunks bound how much data one disconnect
+  /// can take down with it.
+  double poll_chunk_s = 0.25;
+};
+
+/// What a resilient pump session went through.
+struct PumpStats {
+  std::uint64_t disconnects = 0;
+  std::uint64_t reconnect_attempts = 0;
+  /// Reconnects that had to redo the full ROSpec handshake.
+  std::uint64_t rehandshakes = 0;
+  /// Reader-clock seconds spent with the link down.
+  double offline_s = 0.0;
+  std::uint64_t frames = 0;
+  std::uint64_t reports = 0;
+  /// Lenient-decode outcome (malformed frames/reports skipped, counted).
+  DecodeStats decode{};
 };
 
 /// Host-side SDK facade: performs the LLRP handshake and dispatches tag
@@ -59,9 +137,20 @@ class OctaneClient {
   void connect(OctaneEmulator& reader);
 
   /// Poll the reader and dispatch every report; also accumulates them into
-  /// `stream()` for batch processing.
+  /// `stream()` for batch processing.  Strict decode, no reconnects — the
+  /// clean path.
   void pump(OctaneEmulator& reader, double duration_s,
             const reader::SceneFn& scene);
+
+  /// Pump for `duration_s` of reader time, surviving scheduled outages
+  /// (capped exponential backoff, session resume or re-handshake as the
+  /// reader demands) and corrupted frames (lenient decode, skip and
+  /// count).  Throws only when an outage outlasts the whole backoff
+  /// schedule.  On a fault-free reader this delivers exactly what pump()
+  /// would.
+  PumpStats pumpWithReconnect(OctaneEmulator& reader, double duration_s,
+                              const reader::SceneFn& scene,
+                              const ReconnectPolicy& policy = {});
 
   const reader::SampleStream& stream() const { return stream_; }
   reader::SampleStream takeStream() { return std::move(stream_); }

@@ -6,11 +6,47 @@
 
 namespace rfipad::reader {
 
-void SampleStream::push(TagReport report) {
-  if (!reports_.empty() && report.time_s < reports_.back().time_s)
-    throw std::invalid_argument("SampleStream::push: time went backwards");
+namespace {
+
+bool sameRead(const TagReport& a, const TagReport& b) {
+  return a.tag_index == b.tag_index && a.time_s == b.time_s &&
+         a.phase_rad == b.phase_rad && a.rssi_dbm == b.rssi_dbm;
+}
+
+}  // namespace
+
+PushOutcome SampleStream::push(TagReport report) {
+  if (!std::isfinite(report.time_s)) {
+    ++invalid_count_;
+    return PushOutcome::kInvalid;
+  }
   if (report.tag_index >= num_tags_) num_tags_ = report.tag_index + 1;
-  reports_.push_back(std::move(report));
+  if (reports_.empty() || report.time_s >= reports_.back().time_s) {
+    // Fast path: in time order.  An exact re-delivery of the newest report
+    // (duplication after a link hiccup) is dropped here.
+    if (!reports_.empty() && sameRead(report, reports_.back())) {
+      ++duplicate_count_;
+      return PushOutcome::kDuplicate;
+    }
+    reports_.push_back(std::move(report));
+    return PushOutcome::kAppended;
+  }
+  // Out-of-order arrival: insert at its timestamp so the time-sorted
+  // invariant (slice(), series extraction) survives transport disorder.
+  const auto it = std::upper_bound(
+      reports_.begin(), reports_.end(), report.time_s,
+      [](double t, const TagReport& r) { return t < r.time_s; });
+  for (auto back = it; back != reports_.begin();) {
+    --back;
+    if (back->time_s != report.time_s) break;
+    if (sameRead(report, *back)) {
+      ++duplicate_count_;
+      return PushOutcome::kDuplicate;
+    }
+  }
+  ++reorder_count_;
+  reports_.insert(it, std::move(report));
+  return PushOutcome::kReordered;
 }
 
 TagSeries SampleStream::seriesFor(std::uint32_t tagIndex) const {

@@ -18,13 +18,35 @@ struct TagSeries {
   std::vector<double> rssi;
 };
 
+/// What push() did with a report (callers may ignore it; the stream also
+/// keeps aggregate counters).
+enum class PushOutcome : std::uint8_t {
+  kAppended,   ///< in time order, appended (the fast path)
+  kReordered,  ///< arrived out of order, inserted at its timestamp
+  kDuplicate,  ///< exact duplicate of a stored report, dropped
+  kInvalid,    ///< non-finite timestamp, dropped
+};
+
 class SampleStream {
  public:
   SampleStream() = default;
   explicit SampleStream(std::uint32_t numTags) : num_tags_(numTags) {}
 
-  void push(TagReport report);
+  /// Add one report.  Reports normally arrive in time order (the fast
+  /// append path); an out-of-order report is inserted at its timestamp and
+  /// counted in reorderCount() so callers can observe transport disorder
+  /// instead of silently mis-ordering or crashing.  Exact duplicates
+  /// (re-delivery after a link hiccup) and non-finite timestamps are
+  /// dropped and counted.
+  PushOutcome push(TagReport report);
   void reserve(std::size_t n) { reports_.reserve(n); }
+
+  /// Reports accepted out of time order since construction.
+  std::uint64_t reorderCount() const { return reorder_count_; }
+  /// Exact duplicates dropped.
+  std::uint64_t duplicateCount() const { return duplicate_count_; }
+  /// Reports dropped for a non-finite timestamp.
+  std::uint64_t invalidCount() const { return invalid_count_; }
 
   std::size_t size() const { return reports_.size(); }
   bool empty() const { return reports_.empty(); }
@@ -58,12 +80,16 @@ class SampleStream {
   /// Distinct hop channels present in the capture, ascending MHz.
   std::vector<double> channels() const;
 
-  /// Append another stream (must not go back in time).
+  /// Append another stream (reports landing before this stream's end are
+  /// merged at their timestamps and counted as reordered).
   void append(const SampleStream& other);
 
  private:
   std::vector<TagReport> reports_;
   std::uint32_t num_tags_ = 0;
+  std::uint64_t reorder_count_ = 0;
+  std::uint64_t duplicate_count_ = 0;
+  std::uint64_t invalid_count_ = 0;
 };
 
 }  // namespace rfipad::reader

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sim/letters.hpp"
 #include "sim/scenario.hpp"
 
@@ -134,6 +136,144 @@ TEST(Online, TwoStrokesTwoEvents) {
   for (const auto& r : cap.stream.reports()) rec.push(r);
   rec.flush();
   EXPECT_EQ(rec.strokes().size(), 2u);
+}
+
+TEST(Online, RejectsInvalidReportsWithCountedDrop) {
+  Rig rig(61);
+  OnlineRecognizer rec(rig.profile, rig.options);
+
+  reader::TagReport r;
+  r.tag_index = 3;
+  r.time_s = std::numeric_limits<double>::quiet_NaN();
+  r.phase_rad = 1.0;
+  r.rssi_dbm = -40.0;
+  rec.push(r);
+  r.time_s = -0.5;
+  rec.push(r);
+  r.time_s = 0.5;
+  r.phase_rad = std::numeric_limits<double>::infinity();
+  rec.push(r);
+  r.phase_rad = 1.0;
+  r.rssi_dbm = std::numeric_limits<double>::quiet_NaN();
+  rec.push(r);
+  EXPECT_EQ(rec.stats().dropped_invalid, 4u);
+  EXPECT_EQ(rec.stats().accepted, 0u);
+
+  // An out-of-range tag index (corrupted EPC) is dropped, not allocated.
+  r.rssi_dbm = -40.0;
+  r.tag_index = 1u << 20;
+  rec.push(r);
+  EXPECT_EQ(rec.stats().dropped_unknown_tag, 1u);
+
+  rec.flush();
+  EXPECT_TRUE(rec.strokes().empty());
+}
+
+TEST(Online, ToleratesReorderAndDuplicateDelivery) {
+  // Same capture, once delivered cleanly and once with transport disorder
+  // (adjacent swaps + duplicates): the recognised stroke must match.
+  Rig rig(62);
+  const auto cap = rig.write(
+      {sim::canonicalPlan({StrokeKind::kHLine, StrokeDir::kForward}, 0.1)});
+
+  OnlineRecognizer clean(rig.profile, rig.options);
+  for (const auto& r : cap.stream.reports()) clean.push(r);
+  clean.flush();
+
+  OnlineRecognizer messy(rig.profile, rig.options);
+  const auto& reports = cap.stream.reports();
+  for (std::size_t i = 0; i + 1 < reports.size(); i += 2) {
+    messy.push(reports[i + 1]);  // swapped pair
+    messy.push(reports[i]);
+    if (i % 10 == 0) messy.push(reports[i]);  // occasional re-delivery
+  }
+  if (reports.size() % 2 == 1) messy.push(reports.back());
+  messy.flush();
+
+  EXPECT_GT(messy.stats().reordered, 0u);
+  EXPECT_GT(messy.stats().duplicates, 0u);
+  ASSERT_EQ(messy.strokes().size(), clean.strokes().size());
+  for (std::size_t i = 0; i < messy.strokes().size(); ++i) {
+    EXPECT_EQ(messy.strokes()[i].observation.stroke.kind,
+              clean.strokes()[i].observation.stroke.kind);
+  }
+}
+
+TEST(Online, LateReportsBehindConsumedFrontierAreDropped) {
+  Rig rig(63);
+  OnlineRecognizer rec(rig.profile, rig.options);
+  const auto cap = rig.write(
+      {sim::canonicalPlan({StrokeKind::kVLine, StrokeDir::kForward}, 0.1)});
+  for (const auto& r : cap.stream.reports()) rec.push(r);
+  rec.flush();
+  ASSERT_FALSE(rec.strokes().empty());
+
+  // Replay a report from deep inside the consumed window: it must be
+  // dropped (counted), not re-open recognition.
+  const std::size_t emitted = rec.strokes().size();
+  rec.push(cap.stream.reports().front());
+  EXPECT_EQ(rec.stats().dropped_late, 1u);
+  rec.flush();
+  EXPECT_EQ(rec.strokes().size(), emitted);
+}
+
+TEST(Online, IsolatedFutureTimestampCannotStallTheClock) {
+  // A bit-flipped wire clock yields a finite but absurd timestamp.  If it
+  // dragged the watermark forward, the recogniser clock would never advance
+  // again and every later stroke would be lost.  An isolated jump past the
+  // buffer horizon must be dropped (counted), with recognition unaffected.
+  Rig rig(64);
+  const auto cap = rig.write(
+      {sim::canonicalPlan({StrokeKind::kHLine, StrokeDir::kForward}, 0.1)});
+
+  OnlineRecognizer clean(rig.profile, rig.options);
+  for (const auto& r : cap.stream.reports()) clean.push(r);
+  clean.flush();
+
+  OnlineRecognizer glitched(rig.profile, rig.options);
+  const auto& reports = cap.stream.reports();
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i == reports.size() / 3) {
+      reader::TagReport bad = reports[i];
+      bad.time_s = 9.2e12;  // 2^63 microseconds, as decoded from the wire
+      glitched.push(bad);
+    }
+    glitched.push(reports[i]);
+  }
+  glitched.flush();
+
+  EXPECT_EQ(glitched.stats().dropped_future, 1u);
+  ASSERT_EQ(glitched.strokes().size(), clean.strokes().size());
+  for (std::size_t i = 0; i < glitched.strokes().size(); ++i) {
+    EXPECT_EQ(glitched.strokes()[i].observation.stroke.kind,
+              clean.strokes()[i].observation.stroke.kind);
+  }
+}
+
+TEST(Online, CorroboratedClockJumpIsAccepted) {
+  // A genuine far-future jump (reader resumed after a long gap) delivers
+  // *consecutive* reports at the new time; the second one corroborates the
+  // first and the stream continues at the jumped clock.
+  Rig rig(65);
+  OnlineRecognizer rec(rig.profile, rig.options);
+  reader::TagReport r;
+  r.tag_index = 3;
+  r.phase_rad = 1.0;
+  r.rssi_dbm = -40.0;
+  for (int i = 0; i < 10; ++i) {
+    r.time_s = 0.1 * i;
+    rec.push(r);
+    r.phase_rad += 0.01;  // avoid the duplicate filter
+  }
+  const double jump = 500.0;
+  for (int i = 0; i < 10; ++i) {
+    r.time_s = jump + 0.1 * i;
+    rec.push(r);
+    r.phase_rad += 0.01;
+  }
+  // Only the first post-jump report is held for corroboration.
+  EXPECT_EQ(rec.stats().dropped_future, 1u);
+  EXPECT_EQ(rec.stats().accepted, 19u);
 }
 
 }  // namespace

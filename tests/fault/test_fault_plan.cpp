@@ -1,0 +1,208 @@
+// FaultPlan unit contract: deterministic (same plan + salt → bit-identical
+// degraded stream), a no-fault plan is a byte-exact passthrough, and every
+// injector reports honest stats.
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "llrp/bridge.hpp"
+
+namespace rfipad::fault {
+namespace {
+
+reader::SampleStream syntheticStream(std::uint32_t tags, int reads,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  reader::SampleStream s(tags);
+  double t = 0.0;
+  for (int j = 0; j < reads; ++j) {
+    for (std::uint32_t i = 0; i < tags; ++i) {
+      reader::TagReport r;
+      char buf[25];
+      std::snprintf(buf, sizeof(buf), "AABBCCDDEEFF0011%08X", i);
+      r.epc = buf;
+      r.tag_index = i;
+      r.time_s = t;
+      r.phase_rad = rng.uniform(0.0, 6.28);
+      r.rssi_dbm = -45.0 + rng.normal(0.0, 1.0);
+      t += 0.002;
+      s.push(r);
+    }
+  }
+  return s;
+}
+
+bool identicalStreams(const reader::SampleStream& a,
+                      const reader::SampleStream& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].tag_index != b[i].tag_index || a[i].time_s != b[i].time_s ||
+        a[i].phase_rad != b[i].phase_rad || a[i].rssi_dbm != b[i].rssi_dbm)
+      return false;
+  }
+  return true;
+}
+
+TEST(FaultPlan, EmptyPlanIsExactPassthrough) {
+  const auto stream = syntheticStream(25, 40, 7);
+  FaultPlan plan;
+  EXPECT_FALSE(plan.anyStreamFaults());
+  EXPECT_FALSE(plan.anyFrameFaults());
+  FaultStats st;
+  const auto out = plan.apply(stream, 3, &st);
+  EXPECT_TRUE(identicalStreams(stream, out));
+  EXPECT_EQ(st.input_reports, stream.size());
+  EXPECT_EQ(st.output_reports, stream.size());
+  EXPECT_EQ(st.droppedTotal(), 0u);
+}
+
+TEST(FaultPlan, DeterministicForSamePlanAndSalt) {
+  const auto stream = syntheticStream(25, 60, 9);
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.death.dead_fraction = 0.12;
+  plan.detune.detuned_fraction = 0.1;
+  plan.missread.p_good_to_bad = 0.05;
+  plan.glitch.prob = 0.02;
+  plan.jitter = {0.05, 0.03, 0.0005};
+  plan.disconnect.rate_hz = 0.5;
+  plan.frame.truncate_prob = 0.1;
+  plan.frame.bit_flip_prob = 0.1;
+
+  const auto a = plan.apply(stream, 17);
+  const auto b = plan.apply(stream, 17);
+  EXPECT_TRUE(identicalStreams(a, b));
+
+  // A different salt draws a different degradation.
+  const auto c = plan.apply(stream, 18);
+  EXPECT_FALSE(identicalStreams(a, c));
+}
+
+TEST(FaultPlan, DeadTagsGoCompletelySilent) {
+  const auto stream = syntheticStream(25, 50, 3);
+  FaultPlan plan;
+  plan.death.dead_tags = {0, 7, 24};
+  FaultStats st;
+  const auto out = plan.apply(stream, 1, &st);
+  EXPECT_EQ(out.countFor(0), 0u);
+  EXPECT_EQ(out.countFor(7), 0u);
+  EXPECT_EQ(out.countFor(24), 0u);
+  EXPECT_EQ(out.countFor(1), 50u);
+  EXPECT_EQ(st.dropped_dead, 150u);
+  EXPECT_EQ(out.numTags(), 25u);
+}
+
+TEST(FaultPlan, DeadSetStableAcrossSalts) {
+  FaultPlan plan;
+  plan.death.dead_fraction = 0.2;
+  const auto dead = plan.resolveDeadTags(25);
+  EXPECT_EQ(dead.size(), 5u);
+  // resolveDeadTags takes no salt: hardware faults persist across trials.
+  EXPECT_EQ(plan.resolveDeadTags(25), dead);
+  // Detuned set is disjoint from the dead set.
+  plan.detune.detuned_fraction = 0.2;
+  const auto detuned = plan.resolveDetunedTags(25);
+  EXPECT_EQ(detuned.size(), 5u);
+  for (auto t : detuned)
+    EXPECT_TRUE(std::find(dead.begin(), dead.end(), t) == dead.end());
+}
+
+TEST(FaultPlan, MissReadsHitConfiguredLossRate) {
+  const auto stream = syntheticStream(25, 400, 11);
+  FaultPlan plan;
+  // Stationary bad-state share = 0.1/(0.1+0.3) = 0.25; loss ≈ 0.25·0.8.
+  plan.missread = {0.1, 0.3, 0.0, 0.8};
+  FaultStats st;
+  const auto out = plan.apply(stream, 5, &st);
+  const double loss =
+      static_cast<double>(st.dropped_missread) / stream.size();
+  EXPECT_NEAR(loss, 0.2, 0.05);
+  EXPECT_EQ(out.size() + st.dropped_missread, stream.size());
+}
+
+TEST(FaultPlan, DisconnectWindowsDropEverythingInside) {
+  const auto stream = syntheticStream(10, 200, 13);
+  FaultPlan plan;
+  plan.disconnect.rate_hz = 1.5;
+  plan.disconnect.mean_outage_s = 0.3;
+  FaultStats st;
+  const auto out = plan.apply(stream, 2, &st);
+  ASSERT_GT(st.outage_windows, 0u);
+  EXPECT_GT(st.dropped_disconnect, 0u);
+  const auto windows =
+      plan.outageWindows(stream.startTime(), stream.endTime() + 1e-9, 2);
+  for (const auto& r : out.reports()) {
+    for (const auto& w : windows) EXPECT_FALSE(w.contains(r.time_s));
+  }
+}
+
+TEST(FaultPlan, JitterProducesReordersAndDuplicates) {
+  const auto stream = syntheticStream(10, 100, 17);
+  FaultPlan plan;
+  plan.jitter = {0.1, 0.1, 0.001};
+  FaultStats st;
+  const auto reports =
+      plan.applyToReports(stream.reports(), stream.numTags(), 4, &st);
+  EXPECT_GT(st.duplicated, 0u);
+  EXPECT_GT(st.reordered, 0u);
+  EXPECT_GT(st.time_jittered, 0u);
+  EXPECT_EQ(reports.size(), stream.size() + st.duplicated);
+  // Delivered out of order, but only by bounded (adjacent) swaps.
+  bool any_backwards = false;
+  for (std::size_t i = 1; i < reports.size(); ++i)
+    any_backwards = any_backwards || reports[i].time_s < reports[i - 1].time_s;
+  EXPECT_TRUE(any_backwards);
+}
+
+TEST(FaultPlan, FrameFaultsSurviveTheWireRoundTrip) {
+  const auto stream = syntheticStream(25, 80, 19);
+  FaultPlan plan;
+  plan.frame.truncate_prob = 0.2;
+  plan.frame.bit_flip_prob = 0.2;
+  FaultStats st;
+  const auto out = plan.apply(stream, 6, &st);
+  EXPECT_GT(st.frames_in, 0u);
+  EXPECT_GT(st.frames_truncated + st.frames_bitflipped, 0u);
+  // Frames truncated to nothing never reach the decoder.
+  EXPECT_GT(st.decode.frames, 0u);
+  EXPECT_LE(st.decode.frames, st.frames_in);
+  EXPECT_LT(out.size(), stream.size());
+  // A flipped EPC bit must not inflate the tag space.
+  EXPECT_EQ(out.numTags(), stream.numTags());
+  for (const auto& r : out.reports()) EXPECT_LT(r.tag_index, 25u);
+}
+
+TEST(FaultPlan, GlitchesPreservePopulationButMovePhases) {
+  const auto stream = syntheticStream(10, 100, 23);
+  FaultPlan plan;
+  plan.glitch.prob = 0.2;
+  FaultStats st;
+  const auto out = plan.apply(stream, 8, &st);
+  EXPECT_EQ(out.size(), stream.size());
+  EXPECT_GT(st.phase_glitches, 0u);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    moved += out[i].phase_rad != stream[i].phase_rad ? 1u : 0u;
+  EXPECT_EQ(moved, st.phase_glitches);
+}
+
+TEST(FaultPlan, StatsMergeAccumulates) {
+  FaultStats a, b;
+  a.dropped_dead = 3;
+  a.frames_in = 2;
+  b.dropped_dead = 4;
+  b.phase_glitches = 5;
+  b.decode.reports = 7;
+  a.merge(b);
+  EXPECT_EQ(a.dropped_dead, 7u);
+  EXPECT_EQ(a.frames_in, 2u);
+  EXPECT_EQ(a.phase_glitches, 5u);
+  EXPECT_EQ(a.decode.reports, 7u);
+}
+
+}  // namespace
+}  // namespace rfipad::fault

@@ -129,5 +129,108 @@ TEST(Octane, KeepaliveAcked) {
   EXPECT_EQ(h.id, 5u);
 }
 
+TEST(Octane, ReconnectPumpMatchesPlainPumpOnCleanLink) {
+  // Same seeded hardware twice: the resilient pump on a fault-free link
+  // must deliver exactly what the strict pump does, chunking and all.
+  OctaneFixture plain, resilient;
+  plain.client.connect(plain.emu);
+  resilient.client.connect(resilient.emu);
+
+  plain.client.pump(plain.emu, 1.0, reader::emptyScene);
+  const auto st = resilient.client.pumpWithReconnect(resilient.emu, 1.0,
+                                                     reader::emptyScene);
+  EXPECT_EQ(st.disconnects, 0u);
+  EXPECT_EQ(st.reconnect_attempts, 0u);
+  EXPECT_EQ(st.rehandshakes, 0u);
+  EXPECT_DOUBLE_EQ(st.offline_s, 0.0);
+  EXPECT_EQ(st.decode.frames_malformed, 0u);
+  EXPECT_EQ(st.decode.reports_malformed, 0u);
+
+  const auto& a = plain.client.stream();
+  const auto& b = resilient.client.stream();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tag_index, b[i].tag_index);
+    EXPECT_DOUBLE_EQ(a[i].time_s, b[i].time_s);
+    EXPECT_DOUBLE_EQ(a[i].phase_rad, b[i].phase_rad);
+  }
+}
+
+TEST(Octane, SurvivesOutageAndResumesSession) {
+  OctaneFixture f;
+  f.client.connect(f.emu);
+  f.emu.setOutages({{0.3, 0.5}});
+
+  const auto st = f.client.pumpWithReconnect(f.emu, 1.2, reader::emptyScene);
+  EXPECT_EQ(st.disconnects, 1u);
+  EXPECT_GE(st.reconnect_attempts, 1u);
+  // A TCP hiccup, not a reboot: the ROSpec survives, no re-handshake.
+  EXPECT_EQ(st.rehandshakes, 0u);
+  EXPECT_GT(st.offline_s, 0.0);
+
+  // Nothing was delivered from inside the outage (a slot may straddle the
+  // boundary, hence the small guard band), and reporting resumed after it.
+  bool any_after = false;
+  for (const auto& r : f.client.stream().reports()) {
+    EXPECT_FALSE(r.time_s > 0.31 && r.time_s < 0.49) << r.time_s;
+    any_after = any_after || r.time_s > 0.6;
+  }
+  EXPECT_TRUE(any_after);
+}
+
+TEST(Octane, ReaderRebootForcesRehandshake) {
+  OctaneFixture f;
+  f.client.connect(f.emu);
+  f.emu.setClearRospecOnDisconnect(true);
+  f.emu.setOutages({{0.2, 0.3}});
+
+  const auto st = f.client.pumpWithReconnect(f.emu, 1.0, reader::emptyScene);
+  EXPECT_EQ(st.disconnects, 1u);
+  EXPECT_EQ(st.rehandshakes, 1u);
+  EXPECT_TRUE(f.emu.started());
+  bool any_after = false;
+  for (const auto& r : f.client.stream().reports())
+    any_after = any_after || r.time_s > 0.5;
+  EXPECT_TRUE(any_after);
+}
+
+TEST(Octane, CorruptedFramesAreSkippedAndCounted) {
+  OctaneFixture f;
+  f.client.connect(f.emu);
+  // Mangle the wire: truncate every third frame, flip a byte in the rest.
+  f.emu.setFrameTap([n = 0](std::vector<Bytes> frames) mutable {
+    for (auto& fr : frames) {
+      if (fr.empty()) continue;
+      if (++n % 3 == 0) {
+        fr.resize(fr.size() / 2);
+      } else {
+        fr[10 + (fr.size() % 40)] ^= 0x40;
+      }
+    }
+    return frames;
+  });
+
+  const auto st = f.client.pumpWithReconnect(f.emu, 1.0, reader::emptyScene);
+  EXPECT_GT(st.frames, 0u);
+  EXPECT_GT(st.decode.frames_malformed + st.decode.reports_malformed, 0u);
+  // Degraded, not dead: most reports still make it through.
+  EXPECT_GT(st.reports, 0u);
+  EXPECT_EQ(f.client.stream().size(), st.reports);
+}
+
+TEST(Octane, GivesUpAfterExhaustingBackoffSchedule) {
+  OctaneFixture f;
+  f.client.connect(f.emu);
+  f.emu.setOutages({{0.1, 50.0}});
+  ReconnectPolicy policy;
+  policy.initial_backoff_s = 0.01;
+  policy.max_backoff_s = 0.02;
+  policy.max_attempts_per_outage = 3;
+  policy.poll_chunk_s = 0.1;
+  EXPECT_THROW(
+      f.client.pumpWithReconnect(f.emu, 2.0, reader::emptyScene, policy),
+      std::runtime_error);
+}
+
 }  // namespace
 }  // namespace rfipad::llrp

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace rfipad::reader {
@@ -30,10 +31,50 @@ TEST(SampleStream, PushAndBasics) {
   EXPECT_DOUBLE_EQ(s.durationS(), 0.1);
 }
 
-TEST(SampleStream, RejectsTimeTravel) {
+TEST(SampleStream, ReinsertsTimeTravelAtItsTimestamp) {
+  // An out-of-order arrival (transport reordering) is merged back at its
+  // timestamp and counted, instead of throwing.
   SampleStream s(2);
   s.push(report(0, 1.0));
-  EXPECT_THROW(s.push(report(1, 0.5)), std::invalid_argument);
+  EXPECT_EQ(s.push(report(1, 0.5)), PushOutcome::kReordered);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].time_s, 0.5);
+  EXPECT_DOUBLE_EQ(s[1].time_s, 1.0);
+  EXPECT_EQ(s.reorderCount(), 1u);
+}
+
+TEST(SampleStream, InOrderPushesCountNoReorders) {
+  SampleStream s(1);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(s.push(report(0, i * 0.1)), PushOutcome::kAppended);
+  EXPECT_EQ(s.reorderCount(), 0u);
+  EXPECT_EQ(s.duplicateCount(), 0u);
+  EXPECT_EQ(s.invalidCount(), 0u);
+}
+
+TEST(SampleStream, DropsExactDuplicates) {
+  SampleStream s(2);
+  const auto r = report(0, 0.5, 2.0, -45.0);
+  EXPECT_EQ(s.push(r), PushOutcome::kAppended);
+  EXPECT_EQ(s.push(r), PushOutcome::kDuplicate);
+  s.push(report(1, 0.7));
+  // A late re-delivery of an older report is also recognised.
+  EXPECT_EQ(s.push(r), PushOutcome::kDuplicate);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.duplicateCount(), 2u);
+  // Same timestamp but different payload is a distinct read, kept.
+  EXPECT_EQ(s.push(report(0, 0.5, 2.5, -45.0)), PushOutcome::kReordered);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(SampleStream, DropsNonFiniteTimestamps) {
+  SampleStream s(1);
+  EXPECT_EQ(s.push(report(0, std::numeric_limits<double>::quiet_NaN())),
+            PushOutcome::kInvalid);
+  EXPECT_EQ(s.push(report(0, std::numeric_limits<double>::infinity())),
+            PushOutcome::kInvalid);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.invalidCount(), 2u);
 }
 
 TEST(SampleStream, GrowsNumTags) {
@@ -82,13 +123,20 @@ TEST(SampleStream, SliceHalfOpen) {
   EXPECT_EQ(sub.numTags(), 1u);
 }
 
-TEST(SampleStream, AppendPreservesOrder) {
+TEST(SampleStream, AppendMergesAtTimestamps) {
   SampleStream a(1), b(1);
   a.push(report(0, 0.0));
   b.push(report(0, 1.0));
   a.append(b);
   EXPECT_EQ(a.size(), 2u);
-  EXPECT_THROW(b.append(a), std::invalid_argument);  // would go back in time
+  // Appending the older stream merges its fresh report back in time order
+  // (the shared report is recognised as a duplicate).
+  b.append(a);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b[0].time_s, 0.0);
+  EXPECT_DOUBLE_EQ(b[1].time_s, 1.0);
+  EXPECT_EQ(b.reorderCount(), 1u);
+  EXPECT_EQ(b.duplicateCount(), 1u);
 }
 
 TEST(SampleStream, EmptyStreamDefaults) {
