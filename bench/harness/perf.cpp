@@ -19,7 +19,8 @@ double wallTimeS() {
 double cpuTimeS() {
   std::timespec ts{};
   if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0)
-    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+    return static_cast<double>(ts.tv_sec) +
+           1e-9 * static_cast<double>(ts.tv_nsec);
   return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
 }
 

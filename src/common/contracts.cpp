@@ -1,0 +1,17 @@
+#include "common/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rfipad::detail {
+
+[[noreturn]] void contractFailure(const char* kind, const char* cond,
+                                  const char* msg, const char* file,
+                                  int line) {
+  std::fprintf(stderr, "rfipad %s violated: %s (%s) at %s:%d\n", kind, cond,
+               msg, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rfipad::detail

@@ -1,0 +1,42 @@
+// Lightweight runtime contracts for hot-path API boundaries.
+//
+//   RFIPAD_ASSERT(cond, msg)     — precondition at a public API boundary.
+//   RFIPAD_INVARIANT(cond, msg)  — internal consistency condition that the
+//                                  surrounding code is supposed to have
+//                                  established.
+//
+// Both are always on (a single well-predicted branch; the failure path is
+// out of line and [[noreturn]]): the determinism guarantees this repo makes
+// (bit-identical batches at any --threads) are worthless if a violated
+// precondition silently corrupts a result instead of stopping the run.
+// A failure prints `kind: cond (msg) at file:line` to stderr and aborts —
+// contracts guard programming errors, not recoverable input problems;
+// recoverable ones keep throwing std::invalid_argument as before.
+//
+// The determinism linter (tools/lint/rfipad_lint.py) checks that files
+// documenting preconditions ("Requires ...", "must be ...") actually
+// enforce at least one contract (an RFIPAD_ASSERT/RFIPAD_INVARIANT or a
+// validating throw).
+#pragma once
+
+namespace rfipad::detail {
+
+[[noreturn]] void contractFailure(const char* kind, const char* cond,
+                                  const char* msg, const char* file,
+                                  int line);
+
+}  // namespace rfipad::detail
+
+#define RFIPAD_CONTRACT_CHECK(kind, cond, msg)                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::rfipad::detail::contractFailure(kind, #cond, msg, __FILE__,       \
+                                        __LINE__);                        \
+    }                                                                     \
+  } while (false)
+
+#define RFIPAD_ASSERT(cond, msg) \
+  RFIPAD_CONTRACT_CHECK("precondition", cond, msg)
+
+#define RFIPAD_INVARIANT(cond, msg) \
+  RFIPAD_CONTRACT_CHECK("invariant", cond, msg)

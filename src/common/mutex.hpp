@@ -1,0 +1,64 @@
+// Annotated synchronisation primitives.
+//
+// Thin wrappers over std::mutex / std::condition_variable_any that carry
+// the Clang thread-safety capability attributes (libstdc++'s std::mutex
+// does not), so `-Wthread-safety -Werror` can verify lock discipline.
+// Functionally identical to the std types; zero overhead beyond them.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace rfipad {
+
+/// std::mutex with the `capability` attribute: fields guarded by an
+/// rfipad::Mutex can use RFIPAD_GUARDED_BY and the analysis understands
+/// acquire/release.
+class RFIPAD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RFIPAD_ACQUIRE() { m_.lock(); }
+  void unlock() RFIPAD_RELEASE() { m_.unlock(); }
+  bool try_lock() RFIPAD_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock with the `scoped_lockable` attribute (std::lock_guard is not
+/// annotated, so the analysis cannot see through it).
+class RFIPAD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) RFIPAD_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() RFIPAD_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable usable with rfipad::Mutex.  wait() must be called
+/// with the mutex held (enforced by the analysis); as with the std type,
+/// the mutex is released while blocked and re-acquired before returning.
+/// Callers loop on their predicate manually —
+///     while (!ready_) cv_.wait(mutex_);
+/// — rather than passing a predicate lambda, because the analysis cannot
+/// see that a predicate lambda runs under the lock.
+class CondVar {
+ public:
+  void wait(Mutex& m) RFIPAD_REQUIRES(m) { cv_.wait(m); }
+  void notifyOne() { cv_.notify_one(); }
+  void notifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rfipad

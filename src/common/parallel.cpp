@@ -4,6 +4,8 @@
 #include <exception>
 #include <memory>
 
+#include "common/contracts.hpp"
+
 namespace rfipad {
 
 namespace {
@@ -20,6 +22,7 @@ bool ThreadPool::onWorkerThread() { return tls_on_worker_thread; }
 
 ThreadPool::ThreadPool(int threads) {
   const unsigned n = resolveThreadCount(threads);
+  RFIPAD_INVARIANT(n >= 1, "resolved thread count must be positive");
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i)
     workers_.emplace_back([this] { workerLoop(); });
@@ -27,10 +30,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.notifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -39,8 +42,8 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -51,15 +54,17 @@ void ThreadPool::workerLoop() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.notifyOne();
 }
 
 void ThreadPool::parallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  RFIPAD_ASSERT(static_cast<bool>(body),
+                "parallelFor requires a callable body");
   // Nested call from inside a pool task, or nothing to fan out to: run
   // inline.  This keeps nested usage deadlock-free and the single-thread
   // path free of synchronisation.
@@ -68,13 +73,15 @@ void ThreadPool::parallelFor(std::size_t n,
     return;
   }
 
+  // Per-sweep completion state.  `next` is the atomic work counter;
+  // `active_drivers` / `error` are guarded by `m` and signalled via `done`.
   struct SweepState {
     std::atomic<std::size_t> next{0};
     std::size_t limit = 0;
-    std::mutex m;
-    std::condition_variable done;
-    std::size_t active_drivers = 0;
-    std::exception_ptr error;
+    Mutex m;
+    CondVar done;
+    std::size_t active_drivers RFIPAD_GUARDED_BY(m) = 0;
+    std::exception_ptr error RFIPAD_GUARDED_BY(m);
   };
   auto state = std::make_shared<SweepState>();
   state->limit = n;
@@ -86,7 +93,7 @@ void ThreadPool::parallelFor(std::size_t n,
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->m);
+        MutexLock lock(state->m);
         if (!state->error) state->error = std::current_exception();
         // Stop handing out further iterations.
         state->next.store(state->limit);
@@ -97,7 +104,7 @@ void ThreadPool::parallelFor(std::size_t n,
   const std::size_t helpers =
       std::min<std::size_t>(workers_.size(), n > 1 ? n - 1 : 0);
   {
-    std::lock_guard<std::mutex> lock(state->m);
+    MutexLock lock(state->m);
     state->active_drivers = helpers;
   }
   for (std::size_t h = 0; h < helpers; ++h) {
@@ -105,22 +112,30 @@ void ThreadPool::parallelFor(std::size_t n,
     // driver finishes, so the reference stays valid.
     enqueue([state, drive] {
       drive();
-      std::lock_guard<std::mutex> lock(state->m);
-      --state->active_drivers;
-      state->done.notify_all();
+      {
+        MutexLock lock(state->m);
+        --state->active_drivers;
+      }
+      state->done.notifyAll();
     });
   }
 
   drive();  // the caller participates in the sweep
 
-  std::unique_lock<std::mutex> lock(state->m);
-  state->done.wait(lock, [&] { return state->active_drivers == 0; });
-  if (state->error) std::rethrow_exception(state->error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(state->m);
+    while (state->active_drivers != 0) state->done.wait(state->m);
+    error = state->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void parallelFor(int threads, std::size_t n,
                  const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  RFIPAD_ASSERT(static_cast<bool>(body),
+                "parallelFor requires a callable body");
   const unsigned count = resolveThreadCount(threads);
   if (count <= 1 || n == 1 || ThreadPool::onWorkerThread()) {
     for (std::size_t i = 0; i < n; ++i) body(i);

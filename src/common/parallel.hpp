@@ -6,15 +6,20 @@
 // map is independent of scheduling — callers that also derive their
 // per-item randomness from the item index (Rng::deriveSeed) get bit-stable
 // results at any thread count.
+//
+// Lock discipline is annotated for Clang's thread-safety analysis (the
+// `lint` preset builds with -Wthread-safety -Werror); see
+// common/thread_annotations.hpp for the conventions.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace rfipad {
 
@@ -42,7 +47,9 @@ class ThreadPool {
   /// pool and the calling thread.  Blocks until all iterations finish.
   /// The first exception thrown by any iteration is rethrown here (after
   /// all in-flight iterations drain); remaining iterations are skipped.
-  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+  /// `body` must be a callable target (non-empty std::function).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body)
+      RFIPAD_EXCLUDES(mutex_);
 
   /// Order-preserving map: out[i] = fn(items[i]).  Result type must be
   /// default-constructible.
@@ -56,14 +63,14 @@ class ThreadPool {
   }
 
  private:
-  void workerLoop();
-  void enqueue(std::function<void()> task);
+  void workerLoop() RFIPAD_EXCLUDES(mutex_);
+  void enqueue(std::function<void()> task) RFIPAD_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::deque<std::function<void()>> tasks_ RFIPAD_GUARDED_BY(mutex_);
+  bool stopping_ RFIPAD_GUARDED_BY(mutex_) = false;
+  CondVar cv_;
 };
 
 /// One-shot parallel sweep with a transient pool.  `threads` < 1 → hardware

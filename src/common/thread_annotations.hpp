@@ -1,0 +1,56 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// The concurrency-bearing classes (common/mutex.hpp, common/parallel.*,
+// llrp/octane.*, reader/sample_stream.*, rf/channel.*) annotate which data
+// is guarded by which lock; `clang++ -Wthread-safety -Werror` (the `lint`
+// CMake preset) then proves lock discipline at compile time.  On GCC and
+// MSVC every macro expands to nothing, so the annotations cost nothing
+// outside the analysis build.
+//
+// Conventions (see STATIC_ANALYSIS.md):
+//  - every mutex-protected field carries RFIPAD_GUARDED_BY(mutex_);
+//  - private helpers that expect the lock held are RFIPAD_REQUIRES(mutex_);
+//  - public entry points that take the lock themselves are
+//    RFIPAD_EXCLUDES(mutex_) so accidental re-entry is a compile error;
+//  - use rfipad::Mutex / rfipad::MutexLock (common/mutex.hpp), never a raw
+//    std::mutex, so the capability attributes are present on every build.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+#define RFIPAD_CAPABILITY(x) \
+  RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define RFIPAD_SCOPED_CAPABILITY \
+  RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define RFIPAD_GUARDED_BY(x) \
+  RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define RFIPAD_PT_GUARDED_BY(x) \
+  RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define RFIPAD_REQUIRES(...) \
+  RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define RFIPAD_EXCLUDES(...) \
+  RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define RFIPAD_ACQUIRE(...) \
+  RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define RFIPAD_RELEASE(...) \
+  RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RFIPAD_TRY_ACQUIRE(...) \
+  RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define RFIPAD_RETURN_CAPABILITY(x) \
+  RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define RFIPAD_NO_THREAD_SAFETY_ANALYSIS \
+  RFIPAD_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -132,7 +132,6 @@ double substitutionBase(StrokeKind a, StrokeKind b) {
     auto pair = [&](StrokeKind p, StrokeKind q) {
       return (x == p && y == q) || (x == q && y == p);
     };
-    using K = StrokeKind;
     return pair(K::kVLine, K::kSlash) || pair(K::kVLine, K::kBackslash) ||
            pair(K::kSlash, K::kBackslash) || pair(K::kLeftArc, K::kRightArc) ||
            pair(K::kVLine, K::kLeftArc) || pair(K::kVLine, K::kRightArc) ||

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hpp"
+
 namespace rfipad::core {
 
 OnlineRecognizer::OnlineRecognizer(StaticProfile profile, OnlineOptions options)
@@ -59,7 +61,10 @@ void OnlineRecognizer::push(const reader::TagReport& report) {
       ++stats_.accepted;
       break;
   }
+  const double previous_watermark = watermark_;
   watermark_ = std::max(watermark_, report.time_s);
+  RFIPAD_INVARIANT(watermark_ >= previous_watermark,
+                   "recogniser watermark must never rewind");
   if (watermark_ - last_process_ >= options_.process_interval_s) {
     last_process_ = watermark_;
     process(watermark_, /*flushing=*/false);

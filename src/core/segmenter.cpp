@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/activation.hpp"
+#include "common/contracts.hpp"
 #include "common/stats.hpp"
 
 namespace rfipad::core {
@@ -23,8 +24,13 @@ SegmentationTrace Segmenter::trace(const reader::SampleStream& stream) const {
 
   const double t0 = stream.startTime();
   const double t1 = stream.endTime();
+  // push() keeps the stream time-sorted and finite; the frame math below
+  // (bucket index = (t - t0)/frame_s) is only meaningful under that
+  // invariant.
+  RFIPAD_INVARIANT(t1 >= t0, "stream end precedes its start");
   const int num_frames =
       std::max(1, static_cast<int>(std::ceil((t1 - t0) / options_.frame_s)));
+  RFIPAD_INVARIANT(num_frames >= 1, "frame count must be positive");
 
   // Calibrated, unwrapped phase series per tag; then bucket into frames.
   const auto series = stream.allSeries();
@@ -190,6 +196,8 @@ std::vector<Interval> Segmenter::segment(const reader::SampleStream& stream) con
   // output is strictly ordered and disjoint.
   for (std::size_t i = 1; i < merged.size(); ++i) {
     if (merged[i].t0 < merged[i - 1].t1) merged[i].t0 = merged[i - 1].t1;
+    RFIPAD_INVARIANT(merged[i].t0 >= merged[i - 1].t1,
+                     "segment intervals must stay disjoint after clamping");
   }
 
   // Length gate.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/angles.hpp"
+#include "common/contracts.hpp"
 #include "common/rng.hpp"
 
 namespace rfipad::fault {
@@ -140,6 +141,21 @@ std::vector<TimeWindow> FaultPlan::outageWindows(double t0, double t1,
 std::vector<reader::TagReport> FaultPlan::applyToReports(
     const std::vector<reader::TagReport>& reports, std::uint32_t numTags,
     std::uint64_t salt, FaultStats* stats) const {
+  // The determinism contract (degraded output is a pure function of
+  // plan/input/salt) presumes a well-formed plan; out-of-range
+  // probabilities would not crash, they would silently bias every sweep.
+  RFIPAD_ASSERT(death.dead_fraction >= 0.0 && death.dead_fraction <= 1.0,
+                "dead fraction must be a probability");
+  RFIPAD_ASSERT(detune.detuned_fraction >= 0.0 &&
+                    detune.detuned_fraction <= 1.0,
+                "detuned fraction must be a probability");
+  RFIPAD_ASSERT(missread.p_good_to_bad >= 0.0 &&
+                    missread.p_good_to_bad <= 1.0 &&
+                    missread.p_bad_to_good >= 0.0 &&
+                    missread.p_bad_to_good <= 1.0,
+                "Gilbert-Elliott transition probabilities must be in [0,1]");
+  RFIPAD_ASSERT(jitter.clock_jitter_std_s >= 0.0,
+                "clock jitter stddev must be non-negative");
   FaultStats local;
   local.input_reports = reports.size();
 
@@ -299,6 +315,11 @@ reader::SampleStream FaultPlan::apply(const reader::SampleStream& stream,
 std::vector<llrp::Bytes> FaultPlan::applyToFrames(
     const std::vector<llrp::Bytes>& frames, std::uint64_t salt,
     FaultStats* stats) const {
+  RFIPAD_ASSERT(frame.truncate_prob >= 0.0 && frame.truncate_prob <= 1.0 &&
+                    frame.bit_flip_prob >= 0.0 && frame.bit_flip_prob <= 1.0,
+                "frame corruption probabilities must be in [0,1]");
+  RFIPAD_ASSERT(frame.flips_per_frame >= 0,
+                "flips per frame must be non-negative");
   FaultStats local;
   local.frames_in = frames.size();
 

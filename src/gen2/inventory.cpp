@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace rfipad::gen2 {
 
 InventorySimulator::InventorySimulator(Gen2Timing timing, QConfig qconfig,
@@ -23,6 +25,10 @@ void InventorySimulator::startRound() {
   ++round_;
   ++stats_.rounds;
   frame_size_ = q_.frameSize();
+  // The Q algorithm clamps to [min_q, max_q] ⊂ [0, 15], so a round frame is
+  // always 1..2^15 slots; the per-tag slot draw below depends on it.
+  RFIPAD_INVARIANT(frame_size_ >= 1 && frame_size_ <= (1 << 15),
+                   "Gen2 frame size out of the Q-clamped range");
   slot_in_round_ = 0;
   // Query command opens the round; tags powered *now* draw slot counters.
   now_s_ += timing_.queryS();
@@ -30,6 +36,8 @@ void InventorySimulator::startRound() {
     counters_[i] = powered_(i, now_s_)
                        ? static_cast<int>(rng_.uniformInt(0, frame_size_ - 1))
                        : -1;
+    RFIPAD_INVARIANT(counters_[i] >= -1 && counters_[i] < frame_size_,
+                     "tag slot counter outside the current frame");
   }
 }
 

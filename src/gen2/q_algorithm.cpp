@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace rfipad::gen2 {
 
 QAlgorithm::QAlgorithm(QConfig config) : config_(config), qfp_(config.initial_q) {
@@ -16,6 +18,12 @@ QAlgorithm::QAlgorithm(QConfig config) : config_(config), qfp_(config.initial_q)
 }
 
 int QAlgorithm::roundQ() const {
+  // onEmptySlot/onCollisionSlot clamp Q_fp into [min_q, max_q]; if that
+  // drifted (e.g. a future adjustment path skipping the clamp), frameSize()
+  // would shift and silently change every MAC slot draw downstream.
+  RFIPAD_INVARIANT(qfp_ >= static_cast<double>(config_.min_q) &&
+                       qfp_ <= static_cast<double>(config_.max_q),
+                   "floating-point Q escaped its configured bounds");
   const double rounded = std::round(qfp_);
   return static_cast<int>(
       std::clamp(rounded, static_cast<double>(config_.min_q),

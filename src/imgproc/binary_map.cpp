@@ -1,7 +1,10 @@
 #include "imgproc/binary_map.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "common/contracts.hpp"
 
 namespace rfipad::imgproc {
 
@@ -118,6 +121,11 @@ std::string BinaryMap::ascii() const {
 double otsuThreshold(const std::vector<double>& values) {
   if (values.size() < 2)
     throw std::invalid_argument("otsuThreshold: need at least 2 values");
+  for (const double v : values) {
+    // A NaN would poison the sort's strict weak ordering and an infinity
+    // the prefix sums — both would silently skew the threshold.
+    RFIPAD_ASSERT(std::isfinite(v), "Otsu input values must be finite");
+  }
   std::vector<double> sorted = values;
   std::sort(sorted.begin(), sorted.end());
 
@@ -148,6 +156,7 @@ double otsuThreshold(const std::vector<double>& values) {
 }
 
 BinaryMap binarize(const GrayMap& map, double threshold) {
+  RFIPAD_ASSERT(!std::isnan(threshold), "binarize threshold must not be NaN");
   BinaryMap out(map.rows(), map.cols());
   for (int r = 0; r < map.rows(); ++r)
     for (int c = 0; c < map.cols(); ++c)

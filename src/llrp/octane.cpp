@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace rfipad::llrp {
 
 Bytes OctaneEmulator::handleControl(const Bytes& frame) {
@@ -77,6 +79,9 @@ bool OctaneEmulator::tryReconnect() {
 std::vector<Bytes> OctaneEmulator::poll(double duration_s,
                                         const reader::SceneFn& scene,
                                         std::size_t reportsPerMessage) {
+  RFIPAD_ASSERT(reportsPerMessage >= 1,
+                "poll needs at least one report per message");
+  RFIPAD_ASSERT(duration_s >= 0.0, "poll window must be non-negative");
   if (!connected_) throw std::logic_error("OctaneEmulator: link is down");
   if (!started_) throw std::logic_error("OctaneEmulator: ROSpec not started");
 
@@ -120,11 +125,19 @@ void OctaneClient::connect(OctaneEmulator& reader) {
   Rospec spec;
   spec.rospec_id = 1;
   expectSuccess(reader.handleControl(
-      encodeAddRospec(next_message_id_++, spec)));
+      encodeAddRospec(nextMessageId(), spec)));
   expectSuccess(reader.handleControl(
-      encodeEnableRospec(next_message_id_++, spec.rospec_id)));
+      encodeEnableRospec(nextMessageId(), spec.rospec_id)));
   expectSuccess(reader.handleControl(
-      encodeStartRospec(next_message_id_++, spec.rospec_id)));
+      encodeStartRospec(nextMessageId(), spec.rospec_id)));
+}
+
+void OctaneClient::deliver(const reader::TagReport& r) {
+  // Callback first and unlocked (it may be slow, or call back into the
+  // client); the shared stream append is the only critical section.
+  if (callback_) callback_(r);
+  MutexLock lock(mutex_);
+  stream_.push(r);
 }
 
 void OctaneClient::pump(OctaneEmulator& reader, double duration_s,
@@ -132,9 +145,7 @@ void OctaneClient::pump(OctaneEmulator& reader, double duration_s,
   for (const Bytes& frame : reader.poll(duration_s, scene)) {
     const RoAccessReport report = decodeRoAccessReport(frame);
     for (const auto& wire : report.reports) {
-      const reader::TagReport r = fromWire(wire);
-      if (callback_) callback_(r);
-      stream_.push(r);
+      deliver(fromWire(wire));
     }
   }
 }
@@ -143,6 +154,12 @@ PumpStats OctaneClient::pumpWithReconnect(OctaneEmulator& reader,
                                           double duration_s,
                                           const reader::SceneFn& scene,
                                           const ReconnectPolicy& policy) {
+  RFIPAD_ASSERT(duration_s >= 0.0, "pump duration must be non-negative");
+  RFIPAD_ASSERT(policy.poll_chunk_s > 0.0, "poll chunk must be positive");
+  RFIPAD_ASSERT(policy.multiplier >= 1.0,
+                "backoff multiplier below 1 would shrink the backoff");
+  RFIPAD_ASSERT(policy.max_attempts_per_outage >= 1,
+                "need at least one reconnect attempt per outage");
   PumpStats st;
   const double t_end = reader.now() + duration_s;
   double backoff = policy.initial_backoff_s;
@@ -195,8 +212,7 @@ PumpStats OctaneClient::pumpWithReconnect(OctaneEmulator& reader,
         }
         ++st.reports;
         ++st.decode.reports;
-        if (callback_) callback_(r);
-        stream_.push(r);
+        deliver(r);
       }
     }
     if (!reader.connected()) ++st.disconnects;

@@ -18,6 +18,8 @@
 
 #include <functional>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "llrp/bridge.hpp"
 #include "reader/reader.hpp"
 
@@ -126,39 +128,78 @@ struct PumpStats {
 
 /// Host-side SDK facade: performs the LLRP handshake and dispatches tag
 /// reports to a callback.
+///
+/// Thread safety: the accumulated stream and the message-id counter are
+/// mutex-guarded, so one client may be fed concurrently from several
+/// readers — the multi-antenna deployment shape, one pump thread per
+/// Speedway.  (TSan on the pre-lock code flagged exactly this: concurrent
+/// pumps raced on `stream_` and its reorder/duplicate counters.)  The
+/// report callback is dispatched outside the lock and must be set before
+/// pumping starts; each pump call still drives its own emulator — an
+/// OctaneEmulator itself is single-threaded, like the reader hardware.
 class OctaneClient {
  public:
   using ReportCallback = std::function<void(const reader::TagReport&)>;
 
+  /// Set the per-report callback.  Must not be called while a pump is in
+  /// flight (the callback itself is invoked unlocked, possibly from
+  /// several pump threads at once — it must be thread-safe if pumps are).
   void onReport(ReportCallback cb) { callback_ = std::move(cb); }
 
   /// ADD_ROSPEC → ENABLE_ROSPEC → START_ROSPEC.  Throws on a non-success
   /// response.
-  void connect(OctaneEmulator& reader);
+  void connect(OctaneEmulator& reader) RFIPAD_EXCLUDES(mutex_);
 
   /// Poll the reader and dispatch every report; also accumulates them into
   /// `stream()` for batch processing.  Strict decode, no reconnects — the
   /// clean path.
   void pump(OctaneEmulator& reader, double duration_s,
-            const reader::SceneFn& scene);
+            const reader::SceneFn& scene) RFIPAD_EXCLUDES(mutex_);
 
   /// Pump for `duration_s` of reader time, surviving scheduled outages
   /// (capped exponential backoff, session resume or re-handshake as the
   /// reader demands) and corrupted frames (lenient decode, skip and
   /// count).  Throws only when an outage outlasts the whole backoff
   /// schedule.  On a fault-free reader this delivers exactly what pump()
-  /// would.
+  /// would.  Requires duration_s >= 0 and a policy with a positive poll
+  /// chunk and a multiplier >= 1.
   PumpStats pumpWithReconnect(OctaneEmulator& reader, double duration_s,
                               const reader::SceneFn& scene,
-                              const ReconnectPolicy& policy = {});
+                              const ReconnectPolicy& policy = {})
+      RFIPAD_EXCLUDES(mutex_);
 
-  const reader::SampleStream& stream() const { return stream_; }
-  reader::SampleStream takeStream() { return std::move(stream_); }
+  /// The accumulated stream.  The returned reference is only stable while
+  /// no pump is in flight; concurrent pumps should use snapshotStream().
+  const reader::SampleStream& stream() const RFIPAD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return stream_;
+  }
+  /// Copy of the accumulated stream, safe against in-flight pumps.
+  reader::SampleStream snapshotStream() const RFIPAD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return stream_;
+  }
+  /// Drain the accumulated stream, leaving an empty one with the same tag
+  /// count behind (not a moved-from husk).
+  reader::SampleStream takeStream() RFIPAD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    reader::SampleStream out = std::move(stream_);
+    stream_ = reader::SampleStream(out.numTags());
+    return out;
+  }
 
  private:
+  std::uint32_t nextMessageId() RFIPAD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return next_message_id_++;
+  }
+  /// Dispatch one decoded report: callback unlocked, stream under lock.
+  void deliver(const reader::TagReport& r) RFIPAD_EXCLUDES(mutex_);
+
   ReportCallback callback_;
-  reader::SampleStream stream_;
-  std::uint32_t next_message_id_ = 1;
+  mutable Mutex mutex_;
+  reader::SampleStream stream_ RFIPAD_GUARDED_BY(mutex_);
+  std::uint32_t next_message_id_ RFIPAD_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace rfipad::llrp

@@ -235,9 +235,9 @@ SampleStream RfidReader::capture(double duration_s, const SceneFn& scene) {
     // Query), and tags sit tens of dB above sensitivity, so the bound
     // decides almost every call without changing any outcome.
     const auto& model = modelAt(t);
-    const auto& scene = ctx.sceneAt(t);
+    const auto& scene_now = ctx.sceneAt(t);
     const double amp_lo = model.forwardAmpLowerBound(
-        tags_[i].endpoint(), cacheAt(t, i), scene, ctx.geometryAt(t));
+        tags_[i].endpoint(), cacheAt(t, i), scene_now, ctx.geometryAt(t));
     if (amp_lo > 0.0 &&
         tx_w * amp_lo * amp_lo >= dbmToWatts(tags_[i].type.ic_sensitivity_dbm))
       return true;
@@ -258,11 +258,11 @@ SampleStream RfidReader::capture(double duration_s, const SceneFn& scene) {
     // bound on the backscatter power.  If even that clears the receive
     // sensitivity the response certainly decodes — skip the evaluation.
     const auto& model = modelAt(t);
-    const auto& scene = ctx.sceneAt(t);
+    const auto& scene_now = ctx.sceneAt(t);
     const double amp_lo = model.forwardAmpLowerBound(
-        tags_[i].endpoint(), cacheAt(t, i), scene, ctx.geometryAt(t));
+        tags_[i].endpoint(), cacheAt(t, i), scene_now, ctx.geometryAt(t));
     if (amp_lo > 0.0) {
-      const double det = model.detuneFactor(tags_[i].endpoint(), scene);
+      const double det = model.detuneFactor(tags_[i].endpoint(), scene_now);
       const double f2 = amp_lo * amp_lo;
       const double det2 = det * det;
       if (tx_w * f2 * f2 * mod_eff[i] * det2 * det2 >= rx_sens_w) return true;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace rfipad::reader {
 
 namespace {
@@ -68,7 +70,13 @@ TagSeries SampleStream::seriesFor(std::uint32_t tagIndex) const {
 std::vector<TagSeries> SampleStream::allSeries() const {
   std::vector<TagSeries> all(num_tags_);
   std::vector<std::size_t> counts(num_tags_, 0);
-  for (const auto& r : reports_) ++counts[r.tag_index];
+  for (const auto& r : reports_) {
+    // push() maintains num_tags_ > every stored index; a violation here
+    // means the stream was deserialised or spliced by hand incorrectly.
+    RFIPAD_INVARIANT(r.tag_index < num_tags_,
+                     "stored report index outside the declared tag count");
+    ++counts[r.tag_index];
+  }
   for (std::uint32_t i = 0; i < num_tags_; ++i) {
     all[i].tag_index = i;
     all[i].times.reserve(counts[i]);
@@ -96,6 +104,9 @@ double SampleStream::readRateHz() const {
 }
 
 SampleStream SampleStream::slice(double t0, double t1) const {
+  RFIPAD_ASSERT(!std::isnan(t0) && !std::isnan(t1),
+                "slice bounds must not be NaN");
+  if (t1 < t0) return SampleStream(num_tags_);  // inverted window == empty
   // Reports are time-ordered (push() enforces it), so the window is a
   // contiguous range — binary-search the bounds instead of scanning and
   // re-pushing one report at a time.

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "reader/tag_report.hpp"
 
 namespace rfipad::reader {
@@ -27,6 +29,10 @@ enum class PushOutcome : std::uint8_t {
   kInvalid,    ///< non-finite timestamp, dropped
 };
 
+/// Thread-compatible value type: distinct SampleStream objects may be used
+/// from distinct threads freely, but one object must not be mutated
+/// concurrently — wrap shared accumulation in a ConcurrentStreamSink
+/// (below) or hold an external lock (llrp::OctaneClient does the latter).
 class SampleStream {
  public:
   SampleStream() = default;
@@ -69,7 +75,8 @@ class SampleStream {
   /// Aggregate read rate over the capture, reads/second.
   double readRateHz() const;
 
-  /// Sub-stream restricted to [t0, t1).
+  /// Sub-stream restricted to [t0, t1).  Bounds must not be NaN; an
+  /// inverted window (t1 < t0) yields an empty stream.
   SampleStream slice(double t0, double t1) const;
 
   /// Sub-stream of reports taken on one hop channel (±1 kHz tolerance).
@@ -90,6 +97,53 @@ class SampleStream {
   std::uint64_t reorder_count_ = 0;
   std::uint64_t duplicate_count_ = 0;
   std::uint64_t invalid_count_ = 0;
+};
+
+/// Mutex-guarded fan-in point for multi-reader capture: several pump
+/// threads (one per antenna / Speedway) push into one sink, and the
+/// merged, time-sorted stream is taken out once the pumps have joined.
+/// push() relies on SampleStream's out-of-order insertion, so interleaved
+/// arrival order across producers does not disturb the time-sorted
+/// invariant.  Lock discipline is annotated for -Wthread-safety.
+class ConcurrentStreamSink {
+ public:
+  ConcurrentStreamSink() = default;
+  explicit ConcurrentStreamSink(std::uint32_t numTags) : stream_(numTags) {}
+
+  PushOutcome push(const TagReport& report) RFIPAD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return stream_.push(report);
+  }
+
+  /// Merge a whole per-producer stream under one lock acquisition.
+  void append(const SampleStream& other) RFIPAD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    stream_.append(other);
+  }
+
+  std::size_t size() const RFIPAD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return stream_.size();
+  }
+
+  /// Copy of the merged stream (safe while producers are still pushing).
+  SampleStream snapshot() const RFIPAD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return stream_;
+  }
+
+  /// Move the merged stream out; the sink is left empty.  Call after the
+  /// producer threads have joined.
+  SampleStream take() RFIPAD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    SampleStream out = std::move(stream_);
+    stream_ = SampleStream(out.numTags());
+    return out;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  SampleStream stream_ RFIPAD_GUARDED_BY(mutex_);
 };
 
 }  // namespace rfipad::reader

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/angles.hpp"
+#include "common/contracts.hpp"
+#include "common/mutex.hpp"
 
 namespace rfipad::rf {
 
@@ -30,7 +32,7 @@ ChannelModel& ChannelModel::operator=(const ChannelModel& other) {
   carrier_ = other.carrier_;
   antenna_ = other.antenna_;
   env_ = other.env_;
-  std::lock_guard<std::mutex> lock(memo_mutex_);
+  MutexLock lock(memo_mutex_);
   static_memo_.clear();
   return *this;
 }
@@ -40,14 +42,14 @@ ChannelModel& ChannelModel::operator=(ChannelModel&& other) noexcept {
   carrier_ = other.carrier_;
   antenna_ = std::move(other.antenna_);
   env_ = std::move(other.env_);
-  std::lock_guard<std::mutex> lock(memo_mutex_);
+  MutexLock lock(memo_mutex_);
   static_memo_.clear();
   return *this;
 }
 
 void ChannelModel::setEnvironment(MultipathEnvironment env) {
   // Setup-time operation: must not race with concurrent evaluate() calls.
-  std::lock_guard<std::mutex> lock(memo_mutex_);
+  MutexLock lock(memo_mutex_);
   env_ = std::move(env);
   static_memo_.clear();
 }
@@ -113,6 +115,8 @@ double ChannelModel::forwardAmpLowerBound(const TagEndpoint& tag,
                                           const StaticTagChannel& cache,
                                           const ScattererList& dynamic,
                                           const SceneGeometry& geometry) const {
+  RFIPAD_ASSERT(geometry.dyn.size() == dynamic.size(),
+                "scene geometry was precomputed for a different scatterer list");
   if (!env_.reflectors.empty() &&
       cache.reflector_terms.size() != env_.reflectors.size()) {
     return 0.0;  // hand-built cache without parasitic legs: no bound
@@ -153,7 +157,7 @@ double ChannelModel::detuneFactor(const TagEndpoint& tag,
 
 const ChannelModel::StaticTagChannel& ChannelModel::memoisedStatic(
     const TagEndpoint& tag) const {
-  std::lock_guard<std::mutex> lock(memo_mutex_);
+  MutexLock lock(memo_mutex_);
   for (const auto& e : static_memo_) {
     if (e.key.position.x == tag.position.x &&
         e.key.position.y == tag.position.y &&
@@ -215,6 +219,8 @@ ChannelSnapshot ChannelModel::evaluateCached(const TagEndpoint& tag,
                                              const StaticTagChannel& cache,
                                              const ScattererList& dynamic,
                                              const SceneGeometry& geometry) const {
+  RFIPAD_ASSERT(geometry.dyn.size() == dynamic.size(),
+                "scene geometry was precomputed for a different scatterer list");
   ChannelSnapshot snap;
 
   // Direct path, attenuated by any body part grazing the LOS segment.

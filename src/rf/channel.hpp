@@ -11,8 +11,9 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "rf/antenna.hpp"
 #include "rf/carrier.hpp"
 #include "rf/multipath.hpp"
@@ -201,8 +202,8 @@ class ChannelModel {
     TagEndpoint key;
     StaticTagChannel value;
   };
-  mutable std::mutex memo_mutex_;
-  mutable std::deque<MemoEntry> static_memo_;
+  mutable Mutex memo_mutex_;
+  mutable std::deque<MemoEntry> static_memo_ RFIPAD_GUARDED_BY(memo_mutex_);
   mutable std::atomic<std::uint64_t> precompute_calls_{0};
 
   /// Near-field detuning parameters: a hand within ~σ of a tag suppresses

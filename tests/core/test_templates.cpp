@@ -29,7 +29,7 @@ TEST(TemplateLibrary, TemplatesAreNormalised) {
     double mean = 0.0, norm2 = 0.0;
     for (double v : t.pixels) mean += v;
     for (double v : t.pixels) norm2 += v * v;
-    EXPECT_NEAR(mean / t.pixels.size(), 0.0, 1e-9);
+    EXPECT_NEAR(mean / static_cast<double>(t.pixels.size()), 0.0, 1e-9);
     EXPECT_NEAR(norm2, 1.0, 1e-9);
   }
 }

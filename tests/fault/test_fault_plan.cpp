@@ -118,8 +118,8 @@ TEST(FaultPlan, MissReadsHitConfiguredLossRate) {
   plan.missread = {0.1, 0.3, 0.0, 0.8};
   FaultStats st;
   const auto out = plan.apply(stream, 5, &st);
-  const double loss =
-      static_cast<double>(st.dropped_missread) / stream.size();
+  const double loss = static_cast<double>(st.dropped_missread) /
+                      static_cast<double>(stream.size());
   EXPECT_NEAR(loss, 0.2, 0.05);
   EXPECT_EQ(out.size() + st.dropped_missread, stream.size());
 }

@@ -1,0 +1,71 @@
+// Byte-level determinism regression for the Table-I motion battery: the
+// batch runner promises results that are bit-identical at any thread
+// count, so the *serialized* trial vectors — hex-float doubles included —
+// must match across `--threads 1` and `--threads 8`, and across repeated
+// runs at the same thread count.  sameOutcome()-style field comparison
+// would hide a drifting double that still compares equal after rounding;
+// serializing closes that hole.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+
+namespace rfipad::bench {
+namespace {
+
+// Hex floats are exact: every bit of the mantissa lands in the string.
+std::string hex(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+// Every deterministic field of a trial; the wall-clock measurements
+// (recognition_span_s, processing_s) are excluded by design — they are
+// the only fields allowed to differ between runs.
+std::string serialize(const std::vector<StrokeTrial>& trials) {
+  std::string out;
+  for (const auto& t : trials) {
+    out += std::to_string(static_cast<int>(t.truth.kind)) + "," +
+           std::to_string(static_cast<int>(t.truth.dir)) + "," +
+           std::to_string(t.detected) + "," +
+           std::to_string(t.kind_correct) + "," +
+           std::to_string(t.directed_correct) + "," +
+           std::to_string(t.spurious) + "," + std::to_string(t.samples) +
+           "," + std::to_string(t.faulted_dropped) + "\n";
+  }
+  return out;
+}
+
+TEST(Table1Determinism, SerializedBatteryIdenticalAcrossThreadsAndRuns) {
+  HarnessOptions opt;
+  opt.scenario.seed = 1000;
+  opt.scenario.doppler_probes = false;
+  Harness harness(opt);
+  const auto& user = sim::defaultUser(1);
+
+  const auto one_a = serialize(harness.runMotionBattery(1, user, {1, 0}));
+  const auto one_b = serialize(harness.runMotionBattery(1, user, {1, 0}));
+  const auto eight_a = serialize(harness.runMotionBattery(1, user, {8, 0}));
+  const auto eight_b = serialize(harness.runMotionBattery(1, user, {8, 0}));
+
+  EXPECT_FALSE(one_a.empty());
+  EXPECT_EQ(one_a, one_b) << "1-thread battery is not rerunnable";
+  EXPECT_EQ(eight_a, eight_b) << "8-thread battery is not rerunnable";
+  EXPECT_EQ(one_a, eight_a) << "thread count leaked into trial results";
+}
+
+TEST(Table1Determinism, HexFloatSerializationIsExact) {
+  // The serializer itself must be able to distinguish a 1-ulp drift,
+  // otherwise the regression above proves nothing.
+  const double v = 0.1;
+  const double drifted = std::nextafter(v, 1.0);
+  EXPECT_NE(hex(v), hex(drifted));
+}
+
+}  // namespace
+}  // namespace rfipad::bench

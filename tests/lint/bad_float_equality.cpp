@@ -1,0 +1,14 @@
+// LINT-PATH: src/core/bad_float_equality.cpp
+// LINT-EXPECT: float-equality
+// Exact comparison against a floating literal and between known-double
+// fields; quantisation and fault injection both perturb these.
+struct Report {
+  double time_s = 0.0;
+  double phase_rad = 0.0;
+};
+
+bool sameInstant(const Report& a, const Report& b) {
+  return a.time_s == b.time_s;
+}
+
+bool isIdlePhase(const Report& r) { return r.phase_rad != 0.25; }

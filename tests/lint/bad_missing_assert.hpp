@@ -1,0 +1,13 @@
+// LINT-PATH: src/core/bad_missing_assert.hpp
+// LINT-EXPECT: missing-assert
+// The doc comment promises preconditions, but nothing in the unit
+// enforces them.
+#pragma once
+
+namespace rfipad::core {
+
+/// Computes the frame index for a report time.
+/// Requires: `time_s` must be non-negative and `frame_s` must be positive.
+int frameIndex(double time_s, double frame_s);
+
+}  // namespace rfipad::core

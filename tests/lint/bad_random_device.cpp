@@ -1,0 +1,9 @@
+// LINT-PATH: src/core/bad_random_device.cpp
+// LINT-EXPECT: no-random-device, no-libc-rand
+// Unseeded entropy in a simulation path: both the C++ and the libc form.
+#include <random>
+
+int sampleNoise() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand() % 7;
+}

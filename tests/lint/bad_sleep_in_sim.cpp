@@ -1,0 +1,7 @@
+// LINT-PATH: src/sim/bad_sleep_in_sim.cpp
+// LINT-EXPECT: no-sleep
+// Host sleeps in a simulation path couple results to scheduler timing.
+#include <chrono>
+#include <thread>
+
+void settle() { std::this_thread::sleep_for(std::chrono::milliseconds(10)); }

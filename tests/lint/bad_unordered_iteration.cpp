@@ -1,0 +1,15 @@
+// LINT-PATH: src/core/bad_unordered_iteration.cpp
+// LINT-EXPECT: unordered-iteration
+// Hash-order iteration feeding a result vector: the output ordering
+// changes across libstdc++ versions and hash seeds.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> collect(const std::unordered_map<std::string, int>& counts) {
+  std::vector<int> out;
+  for (const auto& kv : counts) {
+    out.push_back(kv.second);
+  }
+  return out;
+}

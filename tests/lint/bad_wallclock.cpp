@@ -1,0 +1,12 @@
+// LINT-PATH: src/sim/bad_wallclock.cpp
+// LINT-EXPECT: no-wallclock
+// Wall-clock timestamping outside src/llrp/ makes batch results depend on
+// when they ran.
+#include <chrono>
+#include <ctime>
+
+double stampNow() {
+  const auto now = std::chrono::system_clock::now();
+  (void)time(nullptr);
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -1,0 +1,19 @@
+// LINT-PATH: src/core/good_assert_present.hpp
+// LINT-EXPECT: clean
+// Same documented preconditions as bad_missing_assert.hpp, but the unit
+// enforces them with a contract macro.
+#pragma once
+
+#include "common/contracts.hpp"
+
+namespace rfipad::core {
+
+/// Computes the frame index for a report time.
+/// Requires: `time_s` must be non-negative and `frame_s` must be positive.
+inline int frameIndex(double time_s, double frame_s) {
+  RFIPAD_ASSERT(time_s >= 0.0 && frame_s > 0.0,
+                "frameIndex requires a non-negative time and positive frame");
+  return static_cast<int>(time_s / frame_s);
+}
+
+}  // namespace rfipad::core

@@ -1,0 +1,16 @@
+// LINT-PATH: src/core/good_float_tolerance.cpp
+// LINT-EXPECT: clean
+// Tolerance-based comparison, integer equality, and relational float
+// comparisons must all pass; a comment mentioning `x == 1.0` must not trip
+// the rule either.
+#include <cmath>
+
+struct Report {
+  double time_s = 0.0;
+  int tag_index = 0;
+};
+
+bool closeInTime(const Report& a, const Report& b) {
+  return a.tag_index == b.tag_index &&
+         std::abs(a.time_s - b.time_s) < 1e-9 && a.time_s >= 0.0;
+}

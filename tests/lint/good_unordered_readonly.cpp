@@ -1,0 +1,18 @@
+// LINT-PATH: src/core/good_unordered_readonly.cpp
+// LINT-EXPECT: clean
+// Order-independent reduction over an unordered container is fine: a sum
+// does not care about iteration order.  (Also: steady_clock is allowed —
+// it measures durations, never wall-clock time.)
+#include <chrono>
+#include <string>
+#include <unordered_map>
+
+int total(const std::unordered_map<std::string, int>& counts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  int sum = 0;
+  for (const auto& kv : counts) {
+    sum = sum + kv.second;
+  }
+  (void)t0;
+  return sum;
+}

@@ -1,0 +1,13 @@
+// LINT-PATH: src/llrp/good_wallclock_transport.cpp
+// LINT-EXPECT: clean
+// The same constructs as bad_wallclock.cpp, but under src/llrp/ — the
+// transport layer timestamps real I/O and backs off with real sleeps.
+#include <chrono>
+#include <thread>
+
+double stampNow() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}

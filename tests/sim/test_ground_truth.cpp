@@ -22,7 +22,7 @@ TEST(Kinect, SamplesAtFrameRate) {
   ASSERT_GT(track.size(), 10u);
   // ~30 fps spacing.
   EXPECT_NEAR(track[1].t - track[0].t, 1.0 / 30.0, 1e-9);
-  EXPECT_NEAR(track.size() / traj.durationS(), 30.0, 1.5);
+  EXPECT_NEAR(static_cast<double>(track.size()) / traj.durationS(), 30.0, 1.5);
 }
 
 TEST(Kinect, NoiselessTrackFollowsTrajectory) {

@@ -1,0 +1,429 @@
+#!/usr/bin/env python3
+"""rfipad determinism & invariants linter.
+
+The repo's core contract — bit-identical batch results at any ``--threads``
+— only survives if no code path sneaks in unseeded randomness, wall-clock
+reads, or iteration order that depends on hash seeds.  This linter walks
+``src/`` and ``bench/`` and rejects the constructs that have historically
+broken RF-sensing reproductions:
+
+  no-random-device     std::random_device (unseeded entropy; use rfipad::Rng
+                       with an explicit seed / Rng::deriveSeed)
+  no-libc-rand         rand()/srand() (global hidden state, not
+                       thread-count stable)
+  no-wallclock         time()/localtime()/mktime()/std::chrono::system_clock
+                       outside src/llrp (transport code may timestamp real
+                       I/O; simulation and analysis must use the reader
+                       clock).  steady_clock is allowed — it measures
+                       durations, and the harness excludes measured times
+                       from determinism comparisons.
+  no-sleep             std::this_thread::sleep_for/sleep_until, usleep,
+                       nanosleep outside src/llrp (simulated time must
+                       advance via the scenario clock, never the host's)
+  unordered-iteration  range-for over a std::unordered_{map,set} whose body
+                       appends to another container: the iteration order is
+                       hash-seed dependent, so the result ordering is not
+                       reproducible.  Iterate a sorted copy instead.
+  float-equality       ==/!= against a floating literal or between
+                       known-double fields (time_s, phase_rad, ...).  Use a
+                       tolerance, or allowlist audited exact-match cases
+                       (duplicate detection, memo keys).
+  missing-assert       a header documents preconditions ("Requires ...",
+                       "must be ...", "must not ...") but neither the
+                       header nor its .cpp enforces anything (no
+                       RFIPAD_ASSERT/RFIPAD_INVARIANT, no validating throw)
+
+Audited exceptions live in ``tools/lint/lint_allowlist.txt`` (max
+%(max_allow)d entries — beyond that, fix the code instead).  Exit code 0
+means clean, 1 means findings, 2 means bad invocation or config.
+
+Self-test mode (``--self-test DIR``) lints every fixture under DIR and
+compares the produced rule set against the fixture's ``LINT-EXPECT``
+header; see tests/lint/README.md.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+MAX_ALLOWLIST_ENTRIES = 10
+
+# Directories linted in --root mode, relative to the repo root.
+LINT_DIRS = ("src", "bench")
+
+# Paths (prefix match, repo-relative, '/'-separated) where wall-clock and
+# sleep calls are legitimate: the LLRP transport talks to real hardware.
+TRANSPORT_PREFIXES = ("src/llrp/",)
+
+FLOAT_LIT = r"(?<![\w.])(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fF]?"
+
+# Struct fields that are double-typed throughout the repo; comparing them
+# with == is almost always a bug (quantisation, jitter, fault injection all
+# perturb them).
+DOUBLE_FIELDS = (
+    "time_s|phase_rad|rssi_dbm|channel_mhz|doppler_hz|gain_linear|"
+    "polarization_loss|x|y|z"
+)
+
+PRECONDITION_MARKERS = re.compile(r"\b(?:Requires|must be|must not)\b")
+ENFORCEMENT_TOKENS = re.compile(
+    r"RFIPAD_ASSERT|RFIPAD_INVARIANT|throw\s+(?:std::|Decode|rfipad)"
+)
+
+WRITE_CALLS = re.compile(r"\.(?:push_back|emplace_back|insert|emplace)\s*\(|\+=")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving newlines so
+    line numbers stay valid."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                mode = c
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif mode == "line":
+            if c == "\n":
+                mode = None
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == mode:
+                mode = None
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def is_transport(relpath):
+    return relpath.startswith(TRANSPORT_PREFIXES)
+
+
+def find_matching_brace(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def check_banned_constructs(relpath, code, findings):
+    rules = [
+        ("no-random-device", re.compile(r"std\s*::\s*random_device"),
+         "std::random_device is unseeded entropy; use rfipad::Rng"),
+        ("no-libc-rand", re.compile(r"\bs?rand\s*\("),
+         "rand()/srand() use hidden global state; use rfipad::Rng"),
+    ]
+    if not is_transport(relpath):
+        rules += [
+            ("no-wallclock",
+             re.compile(r"std\s*::\s*chrono\s*::\s*system_clock|"
+                        r"\b(?:time|localtime|gmtime|mktime)\s*\("),
+             "wall-clock read outside transport code; use the reader clock"),
+            ("no-sleep",
+             re.compile(r"\bsleep_(?:for|until)\b|\busleep\s*\(|\bnanosleep\s*\("),
+             "host sleeps outside transport code; advance simulated time instead"),
+        ]
+    for rule, pattern, message in rules:
+        for m in pattern.finditer(code):
+            findings.append(Finding(relpath, line_of(code, m.start()), rule,
+                                    message))
+
+
+def check_unordered_iteration(relpath, code, findings):
+    # Variables declared with an unordered container type anywhere in the
+    # file (cheap approximation of scope).
+    unordered_vars = set(
+        m.group(1)
+        for m in re.finditer(
+            r"unordered_(?:map|set)\s*<[^;{]*?>[&*\s]+(\w+)\s*[;={(),]", code)
+    )
+    for m in re.finditer(r"for\s*\(([^;(){}]*?):([^(){}]*?)\)\s*(\{?)", code):
+        range_expr = m.group(2)
+        uses_unordered = "unordered_" in range_expr or any(
+            re.search(rf"\b{re.escape(v)}\b", range_expr)
+            for v in unordered_vars)
+        if not uses_unordered:
+            continue
+        if m.group(3) == "{":
+            open_pos = m.end() - 1
+            body = code[open_pos:find_matching_brace(code, open_pos) + 1]
+        else:  # single-statement body
+            body = code[m.end():code.find(";", m.end()) + 1]
+        if WRITE_CALLS.search(body):
+            findings.append(Finding(
+                relpath, line_of(code, m.start()), "unordered-iteration",
+                "range-for over an unordered container feeds a result "
+                "container; the ordering is hash-seed dependent — iterate "
+                "a sorted copy"))
+
+
+def check_float_equality(relpath, code, findings):
+    patterns = [
+        re.compile(rf"{FLOAT_LIT}\s*(?:==|!=)"),
+        re.compile(rf"(?:==|!=)\s*[-+]?\s*{FLOAT_LIT}"),
+        re.compile(rf"\.(?:{DOUBLE_FIELDS})\b\s*(?:==|!=)(?!=)"),
+    ]
+    seen_lines = set()
+    for pattern in patterns:
+        for m in pattern.finditer(code):
+            line = line_of(code, m.start())
+            if line in seen_lines:
+                continue
+            seen_lines.add(line)
+            findings.append(Finding(
+                relpath, line, "float-equality",
+                "exact floating-point comparison; use a tolerance or "
+                "allowlist the audited exact-match"))
+
+
+def check_missing_assert(relpath, raw, code, sibling_texts, findings):
+    """Header documents preconditions but nothing in the unit enforces any
+    contract.  `sibling_texts` are the stripped texts of same-stem files."""
+    if not relpath.endswith((".hpp", ".h")):
+        return
+    marker = None
+    for m in re.finditer(r"//[^\n]*", raw):
+        if PRECONDITION_MARKERS.search(m.group(0)):
+            marker = m
+            break
+    if marker is None:
+        return
+    unit = [code] + list(sibling_texts)
+    if any(ENFORCEMENT_TOKENS.search(t) for t in unit):
+        return
+    findings.append(Finding(
+        relpath, line_of(raw, marker.start()), "missing-assert",
+        "header documents preconditions but neither it nor its .cpp "
+        "enforces any (add RFIPAD_ASSERT / a validating throw)"))
+
+
+def lint_file(relpath, raw, sibling_raw=()):
+    code = strip_comments_and_strings(raw)
+    findings = []
+    check_banned_constructs(relpath, code, findings)
+    check_unordered_iteration(relpath, code, findings)
+    check_float_equality(relpath, code, findings)
+    check_missing_assert(relpath, raw, code,
+                         [strip_comments_and_strings(s) for s in sibling_raw],
+                         findings)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Allowlist
+# ---------------------------------------------------------------------------
+
+def load_allowlist(path):
+    """Entries: `relpath:rule` or `relpath:rule:substring`, one per line.
+    A substring entry only suppresses findings whose source line contains
+    the substring."""
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(":", 2)
+            if len(parts) < 2:
+                raise SystemExit(
+                    f"allowlist {path}:{lineno}: malformed entry {line!r}")
+            entries.append({
+                "path": parts[0],
+                "rule": parts[1],
+                "substr": parts[2] if len(parts) > 2 else None,
+                "used": False,
+                "lineno": lineno,
+            })
+    if len(entries) > MAX_ALLOWLIST_ENTRIES:
+        raise SystemExit(
+            f"allowlist {path} has {len(entries)} entries; the audited "
+            f"budget is {MAX_ALLOWLIST_ENTRIES} — fix code instead of "
+            f"allowlisting")
+    return entries
+
+
+def apply_allowlist(findings, entries, file_lines):
+    kept = []
+    for f in findings:
+        suppressed = False
+        for e in entries:
+            if e["path"] != f.path or e["rule"] != f.rule:
+                continue
+            if e["substr"] is not None:
+                lines = file_lines.get(f.path, [])
+                text = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+                if e["substr"] not in text:
+                    continue
+            e["used"] = True
+            suppressed = True
+            break
+        if not suppressed:
+            kept.append(f)
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+def collect_sources(root):
+    for top in LINT_DIRS:
+        base = os.path.join(root, top)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith((".cpp", ".hpp", ".h")):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def run_root(root, allowlist_path):
+    entries = load_allowlist(allowlist_path)
+    sources = list(collect_sources(root))
+    raw_by_path = {}
+    for rel in sources:
+        with open(os.path.join(root, rel), encoding="utf-8") as fh:
+            raw_by_path[rel] = fh.read()
+
+    def siblings(rel):
+        stem = rel.rsplit(".", 1)[0]
+        return [raw_by_path[p] for p in sources
+                if p != rel and p.rsplit(".", 1)[0] == stem]
+
+    findings = []
+    for rel in sources:
+        findings.extend(lint_file(rel, raw_by_path[rel], siblings(rel)))
+
+    file_lines = {p: t.split("\n") for p, t in raw_by_path.items()}
+    findings = apply_allowlist(findings, entries, file_lines)
+
+    for e in entries:
+        if not e["used"]:
+            print(f"warning: unused allowlist entry "
+                  f"{e['path']}:{e['rule']} (line {e['lineno']})",
+                  file=sys.stderr)
+
+    for f in findings:
+        print(f)
+    print(f"rfipad_lint: {len(sources)} files, {len(findings)} finding(s), "
+          f"{sum(e['used'] for e in entries)}/{len(entries)} allowlist "
+          f"entries used")
+    return 1 if findings else 0
+
+
+def run_self_test(fixture_dir):
+    """Each fixture declares its expectations in its first lines:
+         // LINT-PATH: src/core/fixture.cpp     (optional virtual path)
+         // LINT-EXPECT: rule-a, rule-b          (or: clean)
+    The linter must produce exactly the expected rule set."""
+    fixtures = sorted(
+        f for f in os.listdir(fixture_dir) if f.endswith((".cpp", ".hpp")))
+    if not fixtures:
+        print(f"self-test: no fixtures under {fixture_dir}", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in fixtures:
+        path = os.path.join(fixture_dir, name)
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+        m = re.search(r"//\s*LINT-EXPECT:\s*([^\n]*)", raw)
+        if not m:
+            print(f"FAIL {name}: fixture lacks a LINT-EXPECT header")
+            failures += 1
+            continue
+        expected = set()
+        if m.group(1).strip() != "clean":
+            expected = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        pm = re.search(r"//\s*LINT-PATH:\s*(\S+)", raw)
+        virtual_path = pm.group(1) if pm else f"src/fixtures/{name}"
+        got = {f.rule for f in lint_file(virtual_path, raw)}
+        if got == expected:
+            print(f"ok   {name}: {sorted(got) or ['clean']}")
+        else:
+            print(f"FAIL {name}: expected {sorted(expected)}, got {sorted(got)}")
+            failures += 1
+    print(f"self-test: {len(fixtures)} fixtures, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__ % {"max_allow": MAX_ALLOWLIST_ENTRIES},
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repo root; lints src/ and bench/ beneath it")
+    parser.add_argument("--allowlist", default=None,
+                        help="allowlist file (default: "
+                             "tools/lint/lint_allowlist.txt under --root)")
+    parser.add_argument("--self-test", default=None, metavar="DIR",
+                        help="run the fixture self-test against DIR")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test(args.self_test)
+    root = args.root or os.getcwd()
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"error: {root} does not look like the repo root "
+              f"(no src/)", file=sys.stderr)
+        return 2
+    allowlist = args.allowlist or os.path.join(root, "tools", "lint",
+                                               "lint_allowlist.txt")
+    return run_root(root, allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
