@@ -122,6 +122,20 @@ int main(int argc, char** argv) {
                  records[1].wall_s, records[0].wall_s);
     return 1;
   }
+  // No regression vs the recorded baseline: when the caller passes the
+  // baseline wall time from BENCH_throughput.json (--baseline-wall), the
+  // optimised batch path must still beat it.  Both runs cover the same
+  // workload, so any slowdown past the recorded figure is a regression
+  // (modulo host speed — the baseline is deliberately the slow
+  // pre-optimisation number, leaving a wide safety margin).
+  if (args.baseline_wall_s > 0.0 &&
+      records[1].speedup_vs_baseline < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: batch(1 thread) %.2fs regressed past the recorded "
+                 "baseline %.2fs\n",
+                 records[1].wall_s, args.baseline_wall_s);
+    return 1;
+  }
   std::puts("PASS");
   return 0;
 }

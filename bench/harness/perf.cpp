@@ -1,5 +1,6 @@
 #include "harness/perf.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +8,8 @@
 #include <ctime>
 #include <fstream>
 #include <sstream>
+
+#include "common/simd_dispatch.hpp"
 
 namespace rfipad::bench {
 
@@ -25,9 +28,13 @@ double cpuTimeS() {
 }
 
 void finaliseRates(ThroughputRecord& rec) {
+  if (rec.kernel.empty())
+    rec.kernel = simd::tierName(simd::activeTier());
   if (rec.wall_s <= 0.0) return;
   rec.trials_per_s = static_cast<double>(rec.trials) / rec.wall_s;
   rec.samples_per_s = static_cast<double>(rec.samples) / rec.wall_s;
+  rec.samples_per_s_per_thread =
+      rec.samples_per_s / static_cast<double>(std::max(1, rec.threads));
 }
 
 void computeSpeedups(std::vector<ThroughputRecord>& records,
@@ -82,7 +89,7 @@ bool writeThroughputJson(const std::string& path,
                          const std::vector<ThroughputRecord>& records,
                          const std::vector<StageTime>& stages,
                          double baseline_wall_s) {
-  std::string out = "{\n  \"schema\": \"rfipad-bench-throughput-v1\",\n";
+  std::string out = "{\n  \"schema\": \"rfipad-bench-throughput-v2\",\n";
   if (baseline_wall_s > 0.0) {
     out += "  \"baseline_wall_s\": " + jsonNumber(baseline_wall_s) + ",\n";
   }
@@ -93,6 +100,8 @@ bool writeThroughputJson(const std::string& path,
     appendJsonString(out, r.bench);
     out += ", \"mode\": ";
     appendJsonString(out, r.mode);
+    out += ", \"kernel\": ";
+    appendJsonString(out, r.kernel);
     out += ", \"threads\": " + std::to_string(r.threads);
     out += ", \"trials\": " + std::to_string(r.trials);
     out += ", \"samples\": " + std::to_string(r.samples);
@@ -100,6 +109,8 @@ bool writeThroughputJson(const std::string& path,
     out += ", \"cpu_s\": " + jsonNumber(r.cpu_s);
     out += ", \"trials_per_s\": " + jsonNumber(r.trials_per_s);
     out += ", \"samples_per_s\": " + jsonNumber(r.samples_per_s);
+    out += ", \"samples_per_s_per_thread\": " +
+           jsonNumber(r.samples_per_s_per_thread);
     if (r.speedup_vs_1thread > 0.0)
       out += ", \"speedup_vs_1thread\": " + jsonNumber(r.speedup_vs_1thread);
     if (r.speedup_vs_baseline > 0.0)

@@ -51,6 +51,9 @@ class StageTimer {
 struct ThroughputRecord {
   std::string bench;      ///< bench binary name, e.g. "bench_table1_los_nlos"
   std::string mode;       ///< "sequential" (legacy path) or "batch"
+  std::string kernel;     ///< active kernel tier: "scalar", "avx2", "neon";
+                          ///< filled from the dispatcher by finaliseRates()
+                          ///< when left empty
   int threads = 1;        ///< resolved worker-thread count
   std::int64_t trials = 0;
   std::int64_t samples = 0;  ///< tag reports consumed across all trials
@@ -58,6 +61,7 @@ struct ThroughputRecord {
   double cpu_s = 0.0;
   double trials_per_s = 0.0;
   double samples_per_s = 0.0;
+  double samples_per_s_per_thread = 0.0;  ///< samples_per_s / threads
   /// Wall-clock speedup vs the 1-thread batch record of the same bench
   /// (0 = not computed).
   double speedup_vs_1thread = 0.0;

@@ -18,11 +18,11 @@ double wrapPi(double theta) {
 
 double angleDiff(double a, double b) { return wrapPi(a - b); }
 
-void unwrapInPlace(std::vector<double>& phases) {
-  if (phases.size() < 2) return;
+void unwrapInPlace(double* phases, std::size_t n) {
+  if (n < 2) return;
   double offset = 0.0;
-  double prev = phases.front();
-  for (std::size_t i = 1; i < phases.size(); ++i) {
+  double prev = phases[0];
+  for (std::size_t i = 1; i < n; ++i) {
     const double raw = phases[i];
     const double d = raw - prev;
     if (d > kPi) {
@@ -33,6 +33,10 @@ void unwrapInPlace(std::vector<double>& phases) {
     prev = raw;
     phases[i] = raw + offset;
   }
+}
+
+void unwrapInPlace(std::vector<double>& phases) {
+  unwrapInPlace(phases.data(), phases.size());
 }
 
 std::vector<double> unwrapped(std::vector<double> phases) {

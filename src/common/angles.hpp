@@ -2,6 +2,7 @@
 // step, §III-A3), and circular statistics.
 #pragma once
 
+#include <cstddef>
 #include <numbers>
 #include <vector>
 
@@ -24,6 +25,9 @@ double angleDiff(double a, double b);
 /// series becomes continuous.  This is the classic one-dimensional phase
 /// unwrapping used by the paper (borrowed from CBID [14]).
 void unwrapInPlace(std::vector<double>& phases);
+
+/// Pointer-range variant for flat (structure-of-arrays) series.
+void unwrapInPlace(double* phases, std::size_t n);
 
 /// Non-mutating variant of unwrapInPlace.
 std::vector<double> unwrapped(std::vector<double> phases);

@@ -1,0 +1,90 @@
+#include "common/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace rfipad::simd {
+
+namespace {
+
+Tier applyEnv(Tier detected) {
+  const char* e = std::getenv("RFIPAD_KERNEL");
+  if (e == nullptr || *e == '\0') return detected;
+  if (std::strcmp(e, "scalar") == 0) return Tier::kScalar;
+  if (std::strcmp(e, "avx2") == 0 && detected == Tier::kAvx2) return Tier::kAvx2;
+  if (std::strcmp(e, "neon") == 0 && detected == Tier::kNeon) return Tier::kNeon;
+  // "simd", an unavailable tier, or an unknown word: keep auto-detection.
+  return detected;
+}
+
+}  // namespace
+
+Tier detectTier() {
+#if defined(RFIPAD_TU_AVX2)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return Tier::kAvx2;
+  return Tier::kScalar;
+#elif defined(RFIPAD_TU_NEON)
+  // AdvSIMD (incl. double-precision) is architecturally mandatory on AArch64.
+  return Tier::kNeon;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+namespace detail {
+
+std::atomic<int> g_active_tier{-1};
+
+Tier resolveActiveTier() {
+  // getenv is read only on resolution: the environment is process-wide
+  // configuration, and a stable answer keeps one run on one tier.  A
+  // racing resolution is benign — every thread computes the same value.
+  const Tier t = applyEnv(detectTier());
+  g_active_tier.store(static_cast<int>(t), std::memory_order_relaxed);
+  return t;
+}
+
+}  // namespace detail
+
+bool tierCompiled(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+#if defined(RFIPAD_TU_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Tier::kNeon:
+#if defined(RFIPAD_TU_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+void setTierOverrideForTest(Tier t) {
+  detail::g_active_tier.store(static_cast<int>(t), std::memory_order_relaxed);
+}
+
+void clearTierOverrideForTest() {
+  // Drop back to the unresolved state; the next kernel call re-resolves
+  // from the environment + detection, landing on the same tier as before.
+  detail::g_active_tier.store(-1, std::memory_order_relaxed);
+}
+
+const char* tierName(Tier t) {
+  switch (t) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kNeon: return "neon";
+  }
+  return "scalar";
+}
+
+}  // namespace rfipad::simd

@@ -1,0 +1,67 @@
+// Runtime CPU-dispatch shim for the SIMD kernel tiers.
+//
+// One binary carries every kernel tier its architecture can express —
+// scalar everywhere, AVX2+FMA on x86-64, AdvSIMD on AArch64 — and picks
+// the widest one the *running* CPU supports.  The choice is overridable:
+//
+//   RFIPAD_KERNEL=scalar   force the portable scalar tier
+//   RFIPAD_KERNEL=simd     auto-detect (the default)
+//   RFIPAD_KERNEL=avx2     request AVX2 (honoured only when supported)
+//   RFIPAD_KERNEL=neon     request NEON (honoured only when compiled in)
+//
+// Every tier of every kernel is bit-for-bit identical by construction
+// (see vmath.hpp), so the override is a debugging/benchmarking aid, not a
+// correctness knob — tests assert the equality explicitly.
+#pragma once
+
+#include <atomic>
+
+namespace rfipad::simd {
+
+// Which vector tiers this *binary* contains is an architecture fact, and
+// the build system compiles the matching TU under the same condition.
+#if defined(__x86_64__) || defined(_M_X64)
+#define RFIPAD_TU_AVX2 1
+#elif defined(__aarch64__)
+#define RFIPAD_TU_NEON 1
+#endif
+
+enum class Tier { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Widest tier the running CPU supports among those compiled in.
+Tier detectTier();
+
+namespace detail {
+/// Effective tier, or −1 before first resolution / after a cleared
+/// override.  Relaxed atomics suffice: every resolution computes the same
+/// value, and the test override is an explicit cross-thread handoff done
+/// while kernels are quiescent.
+extern std::atomic<int> g_active_tier;
+/// Slow path: resolve RFIPAD_KERNEL + detection, publish, return.
+Tier resolveActiveTier();
+}  // namespace detail
+
+/// Tier the kernels actually dispatch to: the test override if set,
+/// otherwise the RFIPAD_KERNEL environment override, otherwise detection.
+/// Inline fast path — one relaxed load — because every dispatched kernel
+/// call (millions per capture) lands here first.
+inline Tier activeTier() {
+  const int v = detail::g_active_tier.load(std::memory_order_relaxed);
+  if (v >= 0) return static_cast<Tier>(v);
+  return detail::resolveActiveTier();
+}
+
+/// Whether this binary contains the given tier at all (a compile-time
+/// fact surfaced at runtime for tests and the bench recorder).
+bool tierCompiled(Tier t);
+
+/// Pin the active tier from test/bench code, bypassing the environment.
+/// The caller must pass a tier for which tierCompiled() holds and that
+/// the CPU can execute (guard with detectTier()).
+void setTierOverrideForTest(Tier t);
+void clearTierOverrideForTest();
+
+/// Stable lower-case name: "scalar", "avx2", "neon".
+const char* tierName(Tier t);
+
+}  // namespace rfipad::simd

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/vkernels.hpp"
+
 namespace rfipad {
 
 void RunningStats::add(double x) {
@@ -43,29 +45,35 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-double mean(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
-  double s = 0.0;
-  for (double x : xs) s += x;
-  return s / static_cast<double>(xs.size());
+double mean(const double* xs, std::size_t n) {
+  if (n == 0) return 0.0;
+  return vk::sum(xs, n) / static_cast<double>(n);
+}
+
+double mean(const std::vector<double>& xs) { return mean(xs.data(), xs.size()); }
+
+double variance(const double* xs, std::size_t n) {
+  if (n < 2) return 0.0;
+  const double m = mean(xs, n);
+  return vk::sumSquaredDev(xs, n, m) / static_cast<double>(n - 1);
 }
 
 double variance(const std::vector<double>& xs) {
-  if (xs.size() < 2) return 0.0;
-  const double m = mean(xs);
-  double s = 0.0;
-  for (double x : xs) s += (x - m) * (x - m);
-  return s / static_cast<double>(xs.size() - 1);
+  return variance(xs.data(), xs.size());
+}
+
+double stddev(const double* xs, std::size_t n) {
+  return std::sqrt(variance(xs, n));
 }
 
 double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
 
-double rms(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
-  double s = 0.0;
-  for (double x : xs) s += x * x;
-  return std::sqrt(s / static_cast<double>(xs.size()));
+double rms(const double* xs, std::size_t n) {
+  if (n == 0) return 0.0;
+  return std::sqrt(vk::sumSquares(xs, n) / static_cast<double>(n));
 }
+
+double rms(const std::vector<double>& xs) { return rms(xs.data(), xs.size()); }
 
 double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
 

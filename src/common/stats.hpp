@@ -31,10 +31,19 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+// mean/variance/stddev/rms run on the segmenter's per-frame hot path, so
+// the reductions route through the dispatched flat-array kernels
+// (common/vkernels.hpp): SIMD where available, and bit-identical across
+// tiers by the kernels' fixed-order virtual-lane contract.  The pointer
+// overloads let flat (SoA) callers reduce a sub-slice without copying.
+double mean(const double* xs, std::size_t n);
 double mean(const std::vector<double>& xs);
+double variance(const double* xs, std::size_t n);
 double variance(const std::vector<double>& xs);
+double stddev(const double* xs, std::size_t n);
 double stddev(const std::vector<double>& xs);
 /// Root mean square: sqrt(Σx²/n).  Matches the per-frame RMS in Eq. 11.
+double rms(const double* xs, std::size_t n);
 double rms(const std::vector<double>& xs);
 double median(std::vector<double> xs);
 

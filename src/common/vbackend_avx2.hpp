@@ -1,0 +1,67 @@
+// AVX2+FMA backend for the vmath templates: 4 × double lanes.
+//
+// Only translation units compiled with -mavx2 -mfma (and, like every
+// kernel TU, -ffp-contract=off) may include this header.  Each operation
+// is the IEEE-correctly-rounded counterpart of ScalarBackend's, so a lane
+// reproduces the scalar tier bit-for-bit.
+#pragma once
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "vbackend_avx2.hpp requires -mavx2 -mfma"
+#endif
+
+#include <immintrin.h>
+
+namespace rfipad::vm {
+
+struct Avx2Backend {
+  static constexpr int kLanes = 4;
+  using V = __m256d;
+  using M = __m256d;  // comparison result: all-ones / all-zeros lanes
+
+  static V set(double x) { return _mm256_set1_pd(x); }
+  static V load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, V v) { _mm256_storeu_pd(p, v); }
+  static V add(V a, V b) { return _mm256_add_pd(a, b); }
+  static V sub(V a, V b) { return _mm256_sub_pd(a, b); }
+  static V mul(V a, V b) { return _mm256_mul_pd(a, b); }
+  static V div(V a, V b) { return _mm256_div_pd(a, b); }
+  static V fma(V a, V b, V c) { return _mm256_fmadd_pd(a, b, c); }
+  static V sqrt(V a) { return _mm256_sqrt_pd(a); }
+  static V neg(V a) { return _mm256_xor_pd(a, _mm256_set1_pd(-0.0)); }
+  static V min(V a, V b) { return _mm256_min_pd(a, b); }
+  static V max(V a, V b) { return _mm256_max_pd(a, b); }
+  static V nearbyint(V a) {
+    return _mm256_round_pd(a, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  }
+  static M lt(V a, V b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static M gt(V a, V b) { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+  static V select(M m, V a, V b) { return _mm256_blendv_pd(b, a, m); }
+
+  static V scale2n(V x, V n) {
+    // n is integral-valued and |n| ≤ 1023, so the 32-bit convert is exact.
+    const __m256i q = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(n));
+    const __m256i bits =
+        _mm256_slli_epi64(_mm256_add_epi64(q, _mm256_set1_epi64x(1023)), 52);
+    return _mm256_mul_pd(x, _mm256_castsi256_pd(bits));
+  }
+
+  static void quadrant(V n, V sr, V cr, V* s, V* c) {
+    const __m256i q = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(n));
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i two = _mm256_set1_epi64x(2);
+    const auto bit_mask = [](__m256i v, __m256i bit) {
+      return _mm256_castsi256_pd(
+          _mm256_cmpeq_epi64(_mm256_and_si256(v, bit), bit));
+    };
+    const M swap = bit_mask(q, one);                          // n & 1
+    const M flip_s = bit_mask(q, two);                        // n & 2
+    const M flip_c = bit_mask(_mm256_add_epi64(q, one), two); // (n+1) & 2
+    const V s1 = select(swap, cr, sr);
+    const V c1 = select(swap, sr, cr);
+    *s = select(flip_s, neg(s1), s1);
+    *c = select(flip_c, neg(c1), c1);
+  }
+};
+
+}  // namespace rfipad::vm

@@ -1,0 +1,64 @@
+// AArch64 AdvSIMD (NEON) backend for the vmath templates: 2 × double lanes.
+//
+// Only TUs on AArch64 (where AdvSIMD is architecturally mandatory) include
+// this, compiled — like every kernel TU — with -ffp-contract=off.  Ops are
+// IEEE correctly rounded, so lanes match the scalar tier bit-for-bit.
+//
+// Tie semantics caveat: vminq/vmaxq order ±0 as -0 < +0, while the x86
+// tiers return the second operand on ties.  No kernel ever feeds a ±0 tie
+// to min/max (distances are positive; the amp-lower-bound subtraction
+// cannot produce -0), so the tiers still agree on every reachable input.
+#pragma once
+
+#if !defined(__aarch64__)
+#error "vbackend_neon.hpp is AArch64-only"
+#endif
+
+#include <arm_neon.h>
+
+namespace rfipad::vm {
+
+struct NeonBackend {
+  static constexpr int kLanes = 2;
+  using V = float64x2_t;
+  using M = uint64x2_t;
+
+  static V set(double x) { return vdupq_n_f64(x); }
+  static V load(const double* p) { return vld1q_f64(p); }
+  static void store(double* p, V v) { vst1q_f64(p, v); }
+  static V add(V a, V b) { return vaddq_f64(a, b); }
+  static V sub(V a, V b) { return vsubq_f64(a, b); }
+  static V mul(V a, V b) { return vmulq_f64(a, b); }
+  static V div(V a, V b) { return vdivq_f64(a, b); }
+  static V fma(V a, V b, V c) { return vfmaq_f64(c, a, b); }
+  static V sqrt(V a) { return vsqrtq_f64(a); }
+  static V neg(V a) { return vnegq_f64(a); }
+  static V min(V a, V b) { return vminq_f64(a, b); }
+  static V max(V a, V b) { return vmaxq_f64(a, b); }
+  static V nearbyint(V a) { return vrndnq_f64(a); }
+  static M lt(V a, V b) { return vcltq_f64(a, b); }
+  static M gt(V a, V b) { return vcgtq_f64(a, b); }
+  static V select(M m, V a, V b) { return vbslq_f64(m, a, b); }
+
+  static V scale2n(V x, V n) {
+    // n is integral-valued, so the truncating convert is exact.
+    const int64x2_t q = vcvtq_s64_f64(n);
+    const int64x2_t bits = vshlq_n_s64(vaddq_s64(q, vdupq_n_s64(1023)), 52);
+    return vmulq_f64(x, vreinterpretq_f64_s64(bits));
+  }
+
+  static void quadrant(V n, V sr, V cr, V* s, V* c) {
+    const int64x2_t q = vcvtq_s64_f64(n);
+    const int64x2_t one = vdupq_n_s64(1);
+    const int64x2_t two = vdupq_n_s64(2);
+    const M swap = vceqq_s64(vandq_s64(q, one), one);
+    const M flip_s = vceqq_s64(vandq_s64(q, two), two);
+    const M flip_c = vceqq_s64(vandq_s64(vaddq_s64(q, one), two), two);
+    const V s1 = select(swap, cr, sr);
+    const V c1 = select(swap, sr, cr);
+    *s = select(flip_s, neg(s1), s1);
+    *c = select(flip_c, neg(c1), c1);
+  }
+};
+
+}  // namespace rfipad::vm

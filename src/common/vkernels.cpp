@@ -1,0 +1,87 @@
+// Scalar tier + runtime dispatch for the vkernels.  Compiled with
+// -ffp-contract=off (see vkernels_impl.hpp for why).
+#include "common/vkernels.hpp"
+
+#include "common/vkernels_impl.hpp"
+
+namespace rfipad::vk {
+
+namespace detail {
+
+const VkTable& scalarTable() {
+  static constexpr VkTable t = makeTable<vm::ScalarBackend>();
+  return t;
+}
+
+}  // namespace detail
+
+namespace {
+
+const detail::VkTable& tableFor(simd::Tier t) {
+  switch (t) {
+#if defined(RFIPAD_TU_AVX2)
+    case simd::Tier::kAvx2:
+      return detail::avx2Table();
+#endif
+#if defined(RFIPAD_TU_NEON)
+    case simd::Tier::kNeon:
+      return detail::neonTable();
+#endif
+    default:
+      return detail::scalarTable();
+  }
+}
+
+const detail::VkTable& active() { return tableFor(simd::activeTier()); }
+
+}  // namespace
+
+double sum(const double* x, std::size_t n) { return active().sum(x, n); }
+double sumSquares(const double* x, std::size_t n) {
+  return active().sum_squares(x, n);
+}
+double sumSquaredDev(const double* x, std::size_t n, double mean) {
+  return active().sum_squared_dev(x, n, mean);
+}
+double sumSquaredDiffs(const double* x, std::size_t n) {
+  return active().sum_squared_diffs(x, n);
+}
+void sincosArray(const double* x, double* s, double* c, std::size_t n) {
+  active().sincos_array(x, s, c, n);
+}
+void sinArray(const double* x, double* out, std::size_t n) {
+  active().sin_array(x, out, n);
+}
+void expArray(const double* x, double* out, std::size_t n) {
+  active().exp_array(x, out, n);
+}
+double exp10(double x) { return active().exp10_scalar(x); }
+double log10(double x) { return active().log10_scalar(x); }
+
+double sumTier(simd::Tier t, const double* x, std::size_t n) {
+  return tableFor(t).sum(x, n);
+}
+double sumSquaresTier(simd::Tier t, const double* x, std::size_t n) {
+  return tableFor(t).sum_squares(x, n);
+}
+double sumSquaredDevTier(simd::Tier t, const double* x, std::size_t n,
+                         double mean) {
+  return tableFor(t).sum_squared_dev(x, n, mean);
+}
+double sumSquaredDiffsTier(simd::Tier t, const double* x, std::size_t n) {
+  return tableFor(t).sum_squared_diffs(x, n);
+}
+void sincosArrayTier(simd::Tier t, const double* x, double* s, double* c,
+                     std::size_t n) {
+  tableFor(t).sincos_array(x, s, c, n);
+}
+void sinArrayTier(simd::Tier t, const double* x, double* out, std::size_t n) {
+  tableFor(t).sin_array(x, out, n);
+}
+void expArrayTier(simd::Tier t, const double* x, double* out, std::size_t n) {
+  tableFor(t).exp_array(x, out, n);
+}
+double exp10Tier(simd::Tier t, double x) { return tableFor(t).exp10_scalar(x); }
+double log10Tier(simd::Tier t, double x) { return tableFor(t).log10_scalar(x); }
+
+}  // namespace rfipad::vk

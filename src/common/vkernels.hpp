@@ -1,0 +1,52 @@
+// Dispatched flat-array kernels for the hot path: stats reductions used
+// by the segmenter (std of per-frame RMS) and batched sin/cos/exp for the
+// channel evaluation.
+//
+// Bitwise contract: for any input, every tier returns identical bits —
+// reductions run 4 independent virtual accumulator lanes regardless of
+// the hardware lane width and combine them in one fixed order, and the
+// element-wise kernels share the vmath templates per lane.  The per-tier
+// entry points exist so the property tests can assert that equality.
+#pragma once
+
+#include <cstddef>
+
+#include "common/simd_dispatch.hpp"
+
+namespace rfipad::vk {
+
+/// Σ x[i]
+double sum(const double* x, std::size_t n);
+/// Σ x[i]²
+double sumSquares(const double* x, std::size_t n);
+/// Σ (x[i] − mean)²
+double sumSquaredDev(const double* x, std::size_t n, double mean);
+/// Σ (x[i+1] − x[i])² over the n−1 adjacent pairs; 0 when n < 2.
+double sumSquaredDiffs(const double* x, std::size_t n);
+/// Element-wise sin/cos (s[i] = sin x[i], c[i] = cos x[i]).
+void sincosArray(const double* x, double* s, double* c, std::size_t n);
+/// Element-wise sin only (the trajectory-jitter path).
+void sinArray(const double* x, double* out, std::size_t n);
+/// Element-wise eˣ (flushes to 0 below −708).
+void expArray(const double* x, double* out, std::size_t n);
+/// 10ˣ for one scalar (dB → linear conversions on the per-sample path).
+double exp10(double x);
+/// log10(x) for one scalar (linear → dB on the per-sample path); defers
+/// to libm for x ≤ 0 / non-finite so edge semantics are unchanged.
+double log10(double x);
+
+// Per-tier entry points (dispatch bypassed) for tests and benches.  The
+// caller must pass a tier that is compiled in and CPU-supported.
+double sumTier(simd::Tier t, const double* x, std::size_t n);
+double sumSquaresTier(simd::Tier t, const double* x, std::size_t n);
+double sumSquaredDevTier(simd::Tier t, const double* x, std::size_t n,
+                         double mean);
+double sumSquaredDiffsTier(simd::Tier t, const double* x, std::size_t n);
+void sincosArrayTier(simd::Tier t, const double* x, double* s, double* c,
+                     std::size_t n);
+void sinArrayTier(simd::Tier t, const double* x, double* out, std::size_t n);
+void expArrayTier(simd::Tier t, const double* x, double* out, std::size_t n);
+double exp10Tier(simd::Tier t, double x);
+double log10Tier(simd::Tier t, double x);
+
+}  // namespace rfipad::vk

@@ -1,0 +1,19 @@
+// AVX2 tier of the vkernels.  Built only on x86-64, with
+// -mavx2 -mfma -ffp-contract=off.
+#include "common/simd_dispatch.hpp"
+
+#if defined(RFIPAD_TU_AVX2)
+
+#include "common/vbackend_avx2.hpp"
+#include "common/vkernels_impl.hpp"
+
+namespace rfipad::vk::detail {
+
+const VkTable& avx2Table() {
+  static constexpr VkTable t = makeTable<vm::Avx2Backend>();
+  return t;
+}
+
+}  // namespace rfipad::vk::detail
+
+#endif  // RFIPAD_TU_AVX2

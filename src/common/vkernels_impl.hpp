@@ -1,0 +1,187 @@
+// Backend-generic bodies of the vkernels.  Included by exactly one TU per
+// tier (vkernels.cpp, vkernels_avx2.cpp, vkernels_neon.cpp), each built
+// with -ffp-contract=off so no tier gains or loses a fused operation.
+//
+// Reductions use 4 virtual accumulator lanes whatever the hardware width:
+// the scalar tier keeps 4 doubles, AVX2 one 4-wide register, NEON two
+// 2-wide registers.  Lane l accumulates elements i with i mod 4 == l, the
+// horizontal combine is the fixed tree ((l0+l1)+(l2+l3)), and the tail
+// past the last full block accumulates scalar-fma into a 5th slot — the
+// same schedule in every tier, hence the same bits.
+#pragma once
+
+#include <cstddef>
+
+#include "common/simd_dispatch.hpp"
+#include "common/vmath.hpp"
+
+namespace rfipad::vk::detail {
+
+inline constexpr int kBlock = 4;  // virtual accumulator lanes
+
+template <class B>
+double sumT(const double* x, std::size_t n) {
+  constexpr int L = B::kLanes;
+  constexpr int U = kBlock / L;
+  typename B::V acc[U];
+  for (int u = 0; u < U; ++u) acc[u] = B::set(0.0);
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock)
+    for (int u = 0; u < U; ++u)
+      acc[u] = B::add(acc[u], B::load(x + i + u * L));
+  double lane[kBlock];
+  for (int u = 0; u < U; ++u) B::store(lane + u * L, acc[u]);
+  double tail = 0.0;
+  for (; i < n; ++i) tail += x[i];
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) + tail;
+}
+
+template <class B>
+double sumSquaresT(const double* x, std::size_t n) {
+  constexpr int L = B::kLanes;
+  constexpr int U = kBlock / L;
+  typename B::V acc[U];
+  for (int u = 0; u < U; ++u) acc[u] = B::set(0.0);
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock)
+    for (int u = 0; u < U; ++u) {
+      const typename B::V v = B::load(x + i + u * L);
+      acc[u] = B::fma(v, v, acc[u]);
+    }
+  double lane[kBlock];
+  for (int u = 0; u < U; ++u) B::store(lane + u * L, acc[u]);
+  double tail = 0.0;
+  for (; i < n; ++i) tail = std::fma(x[i], x[i], tail);
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) + tail;
+}
+
+template <class B>
+double sumSquaredDevT(const double* x, std::size_t n, double mean) {
+  constexpr int L = B::kLanes;
+  constexpr int U = kBlock / L;
+  const typename B::V m = B::set(mean);
+  typename B::V acc[U];
+  for (int u = 0; u < U; ++u) acc[u] = B::set(0.0);
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock)
+    for (int u = 0; u < U; ++u) {
+      const typename B::V d = B::sub(B::load(x + i + u * L), m);
+      acc[u] = B::fma(d, d, acc[u]);
+    }
+  double lane[kBlock];
+  for (int u = 0; u < U; ++u) B::store(lane + u * L, acc[u]);
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = x[i] - mean;
+    tail = std::fma(d, d, tail);
+  }
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) + tail;
+}
+
+template <class B>
+double sumSquaredDiffsT(const double* x, std::size_t n) {
+  if (n < 2) return 0.0;
+  constexpr int L = B::kLanes;
+  constexpr int U = kBlock / L;
+  const std::size_t pairs = n - 1;
+  typename B::V acc[U];
+  for (int u = 0; u < U; ++u) acc[u] = B::set(0.0);
+  std::size_t i = 0;
+  for (; i + kBlock <= pairs; i += kBlock)
+    for (int u = 0; u < U; ++u) {
+      const typename B::V d =
+          B::sub(B::load(x + i + u * L + 1), B::load(x + i + u * L));
+      acc[u] = B::fma(d, d, acc[u]);
+    }
+  double lane[kBlock];
+  for (int u = 0; u < U; ++u) B::store(lane + u * L, acc[u]);
+  double tail = 0.0;
+  for (; i < pairs; ++i) {
+    const double d = x[i + 1] - x[i];
+    tail = std::fma(d, d, tail);
+  }
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) + tail;
+}
+
+template <class B>
+void sincosArrayT(const double* x, double* s, double* c, std::size_t n) {
+  constexpr int L = B::kLanes;
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    typename B::V sv, cv;
+    vm::sincosT<B>(B::load(x + i), &sv, &cv);
+    B::store(s + i, sv);
+    B::store(c + i, cv);
+  }
+  for (; i < n; ++i) vm::sincosT<vm::ScalarBackend>(x[i], s + i, c + i);
+}
+
+template <class B>
+void sinArrayT(const double* x, double* out, std::size_t n) {
+  constexpr int L = B::kLanes;
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    typename B::V sv, cv;
+    vm::sincosT<B>(B::load(x + i), &sv, &cv);
+    B::store(out + i, sv);
+  }
+  for (; i < n; ++i) {
+    double sv, cv;
+    vm::sincosT<vm::ScalarBackend>(x[i], &sv, &cv);
+    out[i] = sv;
+  }
+}
+
+template <class B>
+void expArrayT(const double* x, double* out, std::size_t n) {
+  constexpr int L = B::kLanes;
+  std::size_t i = 0;
+  for (; i + L <= n; i += L)
+    B::store(out + i, vm::expT<B>(B::load(x + i)));
+  for (; i < n; ++i) out[i] = vm::expT<vm::ScalarBackend>(x[i]);
+}
+
+// Scalar transcendentals, templated on the tier backend only so each tier
+// TU instantiates its own copy under its own codegen flags (hardware FMA
+// where the TU has it; correctly-rounded libm fma otherwise — same bits
+// either way).  Plain TUs call these through the dispatch table instead of
+// paying a dozen libm fma calls for an inlined polynomial.
+template <class B>
+double exp10ScalarT(double x) {
+  return vm::exp10T<vm::ScalarBackend>(x);
+}
+
+template <class B>
+double log10ScalarT(double x) {
+  return vm::log10Scalar(x);
+}
+
+/// One tier's full kernel table; the dispatcher in vkernels.cpp picks one.
+struct VkTable {
+  double (*sum)(const double*, std::size_t);
+  double (*sum_squares)(const double*, std::size_t);
+  double (*sum_squared_dev)(const double*, std::size_t, double);
+  double (*sum_squared_diffs)(const double*, std::size_t);
+  void (*sincos_array)(const double*, double*, double*, std::size_t);
+  void (*sin_array)(const double*, double*, std::size_t);
+  void (*exp_array)(const double*, double*, std::size_t);
+  double (*exp10_scalar)(double);
+  double (*log10_scalar)(double);
+};
+
+template <class B>
+constexpr VkTable makeTable() {
+  return {&sumT<B>,         &sumSquaresT<B>,  &sumSquaredDevT<B>,
+          &sumSquaredDiffsT<B>, &sincosArrayT<B>, &sinArrayT<B>,
+          &expArrayT<B>,    &exp10ScalarT<B>, &log10ScalarT<B>};
+}
+
+const VkTable& scalarTable();
+#if defined(RFIPAD_TU_AVX2)
+const VkTable& avx2Table();
+#endif
+#if defined(RFIPAD_TU_NEON)
+const VkTable& neonTable();
+#endif
+
+}  // namespace rfipad::vk::detail

@@ -1,0 +1,19 @@
+// NEON tier of the vkernels.  Built only on AArch64, with
+// -ffp-contract=off (AdvSIMD needs no extra ISA flag there).
+#include "common/simd_dispatch.hpp"
+
+#if defined(RFIPAD_TU_NEON)
+
+#include "common/vbackend_neon.hpp"
+#include "common/vkernels_impl.hpp"
+
+namespace rfipad::vk::detail {
+
+const VkTable& neonTable() {
+  static constexpr VkTable t = makeTable<vm::NeonBackend>();
+  return t;
+}
+
+}  // namespace rfipad::vk::detail
+
+#endif  // RFIPAD_TU_NEON

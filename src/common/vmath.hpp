@@ -1,0 +1,265 @@
+// Lane-width-generic transcendental kernels with bit-for-bit identical
+// results across the scalar, AVX2 and NEON tiers.
+//
+// The trick: every tier instantiates the SAME templates over a tiny
+// backend concept whose operations are all IEEE-754 correctly rounded
+// (add/sub/mul/div/sqrt/fma, round-to-nearest-even, exact sign flips and
+// exponent-bit scaling).  A lane therefore traverses an identical chain
+// of roundings regardless of vector width, so scalar[i] == simd[i] holds
+// exactly — which is what lets `test_table1_determinism` stay green no
+// matter which tier the dispatcher picks.
+//
+// Translation units that instantiate these templates for more than one
+// tier MUST be compiled with -ffp-contract=off: an auto-contracted
+// mul+add would fuse in one tier but not another and break the bitwise
+// contract.  The build system pins that flag on the kernel TUs.
+//
+// Accuracy: exp/exp10 stay within ~1 ulp over the clamped domain; sincos
+// uses a 3-term Cody–Waite π/2 reduction that holds ~1 ulp for |x| up to
+// ~1e4 — far beyond the ±200 rad round-trip phases the channel produces.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+// Force-inline the backend primitives and polynomials into every caller.
+// This is a speed contract, not just a hint: these templates are
+// instantiated in several translation units with different codegen flags
+// (the AVX2/NEON kernel TUs have hardware FMA enabled, the portable TUs
+// don't), and an out-of-line COMDAT copy would let the linker pick the
+// slow one — turning every std::fma in the hot tiers into a libm call.
+// Inlining keeps each TU's copy compiled with that TU's flags.  Results
+// are unaffected either way (fma is correctly rounded in hardware and
+// software alike).
+#if defined(__GNUC__) || defined(__clang__)
+#define RFIPAD_VM_INLINE inline __attribute__((always_inline))
+#else
+#define RFIPAD_VM_INLINE inline
+#endif
+
+namespace rfipad::vm {
+
+// ---------------------------------------------------------------------------
+// Shared constants.  constexpr doubles evaluate identically in every TU.
+// ---------------------------------------------------------------------------
+inline constexpr double kLog2E = 1.44269504088896340736e+00;   // log2(e)
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;   // ln2 head
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;   // ln2 tail
+inline constexpr double kLn10 = 2.30258509299404568402e+00;    // ln(10)
+inline constexpr double kTwoOverPi = 6.36619772367581382433e-01;
+// fdlibm's 3-part π/2: x - n·(p1+p2+p3) recovers the reduced argument to
+// well under 1 ulp for the |n| ≲ 1e4 this codebase ever produces.
+inline constexpr double kPio2_1 = 1.57079632673412561417e+00;
+inline constexpr double kPio2_2 = 6.07710050630396597660e-11;
+inline constexpr double kPio2_3 = 2.02226624871116645580e-21;
+// exp underflows to 0 / saturates below/above these (double limits).
+inline constexpr double kExpLo = -708.0;
+inline constexpr double kExpHi = 709.0;
+
+// ---------------------------------------------------------------------------
+// ScalarBackend: the 1-lane reference tier.  The vector backends (see
+// vbackend_avx2.hpp / vbackend_neon.hpp) mirror this API lane-wise with
+// the exact same IEEE semantics; comparison-style min/max below copies
+// the x86 vminpd/vmaxpd tie behaviour so every tier agrees on ±0 ties.
+// ---------------------------------------------------------------------------
+struct ScalarBackend {
+  static constexpr int kLanes = 1;
+  using V = double;
+  using M = bool;
+
+  RFIPAD_VM_INLINE static V set(double x) { return x; }
+  RFIPAD_VM_INLINE static V load(const double* p) { return *p; }
+  RFIPAD_VM_INLINE static void store(double* p, V v) { *p = v; }
+  RFIPAD_VM_INLINE static V add(V a, V b) { return a + b; }
+  RFIPAD_VM_INLINE static V sub(V a, V b) { return a - b; }
+  RFIPAD_VM_INLINE static V mul(V a, V b) { return a * b; }
+  RFIPAD_VM_INLINE static V div(V a, V b) { return a / b; }
+  RFIPAD_VM_INLINE static V fma(V a, V b, V c) { return std::fma(a, b, c); }
+  RFIPAD_VM_INLINE static V sqrt(V a) { return std::sqrt(a); }
+  RFIPAD_VM_INLINE static V neg(V a) { return -a; }
+  RFIPAD_VM_INLINE static V min(V a, V b) { return a < b ? a : b; }
+  RFIPAD_VM_INLINE static V max(V a, V b) { return a > b ? a : b; }
+  RFIPAD_VM_INLINE static V nearbyint(V a) { return std::nearbyint(a); }
+  RFIPAD_VM_INLINE static M lt(V a, V b) { return a < b; }
+  RFIPAD_VM_INLINE static M gt(V a, V b) { return a > b; }
+  RFIPAD_VM_INLINE static V select(M m, V a, V b) { return m ? a : b; }
+
+  /// x · 2ⁿ for an integral-valued n in [-1022, 1023], built directly in
+  /// the exponent bits (exact, and cheap to vectorise).
+  RFIPAD_VM_INLINE static V scale2n(V x, V n) {
+    const auto q = static_cast<std::int64_t>(n);
+    const auto bits = static_cast<std::uint64_t>(q + 1023) << 52;
+    double f;
+    std::memcpy(&f, &bits, sizeof f);
+    return x * f;
+  }
+
+  /// Map the quadrant index n (integral-valued double) onto (sin, cos)
+  /// from the reduced-argument values (sr, cr).
+  RFIPAD_VM_INLINE static void quadrant(V n, V sr, V cr, V* s, V* c) {
+    const auto q = static_cast<std::int64_t>(n);
+    V s1 = (q & 1) != 0 ? cr : sr;
+    V c1 = (q & 1) != 0 ? sr : cr;
+    if ((q & 2) != 0) s1 = -s1;
+    if (((q + 1) & 2) != 0) c1 = -c1;
+    *s = s1;
+    *c = c1;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// expT: Cody–Waite range reduction + degree-13 Taylor polynomial.
+// Arguments below kExpLo flush to exactly 0; above kExpHi saturate at the
+// kExpHi value (the callers' physics never gets there — documented, not
+// trapped).  expT(±0) == 1.0 exactly.
+// ---------------------------------------------------------------------------
+template <class B>
+RFIPAD_VM_INLINE typename B::V expT(typename B::V x) {
+  using V = typename B::V;
+  const V xc = B::min(x, B::set(kExpHi));
+  const V n = B::nearbyint(B::mul(xc, B::set(kLog2E)));
+  V r = B::fma(n, B::set(-kLn2Hi), xc);
+  r = B::fma(n, B::set(-kLn2Lo), r);
+  // exp(r) ≈ Σ rᵏ/k!, k = 0..13, Horner with fma throughout.
+  V p = B::set(1.0 / 6227020800.0);                  // 1/13!
+  p = B::fma(p, r, B::set(1.0 / 479001600.0));       // 1/12!
+  p = B::fma(p, r, B::set(1.0 / 39916800.0));        // 1/11!
+  p = B::fma(p, r, B::set(1.0 / 3628800.0));         // 1/10!
+  p = B::fma(p, r, B::set(1.0 / 362880.0));          // 1/9!
+  p = B::fma(p, r, B::set(1.0 / 40320.0));           // 1/8!
+  p = B::fma(p, r, B::set(1.0 / 5040.0));            // 1/7!
+  p = B::fma(p, r, B::set(1.0 / 720.0));             // 1/6!
+  p = B::fma(p, r, B::set(1.0 / 120.0));             // 1/5!
+  p = B::fma(p, r, B::set(1.0 / 24.0));              // 1/4!
+  p = B::fma(p, r, B::set(1.0 / 6.0));               // 1/3!
+  p = B::fma(p, r, B::set(0.5));                     // 1/2!
+  p = B::fma(p, r, B::set(1.0));
+  p = B::fma(p, r, B::set(1.0));
+  const V scaled = B::scale2n(p, n);
+  return B::select(B::lt(x, B::set(kExpLo)), B::set(0.0), scaled);
+}
+
+/// 10^x = exp(x·ln10).  ~1 ulp compounded; callers tolerate it.
+template <class B>
+RFIPAD_VM_INLINE typename B::V exp10T(typename B::V x) {
+  return expT<B>(B::mul(x, B::set(kLn10)));
+}
+
+// ---------------------------------------------------------------------------
+// log10Scalar: log10(x) for finite x > 0 via exponent extraction and the
+// atanh series — ln(m) = 2·atanh((m−1)/(m+1)) with m normalised into
+// [√2/2, √2), so |z| ≤ 0.172 and a degree-10 series in z² reaches ~1e-15
+// relative.  Non-positive / non-finite inputs defer to libm so edge
+// semantics (−inf, NaN) are preserved.  Scalar-only: the callers convert
+// one power reading at a time.
+// ---------------------------------------------------------------------------
+inline constexpr double kLog10_2 = 3.01029995663981195214e-01;  // log10(2)
+inline constexpr double kInvLn10 = 4.34294481903251816668e-01;  // 1/ln(10)
+inline constexpr double kSqrt2 = 1.41421356237309514547e+00;
+
+RFIPAD_VM_INLINE double log10Scalar(double x) {
+  if (!(x > 0.0) || !std::isfinite(x)) return std::log10(x);
+  std::uint64_t bits;
+  std::memcpy(&bits, &x, sizeof bits);
+  int e = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+  if (e == -1023) {  // subnormal: renormalise through a scale-up
+    x *= 9007199254740992.0;  // 2^53
+    std::memcpy(&bits, &x, sizeof bits);
+    e = static_cast<int>((bits >> 52) & 0x7ff) - 1023 - 53;
+  }
+  bits = (bits & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL;
+  double m;
+  std::memcpy(&m, &bits, sizeof m);
+  if (m > kSqrt2) {
+    m *= 0.5;
+    e += 1;
+  }
+  const double z = (m - 1.0) / (m + 1.0);
+  const double z2 = z * z;
+  double p = 1.0 / 21.0;
+  p = std::fma(p, z2, 1.0 / 19.0);
+  p = std::fma(p, z2, 1.0 / 17.0);
+  p = std::fma(p, z2, 1.0 / 15.0);
+  p = std::fma(p, z2, 1.0 / 13.0);
+  p = std::fma(p, z2, 1.0 / 11.0);
+  p = std::fma(p, z2, 1.0 / 9.0);
+  p = std::fma(p, z2, 1.0 / 7.0);
+  p = std::fma(p, z2, 1.0 / 5.0);
+  p = std::fma(p, z2, 1.0 / 3.0);
+  p = std::fma(p, z2, 1.0);
+  const double ln_m = 2.0 * z * p;
+  return std::fma(static_cast<double>(e), kLog10_2, ln_m * kInvLn10);
+}
+
+// ---------------------------------------------------------------------------
+// acosT: acos(x) = sqrt(1-|x|)·q(|x|) on x ≥ 0, reflected to π - acos(-x)
+// for x < 0.  q is smooth on [0,1] (the sqrt factor absorbs the endpoint
+// singularity), so a degree-15 Chebyshev-derived polynomial holds the
+// absolute error below 8e-15 rad over the full [-1, 1] domain.
+// acosT(±1) is exact (the sqrt factor is exactly 0 / the reflection is
+// exactly π).  Out-of-domain inputs are the caller's problem — clamp first.
+// ---------------------------------------------------------------------------
+inline constexpr double kPi = 3.14159265358979323846;
+
+template <class B>
+RFIPAD_VM_INLINE typename B::V acosT(typename B::V x) {
+  using V = typename B::V;
+  const V ax = B::max(x, B::neg(x));  // |x|, exact
+  // q(c) = acos(c)/sqrt(1-c), Chebyshev LSQ fit on [0, 1].
+  V p = B::set(-1.97887420654296875e-05);
+  p = B::fma(p, ax, B::set(1.80562026798725128e-04));
+  p = B::fma(p, ax, B::set(-7.78231071308255196e-04));
+  p = B::fma(p, ax, B::set(2.13378714397549629e-03));
+  p = B::fma(p, ax, B::set(-4.26095227885525674e-03));
+  p = B::fma(p, ax, B::set(6.79336037501343526e-03));
+  p = B::fma(p, ax, B::set(-9.34817218512762338e-03));
+  p = B::fma(p, ax, B::set(1.18987770838430151e-02));
+  p = B::fma(p, ax, B::set(-1.48007691269640418e-02));
+  p = B::fma(p, ax, B::set(1.86556641009758550e-02));
+  p = B::fma(p, ax, B::set(-2.43720674216270083e-02));
+  p = B::fma(p, ax, B::set(3.36810834681244842e-02));
+  p = B::fma(p, ax, B::set(-5.07928034238411819e-02));
+  p = B::fma(p, ax, B::set(8.90486222281667850e-02));
+  p = B::fma(p, ax, B::set(-2.14601836598908802e-01));
+  p = B::fma(p, ax, B::set(1.57079632679488923e+00));
+  const V t = B::mul(B::sqrt(B::sub(B::set(1.0), ax)), p);
+  return B::select(B::lt(x, B::set(0.0)), B::sub(B::set(kPi), t), t);
+}
+
+// ---------------------------------------------------------------------------
+// sincosT: n = round(x·2/π), 3-term reduction, degree-15/16 Taylor for
+// sin/cos on |r| ≤ π/4, quadrant fix-up from n mod 4.
+// ---------------------------------------------------------------------------
+template <class B>
+RFIPAD_VM_INLINE void sincosT(typename B::V x, typename B::V* s_out,
+                    typename B::V* c_out) {
+  using V = typename B::V;
+  const V n = B::nearbyint(B::mul(x, B::set(kTwoOverPi)));
+  V r = B::fma(n, B::set(-kPio2_1), x);
+  r = B::fma(n, B::set(-kPio2_2), r);
+  r = B::fma(n, B::set(-kPio2_3), r);
+  const V r2 = B::mul(r, r);
+  // sin(r) ≈ r + r³·(S0 + r²·(S1 + ...)), coefficients (-1)ᵏ/(2k+1)!.
+  V ps = B::set(-1.0 / 1307674368000.0);             // -1/15!
+  ps = B::fma(ps, r2, B::set(1.0 / 6227020800.0));   // +1/13!
+  ps = B::fma(ps, r2, B::set(-1.0 / 39916800.0));    // -1/11!
+  ps = B::fma(ps, r2, B::set(1.0 / 362880.0));       // +1/9!
+  ps = B::fma(ps, r2, B::set(-1.0 / 5040.0));        // -1/7!
+  ps = B::fma(ps, r2, B::set(1.0 / 120.0));          // +1/5!
+  ps = B::fma(ps, r2, B::set(-1.0 / 6.0));           // -1/3!
+  const V sinr = B::fma(B::mul(r, r2), ps, r);
+  // cos(r) ≈ 1 + r²·(C0 + r²·(C1 + ...)), coefficients (-1)ᵏ/(2k)!.
+  V pc = B::set(1.0 / 20922789888000.0);             // +1/16!
+  pc = B::fma(pc, r2, B::set(-1.0 / 87178291200.0)); // -1/14!
+  pc = B::fma(pc, r2, B::set(1.0 / 479001600.0));    // +1/12!
+  pc = B::fma(pc, r2, B::set(-1.0 / 3628800.0));     // -1/10!
+  pc = B::fma(pc, r2, B::set(1.0 / 40320.0));        // +1/8!
+  pc = B::fma(pc, r2, B::set(-1.0 / 720.0));         // -1/6!
+  pc = B::fma(pc, r2, B::set(1.0 / 24.0));           // +1/4!
+  pc = B::fma(pc, r2, B::set(-0.5));                 // -1/2!
+  const V cosr = B::fma(r2, pc, B::set(1.0));
+  B::quadrant(n, sinr, cosr, s_out, c_out);
+}
+
+}  // namespace rfipad::vm

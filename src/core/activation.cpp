@@ -9,18 +9,23 @@
 
 namespace rfipad::core {
 
-std::vector<double> calibratedPhases(const std::vector<double>& phases,
-                                     double staticMeanPhase, bool unwrap) {
+void calibratedPhasesInto(const double* phases, std::size_t n,
+                          double staticMeanPhase, bool unwrap, double* out) {
   // Subtract the static mean on the circle first, then unwrap, so the
   // calibrated series vibrates around zero (Eq. 8).
-  std::vector<double> out;
-  out.reserve(phases.size());
-  for (double p : phases) out.push_back(angleDiff(p, staticMeanPhase));
+  for (std::size_t j = 0; j < n; ++j) out[j] = angleDiff(phases[j], staticMeanPhase);
   if (unwrap) {
     // angleDiff already wraps to (−π, π]; unwrapping restores continuity
     // when the true excursion exceeds π.
-    unwrapInPlace(out);
+    unwrapInPlace(out, n);
   }
+}
+
+std::vector<double> calibratedPhases(const std::vector<double>& phases,
+                                     double staticMeanPhase, bool unwrap) {
+  std::vector<double> out(phases.size());
+  calibratedPhasesInto(phases.data(), phases.size(), staticMeanPhase, unwrap,
+                       out.data());
   return out;
 }
 
@@ -45,20 +50,26 @@ std::vector<double> activationMap(const reader::SampleStream& window,
     return 0.5 * (1.0 - std::cos(kPi * edge / f));
   };
 
-  const auto series = window.allSeries();
+  // Flat SoA pass: one scratch buffer for the calibrated series, reused
+  // across tags, instead of a per-tag vector triple from allSeries().
+  const reader::FlatSeries fs = window.flatSeries();
+  std::vector<double> theta;
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (i >= series.size()) break;
+    if (i >= fs.num_tags) break;
     // Dead tags contribute nothing: whatever stray reads carry their index
     // (e.g. a corrupted EPC) must not register as activation.
     if (profile.tag(i).dead) continue;
-    const auto& s = series[i];
-    if (s.phases.size() < options.min_samples) continue;
-    const auto theta = calibratedPhases(s.phases, profile.tag(i).mean_phase,
-                                        options.unwrap);
+    const std::size_t o0 = fs.offsets[i];
+    const std::size_t cnt = fs.countFor(i);
+    if (cnt < options.min_samples) continue;
+    theta.resize(cnt);
+    calibratedPhasesInto(fs.phases.data() + o0, cnt, profile.tag(i).mean_phase,
+                         options.unwrap, theta.data());
+    const double* times = fs.times.data() + o0;
     double acc = 0.0;
     double weight_sum = 0.0;
-    for (std::size_t j = 0; j + 1 < theta.size(); ++j) {
-      const double w = taper(0.5 * (s.times[j] + s.times[j + 1]));
+    for (std::size_t j = 0; j + 1 < cnt; ++j) {
+      const double w = taper(0.5 * (times[j] + times[j + 1]));
       acc += w * std::abs(theta[j + 1] - theta[j]);
       weight_sum += w;
     }
@@ -66,7 +77,7 @@ std::vector<double> activationMap(const reader::SampleStream& window,
     if (options.per_sample) acc /= weight_sum;
     const double mean_w =
         options.per_sample ? 1.0
-                           : weight_sum / static_cast<double>(theta.size() - 1);
+                           : weight_sum / static_cast<double>(cnt - 1);
     if (options.diversity_suppression) {
       const double bias = profile.tag(i).deviation_bias;
       // Expected |Δθ| per sample for white noise of std b_i: 2 b_i / √π

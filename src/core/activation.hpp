@@ -8,6 +8,7 @@
 // w_i (location-diversity suppression).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/static_profile.hpp"
@@ -54,6 +55,13 @@ struct ActivationOptions {
 /// Calibrated, unwrapped phase series θ'_ij for one tag (Eq. 8).
 std::vector<double> calibratedPhases(const std::vector<double>& phases,
                                      double staticMeanPhase, bool unwrap);
+
+/// Flat-series variant: writes the calibrated series for one tag slice into
+/// caller-owned storage (`out`, at least n doubles; in-place `out == phases`
+/// is not supported).  Lets the segmenter and activation map reuse one flat
+/// scratch buffer instead of allocating a vector per tag per window.
+void calibratedPhasesInto(const double* phases, std::size_t n,
+                          double staticMeanPhase, bool unwrap, double* out);
 
 /// Activation I'_i for every tag over the given stream window.
 std::vector<double> activationMap(const reader::SampleStream& window,

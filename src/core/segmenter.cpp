@@ -7,6 +7,7 @@
 #include "core/activation.hpp"
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
+#include "common/vkernels.hpp"
 
 namespace rfipad::core {
 
@@ -32,55 +33,81 @@ SegmentationTrace Segmenter::trace(const reader::SampleStream& stream) const {
       std::max(1, static_cast<int>(std::ceil((t1 - t0) / options_.frame_s)));
   RFIPAD_INVARIANT(num_frames >= 1, "frame count must be positive");
 
-  // Calibrated, unwrapped phase series per tag; then bucket into frames.
-  const auto series = stream.allSeries();
-  std::vector<std::vector<std::vector<double>>> frame_buckets(
-      static_cast<std::size_t>(num_frames),
-      std::vector<std::vector<double>>(series.size()));
-  for (std::size_t i = 0; i < series.size(); ++i) {
-    const auto& s = series[i];
-    if (s.phases.empty()) continue;
+  // Flat SoA pass: samples grouped by tag, calibrated in place into one
+  // flat scratch buffer with the same layout.  Because each tag's slice is
+  // time-sorted and the frame index is monotone in time, every (tag, frame)
+  // bucket — and every (tag, window) pool — is a contiguous sub-slice of
+  // `theta`, so the old per-frame vector-of-vectors and per-window pooled
+  // copies disappear entirely.
+  const reader::FlatSeries fs = stream.flatSeries();
+  const std::size_t num_tags = fs.num_tags;
+  std::vector<double> theta(fs.phases.size());
+  for (std::size_t i = 0; i < num_tags; ++i) {
+    const std::size_t o0 = fs.offsets[i];
+    const std::size_t cnt = fs.offsets[i + 1] - o0;
+    if (cnt == 0) continue;
     const double mean_phase =
         i < profile_.numTags() ? profile_.tag(static_cast<std::uint32_t>(i)).mean_phase : 0.0;
-    const auto theta = calibratedPhases(s.phases, mean_phase, /*unwrap=*/true);
-    for (std::size_t j = 0; j < theta.size(); ++j) {
-      int f = static_cast<int>((s.times[j] - t0) / options_.frame_s);
-      f = std::clamp(f, 0, num_frames - 1);
-      frame_buckets[static_cast<std::size_t>(f)][i].push_back(theta[j]);
+    calibratedPhasesInto(fs.phases.data() + o0, cnt, mean_phase,
+                         /*unwrap=*/true, theta.data() + o0);
+  }
+
+  // Per-tag frame boundaries: starts[i·(F+1) + f] is the first sample of
+  // tag i whose frame index is ≥ f, so tag i's frame-f bucket is
+  // theta[starts[f]..starts[f+1]) and its window [f, f+w) pool is
+  // theta[starts[f]..starts[f+w]).
+  const std::size_t F = static_cast<std::size_t>(num_frames);
+  std::vector<std::size_t> starts(num_tags * (F + 1));
+  for (std::size_t i = 0; i < num_tags; ++i) {
+    std::size_t* row = starts.data() + i * (F + 1);
+    std::size_t j = fs.offsets[i];
+    const std::size_t end = fs.offsets[i + 1];
+    for (std::size_t f = 0; f <= F; ++f) {
+      while (j < end) {
+        int g = static_cast<int>((fs.times[j] - t0) / options_.frame_s);
+        g = std::clamp(g, 0, num_frames - 1);
+        if (static_cast<std::size_t>(g) >= f) break;
+        ++j;
+      }
+      row[f] = j;
     }
   }
 
   // Eq. 11: rms(f) = Σ_i sqrt(Σ_j p_ij² / n).  For the spatial-peakiness
   // refinement we use the per-tag RMS of *successive differences* (motion
   // energy) so a tag merely holding a phase offset does not count.
-  tr.frame_times.reserve(static_cast<std::size_t>(num_frames));
-  tr.frame_rms.reserve(static_cast<std::size_t>(num_frames));
-  for (int f = 0; f < num_frames; ++f) {
+  tr.frame_times.reserve(F);
+  tr.frame_rms.reserve(F);
+  for (std::size_t f = 0; f < F; ++f) {
     double sum = 0.0;
-    for (const auto& tag_samples : frame_buckets[static_cast<std::size_t>(f)]) {
-      if (!tag_samples.empty()) sum += rms(tag_samples);
+    for (std::size_t i = 0; i < num_tags; ++i) {
+      const std::size_t* row = starts.data() + i * (F + 1);
+      const std::size_t len = row[f + 1] - row[f];
+      if (len > 0) sum += rms(theta.data() + row[f], len);
     }
-    tr.frame_times.push_back(t0 + (f + 0.5) * options_.frame_s);
+    tr.frame_times.push_back(t0 + (static_cast<double>(f) + 0.5) * options_.frame_s);
     tr.frame_rms.push_back(sum);
   }
 
   // Sliding window of `window_frames` frames, stride one frame.  The
   // per-window spatial peak pools each tag's samples across the whole
-  // window (frames alone hold too few reads for a stable estimate).
+  // window (frames alone hold too few reads for a stable estimate); the
+  // pooled first-difference RMS reduces over the contiguous slice via the
+  // dispatched Σ(Δx)² kernel without materialising the diffs.
   const int w = options_.window_frames;
-  for (int f = 0; f + w <= num_frames; ++f) {
-    const std::vector<double> win(tr.frame_rms.begin() + f,
-                                  tr.frame_rms.begin() + f + w);
-    tr.window_times.push_back(t0 + (f + w / 2.0) * options_.frame_s);
-    tr.window_std.push_back(stddev(win));
+  const std::size_t uw = static_cast<std::size_t>(w);
+  for (std::size_t f = 0; f + uw <= F; ++f) {
+    tr.window_times.push_back(
+        t0 + (static_cast<double>(f) + w / 2.0) * options_.frame_s);
+    tr.window_std.push_back(stddev(tr.frame_rms.data() + f, uw));
     double peak = 0.0;
-    for (std::size_t tag = 0; tag < series.size(); ++tag) {
-      std::vector<double> pooled;
-      for (int g = f; g < f + w; ++g) {
-        const auto& bucket = frame_buckets[static_cast<std::size_t>(g)][tag];
-        pooled.insert(pooled.end(), bucket.begin(), bucket.end());
+    for (std::size_t i = 0; i < num_tags; ++i) {
+      const std::size_t* row = starts.data() + i * (F + 1);
+      const std::size_t len = row[f + uw] - row[f];
+      if (len >= 3) {
+        const double ssd = vk::sumSquaredDiffs(theta.data() + row[f], len);
+        peak = std::max(peak, std::sqrt(ssd / static_cast<double>(len - 1)));
       }
-      if (pooled.size() >= 3) peak = std::max(peak, rms(diff(pooled)));
     }
     tr.window_peak.push_back(peak);
   }

@@ -1,5 +1,6 @@
 #include "gen2/inventory.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/contracts.hpp"
@@ -32,13 +33,43 @@ void InventorySimulator::startRound() {
   slot_in_round_ = 0;
   // Query command opens the round; tags powered *now* draw slot counters.
   now_s_ += timing_.queryS();
+  if (powered_batch_) {
+    powered_scratch_.resize(num_tags_);
+    powered_batch_(now_s_, powered_scratch_.data(), num_tags_);
+  }
+  order_.clear();
   for (std::uint32_t i = 0; i < num_tags_; ++i) {
-    counters_[i] = powered_(i, now_s_)
-                       ? static_cast<int>(rng_.uniformInt(0, frame_size_ - 1))
-                       : -1;
+    // The batched check answers exactly what powered_(i, now) would; the
+    // RNG draw order (powered tags ascending) is identical either way.
+    const bool on =
+        powered_batch_ ? powered_scratch_[i] != 0 : powered_(i, now_s_);
+    counters_[i] =
+        on ? static_cast<int>(rng_.uniformInt(0, frame_size_ - 1)) : -1;
     RFIPAD_INVARIANT(counters_[i] >= -1 && counters_[i] < frame_size_,
                      "tag slot counter outside the current frame");
+    if (counters_[i] >= 0) order_.emplace_back(counters_[i], i);
   }
+  // (slot, tag) keys are unique, so this order is total and deterministic;
+  // within a slot tags come out ascending, like the scan they replace.
+  // A stable counting placement by slot yields exactly (slot asc, tag asc)
+  // because tags were pushed ascending; it beats std::sort whenever the
+  // frame is in the Q-adapted regime (a small multiple of the tag count).
+  // An over-provisioned frame would make the O(frame) bucket pass the cost,
+  // so fall back to the comparison sort there — the output is identical.
+  if (static_cast<std::size_t>(frame_size_) <= 4 * order_.size() + 64) {
+    slot_starts_.assign(static_cast<std::size_t>(frame_size_) + 1, 0);
+    for (const auto& e : order_) ++slot_starts_[static_cast<std::size_t>(e.first) + 1];
+    for (int s = 0; s < frame_size_; ++s)
+      slot_starts_[static_cast<std::size_t>(s) + 1] +=
+          slot_starts_[static_cast<std::size_t>(s)];
+    order_scratch_.resize(order_.size());
+    for (const auto& e : order_)
+      order_scratch_[slot_starts_[static_cast<std::size_t>(e.first)]++] = e;
+    order_.swap(order_scratch_);
+  } else {
+    std::sort(order_.begin(), order_.end());
+  }
+  cursor_ = 0;
 }
 
 void InventorySimulator::run(double until_s, const ReadSink& sink) {
@@ -46,18 +77,21 @@ void InventorySimulator::run(double until_s, const ReadSink& sink) {
     if (slot_in_round_ >= frame_size_) startRound();
     if (now_s_ >= until_s) break;
 
-    // Identify responders for this slot.
+    // Identify responders for this slot: the pre-sorted round schedule
+    // hands over exactly the tags whose counter sits at this slot.
+    const std::size_t begin = cursor_;
+    while (cursor_ < order_.size() && order_[cursor_].first == slot_in_round_)
+      ++cursor_;
     std::uint32_t responder = 0;
     int responders = 0;
-    for (std::uint32_t i = 0; i < num_tags_; ++i) {
-      if (counters_[i] == slot_in_round_) {
-        // A tag that lost power between Query and its slot stays silent.
-        if (powered_(i, now_s_)) {
-          responder = i;
-          ++responders;
-        } else {
-          counters_[i] = -1;
-        }
+    for (std::size_t e = begin; e < cursor_; ++e) {
+      const std::uint32_t i = order_[e].second;
+      // A tag that lost power between Query and its slot stays silent.
+      if (powered_(i, now_s_)) {
+        responder = i;
+        ++responders;
+      } else {
+        counters_[i] = -1;
       }
     }
 
@@ -69,9 +103,8 @@ void InventorySimulator::run(double until_s, const ReadSink& sink) {
       now_s_ += timing_.collisionSlotS();
       q_.onCollisionSlot();
       // Collided tags back off until next round.
-      for (std::uint32_t i = 0; i < num_tags_; ++i) {
-        if (counters_[i] == slot_in_round_) counters_[i] = -1;
-      }
+      for (std::size_t e = begin; e < cursor_; ++e)
+        counters_[order_[e].second] = -1;
       ++stats_.collisions;
     } else {
       // Single responder: RN16 → ACK → EPC, unless the backscatter is too

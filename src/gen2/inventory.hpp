@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -56,6 +57,10 @@ class InventorySimulator {
   /// `decodable(tag, t)` — whether the reply reaches the reader above its
   /// sensitivity (backward link).  Both default to "always".
   using TagPredicate = std::function<bool(std::uint32_t, double)>;
+  /// Batched power check for the Query hot loop: fill `out[0..n)` with the
+  /// same booleans n calls of the per-tag predicate at time t would return.
+  using PoweredBatchFn =
+      std::function<void(double, std::uint8_t* out, std::uint32_t n)>;
   using ReadSink = std::function<void(const Singulation&)>;
 
   InventorySimulator(Gen2Timing timing, QConfig qconfig, std::uint32_t numTags,
@@ -63,6 +68,13 @@ class InventorySimulator {
 
   void setPoweredPredicate(TagPredicate p) { powered_ = std::move(p); }
   void setDecodablePredicate(TagPredicate p) { decodable_ = std::move(p); }
+  /// Optional SoA fast path: when set, round starts consult it once for the
+  /// whole array instead of calling the per-tag predicate per tag.  It must
+  /// agree with the per-tag predicate (mid-slot power checks still use
+  /// that).  Pass an empty function to clear.
+  void setPoweredBatchPredicate(PoweredBatchFn p) {
+    powered_batch_ = std::move(p);
+  }
 
   /// Replace the slot-draw RNG stream.  Clock, Q state and per-tag counters
   /// are untouched; used by the batch trial runner to give each trial an
@@ -87,6 +99,7 @@ class InventorySimulator {
   Rng rng_;
   TagPredicate powered_;
   TagPredicate decodable_;
+  PoweredBatchFn powered_batch_;
 
   double now_s_ = 0.0;
   std::uint64_t round_ = 0;
@@ -95,6 +108,19 @@ class InventorySimulator {
   /// Remaining slot counter per tag; −1 marks a tag that already replied
   /// (or was unpowered at Query) this round.
   std::vector<int> counters_;
+  /// Round schedule: the participating (slot, tag) pairs sorted ascending,
+  /// consumed by a cursor as slots advance.  Replaces the per-slot scan of
+  /// every counter — an empty slot costs O(1) instead of O(num_tags), and
+  /// a frame of 2^Q slots costs O(tags·log tags + 2^Q) instead of
+  /// O(2^Q·tags).  Mid-round counter mutations only ever touch tags at the
+  /// *current* slot, so entries past the cursor stay valid.
+  std::vector<std::pair<int, std::uint32_t>> order_;
+  std::size_t cursor_ = 0;
+  /// Counting-placement scratch for startRound() (reused across rounds).
+  std::vector<std::uint32_t> slot_starts_;
+  std::vector<std::pair<int, std::uint32_t>> order_scratch_;
+  /// Scratch for the batched power check (reused across rounds).
+  std::vector<std::uint8_t> powered_scratch_;
   InventoryStats stats_;
 };
 

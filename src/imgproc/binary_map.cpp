@@ -129,21 +129,23 @@ double otsuThreshold(const std::vector<double>& values) {
   std::vector<double> sorted = values;
   std::sort(sorted.begin(), sorted.end());
 
-  // Prefix sums for O(n) class statistics at each candidate split.
-  std::vector<double> prefix(sorted.size() + 1, 0.0);
-  for (std::size_t i = 0; i < sorted.size(); ++i)
-    prefix[i + 1] = prefix[i] + sorted[i];
-  const double total = prefix.back();
+  // Class statistics via a running prefix sum carried through the scan —
+  // single pass, no prefix array.  Both the total and the running sum
+  // accumulate left-to-right, so the arithmetic (and the chosen threshold)
+  // is bit-identical to the old prefix-vector form.
+  double total = 0.0;
+  for (const double v : sorted) total += v;
   const double n = static_cast<double>(sorted.size());
 
   double best_sigma = -1.0;
   double best_threshold = sorted.front();
-  for (std::size_t k = 1; k < sorted.size(); ++k) {
+  double run = sorted.front();  // Σ sorted[0..k) entering iteration k
+  for (std::size_t k = 1; k < sorted.size(); ++k, run += sorted[k - 1]) {
     if (sorted[k] == sorted[k - 1]) continue;  // no split between equals
     const double n0 = static_cast<double>(k);
     const double n1 = n - n0;
-    const double mu0 = prefix[k] / n0;
-    const double mu1 = (total - prefix[k]) / n1;
+    const double mu0 = run / n0;
+    const double mu1 = (total - run) / n1;
     const double w0 = n0 / n;
     const double w1 = n1 / n;
     const double sigma_b = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
@@ -158,9 +160,10 @@ double otsuThreshold(const std::vector<double>& values) {
 BinaryMap binarize(const GrayMap& map, double threshold) {
   RFIPAD_ASSERT(!std::isnan(threshold), "binarize threshold must not be NaN");
   BinaryMap out(map.rows(), map.cols());
-  for (int r = 0; r < map.rows(); ++r)
-    for (int c = 0; c < map.cols(); ++c)
-      out.set(r, c, map.at(r, c) > threshold);
+  // Flat single-pass compare over the row-major values; the bounds-checked
+  // at()/set() pair per pixel defeated vectorisation.
+  const std::vector<double>& v = map.values();
+  for (std::size_t i = 0; i < v.size(); ++i) out.setFlat(i, v[i] > threshold);
   return out;
 }
 

@@ -1,6 +1,7 @@
 // Binary image over the tag grid plus connected-component analysis.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -24,6 +25,9 @@ class BinaryMap {
 
   bool at(int r, int c) const;
   void set(int r, int c, bool v);
+  /// Unchecked row-major store for flat single-pass writers (binarize);
+  /// idx must be < rows()*cols().
+  void setFlat(std::size_t idx, bool v) { bits_[idx] = v ? 1 : 0; }
 
   /// Number of foreground ('1') pixels.
   int count() const;

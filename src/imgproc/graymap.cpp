@@ -41,12 +41,16 @@ double GrayMap::maxValue() const {
 }
 
 GrayMap GrayMap::normalized() const {
-  const double lo = minValue();
-  const double hi = maxValue();
+  // Fused min/max in one pass over the flat values (minValue()/maxValue()
+  // would scan twice); the rescale loop is a branch-free flat multiply.
+  const auto [lo_it, hi_it] = std::minmax_element(values_.begin(), values_.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
   GrayMap out(rows_, cols_);
   if (hi > lo) {
+    const double range = hi - lo;
     for (std::size_t i = 0; i < values_.size(); ++i)
-      out.values_[i] = (values_[i] - lo) / (hi - lo);
+      out.values_[i] = (values_[i] - lo) / range;
   }
   return out;
 }

@@ -20,7 +20,7 @@ std::uint32_t defaultEpcToIndex(const std::string& epc) {
 
 TagReportData toWire(const reader::TagReport& report) {
   TagReportData t;
-  t.epc = TagReportData::epcFromHex(report.epc);
+  t.epc = TagReportData::epcFromHex(report.epc.str());
   t.antenna_id = report.antenna_id;
   t.peak_rssi_dbm = static_cast<std::int8_t>(std::lround(report.rssi_dbm));
   t.first_seen_utc_us =
@@ -38,8 +38,9 @@ reader::TagReport fromWire(
     const TagReportData& wire,
     const std::function<std::uint32_t(const std::string&)>& epcToIndex) {
   reader::TagReport r;
-  r.epc = wire.epcHex();
-  r.tag_index = epcToIndex ? epcToIndex(r.epc) : defaultEpcToIndex(r.epc);
+  const std::string epc_hex = wire.epcHex();
+  r.epc = epc_hex;
+  r.tag_index = epcToIndex ? epcToIndex(epc_hex) : defaultEpcToIndex(epc_hex);
   r.antenna_id = wire.antenna_id;
   r.time_s = static_cast<double>(wire.first_seen_utc_us) / 1e6;
   if (wire.impinj_phase_angle) {

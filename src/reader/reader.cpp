@@ -6,6 +6,7 @@
 
 #include "common/angles.hpp"
 #include "common/units.hpp"
+#include "common/vkernels.hpp"
 
 namespace rfipad::reader {
 
@@ -37,6 +38,11 @@ RfidReader::RfidReader(ReaderConfig config, rf::ChannelModel channel,
     for (const auto& t : tags_) cache.push_back(model.precompute(t.endpoint()));
     cable_phases_.push_back(rng_.uniform(0.0, kTwoPi));
   }
+  std::vector<rf::TagEndpoint> endpoints;
+  endpoints.reserve(tags_.size());
+  for (const auto& t : tags_) endpoints.push_back(t.endpoint());
+  tag_batch_.build(endpoints, channels_.front().antenna().peakGainLinear(),
+                   static_caches_);
 }
 
 void RfidReader::reseed(std::uint64_t seed) {
@@ -64,15 +70,12 @@ const rf::ChannelModel::StaticTagChannel& RfidReader::cacheAt(
 }
 
 RfidReader::EvalContext::EvalContext(const RfidReader& reader,
-                                     const SceneFn& scene)
+                                     const SceneFillFn& scene)
     : reader_(reader), scene_(scene), snaps_(reader.tags_.size()) {}
 
 const rf::ScattererList& RfidReader::EvalContext::sceneAt(double t) {
   if (!scene_valid_ || scene_t_ != t) {
-    scene_list_ = scene_(t);
-    // The geometry is antenna/environment-only, so any hop channel's model
-    // produces the same values; use the first.
-    reader_.channels_.front().precomputeScene(scene_list_, scene_geometry_);
+    scene_(t, scene_list_);
     scene_t_ = t;
     scene_valid_ = true;
   }
@@ -82,39 +85,125 @@ const rf::ScattererList& RfidReader::EvalContext::sceneAt(double t) {
 const rf::ChannelModel::SceneGeometry& RfidReader::EvalContext::geometryAt(
     double t) {
   sceneAt(t);
+  if (!geom_valid_ || geom_t_ != t) {
+    // The geometry is antenna/environment-only, so any hop channel's model
+    // produces the same values; use the first.
+    reader_.channels_.front().precomputeScene(scene_list_, scene_geometry_);
+    geom_t_ = t;
+    geom_valid_ = true;
+  }
   return scene_geometry_;
+}
+
+const rf::FlatScene& RfidReader::EvalContext::flatAt(double t) {
+  sceneAt(t);
+  if (!flat_valid_ || flat_t_ != t) {
+    // Geometry only: the bounds kernel (the per-slot hot consumer) never
+    // reads the gain plane, so the acos/exp gain fill is deferred until a
+    // snapshot actually needs it (snapshotAt below).
+    flat_.buildGeometry(reader_.channels_.front(), scene_list_);
+    flat_t_ = t;
+    flat_valid_ = true;
+  }
+  return flat_;
+}
+
+void RfidReader::EvalContext::refreshBounds(double t) {
+  if (amp_lo_.empty()) {
+    amp_lo_.resize(reader_.tag_batch_.stride);
+    detune_.resize(reader_.tag_batch_.stride);
+    bound_valid_.assign(reader_.tags_.size(), 0);
+    bounds_t_ = t;
+    return;
+  }
+  if (bounds_t_ != t) {
+    std::fill(bound_valid_.begin(), bound_valid_.end(), std::uint8_t{0});
+    bounds_all_ = false;
+    bounds_t_ = t;
+  }
+}
+
+rf::BoundsArgs RfidReader::EvalContext::boundsArgs(double t) {
+  const std::size_t ch = reader_.channelIndexAt(t);
+  return rf::BoundsArgs{&reader_.tag_batch_, &flatAt(t), ch,
+                        reader_.channels_[ch].carrier().wavelengthM(),
+                        amp_lo_.data(), detune_.data()};
+}
+
+double RfidReader::EvalContext::ampBoundAt(std::uint32_t tag, double t) {
+  refreshBounds(t);
+  if (!bound_valid_[tag]) {
+    rf::computeBounds(boundsArgs(t), tag, tag + 1);
+    bound_valid_[tag] = 1;
+  }
+  return amp_lo_[tag];
+}
+
+double RfidReader::EvalContext::detuneBoundAt(std::uint32_t tag, double t) {
+  refreshBounds(t);
+  if (!bound_valid_[tag]) {
+    rf::computeBounds(boundsArgs(t), tag, tag + 1);
+    bound_valid_[tag] = 1;
+  }
+  return detune_[tag];
+}
+
+void RfidReader::EvalContext::boundsAllAt(double t) {
+  refreshBounds(t);
+  if (!bounds_all_) {
+    rf::computeBounds(boundsArgs(t), 0, reader_.tags_.size());
+    std::fill(bound_valid_.begin(), bound_valid_.end(), std::uint8_t{1});
+    bounds_all_ = true;
+  }
 }
 
 const rf::ChannelSnapshot& RfidReader::EvalContext::snapshotAt(
     std::uint32_t tag, double t) {
   TagSnap& entry = snaps_.at(tag);
   if (!entry.valid || entry.t != t) {
-    const auto& model = reader_.modelAt(t);
-    const auto& scene = sceneAt(t);
-    entry.snap = model.evaluateCached(reader_.tags_[tag].endpoint(),
-                                      reader_.cacheAt(t, tag), scene,
-                                      scene_geometry_);
+    const std::size_t ch = reader_.channelIndexAt(t);
+    const auto& model = reader_.channels_[ch];
+    const rf::FlatScene& fs = flatAt(t);
+    if (!fs.gains_valid) flat_.fillGains(reader_.channels_.front());
+    if (fs.count * (1 + fs.num_reflectors) <= rf::kMaxFastTerms) {
+      // SoA fast path: batched sincos + FMA accumulate over the flattened
+      // scene.  Matches evaluateCached to ~1e-12 relative, and is exactly
+      // the cached static channel when the scene is empty.
+      entry.snap =
+          rf::evaluateTagFast(reader_.tag_batch_, ch, tag, fs,
+                              model.carrier().wavelengthM(),
+                              model.carrier().waveNumber());
+    } else {
+      entry.snap = model.evaluateCached(reader_.tags_[tag].endpoint(),
+                                        reader_.cacheAt(t, tag), sceneAt(t),
+                                        geometryAt(t));
+    }
     entry.t = t;
     entry.valid = true;
   }
   return entry.snap;
 }
 
+// These two run per singulation (and in predicate fallbacks), so the dB
+// conversions go through the dispatched polynomial kernels instead of libm
+// pow/log10 — ≤1 ulp from the units.hpp forms, far below the reader's 0.5 dB
+// RSSI quantisation.
 double RfidReader::incidentDbmFrom(const rf::ChannelSnapshot& snap,
                                    const rf::ChannelModel& model) const {
-  const double w = model.incidentPowerW(snap, dbmToWatts(config_.tx_power_dbm));
-  return wattsToDbm(std::max(w, 1e-30));
+  const double tx_w = 1e-3 * vk::exp10(config_.tx_power_dbm / 10.0);
+  const double w = model.incidentPowerW(snap, tx_w);
+  return 10.0 * vk::log10(std::max(w, 1e-30) * 1e3);
 }
 
 double RfidReader::backscatterDbmFrom(std::uint32_t tagIndex,
                                       const rf::ChannelSnapshot& snap,
                                       const rf::ChannelModel& model) const {
   const auto& tag = tags_[tagIndex];
-  const double mod_eff =
-      tag.type.modulation_efficiency * dbToLinear(tag.coupling_penalty_db);
-  const double w = model.backscatterPowerW(
-      snap, dbmToWatts(config_.tx_power_dbm), mod_eff);
-  return wattsToDbm(std::max(w, 1e-30));
+  const double mod_eff = tag.type.modulation_efficiency *
+                         vk::exp10(tag.coupling_penalty_db / 10.0);
+  const double tx_w = 1e-3 * vk::exp10(config_.tx_power_dbm / 10.0);
+  const double w = model.backscatterPowerW(snap, tx_w, mod_eff);
+  return 10.0 * vk::log10(std::max(w, 1e-30) * 1e3);
 }
 
 double RfidReader::incidentDbm(std::uint32_t tagIndex, double t,
@@ -157,7 +246,10 @@ double RfidReader::quantizeRssi(double dbm) const {
 
 TagReport RfidReader::measure(std::uint32_t tagIndex, double t,
                               const SceneFn& scene) {
-  EvalContext ctx(*this, scene);
+  const SceneFillFn fill = [&scene](double tt, rf::ScattererList& out) {
+    out = scene(tt);
+  };
+  EvalContext ctx(*this, fill);
   return measure(tagIndex, t, ctx);
 }
 
@@ -220,6 +312,13 @@ TagReport RfidReader::measure(std::uint32_t tagIndex, double t,
 }
 
 SampleStream RfidReader::capture(double duration_s, const SceneFn& scene) {
+  const SceneFillFn fill = [&scene](double t, rf::ScattererList& out) {
+    out = scene(t);
+  };
+  return capture(duration_s, fill);
+}
+
+SampleStream RfidReader::capture(double duration_s, const SceneFillFn& scene) {
   SampleStream stream(static_cast<std::uint32_t>(tags_.size()));
   // Upper bound on reads: every slot a success.
   const double slot_s = std::max(inventory_.timing().successSlotS(), 1e-6);
@@ -228,28 +327,39 @@ SampleStream RfidReader::capture(double duration_s, const SceneFn& scene) {
 
   EvalContext ctx(*this, scene);
   const double tx_w = dbmToWatts(config_.tx_power_dbm);
-  auto powered = [this, &ctx, tx_w](std::uint32_t i, double t) {
-    // Fast path: if even the pessimistic forward-amplitude bound clears the
-    // IC sensitivity, the tag is certainly powered — skip the full channel
-    // evaluation.  This is the Gen2 round-start hot loop (every tag, every
-    // Query), and tags sit tens of dB above sensitivity, so the bound
-    // decides almost every call without changing any outcome.
-    const auto& model = modelAt(t);
-    const auto& scene_now = ctx.sceneAt(t);
-    const double amp_lo = model.forwardAmpLowerBound(
-        tags_[i].endpoint(), cacheAt(t, i), scene_now, ctx.geometryAt(t));
-    if (amp_lo > 0.0 &&
-        tx_w * amp_lo * amp_lo >= dbmToWatts(tags_[i].type.ic_sensitivity_dbm))
-      return true;
-    return incidentDbmFrom(ctx.snapshotAt(i, t), model) >=
-           tags_[i].type.ic_sensitivity_dbm;
-  };
-  // Per-tag modulation efficiency and the receive threshold in watts, for
-  // the decodability fast path below.
+  // Per-tag thresholds hoisted out of the per-call predicates: IC
+  // sensitivity (dBm and watts) and modulation efficiency.
+  std::vector<double> sens_dbm(tags_.size()), sens_w(tags_.size());
   std::vector<double> mod_eff(tags_.size());
-  for (std::size_t i = 0; i < tags_.size(); ++i)
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    sens_dbm[i] = tags_[i].type.ic_sensitivity_dbm;
+    sens_w[i] = dbmToWatts(sens_dbm[i]);
     mod_eff[i] = tags_[i].type.modulation_efficiency *
                  dbToLinear(tags_[i].coupling_penalty_db);
+  }
+  auto powered = [this, &ctx, tx_w, &sens_w,
+                  &sens_dbm](std::uint32_t i, double t) {
+    // Fast path: if even the pessimistic forward-amplitude bound clears the
+    // IC sensitivity, the tag is certainly powered — skip the full channel
+    // evaluation.  Tags sit tens of dB above sensitivity, so the bound
+    // decides almost every call without changing any outcome.
+    const double amp_lo = ctx.ampBoundAt(i, t);
+    if (amp_lo > 0.0 && tx_w * amp_lo * amp_lo >= sens_w[i]) return true;
+    return incidentDbmFrom(ctx.snapshotAt(i, t), modelAt(t)) >= sens_dbm[i];
+  };
+  // The Gen2 round-start hot loop (every tag, every Query) goes through the
+  // batched form: one tiered SoA kernel pass fills the bounds for the whole
+  // array, then each tag resolves against its threshold.
+  auto powered_batch = [this, &ctx, tx_w, &sens_w, &sens_dbm](
+                           double t, std::uint8_t* out, std::uint32_t n) {
+    ctx.boundsAllAt(t);
+    const auto& model = modelAt(t);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double amp_lo = ctx.ampBoundAt(i, t);
+      out[i] = (amp_lo > 0.0 && tx_w * amp_lo * amp_lo >= sens_w[i]) ||
+               incidentDbmFrom(ctx.snapshotAt(i, t), model) >= sens_dbm[i];
+    }
+  };
   const double rx_sens_w = dbmToWatts(config_.rx_sensitivity_dbm);
   auto decodable = [this, &ctx, tx_w, &mod_eff,
                     rx_sens_w](std::uint32_t i, double t) {
@@ -257,20 +367,18 @@ SampleStream RfidReader::capture(double duration_s, const SceneFn& scene) {
     // exact and cheap, so tx·amp_lo⁴·mod_eff·detune⁴ is a sound lower
     // bound on the backscatter power.  If even that clears the receive
     // sensitivity the response certainly decodes — skip the evaluation.
-    const auto& model = modelAt(t);
-    const auto& scene_now = ctx.sceneAt(t);
-    const double amp_lo = model.forwardAmpLowerBound(
-        tags_[i].endpoint(), cacheAt(t, i), scene_now, ctx.geometryAt(t));
+    const double amp_lo = ctx.ampBoundAt(i, t);
     if (amp_lo > 0.0) {
-      const double det = model.detuneFactor(tags_[i].endpoint(), scene_now);
+      const double det = ctx.detuneBoundAt(i, t);
       const double f2 = amp_lo * amp_lo;
       const double det2 = det * det;
       if (tx_w * f2 * f2 * mod_eff[i] * det2 * det2 >= rx_sens_w) return true;
     }
-    return backscatterDbmFrom(i, ctx.snapshotAt(i, t), model) >=
+    return backscatterDbmFrom(i, ctx.snapshotAt(i, t), modelAt(t)) >=
            config_.rx_sensitivity_dbm;
   };
   inventory_.setPoweredPredicate(powered);
+  inventory_.setPoweredBatchPredicate(powered_batch);
   inventory_.setDecodablePredicate(decodable);
 
   const double until = inventory_.now() + duration_s;
@@ -282,6 +390,7 @@ SampleStream RfidReader::capture(double duration_s, const SceneFn& scene) {
   // them so copies of the reader (the batch runner clones calibrated
   // readers per trial) never hold dangling captures.
   inventory_.setPoweredPredicate([](std::uint32_t, double) { return true; });
+  inventory_.setPoweredBatchPredicate({});
   inventory_.setDecodablePredicate([](std::uint32_t, double) { return true; });
   return stream;
 }

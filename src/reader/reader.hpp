@@ -15,7 +15,9 @@
 #include "gen2/inventory.hpp"
 #include "reader/sample_stream.hpp"
 #include "rf/channel.hpp"
+#include "rf/channel_batch.hpp"
 #include "rf/noise.hpp"
+#include "rf/tag_batch.hpp"
 #include "tag/array.hpp"
 
 namespace rfipad::reader {
@@ -52,6 +54,12 @@ struct ReaderConfig {
 /// The dynamic scene (hand + arm scatterers) at a given time.
 using SceneFn = std::function<rf::ScattererList(double)>;
 
+/// Allocation-free variant for hot loops: refill `out` in place for time t
+/// (clear + push_back reuses capacity, so steady-state captures perform no
+/// per-instant heap traffic).  A SceneFn can always be adapted; see the
+/// capture() overloads.
+using SceneFillFn = std::function<void(double, rf::ScattererList&)>;
+
 /// An always-empty scene (static environment).
 rf::ScattererList emptyScene(double t);
 
@@ -70,6 +78,11 @@ class RfidReader {
   /// scene given by `scene`.  Successive calls continue the same clock, so a
   /// static calibration capture can be followed by motion captures.
   SampleStream capture(double duration_s, const SceneFn& scene);
+
+  /// Same, with an in-place scene refill (the alloc-free hot path; the
+  /// SceneFn overload adapts and forwards here).  `scene` must overwrite the
+  /// list it is handed — the reader reuses one list across all instants.
+  SampleStream capture(double duration_s, const SceneFillFn& scene);
 
   /// Convenience: capture with no moving objects.
   SampleStream captureStatic(double duration_s);
@@ -104,20 +117,47 @@ class RfidReader {
   /// sequential use (one capture at a time per reader).
   class EvalContext {
    public:
-    EvalContext(const RfidReader& reader, const SceneFn& scene);
+    EvalContext(const RfidReader& reader, const SceneFillFn& scene);
     const rf::ScattererList& sceneAt(double t);
-    /// Tag-independent geometry of the scene at t (computed alongside the
-    /// scene, shared by every tag evaluated at that instant).
+    /// Tag-independent geometry of the scene at t, for the exact scalar
+    /// path (doppler probes, oversized scenes).  Computed lazily — the SoA
+    /// fast paths never need it.
     const rf::ChannelModel::SceneGeometry& geometryAt(double t);
     const rf::ChannelSnapshot& snapshotAt(std::uint32_t tag, double t);
 
+    /// Forward-amplitude lower bound / detune factor for one tag at t, from
+    /// the SoA bounds kernel.  Results are memoised per instant, and a
+    /// single-tag fill is bit-identical to its slice of a whole-batch fill,
+    /// so per-tag and batch queries mix freely.
+    double ampBoundAt(std::uint32_t tag, double t);
+    double detuneBoundAt(std::uint32_t tag, double t);
+    /// Fill the bounds memo for every tag at t in one tiered kernel pass
+    /// (the Gen2 Query batch predicate).
+    void boundsAllAt(double t);
+
    private:
+    const rf::FlatScene& flatAt(double t);
+    rf::BoundsArgs boundsArgs(double t);
+    void refreshBounds(double t);
+
     const RfidReader& reader_;
-    const SceneFn& scene_;
+    const SceneFillFn& scene_;
     bool scene_valid_ = false;
     double scene_t_ = 0.0;
     rf::ScattererList scene_list_;
+    bool geom_valid_ = false;
+    double geom_t_ = 0.0;
     rf::ChannelModel::SceneGeometry scene_geometry_;
+    bool flat_valid_ = false;
+    double flat_t_ = 0.0;
+    rf::FlatScene flat_;
+    /// Bounds memo: outputs of the SoA kernel at bounds_t_, with a per-tag
+    /// validity map (single-tag fills) and an all-filled flag (batch fill).
+    double bounds_t_ = 0.0;
+    bool bounds_all_ = false;
+    std::vector<double> amp_lo_;
+    std::vector<double> detune_;
+    std::vector<std::uint8_t> bound_valid_;
     struct TagSnap {
       bool valid = false;
       double t = 0.0;
@@ -147,6 +187,8 @@ class RfidReader {
   std::vector<rf::ChannelModel> channels_;
   std::vector<std::vector<rf::ChannelModel::StaticTagChannel>> static_caches_;
   std::vector<tag::Tag> tags_;
+  /// SoA transpose of tags_ + static_caches_, feeding the batched kernels.
+  rf::TagBatch tag_batch_;
   Rng rng_;
   gen2::InventorySimulator inventory_;
   /// Combined TX+RX circuit phase rotation θ_T + θ_R (Eq. 6) per channel —

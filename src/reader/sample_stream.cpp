@@ -92,6 +92,31 @@ std::vector<TagSeries> SampleStream::allSeries() const {
   return all;
 }
 
+FlatSeries SampleStream::flatSeries() const {
+  FlatSeries fs;
+  fs.num_tags = num_tags_;
+  fs.offsets.assign(static_cast<std::size_t>(num_tags_) + 1, 0);
+  for (const auto& r : reports_) {
+    RFIPAD_INVARIANT(r.tag_index < num_tags_,
+                     "stored report index outside the declared tag count");
+    ++fs.offsets[r.tag_index + 1];
+  }
+  for (std::size_t i = 1; i <= num_tags_; ++i) fs.offsets[i] += fs.offsets[i - 1];
+  fs.times.resize(reports_.size());
+  fs.phases.resize(reports_.size());
+  fs.rssi.resize(reports_.size());
+  // Scatter pass: reports are time-sorted, so writing each at its tag's
+  // running cursor keeps time order within every tag slice.
+  std::vector<std::size_t> cursor(fs.offsets.begin(), fs.offsets.end() - 1);
+  for (const auto& r : reports_) {
+    const std::size_t k = cursor[r.tag_index]++;
+    fs.times[k] = r.time_s;
+    fs.phases[k] = r.phase_rad;
+    fs.rssi[k] = r.rssi_dbm;
+  }
+  return fs;
+}
+
 std::size_t SampleStream::countFor(std::uint32_t tagIndex) const {
   return static_cast<std::size_t>(
       std::count_if(reports_.begin(), reports_.end(),

@@ -20,6 +20,24 @@ struct TagSeries {
   std::vector<double> rssi;
 };
 
+/// Every tag's series in one flat structure-of-arrays block: samples are
+/// grouped by tag (time order preserved within each tag), with
+/// offsets[i]..offsets[i+1] delimiting tag i's slice of each array.  Built
+/// by one counting-sort pass over the reports — four allocations total,
+/// versus 3·num_tags vectors for allSeries() — and the per-(tag, frame)
+/// buckets the segmenter needs become contiguous sub-slices.
+struct FlatSeries {
+  std::uint32_t num_tags = 0;
+  std::vector<std::size_t> offsets;  ///< size num_tags + 1
+  std::vector<double> times;
+  std::vector<double> phases;
+  std::vector<double> rssi;
+
+  std::size_t countFor(std::uint32_t tag) const {
+    return offsets[tag + 1] - offsets[tag];
+  }
+};
+
 /// What push() did with a report (callers may ignore it; the stream also
 /// keeps aggregate counters).
 enum class PushOutcome : std::uint8_t {
@@ -70,6 +88,8 @@ class SampleStream {
   TagSeries seriesFor(std::uint32_t tagIndex) const;
   /// All per-tag series (index == tag index; absent tags give empty series).
   std::vector<TagSeries> allSeries() const;
+  /// All per-tag series as one flat SoA block (the hot-path variant).
+  FlatSeries flatSeries() const;
 
   std::size_t countFor(std::uint32_t tagIndex) const;
   /// Aggregate read rate over the capture, reads/second.

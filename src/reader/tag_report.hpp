@@ -3,15 +3,77 @@
 // "modified the Octane SDK to enable the phase reporting", §IV-A).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <ostream>
 #include <string>
-#include <vector>
+#include <string_view>
+
+#include "common/contracts.hpp"
 
 namespace rfipad::reader {
 
+/// EPC hex digits stored inline — a 24-character EPC-96 overflows
+/// std::string's 15-byte SSO buffer, so the old `std::string epc` heap-
+/// allocated once per simulated read.  Inline storage makes TagReport
+/// trivially copyable: SampleStream::push and vector growth become plain
+/// memcpy with zero steady-state allocations (tests/reader/
+/// test_stream_alloc.cpp pins this down).
+class EpcHex {
+ public:
+  /// Fits EPC-96 (24 hex chars) with headroom for longer test labels.
+  static constexpr std::size_t kCapacity = 31;
+
+  EpcHex() = default;
+  EpcHex(const char* s) { assign(std::string_view(s)); }
+  EpcHex(std::string_view s) { assign(s); }
+
+  EpcHex& operator=(const char* s) {
+    assign(std::string_view(s));
+    return *this;
+  }
+  EpcHex& operator=(std::string_view s) {
+    assign(s);
+    return *this;
+  }
+  EpcHex& operator=(const std::string& s) {
+    assign(std::string_view(s));
+    return *this;
+  }
+
+  const char* c_str() const { return buf_; }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  std::string_view view() const { return std::string_view(buf_, len_); }
+  std::string str() const { return std::string(buf_, len_); }
+
+  bool operator==(const EpcHex& other) const {
+    return len_ == other.len_ && std::memcmp(buf_, other.buf_, len_) == 0;
+  }
+  bool operator==(std::string_view s) const { return view() == s; }
+
+ private:
+  void assign(std::string_view s) {
+    RFIPAD_ASSERT(s.size() <= kCapacity, "EpcHex: EPC longer than capacity");
+    // Zero the whole buffer (not just a terminator) so equality of the
+    // value never depends on a previous, longer assignment's residue.
+    std::memset(buf_, 0, sizeof(buf_));
+    std::memcpy(buf_, s.data(), s.size());
+    len_ = static_cast<std::uint8_t>(s.size());
+  }
+
+  char buf_[kCapacity + 1] = {};
+  std::uint8_t len_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const EpcHex& epc) {
+  return os << epc.view();
+}
+
 struct TagReport {
   /// EPC-96 as upper-case hex.
-  std::string epc;
+  EpcHex epc;
   /// Dense array index (convenience; real deployments map EPC → index).
   std::uint32_t tag_index = 0;
   /// Reader antenna port (1-based, as in LLRP).

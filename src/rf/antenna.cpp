@@ -7,6 +7,7 @@
 
 #include "common/angles.hpp"
 #include "common/units.hpp"
+#include "common/vmath.hpp"
 
 namespace rfipad::rf {
 
@@ -23,24 +24,6 @@ DirectionalAntenna::DirectionalAntenna(Vec3 position, Vec3 boresight,
 
 double DirectionalAntenna::beamwidthDeg() const {
   return beamwidth_rad_ * 180.0 / kPi;
-}
-
-double DirectionalAntenna::offAxisAngle(Vec3 point) const {
-  const Vec3 dir = (point - position_).normalized();
-  const double c = std::clamp(dir.dot(boresight_), -1.0, 1.0);
-  return std::acos(c);
-}
-
-double DirectionalAntenna::gainAtAngle(double angle_rad) const {
-  // Gaussian mainlobe: −3 dB at half the full beam angle.
-  const double half = beamwidth_rad_ / 2.0;
-  const double x = angle_rad / half;
-  const double mainlobe = std::exp(-std::numbers::ln2_v<double> * x * x);
-  return peak_gain_ * std::max(mainlobe, kSidelobeFloor);
-}
-
-double DirectionalAntenna::gainToward(Vec3 point) const {
-  return gainAtAngle(offAxisAngle(point));
 }
 
 }  // namespace rfipad::rf

@@ -7,7 +7,11 @@
 // antenna and the accuracy loss when the panel is tilted (Fig. 18).
 #pragma once
 
+#include <algorithm>
+#include <numbers>
+
 #include "common/vec.hpp"
+#include "common/vmath.hpp"
 
 namespace rfipad::rf {
 
@@ -25,13 +29,36 @@ class DirectionalAntenna {
   double beamwidthDeg() const;
 
   /// Linear gain toward an arbitrary point in space.
-  double gainToward(Vec3 point) const;
+  ///
+  /// Inline (with the other gain functions below) so each caller's TU
+  /// compiles the vm:: polynomial chain with its own codegen flags — the
+  /// tier-dispatched FlatScene gain fill gets hardware FMA while portable
+  /// TUs fall back to libm fma.  Both are correctly rounded, so every copy
+  /// returns identical bits.
+  double gainToward(Vec3 point) const {
+    return gainAtAngle(offAxisAngle(point));
+  }
 
   /// Linear gain at an off-boresight angle (radians).
-  double gainAtAngle(double angle_rad) const;
+  double gainAtAngle(double angle_rad) const {
+    // Gaussian mainlobe: −3 dB at half the full beam angle.
+    const double half = beamwidth_rad_ / 2.0;
+    const double x = angle_rad / half;
+    const double mainlobe =
+        vm::expT<vm::ScalarBackend>(-std::numbers::ln2_v<double> * x * x);
+    return peak_gain_ * std::max(mainlobe, kSidelobeFloor);
+  }
 
   /// Angle between boresight and the direction to `point`, radians.
-  double offAxisAngle(Vec3 point) const;
+  double offAxisAngle(Vec3 point) const {
+    // One division instead of normalizing the whole vector; the polynomial
+    // acos is ~8e-15 rad from libm and an order of magnitude cheaper —
+    // this runs per scatterer per slot inside FlatScene gain fills.
+    const Vec3 d = point - position_;
+    const double n = d.norm();
+    const double c = std::clamp(d.dot(boresight_) / n, -1.0, 1.0);
+    return vm::acosT<vm::ScalarBackend>(c);
+  }
 
  private:
   Vec3 position_;

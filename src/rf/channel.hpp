@@ -185,6 +185,13 @@ class ChannelModel {
   double backscatterPowerW(const ChannelSnapshot& snap, double txPowerW,
                            double modulationEfficiency) const;
 
+  /// Near-field detuning parameters: a hand within ~σ of a tag suppresses
+  /// its backscatter by up to `kDetuneDepth` (amplitude), producing the RSS
+  /// troughs the direction estimator relies on (§III-B).  Public so the
+  /// batched SoA kernels (rf/channel_batch.*) mirror the same model.
+  static constexpr double kDetuneDepth = 0.55;
+  static constexpr double kDetuneSigma = 0.055;  // metres
+
  private:
   Complex parasiticGain(const PointScatterer& dyn, const PointScatterer& stat,
                         const TagEndpoint& tag) const;
@@ -205,12 +212,6 @@ class ChannelModel {
   mutable Mutex memo_mutex_;
   mutable std::deque<MemoEntry> static_memo_ RFIPAD_GUARDED_BY(memo_mutex_);
   mutable std::atomic<std::uint64_t> precompute_calls_{0};
-
-  /// Near-field detuning parameters: a hand within ~σ of a tag suppresses
-  /// its backscatter by up to `kDetuneDepth` (amplitude), producing the RSS
-  /// troughs the direction estimator relies on (§III-B).
-  static constexpr double kDetuneDepth = 0.55;
-  static constexpr double kDetuneSigma = 0.055;  // metres
 };
 
 }  // namespace rfipad::rf

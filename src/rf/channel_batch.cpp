@@ -1,0 +1,146 @@
+// FlatScene construction, the scalar bounds tier, dispatch, and the fast
+// per-tag evaluation.  Compiled with -ffp-contract=off (kernel TU).
+#include "rf/channel_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/contracts.hpp"
+#include "common/vkernels.hpp"
+#include "rf/channel_batch_impl.hpp"
+
+namespace rfipad::rf {
+
+void FlatScene::build(const ChannelModel& model, const ScattererList& scene) {
+  buildGeometry(model, scene);
+  fillGains(model);
+}
+
+void FlatScene::buildGeometry(const ChannelModel& model,
+                              const ScattererList& scene) {
+  const DirectionalAntenna& ant = model.antenna();
+  const MultipathEnvironment& env = model.environment();
+  const double four_pi = 4.0 * kPi;
+  count = scene.size();
+  num_reflectors = env.reflectors.size();
+  gains_valid = false;
+  ax = ant.position().x;
+  ay = ant.position().y;
+  az = ant.position().z;
+  sx.resize(count);
+  sy.resize(count);
+  sz.resize(count);
+  depth_db.resize(count);
+  inv_r2.resize(count);
+  refl_phase.resize(count);
+  d1.resize(count);
+  base.resize(count);
+  d2r.resize(count * num_reflectors);
+  refl_weight.assign(num_reflectors, 0.0);
+  for (std::size_t j = 0; j < count; ++j) {
+    const PointScatterer& s = scene[j];
+    sx[j] = s.position.x;
+    sy[j] = s.position.y;
+    sz[j] = s.position.z;
+    depth_db[j] = (s.blocks_los && s.blockage_depth_db > 0.0)
+                      ? s.blockage_depth_db
+                      : 0.0;
+    inv_r2[j] = 1.0 / (s.blockage_radius * s.blockage_radius);
+    refl_phase[j] = s.reflection_phase;
+    d1[j] = std::max(distance(ant.position(), s.position), 0.01);
+    base[j] = std::sqrt(s.rcs_m2 / four_pi) / (four_pi * d1[j]);
+    for (std::size_t r = 0; r < num_reflectors; ++r) {
+      const double d =
+          std::max(distance(s.position, env.reflectors[r].position), 0.05);
+      d2r[j * num_reflectors + r] = d;
+      refl_weight[r] += base[j] / d;
+    }
+  }
+}
+
+void FlatScene::fillGains(const ChannelModel& model) {
+  detail::gainsFor(simd::activeTier())(*this, model);
+  gains_valid = true;
+}
+
+namespace detail {
+
+BoundsFn scalarBounds() { return &boundsRangeT<vm::ScalarBackend>; }
+TagFastFn scalarTagFast() { return &tagFastImpl; }
+GainsFn scalarGains() { return &fillGainsImpl; }
+
+GainsFn gainsFor(simd::Tier t) {
+  switch (t) {
+#if defined(RFIPAD_TU_AVX2)
+    case simd::Tier::kAvx2:
+      return avx2Gains();
+#endif
+#if defined(RFIPAD_TU_NEON)
+    case simd::Tier::kNeon:
+      return neonGains();
+#endif
+    default:
+      return scalarGains();
+  }
+}
+
+namespace {
+
+BoundsFn boundsFor(simd::Tier t) {
+  switch (t) {
+#if defined(RFIPAD_TU_AVX2)
+    case simd::Tier::kAvx2:
+      return avx2Bounds();
+#endif
+#if defined(RFIPAD_TU_NEON)
+    case simd::Tier::kNeon:
+      return neonBounds();
+#endif
+    default:
+      return scalarBounds();
+  }
+}
+
+// The fast per-tag path is scalar code, but its TU of origin decides how
+// std::fma and the inlined expT compile (libm call vs hardware FMA); route
+// it to the tier TU so the hot copy carries the fast flags.  Bitwise
+// identical either way — see tagFastImpl.
+TagFastFn tagFastFor(simd::Tier t) {
+  switch (t) {
+#if defined(RFIPAD_TU_AVX2)
+    case simd::Tier::kAvx2:
+      return avx2TagFast();
+#endif
+#if defined(RFIPAD_TU_NEON)
+    case simd::Tier::kNeon:
+      return neonTagFast();
+#endif
+    default:
+      return scalarTagFast();
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+void computeBounds(const BoundsArgs& args, std::size_t begin,
+                   std::size_t end) {
+  detail::boundsFor(simd::activeTier())(args, begin, end);
+}
+
+void computeBoundsTier(simd::Tier t, const BoundsArgs& args, std::size_t begin,
+                       std::size_t end) {
+  detail::boundsFor(t)(args, begin, end);
+}
+
+ChannelSnapshot evaluateTagFast(const TagBatch& tb, std::size_t channel,
+                                std::size_t tag, const FlatScene& fs,
+                                double lambda, double wave_number) {
+  RFIPAD_ASSERT(fs.count * (1 + fs.num_reflectors) <= kMaxFastTerms,
+                "evaluateTagFast: scene exceeds kMaxFastTerms");
+  return detail::tagFastFor(simd::activeTier())(tb, channel, tag, fs, lambda,
+                                                wave_number);
+}
+
+}  // namespace rfipad::rf

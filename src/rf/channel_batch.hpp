@@ -1,0 +1,99 @@
+// Batched channel evaluation over a TagBatch: the SoA/SIMD counterpart of
+// ChannelModel's per-tag scalar path.
+//
+// Two kernels cover the reader's hot loops:
+//
+//  * computeBounds(): for a whole batch (or one tag), the conservative
+//    forward-amplitude lower bound and the exact detune factor — the
+//    quantities behind the Gen2 powered/decodable predicates.  Tiered
+//    scalar/AVX2/NEON with bit-for-bit identical lanes (see vmath.hpp).
+//
+//  * evaluateTagFast(): the full complex channel snapshot for one tag —
+//    the per-singulation measurement path.  Single implementation that
+//    gathers every scattering term's amplitude/phase into flat arrays,
+//    runs the batched sincos kernel over them, and accumulates the
+//    complex baseband with FMA.
+//
+// Both consume a FlatScene: the per-instant dynamic scene (hand + arm)
+// flattened into scalar planes with the divisions and dB constants
+// hoisted, rebuilt in place each time the scene moves (no steady-state
+// allocation).  Results agree with ChannelModel::evaluateCached /
+// forwardAmpLowerBound to ~1e-12 relative (polynomial transcendentals
+// and re-associated arithmetic), which the property tests pin down; the
+// scalar-vs-SIMD agreement is exact.
+#pragma once
+
+#include <cstddef>
+
+#include "common/simd_dispatch.hpp"
+#include "rf/channel.hpp"
+#include "rf/tag_batch.hpp"
+
+namespace rfipad::rf {
+
+/// Scene-dependent, tag-independent planes for one instant.
+struct FlatScene {
+  std::size_t count = 0;           ///< dynamic scatterers
+  std::size_t num_reflectors = 0;  ///< environment reflectors
+  double ax = 0.0, ay = 0.0, az = 0.0;  ///< antenna position
+
+  // Per-scatterer planes (length count).
+  std::vector<double> sx, sy, sz;
+  /// Effective blockage depth in dB: blockage_depth_db when the scatterer
+  /// blocks LOS, exactly 0 otherwise (so the kernel needs no branch).
+  std::vector<double> depth_db;
+  std::vector<double> inv_r2;  ///< 1 / blockage_radius²
+  std::vector<double> refl_phase;
+  std::vector<double> gain_toward;  ///< antenna linear gain toward scatterer
+  std::vector<double> d1;           ///< reader→scatterer distance (floored)
+  std::vector<double> base;         ///< √(σ/4π)/(4π·d1)
+  /// Scatterer→reflector distances, [scatterer·num_reflectors + r].
+  std::vector<double> d2r;
+  /// Per-reflector Σ_j base_j/d2r_jr (the collapsed bound double-loop).
+  std::vector<double> refl_weight;
+
+  /// True once gain_toward holds values for the current geometry.  The
+  /// bounds kernel never reads gains, so buildGeometry() leaves them
+  /// stale; the snapshot path calls fillGains() on first use per instant.
+  bool gains_valid = false;
+
+  /// Refill from a scene, reusing capacity (alloc-free at steady state).
+  /// Equivalent to buildGeometry() + fillGains().
+  void build(const ChannelModel& model, const ScattererList& scene);
+  /// Everything except the gain_toward plane (all the bounds kernel needs).
+  void buildGeometry(const ChannelModel& model, const ScattererList& scene);
+  /// Antenna gain toward each scatterer, tier-dispatched so the polynomial
+  /// acos/exp chain runs with hardware FMA where available (identical bits
+  /// on every tier — fma is correctly rounded in hardware and software).
+  void fillGains(const ChannelModel& model);
+};
+
+/// Inputs/outputs of the bounds kernel for one (batch, scene, channel).
+struct BoundsArgs {
+  const TagBatch* tags = nullptr;
+  const FlatScene* scene = nullptr;
+  std::size_t channel = 0;
+  double lambda = 0.0;  ///< carrier wavelength of that channel
+  /// Outputs, length ≥ tags->stride.
+  double* amp_lo = nullptr;
+  double* detune = nullptr;
+};
+
+/// Fill amp_lo/detune for tags in [begin, end) on the active tier.
+void computeBounds(const BoundsArgs& args, std::size_t begin, std::size_t end);
+/// Same, on an explicit tier (property tests / benches).
+void computeBoundsTier(simd::Tier t, const BoundsArgs& args, std::size_t begin,
+                       std::size_t end);
+
+/// Scattering terms evaluateTagFast() can hold on the stack; scenes beyond
+/// this (count·(1+num_reflectors) terms) must use the exact scalar path.
+inline constexpr std::size_t kMaxFastTerms = 64;
+
+/// Full channel snapshot for one tag — amplitudes/phases of every dynamic
+/// term batched through the sincos kernel, complex accumulate with FMA.
+/// Requires count·(1+num_reflectors) ≤ kMaxFastTerms.
+ChannelSnapshot evaluateTagFast(const TagBatch& tags, std::size_t channel,
+                                std::size_t tag, const FlatScene& scene,
+                                double lambda, double wave_number);
+
+}  // namespace rfipad::rf

@@ -1,0 +1,18 @@
+// AVX2 tier of the bounds kernel.  Built only on x86-64, with
+// -mavx2 -mfma -ffp-contract=off.
+#include "common/simd_dispatch.hpp"
+
+#if defined(RFIPAD_TU_AVX2)
+
+#include "common/vbackend_avx2.hpp"
+#include "rf/channel_batch_impl.hpp"
+
+namespace rfipad::rf::detail {
+
+BoundsFn avx2Bounds() { return &boundsRangeT<vm::Avx2Backend>; }
+TagFastFn avx2TagFast() { return &tagFastImpl; }
+GainsFn avx2Gains() { return &fillGainsImpl; }
+
+}  // namespace rfipad::rf::detail
+
+#endif  // RFIPAD_TU_AVX2

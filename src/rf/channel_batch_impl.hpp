@@ -1,0 +1,270 @@
+// Backend-generic body of the bounds kernel.  Included by exactly one TU
+// per tier (channel_batch.cpp, channel_batch_avx2.cpp,
+// channel_batch_neon.cpp), each compiled with -ffp-contract=off so every
+// tier walks the identical chain of roundings (see vmath.hpp).
+//
+// Per lane (= one tag) the kernel reproduces, with hoisted divisions and
+// polynomial transcendentals:
+//   combinedBlockage()        → LOS attenuation accumulated in dB
+//   |√block·los + refl|       → exact static amplitude
+//   − √g_peak·λ·(Σ base/d + Σ rt_amp·refl_weight)   → destructive bound
+//   Π (1 − 0.55·exp(−(d/σ)²)) → near-field detune factor
+// matching ChannelModel::forwardAmpLowerBound()/detuneFactor() to ~1e-12
+// relative; lanes are independent, so batch and single-tag calls agree
+// bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/vkernels.hpp"
+#include "common/vmath.hpp"
+#include "rf/channel_batch.hpp"
+
+namespace rfipad::rf::detail {
+
+// Hoisted constants, shared (and therefore identical) across every tier.
+inline constexpr double kMidPathFraction = 0.22;  // scatterer.cpp's value
+inline constexpr double kNearRxCoeff = -1.0 / (2.0 * 0.08 * 0.08);
+inline constexpr double kDbToLnPow = -vm::kLn10 / 10.0;  // dB → ln scale
+inline constexpr double kInvDetuneSigma = 1.0 / ChannelModel::kDetuneSigma;
+
+template <class B>
+RFIPAD_VM_INLINE void boundsLanes(const BoundsArgs& a, std::size_t i) {
+  using V = typename B::V;
+  const TagBatch& tb = *a.tags;
+  const FlatScene& fs = *a.scene;
+  const auto& cp = tb.channels[a.channel];
+  const std::size_t stride = tb.stride;
+
+  const V zero = B::set(0.0);
+  const V one = B::set(1.0);
+  const V px = B::load(tb.px.data() + i);
+  const V py = B::load(tb.py.data() + i);
+  const V pz = B::load(tb.pz.data() + i);
+  const V abx = B::sub(px, B::set(fs.ax));
+  const V aby = B::sub(py, B::set(fs.ay));
+  const V abz = B::sub(pz, B::set(fs.az));
+  const V len2 = B::fma(abz, abz, B::fma(aby, aby, B::mul(abx, abx)));
+  // Reciprocal hoisted out of the scatterer loop (one div instead of one
+  // per scatterer).  A degenerate len2 == 0 makes inv_len2 inf and t
+  // garbage, but the select below already discards that lane.
+  const V inv_len2 = B::div(one, len2);
+
+  V depth = zero;    // blockage, accumulated in dB
+  V direct = zero;   // Σ base_j / dist_j (destructive direct terms)
+  V det = one;       // near-field detune product
+  // combinedBlockage()'s far-scatterer cutoff: beyond ~7 blockage radii of
+  // the segment (x² ≥ 45) exp(−x²) is below double rounding, so the term
+  // adds exactly 0.0; the same holds for a detune factor that rounds to
+  // exactly 1.0.  Scalar lanes branch around the transcendentals (the
+  // per-slot hot path skips most of them); vector lanes compute and mask
+  // with a select, which lands on the identical bits.
+  const V kCut = B::set(45.0);
+  for (std::size_t s = 0; s < fs.count; ++s) {
+    const V d0x = B::set(fs.sx[s] - fs.ax);
+    const V d0y = B::set(fs.sy[s] - fs.ay);
+    const V d0z = B::set(fs.sz[s] - fs.az);
+    // Clearance of the scatterer to the antenna→tag segment.
+    V t = B::mul(B::fma(d0z, abz, B::fma(d0y, aby, B::mul(d0x, abx))), inv_len2);
+    t = B::select(B::gt(len2, zero), B::min(B::max(t, zero), one), zero);
+    const V cx = B::fma(B::neg(abx), t, d0x);
+    const V cy = B::fma(B::neg(aby), t, d0y);
+    const V cz = B::fma(B::neg(abz), t, d0z);
+    const V c2 = B::fma(cz, cz, B::fma(cy, cy, B::mul(cx, cx)));
+    // Scatterer→tag leg (shared by the near-field, direct and detune terms).
+    const V rxx = B::sub(B::set(fs.sx[s]), px);
+    const V rxy = B::sub(B::set(fs.sy[s]), py);
+    const V rxz = B::sub(B::set(fs.sz[s]), pz);
+    const V rx2 = B::fma(rxz, rxz, B::fma(rxy, rxy, B::mul(rxx, rxx)));
+    const V x2 = B::mul(c2, B::set(fs.inv_r2[s]));
+    if constexpr (B::kLanes == 1) {
+      if (x2 < 45.0 && fs.depth_db[s] > 0.0) {
+        const V near_rx = vm::expT<B>(B::mul(rx2, B::set(kNearRxCoeff)));
+        const V depth_scale = B::fma(near_rx, B::set(1.0 - kMidPathFraction),
+                                     B::set(kMidPathFraction));
+        const V shadow = vm::expT<B>(B::neg(x2));
+        depth = B::add(
+            depth, B::mul(B::mul(B::set(fs.depth_db[s]), depth_scale), shadow));
+      }
+    } else {
+      const V near_rx = vm::expT<B>(B::mul(rx2, B::set(kNearRxCoeff)));
+      const V depth_scale = B::fma(near_rx, B::set(1.0 - kMidPathFraction),
+                                   B::set(kMidPathFraction));
+      const V shadow = vm::expT<B>(B::neg(x2));
+      const V term =
+          B::mul(B::mul(B::set(fs.depth_db[s]), depth_scale), shadow);
+      depth = B::add(depth, B::select(B::lt(x2, kCut), term, zero));
+    }
+    const V dist = B::sqrt(rx2);
+    direct = B::add(direct,
+                    B::div(B::set(fs.base[s]), B::max(dist, B::set(0.01))));
+    const V xd = B::mul(dist, B::set(kInvDetuneSigma));
+    const V xd2 = B::mul(xd, xd);
+    if constexpr (B::kLanes == 1) {
+      if (xd2 < 45.0)
+        det = B::mul(det,
+                     B::sub(one, B::mul(B::set(ChannelModel::kDetuneDepth),
+                                        vm::expT<B>(B::neg(xd2)))));
+    } else {
+      const V factor = B::sub(one, B::mul(B::set(ChannelModel::kDetuneDepth),
+                                          vm::expT<B>(B::neg(xd2))));
+      det = B::mul(det, B::select(B::lt(xd2, kCut), factor, one));
+    }
+  }
+
+  const V sqrt_block = B::sqrt(vm::expT<B>(B::mul(depth, B::set(kDbToLnPow))));
+  const V hre = B::fma(sqrt_block, B::load(cp.los_re.data() + i),
+                       B::load(cp.refl_re.data() + i));
+  const V him = B::fma(sqrt_block, B::load(cp.los_im.data() + i),
+                       B::load(cp.refl_im.data() + i));
+  const V habs = B::sqrt(B::fma(him, him, B::mul(hre, hre)));
+
+  V parasitic = zero;
+  for (std::size_t r = 0; r < cp.num_reflectors; ++r)
+    parasitic = B::fma(B::load(cp.rt_amp.data() + r * stride + i),
+                       B::set(fs.refl_weight[r]), parasitic);
+  const V interference =
+      B::mul(B::mul(B::load(tb.sqrt_gain_peak.data() + i), B::set(a.lambda)),
+             B::add(direct, parasitic));
+  B::store(a.amp_lo + i, B::max(B::sub(habs, interference), zero));
+  B::store(a.detune + i, det);
+}
+
+template <class B>
+void boundsRangeT(const BoundsArgs& a, std::size_t begin, std::size_t end) {
+  constexpr int L = B::kLanes;
+  std::size_t i = begin;
+  for (; i + L <= end; i += L) boundsLanes<B>(a, i);
+  for (; i < end; ++i) boundsLanes<vm::ScalarBackend>(a, i);
+}
+
+// Full per-tag snapshot: the measurement path.  Scalar double code, but
+// defined `static` here so every tier TU compiles its own copy with its
+// own flags — the AVX2/NEON TUs get hardware FMA for the std::fma chains
+// and the inlined expT, the portable TU keeps the libm fallback.  The
+// operation chain is identical in every copy (fma is correctly rounded in
+// hardware and software alike), so results are bit-for-bit the same; only
+// the speed differs.  Dispatched through the tier table like the bounds
+// kernel.
+static ChannelSnapshot tagFastImpl(const TagBatch& tb, std::size_t channel,
+                                   std::size_t tag, const FlatScene& fs,
+                                   double lambda, double wave_number) {
+  using SB = vm::ScalarBackend;
+  const auto& cp = tb.channels[channel];
+  const std::size_t stride = tb.stride;
+  const std::size_t nr = fs.num_reflectors;
+  RFIPAD_ASSERT(fs.count * (1 + nr) <= kMaxFastTerms,
+                "evaluateTagFast: scene exceeds the stack term budget");
+
+  double amp[kMaxFastTerms], pha[kMaxFastTerms];
+  double sv[kMaxFastTerms], cv[kMaxFastTerms];
+  std::size_t nt = 0;
+
+  const double tx = tb.px[tag], ty = tb.py[tag], tz = tb.pz[tag];
+  const double abx = tx - fs.ax, aby = ty - fs.ay, abz = tz - fs.az;
+  const double len2 = abx * abx + aby * aby + abz * abz;
+  const double inv_len2 = 1.0 / len2;  // hoisted; t is discarded when len2 <= 0
+  const double k = wave_number;
+
+  double depth = 0.0;
+  double detune = 1.0;
+  for (std::size_t s = 0; s < fs.count; ++s) {
+    const double d0x = fs.sx[s] - fs.ax;
+    const double d0y = fs.sy[s] - fs.ay;
+    const double d0z = fs.sz[s] - fs.az;
+    double t = (d0x * abx + d0y * aby + d0z * abz) * inv_len2;
+    t = len2 > 0.0 ? std::clamp(t, 0.0, 1.0) : 0.0;
+    const double cx = d0x - abx * t;
+    const double cy = d0y - aby * t;
+    const double cz = d0z - abz * t;
+    const double c2 = cx * cx + cy * cy + cz * cz;
+    const double rxx = fs.sx[s] - tx;
+    const double rxy = fs.sy[s] - ty;
+    const double rxz = fs.sz[s] - tz;
+    const double rx2 = rxx * rxx + rxy * rxy + rxz * rxz;
+    // combinedBlockage()'s far-scatterer cutoff: past x² ≥ 45 the term is
+    // below double rounding and is skipped.
+    const double x2 = c2 * fs.inv_r2[s];
+    if (x2 < 45.0 && fs.depth_db[s] > 0.0) {
+      const double near_rx = vm::expT<SB>(rx2 * kNearRxCoeff);
+      const double depth_scale =
+          kMidPathFraction + (1.0 - kMidPathFraction) * near_rx;
+      depth += fs.depth_db[s] * depth_scale * vm::expT<SB>(-x2);
+    }
+    const double dist = std::sqrt(rx2);
+
+    // Direct bistatic term, then one parasitic double bounce per reflector
+    // — amplitudes and phases buffered for the batched sincos below.
+    const double g =
+        fs.gain_toward[s] * tb.gain_linear[tag] * tb.polarization_loss[tag];
+    const double d2 = std::max(dist, 0.01);
+    const double a0 = std::sqrt(g) * lambda * fs.base[s];
+    amp[nt] = a0 / d2;
+    pha[nt] = -k * (fs.d1[s] + d2) + fs.refl_phase[s];
+    ++nt;
+    const double pref_phase = -k * fs.d1[s] + fs.refl_phase[s];
+    for (std::size_t r = 0; r < nr; ++r) {
+      const double drr = fs.d2r[s * nr + r];
+      amp[nt] = a0 / drr * cp.rt_amp[r * stride + tag];
+      pha[nt] = pref_phase - k * drr + cp.rt_phase[r * stride + tag];
+      ++nt;
+    }
+
+    const double xd = dist * kInvDetuneSigma;
+    const double xd2 = xd * xd;
+    // Past the cutoff the factor rounds to exactly 1.0 — skipping it is a
+    // bitwise no-op (and the usual case: the hand detunes one tag at a
+    // time).
+    if (xd2 < 45.0)
+      detune *= 1.0 - ChannelModel::kDetuneDepth * vm::expT<SB>(-xd2);
+  }
+
+  const double sqrt_block = std::sqrt(vm::expT<SB>(depth * kDbToLnPow));
+  double hre = std::fma(sqrt_block, cp.los_re[tag], cp.refl_re[tag]);
+  double him = std::fma(sqrt_block, cp.los_im[tag], cp.refl_im[tag]);
+  vk::sincosArray(pha, sv, cv, nt);
+  for (std::size_t j = 0; j < nt; ++j) {
+    hre = std::fma(amp[j], cv[j], hre);
+    him = std::fma(amp[j], sv[j], him);
+  }
+
+  ChannelSnapshot snap;
+  snap.forward = Complex(hre, him);
+  snap.detune = detune;
+  return snap;
+}
+
+// Gain plane fill: scalar per scatterer, but the inlined acosT/expT chains
+// want this TU's codegen flags (hardware FMA in the AVX2/NEON TUs) — same
+// per-TU-copy story as tagFastImpl, and bitwise identical on every tier.
+static void fillGainsImpl(FlatScene& fs, const ChannelModel& model) {
+  const DirectionalAntenna& ant = model.antenna();
+  fs.gain_toward.resize(fs.count);
+  for (std::size_t j = 0; j < fs.count; ++j)
+    fs.gain_toward[j] = ant.gainToward({fs.sx[j], fs.sy[j], fs.sz[j]});
+}
+
+using BoundsFn = void (*)(const BoundsArgs&, std::size_t, std::size_t);
+using TagFastFn = ChannelSnapshot (*)(const TagBatch&, std::size_t,
+                                      std::size_t, const FlatScene&, double,
+                                      double);
+using GainsFn = void (*)(FlatScene&, const ChannelModel&);
+
+BoundsFn scalarBounds();
+TagFastFn scalarTagFast();
+GainsFn scalarGains();
+GainsFn gainsFor(simd::Tier t);
+#if defined(RFIPAD_TU_AVX2)
+BoundsFn avx2Bounds();
+TagFastFn avx2TagFast();
+GainsFn avx2Gains();
+#endif
+#if defined(RFIPAD_TU_NEON)
+BoundsFn neonBounds();
+TagFastFn neonTagFast();
+GainsFn neonGains();
+#endif
+
+}  // namespace rfipad::rf::detail

@@ -1,0 +1,18 @@
+// NEON tier of the bounds kernel.  Built only on AArch64, with
+// -ffp-contract=off.
+#include "common/simd_dispatch.hpp"
+
+#if defined(RFIPAD_TU_NEON)
+
+#include "common/vbackend_neon.hpp"
+#include "rf/channel_batch_impl.hpp"
+
+namespace rfipad::rf::detail {
+
+BoundsFn neonBounds() { return &boundsRangeT<vm::NeonBackend>; }
+TagFastFn neonTagFast() { return &tagFastImpl; }
+GainsFn neonGains() { return &fillGainsImpl; }
+
+}  // namespace rfipad::rf::detail
+
+#endif  // RFIPAD_TU_NEON

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/units.hpp"
+#include "common/vkernels.hpp"
 
 namespace rfipad::rf {
 
@@ -11,8 +12,9 @@ NoiseModel::NoiseModel(NoiseParams params) : params_(params) {}
 
 double NoiseModel::snrLinear(double rxPowerDbm) const {
   const double snr_db = rxPowerDbm - params_.noise_floor_dbm;
-  // Clamp to avoid degenerate σ at absurd link budgets.
-  return dbToLinear(std::clamp(snr_db, -10.0, 60.0));
+  // Clamp to avoid degenerate σ at absurd link budgets.  The dispatched
+  // exp10 kernel replaces libm pow on this per-sample path (≤1 ulp apart).
+  return vk::exp10(std::clamp(snr_db, -10.0, 60.0) / 10.0);
 }
 
 double NoiseModel::phaseStd(double rxPowerDbm, double tagFlicker,
@@ -25,7 +27,7 @@ double NoiseModel::phaseStd(double rxPowerDbm, double tagFlicker,
 
 double NoiseModel::tagMarginStd(double marginDb) const {
   const double m = std::max(marginDb, 0.0);
-  return params_.tag_margin_coeff * std::pow(10.0, -m / 20.0);
+  return params_.tag_margin_coeff * vk::exp10(-m / 20.0);
 }
 
 double NoiseModel::rssStdDb(double rxPowerDbm, double tagFlicker,

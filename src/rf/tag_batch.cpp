@@ -1,0 +1,71 @@
+#include "rf/tag_batch.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace rfipad::rf {
+
+namespace {
+constexpr std::size_t kPad = 4;  // widest vector width in doubles
+
+std::size_t roundUp(std::size_t n) { return (n + kPad - 1) / kPad * kPad; }
+}  // namespace
+
+void TagBatch::build(
+    const std::vector<TagEndpoint>& endpoints, double peak_gain_linear,
+    const std::vector<std::vector<ChannelModel::StaticTagChannel>>& caches) {
+  count = endpoints.size();
+  stride = roundUp(count);
+  RFIPAD_ASSERT(count > 0, "TagBatch: empty endpoint list");
+
+  const auto plane = [&](std::vector<double>& v) { v.assign(stride, 0.0); };
+  plane(px);
+  plane(py);
+  plane(pz);
+  plane(gain_linear);
+  plane(polarization_loss);
+  plane(sqrt_gain_peak);
+  for (std::size_t i = 0; i < stride; ++i) {
+    // Padding replicates the last tag: harmless values the kernels compute
+    // and discard, never inf/nan that could trip FP exception accounting.
+    const TagEndpoint& e = endpoints[i < count ? i : count - 1];
+    px[i] = e.position.x;
+    py[i] = e.position.y;
+    pz[i] = e.position.z;
+    gain_linear[i] = e.gain_linear;
+    polarization_loss[i] = e.polarization_loss;
+    sqrt_gain_peak[i] =
+        std::sqrt(peak_gain_linear * e.gain_linear * e.polarization_loss);
+  }
+
+  channels.assign(caches.size(), ChannelPlanes{});
+  for (std::size_t ch = 0; ch < caches.size(); ++ch) {
+    const auto& cache = caches[ch];
+    RFIPAD_ASSERT(cache.size() == count,
+                  "TagBatch: cache/endpoint count mismatch");
+    ChannelPlanes& cp = channels[ch];
+    cp.num_reflectors = cache.empty() ? 0 : cache[0].reflector_terms.size();
+    plane(cp.los_re);
+    plane(cp.los_im);
+    plane(cp.refl_re);
+    plane(cp.refl_im);
+    cp.rt_amp.assign(cp.num_reflectors * stride, 0.0);
+    cp.rt_phase.assign(cp.num_reflectors * stride, 0.0);
+    for (std::size_t i = 0; i < stride; ++i) {
+      const auto& c = cache[i < count ? i : count - 1];
+      RFIPAD_ASSERT(c.reflector_terms.size() == cp.num_reflectors,
+                    "TagBatch: ragged reflector terms");
+      cp.los_re[i] = c.los.real();
+      cp.los_im[i] = c.los.imag();
+      cp.refl_re[i] = c.reflections.real();
+      cp.refl_im[i] = c.reflections.imag();
+      for (std::size_t r = 0; r < cp.num_reflectors; ++r) {
+        cp.rt_amp[r * stride + i] = c.reflector_terms[r].amp;
+        cp.rt_phase[r * stride + i] = c.reflector_terms[r].phase;
+      }
+    }
+  }
+}
+
+}  // namespace rfipad::rf

@@ -1,0 +1,58 @@
+// Structure-of-arrays view of a tag array for the batched channel kernels.
+//
+// The reader's hot loops (Gen2 Query power checks, decodability checks,
+// per-singulation measurement) evaluate the same physics for every tag of
+// the array against one shared dynamic scene.  The AoS layout — a vector
+// of Tag objects, each holding a Vec3 and a per-channel StaticTagChannel —
+// scatters those reads across the heap; this container transposes them
+// into contiguous double planes (positions, gains, static complex channel,
+// parasitic reflector legs) so the kernels in channel_batch.* stream them
+// with unit-stride vector loads.
+//
+// Planes are padded to a multiple of the widest vector width (4 doubles)
+// by replicating the last tag, so kernels never read past an allocation
+// and never need a masked load; padded-lane results are ignored.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rf/channel.hpp"
+
+namespace rfipad::rf {
+
+struct TagBatch {
+  std::size_t count = 0;   ///< real tags
+  std::size_t stride = 0;  ///< count rounded up to a multiple of 4
+
+  // Per-tag planes, length `stride`.
+  std::vector<double> px, py, pz;
+  std::vector<double> gain_linear;
+  std::vector<double> polarization_loss;
+  /// √(peak antenna gain · tag gain · polarisation): the capped-gain factor
+  /// of the forward-amplitude lower bound.
+  std::vector<double> sqrt_gain_peak;
+
+  /// Static-channel planes for one hop channel.
+  struct ChannelPlanes {
+    std::vector<double> los_re, los_im;    ///< unblocked LOS term
+    std::vector<double> refl_re, refl_im;  ///< static reflector sum
+    std::size_t num_reflectors = 0;
+    /// Reflector→tag parasitic legs, [reflector][stride] row-major:
+    /// amplitude and phase of StaticTagChannel::ReflectorTerm.
+    std::vector<double> rt_amp, rt_phase;
+  };
+  std::vector<ChannelPlanes> channels;
+
+  /// Transpose the per-tag endpoints and the reader's per-channel static
+  /// caches into planes.  `caches[ch][tag]` must carry reflector terms for
+  /// every environment reflector (true for caches from precompute()).
+  void build(const std::vector<TagEndpoint>& endpoints,
+             double peak_gain_linear,
+             const std::vector<std::vector<ChannelModel::StaticTagChannel>>&
+                 caches);
+
+  bool empty() const { return count == 0; }
+};
+
+}  // namespace rfipad::rf

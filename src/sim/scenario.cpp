@@ -105,6 +105,37 @@ reader::SceneFn Scenario::sceneFor(const Trajectory& traj,
   };
 }
 
+reader::SceneFillFn Scenario::sceneFillFor(const Trajectory& traj,
+                                           const UserProfile& user,
+                                           double t_offset) const {
+  return [traj, user, t_offset](double t, rf::ScattererList& scene) {
+    const Vec3 hand = traj.positionAt(t - t_offset);
+    scene.clear();
+
+    rf::PointScatterer h;
+    h.position = hand;
+    h.rcs_m2 = user.hand_rcs_m2;
+    h.reflection_phase = kPi;
+    h.blocks_los = true;
+    h.blockage_radius = 0.05;
+    h.blockage_depth_db = 8.0;
+    scene.push_back(h);
+
+    // Forearm: two lumped scatterers between hand and the body anchor.
+    const Vec3 anchor = bodyAnchor();
+    for (double frac : {0.45, 0.8}) {
+      rf::PointScatterer a;
+      a.position = lerp(hand, anchor, frac);
+      a.rcs_m2 = user.arm_rcs_m2 / 2.0;
+      a.reflection_phase = kPi;
+      a.blocks_los = true;
+      a.blockage_radius = 0.06;
+      a.blockage_depth_db = 5.0;
+      scene.push_back(a);
+    }
+  };
+}
+
 reader::SampleStream Scenario::captureStatic(double duration_s) {
   return reader_.captureStatic(duration_s);
 }
@@ -112,7 +143,7 @@ reader::SampleStream Scenario::captureStatic(double duration_s) {
 Capture Scenario::capture(const Trajectory& traj, const UserProfile& user) {
   Capture cap;
   cap.start_time = reader_.now() - traj.startTime();
-  const reader::SceneFn scene = sceneFor(traj, user, cap.start_time);
+  const reader::SceneFillFn scene = sceneFillFor(traj, user, cap.start_time);
   cap.stream = reader_.capture(traj.durationS() + 0.3, scene);
   for (const StrokeInterval& si : traj.strokes()) {
     cap.truth.push_back(

@@ -84,6 +84,14 @@ class Scenario {
   reader::SceneFn sceneFor(const Trajectory& traj, const UserProfile& user,
                            double t_offset) const;
 
+  /// In-place variant of sceneFor: refills the caller's list (clear +
+  /// push_back reuses its capacity), so steady-state captures perform no
+  /// per-instant allocation.  Used by capture(); sceneFor stays for callers
+  /// that want a standalone list per instant.
+  reader::SceneFillFn sceneFillFor(const Trajectory& traj,
+                                   const UserProfile& user,
+                                   double t_offset) const;
+
   /// Static capture (no person present) for calibration.
   reader::SampleStream captureStatic(double duration_s);
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/angles.hpp"
+#include "common/vkernels.hpp"
 
 namespace rfipad::sim {
 
@@ -61,15 +62,17 @@ Vec3 Trajectory::positionAt(double t) const {
     }
   }
   Vec3 p = evalSegment(segments_[lo], t);
-  // Smooth physiological jitter.
-  const double axes[3] = {0, 1, 2};
-  double d[3] = {0, 0, 0};
-  for (int a = 0; a < 3; ++a) {
-    (void)axes;
-    for (const auto& j : jitter_[a]) {
-      d[a] += j.amp * std::sin(kTwoPi * j.freq_hz * t + j.phase);
-    }
-  }
+  // Smooth physiological jitter: six sinusoids (two per axis), batched
+  // through the dispatched sin kernel.  This runs once per Gen2 slot, so
+  // six libm sin calls per instant were a real slice of the capture loop.
+  double args[6], sins[6];
+  for (int a = 0; a < 3; ++a)
+    for (int k = 0; k < 2; ++k)
+      args[a * 2 + k] = kTwoPi * jitter_[a][k].freq_hz * t + jitter_[a][k].phase;
+  vk::sinArray(args, sins, 6);
+  double d[3];
+  for (int a = 0; a < 3; ++a)
+    d[a] = jitter_[a][0].amp * sins[a * 2] + jitter_[a][1].amp * sins[a * 2 + 1];
   return {p.x + d[0], p.y + d[1], p.z + d[2]};
 }
 

@@ -1,0 +1,164 @@
+// Cross-tier property tests over the *composed* hot-path surfaces: the
+// dispatched kernels must produce bit-identical results whichever tier the
+// dispatcher lands on.  test_vkernels.cpp checks the raw reductions and
+// transcendentals per tier; here the same contract is asserted one level
+// up — segmenter stats, channel-gain planes, and the Otsu threshold —
+// across randomized seeded batches whose lengths deliberately straddle the
+// 4-lane block width (1..n, never only multiples of 4).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd_dispatch.hpp"
+#include "common/stats.hpp"
+#include "imgproc/binary_map.hpp"
+#include "imgproc/graymap.hpp"
+#include "rf/channel.hpp"
+#include "rf/channel_batch.hpp"
+#include "rf/multipath.hpp"
+
+namespace rfipad {
+namespace {
+
+bool haveVectorTier() {
+  return simd::detectTier() != simd::Tier::kScalar;
+}
+
+/// Pins the dispatcher to a tier for one scope; restores auto-detection.
+class TierGuard {
+ public:
+  explicit TierGuard(simd::Tier t) { simd::setTierOverrideForTest(t); }
+  ~TierGuard() { simd::clearTierOverrideForTest(); }
+  TierGuard(const TierGuard&) = delete;
+  TierGuard& operator=(const TierGuard&) = delete;
+};
+
+// Lengths straddling the 4-lane blocks: every residue mod 4, plus longer
+// runs where the lane loop dominates.
+const std::size_t kLengths[] = {1, 2, 3, 4, 5, 6, 7, 9, 15, 16,
+                                17, 31, 33, 63, 101, 256};
+
+TEST(SimdProperties, SegmenterStatsInvariantUnderTier) {
+  if (!haveVectorTier()) GTEST_SKIP() << "no vector tier on this CPU";
+  for (std::size_t n : kLengths) {
+    Rng rng(9000 + n);
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = rng.uniform(-3.0, 3.0);
+
+    double m_s, v_s, sd_s, rms_s;
+    {
+      TierGuard g(simd::Tier::kScalar);
+      m_s = mean(xs.data(), n);
+      v_s = variance(xs.data(), n);
+      sd_s = stddev(xs.data(), n);
+      rms_s = rms(xs.data(), n);
+    }
+    double m_v, v_v, sd_v, rms_v;
+    {
+      TierGuard g(simd::detectTier());
+      m_v = mean(xs.data(), n);
+      v_v = variance(xs.data(), n);
+      sd_v = stddev(xs.data(), n);
+      rms_v = rms(xs.data(), n);
+    }
+    EXPECT_EQ(m_s, m_v) << "mean n=" << n;
+    EXPECT_EQ(v_s, v_v) << "variance n=" << n;
+    EXPECT_EQ(sd_s, sd_v) << "stddev n=" << n;
+    EXPECT_EQ(rms_s, rms_v) << "rms n=" << n;
+  }
+}
+
+TEST(SimdProperties, ChannelGainPlanesInvariantUnderTier) {
+  if (!haveVectorTier()) GTEST_SKIP() << "no vector tier on this CPU";
+  rf::ChannelModel model(
+      rf::CarrierConfig{922.38e6},
+      rf::DirectionalAntenna({0.05, -0.4, 1.2}, {0.0, 0.3, -1.0}, 8.0),
+      rf::labLocation(2));
+  // Scene sizes hit the empty, single, and multi-scatterer paths.
+  for (std::size_t ns : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                         std::size_t{3}, std::size_t{5}}) {
+    Rng rng(4000 + ns);
+    rf::ScattererList scene;
+    for (std::size_t j = 0; j < ns; ++j) {
+      rf::PointScatterer s;
+      s.position = {rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4),
+                    rng.uniform(0.02, 0.4)};
+      s.rcs_m2 = rng.uniform(0.002, 0.03);
+      s.reflection_phase = rng.uniform(0.0, 6.28);
+      s.blocks_los = (j % 2) == 0;
+      s.blockage_radius = rng.uniform(0.03, 0.08);
+      s.blockage_depth_db = rng.uniform(2.0, 9.0);
+      scene.push_back(s);
+    }
+    rf::FlatScene fs_scalar, fs_vec;
+    {
+      TierGuard g(simd::Tier::kScalar);
+      fs_scalar.build(model, scene);
+    }
+    {
+      TierGuard g(simd::detectTier());
+      fs_vec.build(model, scene);
+    }
+    ASSERT_EQ(fs_scalar.count, fs_vec.count);
+    for (std::size_t s = 0; s < fs_scalar.count; ++s) {
+      EXPECT_EQ(fs_scalar.gain_toward[s], fs_vec.gain_toward[s])
+          << "gain_toward scatterer " << s << " scene=" << ns;
+      EXPECT_EQ(fs_scalar.base[s], fs_vec.base[s])
+          << "base scatterer " << s << " scene=" << ns;
+    }
+    ASSERT_EQ(fs_scalar.refl_weight.size(), fs_vec.refl_weight.size());
+    for (std::size_t r = 0; r < fs_scalar.refl_weight.size(); ++r)
+      EXPECT_EQ(fs_scalar.refl_weight[r], fs_vec.refl_weight[r])
+          << "refl_weight " << r << " scene=" << ns;
+  }
+}
+
+TEST(SimdProperties, OtsuThresholdInvariantUnderTier) {
+  if (!haveVectorTier()) GTEST_SKIP() << "no vector tier on this CPU";
+  for (std::size_t n : kLengths) {
+    if (n < 2) continue;  // otsuThreshold requires at least 2 values
+    Rng rng(7000 + n);
+    std::vector<double> values(n);
+    for (auto& v : values) v = rng.uniform(0.0, 1.0);
+
+    double th_s, th_v;
+    {
+      TierGuard g(simd::Tier::kScalar);
+      th_s = imgproc::otsuThreshold(values);
+    }
+    {
+      TierGuard g(simd::detectTier());
+      th_v = imgproc::otsuThreshold(values);
+    }
+    EXPECT_EQ(th_s, th_v) << "otsu threshold n=" << n;
+  }
+}
+
+TEST(SimdProperties, GrayMapBinarizationInvariantUnderTier) {
+  if (!haveVectorTier()) GTEST_SKIP() << "no vector tier on this CPU";
+  // The paper's 5×5 grid plus shapes that are not lane multiples.
+  const std::pair<int, int> kShapes[] = {{5, 5}, {3, 7}, {1, 9}, {6, 6}};
+  for (const auto& [rows, cols] : kShapes) {
+    Rng rng(1234 + static_cast<std::uint64_t>(rows * 100 + cols));
+    std::vector<double> values(static_cast<std::size_t>(rows) * cols);
+    for (auto& v : values) v = rng.uniform(-2.0, 5.0);
+    const imgproc::GrayMap map(rows, cols, values);
+
+    auto run = [&](simd::Tier t) {
+      TierGuard g(t);
+      const imgproc::GrayMap norm = map.normalized();
+      const imgproc::BinaryMap bin = imgproc::otsuBinarize(norm);
+      return std::pair<std::vector<double>, std::vector<imgproc::Cell>>(
+          norm.values(), bin.foreground());
+    };
+    const auto [norm_s, fg_s] = run(simd::Tier::kScalar);
+    const auto [norm_v, fg_v] = run(simd::detectTier());
+    EXPECT_EQ(norm_s, norm_v) << rows << "x" << cols;
+    EXPECT_EQ(fg_s, fg_v) << rows << "x" << cols;
+  }
+}
+
+}  // namespace
+}  // namespace rfipad

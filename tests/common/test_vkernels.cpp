@@ -1,0 +1,150 @@
+// Property tests for the dispatched vector kernels: the vector tiers must
+// reproduce the scalar tier bit-for-bit (the determinism contract of the
+// SoA rewrite), and both must track libm within tight tolerances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd_dispatch.hpp"
+#include "common/vkernels.hpp"
+
+namespace rfipad {
+namespace {
+
+// Sizes straddling the 4-lane block: empty, sub-block, exact blocks, and
+// non-multiple-of-lane-width tails.
+const std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 25, 33, 64, 1003};
+
+std::vector<double> randomBatch(std::size_t n, std::uint64_t seed,
+                                double lo, double hi) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+bool haveVectorTier() {
+  return simd::detectTier() != simd::Tier::kScalar;
+}
+
+simd::Tier vectorTier() { return simd::detectTier(); }
+
+TEST(VKernels, ReductionsMatchScalarTierBitwise) {
+  if (!haveVectorTier()) GTEST_SKIP() << "no vector tier on this CPU";
+  const simd::Tier vec = vectorTier();
+  for (std::size_t n : kSizes) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      const auto x = randomBatch(n, seed * 7919 + n, -50.0, 50.0);
+      EXPECT_EQ(vk::sumTier(simd::Tier::kScalar, x.data(), n),
+                vk::sumTier(vec, x.data(), n))
+          << "sum n=" << n << " seed=" << seed;
+      EXPECT_EQ(vk::sumSquaresTier(simd::Tier::kScalar, x.data(), n),
+                vk::sumSquaresTier(vec, x.data(), n))
+          << "sumSquares n=" << n;
+      EXPECT_EQ(vk::sumSquaredDevTier(simd::Tier::kScalar, x.data(), n, 1.25),
+                vk::sumSquaredDevTier(vec, x.data(), n, 1.25))
+          << "sumSquaredDev n=" << n;
+      EXPECT_EQ(vk::sumSquaredDiffsTier(simd::Tier::kScalar, x.data(), n),
+                vk::sumSquaredDiffsTier(vec, x.data(), n))
+          << "sumSquaredDiffs n=" << n;
+    }
+  }
+}
+
+TEST(VKernels, SincosMatchesScalarTierBitwiseIncludingTails) {
+  if (!haveVectorTier()) GTEST_SKIP() << "no vector tier on this CPU";
+  const simd::Tier vec = vectorTier();
+  for (std::size_t n : kSizes) {
+    // Round-trip phases land in roughly ±250 rad; stress a wider range.
+    const auto x = randomBatch(n, 0xabc0 + n, -1000.0, 1000.0);
+    std::vector<double> ss(n), cs(n), sv(n), cv(n);
+    vk::sincosArrayTier(simd::Tier::kScalar, x.data(), ss.data(), cs.data(), n);
+    vk::sincosArrayTier(vec, x.data(), sv.data(), cv.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(ss[i], sv[i]) << "sin lane " << i << " of " << n;
+      EXPECT_EQ(cs[i], cv[i]) << "cos lane " << i << " of " << n;
+    }
+  }
+}
+
+TEST(VKernels, ExpMatchesScalarTierBitwise) {
+  if (!haveVectorTier()) GTEST_SKIP() << "no vector tier on this CPU";
+  const simd::Tier vec = vectorTier();
+  for (std::size_t n : kSizes) {
+    const auto x = randomBatch(n, 0xe1 + n, -750.0, 40.0);
+    std::vector<double> es(n), ev(n);
+    vk::expArrayTier(simd::Tier::kScalar, x.data(), es.data(), n);
+    vk::expArrayTier(vec, x.data(), ev.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(es[i], ev[i]) << "exp lane " << i << " of " << n;
+  }
+}
+
+TEST(VKernels, SincosTracksLibm) {
+  const auto x = randomBatch(2000, 42, -1000.0, 1000.0);
+  std::vector<double> s(x.size()), c(x.size());
+  vk::sincosArray(x.data(), s.data(), c.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(s[i], std::sin(x[i]), 1e-13) << "x=" << x[i];
+    EXPECT_NEAR(c[i], std::cos(x[i]), 1e-13) << "x=" << x[i];
+  }
+}
+
+TEST(VKernels, ExpTracksLibmRelative) {
+  const auto x = randomBatch(2000, 43, -30.0, 30.0);
+  std::vector<double> e(x.size());
+  vk::expArray(x.data(), e.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ref = std::exp(x[i]);
+    EXPECT_NEAR(e[i], ref, std::abs(ref) * 1e-14) << "x=" << x[i];
+  }
+}
+
+TEST(VKernels, ExpEdgeCases) {
+  const double in[] = {0.0, -0.0, -708.5, -1000.0, 1.0};
+  double out[5];
+  vk::expArray(in, out, 5);
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], 1.0);
+  EXPECT_EQ(out[2], 0.0);  // flushed below the underflow cutoff
+  EXPECT_EQ(out[3], 0.0);
+  EXPECT_NEAR(out[4], std::exp(1.0), 1e-15);
+}
+
+TEST(VKernels, ReductionsMatchNaiveAccumulation) {
+  const auto x = randomBatch(257, 44, -5.0, 5.0);
+  double s = 0.0, s2 = 0.0;
+  for (double v : x) {
+    s += v;
+    s2 += v * v;
+  }
+  EXPECT_NEAR(vk::sum(x.data(), x.size()), s, 1e-10);
+  EXPECT_NEAR(vk::sumSquares(x.data(), x.size()), s2, 1e-10);
+  double sd = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double d = x[i + 1] - x[i];
+    sd += d * d;
+  }
+  EXPECT_NEAR(vk::sumSquaredDiffs(x.data(), x.size()), sd, 1e-10);
+}
+
+TEST(SimdDispatch, OverridePinsTier) {
+  simd::setTierOverrideForTest(simd::Tier::kScalar);
+  EXPECT_EQ(simd::activeTier(), simd::Tier::kScalar);
+  simd::clearTierOverrideForTest();
+  EXPECT_EQ(simd::activeTier(), simd::activeTier());  // stable
+  EXPECT_TRUE(simd::tierCompiled(simd::Tier::kScalar));
+  EXPECT_STREQ(simd::tierName(simd::Tier::kScalar), "scalar");
+  EXPECT_STREQ(simd::tierName(simd::Tier::kAvx2), "avx2");
+  EXPECT_STREQ(simd::tierName(simd::Tier::kNeon), "neon");
+}
+
+TEST(SimdDispatch, DetectedTierIsCompiledIn) {
+  EXPECT_TRUE(simd::tierCompiled(simd::detectTier()));
+}
+
+}  // namespace
+}  // namespace rfipad

@@ -1,0 +1,9 @@
+// LINT-PATH: src/rf/bad_heap_hotpath.cpp
+// LINT-EXPECT: no-heap-hotpath
+// Raw allocator traffic inside a hot-path module: one allocation per
+// sample collapses the SoA kernels' throughput.
+#include <cstdlib>
+
+double* makeScratch(unsigned n) { return new double[n]; }
+
+void* makeBuffer(unsigned n) { return malloc(n * sizeof(double)); }

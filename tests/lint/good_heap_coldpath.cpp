@@ -1,0 +1,9 @@
+// LINT-PATH: src/llrp/good_heap_coldpath.cpp
+// LINT-EXPECT: clean
+// The same allocations are fine outside the hot-path modules: transport
+// setup runs once per connection, not once per sample.
+#include <cstdlib>
+
+double* makeScratch(unsigned n) { return new double[n]; }
+
+void* makeBuffer(unsigned n) { return malloc(n * sizeof(double)); }

@@ -1,0 +1,108 @@
+// Allocation accounting for the sample hot path: after warm-up (capacity
+// reserved), pushing reports into a SampleStream must not touch the heap.
+// The old TagReport carried a std::string EPC — 24 hex chars, past the SSO
+// buffer — so every simulated read heap-allocated at least once; the inline
+// EpcHex plus the trivially-copyable TagReport make push() a plain memcpy.
+//
+// The counter instruments global operator new/delete for this test binary
+// only.  gtest itself allocates (assertion bookkeeping), so each check
+// measures the delta across the tight push loop alone and performs no
+// EXPECT/ASSERT inside the measured region.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+
+#include "reader/sample_stream.hpp"
+#include "reader/tag_report.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_live_allocs{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace rfipad::reader {
+namespace {
+
+// The structural property behind the zero-allocation guarantee: a report is
+// a flat value, so vector growth and push-by-value never chase pointers.
+static_assert(std::is_trivially_copyable_v<TagReport>,
+              "TagReport must stay trivially copyable (inline EPC)");
+static_assert(std::is_trivially_copyable_v<EpcHex>,
+              "EpcHex must stay trivially copyable");
+
+TagReport makeReport(std::uint32_t tag, double t) {
+  TagReport r;
+  r.epc = "3000AA00BB00CC0000000007";  // 24 hex chars — past std::string SSO
+  r.tag_index = tag;
+  r.time_s = t;
+  r.phase_rad = 1.25;
+  r.rssi_dbm = -58.5;
+  return r;
+}
+
+TEST(StreamAlloc, SteadyStatePushIsAllocationFree) {
+  constexpr std::size_t kWarmup = 1024;
+  constexpr std::size_t kMeasured = 4096;
+
+  SampleStream stream(8);
+  stream.reserve(kWarmup + kMeasured);
+  for (std::size_t i = 0; i < kWarmup; ++i) {
+    stream.push(makeReport(static_cast<std::uint32_t>(i % 8),
+                           static_cast<double>(i) * 1e-3));
+  }
+
+  const std::size_t before = g_live_allocs.load(std::memory_order_relaxed);
+  for (std::size_t i = kWarmup; i < kWarmup + kMeasured; ++i) {
+    stream.push(makeReport(static_cast<std::uint32_t>(i % 8),
+                           static_cast<double>(i) * 1e-3));
+  }
+  const std::size_t after = g_live_allocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state push() must not allocate once capacity is reserved";
+  EXPECT_EQ(stream.size(), kWarmup + kMeasured);
+}
+
+TEST(StreamAlloc, ReportConstructionIsAllocationFree) {
+  const std::size_t before = g_live_allocs.load(std::memory_order_relaxed);
+  double acc = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const TagReport r = makeReport(static_cast<std::uint32_t>(i), 0.5);
+    acc += r.phase_rad;
+  }
+  const std::size_t after = g_live_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_GT(acc, 0.0);
+}
+
+TEST(StreamAlloc, EpcRoundTripsThroughInlineStorage) {
+  TagReport r = makeReport(3, 0.0);
+  EXPECT_EQ(r.epc, std::string("3000AA00BB00CC0000000007"));
+  EXPECT_EQ(r.epc.size(), 24u);
+  r.epc = "EPC";  // shorter re-assignment must not leave residue
+  EXPECT_EQ(r.epc, std::string("EPC"));
+  EXPECT_EQ(r.epc.size(), 3u);
+  EXPECT_FALSE(r.epc == EpcHex("EPCX"));
+}
+
+}  // namespace
+}  // namespace rfipad::reader

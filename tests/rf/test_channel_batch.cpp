@@ -1,0 +1,200 @@
+// Property tests for the SoA channel kernels: SIMD-vs-scalar bitwise
+// equality (the determinism contract), batch-vs-single-tag bitwise
+// equality (the predicates mix both), and agreement with the exact
+// ChannelModel reference within the polynomial-math tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd_dispatch.hpp"
+#include "rf/channel.hpp"
+#include "rf/channel_batch.hpp"
+#include "rf/multipath.hpp"
+#include "rf/tag_batch.hpp"
+
+namespace rfipad::rf {
+namespace {
+
+struct Fixture {
+  ChannelModel model;
+  std::vector<TagEndpoint> endpoints;
+  std::vector<std::vector<ChannelModel::StaticTagChannel>> caches;
+  TagBatch batch;
+
+  Fixture(std::size_t num_tags, const MultipathEnvironment& env,
+          std::uint64_t seed)
+      : model(CarrierConfig{922.38e6},
+              DirectionalAntenna({0.05, -0.4, 1.2}, {0.0, 0.3, -1.0}, 8.0),
+              env) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < num_tags; ++i) {
+      TagEndpoint e;
+      e.position = {rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+                    rng.uniform(-0.02, 0.02)};
+      endpoints.push_back(e);
+    }
+    auto& cache = caches.emplace_back();
+    for (const auto& e : endpoints) cache.push_back(model.precompute(e));
+    batch.build(endpoints, model.antenna().peakGainLinear(), caches);
+  }
+};
+
+ScattererList randomScene(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  ScattererList scene;
+  for (std::size_t j = 0; j < n; ++j) {
+    PointScatterer s;
+    s.position = {rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4),
+                  rng.uniform(0.02, 0.4)};
+    s.rcs_m2 = rng.uniform(0.002, 0.03);
+    s.reflection_phase = rng.uniform(0.0, 6.28);
+    s.blocks_los = (j % 3) != 2;  // mix blocking and non-blocking
+    s.blockage_radius = rng.uniform(0.03, 0.08);
+    s.blockage_depth_db = rng.uniform(2.0, 9.0);
+    scene.push_back(s);
+  }
+  return scene;
+}
+
+// Tag counts straddling the 4-lane blocks, scenes from empty to 3-body.
+const std::size_t kTagCounts[] = {1, 2, 3, 5, 7, 9, 25, 33};
+const std::size_t kSceneSizes[] = {0, 1, 2, 3};
+
+TEST(ChannelBatch, BoundsMatchReferenceModel) {
+  for (std::size_t nt : kTagCounts) {
+    Fixture fx(nt, labLocation(1), 100 + nt);
+    for (std::size_t ns : kSceneSizes) {
+      const auto scene = randomScene(ns, 500 + ns);
+      const auto geom = fx.model.precomputeScene(scene);
+      FlatScene fs;
+      fs.build(fx.model, scene);
+      std::vector<double> amp_lo(fx.batch.stride), detune(fx.batch.stride);
+      BoundsArgs args{&fx.batch, &fs, 0, fx.model.carrier().wavelengthM(),
+                      amp_lo.data(), detune.data()};
+      computeBoundsTier(simd::Tier::kScalar, args, 0, nt);
+      for (std::size_t i = 0; i < nt; ++i) {
+        const double ref = fx.model.forwardAmpLowerBound(
+            fx.endpoints[i], fx.caches[0][i], scene, geom);
+        EXPECT_NEAR(amp_lo[i], ref, std::abs(ref) * 1e-9 + 1e-12)
+            << "amp_lo tag " << i << " tags=" << nt << " scene=" << ns;
+        const double dref = fx.model.detuneFactor(fx.endpoints[i], scene);
+        EXPECT_NEAR(detune[i], dref, std::abs(dref) * 1e-9 + 1e-12)
+            << "detune tag " << i;
+      }
+    }
+  }
+}
+
+TEST(ChannelBatch, SimdTierMatchesScalarBitwise) {
+  if (simd::detectTier() == simd::Tier::kScalar)
+    GTEST_SKIP() << "no vector tier on this CPU";
+  const simd::Tier vec = simd::detectTier();
+  for (std::size_t nt : kTagCounts) {
+    Fixture fx(nt, labLocation(4), 200 + nt);
+    for (std::size_t ns : kSceneSizes) {
+      const auto scene = randomScene(ns, 700 + ns);
+      FlatScene fs;
+      fs.build(fx.model, scene);
+      std::vector<double> as(fx.batch.stride), ds(fx.batch.stride);
+      std::vector<double> av(fx.batch.stride), dv(fx.batch.stride);
+      BoundsArgs sargs{&fx.batch, &fs, 0, fx.model.carrier().wavelengthM(),
+                       as.data(), ds.data()};
+      BoundsArgs vargs{&fx.batch, &fs, 0, fx.model.carrier().wavelengthM(),
+                       av.data(), dv.data()};
+      computeBoundsTier(simd::Tier::kScalar, sargs, 0, nt);
+      computeBoundsTier(vec, vargs, 0, nt);
+      for (std::size_t i = 0; i < nt; ++i) {
+        EXPECT_EQ(as[i], av[i]) << "amp_lo tag " << i << "/" << nt
+                                << " scene=" << ns;
+        EXPECT_EQ(ds[i], dv[i]) << "detune tag " << i << "/" << nt;
+      }
+    }
+  }
+}
+
+TEST(ChannelBatch, SingleTagRangeMatchesBatchBitwise) {
+  Fixture fx(25, labLocation(1), 42);
+  const auto scene = randomScene(3, 43);
+  FlatScene fs;
+  fs.build(fx.model, scene);
+  std::vector<double> ab(fx.batch.stride), db(fx.batch.stride);
+  std::vector<double> a1(fx.batch.stride), d1(fx.batch.stride);
+  BoundsArgs bargs{&fx.batch, &fs, 0, fx.model.carrier().wavelengthM(),
+                   ab.data(), db.data()};
+  computeBounds(bargs, 0, 25);
+  BoundsArgs sargs{&fx.batch, &fs, 0, fx.model.carrier().wavelengthM(),
+                   a1.data(), d1.data()};
+  for (std::size_t i = 0; i < 25; ++i) computeBounds(sargs, i, i + 1);
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(ab[i], a1[i]) << "amp_lo tag " << i;
+    EXPECT_EQ(db[i], d1[i]) << "detune tag " << i;
+  }
+}
+
+TEST(ChannelBatch, BoundStaysBelowExactForwardAmplitude) {
+  Fixture fx(25, labLocation(4), 7);
+  for (std::size_t ns : kSceneSizes) {
+    const auto scene = randomScene(ns, 900 + ns);
+    FlatScene fs;
+    fs.build(fx.model, scene);
+    std::vector<double> amp_lo(fx.batch.stride), detune(fx.batch.stride);
+    BoundsArgs args{&fx.batch, &fs, 0, fx.model.carrier().wavelengthM(),
+                    amp_lo.data(), detune.data()};
+    computeBounds(args, 0, 25);
+    for (std::size_t i = 0; i < 25; ++i) {
+      const auto snap =
+          fx.model.evaluateCached(fx.endpoints[i], fx.caches[0][i], scene);
+      // Soundness up to the ~1e-12 polynomial drift.
+      EXPECT_LE(amp_lo[i], std::abs(snap.forward) * (1.0 + 1e-9) + 1e-12)
+          << "tag " << i << " scene=" << ns;
+    }
+  }
+}
+
+TEST(ChannelBatch, FastEvaluationMatchesReferenceModel) {
+  for (const auto& env : {anechoic(), labLocation(1), labLocation(4)}) {
+    Fixture fx(25, env, 11);
+    for (std::size_t ns : kSceneSizes) {
+      const auto scene = randomScene(ns, 1100 + ns);
+      FlatScene fs;
+      fs.build(fx.model, scene);
+      const double lambda = fx.model.carrier().wavelengthM();
+      const double k = fx.model.carrier().waveNumber();
+      for (std::size_t i = 0; i < 25; ++i) {
+        const auto fast = evaluateTagFast(fx.batch, 0, i, fs, lambda, k);
+        const auto ref =
+            fx.model.evaluateCached(fx.endpoints[i], fx.caches[0][i], scene);
+        const double scale = std::abs(ref.forward) + 1e-12;
+        EXPECT_NEAR(fast.forward.real(), ref.forward.real(), scale * 1e-9)
+            << "re tag " << i << " scene=" << ns;
+        EXPECT_NEAR(fast.forward.imag(), ref.forward.imag(), scale * 1e-9)
+            << "im tag " << i << " scene=" << ns;
+        EXPECT_NEAR(fast.detune, ref.detune, 1e-11) << "detune tag " << i;
+      }
+    }
+  }
+}
+
+TEST(ChannelBatch, EmptySceneReproducesStaticChannelExactly) {
+  Fixture fx(9, labLocation(1), 3);
+  FlatScene fs;
+  fs.build(fx.model, {});
+  const double lambda = fx.model.carrier().wavelengthM();
+  const double k = fx.model.carrier().waveNumber();
+  for (std::size_t i = 0; i < 9; ++i) {
+    const auto fast = evaluateTagFast(fx.batch, 0, i, fs, lambda, k);
+    const Complex expect = fx.caches[0][i].los + fx.caches[0][i].reflections;
+    // With no dynamic terms the fast path is pure loads and one exact
+    // sqrt(1.0) multiply: bit-identical to the cached static channel.
+    EXPECT_EQ(fast.forward.real(), expect.real()) << "tag " << i;
+    EXPECT_EQ(fast.forward.imag(), expect.imag()) << "tag " << i;
+    EXPECT_EQ(fast.detune, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rfipad::rf

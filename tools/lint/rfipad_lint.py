@@ -32,6 +32,12 @@ broken RF-sensing reproductions:
                        "must be ...", "must not ...") but neither the
                        header nor its .cpp enforces anything (no
                        RFIPAD_ASSERT/RFIPAD_INVARIANT, no validating throw)
+  no-heap-hotpath      raw `new` / `malloc`/`calloc`/`realloc` inside the
+                       per-sample hot-path modules (src/rf, src/gen2,
+                       src/reader, src/imgproc, src/core, src/common).
+                       The SoA kernels are allocation-free by design —
+                       use a reused std::vector scratch, inline storage,
+                       or pre-sized arena owned by the caller.
 
 Audited exceptions live in ``tools/lint/lint_allowlist.txt`` (max
 %(max_allow)d entries — beyond that, fix the code instead).  Exit code 0
@@ -55,6 +61,13 @@ LINT_DIRS = ("src", "bench")
 # Paths (prefix match, repo-relative, '/'-separated) where wall-clock and
 # sleep calls are legitimate: the LLRP transport talks to real hardware.
 TRANSPORT_PREFIXES = ("src/llrp/",)
+
+# Modules on the per-sample hot path: one heap allocation per sample or per
+# slot wrecks the SoA kernels' throughput, so raw new/malloc is banned here
+# (containers that amortise via reserve/resize are fine — the rule targets
+# the raw allocator calls only).
+HOTPATH_PREFIXES = ("src/rf/", "src/gen2/", "src/reader/", "src/imgproc/",
+                    "src/core/", "src/common/")
 
 FLOAT_LIT = r"(?<![\w.])(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fF]?"
 
@@ -147,6 +160,10 @@ def is_transport(relpath):
     return relpath.startswith(TRANSPORT_PREFIXES)
 
 
+def is_hotpath(relpath):
+    return relpath.startswith(HOTPATH_PREFIXES)
+
+
 def find_matching_brace(text, open_pos):
     depth = 0
     for i in range(open_pos, len(text)):
@@ -175,6 +192,13 @@ def check_banned_constructs(relpath, code, findings):
             ("no-sleep",
              re.compile(r"\bsleep_(?:for|until)\b|\busleep\s*\(|\bnanosleep\s*\("),
              "host sleeps outside transport code; advance simulated time instead"),
+        ]
+    if is_hotpath(relpath):
+        rules += [
+            ("no-heap-hotpath",
+             re.compile(r"\bnew\b(?!\s*\()|\b(?:malloc|calloc|realloc)\s*\("),
+             "raw heap allocation in a hot-path module; use reused "
+             "scratch, inline storage, or a caller-owned arena"),
         ]
     for rule, pattern, message in rules:
         for m in pattern.finditer(code):
