@@ -1,9 +1,12 @@
-// Robustness sweep (ISSUE: fault injection + graceful degradation): the
-// Table-I 13-motion battery re-run under increasingly hostile conditions —
-// bursty miss-read dropout, dead tags, and wire-level frame corruption —
-// through the deterministic parallel batch runner.  Emits
-// BENCH_robustness.json (schema rfipad-bench-robustness-v1) so the
-// degradation curves are diffable across commits.
+// Robustness sweep (ISSUE: fault injection + graceful degradation, extended
+// by the missing-data recovery PR): the Table-I 13-motion battery plus a
+// letter battery, re-run under increasingly hostile conditions — bursty
+// miss-read dropout, dead tags, and wire-level frame corruption — through
+// the deterministic parallel batch runner, each level twice: recovery
+// pipeline off (baseline degradation) and on (RecoveryConfig::full()).
+// Emits BENCH_robustness.json (schema rfipad-bench-robustness-v2, adding
+// `recovery` and `letter_accuracy` per level) so the degradation curves and
+// the recovery ablation are diffable across commits.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -21,10 +24,13 @@ namespace {
 
 struct LevelResult {
   double value = 0.0;        ///< swept parameter value
-  double accuracy = 0.0;     ///< directed accuracy
+  bool recovery = false;     ///< missing-data recovery pipeline enabled
+  double accuracy = 0.0;     ///< directed stroke accuracy
   double kind_accuracy = 0.0;
   double fnr = 0.0;          ///< missed strokes / truths
+  double letter_accuracy = 0.0;
   long long trials = 0;
+  long long letter_trials = 0;
   long long samples = 0;     ///< reports surviving the plan
   long long dropped = 0;     ///< reports the plan removed
 };
@@ -32,7 +38,7 @@ struct LevelResult {
 struct Sweep {
   std::string name;
   std::string param;
-  std::vector<LevelResult> levels;
+  std::vector<LevelResult> levels;  ///< off/on pairs per swept value
 };
 
 std::string jsonNumber(double v) {
@@ -45,7 +51,7 @@ std::string jsonNumber(double v) {
 bool writeRobustnessJson(const std::string& path, std::uint64_t seed, int reps,
                          int threads, double wall_s,
                          const std::vector<Sweep>& sweeps) {
-  std::string out = "{\n  \"schema\": \"rfipad-bench-robustness-v1\",\n";
+  std::string out = "{\n  \"schema\": \"rfipad-bench-robustness-v2\",\n";
   out += "  \"seed\": " + std::to_string(seed) + ",\n";
   out += "  \"reps\": " + std::to_string(reps) + ",\n";
   out += "  \"threads\": " + std::to_string(threads) + ",\n";
@@ -58,10 +64,13 @@ bool writeRobustnessJson(const std::string& path, std::uint64_t seed, int reps,
     for (std::size_t i = 0; i < sw.levels.size(); ++i) {
       const auto& l = sw.levels[i];
       out += "      {\"" + sw.param + "\": " + jsonNumber(l.value);
+      out += std::string(", \"recovery\": ") + (l.recovery ? "true" : "false");
       out += ", \"accuracy\": " + jsonNumber(l.accuracy);
       out += ", \"kind_accuracy\": " + jsonNumber(l.kind_accuracy);
       out += ", \"fnr\": " + jsonNumber(l.fnr);
+      out += ", \"letter_accuracy\": " + jsonNumber(l.letter_accuracy);
       out += ", \"trials\": " + std::to_string(l.trials);
+      out += ", \"letter_trials\": " + std::to_string(l.letter_trials);
       out += ", \"samples\": " + std::to_string(l.samples);
       out += ", \"dropped\": " + std::to_string(l.dropped);
       out += "}";
@@ -85,13 +94,21 @@ bool writeRobustnessJson(const std::string& path, std::uint64_t seed, int reps,
 
 constexpr std::uint64_t kSeed = 1000;
 
+/// Letter battery: one letter per stroke-count class (1–4) plus the
+/// ambiguous-pair members that stress positional disambiguation under
+/// missing data.  Each rep runs the battery for three writers.
+constexpr const char* kLetters = "CILTOUVA";
+constexpr int kLetterUsers[] = {1, 2, 3};
+
 LevelResult runLevel(double value, const std::optional<fault::FaultPlan>& plan,
-                     int reps, int threads) {
-  std::fprintf(stderr, "[fault_sweep] level %.3g\n", value);
+                     int reps, int threads, bool recovery) {
+  std::fprintf(stderr, "[fault_sweep] level %.3g recovery=%d\n", value,
+               recovery ? 1 : 0);
   bench::HarnessOptions opt;
   opt.scenario.seed = kSeed;
   opt.scenario.doppler_probes = false;
   opt.fault_plan = plan;
+  if (recovery) opt.engine.recovery = core::RecoveryConfig::full();
   bench::Harness h(opt);
 
   std::vector<bench::StrokeTask> tasks;
@@ -102,8 +119,19 @@ LevelResult runLevel(double value, const std::optional<fault::FaultPlan>& plan,
   }
   const auto trials = h.runStrokeBatch(tasks, {threads, 0});
 
+  std::vector<bench::LetterTask> letter_tasks;
+  for (int r = 0; r < reps; ++r) {
+    for (int u : kLetterUsers) {
+      for (const char* c = kLetters; *c != '\0'; ++c)
+        letter_tasks.push_back(
+            {*c, sim::defaultUsers()[static_cast<std::size_t>(u)]});
+    }
+  }
+  const auto letter_trials = h.runLetterBatch(letter_tasks, {threads, 0});
+
   LevelResult lev;
   lev.value = value;
+  lev.recovery = recovery;
   lev.accuracy = bench::Harness::accuracy(trials);
   lev.kind_accuracy = bench::Harness::kindAccuracy(trials);
   lev.fnr = bench::Harness::fnr(trials);
@@ -112,7 +140,27 @@ LevelResult runLevel(double value, const std::optional<fault::FaultPlan>& plan,
     lev.samples += t.samples;
     lev.dropped += static_cast<long long>(t.faulted_dropped);
   }
+  long long letter_correct = 0;
+  for (const auto& t : letter_trials) {
+    if (t.correct) ++letter_correct;
+    lev.samples += t.samples;
+    lev.dropped += static_cast<long long>(t.faulted_dropped);
+  }
+  lev.letter_trials = static_cast<long long>(letter_trials.size());
+  lev.letter_accuracy =
+      letter_trials.empty()
+          ? 0.0
+          : static_cast<double>(letter_correct) /
+                static_cast<double>(letter_trials.size());
   return lev;
+}
+
+/// Both halves of the ablation for one swept value: recovery off, then on.
+void runLevelPair(Sweep* sw, double value,
+                  const std::optional<fault::FaultPlan>& plan, int reps,
+                  int threads) {
+  sw->levels.push_back(runLevel(value, plan, reps, threads, false));
+  sw->levels.push_back(runLevel(value, plan, reps, threads, true));
 }
 
 /// Gilbert–Elliott parameters hitting a target stationary loss rate with
@@ -128,11 +176,12 @@ fault::MissReadFault gilbertElliottFor(double target_loss) {
 }
 
 void printSweep(const Sweep& sw) {
-  Table t({sw.param, "accuracy", "kind acc", "fnr", "dropped"});
+  Table t({sw.param, "recovery", "accuracy", "kind acc", "fnr", "letter acc",
+           "dropped"});
   for (const auto& l : sw.levels) {
     t.addRow(jsonNumber(l.value),
-             {l.accuracy, l.kind_accuracy, l.fnr,
-              static_cast<double>(l.dropped)},
+             {l.recovery ? 1.0 : 0.0, l.accuracy, l.kind_accuracy, l.fnr,
+              l.letter_accuracy, static_cast<double>(l.dropped)},
              3);
   }
   std::printf("-- %s --\n", sw.name.c_str());
@@ -158,7 +207,7 @@ int main(int argc, char** argv) {
         p.missread = gilbertElliottFor(loss);
         plan = p;
       }
-      sw.levels.push_back(runLevel(loss, plan, args.reps, args.threads));
+      runLevelPair(&sw, loss, plan, args.reps, args.threads);
     }
     sweeps.push_back(std::move(sw));
   }
@@ -175,8 +224,8 @@ int main(int argc, char** argv) {
         p.death.dead_tags = dead;
         plan = p;
       }
-      sw.levels.push_back(runLevel(static_cast<double>(dead.size()), plan,
-                                   args.reps, args.threads));
+      runLevelPair(&sw, static_cast<double>(dead.size()), plan, args.reps,
+                   args.threads);
     }
     sweeps.push_back(std::move(sw));
   }
@@ -193,12 +242,30 @@ int main(int argc, char** argv) {
         fp.frame.bit_flip_prob = p;
         plan = fp;
       }
-      sw.levels.push_back(runLevel(p, plan, args.reps, args.threads));
+      runLevelPair(&sw, p, plan, args.reps, args.threads);
     }
     sweeps.push_back(std::move(sw));
   }
 
   for (const auto& sw : sweeps) printSweep(sw);
+
+  // The recovery claim this bench exists to defend: at every dropout level
+  // ≥ 20%, recovery on must beat recovery off on letter accuracy.
+  bool gate_ok = true;
+  for (const auto& sw : sweeps) {
+    if (sw.name != "missread_dropout") continue;
+    for (std::size_t i = 0; i + 1 < sw.levels.size(); i += 2) {
+      const auto& off = sw.levels[i];
+      const auto& on = sw.levels[i + 1];
+      if (off.value < 0.2) continue;
+      if (!(on.letter_accuracy > off.letter_accuracy)) {
+        std::printf("GATE FAIL: dropout %.2f letter accuracy %.3f (on) !> "
+                    "%.3f (off)\n",
+                    off.value, on.letter_accuracy, off.letter_accuracy);
+        gate_ok = false;
+      }
+    }
+  }
 
   const double wall = bench::wallTimeS() - wall0;
   std::printf("\n[%.2fs wall, %d reps, threads=%d]\n", wall, args.reps,
@@ -213,6 +280,7 @@ int main(int argc, char** argv) {
   }
 
   std::puts("\nshape to hold: accuracy falls as dropout/dead tags/corruption"
-            "\nrise, and the pipeline never crashes — degraded, not dead.");
-  return 0;
+            "\nrise, recovery flattens the letter-accuracy cliff, and the"
+            "\npipeline never crashes — degraded, not dead.");
+  return gate_ok ? 0 : 1;
 }

@@ -46,6 +46,9 @@ double sumSquaredDev(const double* x, std::size_t n, double mean) {
 double sumSquaredDiffs(const double* x, std::size_t n) {
   return active().sum_squared_diffs(x, n);
 }
+double dot(const double* x, const double* y, std::size_t n) {
+  return active().dot(x, y, n);
+}
 void sincosArray(const double* x, double* s, double* c, std::size_t n) {
   active().sincos_array(x, s, c, n);
 }
@@ -70,6 +73,9 @@ double sumSquaredDevTier(simd::Tier t, const double* x, std::size_t n,
 }
 double sumSquaredDiffsTier(simd::Tier t, const double* x, std::size_t n) {
   return tableFor(t).sum_squared_diffs(x, n);
+}
+double dotTier(simd::Tier t, const double* x, const double* y, std::size_t n) {
+  return tableFor(t).dot(x, y, n);
 }
 void sincosArrayTier(simd::Tier t, const double* x, double* s, double* c,
                      std::size_t n) {

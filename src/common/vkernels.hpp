@@ -23,6 +23,8 @@ double sumSquares(const double* x, std::size_t n);
 double sumSquaredDev(const double* x, std::size_t n, double mean);
 /// Σ (x[i+1] − x[i])² over the n−1 adjacent pairs; 0 when n < 2.
 double sumSquaredDiffs(const double* x, std::size_t n);
+/// Σ x[i]·y[i] (confidence-weighted template correlation).
+double dot(const double* x, const double* y, std::size_t n);
 /// Element-wise sin/cos (s[i] = sin x[i], c[i] = cos x[i]).
 void sincosArray(const double* x, double* s, double* c, std::size_t n);
 /// Element-wise sin only (the trajectory-jitter path).
@@ -42,6 +44,7 @@ double sumSquaresTier(simd::Tier t, const double* x, std::size_t n);
 double sumSquaredDevTier(simd::Tier t, const double* x, std::size_t n,
                          double mean);
 double sumSquaredDiffsTier(simd::Tier t, const double* x, std::size_t n);
+double dotTier(simd::Tier t, const double* x, const double* y, std::size_t n);
 void sincosArrayTier(simd::Tier t, const double* x, double* s, double* c,
                      std::size_t n);
 void sinArrayTier(simd::Tier t, const double* x, double* out, std::size_t n);

@@ -104,6 +104,23 @@ double sumSquaredDiffsT(const double* x, std::size_t n) {
 }
 
 template <class B>
+double dotT(const double* x, const double* y, std::size_t n) {
+  constexpr int L = B::kLanes;
+  constexpr int U = kBlock / L;
+  typename B::V acc[U];
+  for (int u = 0; u < U; ++u) acc[u] = B::set(0.0);
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock)
+    for (int u = 0; u < U; ++u)
+      acc[u] = B::fma(B::load(x + i + u * L), B::load(y + i + u * L), acc[u]);
+  double lane[kBlock];
+  for (int u = 0; u < U; ++u) B::store(lane + u * L, acc[u]);
+  double tail = 0.0;
+  for (; i < n; ++i) tail = std::fma(x[i], y[i], tail);
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) + tail;
+}
+
+template <class B>
 void sincosArrayT(const double* x, double* s, double* c, std::size_t n) {
   constexpr int L = B::kLanes;
   std::size_t i = 0;
@@ -162,6 +179,7 @@ struct VkTable {
   double (*sum_squares)(const double*, std::size_t);
   double (*sum_squared_dev)(const double*, std::size_t, double);
   double (*sum_squared_diffs)(const double*, std::size_t);
+  double (*dot)(const double*, const double*, std::size_t);
   void (*sincos_array)(const double*, double*, double*, std::size_t);
   void (*sin_array)(const double*, double*, std::size_t);
   void (*exp_array)(const double*, double*, std::size_t);
@@ -172,7 +190,7 @@ struct VkTable {
 template <class B>
 constexpr VkTable makeTable() {
   return {&sumT<B>,         &sumSquaresT<B>,  &sumSquaredDevT<B>,
-          &sumSquaredDiffsT<B>, &sincosArrayT<B>, &sinArrayT<B>,
+          &sumSquaredDiffsT<B>, &dotT<B>,     &sincosArrayT<B>, &sinArrayT<B>,
           &expArrayT<B>,    &exp10ScalarT<B>, &log10ScalarT<B>};
 }
 

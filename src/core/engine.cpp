@@ -66,23 +66,50 @@ StrokeEvent RecognitionEngine::classifyWindow(
     const reader::SampleStream& window) const {
   const auto start = std::chrono::steady_clock::now();
 
-  StrokeEvent ev{.interval = {window.startTime(), window.endTime()},
+  const RecoveryConfig& rec = options_.recovery;
+
+  // Recovery stage 1: bridge short per-tag read gaps before imaging, so a
+  // miss-read burst does not masquerade as the hand leaving the cell.
+  reader::SampleStream imputed;
+  const reader::SampleStream* src = &window;
+  if (rec.temporal.enabled) {
+    imputed = reader::imputeGaps(window, rec.temporal);
+    src = &imputed;
+  }
+
+  StrokeEvent ev{.interval = {src->startTime(), src->endTime()},
                  .observation = {},
                  .direction = {},
-                 .graymap = activationImage(window, profile_, options_.rows,
+                 .graymap = activationImage(*src, profile_, options_.rows,
                                             options_.cols, options_.activation),
                  .processing_time_s = 0.0};
 
-  const bool inpaint = options_.inpaint_dead && profile_.deadCount() > 0;
-  if (inpaint)
-    inpaintDeadCells(ev.graymap, profile_, options_.rows, options_.cols);
+  // Recovery stage 2: per-cell observation confidence, consumed by spatial
+  // inpainting and the weighted Otsu/NCC below.
+  const bool use_conf = rec.confidence.enabled || rec.spatial.enabled;
+  imgproc::GrayMap conf(options_.rows, options_.cols, 1.0);
+  if (use_conf)
+    conf = observationConfidence(*src, profile_, options_.rows, options_.cols,
+                                 rec.confidence);
 
-  const imgproc::BinaryMap binary = imgproc::otsuBinarize(ev.graymap);
+  const bool inpaint = options_.inpaint_dead && profile_.deadCount() > 0;
+  if (rec.spatial.enabled) {
+    // Recovery stage 3 generalises the dead-cell patch: any low-confidence
+    // cell (dead cells score exactly 0) is rebuilt from confident
+    // neighbours, so the legacy pass below is subsumed.
+    inpaintLowConfidence(ev.graymap, conf, rec.spatial);
+  } else if (inpaint) {
+    inpaintDeadCells(ev.graymap, profile_, options_.rows, options_.cols);
+  }
+
+  const imgproc::BinaryMap binary =
+      rec.confidence.enabled ? imgproc::otsuBinarizeWeighted(ev.graymap, conf)
+                             : imgproc::otsuBinarize(ev.graymap);
 
   if (options_.use_matched_filter) {
     // RSS troughs across all tags: deep troughs mark the visited cells and
     // build the second (sharper) image for fused template matching.
-    ev.direction = estimateDirection(window, effectiveTagXy(), {},
+    ev.direction = estimateDirection(*src, effectiveTagXy(), {},
                                      options_.direction);
     imgproc::GrayMap trough_map(options_.rows, options_.cols);
     double max_depth = 0.0;
@@ -94,12 +121,22 @@ StrokeEvent RecognitionEngine::classifyWindow(
                     static_cast<int>(tr.tag_index) % options_.cols) =
           tr.depth_db;
     }
-    if (inpaint)
+    if (rec.spatial.enabled) {
+      inpaintLowConfidence(trough_map, conf, rec.spatial);
+    } else if (inpaint) {
       inpaintDeadCells(trough_map, profile_, options_.rows, options_.cols);
+    }
 
-    const TemplateMatch match = matchTemplateFused(
-        ev.graymap, trough_map, options_.trough_weight,
-        TemplateLibrary::standard5x5(), options_.template_match);
+    const TemplateMatch match =
+        rec.confidence.enabled
+            ? matchTemplateFusedWeighted(ev.graymap, trough_map,
+                                         options_.trough_weight, conf,
+                                         TemplateLibrary::standard5x5(),
+                                         options_.template_match)
+            : matchTemplateFused(ev.graymap, trough_map,
+                                 options_.trough_weight,
+                                 TemplateLibrary::standard5x5(),
+                                 options_.template_match);
     if (match.valid) {
       StrokeDir dir = StrokeDir::kForward;
       const double travel_conf =
@@ -129,7 +166,7 @@ StrokeEvent RecognitionEngine::classifyWindow(
       candidates.push_back(
           static_cast<std::uint32_t>(c.row * options_.cols + c.col));
     }
-    ev.direction = estimateDirection(window, effectiveTagXy(), candidates,
+    ev.direction = estimateDirection(*src, effectiveTagXy(), candidates,
                                      options_.direction);
     ev.observation = classifyStrokeBinary(binary, ev.direction,
                                           options_.classifier);
@@ -143,11 +180,21 @@ StrokeEvent RecognitionEngine::classifyWindow(
 
 std::vector<StrokeEvent> RecognitionEngine::detectStrokes(
     const reader::SampleStream& stream) const {
+  // Impute the whole capture before segmentation: a miss-read burst inside
+  // a stroke otherwise splits one window into two.  classifyWindow's own
+  // imputation pass then finds the slice already gap-free (bridged gaps sit
+  // under the jitter threshold) and leaves it unchanged.
+  reader::SampleStream imputed;
+  const reader::SampleStream* src = &stream;
+  if (options_.recovery.temporal.enabled) {
+    imputed = reader::imputeGaps(stream, options_.recovery.temporal);
+    src = &imputed;
+  }
   const Segmenter segmenter(profile_, options_.segmenter);
   std::vector<StrokeEvent> events;
-  for (const Interval& iv : segmenter.segment(stream)) {
+  for (const Interval& iv : segmenter.segment(*src)) {
     const double trim = std::min(options_.window_trim_s, 0.25 * iv.duration());
-    StrokeEvent ev = classifyWindow(stream.slice(iv.t0 + trim, iv.t1 - trim));
+    StrokeEvent ev = classifyWindow(src->slice(iv.t0 + trim, iv.t1 - trim));
     ev.interval = iv;
     if (ev.observation.valid) events.push_back(std::move(ev));
   }
@@ -162,13 +209,15 @@ ObservedStroke RecognitionEngine::toObserved(const StrokeEvent& event) {
                         event.observation.centroid};
 }
 
-char RecognitionEngine::recognizeLetter(
-    const std::vector<StrokeEvent>& events) const {
-  const auto& grammar = LetterGrammar::instance();
-  // Transition residues occasionally survive segmentation; they are short
-  // *and* weakly matched, while genuine letter strokes are neither (the
-  // separation is wide: spurious p90 conf 0.41 / 0.9 s vs real p10 conf
-  // 0.40 / 1.15 s).  Filter them before composing the letter.
+namespace {
+
+/// Shared stroke filtering for letter composition.  Transition residues
+/// occasionally survive segmentation; they are short *and* weakly matched,
+/// while genuine letter strokes are neither (the separation is wide:
+/// spurious p90 conf 0.41 / 0.9 s vs real p10 conf 0.40 / 1.15 s).
+void observedSequence(const std::vector<StrokeEvent>& events,
+                      std::vector<ObservedStroke>* observed,
+                      std::vector<double>* confidences) {
   std::vector<const StrokeEvent*> kept;
   for (const auto& ev : events) {
     const bool weak = ev.observation.confidence < 0.35 &&
@@ -178,18 +227,38 @@ char RecognitionEngine::recognizeLetter(
   if (kept.empty()) {
     for (const auto& ev : events) kept.push_back(&ev);
   }
-  std::vector<ObservedStroke> observed;
-  observed.reserve(kept.size());
-  for (const auto* ev : kept) observed.push_back(toObserved(*ev));
+  observed->reserve(kept.size());
+  confidences->reserve(kept.size());
+  for (const auto* ev : kept) {
+    observed->push_back(RecognitionEngine::toObserved(*ev));
+    confidences->push_back(ev->observation.confidence);
+  }
+}
 
+}  // namespace
+
+char RecognitionEngine::recognizeLetter(
+    const std::vector<StrokeEvent>& events) const {
+  std::vector<ObservedStroke> observed;
+  std::vector<double> confidences;
+  observedSequence(events, &observed, &confidences);
   // Exact sequence first; otherwise weighted edit-distance decoding that
   // tolerates stroke confusions, splits and missed strokes (extension
   // beyond the paper's exact tree lookup; see DESIGN.md §5).
+  return LetterGrammar::instance().recognizeRobust(observed, confidences);
+}
+
+std::vector<LetterGrammar::LetterHypothesis>
+RecognitionEngine::letterHypotheses(
+    const std::vector<StrokeEvent>& events) const {
+  std::vector<ObservedStroke> observed;
   std::vector<double> confidences;
-  confidences.reserve(kept.size());
-  for (const auto* ev : kept)
-    confidences.push_back(ev->observation.confidence);
-  return grammar.recognizeRobust(observed, confidences);
+  observedSequence(events, &observed, &confidences);
+  const LetterDecodeOptions& d = options_.recovery.decode;
+  const std::size_t k = d.enabled ? d.top_k : LetterDecodeOptions{}.top_k;
+  const double max_cost = d.enabled ? d.max_cost : LetterDecodeOptions{}.max_cost;
+  return LetterGrammar::instance().topKLetters(observed, confidences, k,
+                                               max_cost);
 }
 
 char RecognitionEngine::recognizeLetter(const reader::SampleStream& stream) const {

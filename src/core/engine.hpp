@@ -9,6 +9,7 @@
 #include "core/direction.hpp"
 #include "core/grammar.hpp"
 #include "core/metrics.hpp"
+#include "core/recovery.hpp"
 #include "core/segmenter.hpp"
 #include "core/static_profile.hpp"
 #include "core/stroke_classifier.hpp"
@@ -47,6 +48,11 @@ struct EngineOptions {
   /// crosses it and skew the Otsu threshold; interpolation lets the
   /// surviving tags carry the shape.  No effect on a fully-live array.
   bool inpaint_dead = true;
+  /// Missing-data recovery pipeline (DESIGN.md §9).  Default-constructed
+  /// (all stages off), every code path below is byte-exact pre-recovery
+  /// behaviour; RecoveryConfig::full() enables temporal + spatial
+  /// imputation, confidence weighting and hypothesis decoding.
+  RecoveryConfig recovery{};
 };
 
 /// One recognised stroke, with everything the pipeline derived about it.
@@ -78,6 +84,14 @@ class RecognitionEngine {
   /// Returns '\0' when no grammar entry matches.
   char recognizeLetter(const reader::SampleStream& stream) const;
   char recognizeLetter(const std::vector<StrokeEvent>& events) const;
+
+  /// Ranked letter hypotheses for one letter's stroke events (best first) —
+  /// the per-position input of WordRecognizer::decode.  Uses the recovery
+  /// decode options when enabled (top_k / max_cost), sensible defaults
+  /// otherwise; hypotheses[0].letter always equals recognizeLetter(events)
+  /// when that is non-'\0'.
+  std::vector<LetterGrammar::LetterHypothesis> letterHypotheses(
+      const std::vector<StrokeEvent>& events) const;
 
   /// Convert an event into the grammar's observation record.
   static ObservedStroke toObserved(const StrokeEvent& event);

@@ -221,6 +221,36 @@ char LetterGrammar::recognizeRobust(const std::vector<ObservedStroke>& strokes,
   return best;
 }
 
+std::vector<LetterGrammar::LetterHypothesis> LetterGrammar::topKLetters(
+    const std::vector<ObservedStroke>& strokes,
+    const std::vector<double>& confidences, std::size_t k,
+    double max_cost) const {
+  std::vector<LetterHypothesis> out;
+  if (strokes.empty() || k == 0) return out;
+
+  // The positionally-disambiguated exact match, when one exists, must lead
+  // the ranking: its alignment cost ties with its ambiguous twin (D/P, O/S,
+  // V/X share a sequence), and only the positional rules can order them.
+  const char exact = recognize(strokes);
+
+  std::vector<LetterHypothesis> all;
+  all.reserve(26);
+  for (char c = 'A'; c <= 'Z'; ++c) {
+    const double cost = alignmentCost(strokes, confidences, c);
+    if (cost <= max_cost) all.push_back({c, cost});
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [&](const LetterHypothesis& a, const LetterHypothesis& b) {
+                     if (a.letter == exact && b.letter != exact) return true;
+                     if (b.letter == exact && a.letter != exact) return false;
+                     if (a.cost < b.cost) return true;
+                     if (b.cost < a.cost) return false;
+                     return a.letter < b.letter;
+                   });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
 char LetterGrammar::recognize(const std::vector<ObservedStroke>& strokes) const {
   if (strokes.empty()) return '\0';
   std::vector<StrokeKind> seq;

@@ -57,6 +57,25 @@ class LetterGrammar {
                        const std::vector<double>& confidences,
                        char letter) const;
 
+  /// One ranked letter candidate from topKLetters().
+  struct LetterHypothesis {
+    char letter = '\0';
+    /// Alignment cost (lower is better; 0 = exact sequence match).
+    double cost = 0.0;
+  };
+
+  /// Top-K letter hypotheses for a stroke sequence, best first — the
+  /// letter-level half of the missing-data beam decoder (DESIGN.md §9).
+  /// Where recognizeRobust commits to one letter, this keeps every letter
+  /// within `max_cost` so the word decoder (WordRecognizer::decode) can
+  /// resolve corrupted positions from dictionary context.  An exact
+  /// (positionally disambiguated) match is always ranked first.  Ties are
+  /// broken alphabetically, so the ranking is deterministic.
+  std::vector<LetterHypothesis> topKLetters(
+      const std::vector<ObservedStroke>& strokes,
+      const std::vector<double>& confidences, std::size_t k,
+      double max_cost = 2.6) const;
+
   /// All letters (A..Z).
   static const std::vector<char>& alphabet();
 

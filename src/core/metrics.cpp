@@ -1,6 +1,7 @@
 #include "core/metrics.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace rfipad::core {
@@ -125,6 +126,16 @@ DetectionCounts matchIntervals(const std::vector<Interval>& truth,
   counts.false_positives = counts.detections - counts.matched;
   if (assignment != nullptr) *assignment = std::move(assign);
   return counts;
+}
+
+std::string formatOnlineStats(const OnlineStats& stats) {
+  std::ostringstream os;
+  os << "accepted " << stats.accepted << " | dropped " << stats.totalDropped()
+     << " (invalid " << stats.dropped_invalid << ", late " << stats.dropped_late
+     << ", unknown-tag " << stats.dropped_unknown_tag << ", future "
+     << stats.dropped_future << ") | duplicates " << stats.duplicates
+     << " | reordered " << stats.reordered;
+  return os.str();
 }
 
 }  // namespace rfipad::core

@@ -1,13 +1,50 @@
 // Evaluation metrics: confusion matrices, accuracy / FPR / FNR (paper §V-A),
-// and the segmentation-quality rates of Fig. 22 (insertion, underfill).
+// the segmentation-quality rates of Fig. 22 (insertion, underfill), and the
+// streaming input-hygiene counters of the online recogniser.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/segmenter.hpp"
 
 namespace rfipad::core {
+
+/// Input hygiene counters for the streaming recogniser: what
+/// OnlineRecognizer::push() did with reports that were not clean, in-order,
+/// in-range deliveries.  Lives here (not online.hpp) so evaluation and
+/// reporting code can consume the counters without pulling in the whole
+/// recogniser.
+struct OnlineStats {
+  std::uint64_t accepted = 0;
+  /// Non-finite or negative timestamp, non-finite phase/RSSI.
+  std::uint64_t dropped_invalid = 0;
+  /// Arrived after its stroke window was already consumed and trimmed.
+  std::uint64_t dropped_late = 0;
+  /// Tag index outside the calibrated array (e.g. a corrupted EPC).
+  std::uint64_t dropped_unknown_tag = 0;
+  /// Exact re-deliveries, dropped.
+  std::uint64_t duplicates = 0;
+  /// Accepted out of order (reinserted at their timestamp).
+  std::uint64_t reordered = 0;
+  /// Finite but implausibly far-future timestamps (corrupted wire clock),
+  /// dropped so they cannot stall the recogniser watermark.  A genuine
+  /// clock jump is accepted once a second report corroborates it.
+  std::uint64_t dropped_future = 0;
+
+  /// Everything push() refused (excludes duplicates/reordered, which were
+  /// handled, not lost).
+  std::uint64_t totalDropped() const {
+    return dropped_invalid + dropped_late + dropped_unknown_tag +
+           dropped_future;
+  }
+};
+
+/// One-line human-readable summary of the hygiene counters, e.g.
+/// "accepted 1200 | dropped 34 (invalid 10, late 2, unknown-tag 20,
+/// future 2) | duplicates 5 | reordered 1".
+std::string formatOnlineStats(const OnlineStats& stats);
 
 class ConfusionMatrix {
  public:

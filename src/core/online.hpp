@@ -29,25 +29,8 @@ struct OnlineOptions {
   double buffer_horizon_s = 12.0;
 };
 
-/// Input hygiene counters for the streaming recogniser: what push() did
-/// with reports that were not clean, in-order, in-range deliveries.
-struct OnlineStats {
-  std::uint64_t accepted = 0;
-  /// Non-finite or negative timestamp, non-finite phase/RSSI.
-  std::uint64_t dropped_invalid = 0;
-  /// Arrived after its stroke window was already consumed and trimmed.
-  std::uint64_t dropped_late = 0;
-  /// Tag index outside the calibrated array (e.g. a corrupted EPC).
-  std::uint64_t dropped_unknown_tag = 0;
-  /// Exact re-deliveries, dropped.
-  std::uint64_t duplicates = 0;
-  /// Accepted out of order (reinserted at their timestamp).
-  std::uint64_t reordered = 0;
-  /// Finite but implausibly far-future timestamps (corrupted wire clock),
-  /// dropped so they cannot stall the recogniser watermark.  A genuine
-  /// clock jump is accepted once a second report corroborates it.
-  std::uint64_t dropped_future = 0;
-};
+// OnlineStats (the input-hygiene counters stats() returns) lives in
+// core/metrics.hpp so reporting code can use it without this header.
 
 class OnlineRecognizer {
  public:
@@ -73,8 +56,13 @@ class OnlineRecognizer {
   /// Strokes emitted so far (also delivered through the callback).
   const std::vector<StrokeEvent>& strokes() const { return emitted_; }
 
-  /// Input hygiene counters.
+  /// Input hygiene counters (see core/metrics.hpp; format with
+  /// formatOnlineStats for reporting).
   const OnlineStats& stats() const { return stats_; }
+
+  /// The wrapped batch engine (letter-hypothesis decoding, options
+  /// inspection).
+  const RecognitionEngine& engine() const { return engine_; }
 
  private:
   void process(double now, bool flushing);

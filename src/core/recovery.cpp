@@ -1,0 +1,107 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+
+namespace rfipad::core {
+
+RecoveryConfig RecoveryConfig::full() {
+  RecoveryConfig cfg;
+  cfg.temporal.enabled = true;
+  cfg.confidence.enabled = true;
+  cfg.spatial.enabled = true;
+  cfg.decode.enabled = true;
+  return cfg;
+}
+
+imgproc::GrayMap observationConfidence(const reader::SampleStream& window,
+                                       const StaticProfile& profile, int rows,
+                                       int cols,
+                                       const ConfidenceOptions& options) {
+  if (rows <= 0 || cols <= 0)
+    throw std::invalid_argument("observationConfidence: non-positive grid");
+  const std::size_t n = static_cast<std::size_t>(rows) * cols;
+
+  // Weighted read count per cell: real reads count 1, imputed reads less —
+  // a cell propped up purely by interpolation must not look fully observed.
+  std::vector<double> count(n, 0.0);
+  for (const auto& r : window.reports()) {
+    if (r.tag_index >= n) continue;
+    count[r.tag_index] += r.imputed ? options.imputed_read_weight : 1.0;
+  }
+
+  // Full observation = the median live cell's count, scaled down so that a
+  // hand shadowing a cell (which legitimately thins its reads) still rates
+  // as observed; only cells far below the array norm lose confidence.
+  std::vector<double> live_counts;
+  live_counts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool dead = i < profile.numTags() && profile.tag(static_cast<std::uint32_t>(i)).dead;
+    if (!dead && count[i] > 0.0) live_counts.push_back(count[i]);
+  }
+  const double med = live_counts.empty() ? 0.0 : median(std::move(live_counts));
+  const double full = std::max(options.full_count_frac * med, 1.0);
+
+  imgproc::GrayMap conf(rows, cols);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto tag = static_cast<std::uint32_t>(i);
+    double v;
+    if (tag < profile.numTags() && profile.tag(tag).dead) {
+      v = 0.0;  // exactly zero: dead cells carry no observation at all
+    } else {
+      v = std::min(1.0, count[i] / full);
+      if (tag < profile.numTags() && profile.tag(tag).detuned)
+        v *= options.detuned_confidence;
+      v = std::max(v, options.min_live_confidence);
+    }
+    conf.at(static_cast<int>(i) / cols, static_cast<int>(i) % cols) = v;
+  }
+  return conf;
+}
+
+void inpaintLowConfidence(imgproc::GrayMap& map,
+                          const imgproc::GrayMap& confidence,
+                          const SpatialImputeOptions& options) {
+  if (confidence.rows() != map.rows() || confidence.cols() != map.cols())
+    throw std::invalid_argument("inpaintLowConfidence: grid size mismatch");
+  RFIPAD_ASSERT(options.neighbor_sigma > 0.0 && options.radius >= 1,
+                "inpaintLowConfidence: need positive sigma and radius");
+  const int rows = map.rows();
+  const int cols = map.cols();
+  const double inv_two_sigma2 =
+      1.0 / (2.0 * options.neighbor_sigma * options.neighbor_sigma);
+
+  // Reconstruct from a snapshot so the result is independent of the order
+  // cells are visited in (an already-inpainted cell never feeds another).
+  const std::vector<double> snapshot = map.values();
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (confidence.at(r, c) >= options.confidence_threshold) continue;
+      double wsum = 0.0;
+      double vsum = 0.0;
+      for (int dr = -options.radius; dr <= options.radius; ++dr) {
+        for (int dc = -options.radius; dc <= options.radius; ++dc) {
+          if (dr == 0 && dc == 0) continue;
+          const int nr = r + dr;
+          const int nc = c + dc;
+          if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+          const double nconf = confidence.at(nr, nc);
+          if (nconf < options.confidence_threshold) continue;
+          const double d2 = static_cast<double>(dr * dr + dc * dc);
+          const double w = nconf * std::exp(-d2 * inv_two_sigma2);
+          wsum += w;
+          vsum += w * snapshot[static_cast<std::size_t>(nr) * cols + nc];
+        }
+      }
+      // No confident neighbour in range: leave the cell alone — inventing
+      // a value from other low-confidence cells would launder noise.
+      if (wsum > 0.0) map.at(r, c) = vsum / wsum;
+    }
+  }
+}
+
+}  // namespace rfipad::core

@@ -1,0 +1,108 @@
+// Missing-data recovery pipeline (DESIGN.md §9).
+//
+// The fault layer (fault/fault_plan.hpp) models how real deployments lose
+// data: dead tags, detuned tags, bursty miss-reads, reader outages.  This
+// module holds everything that actively *compensates*:
+//
+//   1. temporal imputation  — reader::imputeGaps bridges short per-tag read
+//      gaps before segmentation/activation (options embedded here);
+//   2. observation confidence — per-cell weight in [0, 1] from sample
+//      counts, imputed-read discounts and the profile's dead/detuned flags;
+//   3. spatial imputation   — neighbour-weighted inpainting of
+//      low-confidence gray-map cells (generalises the engine's dead-cell
+//      patch to transient holes);
+//   4. confidence-weighted decoding — the confidence plane weights Otsu
+//      thresholding (imgproc::otsuBinarizeWeighted) and template matching
+//      (matchTemplateFusedWeighted), and the letter/word decoders consume
+//      top-K letter hypotheses (LetterGrammar::topKLetters,
+//      WordRecognizer::decode) instead of a single hard letter.
+//
+// Determinism contract: every stage is a pure function of its inputs — no
+// randomness, no wall clock — so batch results stay bit-identical at any
+// --threads and across SIMD tiers (the weighted NCC reductions run through
+// the vk kernels).  With every `enabled` flag false (the default), each
+// consumer takes its pre-existing code path byte-exactly.
+#pragma once
+
+#include <cstddef>
+
+#include "core/static_profile.hpp"
+#include "imgproc/graymap.hpp"
+#include "reader/sample_stream.hpp"
+
+namespace rfipad::core {
+
+/// Per-cell observation confidence (stage 2).
+struct ConfidenceOptions {
+  bool enabled = false;
+  /// Multiplier applied to cells whose tag the profile flags detuned.
+  double detuned_confidence = 0.55;
+  /// A cell reaches full confidence once its weighted read count hits this
+  /// fraction of the median live cell's count (the hand shadowing a cell
+  /// legitimately halves its reads; that is signal, not missing data).
+  double full_count_frac = 0.5;
+  /// Weight of an imputed (synthetic) read relative to a real one.
+  double imputed_read_weight = 0.5;
+  /// Floor for live cells, so a silent-but-alive cell keeps a small voice
+  /// in the weighted Otsu/NCC instead of being censored outright.
+  double min_live_confidence = 0.05;
+};
+
+/// Neighbour-weighted inpainting of low-confidence cells (stage 3).
+struct SpatialImputeOptions {
+  bool enabled = false;
+  /// Cells below this confidence are reconstructed from their neighbours.
+  double confidence_threshold = 0.35;
+  /// Gaussian falloff (in cells) of neighbour influence.
+  double neighbor_sigma = 1.0;
+  /// Chebyshev radius of the neighbourhood considered.
+  int radius = 2;
+};
+
+/// Top-K letter hypothesis decoding (stage 4).
+struct LetterDecodeOptions {
+  bool enabled = false;
+  /// Hypotheses kept per letter position.
+  std::size_t top_k = 4;
+  /// Alignment-cost cutoff for a hypothesis to be emitted at all (looser
+  /// than recognizeRobust's single-letter cutoff: the word decoder can
+  /// reject what the letter stage should merely rank).
+  double max_cost = 2.6;
+};
+
+/// Master switch threaded through EngineOptions.  Default-constructed, every
+/// stage is off and the engine's behaviour is byte-exact pre-recovery.
+struct RecoveryConfig {
+  reader::GapImputeOptions temporal{};
+  ConfidenceOptions confidence{};
+  SpatialImputeOptions spatial{};
+  LetterDecodeOptions decode{};
+
+  bool any() const {
+    return temporal.enabled || confidence.enabled || spatial.enabled ||
+           decode.enabled;
+  }
+
+  /// Every stage on, at the defaults tuned by bench_fault_sweep.
+  static RecoveryConfig full();
+};
+
+/// Per-cell observation confidence in [0, 1] over the tag grid (row-major
+/// tag indexing).  Dead cells get exactly 0; live cells get
+/// min(1, weighted_count / full_count) · detuned discount, floored at
+/// min_live_confidence.  Pure function of (window, profile, options).
+imgproc::GrayMap observationConfidence(const reader::SampleStream& window,
+                                       const StaticProfile& profile, int rows,
+                                       int cols,
+                                       const ConfidenceOptions& options);
+
+/// Replace each cell whose confidence is below the threshold by the
+/// confidence-and-distance-weighted mean of its confident neighbours
+/// (weight = conf · exp(−d²/2σ²)).  Cells with no confident neighbour in
+/// range are left unchanged.  The reconstruction reads a snapshot of the
+/// input map, so the result is independent of cell visit order.
+void inpaintLowConfidence(imgproc::GrayMap& map,
+                          const imgproc::GrayMap& confidence,
+                          const SpatialImputeOptions& options);
+
+}  // namespace rfipad::core

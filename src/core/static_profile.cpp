@@ -53,6 +53,22 @@ StaticProfile StaticProfile::calibrate(const reader::SampleStream& stream,
     // small floor (one phase-quantisation step).
     p.deviation_bias = std::max(p.deviation_bias, 1.6e-3);
   }
+
+  // Detuned detection: a tag answering far below the array's typical RSSI
+  // is physically present but weakly coupled — its reads will be sparse and
+  // noisy during recognition.  The flag is advisory (see TagProfile); 4.5 dB
+  // below the median separates genuinely detuned tags from ordinary
+  // position-dependent RSSI spread (≈ ±2 dB on a flat pad).
+  std::vector<double> observed_rssi;
+  for (const auto& p : profiles) {
+    if (p.samples > 0) observed_rssi.push_back(p.mean_rssi);
+  }
+  if (observed_rssi.size() >= 2) {
+    const double med = median(std::move(observed_rssi));
+    for (auto& p : profiles) {
+      if (p.samples > 0 && p.mean_rssi < med - 4.5) p.detuned = true;
+    }
+  }
   return StaticProfile(std::move(profiles));
 }
 
@@ -68,6 +84,12 @@ std::uint32_t StaticProfile::deadCount() const {
   return static_cast<std::uint32_t>(
       std::count_if(tags_.begin(), tags_.end(),
                     [](const TagProfile& t) { return t.dead; }));
+}
+
+std::uint32_t StaticProfile::detunedCount() const {
+  return static_cast<std::uint32_t>(
+      std::count_if(tags_.begin(), tags_.end(),
+                    [](const TagProfile& t) { return t.detuned; }));
 }
 
 double StaticProfile::medianBias() const {

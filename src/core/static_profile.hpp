@@ -26,6 +26,12 @@ struct TagProfile {
   /// tags get Eq. 9 weight 0 and the remaining weights renormalise over the
   /// live array, so a dying tag degrades the pad instead of poisoning it.
   bool dead = false;
+  /// Tag answers but far below the array's typical RSSI (detuned antenna,
+  /// partial shadowing): its reads are real but sparse and noisy.  Purely
+  /// advisory — Eq. 9/10 weighting ignores it; the missing-data recovery
+  /// pipeline discounts detuned cells in its confidence plane
+  /// (core/recovery.hpp).
+  bool detuned = false;
 };
 
 class StaticProfile {
@@ -51,6 +57,13 @@ class StaticProfile {
   bool isDead(std::uint32_t i) const { return tags_.at(i).dead; }
   std::uint32_t deadCount() const;
   std::uint32_t aliveCount() const { return numTags() - deadCount(); }
+
+  /// Flag a live tag as detuned (weak responder).  Advisory: only the
+  /// recovery confidence plane consumes it — Eq. 9/10 weights are
+  /// unaffected, so flagging never changes baseline recognition.
+  void markDetuned(std::uint32_t i) { tags_.at(i).detuned = true; }
+  bool isDetuned(std::uint32_t i) const { return tags_.at(i).detuned; }
+  std::uint32_t detunedCount() const;
 
   /// Normalised weight w_i of Eq. 9: E(b_i) / Σ E(b_i), taken over the
   /// *live* tags.  High-bias tags get a large w_i, and Eq. 10 divides by it

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "common/angles.hpp"
+#include "common/contracts.hpp"
+#include "common/vkernels.hpp"
 
 namespace rfipad::core {
 
@@ -253,7 +255,92 @@ TemplateMatch bestTemplate(const std::vector<double>* imgA,
   return match;
 }
 
+/// Weighted zero-mean unit-norm copy in the √w-scaled space: subtract the
+/// w-weighted mean, scale each pixel by √w[i], normalise.  A plain dot
+/// product between two images prepared this way is their weighted NCC.
+/// Returns false when the weighted image is flat.  All reductions go
+/// through vk kernels (fixed 4-lane schedule) for cross-tier bit identity.
+bool normalizeWeighted(const std::vector<double>& pixels,
+                       const std::vector<double>& w,
+                       const std::vector<double>& sqrt_w, double w_sum,
+                       std::vector<double>* out) {
+  const std::size_t n = pixels.size();
+  const double mean = vk::dot(w.data(), pixels.data(), n) / w_sum;
+  out->resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    (*out)[i] = sqrt_w[i] * (pixels[i] - mean);
+  const double norm2 = vk::dot(out->data(), out->data(), n);
+  if (norm2 <= 1e-12) return false;
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (double& v : *out) v *= inv;
+  return true;
+}
+
 }  // namespace
+
+TemplateMatch matchTemplateFusedWeighted(const imgproc::GrayMap& activation,
+                                         const imgproc::GrayMap& troughs,
+                                         double trough_weight,
+                                         const imgproc::GrayMap& confidence,
+                                         const TemplateLibrary& library,
+                                         const TemplateMatchOptions& options) {
+  if (activation.rows() != library.rows() ||
+      activation.cols() != library.cols() ||
+      troughs.rows() != library.rows() || troughs.cols() != library.cols() ||
+      confidence.rows() != library.rows() ||
+      confidence.cols() != library.cols())
+    throw std::invalid_argument("matchTemplateFusedWeighted: grid size mismatch");
+
+  const std::vector<double>& w = confidence.values();
+  const std::size_t n = w.size();
+  double w_sum = 0.0;
+  std::vector<double> sqrt_w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RFIPAD_ASSERT(std::isfinite(w[i]) && w[i] >= 0.0,
+                  "confidence weights must be finite and non-negative");
+    w_sum += w[i];
+    sqrt_w[i] = std::sqrt(w[i]);
+  }
+  if (w_sum <= 0.0)
+    return matchTemplateFused(activation, troughs, trough_weight, library,
+                              options);
+
+  std::vector<double> img_a, img_b;
+  const bool has_a =
+      normalizeWeighted(activation.values(), w, sqrt_w, w_sum, &img_a);
+  const bool has_b =
+      normalizeWeighted(troughs.values(), w, sqrt_w, w_sum, &img_b);
+  if (!has_a && !has_b) return {};
+  const double wB = !has_b ? 0.0 : (!has_a ? 1.0 : trough_weight);
+
+  TemplateMatch match;
+  double best = -2.0;
+  double best_other = -2.0;
+  const StrokeTemplate* best_shape = nullptr;
+  std::vector<double> tmpl;  // reused weighted-normalised template
+  for (const auto& t : library.templates()) {
+    if (!normalizeWeighted(t.pixels, w, sqrt_w, w_sum, &tmpl)) continue;
+    double score = 0.0;
+    if (has_a)
+      score += (1.0 - wB) * vk::dot(img_a.data(), tmpl.data(), n);
+    if (has_b) score += wB * vk::dot(img_b.data(), tmpl.data(), n);
+    if (isArc(t.kind)) score -= options.arc_penalty;
+    if (score > best) {
+      if (best_shape != nullptr && best_shape->kind != t.kind)
+        best_other = std::max(best_other, best);
+      best = score;
+      best_shape = &t;
+    } else if (best_shape != nullptr && t.kind != best_shape->kind) {
+      best_other = std::max(best_other, score);
+    }
+  }
+  if (best_shape == nullptr) return match;
+  match.valid = true;
+  match.shape = best_shape;
+  match.score = best;
+  match.margin = best_other > -2.0 ? best - best_other : best;
+  return match;
+}
 
 TemplateMatch matchTemplate(const imgproc::GrayMap& gray,
                             const TemplateLibrary& library,

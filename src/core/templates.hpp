@@ -88,6 +88,21 @@ TemplateMatch matchTemplateFused(const imgproc::GrayMap& activation,
                                  const TemplateLibrary& library,
                                  const TemplateMatchOptions& options = {});
 
+/// Confidence-weighted fused matching: NCC computed in the √w-scaled space
+/// (weighted mean removed, weighted norm), so a low-confidence pixel —
+/// imputed, dead-neighbour-inpainted, barely observed — contributes little
+/// to the correlation and cannot veto a template the confident pixels
+/// support.  `confidence` holds per-cell weights in [0, 1], laid out like
+/// the images.  Uniform weights reproduce plain NCC.  All reductions run
+/// through the vk kernels, so the result is bit-identical across SIMD
+/// tiers.
+TemplateMatch matchTemplateFusedWeighted(const imgproc::GrayMap& activation,
+                                         const imgproc::GrayMap& troughs,
+                                         double trough_weight,
+                                         const imgproc::GrayMap& confidence,
+                                         const TemplateLibrary& library,
+                                         const TemplateMatchOptions& options = {});
+
 /// Resolve travel direction along a matched template's path from the RSS
 /// trough sequence: each trough tag maps to the nearest path sample's
 /// arclength parameter; a positive time-vs-arclength correlation means the

@@ -63,6 +63,70 @@ double WordRecognizer::wordCost(const std::string& letters,
   return dp[n][m];
 }
 
+double WordRecognizer::latticeCost(
+    const std::vector<std::vector<LetterGrammar::LetterHypothesis>>& positions,
+    const std::string& word) {
+  const std::size_t n = positions.size();
+  const std::size_t m = word.size();
+  constexpr double kInsert = 0.7;  // letter the recogniser missed entirely
+  constexpr double kDelete = 0.7;  // spurious letter event
+  // An empty hypothesis list means the letter stage decoded nothing at this
+  // position — cheaper than a miss (we know *something* was written there)
+  // but not free.
+  constexpr double kBlank = 0.45;
+  // Weight of a hypothesis' rank cost (alignment cost above the position's
+  // best) when it is chosen over the top hypothesis: small enough that the
+  // dictionary can override a narrow letter-stage preference, large enough
+  // that it cannot override a confident one.
+  constexpr double kRankWeight = 0.35;
+
+  // Cost of matching position i against word letter w: the best hypothesis
+  // trade-off between rank cost and confusion cost.
+  auto posCost = [&](std::size_t i, char w) {
+    const auto& hyps = positions[i];
+    if (hyps.empty()) return kBlank;
+    const double base = hyps.front().cost;
+    double best = 1e18;
+    for (const auto& h : hyps) {
+      const double c =
+          kRankWeight * (h.cost - base) + letterConfusionCost(h.letter, w);
+      best = std::min(best, c);
+    }
+    return best;
+  };
+
+  std::vector<std::vector<double>> dp(n + 1, std::vector<double>(m + 1, 0.0));
+  for (std::size_t i = 1; i <= n; ++i) dp[i][0] = dp[i - 1][0] + kDelete;
+  for (std::size_t j = 1; j <= m; ++j) dp[0][j] = dp[0][j - 1] + kInsert;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      dp[i][j] = std::min({dp[i - 1][j - 1] + posCost(i - 1, word[j - 1]),
+                           dp[i - 1][j] + kDelete, dp[i][j - 1] + kInsert});
+    }
+  }
+  return dp[n][m];
+}
+
+std::string WordRecognizer::decode(
+    const std::vector<std::vector<LetterGrammar::LetterHypothesis>>& positions,
+    double max_cost_per_letter) const {
+  std::string best;
+  double best_cost = 1e18;
+  for (const auto& word : dictionary_) {
+    const double cost = latticeCost(positions, word);
+    // Strict < keeps the earliest dictionary entry on exact ties — the
+    // caller's dictionary order is the deterministic tie-break.
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = word;
+    }
+  }
+  const double budget =
+      max_cost_per_letter *
+      static_cast<double>(std::max<std::size_t>(positions.size(), 1));
+  return best_cost <= budget ? best : std::string{};
+}
+
 std::string WordRecognizer::bestMatch(const std::string& letters,
                                       double max_cost_per_letter) const {
   std::string upper = letters;

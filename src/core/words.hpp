@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "core/grammar.hpp"
+
 namespace rfipad::core {
 
 class WordRecognizer {
@@ -25,6 +27,26 @@ class WordRecognizer {
   /// Alignment cost between a recognised sequence and a candidate word
   /// (exposed for tests/benches).
   static double wordCost(const std::string& letters, const std::string& word);
+
+  /// Beam decode over per-position letter hypotheses (the word-level half
+  /// of the missing-data decoder, DESIGN.md §9).  Each position carries the
+  /// top-K letters from LetterGrammar::topKLetters, best first with
+  /// relative alignment costs; a position may be empty (nothing decoded —
+  /// treated as a wildcard insertion site).  Aligns the hypothesis lattice
+  /// against every dictionary word, mixing the per-hypothesis rank cost
+  /// into the confusion cost, and returns the best word — or empty when
+  /// nothing scores under `max_cost_per_letter` × length.  Degenerates to
+  /// bestMatch() when every position holds exactly one hypothesis.
+  std::string decode(
+      const std::vector<std::vector<LetterGrammar::LetterHypothesis>>&
+          positions,
+      double max_cost_per_letter = 0.8) const;
+
+  /// Lattice/word alignment cost used by decode() (exposed for tests).
+  static double latticeCost(
+      const std::vector<std::vector<LetterGrammar::LetterHypothesis>>&
+          positions,
+      const std::string& word);
 
   const std::vector<std::string>& dictionary() const { return dictionary_; }
 

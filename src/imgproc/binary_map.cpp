@@ -171,4 +171,62 @@ BinaryMap otsuBinarize(const GrayMap& map) {
   return binarize(map, otsuThreshold(map.values()));
 }
 
+double otsuThresholdWeighted(const std::vector<double>& values,
+                             const std::vector<double>& weights) {
+  if (values.size() < 2)
+    throw std::invalid_argument("otsuThresholdWeighted: need at least 2 values");
+  if (weights.size() != values.size())
+    throw std::invalid_argument("otsuThresholdWeighted: size mismatch");
+  double total_w = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    RFIPAD_ASSERT(std::isfinite(values[i]), "Otsu input values must be finite");
+    RFIPAD_ASSERT(std::isfinite(weights[i]) && weights[i] >= 0.0,
+                  "Otsu weights must be finite and non-negative");
+    total_w += weights[i];
+  }
+  if (total_w <= 0.0) return otsuThreshold(values);
+
+  // Sort (value, weight) pairs by value, tie-broken by weight, so the
+  // prefix-sum accumulation order — and hence the returned bits — is a pure
+  // function of the input multiset.
+  std::vector<std::pair<double, double>> sorted;
+  sorted.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    sorted.emplace_back(values[i], weights[i]);
+  std::sort(sorted.begin(), sorted.end());
+
+  double total_wv = 0.0;
+  for (const auto& [v, w] : sorted) total_wv += w * v;
+
+  double best_sigma = -1.0;
+  double best_threshold = sorted.front().first;
+  double run_w = sorted.front().second;
+  double run_wv = sorted.front().second * sorted.front().first;
+  for (std::size_t k = 1; k < sorted.size(); ++k) {
+    if (k > 1) {
+      run_w += sorted[k - 1].second;
+      run_wv += sorted[k - 1].second * sorted[k - 1].first;
+    }
+    if (sorted[k].first == sorted[k - 1].first) continue;  // no split between equals
+    const double w0 = run_w;
+    const double w1 = total_w - run_w;
+    if (w0 <= 0.0 || w1 <= 0.0) continue;  // zero-weight class: no split here
+    const double mu0 = run_wv / w0;
+    const double mu1 = (total_wv - run_wv) / w1;
+    const double sigma_b =
+        (w0 / total_w) * (w1 / total_w) * (mu0 - mu1) * (mu0 - mu1);
+    if (sigma_b > best_sigma) {
+      best_sigma = sigma_b;
+      best_threshold = 0.5 * (sorted[k - 1].first + sorted[k].first);
+    }
+  }
+  return best_threshold;
+}
+
+BinaryMap otsuBinarizeWeighted(const GrayMap& map, const GrayMap& weights) {
+  if (weights.rows() != map.rows() || weights.cols() != map.cols())
+    throw std::invalid_argument("otsuBinarizeWeighted: grid size mismatch");
+  return binarize(map, otsuThresholdWeighted(map.values(), weights.values()));
+}
+
 }  // namespace rfipad::imgproc

@@ -56,6 +56,19 @@ double otsuThreshold(const std::vector<double>& values);
 /// Binarise a graymap with Otsu's method.
 BinaryMap otsuBinarize(const GrayMap& map);
 
+/// Confidence-weighted Otsu threshold: each value contributes its weight to
+/// the class masses and means, so a barely-observed (imputed / dead-
+/// neighbour) pixel cannot drag the split the way a fully-observed one can.
+/// Uniform weights reproduce the unweighted threshold.  Weights must be
+/// finite and non-negative; an all-zero weight vector falls back to the
+/// unweighted threshold.
+double otsuThresholdWeighted(const std::vector<double>& values,
+                             const std::vector<double>& weights);
+
+/// Binarise with the confidence-weighted Otsu threshold (weights laid out
+/// like the map, row-major).
+BinaryMap otsuBinarizeWeighted(const GrayMap& map, const GrayMap& weights);
+
 /// Binarise with an explicit threshold (ablation baseline).
 BinaryMap binarize(const GrayMap& map, double threshold);
 

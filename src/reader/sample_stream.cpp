@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/angles.hpp"
 #include "common/contracts.hpp"
+#include "common/stats.hpp"
 
 namespace rfipad::reader {
 
@@ -170,6 +172,128 @@ std::vector<double> SampleStream::channels() const {
 void SampleStream::append(const SampleStream& other) {
   reports_.reserve(reports_.size() + other.size());
   for (const auto& r : other.reports()) push(r);
+}
+
+SampleStream imputeGaps(const SampleStream& in, const GapImputeOptions& options,
+                        GapImputeStats* stats) {
+  if (stats != nullptr) *stats = GapImputeStats{};
+  if (!options.enabled || in.size() < 2 || in.numTags() == 0) return in;
+  RFIPAD_ASSERT(std::isfinite(options.max_gap_s) && options.max_gap_s >= 0.0,
+                "imputeGaps: max_gap_s must be finite and non-negative");
+
+  // Group report indices by tag — the counting-sort pass of flatSeries(),
+  // but over indices so each gap's endpoint TagReports can be copied whole
+  // (EPC, antenna, channel) into the synthetic reads.
+  const std::vector<TagReport>& reports = in.reports();
+  const std::uint32_t num_tags = in.numTags();
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(num_tags) + 1, 0);
+  for (const auto& r : reports) {
+    RFIPAD_INVARIANT(r.tag_index < num_tags,
+                     "stored report index outside the declared tag count");
+    ++offsets[r.tag_index + 1];
+  }
+  for (std::size_t i = 1; i <= num_tags; ++i) offsets[i] += offsets[i - 1];
+  std::vector<std::size_t> index(reports.size());
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t k = 0; k < reports.size(); ++k) {
+      index[cursor[reports[k].tag_index]++] = k;
+    }
+  }
+
+  std::vector<TagReport> synthetic;
+  std::vector<double> spacings;  // per-tag scratch
+  for (std::uint32_t tag = 0; tag < num_tags; ++tag) {
+    const std::size_t begin = offsets[tag];
+    const std::size_t end = offsets[tag + 1];
+    if (end - begin < 2) continue;
+    double dt = options.target_dt_s;
+    if (!(dt > 0.0)) {
+      spacings.clear();
+      for (std::size_t j = begin + 1; j < end; ++j) {
+        spacings.push_back(reports[index[j]].time_s -
+                           reports[index[j - 1]].time_s);
+      }
+      // Low-quantile spacing ≈ the clean read rate even under heavy loss:
+      // bursty loss widens the upper spacings but leaves runs of
+      // back-to-back clean reads at the nominal rate.
+      const double q = std::clamp(options.spacing_quantile, 0.0, 1.0);
+      const auto pos = static_cast<std::size_t>(
+          q * static_cast<double>(spacings.size() - 1));
+      std::nth_element(spacings.begin(),
+                       spacings.begin() + static_cast<std::ptrdiff_t>(pos),
+                       spacings.end());
+      dt = spacings[pos];
+    }
+    if (!(dt > 0.0) || !std::isfinite(dt)) continue;
+    for (std::size_t j = begin + 1; j < end; ++j) {
+      const TagReport& a = reports[index[j - 1]];
+      const TagReport& b = reports[index[j]];
+      const double gap = b.time_s - a.time_s;
+      // A gap only modestly above the nominal spacing is Gen2 scheduling
+      // jitter, not a missed read; require burst-sized headroom before
+      // inventing samples (see GapImputeOptions::min_gap_factor).
+      if (gap <= options.min_gap_factor * dt) continue;
+      if (gap > options.max_gap_s) {
+        if (stats != nullptr) ++stats->gaps_too_long;
+        continue;
+      }
+      if (std::abs(a.channel_mhz - b.channel_mhz) > 1e-3) {
+        if (stats != nullptr) ++stats->gaps_cross_channel;
+        continue;
+      }
+      const auto want = static_cast<std::size_t>(gap / dt + 0.5);
+      const std::size_t k =
+          std::min(want > 0 ? want - 1 : std::size_t{0},
+                   options.max_inserted_per_gap);
+      if (k == 0) continue;
+      // Phase travels along the shortest circular arc between the endpoint
+      // reads; a real quarter-wavelength of motion inside the gap is lost,
+      // which is why max_gap_s must stay short and wide arcs are refused.
+      const double arc = angleDiff(b.phase_rad, a.phase_rad);
+      if (std::abs(arc) > options.max_arc_rad) {
+        if (stats != nullptr) ++stats->gaps_arc_too_wide;
+        continue;
+      }
+      if (stats != nullptr) {
+        ++stats->gaps_bridged;
+        stats->reports_inserted += k;
+      }
+      for (std::size_t g = 1; g <= k; ++g) {
+        const double u =
+            static_cast<double>(g) / static_cast<double>(k + 1);
+        TagReport r = a;  // copies EPC / antenna / channel from the earlier end
+        r.time_s = a.time_s + u * gap;
+        r.phase_rad = wrapTwoPi(a.phase_rad + u * arc);
+        r.rssi_dbm = a.rssi_dbm + u * (b.rssi_dbm - a.rssi_dbm);
+        r.doppler_hz = 0.0;
+        r.imputed = true;
+        synthetic.push_back(r);
+      }
+    }
+  }
+  if (synthetic.empty()) return in;
+
+  // Deterministic merge: synthetics ordered by (time, tag); std::merge takes
+  // from the original range first when neither compares less, so real reads
+  // precede synthetic ones at equal timestamps.
+  std::sort(synthetic.begin(), synthetic.end(),
+            [](const TagReport& x, const TagReport& y) {
+              if (x.time_s < y.time_s) return true;
+              if (y.time_s < x.time_s) return false;
+              return x.tag_index < y.tag_index;
+            });
+  std::vector<TagReport> merged;
+  merged.reserve(reports.size() + synthetic.size());
+  std::merge(reports.begin(), reports.end(), synthetic.begin(),
+             synthetic.end(), std::back_inserter(merged),
+             [](const TagReport& x, const TagReport& y) {
+               return x.time_s < y.time_s;
+             });
+  SampleStream out(num_tags);
+  out.reserve(merged.size());
+  for (auto& r : merged) out.push(std::move(r));
+  return out;
 }
 
 }  // namespace rfipad::reader

@@ -119,6 +119,68 @@ class SampleStream {
   std::uint64_t invalid_count_ = 0;
 };
 
+/// Temporal gap imputation (missing-data recovery, stage 1 of the pipeline
+/// in DESIGN.md §9).  Bursty miss-reads leave per-tag holes in the capture;
+/// short holes are bridged by linear interpolation so the downstream
+/// activation/segmentation stages see a steady series again.
+struct GapImputeOptions {
+  bool enabled = false;
+  /// Longest per-tag read gap bridged, seconds.  Gaps longer than this are
+  /// genuine outages and must pass through untouched — inventing a second
+  /// of motion would be worse than the hole.
+  double max_gap_s = 0.50;
+  /// Target spacing of synthetic reads inside a bridged gap; 0 derives each
+  /// tag's nominal inter-read spacing from the stream itself using
+  /// `spacing_quantile` (below).
+  double target_dt_s = 0.0;
+  /// Quantile of a tag's observed inter-read spacings taken as its nominal
+  /// spacing.  A low quantile stays anchored to the clean read rate even
+  /// when heavy loss has inflated the median: bursty loss leaves runs of
+  /// back-to-back clean reads, and those short spacings dominate the lower
+  /// quantiles.
+  double spacing_quantile = 0.25;
+  /// Only gaps wider than this multiple of the nominal spacing are bridged.
+  /// Gen2 inventory spacing is bursty even on a clean link (Q-algorithm
+  /// back-off), and interpolating across a gap the tag was merely slow to
+  /// answer smooths real motion out of the phase series — so demand a gap
+  /// that only a dropped-read burst can produce.  Tuned (with the quantile
+  /// and arc gates above/below) by bench_fault_sweep: at these settings the
+  /// bridge is a no-op on clean captures and recovers accuracy under
+  /// 25–60% bursty loss.
+  double min_gap_factor = 6.0;
+  /// Skip gaps whose endpoint phases differ by more than this (radians,
+  /// shortest arc).  A wide arc means the hand moved substantially inside
+  /// the gap; linear interpolation would invent a trajectory the tag never
+  /// saw and flatten the very activity the gray-map measures.
+  double max_arc_rad = 1.5707963267948966;
+  /// Cap on synthetic reads per gap (bounds memory if target_dt_s is
+  /// misconfigured far below the real read rate).
+  std::size_t max_inserted_per_gap = 8;
+};
+
+struct GapImputeStats {
+  std::uint64_t gaps_bridged = 0;
+  std::uint64_t reports_inserted = 0;
+  /// Gaps wider than max_gap_s, passed through untouched.
+  std::uint64_t gaps_too_long = 0;
+  /// Gaps whose endpoints sit on different hop channels (phase offsets are
+  /// not comparable across channels, so no interpolation).
+  std::uint64_t gaps_cross_channel = 0;
+  /// Gaps whose endpoint phases differ by more than max_arc_rad — the hand
+  /// moved during the gap, so interpolation would fabricate the trajectory.
+  std::uint64_t gaps_arc_too_wide = 0;
+};
+
+/// Bridge per-tag read gaps by linear interpolation over the flatSeries()
+/// planes: phase along the shortest circular arc between the endpoint
+/// reads, RSSI linearly, timestamps evenly spaced.  Synthetic reports carry
+/// `imputed = true` and copy EPC/antenna/channel from the earlier endpoint.
+/// Pure function of (stream, options): no randomness, bit-identical output
+/// for identical input.  With `enabled == false` the input stream is
+/// returned byte-exactly.
+SampleStream imputeGaps(const SampleStream& in, const GapImputeOptions& options,
+                        GapImputeStats* stats = nullptr);
+
 /// Mutex-guarded fan-in point for multi-reader capture: several pump
 /// threads (one per antenna / Speedway) push into one sink, and the
 /// merged, time-sorted stream is taken out once the pumps have joined.

@@ -89,6 +89,10 @@ struct TagReport {
   double doppler_hz = 0.0;
   /// Carrier channel, MHz.
   double channel_mhz = 922.38;
+  /// Synthetic read inserted by gap imputation (reader::imputeGaps), never
+  /// produced by a reader.  Downstream confidence accounting discounts
+  /// imputed reads; the wire codecs ignore the flag.
+  bool imputed = false;
 };
 
 }  // namespace rfipad::reader

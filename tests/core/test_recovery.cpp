@@ -1,0 +1,253 @@
+// Missing-data recovery stages 2–4 (core/recovery.hpp, DESIGN.md §9):
+// observation-confidence plane, spatial inpainting, confidence-weighted
+// Otsu / template matching (including cross-SIMD-tier bit identity), and
+// the top-K letter / word-lattice decoders.
+#include "core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/simd_dispatch.hpp"
+#include "core/grammar.hpp"
+#include "core/templates.hpp"
+#include "core/words.hpp"
+#include "imgproc/binary_map.hpp"
+
+namespace rfipad::core {
+namespace {
+
+constexpr int kRows = 5;
+constexpr int kCols = 5;
+
+StaticProfile profileWith(const std::vector<std::uint32_t>& dead,
+                          const std::vector<std::uint32_t>& detuned = {}) {
+  std::vector<TagProfile> tags(25);
+  for (auto& t : tags) {
+    t.mean_rssi = -45.0;
+    t.samples = 40;
+  }
+  for (auto i : dead) tags[i].dead = true;
+  for (auto i : detuned) tags[i].detuned = true;
+  return StaticProfile(std::move(tags));
+}
+
+/// `reads_per_tag[i]` real reads for tag i, evenly spaced.
+reader::SampleStream windowWithCounts(const std::vector<int>& reads_per_tag) {
+  reader::SampleStream s(25);
+  for (std::uint32_t tag = 0; tag < reads_per_tag.size(); ++tag) {
+    for (int k = 0; k < reads_per_tag[tag]; ++k) {
+      reader::TagReport r;
+      r.tag_index = tag;
+      r.time_s = 0.001 * static_cast<double>(k * 25 + tag);
+      r.phase_rad = 1.0;
+      r.rssi_dbm = -45.0;
+      s.push(r);
+    }
+  }
+  return s;
+}
+
+TEST(ObservationConfidence, DeadRowIsExactlyZeroLiveCellsPositive) {
+  // Whole top row dead (tags 0..4).
+  const auto profile = profileWith({0, 1, 2, 3, 4});
+  std::vector<int> counts(25, 20);
+  for (int i = 0; i < 5; ++i) counts[static_cast<std::size_t>(i)] = 0;
+  const auto conf = observationConfidence(windowWithCounts(counts), profile,
+                                          kRows, kCols, ConfidenceOptions{});
+  for (int c = 0; c < kCols; ++c) EXPECT_EQ(conf.at(0, c), 0.0) << c;
+  for (int r = 1; r < kRows; ++r) {
+    for (int c = 0; c < kCols; ++c) {
+      EXPECT_GT(conf.at(r, c), 0.0);
+      EXPECT_LE(conf.at(r, c), 1.0);
+    }
+  }
+}
+
+TEST(ObservationConfidence, ScalesWithCountAndDiscountsDetuned) {
+  ConfidenceOptions opt;
+  // Tag 6 detuned, tag 7 starved (2 reads vs median 20).
+  const auto profile = profileWith({}, {6});
+  std::vector<int> counts(25, 20);
+  counts[7] = 2;
+  const auto conf = observationConfidence(windowWithCounts(counts), profile,
+                                          kRows, kCols, opt);
+  // full = max(0.5 * 20, 1) = 10: well-read cells saturate at 1.
+  EXPECT_DOUBLE_EQ(conf.at(0, 0), 1.0);
+  // Detuned cell: saturated count, then discounted.
+  EXPECT_DOUBLE_EQ(conf.at(1, 1), opt.detuned_confidence);
+  // Starved cell: 2/10, floored far above min_live_confidence.
+  EXPECT_DOUBLE_EQ(conf.at(1, 2), 0.2);
+}
+
+TEST(InpaintLowConfidence, DeadColumnRebuiltFromNeighbours) {
+  imgproc::GrayMap map(kRows, kCols, 0.0);
+  imgproc::GrayMap conf(kRows, kCols, 1.0);
+  // Column 2 dead; its cells hold garbage the inpaint must replace.
+  for (int r = 0; r < kRows; ++r) {
+    for (int c = 0; c < kCols; ++c) map.at(r, c) = (c < 2) ? 1.0 : 5.0;
+    map.at(r, 2) = -99.0;
+    conf.at(r, 2) = 0.0;
+  }
+  inpaintLowConfidence(map, conf, SpatialImputeOptions{});
+  for (int r = 0; r < kRows; ++r) {
+    // Reconstruction is a convex combination of confident neighbours, which
+    // straddle the column with values 1 (left) and 5 (right).
+    EXPECT_GT(map.at(r, 2), 1.0) << r;
+    EXPECT_LT(map.at(r, 2), 5.0) << r;
+    // Confident cells untouched.
+    EXPECT_DOUBLE_EQ(map.at(r, 0), 1.0);
+    EXPECT_DOUBLE_EQ(map.at(r, 4), 5.0);
+  }
+}
+
+TEST(InpaintLowConfidence, NoConfidentNeighbourLeavesCellAlone) {
+  imgproc::GrayMap map(kRows, kCols, 7.0);
+  imgproc::GrayMap conf(kRows, kCols, 0.0);  // nobody is confident
+  const auto before = map.values();
+  inpaintLowConfidence(map, conf, SpatialImputeOptions{});
+  EXPECT_EQ(map.values(), before);
+}
+
+TEST(WeightedOtsu, UniformWeightsReproduceUnweighted) {
+  std::vector<double> values;
+  for (int i = 0; i < 25; ++i)
+    values.push_back(i < 10 ? 0.1 * i : 2.0 + 0.05 * i);
+  const std::vector<double> uniform(values.size(), 0.7);
+  EXPECT_DOUBLE_EQ(imgproc::otsuThresholdWeighted(values, uniform),
+                   imgproc::otsuThreshold(values));
+}
+
+TEST(WeightedOtsu, ZeroWeightsFallBackToUnweighted) {
+  const std::vector<double> values = {0.0, 0.1, 0.2, 3.0, 3.1, 3.2};
+  const std::vector<double> zeros(values.size(), 0.0);
+  EXPECT_DOUBLE_EQ(imgproc::otsuThresholdWeighted(values, zeros),
+                   imgproc::otsuThreshold(values));
+}
+
+TEST(WeightedOtsu, DownweightedOutlierStopsDrivingTheThreshold) {
+  // One huge value observed with near-zero confidence: weighted Otsu should
+  // split the reliable mass instead of isolating the outlier.
+  std::vector<double> values = {0.0, 0.1, 0.2, 1.0, 1.1, 1.2, 9.0};
+  std::vector<double> weights(values.size(), 1.0);
+  weights.back() = 1e-6;
+  const double unweighted = imgproc::otsuThreshold(values);
+  const double weighted = imgproc::otsuThresholdWeighted(values, weights);
+  EXPECT_GT(unweighted, 1.2);  // outlier dominates the unweighted split
+  EXPECT_LT(weighted, 1.0);    // weighted split separates the two clusters
+}
+
+/// A vertical-line activation blob in the given column.
+imgproc::GrayMap lineMap(int col) {
+  imgproc::GrayMap m(kRows, kCols, 0.05);
+  for (int r = 0; r < kRows; ++r) {
+    m.at(r, col) = 1.0;
+    if (col > 0) m.at(r, col - 1) = 0.3;
+    if (col + 1 < kCols) m.at(r, col + 1) = 0.3;
+  }
+  return m;
+}
+
+TEST(WeightedMatch, UniformConfidenceReproducesFusedMatch) {
+  const auto& lib = TemplateLibrary::standard5x5();
+  const auto act = lineMap(2);
+  const imgproc::GrayMap troughs(kRows, kCols, 0.0);
+  const imgproc::GrayMap ones(kRows, kCols, 1.0);
+  const auto plain = matchTemplateFused(act, troughs, 0.5, lib);
+  const auto weighted = matchTemplateFusedWeighted(act, troughs, 0.5, ones, lib);
+  ASSERT_TRUE(plain.valid);
+  ASSERT_TRUE(weighted.valid);
+  EXPECT_EQ(weighted.shape->kind, plain.shape->kind);
+  EXPECT_NEAR(weighted.score, plain.score, 1e-9);
+  EXPECT_NEAR(weighted.margin, plain.margin, 1e-9);
+}
+
+TEST(WeightedMatch, BitIdenticalAcrossSimdTiers) {
+  const auto& lib = TemplateLibrary::standard5x5();
+  const auto act = lineMap(1);
+  auto troughs = lineMap(1);
+  imgproc::GrayMap conf(kRows, kCols, 1.0);
+  for (int r = 0; r < kRows; ++r) conf.at(r, 3) = 0.1;  // uneven weights
+
+  const auto native = matchTemplateFusedWeighted(act, troughs, 0.4, conf, lib);
+  simd::setTierOverrideForTest(simd::Tier::kScalar);
+  const auto scalar = matchTemplateFusedWeighted(act, troughs, 0.4, conf, lib);
+  simd::clearTierOverrideForTest();
+
+  ASSERT_TRUE(native.valid);
+  ASSERT_TRUE(scalar.valid);
+  EXPECT_EQ(native.shape, scalar.shape);
+  // Bit identity, not approximate equality: the weighted NCC reductions all
+  // run through the fixed-shape vk kernels.
+  EXPECT_EQ(native.score, scalar.score);
+  EXPECT_EQ(native.margin, scalar.margin);
+}
+
+TEST(TopKLetters, ExactMatchRanksFirstAndKBounds) {
+  const auto& g = LetterGrammar::instance();
+  std::vector<ObservedStroke> strokes;
+  for (StrokeKind k : g.sequenceFor('T'))
+    strokes.push_back(ObservedStroke{k, StrokeDir::kForward, {}, {}, {}});
+  const std::vector<double> confident(strokes.size(), 1.0);
+  const auto hyps = g.topKLetters(strokes, confident, 4);
+  ASSERT_FALSE(hyps.empty());
+  EXPECT_LE(hyps.size(), 4u);
+  EXPECT_EQ(hyps.front().letter, 'T');
+  EXPECT_DOUBLE_EQ(hyps.front().cost, 0.0);
+  for (std::size_t i = 1; i < hyps.size(); ++i)
+    EXPECT_GE(hyps[i].cost, hyps[i - 1].cost);
+}
+
+TEST(TopKLetters, EmptyInputsYieldNothing) {
+  const auto& g = LetterGrammar::instance();
+  EXPECT_TRUE(g.topKLetters({}, {}, 4).empty());
+  std::vector<ObservedStroke> one = {
+      ObservedStroke{StrokeKind::kVLine, StrokeDir::kForward, {}, {}, {}}};
+  EXPECT_TRUE(g.topKLetters(one, {1.0}, 0).empty());
+}
+
+TEST(WordDecode, LatticeRunnerUpRecoversCorruptedLetter) {
+  const WordRecognizer dict({"GATE", "GAZE", "HELP"});
+  using H = LetterGrammar::LetterHypothesis;
+  // Third letter misrecognised as 'Z' but 'T' survives as a runner-up.
+  const std::vector<std::vector<H>> lattice = {
+      {{'G', 0.0}}, {{'A', 0.0}}, {{'Z', 0.0}, {'T', 0.1}}, {{'E', 0.0}}};
+  // A tie-ish lattice: the decoder weighs the small rank penalty of 'T'
+  // against the confusion cost of 'Z' vs 'T'; either way a word must win.
+  const auto word = dict.decode(lattice);
+  EXPECT_TRUE(word == "GATE" || word == "GAZE");
+  // With a bigger gap the corrupted reading loses outright.
+  const std::vector<std::vector<H>> clear = {
+      {{'G', 0.0}}, {{'A', 0.0}}, {{'T', 0.0}}, {{'E', 0.0}}};
+  EXPECT_EQ(dict.decode(clear), "GATE");
+}
+
+TEST(WordDecode, EmptyPositionActsAsWildcard) {
+  const WordRecognizer dict({"GATE", "HELP"});
+  using H = LetterGrammar::LetterHypothesis;
+  const std::vector<std::vector<H>> lattice = {
+      {{'G', 0.0}}, {}, {{'T', 0.0}}, {{'E', 0.0}}};
+  EXPECT_EQ(dict.decode(lattice), "GATE");
+}
+
+TEST(WordDecode, GarbageLatticeRejected) {
+  const WordRecognizer dict({"GATE", "HELP"});
+  using H = LetterGrammar::LetterHypothesis;
+  // Two confident-but-wrong letters against four-letter words: at least two
+  // insertions plus two confusions, far over the 0.8/letter budget.
+  const std::vector<std::vector<H>> lattice = {{{'Q', 0.0}}, {{'Q', 0.0}}};
+  EXPECT_EQ(dict.decode(lattice), "");
+}
+
+TEST(RecoveryConfig, DefaultOffFullOn) {
+  EXPECT_FALSE(RecoveryConfig{}.any());
+  const auto full = RecoveryConfig::full();
+  EXPECT_TRUE(full.temporal.enabled);
+  EXPECT_TRUE(full.confidence.enabled);
+  EXPECT_TRUE(full.spatial.enabled);
+  EXPECT_TRUE(full.decode.enabled);
+  EXPECT_TRUE(full.any());
+}
+
+}  // namespace
+}  // namespace rfipad::core

@@ -1,0 +1,111 @@
+// Missing-data recovery pipeline: determinism and off-path contracts
+// (DESIGN.md §9).  With every stage disabled the engine must reproduce the
+// pre-recovery pipeline bit-for-bit regardless of how the other recovery
+// knobs are set; with every stage enabled the batch runner must stay
+// bit-identical at any thread count, under faults and on clean captures.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/harness.hpp"
+
+namespace rfipad::bench {
+namespace {
+
+HarnessOptions baseOptions() {
+  HarnessOptions opt;
+  opt.scenario.seed = 1000;
+  opt.scenario.doppler_probes = false;
+  return opt;
+}
+
+std::vector<StrokeTask> strokeBattery() {
+  std::vector<StrokeTask> tasks;
+  for (const auto& s : allDirectedStrokes())
+    tasks.push_back({s, sim::defaultUser(2)});
+  return tasks;
+}
+
+std::vector<LetterTask> letterBattery() {
+  std::vector<LetterTask> tasks;
+  for (char c : {'C', 'L', 'T', 'U'}) tasks.push_back({c, sim::defaultUser(2)});
+  return tasks;
+}
+
+fault::FaultPlan burstyLossPlan() {
+  fault::FaultPlan plan;
+  plan.missread.drop_prob_bad = 0.9;
+  plan.missread.p_bad_to_good = 0.25;
+  plan.missread.p_good_to_bad = 0.2;
+  return plan;
+}
+
+TEST(RecoveryDeterminism, DisabledStagesAreByteExactPassthrough) {
+  // Crank every recovery knob while leaving every `enabled` false: the
+  // off-path must not read any of them.
+  HarnessOptions tweaked = baseOptions();
+  auto& rec = tweaked.engine.recovery;
+  rec.temporal.max_gap_s = 0.01;
+  rec.temporal.min_gap_factor = 1.0;
+  rec.confidence.detuned_confidence = 0.0;
+  rec.confidence.min_live_confidence = 0.9;
+  rec.spatial.confidence_threshold = 0.99;
+  rec.decode.top_k = 1;
+  ASSERT_FALSE(rec.any());
+
+  Harness baseline(baseOptions());
+  Harness with_knobs(tweaked);
+  const auto tasks = strokeBattery();
+  EXPECT_TRUE(sameOutcomes(baseline.runStrokeBatch(tasks, {2, 0}),
+                           with_knobs.runStrokeBatch(tasks, {2, 0})));
+  const auto letters = letterBattery();
+  EXPECT_TRUE(sameOutcomes(baseline.runLetterBatch(letters, {2, 0}),
+                           with_knobs.runLetterBatch(letters, {2, 0})));
+}
+
+TEST(RecoveryDeterminism, RecoveryOnBitIdenticalAcrossThreadCounts) {
+  HarnessOptions opt = baseOptions();
+  opt.fault_plan = burstyLossPlan();
+  opt.engine.recovery = core::RecoveryConfig::full();
+  Harness h(opt);
+
+  const auto tasks = strokeBattery();
+  const auto one = h.runStrokeBatch(tasks, {1, 0});
+  const auto wide = h.runStrokeBatch(tasks, {4, 0});
+  ASSERT_EQ(one.size(), tasks.size());
+  EXPECT_TRUE(sameOutcomes(one, wide));
+  // The plan must have bitten, or the check is vacuous.
+  std::uint64_t dropped = 0;
+  for (const auto& t : one) dropped += t.faulted_dropped;
+  EXPECT_GT(dropped, 0u);
+
+  const auto letters = letterBattery();
+  const auto lone = h.runLetterBatch(letters, {1, 0});
+  const auto lwide = h.runLetterBatch(letters, {4, 0});
+  EXPECT_TRUE(sameOutcomes(lone, lwide));
+  // And re-running reproduces both exactly.
+  EXPECT_TRUE(sameOutcomes(one, h.runStrokeBatch(tasks, {2, 0})));
+  EXPECT_TRUE(sameOutcomes(lone, h.runLetterBatch(letters, {2, 0})));
+}
+
+TEST(RecoveryDeterminism, CleanCaptureWithRecoveryOnStaysAccurate) {
+  // No faults: the recovery gates (burst-sized gap factor, arc cut, spatial
+  // threshold) are tuned so an intact capture is, at worst, one trial off
+  // the baseline — recovery must never wreck the clean path.
+  Harness off(baseOptions());
+  HarnessOptions on_opt = baseOptions();
+  on_opt.engine.recovery = core::RecoveryConfig::full();
+  Harness on(on_opt);
+
+  const auto tasks = strokeBattery();
+  const double acc_off = Harness::accuracy(off.runStrokeBatch(tasks, {2, 0}));
+  const double acc_on = Harness::accuracy(on.runStrokeBatch(tasks, {2, 0}));
+  EXPECT_GE(acc_on + 1.0 / static_cast<double>(tasks.size()) + 1e-9, acc_off);
+
+  // Determinism also holds with recovery on and no plan.
+  EXPECT_TRUE(sameOutcomes(on.runStrokeBatch(tasks, {1, 0}),
+                           on.runStrokeBatch(tasks, {4, 0})));
+}
+
+}  // namespace
+}  // namespace rfipad::bench

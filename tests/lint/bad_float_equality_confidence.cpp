@@ -1,0 +1,20 @@
+// LINT-PATH: src/core/bad_float_equality_confidence.cpp
+// LINT-EXPECT: float-equality
+// Exact comparison on recovery-pipeline doubles: per-cell confidences and
+// letter-hypothesis costs are accumulated floats (weighted counts, DP
+// sums); gating them with == breaks once any weight changes in the last
+// bit.
+struct Hypothesis {
+  char letter = '\0';
+  double cost = 0.0;
+};
+
+struct Cell {
+  double confidence = 0.0;
+};
+
+bool isExactMatch(const Hypothesis& h) { return h.cost == 0.0; }
+
+bool isCensored(const Cell& c, const Cell& floor_cell) {
+  return c.confidence != floor_cell.confidence;
+}

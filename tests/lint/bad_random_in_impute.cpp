@@ -1,0 +1,20 @@
+// LINT-PATH: src/reader/bad_random_in_impute.cpp
+// LINT-EXPECT: no-random-device
+// Unseeded randomness inside a gap-imputation path: synthetic reads must be
+// a pure function of the input stream (recovery determinism contract,
+// DESIGN.md §9), never of host entropy.
+#include <random>
+#include <vector>
+
+struct Synthetic {
+  double time_s = 0.0;
+};
+
+std::vector<Synthetic> jitteredBridge(double t0, double t1, int k) {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::uniform_real_distribution<double> u(t0, t1);
+  std::vector<Synthetic> out;
+  for (int i = 0; i < k; ++i) out.push_back({u(gen)});
+  return out;
+}

@@ -1,0 +1,168 @@
+// Temporal gap imputation (missing-data recovery stage 1): bridged bursts,
+// refused jitter/outages/channel-hops/wide arcs, and byte-exact passthrough
+// when disabled or when nothing qualifies.
+#include "reader/sample_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfipad::reader {
+namespace {
+
+TagReport report(std::uint32_t tag, double t, double phase = 1.0,
+                 double rssi = -40.0, double channel = 920.0) {
+  TagReport r;
+  r.tag_index = tag;
+  r.time_s = t;
+  r.phase_rad = phase;
+  r.rssi_dbm = rssi;
+  r.channel_mhz = channel;
+  r.doppler_hz = 3.0;
+  r.epc = "EPC";
+  return r;
+}
+
+bool identicalStreams(const SampleStream& a, const SampleStream& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].tag_index != b[i].tag_index || a[i].time_s != b[i].time_s ||
+        a[i].phase_rad != b[i].phase_rad || a[i].rssi_dbm != b[i].rssi_dbm ||
+        a[i].imputed != b[i].imputed)
+      return false;
+  }
+  return true;
+}
+
+/// 20 evenly spaced reads (dt = 10 ms), then a gap, then 20 more.
+SampleStream streamWithGap(double gap_s, double phase_after = 1.1,
+                           double channel_after = 920.0) {
+  SampleStream s(1);
+  const double dt = 0.01;
+  double t = 0.0;
+  for (int i = 0; i < 20; ++i, t += dt) s.push(report(0, t, 1.0));
+  t += gap_s - dt;  // last pre-gap read sits at t - dt
+  for (int i = 0; i < 20; ++i, t += dt)
+    s.push(report(0, t, phase_after, -40.0, channel_after));
+  return s;
+}
+
+TEST(ImputeGaps, DisabledIsByteExactPassthrough) {
+  const auto in = streamWithGap(0.2);
+  GapImputeOptions opt;  // enabled defaults to false
+  GapImputeStats stats;
+  const auto out = imputeGaps(in, opt, &stats);
+  EXPECT_TRUE(identicalStreams(in, out));
+  EXPECT_EQ(stats.gaps_bridged, 0u);
+  EXPECT_EQ(stats.reports_inserted, 0u);
+}
+
+TEST(ImputeGaps, BridgesBurstGap) {
+  // 0.1 s gap = 10× the 10 ms spacing: a burst of lost reads, bridged.
+  const auto in = streamWithGap(0.1);
+  GapImputeOptions opt;
+  opt.enabled = true;
+  GapImputeStats stats;
+  const auto out = imputeGaps(in, opt, &stats);
+
+  EXPECT_EQ(stats.gaps_bridged, 1u);
+  EXPECT_GT(stats.reports_inserted, 0u);
+  EXPECT_EQ(out.size(), in.size() + stats.reports_inserted);
+
+  std::size_t imputed = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const auto& r = out[i];
+    if (!r.imputed) continue;
+    ++imputed;
+    // Synthetic reads live strictly inside the gap, interpolate phase along
+    // the short arc from 1.0 to 1.1, and carry no Doppler.
+    EXPECT_GT(r.time_s, 0.19);
+    EXPECT_LT(r.time_s, 0.29);
+    EXPECT_GE(r.phase_rad, 1.0);
+    EXPECT_LE(r.phase_rad, 1.1);
+    EXPECT_DOUBLE_EQ(r.doppler_hz, 0.0);
+    EXPECT_DOUBLE_EQ(r.rssi_dbm, -40.0);
+    if (i > 0) EXPECT_LE(out[i - 1].time_s, r.time_s);
+  }
+  EXPECT_EQ(imputed, stats.reports_inserted);
+}
+
+TEST(ImputeGaps, GapBeyondMaxGapPassesThroughUntouched) {
+  const auto in = streamWithGap(0.9);  // longer than max_gap_s = 0.5
+  GapImputeOptions opt;
+  opt.enabled = true;
+  GapImputeStats stats;
+  const auto out = imputeGaps(in, opt, &stats);
+  EXPECT_TRUE(identicalStreams(in, out));
+  EXPECT_EQ(stats.gaps_bridged, 0u);
+  EXPECT_EQ(stats.gaps_too_long, 1u);
+}
+
+TEST(ImputeGaps, JitterGapNotBridged) {
+  // 4× spacing is Gen2 back-off jitter, below the 6× min_gap_factor.
+  const auto in = streamWithGap(0.04);
+  GapImputeOptions opt;
+  opt.enabled = true;
+  GapImputeStats stats;
+  const auto out = imputeGaps(in, opt, &stats);
+  EXPECT_TRUE(identicalStreams(in, out));
+  EXPECT_EQ(stats.gaps_bridged, 0u);
+}
+
+TEST(ImputeGaps, CrossChannelGapSkipped) {
+  // Endpoints on different hop channels: phases not comparable, no bridge.
+  const auto in = streamWithGap(0.1, 1.1, 924.25);
+  GapImputeOptions opt;
+  opt.enabled = true;
+  GapImputeStats stats;
+  const auto out = imputeGaps(in, opt, &stats);
+  EXPECT_TRUE(identicalStreams(in, out));
+  EXPECT_EQ(stats.gaps_cross_channel, 1u);
+}
+
+TEST(ImputeGaps, WideArcGapSkipped) {
+  // Endpoint phases 2.5 rad apart (> π/2): the hand moved during the gap,
+  // interpolation would fabricate the trajectory.
+  const auto in = streamWithGap(0.1, 3.5);
+  GapImputeOptions opt;
+  opt.enabled = true;
+  GapImputeStats stats;
+  const auto out = imputeGaps(in, opt, &stats);
+  EXPECT_TRUE(identicalStreams(in, out));
+  EXPECT_EQ(stats.gaps_arc_too_wide, 1u);
+  EXPECT_EQ(stats.gaps_bridged, 0u);
+}
+
+TEST(ImputeGaps, InsertionCapBoundsSyntheticReads) {
+  const auto in = streamWithGap(0.3);  // 30 missing spacings
+  GapImputeOptions opt;
+  opt.enabled = true;
+  opt.max_inserted_per_gap = 4;
+  GapImputeStats stats;
+  imputeGaps(in, opt, &stats);
+  EXPECT_EQ(stats.reports_inserted, 4u);
+}
+
+TEST(ImputeGaps, IdempotentOnBridgedStream) {
+  // Re-imputing an already-bridged stream inserts nothing: the bridge
+  // restored nominal spacing.
+  GapImputeOptions opt;
+  opt.enabled = true;
+  GapImputeStats stats;
+  const auto once = imputeGaps(streamWithGap(0.1), opt, &stats);
+  ASSERT_GT(stats.reports_inserted, 0u);
+  const auto twice = imputeGaps(once, opt, &stats);
+  EXPECT_EQ(stats.reports_inserted, 0u);
+  EXPECT_TRUE(identicalStreams(once, twice));
+}
+
+TEST(ImputeGaps, DeterministicByteExactRerun) {
+  GapImputeOptions opt;
+  opt.enabled = true;
+  const auto a = imputeGaps(streamWithGap(0.1), opt);
+  const auto b = imputeGaps(streamWithGap(0.1), opt);
+  EXPECT_TRUE(identicalStreams(a, b));
+}
+
+}  // namespace
+}  // namespace rfipad::reader

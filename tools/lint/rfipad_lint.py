@@ -73,10 +73,17 @@ FLOAT_LIT = r"(?<![\w.])(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?|\d+[
 
 # Struct fields that are double-typed throughout the repo; comparing them
 # with == is almost always a bug (quantisation, jitter, fault injection all
-# perturb them).
+# perturb them).  The second group covers the missing-data recovery pipeline
+# (core/recovery.hpp, reader::GapImputeOptions, letter-hypothesis costs):
+# confidences and alignment costs are accumulated floats, so exact
+# comparison silently breaks the recovery ablation contract.
 DOUBLE_FIELDS = (
     "time_s|phase_rad|rssi_dbm|channel_mhz|doppler_hz|gain_linear|"
-    "polarization_loss|x|y|z"
+    "polarization_loss|x|y|z|"
+    "confidence|cost|max_cost|max_gap_s|target_dt_s|spacing_quantile|"
+    "min_gap_factor|max_arc_rad|detuned_confidence|full_count_frac|"
+    "imputed_read_weight|min_live_confidence|confidence_threshold|"
+    "neighbor_sigma"
 )
 
 PRECONDITION_MARKERS = re.compile(r"\b(?:Requires|must be|must not)\b")
