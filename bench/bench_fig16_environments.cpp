@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       }
       acc[mode] = bench::Harness::accuracy(trials);
     }
-    t.addRow("location #" + std::to_string(loc),
+    t.addRow(std::string("location #") + std::to_string(loc),
              {acc[0], acc[1], acc[1] - acc[0]}, 2);
   }
   t.print(std::cout);

@@ -45,7 +45,9 @@ int main(int argc, char** argv) {
     }
     const double acc = bench::Harness::accuracy(trials);
     accs.push_back(acc);
-    t.addRow({"#" + std::to_string(u),
+    // std::string("#") (not a char* literal) sidesteps a GCC 12 -Wrestrict
+    // false positive in the operator+(const char*, string&&) overload.
+    t.addRow({std::string("#") + std::to_string(u),
               Table::fmt(sim::defaultUser(u).speed_scale, 2),
               Table::fmt(acc, 2)});
   }

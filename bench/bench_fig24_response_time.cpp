@@ -93,7 +93,7 @@ void printResponseTimeTable() {
           h.runStroke({k, StrokeDir::kForward}, sim::defaultUsers()[r % 5]);
       if (trial.detected) rs.add(trial.processing_s);
     }
-    t.addRow({"#" + std::to_string(kind_idx++) + " " + strokeName(k),
+    t.addRow({std::string("#") + std::to_string(kind_idx++) + " " + strokeName(k),
               Table::fmt(rs.mean(), 4), Table::fmt(rs.max(), 4),
               std::to_string(rs.count())});
   }

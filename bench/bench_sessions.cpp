@@ -1,0 +1,336 @@
+// Multi-session serving bench: N independent pads served by one
+// SessionManager (service/session_manager.hpp).
+//
+// A closed-loop generator replays pre-captured letter streams into every
+// session in tick-sized chunks: each shard's worker enqueues its resident
+// sessions' next chunks, pumps the shard, polls for letters, and records
+// the stroke→letter response latency (emission wall time − that session's
+// chunk enqueue wall time).  Pre-capturing the RF simulation keeps the
+// measured path the *serving* path — ingest queue, fault hook, shared
+// segmentation scratch, recognition — not the channel model.
+//
+// Emits schema-v3 throughput records (sessions, p50/p99 latency) and
+// enforces two gates:
+//   - --floor-per-thread X: minimum sustained samples/s/thread;
+//   - a determinism regression at the smallest scale: per-session letter
+//     sequences must be bit-identical at --threads 1 and --threads 8.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "harness/harness.hpp"
+#include "harness/perf.hpp"
+#include "service/session_manager.hpp"
+#include "sim/letters.hpp"
+
+using namespace rfipad;
+
+namespace {
+
+constexpr double kTickS = 0.25;        // chunk span on the reader clock
+constexpr double kLetterGapS = 0.30;   // splice gap between replayed letters
+constexpr int kNumShards = 16;
+
+/// One pre-captured letter: its reports re-zeroed to start at t = 0 and cut
+/// into tick-sized chunks.
+struct LetterTemplate {
+  char letter = '?';
+  double duration_s = 0.0;
+  std::vector<std::vector<reader::TagReport>> chunks;
+};
+
+std::vector<LetterTemplate> captureTemplates(bench::Harness& harness) {
+  const std::vector<char> letters = {'C', 'I', 'L', 'O', 'T', 'V', 'A', 'E'};
+  std::vector<LetterTemplate> out;
+  auto& scen = harness.scenario();
+  const double hw = 0.75 * scen.padHalfExtent();
+  const double hh = 0.95 * scen.padHalfExtent();
+  for (std::size_t k = 0; k < letters.size(); ++k) {
+    const sim::UserProfile user = sim::defaultUsers()[k % 5];
+    sim::TrajectoryBuilder b(user, scen.forkRng(1000 + k));
+    b.hold(0.4);
+    for (const auto& plan : sim::letterPlans(letters[k], hw, hh))
+      b.stroke(plan);
+    // The trailing hold must outlast OnlineOptions::letter_gap_s so every
+    // letter closes inside its own replayed stream.
+    b.retract().hold(2.4);
+    const sim::Capture cap = scen.capture(b.build(), user);
+
+    LetterTemplate tpl;
+    tpl.letter = letters[k];
+    const double t0 = cap.stream.startTime();
+    tpl.duration_s = cap.stream.endTime() - t0;
+    const std::size_t num_chunks =
+        static_cast<std::size_t>(tpl.duration_s / kTickS) + 1;
+    tpl.chunks.resize(num_chunks);
+    for (const reader::TagReport& r : cap.stream.reports()) {
+      reader::TagReport shifted = r;
+      shifted.time_s = r.time_s - t0;
+      std::size_t c = static_cast<std::size_t>(shifted.time_s / kTickS);
+      c = std::min(c, num_chunks - 1);
+      tpl.chunks[c].push_back(shifted);
+    }
+    out.push_back(std::move(tpl));
+  }
+  return out;
+}
+
+/// Replay cursor of one session: which letter of its rotation it is on,
+/// which chunk of that letter, and its reader-clock splice offset.
+struct SessionCursor {
+  service::SessionId id = service::kNoSession;
+  std::size_t tpl = 0;          // current template index
+  std::size_t chunk = 0;        // next chunk within the template
+  int letters_left = 0;
+  double offset_s = 0.0;        // reader-clock offset of the current letter
+  double enqueue_wall_s = 0.0;  // wall time its latest chunk was enqueued
+  std::string letters;          // letters recognised, in emission order
+};
+
+struct RunResult {
+  std::int64_t samples = 0;
+  std::int64_t letters_written = 0;
+  std::uint64_t letters_emitted = 0;
+  std::uint64_t backpressure = 0;
+  double wall_s = 0.0;
+  double cpu_s = 0.0;
+  std::vector<double> latencies_s;
+  /// Per-session recognised-letter strings, in session attach order.
+  std::vector<std::string> letters_per_session;
+};
+
+core::OnlineOptions servingOptions(bench::Harness& harness) {
+  core::OnlineOptions online;
+  online.engine = bench::engineOptionsFor(harness.scenario());
+  online.process_interval_s = 0.30;
+  online.buffer_horizon_s = 4.0;
+  return online;
+}
+
+RunResult runServing(bench::Harness& harness,
+                     const std::vector<LetterTemplate>& templates,
+                     std::int64_t num_sessions, int letters_per_session,
+                     int threads) {
+  const core::OnlineOptions online = servingOptions(harness);
+
+  service::ServiceOptions svc;
+  svc.num_shards = kNumShards;
+  svc.threads = threads;
+  // The closed loop enqueues one chunk per resident session before each
+  // pump, so a shard's queue peaks at its session count.
+  svc.queue_capacity = std::max<std::size_t>(
+      256, 2 * static_cast<std::size_t>(num_sessions) / kNumShards + 8);
+  svc.policy = service::OverflowPolicy::kRejectNew;
+  service::SessionManager manager(svc);
+
+  std::vector<SessionCursor> cursors(
+      static_cast<std::size_t>(num_sessions));
+  std::vector<std::vector<std::size_t>> by_shard(
+      static_cast<std::size_t>(kNumShards));
+  for (std::size_t s = 0; s < cursors.size(); ++s) {
+    service::SessionConfig config;
+    config.profile = harness.profile();
+    config.online = online;
+    cursors[s].id = manager.attach(std::move(config));
+    cursors[s].tpl = s % templates.size();
+    cursors[s].letters_left = letters_per_session;
+    by_shard[manager.shardOf(cursors[s].id)].push_back(s);
+  }
+
+  // Per-shard accumulators, written only by the worker sweeping that shard.
+  std::vector<std::vector<double>> shard_latencies(
+      static_cast<std::size_t>(kNumShards));
+  std::vector<std::int64_t> shard_samples(
+      static_cast<std::size_t>(kNumShards), 0);
+  std::vector<std::uint64_t> shard_backpressure(
+      static_cast<std::size_t>(kNumShards), 0);
+
+  const double wall0 = bench::wallTimeS();
+  const double cpu0 = bench::cpuTimeS();
+  // The closed-loop generator IS the shard sweep: each worker drives its
+  // shard's sessions end to end (enqueue → pump → poll), so stroke→letter
+  // latency is measured against that shard's own enqueue instants and
+  // per-session state is single-writer by construction.
+  parallelFor(threads, static_cast<std::size_t>(kNumShards),
+              [&](std::size_t g) {
+    std::vector<reader::TagReport> chunk;
+    bool live = true;
+    while (live) {
+      live = false;
+      for (std::size_t s : by_shard[g]) {
+        SessionCursor& cur = cursors[s];
+        if (cur.letters_left <= 0) continue;
+        const LetterTemplate& tpl = templates[cur.tpl];
+        chunk.assign(tpl.chunks[cur.chunk].begin(),
+                     tpl.chunks[cur.chunk].end());
+        for (reader::TagReport& r : chunk) r.time_s += cur.offset_s;
+        shard_samples[g] += static_cast<std::int64_t>(chunk.size());
+        cur.enqueue_wall_s = bench::wallTimeS();
+        if (!manager.ingest(cur.id, std::move(chunk)))
+          ++shard_backpressure[g];
+        if (++cur.chunk >= tpl.chunks.size()) {
+          cur.chunk = 0;
+          cur.offset_s += tpl.duration_s + kLetterGapS;
+          cur.tpl = (cur.tpl + 1) % templates.size();
+          --cur.letters_left;
+        }
+        live = live || cur.letters_left > 0;
+      }
+      manager.pumpShard(g);
+      const double now = bench::wallTimeS();
+      for (std::size_t s : by_shard[g]) {
+        SessionCursor& cur = cursors[s];
+        for (const service::LetterEvent& ev : manager.poll(cur.id)) {
+          cur.letters.push_back(ev.letter);
+          shard_latencies[g].push_back(now - cur.enqueue_wall_s);
+        }
+      }
+    }
+    // End of stream: flush pending state (final letters carry no latency
+    // sample — there is no enqueue to measure against).
+    for (std::size_t s : by_shard[g]) {
+      for (const service::LetterEvent& ev : manager.detach(cursors[s].id))
+        cursors[s].letters.push_back(ev.letter);
+    }
+  });
+
+  RunResult result;
+  result.wall_s = bench::wallTimeS() - wall0;
+  result.cpu_s = bench::cpuTimeS() - cpu0;
+  result.letters_written =
+      num_sessions * static_cast<std::int64_t>(letters_per_session);
+  for (int g = 0; g < kNumShards; ++g) {
+    const auto ug = static_cast<std::size_t>(g);
+    result.samples += shard_samples[ug];
+    result.backpressure += shard_backpressure[ug];
+    result.latencies_s.insert(result.latencies_s.end(),
+                              shard_latencies[ug].begin(),
+                              shard_latencies[ug].end());
+  }
+  result.letters_per_session.reserve(cursors.size());
+  for (SessionCursor& cur : cursors) {
+    result.letters_emitted += cur.letters.size();
+    result.letters_per_session.push_back(std::move(cur.letters));
+  }
+  return result;
+}
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = std::min(
+      v.size() - 1, static_cast<std::size_t>(q * static_cast<double>(v.size())));
+  return v[i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv, 1);
+
+  bench::HarnessOptions opt;
+  opt.scenario.seed = 8100;
+  bench::Harness harness(opt);
+  const std::vector<LetterTemplate> templates = captureTemplates(harness);
+
+  std::vector<std::int64_t> scales;
+  if (args.sessions > 0) {
+    scales.push_back(args.sessions);
+  } else {
+    scales = {100, 1000, 10000};
+  }
+  auto lettersFor = [&](std::int64_t sessions) {
+    if (args.letters > 0) return args.letters;
+    if (sessions <= 100) return 4;
+    if (sessions <= 1000) return 2;
+    return 1;
+  };
+
+  // Warm the shared pool for every thread count this run will touch, then
+  // pin the construction counter: the serving loop itself must never build
+  // a pool.
+  parallelFor(args.threads, 2, [](std::size_t) {});
+  parallelFor(8, 2, [](std::size_t) {});
+  const std::uint64_t pools_before = ThreadPool::constructedCount();
+
+  // Determinism regression at the smallest scale: the per-session letter
+  // sequences must not depend on the pump thread count.
+  {
+    const std::int64_t det_sessions = std::min<std::int64_t>(scales.front(), 100);
+    const int det_letters = std::min(lettersFor(det_sessions), 2);
+    const RunResult a =
+        runServing(harness, templates, det_sessions, det_letters, 1);
+    const RunResult b =
+        runServing(harness, templates, det_sessions, det_letters, 8);
+    if (a.letters_per_session != b.letters_per_session) {
+      std::fprintf(stderr,
+                   "bench_sessions: FAIL determinism: per-session letters "
+                   "differ between --threads 1 and --threads 8\n");
+      return 1;
+    }
+    std::printf("determinism: %lld sessions x %d letters identical at "
+                "--threads 1 vs 8 (%llu letters)\n",
+                static_cast<long long>(det_sessions), det_letters,
+                static_cast<unsigned long long>(a.letters_emitted));
+  }
+
+  std::vector<bench::ThroughputRecord> records;
+  bool gate_failed = false;
+  for (std::int64_t sessions : scales) {
+    const int letters = lettersFor(sessions);
+    const RunResult r =
+        runServing(harness, templates, sessions, letters, args.threads);
+
+    bench::ThroughputRecord rec;
+    rec.bench = "bench_sessions";
+    rec.mode = "serving";
+    rec.threads = static_cast<int>(resolveThreadCount(args.threads));
+    rec.sessions = sessions;
+    rec.trials = r.letters_written;
+    rec.samples = r.samples;
+    rec.wall_s = r.wall_s;
+    rec.cpu_s = r.cpu_s;
+    rec.p50_latency_s = quantile(r.latencies_s, 0.50);
+    rec.p99_latency_s = quantile(r.latencies_s, 0.99);
+    bench::finaliseRates(rec);
+    records.push_back(rec);
+
+    std::printf(
+        "sessions %6lld | letters %5lld written, %5llu emitted | "
+        "%9lld samples in %.3fs -> %.0f samples/s (%.0f/s/thread) | "
+        "letter latency p50 %.4fs p99 %.4fs | backpressure %llu\n",
+        static_cast<long long>(sessions),
+        static_cast<long long>(r.letters_written),
+        static_cast<unsigned long long>(r.letters_emitted),
+        static_cast<long long>(r.samples), r.wall_s, rec.samples_per_s,
+        rec.samples_per_s_per_thread, rec.p50_latency_s, rec.p99_latency_s,
+        static_cast<unsigned long long>(r.backpressure));
+
+    if (args.floor_per_thread > 0.0 &&
+        rec.samples_per_s_per_thread < args.floor_per_thread) {
+      std::fprintf(stderr,
+                   "bench_sessions: FAIL throughput floor: %.0f "
+                   "samples/s/thread < required %.0f\n",
+                   rec.samples_per_s_per_thread, args.floor_per_thread);
+      gate_failed = true;
+    }
+  }
+
+  if (ThreadPool::constructedCount() != pools_before) {
+    std::fprintf(stderr,
+                 "bench_sessions: FAIL pool hygiene: serving constructed "
+                 "%llu transient thread pool(s)\n",
+                 static_cast<unsigned long long>(
+                     ThreadPool::constructedCount() - pools_before));
+    return 1;
+  }
+
+  if (!args.json_path.empty() &&
+      !bench::writeThroughputJson(args.json_path, records)) {
+    return 1;
+  }
+  return gate_failed ? 1 : 0;
+}

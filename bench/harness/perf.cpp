@@ -89,7 +89,7 @@ bool writeThroughputJson(const std::string& path,
                          const std::vector<ThroughputRecord>& records,
                          const std::vector<StageTime>& stages,
                          double baseline_wall_s) {
-  std::string out = "{\n  \"schema\": \"rfipad-bench-throughput-v2\",\n";
+  std::string out = "{\n  \"schema\": \"rfipad-bench-throughput-v3\",\n";
   if (baseline_wall_s > 0.0) {
     out += "  \"baseline_wall_s\": " + jsonNumber(baseline_wall_s) + ",\n";
   }
@@ -103,6 +103,8 @@ bool writeThroughputJson(const std::string& path,
     out += ", \"kernel\": ";
     appendJsonString(out, r.kernel);
     out += ", \"threads\": " + std::to_string(r.threads);
+    if (r.sessions > 0)
+      out += ", \"sessions\": " + std::to_string(r.sessions);
     out += ", \"trials\": " + std::to_string(r.trials);
     out += ", \"samples\": " + std::to_string(r.samples);
     out += ", \"wall_s\": " + jsonNumber(r.wall_s);
@@ -119,6 +121,10 @@ bool writeThroughputJson(const std::string& path,
       out += ", \"identical_to_1thread\": ";
       out += r.identical_to_1thread ? "true" : "false";
     }
+    if (r.p50_latency_s > 0.0)
+      out += ", \"p50_latency_s\": " + jsonNumber(r.p50_latency_s);
+    if (r.p99_latency_s > 0.0)
+      out += ", \"p99_latency_s\": " + jsonNumber(r.p99_latency_s);
     out += "}";
     if (i + 1 < records.size()) out += ",";
     out += "\n";
@@ -175,13 +181,20 @@ BenchArgs parseBenchArgs(int argc, char** argv, int default_reps) {
       args.json_path = value("--json");
     } else if (std::strcmp(a, "--baseline-wall") == 0) {
       args.baseline_wall_s = std::atof(value("--baseline-wall"));
+    } else if (std::strcmp(a, "--sessions") == 0) {
+      args.sessions = std::atoll(value("--sessions"));
+    } else if (std::strcmp(a, "--letters") == 0) {
+      args.letters = std::atoi(value("--letters"));
+    } else if (std::strcmp(a, "--floor-per-thread") == 0) {
+      args.floor_per_thread = std::atof(value("--floor-per-thread"));
     } else if (a[0] != '-' && !reps_seen) {
       args.reps = std::atoi(a);
       reps_seen = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [reps] [--threads N] [--json PATH] "
-                   "[--baseline-wall S]\n",
+                   "[--baseline-wall S] [--sessions N] [--letters N] "
+                   "[--floor-per-thread X]\n",
                    argv[0]);
       std::exit(2);
     }

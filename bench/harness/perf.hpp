@@ -55,6 +55,9 @@ struct ThroughputRecord {
                           ///< filled from the dispatcher by finaliseRates()
                           ///< when left empty
   int threads = 1;        ///< resolved worker-thread count
+  /// Concurrently-served sessions (the multi-session serving bench;
+  /// 0 = not a serving run, field omitted from the JSON).
+  std::int64_t sessions = 0;
   std::int64_t trials = 0;
   std::int64_t samples = 0;  ///< tag reports consumed across all trials
   double wall_s = 0.0;
@@ -72,6 +75,10 @@ struct ThroughputRecord {
   /// to the 1-thread batch outcomes.
   bool identical_to_1thread = false;
   bool identical_checked = false;
+  /// Stroke→letter response latency quantiles (serving bench; 0 = not
+  /// measured, fields omitted from the JSON).
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
 };
 
 /// Fill trials_per_s / samples_per_s from wall_s (no-op when wall_s <= 0).
@@ -91,12 +98,20 @@ bool writeThroughputJson(const std::string& path,
                          double baseline_wall_s = 0.0);
 
 /// Common bench CLI: `[reps] [--threads N] [--json PATH]
-/// [--baseline-wall S]`.  Unknown flags abort with a usage message.
+/// [--baseline-wall S] [--sessions N] [--letters N]
+/// [--floor-per-thread X]`.  Unknown flags abort with a usage message.
 struct BenchArgs {
   int reps = 0;
   int threads = 0;        ///< 0 = hardware concurrency
   std::string json_path;  ///< empty = don't write JSON
   double baseline_wall_s = 0.0;
+  /// Serving bench: concurrent session count (0 = bench default sweep).
+  std::int64_t sessions = 0;
+  /// Serving bench: letters written per session (0 = auto by scale).
+  int letters = 0;
+  /// Regression gate: minimum samples_per_s_per_thread; a bench that
+  /// measures below this exits non-zero (0 = no gate).
+  double floor_per_thread = 0.0;
 };
 
 BenchArgs parseBenchArgs(int argc, char** argv, int default_reps);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <map>
 #include <memory>
 
 #include "common/contracts.hpp"
@@ -10,6 +11,7 @@ namespace rfipad {
 
 namespace {
 thread_local bool tls_on_worker_thread = false;
+std::atomic<std::uint64_t> pools_constructed{0};
 }  // namespace
 
 unsigned resolveThreadCount(int threads) {
@@ -20,7 +22,12 @@ unsigned resolveThreadCount(int threads) {
 
 bool ThreadPool::onWorkerThread() { return tls_on_worker_thread; }
 
+std::uint64_t ThreadPool::constructedCount() {
+  return pools_constructed.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(int threads) {
+  pools_constructed.fetch_add(1, std::memory_order_relaxed);
   const unsigned n = resolveThreadCount(threads);
   RFIPAD_INVARIANT(n >= 1, "resolved thread count must be positive");
   workers_.reserve(n);
@@ -131,6 +138,27 @@ void ThreadPool::parallelFor(std::size_t n,
   if (error) std::rethrow_exception(error);
 }
 
+namespace {
+Mutex shared_pools_mutex;
+// One pool per distinct resolved worker count (a process requests a
+// handful at most, so the map stays tiny).  std::map keeps iteration /
+// teardown order deterministic.  Meyers singleton: constructed on first
+// use, torn down (joining workers) at process exit.
+std::map<unsigned, std::unique_ptr<ThreadPool>>& sharedPoolMap()
+    RFIPAD_REQUIRES(shared_pools_mutex) {
+  static std::map<unsigned, std::unique_ptr<ThreadPool>> pools;
+  return pools;
+}
+}  // namespace
+
+ThreadPool& sharedPool(int threads) {
+  const unsigned count = resolveThreadCount(threads);
+  MutexLock lock(shared_pools_mutex);
+  auto& slot = sharedPoolMap()[count];
+  if (!slot) slot = std::make_unique<ThreadPool>(static_cast<int>(count));
+  return *slot;
+}
+
 void parallelFor(int threads, std::size_t n,
                  const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
@@ -141,8 +169,7 @@ void parallelFor(int threads, std::size_t n,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  ThreadPool pool(static_cast<int>(count));
-  pool.parallelFor(n, body);
+  sharedPool(static_cast<int>(count)).parallelFor(n, body);
 }
 
 }  // namespace rfipad

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -37,6 +38,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Process-wide count of ThreadPool constructions.  Hot paths that must
+  /// not spin up transient pools (the session serving layer, repeated bench
+  /// sweeps) snapshot this before and after and assert it did not move.
+  static std::uint64_t constructedCount();
 
   /// True when the calling thread is a pool worker (of any pool).  Nested
   /// parallelFor calls detect this and run inline instead of deadlocking on
@@ -68,22 +74,37 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   Mutex mutex_;
+  /// Bounded in practice: parallelFor enqueues at most size() helper tasks
+  /// per sweep and blocks until they drain, so the queue depth never
+  /// exceeds size() × concurrent sweeps (each capped by its caller).
   std::deque<std::function<void()>> tasks_ RFIPAD_GUARDED_BY(mutex_);
   bool stopping_ RFIPAD_GUARDED_BY(mutex_) = false;
   CondVar cv_;
 };
 
-/// One-shot parallel sweep with a transient pool.  `threads` < 1 → hardware
-/// concurrency; 1 runs inline with no pool at all.
+/// Process-wide shared pool with resolveThreadCount(threads) workers,
+/// constructed on first use and reused for every later request of the same
+/// resolved count.  Safe to call (and to run sweeps on the returned pool)
+/// from several threads at once: concurrent parallelFor sweeps interleave
+/// on the same workers, and each caller blocks only on its own sweep.
+/// Pools live until process exit.
+ThreadPool& sharedPool(int threads = 0);
+
+/// One-shot parallel sweep through the shared pool.  `threads` < 1 →
+/// hardware concurrency; a resolved count of 1 (or a nested call from a
+/// pool worker) runs inline with no pool at all.  Repeated calls reuse the
+/// shared pool — no per-call pool construction or teardown.
 void parallelFor(int threads, std::size_t n,
                  const std::function<void(std::size_t)>& body);
 
-/// One-shot order-preserving parallel map.
+/// One-shot order-preserving parallel map through the shared pool.
 template <typename T, typename F>
 auto parallelMap(int threads, const std::vector<T>& items, const F& fn)
     -> std::vector<decltype(fn(items[0]))> {
-  ThreadPool pool(threads);
-  return pool.parallelMap(items, fn);
+  std::vector<decltype(fn(items[0]))> out(items.size());
+  parallelFor(threads, items.size(),
+              [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
 }
 
 }  // namespace rfipad

@@ -138,4 +138,26 @@ std::string formatOnlineStats(const OnlineStats& stats) {
   return os.str();
 }
 
+IngestQueueStats& IngestQueueStats::operator+=(const IngestQueueStats& o) {
+  enqueued += o.enqueued;
+  rejected_full += o.rejected_full;
+  dropped_oldest += o.dropped_oldest;
+  rejected_unknown_session += o.rejected_unknown_session;
+  chunks_processed += o.chunks_processed;
+  reports_processed += o.reports_processed;
+  high_watermark = std::max(high_watermark, o.high_watermark);
+  return *this;
+}
+
+std::string formatIngestQueueStats(const IngestQueueStats& stats) {
+  std::ostringstream os;
+  os << "enqueued " << stats.enqueued << " | processed "
+     << stats.chunks_processed << " chunks / " << stats.reports_processed
+     << " reports | backpressure " << stats.droppedTotal() << " (full "
+     << stats.rejected_full << ", evicted " << stats.dropped_oldest
+     << ", unknown-session " << stats.rejected_unknown_session << ") | hwm "
+     << stats.high_watermark;
+  return os.str();
+}
+
 }  // namespace rfipad::core

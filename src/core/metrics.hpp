@@ -46,6 +46,37 @@ struct OnlineStats {
 /// future 2) | duplicates 5 | reordered 1".
 std::string formatOnlineStats(const OnlineStats& stats);
 
+/// Backpressure counters for one bounded ingest queue of the session
+/// serving layer (service/shard.hpp).  Lives here, next to OnlineStats, so
+/// reporting and bench code can aggregate both without linking the service
+/// library.
+struct IngestQueueStats {
+  /// Chunks accepted into the queue.
+  std::uint64_t enqueued = 0;
+  /// Chunks refused because the queue was full (kRejectNew policy).
+  std::uint64_t rejected_full = 0;
+  /// Chunks evicted from the queue front to admit a newer one
+  /// (kDropOldest policy).
+  std::uint64_t dropped_oldest = 0;
+  /// Chunks refused because their session was not attached to the shard.
+  std::uint64_t rejected_unknown_session = 0;
+  /// Chunks drained and fed to their session's recogniser.
+  std::uint64_t chunks_processed = 0;
+  /// Reports fed (post fault-plan degradation).
+  std::uint64_t reports_processed = 0;
+  /// Deepest queue occupancy observed, in chunks.
+  std::uint64_t high_watermark = 0;
+
+  /// Chunks lost to backpressure (either policy).
+  std::uint64_t droppedTotal() const { return rejected_full + dropped_oldest; }
+
+  IngestQueueStats& operator+=(const IngestQueueStats& o);
+};
+
+/// One-line summary, e.g. "enqueued 5000 | processed 5000 chunks / 1.2e6
+/// reports | backpressure 0 (full 0, evicted 0) | hwm 12".
+std::string formatIngestQueueStats(const IngestQueueStats& stats);
+
 class ConfusionMatrix {
  public:
   /// `n` classes; predictions of −1 count as misses (detected nothing).

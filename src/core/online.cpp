@@ -8,23 +8,29 @@
 namespace rfipad::core {
 
 OnlineRecognizer::OnlineRecognizer(StaticProfile profile, OnlineOptions options)
-    : engine_(std::move(profile), options.engine), options_(options) {}
+    : engine_(std::move(profile), options.engine),
+      options_(options),
+      segmenter_(engine_.profile(), options.engine.segmenter) {}
 
 void OnlineRecognizer::push(const reader::TagReport& report) {
+  if (offer(report)) processDue(scratch_);
+}
+
+bool OnlineRecognizer::offer(const reader::TagReport& report) {
   if (!std::isfinite(report.time_s) || report.time_s < 0.0 ||
       !std::isfinite(report.phase_rad) || !std::isfinite(report.rssi_dbm)) {
     ++stats_.dropped_invalid;
-    return;
+    return false;
   }
   if (report.tag_index >= engine_.profile().numTags()) {
     ++stats_.dropped_unknown_tag;
-    return;
+    return false;
   }
   // Reports behind the consumed frontier arrived too late to influence an
   // already-emitted stroke; count and drop rather than re-open the window.
   if (report.time_s < consumed_until_) {
     ++stats_.dropped_late;
-    return;
+    return false;
   }
   // A finite but implausibly far-future timestamp (a bit-flipped wire
   // clock) must not drag the watermark forward — that would stall the
@@ -40,7 +46,7 @@ void OnlineRecognizer::push(const reader::TagReport& report) {
       future_pending_ = true;
       future_candidate_ = report.time_s;
       ++stats_.dropped_future;
-      return;
+      return false;
     }
     future_pending_ = false;  // corroborated: accept the jump below
   } else {
@@ -49,10 +55,10 @@ void OnlineRecognizer::push(const reader::TagReport& report) {
   switch (buffer_.push(report)) {
     case reader::PushOutcome::kDuplicate:
       ++stats_.duplicates;
-      return;
+      return false;
     case reader::PushOutcome::kInvalid:
       ++stats_.dropped_invalid;
-      return;
+      return false;
     case reader::PushOutcome::kReordered:
       ++stats_.reordered;
       ++stats_.accepted;
@@ -67,22 +73,33 @@ void OnlineRecognizer::push(const reader::TagReport& report) {
                    "recogniser watermark must never rewind");
   if (watermark_ - last_process_ >= options_.process_interval_s) {
     last_process_ = watermark_;
-    process(watermark_, /*flushing=*/false);
+    process_pending_ = true;
   }
+  return process_pending_;
 }
 
-void OnlineRecognizer::flush() {
+void OnlineRecognizer::processDue(SegmentScratch& scratch) {
+  if (!process_pending_) return;
+  process_pending_ = false;
+  process(watermark_, /*flushing=*/false, scratch);
+}
+
+void OnlineRecognizer::flush() { flushWith(scratch_); }
+
+void OnlineRecognizer::flushWith(SegmentScratch& scratch) {
+  process_pending_ = false;
   if (!buffer_.empty()) {
-    process(buffer_.endTime(), /*flushing=*/true);
+    process(buffer_.endTime(), /*flushing=*/true, scratch);
   }
   maybeEmitLetter(buffer_.empty() ? 0.0 : buffer_.endTime(), /*flushing=*/true);
 }
 
-void OnlineRecognizer::process(double now, bool flushing) {
+void OnlineRecognizer::process(double now, bool flushing,
+                               SegmentScratch& scratch) {
   if (buffer_.empty()) return;
 
-  const Segmenter segmenter(engine_.profile(), options_.engine.segmenter);
-  const auto intervals = segmenter.segment(buffer_);
+  const std::vector<Interval>& intervals =
+      segmenter_.segmentWith(buffer_, scratch);
   for (const Interval& iv : intervals) {
     // Buffer trimming can shift interval boundaries between rounds, so an
     // interval may straddle the consumed frontier; emit only its
@@ -115,10 +132,13 @@ void OnlineRecognizer::process(double now, bool flushing) {
 
   // Trim the buffer: everything consumed and beyond the horizon can go,
   // but always keep a half-window of context before unconsumed data.
+  // dropBefore() advances the stream's window in amortised O(1) instead of
+  // re-copying the survivors every round (the old slice-and-replace trim
+  // made each process() pass O(buffer) regardless of how little expired).
   const double keep_from =
       std::max(consumed_until_ - 0.5, now - options_.buffer_horizon_s);
   if (buffer_.startTime() < keep_from - 1.0) {
-    buffer_ = buffer_.slice(keep_from, buffer_.endTime() + 1.0);
+    buffer_.dropBefore(keep_from);
   }
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/segmenter.hpp"
 
 namespace rfipad::core {
 
@@ -48,10 +49,24 @@ class OnlineRecognizer {
   /// duplicates are dropped, and reports with non-finite/negative times,
   /// non-finite phase/RSSI or an out-of-range tag index are rejected with a
   /// counted drop (see stats()) instead of corrupting recognition state.
+  /// Equivalent to `if (offer(report)) processDue(<own scratch>)`.
   void push(const reader::TagReport& report);
+
+  /// Scratch-sharing split of push(): buffer the report (same hygiene and
+  /// watermark rules) but defer the re-segmentation pass.  Returns true
+  /// when a pass is due — the caller must then call processDue() with its
+  /// scratch to stay bit-identical to the push() path.  This is how the
+  /// session serving layer shares one SegmentScratch across every
+  /// co-resident session on a shard.
+  bool offer(const reader::TagReport& report);
+  /// Run the re-segmentation pass recorded by offer() (no-op when none is
+  /// pending), using the caller's scratch for every working buffer.
+  void processDue(SegmentScratch& scratch);
 
   /// End of input: finalise any pending stroke and letter.
   void flush();
+  /// flush() with a caller-provided scratch (serving-layer variant).
+  void flushWith(SegmentScratch& scratch);
 
   /// Strokes emitted so far (also delivered through the callback).
   const std::vector<StrokeEvent>& strokes() const { return emitted_; }
@@ -65,15 +80,24 @@ class OnlineRecognizer {
   const RecognitionEngine& engine() const { return engine_; }
 
  private:
-  void process(double now, bool flushing);
+  void process(double now, bool flushing, SegmentScratch& scratch);
   void maybeEmitLetter(double now, bool flushing);
 
   RecognitionEngine engine_;
   OnlineOptions options_;
+  /// Built once; segmentation state lives in the per-call scratch, so one
+  /// segmenter serves every re-segmentation round.
+  Segmenter segmenter_;
   StrokeCallback stroke_cb_;
   LetterCallback letter_cb_;
 
   reader::SampleStream buffer_;
+  /// Working set for the push()/flush() convenience path.  Sessions served
+  /// by a shard bypass this and share the shard's scratch instead.
+  SegmentScratch scratch_;
+  /// Set by offer() when a re-segmentation pass is due; cleared by
+  /// processDue().
+  bool process_pending_ = false;
   OnlineStats stats_;
   /// Sentinel threshold: clocks below this are "not yet initialised".
   static constexpr double kClockUnset = -1e17;

@@ -20,7 +20,20 @@ Segmenter::Segmenter(StaticProfile profile, SegmenterOptions options)
 }
 
 SegmentationTrace Segmenter::trace(const reader::SampleStream& stream) const {
-  SegmentationTrace tr;
+  SegmentScratch scratch;
+  traceInto(stream, scratch);
+  return std::move(scratch.trace);
+}
+
+const SegmentationTrace& Segmenter::traceInto(const reader::SampleStream& stream,
+                                              SegmentScratch& scratch) const {
+  SegmentationTrace& tr = scratch.trace;
+  tr.frame_times.clear();
+  tr.frame_rms.clear();
+  tr.window_times.clear();
+  tr.window_std.clear();
+  tr.window_peak.clear();
+  tr.threshold_used = 0.0;
   if (stream.empty()) return tr;
 
   const double t0 = stream.startTime();
@@ -38,10 +51,14 @@ SegmentationTrace Segmenter::trace(const reader::SampleStream& stream) const {
   // time-sorted and the frame index is monotone in time, every (tag, frame)
   // bucket — and every (tag, window) pool — is a contiguous sub-slice of
   // `theta`, so the old per-frame vector-of-vectors and per-window pooled
-  // copies disappear entirely.
-  const reader::FlatSeries fs = stream.flatSeries();
+  // copies disappear entirely.  All planes live in the caller's scratch and
+  // are fully rewritten here, so repeat calls perform no steady-state
+  // allocation and stay bit-identical to the allocate-fresh path.
+  stream.flatSeriesInto(scratch.fs);
+  const reader::FlatSeries& fs = scratch.fs;
   const std::size_t num_tags = fs.num_tags;
-  std::vector<double> theta(fs.phases.size());
+  std::vector<double>& theta = scratch.theta;
+  theta.resize(fs.phases.size());
   for (std::size_t i = 0; i < num_tags; ++i) {
     const std::size_t o0 = fs.offsets[i];
     const std::size_t cnt = fs.offsets[i + 1] - o0;
@@ -57,7 +74,8 @@ SegmentationTrace Segmenter::trace(const reader::SampleStream& stream) const {
   // theta[starts[f]..starts[f+1]) and its window [f, f+w) pool is
   // theta[starts[f]..starts[f+w]).
   const std::size_t F = static_cast<std::size_t>(num_frames);
-  std::vector<std::size_t> starts(num_tags * (F + 1));
+  std::vector<std::size_t>& starts = scratch.starts;
+  starts.resize(num_tags * (F + 1));
   for (std::size_t i = 0; i < num_tags; ++i) {
     std::size_t* row = starts.data() + i * (F + 1);
     std::size_t j = fs.offsets[i];
@@ -125,8 +143,17 @@ double Segmenter::resolveThreshold(const std::vector<double>& window_stds) const
 }
 
 std::vector<Interval> Segmenter::segment(const reader::SampleStream& stream) const {
-  std::vector<Interval> intervals;
-  const SegmentationTrace tr = trace(stream);
+  SegmentScratch scratch;
+  return segmentWith(stream, scratch);
+}
+
+const std::vector<Interval>& Segmenter::segmentWith(
+    const reader::SampleStream& stream, SegmentScratch& scratch) const {
+  std::vector<Interval>& intervals = scratch.intervals;
+  std::vector<Interval>& merged = scratch.merged;
+  intervals.clear();
+  merged.clear();
+  const SegmentationTrace& tr = traceInto(stream, scratch);
   if (tr.window_std.empty()) return intervals;
   const double thr = tr.threshold_used;
   const double half_window = options_.window_frames * options_.frame_s / 2.0;
@@ -163,7 +190,6 @@ std::vector<Interval> Segmenter::segment(const reader::SampleStream& stream) con
     }
     return false;
   };
-  std::vector<Interval> merged;
   for (const Interval& iv : intervals) {
     const bool near = !merged.empty() &&
                       iv.t0 - merged.back().t1 < options_.merge_gap_s;
@@ -179,9 +205,11 @@ std::vector<Interval> Segmenter::segment(const reader::SampleStream& stream) con
   // Spatial-peakiness refinement: keep the span where at least one tag
   // shows strong motion energy (hand at writing height).  An interval with
   // *no* such window is a far-hand transition (approach/retract with the
-  // arm raised), not a stroke — drop it entirely.
+  // arm raised), not a stroke — drop it entirely.  The pre-merge list is
+  // dead at this point, so it doubles as the kept-interval buffer.
   if (options_.peak_threshold > 0.0) {
-    std::vector<Interval> kept;
+    std::vector<Interval>& kept = intervals;
+    kept.clear();
     for (const Interval& iv : merged) {
       double core0 = iv.t1, core1 = iv.t0;
       for (std::size_t i = 0; i < tr.window_peak.size(); ++i) {
@@ -195,7 +223,7 @@ std::vector<Interval> Segmenter::segment(const reader::SampleStream& stream) con
         kept.push_back({std::max(core0, iv.t0 - half_window),
                         std::min(core1, iv.t1 + half_window)});
     }
-    merged = std::move(kept);
+    std::swap(merged, kept);
   }
 
   // Core refinement: shrink each interval to the span where window std
@@ -227,12 +255,13 @@ std::vector<Interval> Segmenter::segment(const reader::SampleStream& stream) con
                      "segment intervals must stay disjoint after clamping");
   }
 
-  // Length gate.
-  std::vector<Interval> out;
-  for (const Interval& iv : merged) {
-    if (iv.duration() >= options_.min_stroke_s) out.push_back(iv);
-  }
-  return out;
+  // Length gate, in place (erase-remove keeps the buffer's capacity).
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [&](const Interval& iv) {
+                                return iv.duration() < options_.min_stroke_s;
+                              }),
+               merged.end());
+  return merged;
 }
 
 }  // namespace rfipad::core

@@ -66,15 +66,38 @@ struct SegmentationTrace {
   double threshold_used = 0.0;
 };
 
+/// Reusable working set for traceInto()/segmentWith(): the SoA series, the
+/// calibrated-phase plane, the per-tag frame boundaries and the trace
+/// itself.  Every field is fully rewritten per call, so one scratch can be
+/// shared across repeated re-segmentation rounds — and across co-resident
+/// serving sessions on one shard — with zero steady-state allocation and
+/// bit-identical results (no state leaks between calls).
+struct SegmentScratch {
+  reader::FlatSeries fs;
+  std::vector<double> theta;
+  std::vector<std::size_t> starts;
+  SegmentationTrace trace;
+  std::vector<Interval> intervals;
+  std::vector<Interval> merged;
+};
+
 class Segmenter {
  public:
   Segmenter(StaticProfile profile, SegmenterOptions options = {});
 
   /// Detected stroke intervals over the stream, in time order.
   std::vector<Interval> segment(const reader::SampleStream& stream) const;
+  /// Scratch-reusing variant: identical output to segment(), but all
+  /// working buffers (and the returned interval storage) live in `scratch`.
+  /// The returned span is valid until the scratch's next use.
+  const std::vector<Interval>& segmentWith(const reader::SampleStream& stream,
+                                           SegmentScratch& scratch) const;
 
   /// Full trace (frame RMS + window std) for inspection.
   SegmentationTrace trace(const reader::SampleStream& stream) const;
+  /// Scratch-reusing variant of trace(); fills and returns scratch.trace.
+  const SegmentationTrace& traceInto(const reader::SampleStream& stream,
+                                     SegmentScratch& scratch) const;
 
   const SegmenterOptions& options() const { return options_; }
   const StaticProfile& profile() const { return profile_; }

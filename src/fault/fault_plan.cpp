@@ -139,7 +139,7 @@ std::vector<TimeWindow> FaultPlan::outageWindows(double t0, double t1,
 }
 
 std::vector<reader::TagReport> FaultPlan::applyToReports(
-    const std::vector<reader::TagReport>& reports, std::uint32_t numTags,
+    std::span<const reader::TagReport> reports, std::uint32_t numTags,
     std::uint64_t salt, FaultStats* stats) const {
   // The determinism contract (degraded output is a pure function of
   // plan/input/salt) presumes a well-formed plan; out-of-range
@@ -163,7 +163,7 @@ std::vector<reader::TagReport> FaultPlan::applyToReports(
   out.reserve(reports.size());
 
   if (!anyStreamFaults()) {
-    out = reports;
+    out.assign(reports.begin(), reports.end());
     local.output_reports = out.size();
     if (stats) stats->merge(local);
     return out;

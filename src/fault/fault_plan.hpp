@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "llrp/bridge.hpp"
@@ -165,9 +166,10 @@ class FaultPlan {
 
   /// Degrade a report sequence, preserving delivery order effects
   /// (duplicates stay adjacent, reorders swap neighbours).  This is the
-  /// feed for streaming consumers (OnlineRecognizer::push).
+  /// feed for streaming consumers (OnlineRecognizer::push) and the
+  /// per-chunk degradation hook of the session serving layer.
   std::vector<reader::TagReport> applyToReports(
-      const std::vector<reader::TagReport>& reports, std::uint32_t numTags,
+      std::span<const reader::TagReport> reports, std::uint32_t numTags,
       std::uint64_t salt = 0, FaultStats* stats = nullptr) const;
 
   /// Degrade a stream.  When frame faults are configured the degraded

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "common/angles.hpp"
@@ -25,10 +26,10 @@ PushOutcome SampleStream::push(TagReport report) {
     return PushOutcome::kInvalid;
   }
   if (report.tag_index >= num_tags_) num_tags_ = report.tag_index + 1;
-  if (reports_.empty() || report.time_s >= reports_.back().time_s) {
+  if (empty() || report.time_s >= reports_.back().time_s) {
     // Fast path: in time order.  An exact re-delivery of the newest report
     // (duplication after a link hiccup) is dropped here.
-    if (!reports_.empty() && sameRead(report, reports_.back())) {
+    if (!empty() && sameRead(report, reports_.back())) {
       ++duplicate_count_;
       return PushOutcome::kDuplicate;
     }
@@ -37,10 +38,14 @@ PushOutcome SampleStream::push(TagReport report) {
   }
   // Out-of-order arrival: insert at its timestamp so the time-sorted
   // invariant (slice(), series extraction) survives transport disorder.
+  // The insertion never lands before the dropBefore() frontier: at worst
+  // it sits at the front of the live window.
+  const auto live_begin =
+      reports_.begin() + static_cast<std::ptrdiff_t>(front_);
   const auto it = std::upper_bound(
-      reports_.begin(), reports_.end(), report.time_s,
+      live_begin, reports_.end(), report.time_s,
       [](double t, const TagReport& r) { return t < r.time_s; });
-  for (auto back = it; back != reports_.begin();) {
+  for (auto back = it; back != live_begin;) {
     --back;
     if (back->time_s != report.time_s) break;
     if (sameRead(report, *back)) {
@@ -53,6 +58,30 @@ PushOutcome SampleStream::push(TagReport report) {
   return PushOutcome::kReordered;
 }
 
+void SampleStream::dropBefore(double t) {
+  RFIPAD_ASSERT(!std::isnan(t), "dropBefore bound must not be NaN");
+  const auto live_begin =
+      reports_.begin() + static_cast<std::ptrdiff_t>(front_);
+  const auto keep = std::lower_bound(
+      live_begin, reports_.end(), t,
+      [](const TagReport& r, double bound) { return r.time_s < bound; });
+  front_ = static_cast<std::size_t>(keep - reports_.begin());
+  if (front_ == reports_.size()) {
+    reports_.clear();
+    front_ = 0;
+    return;
+  }
+  // Compact only once the dead prefix dominates the storage: each erased
+  // report then pays for at most two elements moved, keeping the per-drop
+  // cost amortised O(1) while the high-water allocation stays bounded by
+  // 2× the live window.
+  if (front_ >= 64 && front_ * 2 >= reports_.size()) {
+    reports_.erase(reports_.begin(),
+                   reports_.begin() + static_cast<std::ptrdiff_t>(front_));
+    front_ = 0;
+  }
+}
+
 TagSeries SampleStream::seriesFor(std::uint32_t tagIndex) const {
   TagSeries s;
   s.tag_index = tagIndex;
@@ -60,7 +89,7 @@ TagSeries SampleStream::seriesFor(std::uint32_t tagIndex) const {
   s.times.reserve(n);
   s.phases.reserve(n);
   s.rssi.reserve(n);
-  for (const auto& r : reports_) {
+  for (const auto& r : reports()) {
     if (r.tag_index != tagIndex) continue;
     s.times.push_back(r.time_s);
     s.phases.push_back(r.phase_rad);
@@ -72,7 +101,7 @@ TagSeries SampleStream::seriesFor(std::uint32_t tagIndex) const {
 std::vector<TagSeries> SampleStream::allSeries() const {
   std::vector<TagSeries> all(num_tags_);
   std::vector<std::size_t> counts(num_tags_, 0);
-  for (const auto& r : reports_) {
+  for (const auto& r : reports()) {
     // push() maintains num_tags_ > every stored index; a violation here
     // means the stream was deserialised or spliced by hand incorrectly.
     RFIPAD_INVARIANT(r.tag_index < num_tags_,
@@ -85,7 +114,7 @@ std::vector<TagSeries> SampleStream::allSeries() const {
     all[i].phases.reserve(counts[i]);
     all[i].rssi.reserve(counts[i]);
   }
-  for (const auto& r : reports_) {
+  for (const auto& r : reports()) {
     auto& s = all[r.tag_index];
     s.times.push_back(r.time_s);
     s.phases.push_back(r.phase_rad);
@@ -96,38 +125,44 @@ std::vector<TagSeries> SampleStream::allSeries() const {
 
 FlatSeries SampleStream::flatSeries() const {
   FlatSeries fs;
-  fs.num_tags = num_tags_;
-  fs.offsets.assign(static_cast<std::size_t>(num_tags_) + 1, 0);
-  for (const auto& r : reports_) {
-    RFIPAD_INVARIANT(r.tag_index < num_tags_,
-                     "stored report index outside the declared tag count");
-    ++fs.offsets[r.tag_index + 1];
-  }
-  for (std::size_t i = 1; i <= num_tags_; ++i) fs.offsets[i] += fs.offsets[i - 1];
-  fs.times.resize(reports_.size());
-  fs.phases.resize(reports_.size());
-  fs.rssi.resize(reports_.size());
-  // Scatter pass: reports are time-sorted, so writing each at its tag's
-  // running cursor keeps time order within every tag slice.
-  std::vector<std::size_t> cursor(fs.offsets.begin(), fs.offsets.end() - 1);
-  for (const auto& r : reports_) {
-    const std::size_t k = cursor[r.tag_index]++;
-    fs.times[k] = r.time_s;
-    fs.phases[k] = r.phase_rad;
-    fs.rssi[k] = r.rssi_dbm;
-  }
+  flatSeriesInto(fs);
   return fs;
 }
 
+void SampleStream::flatSeriesInto(FlatSeries& out) const {
+  const std::span<const TagReport> live = reports();
+  out.num_tags = num_tags_;
+  out.offsets.assign(static_cast<std::size_t>(num_tags_) + 1, 0);
+  for (const auto& r : live) {
+    RFIPAD_INVARIANT(r.tag_index < num_tags_,
+                     "stored report index outside the declared tag count");
+    ++out.offsets[r.tag_index + 1];
+  }
+  for (std::size_t i = 1; i <= num_tags_; ++i) out.offsets[i] += out.offsets[i - 1];
+  out.times.resize(live.size());
+  out.phases.resize(live.size());
+  out.rssi.resize(live.size());
+  // Scatter pass: reports are time-sorted, so writing each at its tag's
+  // running cursor keeps time order within every tag slice.
+  out.scatter_cursor.assign(out.offsets.begin(), out.offsets.end() - 1);
+  for (const auto& r : live) {
+    const std::size_t k = out.scatter_cursor[r.tag_index]++;
+    out.times[k] = r.time_s;
+    out.phases[k] = r.phase_rad;
+    out.rssi[k] = r.rssi_dbm;
+  }
+}
+
 std::size_t SampleStream::countFor(std::uint32_t tagIndex) const {
+  const std::span<const TagReport> live = reports();
   return static_cast<std::size_t>(
-      std::count_if(reports_.begin(), reports_.end(),
+      std::count_if(live.begin(), live.end(),
                     [&](const TagReport& r) { return r.tag_index == tagIndex; }));
 }
 
 double SampleStream::readRateHz() const {
   const double d = durationS();
-  return d > 0.0 ? static_cast<double>(reports_.size()) / d : 0.0;
+  return d > 0.0 ? static_cast<double>(size()) / d : 0.0;
 }
 
 SampleStream SampleStream::slice(double t0, double t1) const {
@@ -137,11 +172,12 @@ SampleStream SampleStream::slice(double t0, double t1) const {
   // Reports are time-ordered (push() enforces it), so the window is a
   // contiguous range — binary-search the bounds instead of scanning and
   // re-pushing one report at a time.
+  const std::span<const TagReport> live = reports();
   const auto lo = std::lower_bound(
-      reports_.begin(), reports_.end(), t0,
+      live.begin(), live.end(), t0,
       [](const TagReport& r, double t) { return r.time_s < t; });
   const auto hi = std::lower_bound(
-      lo, reports_.end(), t1,
+      lo, live.end(), t1,
       [](const TagReport& r, double t) { return r.time_s < t; });
   SampleStream out(num_tags_);
   out.reports_.assign(lo, hi);
@@ -150,7 +186,7 @@ SampleStream SampleStream::slice(double t0, double t1) const {
 
 SampleStream SampleStream::filterChannel(double channel_mhz) const {
   SampleStream out(num_tags_);
-  for (const auto& r : reports_) {
+  for (const auto& r : reports()) {
     if (std::abs(r.channel_mhz - channel_mhz) < 1e-3) out.push(r);
   }
   return out;
@@ -158,7 +194,7 @@ SampleStream SampleStream::filterChannel(double channel_mhz) const {
 
 std::vector<double> SampleStream::channels() const {
   std::vector<double> out;
-  for (const auto& r : reports_) {
+  for (const auto& r : reports()) {
     bool seen = false;
     for (double c : out) {
       if (std::abs(c - r.channel_mhz) < 1e-3) seen = true;
@@ -170,7 +206,7 @@ std::vector<double> SampleStream::channels() const {
 }
 
 void SampleStream::append(const SampleStream& other) {
-  reports_.reserve(reports_.size() + other.size());
+  reserve(size() + other.size());
   for (const auto& r : other.reports()) push(r);
 }
 
@@ -184,7 +220,7 @@ SampleStream imputeGaps(const SampleStream& in, const GapImputeOptions& options,
   // Group report indices by tag — the counting-sort pass of flatSeries(),
   // but over indices so each gap's endpoint TagReports can be copied whole
   // (EPC, antenna, channel) into the synthetic reads.
-  const std::vector<TagReport>& reports = in.reports();
+  const std::span<const TagReport> reports = in.reports();
   const std::uint32_t num_tags = in.numTags();
   std::vector<std::size_t> offsets(static_cast<std::size_t>(num_tags) + 1, 0);
   for (const auto& r : reports) {

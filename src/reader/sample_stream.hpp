@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/mutex.hpp"
@@ -32,6 +33,9 @@ struct FlatSeries {
   std::vector<double> times;
   std::vector<double> phases;
   std::vector<double> rssi;
+  /// Counting-sort scatter cursor, kept here so flatSeriesInto() refills
+  /// reuse its capacity too (zero steady-state allocation).
+  std::vector<std::size_t> scatter_cursor;
 
   std::size_t countFor(std::uint32_t tag) const {
     return offsets[tag + 1] - offsets[tag];
@@ -63,7 +67,15 @@ class SampleStream {
   /// (re-delivery after a link hiccup) and non-finite timestamps are
   /// dropped and counted.
   PushOutcome push(TagReport report);
-  void reserve(std::size_t n) { reports_.reserve(n); }
+  void reserve(std::size_t n) { reports_.reserve(front_ + n); }
+
+  /// Advance the stream's window: logically discard every report with
+  /// time < t.  Amortised O(1) per discarded report — the front index
+  /// advances by binary search and the physical prefix is compacted only
+  /// once the discarded region reaches half the storage, so a streaming
+  /// consumer trimming against a horizon (OnlineRecognizer) never pays a
+  /// linear erase per tick.  Counters and numTags() are unaffected.
+  void dropBefore(double t);
 
   /// Reports accepted out of time order since construction.
   std::uint64_t reorderCount() const { return reorder_count_; }
@@ -72,16 +84,23 @@ class SampleStream {
   /// Reports dropped for a non-finite timestamp.
   std::uint64_t invalidCount() const { return invalid_count_; }
 
-  std::size_t size() const { return reports_.size(); }
-  bool empty() const { return reports_.empty(); }
-  const std::vector<TagReport>& reports() const { return reports_; }
-  const TagReport& operator[](std::size_t i) const { return reports_[i]; }
+  std::size_t size() const { return reports_.size() - front_; }
+  bool empty() const { return size() == 0; }
+  /// The live window (everything pushed and not dropBefore()-discarded),
+  /// in time order.  A view into the stream's storage: invalidated by any
+  /// mutation, like a vector reference would be.
+  std::span<const TagReport> reports() const {
+    return {reports_.data() + front_, size()};
+  }
+  const TagReport& operator[](std::size_t i) const {
+    return reports_[front_ + i];
+  }
 
   std::uint32_t numTags() const { return num_tags_; }
   void setNumTags(std::uint32_t n) { num_tags_ = n; }
 
-  double startTime() const { return reports_.empty() ? 0.0 : reports_.front().time_s; }
-  double endTime() const { return reports_.empty() ? 0.0 : reports_.back().time_s; }
+  double startTime() const { return empty() ? 0.0 : reports_[front_].time_s; }
+  double endTime() const { return empty() ? 0.0 : reports_.back().time_s; }
   double durationS() const { return endTime() - startTime(); }
 
   /// Reads belonging to one tag, in time order.
@@ -90,6 +109,11 @@ class SampleStream {
   std::vector<TagSeries> allSeries() const;
   /// All per-tag series as one flat SoA block (the hot-path variant).
   FlatSeries flatSeries() const;
+  /// In-place variant: refills `out`, reusing every plane's capacity, so a
+  /// scratch FlatSeries shared across re-segmentation rounds (and across
+  /// co-resident serving sessions) performs no steady-state allocation.
+  /// Bit-identical to flatSeries().
+  void flatSeriesInto(FlatSeries& out) const;
 
   std::size_t countFor(std::uint32_t tagIndex) const;
   /// Aggregate read rate over the capture, reads/second.
@@ -113,6 +137,9 @@ class SampleStream {
 
  private:
   std::vector<TagReport> reports_;
+  /// Index of the first live report: dropBefore() advances this instead of
+  /// erasing, so the storage is a deque-like window over a plain vector.
+  std::size_t front_ = 0;
   std::uint32_t num_tags_ = 0;
   std::uint64_t reorder_count_ = 0;
   std::uint64_t duplicate_count_ = 0;

@@ -210,6 +210,8 @@ class ChannelModel {
     StaticTagChannel value;
   };
   mutable Mutex memo_mutex_;
+  /// Bounded by the scenario's distinct tag endpoints (one entry per tag
+  /// position, ~array size) — lookups for a known key never insert.
   mutable std::deque<MemoEntry> static_memo_ RFIPAD_GUARDED_BY(memo_mutex_);
   mutable std::atomic<std::uint64_t> precompute_calls_{0};
 };

@@ -1,0 +1,129 @@
+#include "service/session_manager.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/parallel.hpp"
+
+namespace rfipad::service {
+
+SessionManager::SessionManager(ServiceOptions options) : options_(options) {
+  if (options.num_shards < 1)
+    throw std::invalid_argument("SessionManager: need at least one shard");
+  if (options.queue_capacity < 1)
+    throw std::invalid_argument("SessionManager: need queue capacity >= 1");
+  shards_.reserve(static_cast<std::size_t>(options.num_shards));
+  for (int i = 0; i < options.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        ShardOptions{options.queue_capacity, options.policy}));
+  }
+}
+
+SessionId SessionManager::attach(SessionConfig config) {
+  SessionId id = kNoSession;
+  {
+    MutexLock lock(id_mutex_);
+    id = next_id_++;
+  }
+  shardFor(id).attach(id, std::move(config));
+  return id;
+}
+
+std::vector<LetterEvent> SessionManager::detach(SessionId id, bool* found,
+                                                ServiceStats* final_stats) {
+  if (id == kNoSession) {
+    if (found) *found = false;
+    return {};
+  }
+  return shardFor(id).detach(id, found, final_stats);
+}
+
+bool SessionManager::configure(SessionId id, fault::FaultPlan plan,
+                               std::uint64_t salt) {
+  if (id == kNoSession) return false;
+  return shardFor(id).configure(id, std::move(plan), salt);
+}
+
+bool SessionManager::subscribe(SessionId id, bool enabled) {
+  if (id == kNoSession) return false;
+  return shardFor(id).subscribe(id, enabled);
+}
+
+bool SessionManager::ingest(SessionId id, std::vector<reader::TagReport> chunk) {
+  if (id == kNoSession) return false;
+  return shardFor(id).enqueue(id, std::move(chunk));
+}
+
+void SessionManager::pump() {
+  parallelFor(options_.threads, shards_.size(),
+              [&](std::size_t i) { shards_[i]->pump(); });
+}
+
+void SessionManager::pumpShard(std::size_t shard) {
+  RFIPAD_ASSERT(shard < shards_.size(), "shard index out of range");
+  shards_[shard]->pump();
+}
+
+std::vector<LetterEvent> SessionManager::poll(SessionId id) {
+  if (id == kNoSession) return {};
+  return shardFor(id).poll(id);
+}
+
+void SessionManager::flushAll() {
+  parallelFor(options_.threads, shards_.size(),
+              [&](std::size_t i) { shards_[i]->flushAll(); });
+}
+
+bool SessionManager::stats(SessionId session, ServiceStats& out) const {
+  out = ServiceStats{};
+  if (session != kNoSession) {
+    return shards_[static_cast<std::size_t>(session) % shards_.size()]->stats(
+        session, out);
+  }
+  for (const auto& shard : shards_) shard->stats(kNoSession, out);
+  return true;
+}
+
+std::size_t SessionManager::sessionCount() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->sessionCount();
+  return n;
+}
+
+CommandResult SessionManager::execute(Command command) {
+  CommandResult result;
+  if (auto* cmd = std::get_if<AttachCmd>(&command)) {
+    result.session = attach(std::move(cmd->config));
+    result.ok = true;
+    return result;
+  }
+  if (const auto* cmd = std::get_if<DetachCmd>(&command)) {
+    result.session = cmd->session;
+    bool found = false;
+    detach(cmd->session, &found, &result.stats);
+    result.ok = found;
+    if (!found) result.error = "unknown session";
+    return result;
+  }
+  if (const auto* cmd = std::get_if<ConfigureCmd>(&command)) {
+    result.session = cmd->session;
+    result.ok = configure(cmd->session, std::get<ConfigureCmd>(command).fault,
+                          cmd->fault_salt);
+    if (!result.ok) result.error = "unknown session";
+    return result;
+  }
+  if (const auto* cmd = std::get_if<SubscribeCmd>(&command)) {
+    result.session = cmd->session;
+    result.ok = subscribe(cmd->session, cmd->enabled);
+    if (!result.ok) result.error = "unknown session";
+    return result;
+  }
+  const auto& cmd = std::get<StatsCmd>(command);
+  result.session = cmd.session;
+  result.ok = stats(cmd.session, result.stats);
+  if (!result.ok) result.error = "unknown session";
+  return result;
+}
+
+}  // namespace rfipad::service

@@ -1,0 +1,88 @@
+// Sharded multi-session serving layer (DESIGN.md §10).
+//
+// A SessionManager serves N independent pads from one process: sessions
+// are assigned to a fixed set of shards by `id % num_shards`, producers
+// enqueue ingest chunks into the owning shard's bounded queue from any
+// thread, and pump() sweeps every shard across the process-wide shared
+// thread pool (common/parallel.hpp) — never constructing a transient pool
+// (guarded by ThreadPool::constructedCount() in tests and bench).
+//
+// Determinism: the shard count is a property of the service configuration,
+// NOT of the pump thread count, and each session's output depends only on
+// its own chunk sequence — so per-session letters are bit-identical at
+// --threads 1 and --threads 8 (absent backpressure drops, which are
+// counted, never silent).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/shard.hpp"
+
+namespace rfipad::service {
+
+struct ServiceOptions {
+  /// Shard count — fixed at construction, independent of pump threads.
+  int num_shards = 16;
+  /// Per-shard ingest queue capacity, in chunks.
+  std::size_t queue_capacity = 256;
+  OverflowPolicy policy = OverflowPolicy::kRejectNew;
+  /// Pump parallelism (resolveThreadCount semantics; < 1 → hardware).
+  int threads = 0;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(ServiceOptions options = {});
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Attach a pad; returns its session id (ids start at 1, monotonic).
+  SessionId attach(SessionConfig config);
+
+  /// Flush + remove a session, returning its final letter events.
+  std::vector<LetterEvent> detach(SessionId id, bool* found = nullptr,
+                                  ServiceStats* final_stats = nullptr);
+
+  bool configure(SessionId id, fault::FaultPlan plan, std::uint64_t salt);
+  bool subscribe(SessionId id, bool enabled);
+
+  /// Queue one chunk of reports for `id`.  Thread-safe, non-blocking;
+  /// returns false when backpressure refused the chunk.
+  bool ingest(SessionId id, std::vector<reader::TagReport> chunk);
+
+  /// Drain every shard's queue, sweeping shards over the shared pool.
+  void pump();
+  /// Drain one shard (the bench's closed-loop per-shard path).
+  void pumpShard(std::size_t shard);
+
+  /// Move out a session's pending letter events.
+  std::vector<LetterEvent> poll(SessionId id);
+
+  /// Flush every session (end of stream) without detaching any.
+  void flushAll();
+
+  /// Service-wide (kNoSession) or per-session aggregate counters.
+  bool stats(SessionId session, ServiceStats& out) const;
+
+  /// Typed command entry point: routes a Command to the methods above.
+  CommandResult execute(Command command);
+
+  std::size_t numShards() const { return shards_.size(); }
+  std::size_t shardOf(SessionId id) const {
+    return static_cast<std::size_t>(id) % shards_.size();
+  }
+  std::size_t sessionCount() const;
+
+ private:
+  Shard& shardFor(SessionId id) { return *shards_[shardOf(id)]; }
+
+  ServiceOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Mutex id_mutex_;
+  SessionId next_id_ RFIPAD_GUARDED_BY(id_mutex_) = 1;
+};
+
+}  // namespace rfipad::service

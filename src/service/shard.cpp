@@ -1,0 +1,157 @@
+#include "service/shard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rfipad::service {
+
+namespace {
+
+void accumulate(core::OnlineStats& into, const core::OnlineStats& from) {
+  into.accepted += from.accepted;
+  into.dropped_invalid += from.dropped_invalid;
+  into.dropped_late += from.dropped_late;
+  into.dropped_unknown_tag += from.dropped_unknown_tag;
+  into.duplicates += from.duplicates;
+  into.reordered += from.reordered;
+  into.dropped_future += from.dropped_future;
+}
+
+}  // namespace
+
+Shard::Shard(ShardOptions options) : options_(options) {}
+
+bool Shard::enqueue(SessionId session, std::vector<reader::TagReport> chunk) {
+  MutexLock lock(queue_mutex_);
+  if (queue_.size() >= options_.queue_capacity) {
+    if (options_.policy == OverflowPolicy::kRejectNew) {
+      ++queue_stats_.rejected_full;
+      return false;
+    }
+    queue_.pop_front();
+    ++queue_stats_.dropped_oldest;
+  }
+  queue_.push_back(IngestItem{session, std::move(chunk)});
+  ++queue_stats_.enqueued;
+  queue_stats_.high_watermark =
+      std::max<std::uint64_t>(queue_stats_.high_watermark, queue_.size());
+  return true;
+}
+
+void Shard::pump() {
+  MutexLock state(state_mutex_);
+  drain_.clear();
+  {
+    MutexLock q(queue_mutex_);
+    if (queue_.empty()) return;
+    drain_.reserve(queue_.size());
+    for (IngestItem& item : queue_) drain_.push_back(std::move(item));
+    queue_.clear();
+  }
+  std::uint64_t chunks = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t unknown = 0;
+  for (IngestItem& item : drain_) {
+    const auto it = sessions_.find(item.session);
+    if (it == sessions_.end()) {
+      ++unknown;
+      continue;
+    }
+    reports += it->second->feed(item.reports, scratch_);
+    ++chunks;
+  }
+  drain_.clear();
+  MutexLock q(queue_mutex_);
+  queue_stats_.chunks_processed += chunks;
+  queue_stats_.reports_processed += reports;
+  queue_stats_.rejected_unknown_session += unknown;
+}
+
+void Shard::attach(SessionId id, SessionConfig config) {
+  MutexLock state(state_mutex_);
+  sessions_.emplace(id, std::make_unique<Session>(id, std::move(config)));
+  ++attached_total_;
+}
+
+std::vector<LetterEvent> Shard::detach(SessionId id, bool* found,
+                                       ServiceStats* final_stats) {
+  MutexLock state(state_mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    if (found) *found = false;
+    return {};
+  }
+  if (found) *found = true;
+  Session& s = *it->second;
+  s.finish(scratch_);
+  if (final_stats) {
+    final_stats->online = s.onlineStats();
+    final_stats->letters_emitted = s.lettersEmitted();
+  }
+  accumulate(retired_online_, s.onlineStats());
+  retired_letters_ += s.lettersEmitted();
+  std::vector<LetterEvent> events = s.takeEvents();
+  sessions_.erase(it);
+  return events;
+}
+
+bool Shard::configure(SessionId id, fault::FaultPlan plan,
+                      std::uint64_t salt) {
+  MutexLock state(state_mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  it->second->setFault(std::move(plan), salt);
+  return true;
+}
+
+bool Shard::subscribe(SessionId id, bool enabled) {
+  MutexLock state(state_mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  it->second->setCollectEvents(enabled);
+  return true;
+}
+
+std::vector<LetterEvent> Shard::poll(SessionId id) {
+  MutexLock state(state_mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return {};
+  return it->second->takeEvents();
+}
+
+void Shard::flushAll() {
+  MutexLock state(state_mutex_);
+  for (auto& [id, session] : sessions_) session->finish(scratch_);
+}
+
+std::size_t Shard::sessionCount() const {
+  MutexLock state(state_mutex_);
+  return sessions_.size();
+}
+
+bool Shard::stats(SessionId session, ServiceStats& out) const {
+  {
+    MutexLock q(queue_mutex_);
+    out.queue += queue_stats_;
+  }
+  MutexLock state(state_mutex_);
+  if (session != kNoSession) {
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) return false;
+    accumulate(out.online, it->second->onlineStats());
+    out.letters_emitted += it->second->lettersEmitted();
+    out.sessions_active += 1;
+    return true;
+  }
+  out.sessions_active += sessions_.size();
+  out.sessions_attached += attached_total_;
+  accumulate(out.online, retired_online_);
+  out.letters_emitted += retired_letters_;
+  for (const auto& [id, s] : sessions_) {
+    accumulate(out.online, s->onlineStats());
+    out.letters_emitted += s->lettersEmitted();
+  }
+  return true;
+}
+
+}  // namespace rfipad::service

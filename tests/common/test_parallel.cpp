@@ -75,6 +75,32 @@ TEST(ParallelMap, PreservesOrder) {
   }
 }
 
+TEST(SharedPool, OneShotSweepsReuseOnePool) {
+  // Repeated one-shot parallelFor calls must route through the shared pool
+  // instead of constructing (and tearing down) a pool per call — the
+  // serving layer's pump() sits on this path.
+  std::atomic<int> sink{0};
+  parallelFor(3, 8, [&](std::size_t) { sink.fetch_add(1); });  // warm-up
+  const std::uint64_t before = ThreadPool::constructedCount();
+  for (int round = 0; round < 20; ++round) {
+    parallelFor(3, 8, [&](std::size_t) { sink.fetch_add(1); });
+  }
+  EXPECT_EQ(ThreadPool::constructedCount(), before);
+  EXPECT_EQ(sink.load(), 21 * 8);
+  // Same resolved count → the very same pool object.
+  EXPECT_EQ(&sharedPool(3), &sharedPool(3));
+}
+
+TEST(SharedPool, InlinePathsConstructNothing) {
+  const std::uint64_t before = ThreadPool::constructedCount();
+  std::atomic<int> sink{0};
+  // count <= 1 and single-element sweeps run inline with no pool at all.
+  parallelFor(1, 64, [&](std::size_t) { sink.fetch_add(1); });
+  parallelFor(8, 1, [&](std::size_t) { sink.fetch_add(1); });
+  EXPECT_EQ(ThreadPool::constructedCount(), before);
+  EXPECT_EQ(sink.load(), 65);
+}
+
 TEST(ThreadPoolTest, ReusableAcrossSweeps) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);

@@ -276,5 +276,49 @@ TEST(Online, CorroboratedClockJumpIsAccepted) {
   EXPECT_EQ(rec.stats().accepted, 19u);
 }
 
+TEST(Online, OfferProcessDueWithSharedScratchMatchesPush) {
+  // The split API (offer + processDue with an external scratch) is how the
+  // serving layer drives recognisers while sharing one scratch across the
+  // sessions of a shard.  It must reproduce push() exactly — including when
+  // two recognisers interleave on the same scratch.
+  Rig rig;
+  const auto cap = rig.write(sim::letterPlans('L', 0.12, 0.114));
+
+  OnlineRecognizer reference(rig.profile, rig.options);
+  OnlineRecognizer split_a(rig.profile, rig.options);
+  OnlineRecognizer split_b(rig.profile, rig.options);
+  std::string ref_letters, a_letters, b_letters;
+  reference.onLetter(
+      [&](char c, const std::vector<StrokeEvent>&) { ref_letters += c; });
+  split_a.onLetter(
+      [&](char c, const std::vector<StrokeEvent>&) { a_letters += c; });
+  split_b.onLetter(
+      [&](char c, const std::vector<StrokeEvent>&) { b_letters += c; });
+
+  SegmentScratch scratch;
+  for (const auto& r : cap.stream.reports()) {
+    reference.push(r);
+    if (split_a.offer(r)) split_a.processDue(scratch);
+    if (split_b.offer(r)) split_b.processDue(scratch);
+  }
+  reference.flush();
+  split_a.flushWith(scratch);
+  split_b.flushWith(scratch);
+
+  EXPECT_EQ(a_letters, ref_letters);
+  EXPECT_EQ(b_letters, ref_letters);
+  ASSERT_EQ(split_a.strokes().size(), reference.strokes().size());
+  for (std::size_t i = 0; i < reference.strokes().size(); ++i) {
+    EXPECT_DOUBLE_EQ(split_a.strokes()[i].interval.t0,
+                     reference.strokes()[i].interval.t0);
+    EXPECT_DOUBLE_EQ(split_a.strokes()[i].interval.t1,
+                     reference.strokes()[i].interval.t1);
+    EXPECT_EQ(split_a.strokes()[i].observation.stroke.kind,
+              reference.strokes()[i].observation.stroke.kind);
+  }
+  EXPECT_EQ(split_a.stats().accepted, reference.stats().accepted);
+  EXPECT_EQ(split_b.stats().accepted, reference.stats().accepted);
+}
+
 }  // namespace
 }  // namespace rfipad::core

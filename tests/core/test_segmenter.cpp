@@ -144,5 +144,34 @@ TEST(Segmenter, IntervalDurationHelper) {
   EXPECT_DOUBLE_EQ(iv.duration(), 1.25);
 }
 
+TEST(Segmenter, ScratchVariantsMatchConvenienceApi) {
+  // segmentWith()/traceInto() with one reused scratch must be bit-identical
+  // to segment()/trace(), including when the scratch hops between streams
+  // of different shapes (as it does across co-resident serving sessions).
+  const Segmenter seg(neutralProfile(), {});
+  const auto one = syntheticStream({{1.0, 1.8}}, 4.0);
+  const auto two = syntheticStream({{0.5, 1.2}, {2.2, 3.0}}, 5.0, 2);
+  const auto quiet = syntheticStream({}, 2.0, 3);
+
+  SegmentScratch scratch;
+  for (const auto* stream : {&one, &two, &quiet, &one}) {
+    const auto expected = seg.segment(*stream);
+    const auto& got = seg.segmentWith(*stream, scratch);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[i].t0, expected[i].t0);
+      EXPECT_DOUBLE_EQ(got[i].t1, expected[i].t1);
+    }
+    const auto expected_trace = seg.trace(*stream);
+    const auto& got_trace = seg.traceInto(*stream, scratch);
+    EXPECT_EQ(got_trace.frame_times, expected_trace.frame_times);
+    EXPECT_EQ(got_trace.frame_rms, expected_trace.frame_rms);
+    EXPECT_EQ(got_trace.window_times, expected_trace.window_times);
+    EXPECT_EQ(got_trace.window_std, expected_trace.window_std);
+    EXPECT_EQ(got_trace.window_peak, expected_trace.window_peak);
+    EXPECT_DOUBLE_EQ(got_trace.threshold_used, expected_trace.threshold_used);
+  }
+}
+
 }  // namespace
 }  // namespace rfipad::core

@@ -1,0 +1,19 @@
+// LINT-PATH: src/service/bad_unbounded_queue.cpp
+// LINT-EXPECT: no-unbounded-queue
+// A producer/consumer queue declared with no stated bound: under ingest
+// overload it grows until the process dies, and nothing in the declaration
+// tells a reviewer what should have limited it.
+#include <deque>
+#include <vector>
+
+struct Item {
+  std::vector<int> payload;
+};
+
+class Ingest {
+ public:
+  void push(Item item) { queue_.push_back(static_cast<Item&&>(item)); }
+
+ private:
+  std::deque<Item> queue_;
+};

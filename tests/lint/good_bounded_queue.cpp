@@ -1,0 +1,25 @@
+// LINT-PATH: src/service/good_bounded_queue.cpp
+// LINT-EXPECT: clean
+// The same queue with its bound documented next to the declaration — the
+// comment names both the limit and the mechanism enforcing it.
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+struct Item {
+  std::vector<int> payload;
+};
+
+class Ingest {
+ public:
+  bool push(Item item) {
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(static_cast<Item&&>(item));
+    return true;
+  }
+
+ private:
+  std::size_t capacity_ = 256;
+  // Bounded by capacity_: push() rejects once the depth reaches it.
+  std::deque<Item> queue_;
+};

@@ -82,7 +82,9 @@ TEST(ImputeGaps, BridgesBurstGap) {
     EXPECT_LE(r.phase_rad, 1.1);
     EXPECT_DOUBLE_EQ(r.doppler_hz, 0.0);
     EXPECT_DOUBLE_EQ(r.rssi_dbm, -40.0);
-    if (i > 0) EXPECT_LE(out[i - 1].time_s, r.time_s);
+    if (i > 0) {
+      EXPECT_LE(out[i - 1].time_s, r.time_s);
+    }
   }
   EXPECT_EQ(imputed, stats.reports_inserted);
 }

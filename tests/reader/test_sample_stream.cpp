@@ -146,5 +146,61 @@ TEST(SampleStream, EmptyStreamDefaults) {
   EXPECT_DOUBLE_EQ(s.readRateHz(), 0.0);
 }
 
+TEST(SampleStream, DropBeforeAdvancesWindow) {
+  SampleStream s(2);
+  for (int i = 0; i < 10; ++i) s.push(report(0, i * 0.1));
+  s.dropBefore(0.45);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s.startTime(), 0.5);
+  EXPECT_DOUBLE_EQ(s.endTime(), 0.9);
+  ASSERT_EQ(s.reports().size(), 5u);
+  EXPECT_DOUBLE_EQ(s.reports().front().time_s, 0.5);
+  // A report exactly at the bound survives (drop is "time < t").
+  s.dropBefore(0.7);
+  EXPECT_DOUBLE_EQ(s.startTime(), 0.7);
+  EXPECT_EQ(s.size(), 3u);
+  // Dropping everything resets to an empty (but usable) stream.
+  s.dropBefore(10.0);
+  EXPECT_TRUE(s.empty());
+  s.push(report(1, 11.0));
+  EXPECT_DOUBLE_EQ(s.startTime(), 11.0);
+  EXPECT_EQ(s.numTags(), 2u);
+}
+
+TEST(SampleStream, DropBeforeLeavesSeriesConsistent) {
+  SampleStream s(2);
+  for (int i = 0; i < 20; ++i)
+    s.push(report(static_cast<std::uint32_t>(i % 2), i * 0.1, 1.0 + i));
+  s.dropBefore(1.0);  // keep reports 10..19
+  EXPECT_EQ(s.countFor(0), 5u);
+  EXPECT_EQ(s.countFor(1), 5u);
+  const auto series = s.seriesFor(1);
+  ASSERT_EQ(series.times.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.times.front(), 1.1);
+  const auto flat = s.flatSeries();
+  EXPECT_EQ(flat.times.size(), s.size());
+  // Push after the drop: appends stay in order relative to the window.
+  s.push(report(0, 2.5));
+  EXPECT_DOUBLE_EQ(s.endTime(), 2.5);
+  EXPECT_EQ(s.reorderCount(), 0u);
+}
+
+TEST(SampleStream, ManyIncrementalDropsMatchOneBigDrop) {
+  // The compaction threshold must never change what the window contains:
+  // trimming in 50 small steps and in a single step give identical views.
+  SampleStream steps(1), once(1);
+  for (int i = 0; i < 500; ++i) {
+    steps.push(report(0, i * 0.01, 1.0 + i));
+    once.push(report(0, i * 0.01, 1.0 + i));
+  }
+  for (int k = 1; k <= 50; ++k) steps.dropBefore(k * 0.06);
+  once.dropBefore(50 * 0.06);
+  ASSERT_EQ(steps.size(), once.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(steps[i].time_s, once[i].time_s);
+    EXPECT_DOUBLE_EQ(steps[i].phase_rad, once[i].phase_rad);
+  }
+}
+
 }  // namespace
 }  // namespace rfipad::reader

@@ -38,6 +38,13 @@ broken RF-sensing reproductions:
                        The SoA kernels are allocation-free by design —
                        use a reused std::vector scratch, inline storage,
                        or pre-sized arena owned by the caller.
+  no-unbounded-queue   a std::deque/queue/priority_queue declaration with no
+                       stated bound.  Producer/consumer queues (ingest
+                       fan-in, task queues, memo tables) grow without limit
+                       under load unless something rejects or evicts; the
+                       declaration must carry a comment within the previous
+                       few lines saying "bounded"/"capacity" and naming the
+                       mechanism that enforces it.
 
 Audited exceptions live in ``tools/lint/lint_allowlist.txt`` (max
 %(max_allow)d entries — beyond that, fix the code instead).  Exit code 0
@@ -92,6 +99,12 @@ ENFORCEMENT_TOKENS = re.compile(
 )
 
 WRITE_CALLS = re.compile(r"\.(?:push_back|emplace_back|insert|emplace)\s*\(|\+=")
+
+# Queue-like container declarations must justify their bound nearby.
+QUEUE_DECL = re.compile(r"\bstd\s*::\s*(?:deque|queue|priority_queue)\s*<")
+BOUND_WORDS = re.compile(r"bounded|capacity", re.IGNORECASE)
+# How many raw lines above the declaration may hold the justification.
+QUEUE_COMMENT_WINDOW = 6
 
 
 class Finding:
@@ -260,6 +273,26 @@ def check_float_equality(relpath, code, findings):
                 "allowlist the audited exact-match"))
 
 
+def check_unbounded_queue(relpath, raw, code, findings):
+    """Every queue-like declaration needs a nearby "bounded ..."/
+    "capacity ..." comment naming what limits its depth.  Matching runs on
+    the stripped code (so strings and commented-out code don't trigger),
+    but the justification is searched in the raw text — it lives in
+    comments."""
+    raw_lines = raw.split("\n")
+    for m in QUEUE_DECL.finditer(code):
+        line = line_of(code, m.start())
+        lo = max(0, line - 1 - QUEUE_COMMENT_WINDOW)
+        context = "\n".join(raw_lines[lo:line])
+        if BOUND_WORDS.search(context):
+            continue
+        findings.append(Finding(
+            relpath, line, "no-unbounded-queue",
+            "queue-like container with no stated bound; document within "
+            f"{QUEUE_COMMENT_WINDOW} lines above what bounds its depth "
+            "(\"bounded by ...\" / \"capacity ...\") and enforce it"))
+
+
 def check_missing_assert(relpath, raw, code, sibling_texts, findings):
     """Header documents preconditions but nothing in the unit enforces any
     contract.  `sibling_texts` are the stripped texts of same-stem files."""
@@ -287,6 +320,7 @@ def lint_file(relpath, raw, sibling_raw=()):
     check_banned_constructs(relpath, code, findings)
     check_unordered_iteration(relpath, code, findings)
     check_float_equality(relpath, code, findings)
+    check_unbounded_queue(relpath, raw, code, findings)
     check_missing_assert(relpath, raw, code,
                          [strip_comments_and_strings(s) for s in sibling_raw],
                          findings)
