@@ -1,23 +1,32 @@
 // Multi-session serving bench: N independent pads served by one
-// SessionManager (service/session_manager.hpp).
+// SessionManager (service/session_manager.hpp) under the persistent pump
+// runtime (service/pump_runtime.hpp).
 //
 // A closed-loop generator replays pre-captured letter streams into every
-// session in tick-sized chunks: each shard's worker enqueues its resident
-// sessions' next chunks, pumps the shard, polls for letters, and records
-// the stroke→letter response latency (emission wall time − that session's
-// chunk enqueue wall time).  Pre-capturing the RF simulation keeps the
-// measured path the *serving* path — ingest queue, fault hook, shared
-// segmentation scratch, recognition — not the channel model.
+// session in tick-sized chunks: one producer per shard enqueues its
+// resident sessions' next chunks onto the lock-free ingest rings, waits
+// for the shard's pump worker to account for them (processedChunks), then
+// polls for letters and records the stroke→letter response latency
+// (emission wall time − that session's chunk enqueue wall time).
+// Pre-capturing the RF simulation keeps the measured path the *serving*
+// path — ring ingest, wake, pump worker, fault hook, shared segmentation
+// scratch, recognition — not the channel model.
 //
-// Emits schema-v3 throughput records (sessions, p50/p99 latency) and
-// enforces two gates:
-//   - --floor-per-thread X: minimum sustained samples/s/thread;
+// Emits schema-v4 throughput records (sessions, p50/p99 latency,
+// scaling_efficiency, host_cores) and enforces four gates:
+//   - --floor-per-thread X: minimum sustained samples/s/worker;
+//   - --min-efficiency X: minimum scaling_efficiency on every
+//     multi-worker record (vs the same-scale 1-worker record, normalised
+//     by min(workers, host cores) — see harness/perf.hpp);
 //   - a determinism regression at the smallest scale: per-session letter
-//     sequences must be bit-identical at --threads 1 and --threads 8.
+//     sequences must be bit-identical at 1, 4 and 8 pump workers;
+//   - runtime/pool hygiene: the serving loops must construct exactly one
+//     PumpRuntime per run and zero transient ThreadPools.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -94,9 +103,10 @@ struct RunResult {
   std::int64_t samples = 0;
   std::int64_t letters_written = 0;
   std::uint64_t letters_emitted = 0;
-  std::uint64_t backpressure = 0;
+  std::uint64_t backpressure_retries = 0;
   double wall_s = 0.0;
   double cpu_s = 0.0;
+  core::PumpStats pump;
   std::vector<double> latencies_s;
   /// Per-session recognised-letter strings, in session attach order.
   std::vector<std::string> letters_per_session;
@@ -113,14 +123,14 @@ core::OnlineOptions servingOptions(bench::Harness& harness) {
 RunResult runServing(bench::Harness& harness,
                      const std::vector<LetterTemplate>& templates,
                      std::int64_t num_sessions, int letters_per_session,
-                     int threads) {
+                     int pump_workers) {
   const core::OnlineOptions online = servingOptions(harness);
 
   service::ServiceOptions svc;
   svc.num_shards = kNumShards;
-  svc.threads = threads;
+  svc.threads = pump_workers;
   // The closed loop enqueues one chunk per resident session before each
-  // pump, so a shard's queue peaks at its session count.
+  // drain wait, so a shard's ring peaks at its session count.
   svc.queue_capacity = std::max<std::size_t>(
       256, 2 * static_cast<std::size_t>(num_sessions) / kNumShards + 8);
   svc.policy = service::OverflowPolicy::kRejectNew;
@@ -140,52 +150,75 @@ RunResult runServing(bench::Harness& harness,
     by_shard[manager.shardOf(cursors[s].id)].push_back(s);
   }
 
-  // Per-shard accumulators, written only by the worker sweeping that shard.
+  // Per-shard accumulators, written only by the producer of that shard.
   std::vector<std::vector<double>> shard_latencies(
       static_cast<std::size_t>(kNumShards));
   std::vector<std::int64_t> shard_samples(
       static_cast<std::size_t>(kNumShards), 0);
-  std::vector<std::uint64_t> shard_backpressure(
+  std::vector<std::uint64_t> shard_retries(
       static_cast<std::size_t>(kNumShards), 0);
 
   const double wall0 = bench::wallTimeS();
   const double cpu0 = bench::cpuTimeS();
-  // The closed-loop generator IS the shard sweep: each worker drives its
-  // shard's sessions end to end (enqueue → pump → poll), so stroke→letter
-  // latency is measured against that shard's own enqueue instants and
-  // per-session state is single-writer by construction.
-  parallelFor(threads, static_cast<std::size_t>(kNumShards),
+  manager.startPumping(pump_workers);
+  // Closed loop: one producer per shard streams its resident sessions —
+  // enqueue a round of chunks onto the lock-free ring (the pump workers
+  // drain asynchronously), wait until the shard's worker accounted for
+  // them, poll.  Producer parallelism matches the pump worker count so
+  // neither side is over- or under-provisioned relative to the sweep.
+  // Latency is measured per drain block, not per full round: charging a
+  // session the wall time of an entire 625-session enqueue round would
+  // report the generator's batching delay, not the serving path's
+  // response time.  kDrainBlock sessions per enqueue→barrier→poll cycle
+  // keeps the charge window a few chunk-services wide at every scale.
+  constexpr std::size_t kDrainBlock = 32;
+  parallelFor(pump_workers, static_cast<std::size_t>(kNumShards),
               [&](std::size_t g) {
     std::vector<reader::TagReport> chunk;
+    std::uint64_t target = 0;
     bool live = true;
     while (live) {
       live = false;
-      for (std::size_t s : by_shard[g]) {
-        SessionCursor& cur = cursors[s];
-        if (cur.letters_left <= 0) continue;
-        const LetterTemplate& tpl = templates[cur.tpl];
-        chunk.assign(tpl.chunks[cur.chunk].begin(),
-                     tpl.chunks[cur.chunk].end());
-        for (reader::TagReport& r : chunk) r.time_s += cur.offset_s;
-        shard_samples[g] += static_cast<std::int64_t>(chunk.size());
-        cur.enqueue_wall_s = bench::wallTimeS();
-        if (!manager.ingest(cur.id, std::move(chunk)))
-          ++shard_backpressure[g];
-        if (++cur.chunk >= tpl.chunks.size()) {
-          cur.chunk = 0;
-          cur.offset_s += tpl.duration_s + kLetterGapS;
-          cur.tpl = (cur.tpl + 1) % templates.size();
-          --cur.letters_left;
+      for (std::size_t b0 = 0; b0 < by_shard[g].size(); b0 += kDrainBlock) {
+        const std::size_t b1 =
+            std::min(b0 + kDrainBlock, by_shard[g].size());
+        for (std::size_t i = b0; i < b1; ++i) {
+          SessionCursor& cur = cursors[by_shard[g][i]];
+          if (cur.letters_left <= 0) continue;
+          const LetterTemplate& tpl = templates[cur.tpl];
+          shard_samples[g] +=
+              static_cast<std::int64_t>(tpl.chunks[cur.chunk].size());
+          // Retry on backpressure, rebuilding the chunk each attempt (a
+          // rejected ingest consumed the moved-in vector): no chunk is
+          // ever lost, so letters stay bit-identical at any worker count.
+          for (;;) {
+            chunk.assign(tpl.chunks[cur.chunk].begin(),
+                         tpl.chunks[cur.chunk].end());
+            for (reader::TagReport& r : chunk) r.time_s += cur.offset_s;
+            cur.enqueue_wall_s = bench::wallTimeS();
+            if (manager.ingest(cur.id, std::move(chunk))) break;
+            ++shard_retries[g];
+            std::this_thread::yield();
+          }
+          ++target;
+          if (++cur.chunk >= tpl.chunks.size()) {
+            cur.chunk = 0;
+            cur.offset_s += tpl.duration_s + kLetterGapS;
+            cur.tpl = (cur.tpl + 1) % templates.size();
+            --cur.letters_left;
+          }
+          live = live || cur.letters_left > 0;
         }
-        live = live || cur.letters_left > 0;
-      }
-      manager.pumpShard(g);
-      const double now = bench::wallTimeS();
-      for (std::size_t s : by_shard[g]) {
-        SessionCursor& cur = cursors[s];
-        for (const service::LetterEvent& ev : manager.poll(cur.id)) {
-          cur.letters.push_back(ev.letter);
-          shard_latencies[g].push_back(now - cur.enqueue_wall_s);
+        // Drain barrier: every chunk this producer admitted has been fed
+        // (or counted) once processedChunks catches up.
+        while (manager.processedChunks(g) < target) std::this_thread::yield();
+        const double now = bench::wallTimeS();
+        for (std::size_t i = b0; i < b1; ++i) {
+          SessionCursor& cur = cursors[by_shard[g][i]];
+          for (const service::LetterEvent& ev : manager.poll(cur.id)) {
+            cur.letters.push_back(ev.letter);
+            shard_latencies[g].push_back(now - cur.enqueue_wall_s);
+          }
         }
       }
     }
@@ -198,6 +231,8 @@ RunResult runServing(bench::Harness& harness,
   });
 
   RunResult result;
+  result.pump = manager.pumpStats();
+  manager.stopPumping();
   result.wall_s = bench::wallTimeS() - wall0;
   result.cpu_s = bench::cpuTimeS() - cpu0;
   result.letters_written =
@@ -205,7 +240,7 @@ RunResult runServing(bench::Harness& harness,
   for (int g = 0; g < kNumShards; ++g) {
     const auto ug = static_cast<std::size_t>(g);
     result.samples += shard_samples[ug];
-    result.backpressure += shard_backpressure[ug];
+    result.backpressure_retries += shard_retries[ug];
     result.latencies_s.insert(result.latencies_s.end(),
                               shard_latencies[ug].begin(),
                               shard_latencies[ug].end());
@@ -230,6 +265,7 @@ double quantile(std::vector<double> v, double q) {
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parseBenchArgs(argc, argv, 1);
+  const int host_cores = static_cast<int>(resolveThreadCount(0));
 
   bench::HarnessOptions opt;
   opt.scenario.seed = 8100;
@@ -248,31 +284,44 @@ int main(int argc, char** argv) {
     if (sessions <= 1000) return 2;
     return 1;
   };
+  std::vector<int> worker_counts = args.scaling;
+  if (worker_counts.empty())
+    worker_counts.push_back(
+        static_cast<int>(resolveThreadCount(args.threads)));
 
-  // Warm the shared pool for every thread count this run will touch, then
-  // pin the construction counter: the serving loop itself must never build
-  // a pool.
-  parallelFor(args.threads, 2, [](std::size_t) {});
+  // Warm the shared pool for every producer parallelism this run will
+  // touch, then pin the construction counters: the serving loops must
+  // never build a transient pool, and must build exactly one PumpRuntime
+  // per serving run.
+  for (const int w : worker_counts) parallelFor(w, 2, [](std::size_t) {});
+  parallelFor(4, 2, [](std::size_t) {});
   parallelFor(8, 2, [](std::size_t) {});
   const std::uint64_t pools_before = ThreadPool::constructedCount();
+  const std::uint64_t runtimes_before = service::PumpRuntime::constructedCount();
+  std::uint64_t serving_runs = 0;
 
   // Determinism regression at the smallest scale: the per-session letter
-  // sequences must not depend on the pump thread count.
+  // sequences must not depend on the pump worker count.
   {
     const std::int64_t det_sessions = std::min<std::int64_t>(scales.front(), 100);
     const int det_letters = std::min(lettersFor(det_sessions), 2);
     const RunResult a =
         runServing(harness, templates, det_sessions, det_letters, 1);
-    const RunResult b =
-        runServing(harness, templates, det_sessions, det_letters, 8);
-    if (a.letters_per_session != b.letters_per_session) {
-      std::fprintf(stderr,
-                   "bench_sessions: FAIL determinism: per-session letters "
-                   "differ between --threads 1 and --threads 8\n");
-      return 1;
+    ++serving_runs;
+    for (const int workers : {4, 8}) {
+      const RunResult b =
+          runServing(harness, templates, det_sessions, det_letters, workers);
+      ++serving_runs;
+      if (a.letters_per_session != b.letters_per_session) {
+        std::fprintf(stderr,
+                     "bench_sessions: FAIL determinism: per-session letters "
+                     "differ between 1 and %d pump workers\n",
+                     workers);
+        return 1;
+      }
     }
     std::printf("determinism: %lld sessions x %d letters identical at "
-                "--threads 1 vs 8 (%llu letters)\n",
+                "1 vs 4 vs 8 pump workers (%llu letters)\n",
                 static_cast<long long>(det_sessions), det_letters,
                 static_cast<unsigned long long>(a.letters_emitted));
   }
@@ -281,41 +330,67 @@ int main(int argc, char** argv) {
   bool gate_failed = false;
   for (std::int64_t sessions : scales) {
     const int letters = lettersFor(sessions);
-    const RunResult r =
-        runServing(harness, templates, sessions, letters, args.threads);
+    double one_worker_rate = 0.0;
+    for (const int workers : worker_counts) {
+      const RunResult r =
+          runServing(harness, templates, sessions, letters, workers);
+      ++serving_runs;
 
-    bench::ThroughputRecord rec;
-    rec.bench = "bench_sessions";
-    rec.mode = "serving";
-    rec.threads = static_cast<int>(resolveThreadCount(args.threads));
-    rec.sessions = sessions;
-    rec.trials = r.letters_written;
-    rec.samples = r.samples;
-    rec.wall_s = r.wall_s;
-    rec.cpu_s = r.cpu_s;
-    rec.p50_latency_s = quantile(r.latencies_s, 0.50);
-    rec.p99_latency_s = quantile(r.latencies_s, 0.99);
-    bench::finaliseRates(rec);
-    records.push_back(rec);
+      bench::ThroughputRecord rec;
+      rec.bench = "bench_sessions";
+      rec.mode = "serving";
+      rec.threads = workers;
+      rec.sessions = sessions;
+      rec.trials = r.letters_written;
+      rec.samples = r.samples;
+      rec.wall_s = r.wall_s;
+      rec.cpu_s = r.cpu_s;
+      rec.host_cores = host_cores;
+      rec.p50_latency_s = quantile(r.latencies_s, 0.50);
+      rec.p99_latency_s = quantile(r.latencies_s, 0.99);
+      bench::finaliseRates(rec);
+      if (workers == 1) one_worker_rate = rec.samples_per_s;
+      if (workers > 1 && one_worker_rate > 0.0) {
+        // Normalise by the parallelism the host can actually supply: on a
+        // machine with >= `workers` cores this is classic scaling
+        // efficiency; with fewer cores it measures oversubscription
+        // overhead (1.0 = none) — host_cores in the record says which.
+        const double effective = std::min(workers, std::max(1, host_cores));
+        rec.scaling_efficiency =
+            (rec.samples_per_s / one_worker_rate) / effective;
+      }
+      records.push_back(rec);
 
-    std::printf(
-        "sessions %6lld | letters %5lld written, %5llu emitted | "
-        "%9lld samples in %.3fs -> %.0f samples/s (%.0f/s/thread) | "
-        "letter latency p50 %.4fs p99 %.4fs | backpressure %llu\n",
-        static_cast<long long>(sessions),
-        static_cast<long long>(r.letters_written),
-        static_cast<unsigned long long>(r.letters_emitted),
-        static_cast<long long>(r.samples), r.wall_s, rec.samples_per_s,
-        rec.samples_per_s_per_thread, rec.p50_latency_s, rec.p99_latency_s,
-        static_cast<unsigned long long>(r.backpressure));
+      std::printf(
+          "sessions %6lld x workers %d | letters %5lld written, %5llu "
+          "emitted | %9lld samples in %.3fs -> %.0f samples/s "
+          "(%.0f/s/worker) | latency p50 %.4fs p99 %.4fs | retries %llu | "
+          "eff %.2f | pump: %s\n",
+          static_cast<long long>(sessions), workers,
+          static_cast<long long>(r.letters_written),
+          static_cast<unsigned long long>(r.letters_emitted),
+          static_cast<long long>(r.samples), r.wall_s, rec.samples_per_s,
+          rec.samples_per_s_per_thread, rec.p50_latency_s, rec.p99_latency_s,
+          static_cast<unsigned long long>(r.backpressure_retries),
+          rec.scaling_efficiency, core::formatPumpStats(r.pump).c_str());
 
-    if (args.floor_per_thread > 0.0 &&
-        rec.samples_per_s_per_thread < args.floor_per_thread) {
-      std::fprintf(stderr,
-                   "bench_sessions: FAIL throughput floor: %.0f "
-                   "samples/s/thread < required %.0f\n",
-                   rec.samples_per_s_per_thread, args.floor_per_thread);
-      gate_failed = true;
+      if (args.floor_per_thread > 0.0 &&
+          rec.samples_per_s_per_thread < args.floor_per_thread) {
+        std::fprintf(stderr,
+                     "bench_sessions: FAIL throughput floor: %.0f "
+                     "samples/s/worker < required %.0f\n",
+                     rec.samples_per_s_per_thread, args.floor_per_thread);
+        gate_failed = true;
+      }
+      if (args.min_efficiency > 0.0 && workers > 1 &&
+          rec.scaling_efficiency > 0.0 &&
+          rec.scaling_efficiency < args.min_efficiency) {
+        std::fprintf(stderr,
+                     "bench_sessions: FAIL scaling gate: efficiency %.3f at "
+                     "%d workers < required %.3f\n",
+                     rec.scaling_efficiency, workers, args.min_efficiency);
+        gate_failed = true;
+      }
     }
   }
 
@@ -325,6 +400,18 @@ int main(int argc, char** argv) {
                  "%llu transient thread pool(s)\n",
                  static_cast<unsigned long long>(
                      ThreadPool::constructedCount() - pools_before));
+    return 1;
+  }
+  if (service::PumpRuntime::constructedCount() - runtimes_before !=
+      serving_runs) {
+    std::fprintf(stderr,
+                 "bench_sessions: FAIL runtime hygiene: %llu pump runtimes "
+                 "constructed across %llu serving runs (want exactly one "
+                 "per run)\n",
+                 static_cast<unsigned long long>(
+                     service::PumpRuntime::constructedCount() -
+                     runtimes_before),
+                 static_cast<unsigned long long>(serving_runs));
     return 1;
   }
 

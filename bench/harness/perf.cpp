@@ -89,7 +89,7 @@ bool writeThroughputJson(const std::string& path,
                          const std::vector<ThroughputRecord>& records,
                          const std::vector<StageTime>& stages,
                          double baseline_wall_s) {
-  std::string out = "{\n  \"schema\": \"rfipad-bench-throughput-v3\",\n";
+  std::string out = "{\n  \"schema\": \"rfipad-bench-throughput-v4\",\n";
   if (baseline_wall_s > 0.0) {
     out += "  \"baseline_wall_s\": " + jsonNumber(baseline_wall_s) + ",\n";
   }
@@ -125,6 +125,10 @@ bool writeThroughputJson(const std::string& path,
       out += ", \"p50_latency_s\": " + jsonNumber(r.p50_latency_s);
     if (r.p99_latency_s > 0.0)
       out += ", \"p99_latency_s\": " + jsonNumber(r.p99_latency_s);
+    if (r.scaling_efficiency > 0.0)
+      out += ", \"scaling_efficiency\": " + jsonNumber(r.scaling_efficiency);
+    if (r.host_cores > 0)
+      out += ", \"host_cores\": " + std::to_string(r.host_cores);
     out += "}";
     if (i + 1 < records.size()) out += ",";
     out += "\n";
@@ -187,6 +191,27 @@ BenchArgs parseBenchArgs(int argc, char** argv, int default_reps) {
       args.letters = std::atoi(value("--letters"));
     } else if (std::strcmp(a, "--floor-per-thread") == 0) {
       args.floor_per_thread = std::atof(value("--floor-per-thread"));
+    } else if (std::strcmp(a, "--scaling") == 0) {
+      const char* list = value("--scaling");
+      int n = 0;
+      bool have_digit = false;
+      for (const char* p = list;; ++p) {
+        if (*p >= '0' && *p <= '9') {
+          n = n * 10 + (*p - '0');
+          have_digit = true;
+        } else if (*p == ',' || *p == '\0') {
+          if (have_digit && n > 0) args.scaling.push_back(n);
+          n = 0;
+          have_digit = false;
+          if (*p == '\0') break;
+        } else {
+          std::fprintf(stderr, "%s: bad --scaling list '%s'\n", argv[0],
+                       list);
+          std::exit(2);
+        }
+      }
+    } else if (std::strcmp(a, "--min-efficiency") == 0) {
+      args.min_efficiency = std::atof(value("--min-efficiency"));
     } else if (a[0] != '-' && !reps_seen) {
       args.reps = std::atoi(a);
       reps_seen = true;
@@ -194,7 +219,8 @@ BenchArgs parseBenchArgs(int argc, char** argv, int default_reps) {
       std::fprintf(stderr,
                    "usage: %s [reps] [--threads N] [--json PATH] "
                    "[--baseline-wall S] [--sessions N] [--letters N] "
-                   "[--floor-per-thread X]\n",
+                   "[--floor-per-thread X] [--scaling N,N,...] "
+                   "[--min-efficiency X]\n",
                    argv[0]);
       std::exit(2);
     }

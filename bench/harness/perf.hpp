@@ -79,6 +79,16 @@ struct ThroughputRecord {
   /// measured, fields omitted from the JSON).
   double p50_latency_s = 0.0;
   double p99_latency_s = 0.0;
+  /// Multi-thread serving record: throughput relative to the same-scale
+  /// 1-thread record, normalised by the *effective* parallelism
+  /// min(threads, host_cores) — on a host with fewer cores than workers
+  /// true scaling is impossible and the ratio instead measures
+  /// oversubscription overhead (1.0 = no loss).  0 = not computed, field
+  /// omitted.
+  double scaling_efficiency = 0.0;
+  /// std::thread::hardware_concurrency() of the measuring host (0 = not
+  /// recorded) — required to interpret scaling_efficiency.
+  int host_cores = 0;
 };
 
 /// Fill trials_per_s / samples_per_s from wall_s (no-op when wall_s <= 0).
@@ -99,7 +109,8 @@ bool writeThroughputJson(const std::string& path,
 
 /// Common bench CLI: `[reps] [--threads N] [--json PATH]
 /// [--baseline-wall S] [--sessions N] [--letters N]
-/// [--floor-per-thread X]`.  Unknown flags abort with a usage message.
+/// [--floor-per-thread X] [--scaling N,N,...] [--min-efficiency X]`.
+/// Unknown flags abort with a usage message.
 struct BenchArgs {
   int reps = 0;
   int threads = 0;        ///< 0 = hardware concurrency
@@ -112,6 +123,12 @@ struct BenchArgs {
   /// Regression gate: minimum samples_per_s_per_thread; a bench that
   /// measures below this exits non-zero (0 = no gate).
   double floor_per_thread = 0.0;
+  /// Serving bench: pump-worker counts to sweep (empty = use `threads`
+  /// only).  Parsed from a comma list, e.g. `--scaling 1,2,4,8`.
+  std::vector<int> scaling;
+  /// Scaling gate: minimum scaling_efficiency on every multi-thread
+  /// serving record (0 = no gate).
+  double min_efficiency = 0.0;
 };
 
 BenchArgs parseBenchArgs(int argc, char** argv, int default_reps);

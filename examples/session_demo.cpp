@@ -2,10 +2,19 @@
 //
 // Shows the serving workflow end to end: calibrate once, attach several
 // sessions (one of them behind a lossy fault environment), stream each
-// pad's capture in tick-sized chunks from interleaved producers, pump the
-// shards, and poll recognised letters as they appear.  DESIGN.md §10.
+// pad's capture in tick-sized chunks from interleaved producers, and poll
+// recognised letters as they appear.  DESIGN.md §10–§11.
+//
+// Two drain modes:
+//   session_demo              caller-driven pump() after every round
+//   session_demo --threads N  persistent pump runtime with N workers —
+//                             prints the worker → shard ownership map,
+//                             the final IngestQueueStats and PumpStats
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/session_manager.hpp"
@@ -17,6 +26,7 @@ using namespace rfipad;
 namespace {
 
 constexpr double kTickS = 0.25;
+constexpr int kNumShards = 4;
 
 /// Cut one capture into tick-sized chunks, re-zeroed to start at t = 0.
 std::vector<std::vector<reader::TagReport>> chunked(
@@ -37,7 +47,17 @@ std::vector<std::vector<reader::TagReport>> chunked(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int pump_workers = 0;  // 0 = caller-driven pump() (legacy mode)
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      pump_workers = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   // One testbed, one calibration — sessions may share a profile value.
   sim::Scenario scenario(sim::ScenarioConfig{});
   const auto profile =
@@ -50,7 +70,7 @@ int main() {
   for (const auto& t : scenario.array().tags())
     cfg.online.engine.tag_xy.push_back({t.position.x, t.position.y});
 
-  service::SessionManager manager({/*num_shards=*/4});
+  service::SessionManager manager({/*num_shards=*/kNumShards});
 
   // Pads 1 and 2 are clean; pad 3 suffers bursty miss-reads (its letters
   // still come out — counted, reproducible degradation, DESIGN.md §10).
@@ -60,6 +80,14 @@ int main() {
   lossy.fault.missread.p_good_to_bad = 0.005;
   lossy.fault_salt = 42;
   const service::SessionId noisy = manager.attach(lossy);
+
+  if (pump_workers > 0) {
+    manager.startPumping(pump_workers);
+    std::printf("pump runtime: %d worker(s) over %d shards\n", pump_workers,
+                kNumShards);
+    for (std::size_t s = 0; s < manager.numShards(); ++s)
+      std::printf("  shard %zu -> worker %zu\n", s, manager.pumpWorkerOf(s));
+  }
 
   // Each pad writes one letter.
   const struct {
@@ -76,14 +104,24 @@ int main() {
     feeds.push_back(chunked(scenario.capture(b.build(), sim::defaultUser(1)).stream));
   }
 
-  // Interleaved replay: one tick of every pad per round, then pump + poll.
+  // Interleaved replay: one tick of every pad per round, then drain + poll.
+  std::vector<std::uint64_t> targets(manager.numShards(), 0);
   std::size_t rounds = 0;
   for (const auto& feed : feeds) rounds = std::max(rounds, feed.size());
   for (std::size_t r = 0; r < rounds; ++r) {
     for (std::size_t p = 0; p < feeds.size(); ++p) {
-      if (r < feeds[p].size()) manager.ingest(pads[p].id, feeds[p][r]);
+      if (r < feeds[p].size() && manager.ingest(pads[p].id, feeds[p][r]))
+        ++targets[manager.shardOf(pads[p].id)];
     }
-    manager.pump();
+    if (pump_workers > 0) {
+      // The runtime drains asynchronously; wait until every admitted
+      // chunk has been accounted before polling this round.
+      for (std::size_t s = 0; s < manager.numShards(); ++s)
+        while (manager.processedChunks(s) < targets[s])
+          std::this_thread::yield();
+    } else {
+      manager.pump();
+    }
     for (const auto& pad : pads) {
       for (const auto& ev : manager.poll(pad.id)) {
         std::printf("session %llu: letter '%c' at t=%.2fs (%u strokes)\n",
@@ -91,6 +129,12 @@ int main() {
                     ev.stream_time_s, ev.strokes);
       }
     }
+  }
+
+  core::PumpStats pump_stats;
+  if (pump_workers > 0) {
+    pump_stats = manager.pumpStats();
+    manager.stopPumping();
   }
 
   service::ServiceStats stats;
@@ -103,5 +147,9 @@ int main() {
       static_cast<unsigned long long>(stats.queue.reports_processed),
       static_cast<unsigned long long>(stats.letters_emitted),
       static_cast<unsigned long long>(stats.queue.droppedTotal()));
+  std::printf("ingest: %s\n",
+              core::formatIngestQueueStats(stats.queue).c_str());
+  if (pump_workers > 0)
+    std::printf("pump:   %s\n", core::formatPumpStats(pump_stats).c_str());
   return 0;
 }

@@ -1,0 +1,171 @@
+// Bounded lock-free multi-producer ring for the serving ingest path.
+//
+// A fixed-capacity Vyukov-style sequence ring: every cell carries an
+// atomic sequence number that encodes whose turn it is (producer or
+// consumer) for the current lap, so producers claim cells with one CAS on
+// the enqueue cursor and never touch a mutex — the serving layer's
+// contract is that `ingest()` never blocks behind a pump pass or another
+// producer.  The algorithm is MPMC-safe; the serving layer uses it as
+// MPSC (one pump worker owns the consumer side) plus occasional producer
+// dequeues implementing the kDropOldest eviction policy.
+//
+// Bounded by construction: the cell array is sized once (capacity rounded
+// up to a power of two) and never grows — a full ring fails tryEnqueue(),
+// and the caller's overflow policy (reject / evict) decides what happens,
+// with every outcome counted.
+//
+// Counter discipline (IngestQueueStats feeds off these):
+//   - `enqueued` is bumped by the winning producer *before* the cell's
+//     sequence is published, so any dequeue of that item happens-after the
+//     bump and a reader that sees `dequeued >= k` is guaranteed to read
+//     `enqueued >= k` (dequeued is released / loaded acquire for exactly
+//     this chain).  Snapshots are therefore never "torn" into an
+//     impossible state like dequeued > enqueued.
+//   - `high_watermark` is a CAS-max over the approximate occupancy right
+//     after each enqueue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace rfipad {
+
+/// Monotonic counters of one ring, snapshot-consistent as described above.
+struct MpscRingCounters {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t high_watermark = 0;
+};
+
+template <typename T>
+class MpscRing {
+ public:
+  /// Capacity is `min_capacity` rounded up to a power of two (>= 2).
+  explicit MpscRing(std::size_t min_capacity)
+      : cells_(roundUpPow2(min_capacity)), mask_(cells_.size() - 1) {
+    RFIPAD_ASSERT(min_capacity >= 1, "MpscRing: capacity must be >= 1");
+    for (std::size_t i = 0; i < cells_.size(); ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const { return cells_.size(); }
+
+  /// Producer side: move `item` into the ring.  Returns false when the
+  /// ring is full — `item` is left intact so the caller can retry or
+  /// evict (the move happens only after a cell is claimed).  Never blocks
+  /// and never takes a lock.
+  bool tryEnqueue(T& item) {
+    Cell* cell = nullptr;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // full: the cell still holds last lap's item
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->item = std::move(item);
+    // Count before publishing (see the file comment's snapshot argument).
+    counter_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    maxRelaxed(counter_high_watermark_,
+               static_cast<std::uint64_t>(sizeApprox()));
+    return true;
+  }
+
+  /// Consumer side (MPMC-safe, so a producer may also call it to evict the
+  /// oldest item under a kDropOldest policy).  Returns false when empty.
+  bool tryDequeue(T& out) {
+    Cell* cell = nullptr;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->item);
+    cell->item = T{};  // release payload resources eagerly
+    // Release so a reader seeing this bump also sees the matching enqueue
+    // bump (acquire-load in counters()).
+    counter_dequeued_.fetch_add(1, std::memory_order_release);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate live occupancy (exact when quiescent).
+  std::size_t sizeApprox() const {
+    const std::size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    return enq >= deq ? enq - deq : 0;
+  }
+
+  bool emptyApprox() const { return sizeApprox() == 0; }
+
+  /// Snapshot the counters: dequeued is read first (acquire) so the
+  /// enqueued value read afterwards can never be smaller — see the file
+  /// comment for the happens-before chain.
+  MpscRingCounters counters() const {
+    MpscRingCounters out;
+    out.dequeued = counter_dequeued_.load(std::memory_order_acquire);
+    out.enqueued = counter_enqueued_.load(std::memory_order_relaxed);
+    out.high_watermark =
+        counter_high_watermark_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T item{};
+  };
+
+  static std::size_t roundUpPow2(std::size_t n) {
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  static void maxRelaxed(std::atomic<std::uint64_t>& target,
+                         std::uint64_t value) {
+    std::uint64_t cur = target.load(std::memory_order_relaxed);
+    while (cur < value && !target.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Bounded by construction: fixed capacity cell array, never resized —
+  /// tryEnqueue() fails once occupancy reaches capacity().
+  std::vector<Cell> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> counter_enqueued_{0};
+  std::atomic<std::uint64_t> counter_dequeued_{0};
+  std::atomic<std::uint64_t> counter_high_watermark_{0};
+};
+
+}  // namespace rfipad

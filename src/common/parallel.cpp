@@ -1,5 +1,10 @@
 #include "common/parallel.hpp"
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include <atomic>
 #include <exception>
 #include <map>
@@ -21,6 +26,20 @@ unsigned resolveThreadCount(int threads) {
 }
 
 bool ThreadPool::onWorkerThread() { return tls_on_worker_thread; }
+
+void ThreadPool::markCurrentThreadAsWorker() { tls_on_worker_thread = true; }
+
+bool pinCurrentThreadToCpu(unsigned cpu) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
 
 std::uint64_t ThreadPool::constructedCount() {
   return pools_constructed.load(std::memory_order_relaxed);

@@ -49,6 +49,13 @@ class ThreadPool {
   /// their own queue.
   static bool onWorkerThread();
 
+  /// Mark the calling thread as a worker for onWorkerThread() purposes.
+  /// Long-lived service threads that are not pool members (the pump
+  /// runtime's workers) call this once at startup so any parallelFor
+  /// reached from their call stack runs inline instead of bouncing work to
+  /// the shared pool mid-pump.
+  static void markCurrentThreadAsWorker();
+
   /// Run body(i) for every i in [0, n), distributing iterations over the
   /// pool and the calling thread.  Blocks until all iterations finish.
   /// The first exception thrown by any iteration is rethrown here (after
@@ -96,6 +103,12 @@ ThreadPool& sharedPool(int threads = 0);
 /// shared pool — no per-call pool construction or teardown.
 void parallelFor(int threads, std::size_t n,
                  const std::function<void(std::size_t)>& body);
+
+/// Pin the calling thread to one CPU (Linux: pthread_setaffinity_np).
+/// Returns true on success; a no-op returning false elsewhere or when the
+/// kernel rejects the mask (e.g. `cpu` outside the affinity set).  Callers
+/// treat pinning as a best-effort hint, never a correctness requirement.
+bool pinCurrentThreadToCpu(unsigned cpu);
 
 /// One-shot order-preserving parallel map through the shared pool.
 template <typename T, typename F>

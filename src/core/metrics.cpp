@@ -160,4 +160,21 @@ std::string formatIngestQueueStats(const IngestQueueStats& stats) {
   return os.str();
 }
 
+PumpStats& PumpStats::operator+=(const PumpStats& o) {
+  workers += o.workers;
+  busy_passes += o.busy_passes;
+  idle_passes += o.idle_passes;
+  parks += o.parks;
+  wakeups += o.wakeups;
+  return *this;
+}
+
+std::string formatPumpStats(const PumpStats& stats) {
+  std::ostringstream os;
+  os << "workers " << stats.workers << " | passes " << stats.busy_passes
+     << " busy / " << stats.idle_passes << " idle | parks " << stats.parks
+     << " | wakeups " << stats.wakeups;
+  return os.str();
+}
+
 }  // namespace rfipad::core

@@ -77,6 +77,29 @@ struct IngestQueueStats {
 /// reports | backpressure 0 (full 0, evicted 0) | hwm 12".
 std::string formatIngestQueueStats(const IngestQueueStats& stats);
 
+/// Activity counters for the persistent pump runtime
+/// (service/pump_runtime.hpp): how busy the workers were and how often the
+/// adaptive-idle ladder reached the parked state.
+struct PumpStats {
+  /// Pump workers owned by the runtime.
+  std::uint64_t workers = 0;
+  /// Sweeps over a worker's owned shards that drained at least one chunk.
+  std::uint64_t busy_passes = 0;
+  /// Sweeps that found every owned shard empty.
+  std::uint64_t idle_passes = 0;
+  /// Times a worker exhausted the spin/yield ladder and blocked on its
+  /// condvar.
+  std::uint64_t parks = 0;
+  /// Producer-side notifications that found the target worker parked.
+  std::uint64_t wakeups = 0;
+
+  PumpStats& operator+=(const PumpStats& o);
+};
+
+/// One-line summary, e.g. "workers 4 | passes 1200 busy / 300 idle |
+/// parks 12 | wakeups 12".
+std::string formatPumpStats(const PumpStats& stats);
+
 class ConfusionMatrix {
  public:
   /// `n` classes; predictions of −1 count as misses (detected nothing).

@@ -52,7 +52,50 @@ bool SessionManager::subscribe(SessionId id, bool enabled) {
 
 bool SessionManager::ingest(SessionId id, std::vector<reader::TagReport> chunk) {
   if (id == kNoSession) return false;
-  return shardFor(id).enqueue(id, std::move(chunk));
+  const std::size_t shard = shardOf(id);
+  const bool accepted = shards_[shard]->enqueue(id, std::move(chunk));
+  if (accepted) {
+    if (PumpRuntime* rt = runtime_ptr_.load(std::memory_order_acquire))
+      rt->notify(shard);
+  }
+  return accepted;
+}
+
+void SessionManager::startPumping(int workers) {
+  if (runtime_) return;
+  PumpRuntimeOptions opts;
+  opts.workers = workers >= 1 ? workers : options_.pump_workers;
+  opts.pin_threads = options_.pin_pump_workers;
+  std::vector<Shard*> raw;
+  raw.reserve(shards_.size());
+  for (auto& s : shards_) raw.push_back(s.get());
+  runtime_ = std::make_unique<PumpRuntime>(std::move(raw), opts);
+  runtime_ptr_.store(runtime_.get(), std::memory_order_release);
+}
+
+void SessionManager::stopPumping() {
+  if (!runtime_) return;
+  runtime_ptr_.store(nullptr, std::memory_order_release);
+  runtime_->stop();
+  runtime_.reset();
+}
+
+std::size_t SessionManager::pumpWorkerOf(std::size_t shard) const {
+  RFIPAD_ASSERT(shard < shards_.size(), "shard index out of range");
+  if (const PumpRuntime* rt = runtime_ptr_.load(std::memory_order_acquire))
+    return rt->ownerOf(shard);
+  return 0;
+}
+
+core::PumpStats SessionManager::pumpStats() const {
+  if (const PumpRuntime* rt = runtime_ptr_.load(std::memory_order_acquire))
+    return rt->stats();
+  return {};
+}
+
+std::uint64_t SessionManager::processedChunks(std::size_t shard) const {
+  RFIPAD_ASSERT(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->processedChunks();
 }
 
 void SessionManager::pump() {

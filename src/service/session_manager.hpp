@@ -1,23 +1,35 @@
-// Sharded multi-session serving layer (DESIGN.md §10).
+// Sharded multi-session serving layer (DESIGN.md §10–§11).
 //
 // A SessionManager serves N independent pads from one process: sessions
 // are assigned to a fixed set of shards by `id % num_shards`, producers
-// enqueue ingest chunks into the owning shard's bounded queue from any
-// thread, and pump() sweeps every shard across the process-wide shared
-// thread pool (common/parallel.hpp) — never constructing a transient pool
-// (guarded by ThreadPool::constructedCount() in tests and bench).
+// enqueue ingest chunks into the owning shard's bounded lock-free MPSC
+// ring from any thread (never touching a shard mutex on the hot path),
+// and the shards are drained either by the caller-driven pump() sweep
+// (shared pool, legacy) or — the production path — by a persistent
+// PumpRuntime started with startPumping(): dedicated workers owning
+// disjoint shard sets, adaptive spin→yield→park idle, woken by ingest().
+// Neither path constructs transient pools/threads per operation (guarded
+// by ThreadPool::constructedCount() / PumpRuntime::constructedCount()).
 //
 // Determinism: the shard count is a property of the service configuration,
-// NOT of the pump thread count, and each session's output depends only on
-// its own chunk sequence — so per-session letters are bit-identical at
-// --threads 1 and --threads 8 (absent backpressure drops, which are
-// counted, never silent).
+// NOT of the pump thread or worker count, and each session's output
+// depends only on its own chunk sequence (per-shard FIFO preserved by the
+// ring) — so per-session letters are bit-identical at --threads 1 and
+// --threads 8 (absent backpressure drops, which are counted, never
+// silent).
+//
+// startPumping()/stopPumping() must not race ingest()/pump() calls: start
+// the runtime before producers begin and stop it after they quiesce (the
+// pointer handoff is a release/acquire atomic, but a chunk enqueued while
+// the runtime pointer is mid-teardown would miss its wake).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "service/pump_runtime.hpp"
 #include "service/shard.hpp"
 
 namespace rfipad::service {
@@ -30,6 +42,11 @@ struct ServiceOptions {
   OverflowPolicy policy = OverflowPolicy::kRejectNew;
   /// Pump parallelism (resolveThreadCount semantics; < 1 → hardware).
   int threads = 0;
+  /// Default worker count for startPumping() (< 1 → hardware, capped at
+  /// the shard count).
+  int pump_workers = 0;
+  /// Best-effort affinity pinning of pump workers (PumpRuntimeOptions).
+  bool pin_pump_workers = false;
 };
 
 class SessionManager {
@@ -54,9 +71,32 @@ class SessionManager {
   bool ingest(SessionId id, std::vector<reader::TagReport> chunk);
 
   /// Drain every shard's queue, sweeping shards over the shared pool.
+  /// Legacy caller-driven path; a no-op sweep is cheap.  Do not mix with
+  /// an active pump runtime (each shard would get two consumers — safe,
+  /// but pass accounting becomes meaningless).
   void pump();
-  /// Drain one shard (the bench's closed-loop per-shard path).
+  /// Drain one shard (the caller-driven closed-loop path).
   void pumpShard(std::size_t shard);
+
+  /// Start the persistent pump runtime: `workers` dedicated threads
+  /// (< 1 → options.pump_workers, then hardware) each owning the shards
+  /// `{s : s % workers == w}`.  Idempotent while running.  See the file
+  /// comment for the start/stop vs ingest ordering contract.
+  void startPumping(int workers = 0);
+  /// Stop and join the pump workers (no-op when not pumping).  Chunks
+  /// still in rings remain queued and can be drained with pump().
+  void stopPumping();
+  bool pumping() const {
+    return runtime_ptr_.load(std::memory_order_acquire) != nullptr;
+  }
+  /// Pump worker that owns `shard` under the active runtime (0 when not
+  /// pumping — everything would be caller-driven).
+  std::size_t pumpWorkerOf(std::size_t shard) const;
+  /// Aggregate pump-runtime activity counters (zeroes when not pumping).
+  core::PumpStats pumpStats() const;
+  /// Chunks fully accounted for on `shard` (fed, unknown, or evicted) —
+  /// monotone; producers use it to wait for their enqueued work.
+  std::uint64_t processedChunks(std::size_t shard) const;
 
   /// Move out a session's pending letter events.
   std::vector<LetterEvent> poll(SessionId id);
@@ -81,6 +121,10 @@ class SessionManager {
 
   ServiceOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Owning storage for the runtime plus a raw pointer producers read on
+  /// the ingest hot path (acquire) to deliver wakes without a lock.
+  std::unique_ptr<PumpRuntime> runtime_;
+  std::atomic<PumpRuntime*> runtime_ptr_{nullptr};
   Mutex id_mutex_;
   SessionId next_id_ RFIPAD_GUARDED_BY(id_mutex_) = 1;
 };

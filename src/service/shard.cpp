@@ -1,6 +1,5 @@
 #include "service/shard.hpp"
 
-#include <algorithm>
 #include <utility>
 
 namespace rfipad::service {
@@ -19,52 +18,56 @@ void accumulate(core::OnlineStats& into, const core::OnlineStats& from) {
 
 }  // namespace
 
-Shard::Shard(ShardOptions options) : options_(options) {}
+Shard::Shard(ShardOptions options)
+    : options_(options), ring_(options.queue_capacity) {}
 
 bool Shard::enqueue(SessionId session, std::vector<reader::TagReport> chunk) {
-  MutexLock lock(queue_mutex_);
-  if (queue_.size() >= options_.queue_capacity) {
+  IngestItem item{session, std::move(chunk)};
+  for (;;) {
+    if (ring_.tryEnqueue(item)) return true;
     if (options_.policy == OverflowPolicy::kRejectNew) {
-      ++queue_stats_.rejected_full;
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    queue_.pop_front();
-    ++queue_stats_.dropped_oldest;
+    // kDropOldest: the producer evicts the ring head itself (the ring is
+    // MPMC-capable) and retries.  The loop terminates: each iteration
+    // either frees a slot or another producer/the pump did.
+    IngestItem evicted;
+    if (ring_.tryDequeue(evicted))
+      dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
   }
-  queue_.push_back(IngestItem{session, std::move(chunk)});
-  ++queue_stats_.enqueued;
-  queue_stats_.high_watermark =
-      std::max<std::uint64_t>(queue_stats_.high_watermark, queue_.size());
-  return true;
 }
 
-void Shard::pump() {
+bool Shard::pump() {
   MutexLock state(state_mutex_);
   drain_.clear();
-  {
-    MutexLock q(queue_mutex_);
-    if (queue_.empty()) return;
-    drain_.reserve(queue_.size());
-    for (IngestItem& item : queue_) drain_.push_back(std::move(item));
-    queue_.clear();
-  }
+  // Drain at most one ring's worth per pass so a firehose producer cannot
+  // capture the consumer forever (bounded pass, fair across shards).
+  const std::size_t budget = ring_.capacity();
+  IngestItem item;
+  while (drain_.size() < budget && ring_.tryDequeue(item))
+    drain_.push_back(std::move(item));
+  if (drain_.empty()) return false;
   std::uint64_t chunks = 0;
   std::uint64_t reports = 0;
   std::uint64_t unknown = 0;
-  for (IngestItem& item : drain_) {
-    const auto it = sessions_.find(item.session);
-    if (it == sessions_.end()) {
+  for (IngestItem& it : drain_) {
+    const auto found = sessions_.find(it.session);
+    if (found == sessions_.end()) {
       ++unknown;
       continue;
     }
-    reports += it->second->feed(item.reports, scratch_);
+    reports += found->second->feed(it.reports, scratch_);
     ++chunks;
   }
   drain_.clear();
-  MutexLock q(queue_mutex_);
-  queue_stats_.chunks_processed += chunks;
-  queue_stats_.reports_processed += reports;
-  queue_stats_.rejected_unknown_session += unknown;
+  chunks_processed_ += chunks;
+  reports_processed_ += reports;
+  unknown_session_ += unknown;
+  // Release: a producer polling processedChunks() must also observe the
+  // session state (letters) these chunks produced.
+  accounted_chunks_.fetch_add(chunks + unknown, std::memory_order_release);
+  return true;
 }
 
 void Shard::attach(SessionId id, SessionConfig config) {
@@ -130,11 +133,21 @@ std::size_t Shard::sessionCount() const {
 }
 
 bool Shard::stats(SessionId session, ServiceStats& out) const {
-  {
-    MutexLock q(queue_mutex_);
-    out.queue += queue_stats_;
-  }
   MutexLock state(state_mutex_);
+  // Snapshot order matters: consumer tallies first (under the same mutex
+  // the pump bumps them under), then the producer atomics and ring
+  // counters — every counter read later is at least as new, so the
+  // snapshot always satisfies processed + unknown <= dequeued <= enqueued.
+  core::IngestQueueStats q;
+  q.chunks_processed = chunks_processed_;
+  q.reports_processed = reports_processed_;
+  q.rejected_unknown_session = unknown_session_;
+  q.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  q.dropped_oldest = dropped_oldest_.load(std::memory_order_relaxed);
+  const MpscRingCounters rc = ring_.counters();
+  q.enqueued = rc.enqueued;
+  q.high_watermark = rc.high_watermark;
+  out.queue += q;
   if (session != kNoSession) {
     const auto it = sessions_.find(session);
     if (it == sessions_.end()) return false;

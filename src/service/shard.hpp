@@ -1,15 +1,25 @@
-// One shard of the serving layer: a bounded multi-producer ingest queue
+// One shard of the serving layer: a bounded lock-free MPSC ingest ring
 // plus the sessions resident on it.
 //
-// Concurrency model (annotated for -Wthread-safety):
-//   - enqueue() is the producer side: any thread, any time, touches only
-//     `queue_mutex_` — it never blocks behind a pump pass.
-//   - pump() is the single-consumer side: it swaps the queue out under
-//     `queue_mutex_`, then processes under `state_mutex_`.  The session
-//     manager's pump sweep gives each shard to exactly one worker, but the
-//     locking is correct even if two pumps raced.
-//   - attach/detach/poll/stats take `state_mutex_` and may run between (or
-//     concurrently with) pump passes.
+// Concurrency model (annotated for -Wthread-safety where locks are used):
+//   - enqueue() is the producer side: any thread, any time.  It touches
+//     only the lock-free ring and a few atomics — producers NEVER take a
+//     shard mutex on the ingest hot path, so a slow pump pass cannot
+//     block ingest (and ingest cannot block the pump).  Backpressure is
+//     counted per outcome: rejected (kRejectNew) or evict-oldest
+//     (kDropOldest, the producer performs the eviction dequeue itself —
+//     the ring is MPMC-capable).
+//   - pump() is the consumer side: it drains the ring and feeds sessions
+//     under `state_mutex_`.  The pump runtime gives each shard to exactly
+//     one worker, but the locking is correct even if two pumps raced.
+//   - attach/detach/poll/stats take `state_mutex_` and may run between
+//     (or concurrently with) pump passes.
+//   - stats() builds the whole IngestQueueStats snapshot in one place:
+//     consumer tallies are read under `state_mutex_` (the same mutex the
+//     pump holds while bumping them), then the ring's monotone counters —
+//     in that order, so `chunks_processed + unknown <= dequeued <=
+//     enqueued` holds in every snapshot instead of the torn totals the
+//     old two-lock read could produce.
 //
 // Cross-session batching: every session on the shard shares the shard's
 // one SegmentScratch — the SoA planes, calibrated-phase buffer, frame
@@ -20,12 +30,13 @@
 // bit-identical because the scratch is fully rewritten by each pass.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "common/mpsc_ring.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "service/session.hpp"
@@ -33,7 +44,7 @@
 namespace rfipad::service {
 
 struct ShardOptions {
-  /// Ingest queue capacity, in chunks.
+  /// Ingest ring capacity, in chunks (rounded up to a power of two).
   std::size_t queue_capacity = 256;
   OverflowPolicy policy = OverflowPolicy::kRejectNew;
 };
@@ -42,16 +53,30 @@ class Shard {
  public:
   explicit Shard(ShardOptions options);
 
-  /// Producer side: queue one chunk for `session`.  Returns false when the
-  /// chunk was refused (kRejectNew policy on a full queue); with
-  /// kDropOldest it always returns true, evicting the oldest chunk when
-  /// full.  Every outcome is counted in the queue stats.
-  bool enqueue(SessionId session, std::vector<reader::TagReport> chunk)
-      RFIPAD_EXCLUDES(queue_mutex_);
+  /// Producer side: queue one chunk for `session`.  Lock-free — returns
+  /// false when the chunk was refused (kRejectNew policy on a full ring);
+  /// with kDropOldest it always returns true, evicting the oldest chunk
+  /// when full.  Every outcome is counted in the queue stats.
+  bool enqueue(SessionId session, std::vector<reader::TagReport> chunk);
 
-  /// Consumer side: drain the queue and feed each chunk to its session, in
+  /// Consumer side: drain the ring and feed each chunk to its session, in
   /// arrival order, sharing the shard scratch across all of them.
-  void pump() RFIPAD_EXCLUDES(queue_mutex_, state_mutex_);
+  /// Returns true when at least one chunk was drained (the pump runtime's
+  /// idle ladder keys off this).
+  bool pump() RFIPAD_EXCLUDES(state_mutex_);
+
+  /// True when the ingest ring looks empty (approximate — exact once
+  /// producers are quiescent).  Cheap enough for idle polling.
+  bool ringEmptyApprox() const { return ring_.emptyApprox(); }
+
+  /// Chunks fully accounted for: fed to a session, counted as
+  /// unknown-session, or evicted by kDropOldest.  Monotone; a producer
+  /// that saw its enqueue accepted can wait for this to reach its target
+  /// to know the chunk's recognition work is done.
+  std::uint64_t processedChunks() const {
+    return accounted_chunks_.load(std::memory_order_acquire) +
+           dropped_oldest_.load(std::memory_order_relaxed);
+  }
 
   void attach(SessionId id, SessionConfig config)
       RFIPAD_EXCLUDES(state_mutex_);
@@ -61,7 +86,7 @@ class Shard {
   /// its lifetime counters.
   std::vector<LetterEvent> detach(SessionId id, bool* found = nullptr,
                                   ServiceStats* final_stats = nullptr)
-      RFIPAD_EXCLUDES(queue_mutex_, state_mutex_);
+      RFIPAD_EXCLUDES(state_mutex_);
 
   bool configure(SessionId id, fault::FaultPlan plan, std::uint64_t salt)
       RFIPAD_EXCLUDES(state_mutex_);
@@ -79,7 +104,7 @@ class Shard {
   /// `session` == kNoSession aggregates the whole shard (queue counters
   /// are shard-level either way).  Returns false for an unknown session.
   bool stats(SessionId session, ServiceStats& out) const
-      RFIPAD_EXCLUDES(queue_mutex_, state_mutex_);
+      RFIPAD_EXCLUDES(state_mutex_);
 
  private:
   struct IngestItem {
@@ -89,11 +114,16 @@ class Shard {
 
   ShardOptions options_;
 
-  mutable Mutex queue_mutex_;
-  /// Bounded by options_.queue_capacity — enqueue() rejects or evicts once
-  /// size reaches capacity, so depth never exceeds it.
-  std::deque<IngestItem> queue_ RFIPAD_GUARDED_BY(queue_mutex_);
-  core::IngestQueueStats queue_stats_ RFIPAD_GUARDED_BY(queue_mutex_);
+  /// Bounded by options_.queue_capacity (power-of-two rounded) — the ring
+  /// never grows; enqueue() rejects or evicts once full.
+  MpscRing<IngestItem> ring_;
+  /// Producer-side backpressure counters (no lock on the ingest path).
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> dropped_oldest_{0};
+  /// Consumer progress: bumped (release) at the end of each pump pass so
+  /// processedChunks() readers also see the session state those chunks
+  /// produced.
+  std::atomic<std::uint64_t> accounted_chunks_{0};
 
   mutable Mutex state_mutex_;
   /// Ordered map: shard-wide sweeps (flushAll, stats) iterate in session-id
@@ -104,6 +134,11 @@ class Shard {
   core::SegmentScratch scratch_ RFIPAD_GUARDED_BY(state_mutex_);
   /// Reused drain buffer for pump() (steady-state allocation-free).
   std::vector<IngestItem> drain_ RFIPAD_GUARDED_BY(state_mutex_);
+  /// Consumer-side tallies, written only by pump passes (which serialise
+  /// on state_mutex_).
+  std::uint64_t chunks_processed_ RFIPAD_GUARDED_BY(state_mutex_) = 0;
+  std::uint64_t reports_processed_ RFIPAD_GUARDED_BY(state_mutex_) = 0;
+  std::uint64_t unknown_session_ RFIPAD_GUARDED_BY(state_mutex_) = 0;
   /// Lifetime counters of sessions already detached, so shard aggregates
   /// do not shrink when a session leaves.
   core::OnlineStats retired_online_ RFIPAD_GUARDED_BY(state_mutex_);

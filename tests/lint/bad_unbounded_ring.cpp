@@ -1,0 +1,22 @@
+// LINT-PATH: src/service/bad_unbounded_ring.cpp
+// LINT-EXPECT: no-unbounded-queue
+// An MPSC ring member with no sizing comment: the ring is bounded by
+// construction, but nothing tells a reviewer why this capacity is enough
+// for the producers feeding it — under-sized, it silently rejects or
+// evicts under load, which is the same operational failure an unbounded
+// queue hides.  (Text-only fixture: the linter never compiles these, so
+// the include and types are illustrative.)
+#include "common/mpsc_ring.hpp"
+
+struct Chunk {
+  int session;
+};
+
+class Ingest {
+ public:
+  explicit Ingest(unsigned slots) : ring_(slots) {}
+  bool push(Chunk c) { return ring_.tryEnqueue(c); }
+
+ private:
+  rfipad::MpscRing<Chunk> ring_;
+};

@@ -1,0 +1,21 @@
+// LINT-PATH: src/service/good_bounded_ring.cpp
+// LINT-EXPECT: clean
+// The same ring with its sizing rule documented next to the declaration —
+// the comment names the capacity source and what happens at the limit.
+// (Text-only fixture: the linter never compiles these.)
+#include "common/mpsc_ring.hpp"
+
+struct Chunk {
+  int session;
+};
+
+class Ingest {
+ public:
+  explicit Ingest(unsigned capacity) : ring_(capacity) {}
+  bool push(Chunk c) { return ring_.tryEnqueue(c); }
+
+ private:
+  // Bounded by the constructor's capacity (power-of-two rounded): the
+  // ring never grows, and push() reports rejection once it is full.
+  rfipad::MpscRing<Chunk> ring_;
+};

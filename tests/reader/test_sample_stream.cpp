@@ -185,6 +185,120 @@ TEST(SampleStream, DropBeforeLeavesSeriesConsistent) {
   EXPECT_EQ(s.reorderCount(), 0u);
 }
 
+TEST(SampleStream, DropBeforeNothingIsANoOp) {
+  SampleStream s(1);
+  for (int i = 0; i < 10; ++i) s.push(report(0, 1.0 + i * 0.1));
+  const TagReport* base = s.reports().data();
+  // A bound at (or before) the window start drops nothing and must not
+  // touch the storage — the live-window pointer stays put.
+  s.dropBefore(1.0);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.reports().data(), base);
+  s.dropBefore(0.0);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.reports().data(), base);
+  s.dropBefore(-5.0);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.reports().data(), base);
+}
+
+TEST(SampleStream, RepeatedDropsAtTheSameWatermarkAreIdempotent) {
+  SampleStream s(1);
+  for (int i = 0; i < 20; ++i) s.push(report(0, i * 0.1));
+  s.dropBefore(0.95);
+  const std::size_t size_after_first = s.size();
+  const double start_after_first = s.startTime();
+  const TagReport* data_after_first = s.reports().data();
+  ASSERT_EQ(size_after_first, 10u);
+  // Re-issuing the same watermark (the segmenter does this every pass
+  // while the window start is stationary) is a pure no-op: no size
+  // change, no pointer movement, no compaction churn.
+  for (int k = 0; k < 5; ++k) {
+    s.dropBefore(0.95);
+    EXPECT_EQ(s.size(), size_after_first);
+    EXPECT_DOUBLE_EQ(s.startTime(), start_after_first);
+    EXPECT_EQ(s.reports().data(), data_after_first);
+  }
+}
+
+TEST(SampleStream, DropAllResetsStorageAndStreamStaysUsable) {
+  SampleStream s(2);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i)
+      s.push(report(static_cast<std::uint32_t>(i % 2),
+                    round * 100.0 + i * 0.1));
+    EXPECT_EQ(s.size(), 50u);
+    // Drop-all clears the backing vector outright (front index back to 0)
+    // rather than leaving a fully-dead prefix around.
+    s.dropBefore(round * 100.0 + 10.0);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.countFor(0), 0u);
+    EXPECT_EQ(s.countFor(1), 0u);
+    EXPECT_DOUBLE_EQ(s.startTime(), 0.0);
+  }
+}
+
+TEST(SampleStream, CompactionTriggersOnlyWhenDeadPrefixDominates) {
+  // Pin the amortised-O(1) contract: small drops advance the front index
+  // inside the same allocation (pointer moves forward, no element moves);
+  // only once the dead prefix is >= 64 AND >= half the storage does one
+  // erase pay the whole prefix back.
+  SampleStream s(1);
+  for (int i = 0; i < 300; ++i) s.push(report(0, i * 0.1));
+  const TagReport* base = s.reports().data();
+
+  // front_ = 100: >= 64 but 200 < 300 → no compaction, window slides.
+  s.dropBefore(10.0);
+  EXPECT_EQ(s.size(), 200u);
+  EXPECT_EQ(s.reports().data(), base + 100);
+
+  // front_ = 160: 320 >= 300 → compacts back to the buffer start.
+  s.dropBefore(16.0);
+  EXPECT_EQ(s.size(), 140u);
+  EXPECT_EQ(s.reports().data(), base);
+  EXPECT_DOUBLE_EQ(s.startTime(), 16.0);
+
+  // Below the 64-element floor nothing compacts even when the dead
+  // prefix is more than half the storage (60 × 2 >= 100 but 60 < 64).
+  SampleStream small(1);
+  for (int i = 0; i < 100; ++i) small.push(report(0, i * 0.1));
+  const TagReport* small_base = small.reports().data();
+  small.dropBefore(6.0);
+  EXPECT_EQ(small.size(), 40u);
+  EXPECT_EQ(small.reports().data(), small_base + 60);
+}
+
+TEST(SampleStream, DropInterleavedWithFlatSeriesStaysConsistent) {
+  SampleStream s(3);
+  for (int i = 0; i < 120; ++i)
+    s.push(report(static_cast<std::uint32_t>(i % 3), i * 0.05, 1.0 + i));
+  FlatSeries reused;
+  for (int k = 1; k <= 6; ++k) {
+    s.dropBefore(k * 0.8);
+    // The SoA extraction must always reflect exactly the live window —
+    // same sample count, window-start time, and per-tag partitioning.
+    const FlatSeries flat = s.flatSeries();
+    ASSERT_EQ(flat.times.size(), s.size());
+    s.flatSeriesInto(reused);
+    ASSERT_EQ(reused.times.size(), flat.times.size());
+    std::size_t total = 0;
+    for (std::uint32_t tag = 0; tag < 3; ++tag) total += s.countFor(tag);
+    EXPECT_EQ(total, s.size());
+    if (!s.empty()) {
+      EXPECT_GE(s.startTime(), k * 0.8);
+      for (std::size_t i = 0; i < flat.times.size(); ++i) {
+        EXPECT_EQ(flat.times[i], reused.times[i]);
+        EXPECT_EQ(flat.phases[i], reused.phases[i]);
+      }
+    }
+  }
+  // Everything below the final watermark is gone for good; a fresh push
+  // after heavy interleaving still lands cleanly in order.
+  s.push(report(0, 100.0));
+  EXPECT_DOUBLE_EQ(s.endTime(), 100.0);
+  EXPECT_EQ(s.reorderCount(), 0u);
+}
+
 TEST(SampleStream, ManyIncrementalDropsMatchOneBigDrop) {
   // The compaction threshold must never change what the window contains:
   // trimming in 50 small steps and in a single step give identical views.

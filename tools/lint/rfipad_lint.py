@@ -38,13 +38,16 @@ broken RF-sensing reproductions:
                        The SoA kernels are allocation-free by design —
                        use a reused std::vector scratch, inline storage,
                        or pre-sized arena owned by the caller.
-  no-unbounded-queue   a std::deque/queue/priority_queue declaration with no
-                       stated bound.  Producer/consumer queues (ingest
-                       fan-in, task queues, memo tables) grow without limit
-                       under load unless something rejects or evicts; the
-                       declaration must carry a comment within the previous
-                       few lines saying "bounded"/"capacity" and naming the
-                       mechanism that enforces it.
+  no-unbounded-queue   a std::deque/queue/priority_queue or rfipad::MpscRing
+                       declaration with no stated bound.  Producer/consumer
+                       queues (ingest fan-in, task queues, memo tables) grow
+                       without limit under load unless something rejects or
+                       evicts — and a ring, while bounded by construction,
+                       drops or rejects once full, so its capacity choice is
+                       part of the same contract.  The declaration must
+                       carry a comment within the previous few lines saying
+                       "bounded"/"capacity" and naming the mechanism (or
+                       sizing rule) that enforces it.
 
 Audited exceptions live in ``tools/lint/lint_allowlist.txt`` (max
 %(max_allow)d entries — beyond that, fix the code instead).  Exit code 0
@@ -101,7 +104,12 @@ ENFORCEMENT_TOKENS = re.compile(
 WRITE_CALLS = re.compile(r"\.(?:push_back|emplace_back|insert|emplace)\s*\(|\+=")
 
 # Queue-like container declarations must justify their bound nearby.
-QUEUE_DECL = re.compile(r"\bstd\s*::\s*(?:deque|queue|priority_queue)\s*<")
+# rfipad::MpscRing is bounded by construction, but the *choice* of
+# capacity is a sizing decision the declaration must still justify — an
+# undocumented ring either silently drops or spuriously rejects under
+# load, which is exactly the failure mode this rule exists to surface.
+QUEUE_DECL = re.compile(
+    r"\bstd\s*::\s*(?:deque|queue|priority_queue)\s*<|\bMpscRing\s*<")
 BOUND_WORDS = re.compile(r"bounded|capacity", re.IGNORECASE)
 # How many raw lines above the declaration may hold the justification.
 QUEUE_COMMENT_WINDOW = 6
