@@ -40,3 +40,17 @@ namespace rfipad::detail {
 
 #define RFIPAD_INVARIANT(cond, msg) \
   RFIPAD_CONTRACT_CHECK("invariant", cond, msg)
+
+// Marks a function as part of the per-sample serving spine (the
+// ingest → enqueue → pump-notify → recognize chain).  The semantic analyzer
+// (tools/analyze/rfipad_analyze.py) walks the call graph from every
+// RFIPAD_HOT_PATH definition and rejects reachable allocation, growing
+// container ops, std::function construction, and throws — so the marker is
+// a checked contract, not documentation.  Place it at the start of the
+// *definition*'s signature.  Under Clang it also emits an `annotate`
+// attribute so AST-based tooling can find the same roots.
+#if defined(__clang__)
+#define RFIPAD_HOT_PATH __attribute__((annotate("rfipad_hot_path")))
+#else
+#define RFIPAD_HOT_PATH
+#endif

@@ -60,7 +60,7 @@ class MpscRing {
   /// ring is full — `item` is left intact so the caller can retry or
   /// evict (the move happens only after a cell is claimed).  Never blocks
   /// and never takes a lock.
-  bool tryEnqueue(T& item) {
+  RFIPAD_HOT_PATH bool tryEnqueue(T& item) {
     Cell* cell = nullptr;
     std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
@@ -89,7 +89,7 @@ class MpscRing {
 
   /// Consumer side (MPMC-safe, so a producer may also call it to evict the
   /// oldest item under a kDropOldest policy).  Returns false when empty.
-  bool tryDequeue(T& out) {
+  RFIPAD_HOT_PATH bool tryDequeue(T& out) {
     Cell* cell = nullptr;
     std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     for (;;) {

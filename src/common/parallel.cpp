@@ -78,7 +78,7 @@ void ThreadPool::workerLoop() {
   }
 }
 
-void ThreadPool::enqueue(std::function<void()> task) {
+void ThreadPool::enqueueTask(std::function<void()> task) {
   {
     MutexLock lock(mutex_);
     tasks_.push_back(std::move(task));
@@ -114,15 +114,20 @@ void ThreadPool::parallelFor(std::size_t n,
 
   auto drive = [state, &body] {
     for (;;) {
-      const std::size_t i = state->next.fetch_add(1);
+      // Relaxed is enough: the RMW's atomicity alone guarantees each index
+      // is claimed once, and completion ordering is established by `m` +
+      // `done` below — this counter never publishes data.
+      const std::size_t i =
+          state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= state->limit) break;
       try {
         body(i);
       } catch (...) {
         MutexLock lock(state->m);
         if (!state->error) state->error = std::current_exception();
-        // Stop handing out further iterations.
-        state->next.store(state->limit);
+        // Stop handing out further iterations.  Relaxed: this store only
+        // accelerates the wind-down; `error` itself travels under `m`.
+        state->next.store(state->limit, std::memory_order_relaxed);
       }
     }
   };
@@ -136,7 +141,7 @@ void ThreadPool::parallelFor(std::size_t n,
   for (std::size_t h = 0; h < helpers; ++h) {
     // `body` is captured by reference: the caller blocks below until every
     // driver finishes, so the reference stays valid.
-    enqueue([state, drive] {
+    enqueueTask([state, drive] {
       drive();
       {
         MutexLock lock(state->m);

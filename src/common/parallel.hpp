@@ -77,7 +77,9 @@ class ThreadPool {
 
  private:
   void workerLoop() RFIPAD_EXCLUDES(mutex_);
-  void enqueue(std::function<void()> task) RFIPAD_EXCLUDES(mutex_);
+  /// Named distinctly from the serving layer's Shard::enqueue so the two
+  /// never alias in cross-TU call-graph analysis (tools/analyze).
+  void enqueueTask(std::function<void()> task) RFIPAD_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
   Mutex mutex_;

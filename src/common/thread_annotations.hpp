@@ -1,7 +1,8 @@
 // Clang thread-safety-analysis attribute macros.
 //
 // The concurrency-bearing classes (common/mutex.hpp, common/parallel.*,
-// llrp/octane.*, reader/sample_stream.*, rf/channel.*) annotate which data
+// llrp/octane.*, reader/sample_stream.*, rf/channel.*, service/shard.*,
+// service/session_manager.*, service/pump_runtime.*) annotate which data
 // is guarded by which lock; `clang++ -Wthread-safety -Werror` (the `lint`
 // CMake preset) then proves lock discipline at compile time.  On GCC and
 // MSVC every macro expands to nothing, so the annotations cost nothing

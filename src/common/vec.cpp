@@ -7,7 +7,9 @@ namespace rfipad {
 double pointSegmentDistance(Vec3 p, Vec3 a, Vec3 b) {
   const Vec3 ab = b - a;
   const double len2 = ab.dot(ab);
-  if (len2 == 0.0) return distance(p, a);
+  // len2 is a sum of squares, so <= 0 is exactly the degenerate-segment
+  // case — without comparing floats for equality.
+  if (len2 <= 0.0) return distance(p, a);
   const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
   return distance(p, a + ab * t);
 }

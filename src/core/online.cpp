@@ -16,6 +16,7 @@ void OnlineRecognizer::push(const reader::TagReport& report) {
   if (offer(report)) processDue(scratch_);
 }
 
+RFIPAD_HOT_PATH
 bool OnlineRecognizer::offer(const reader::TagReport& report) {
   if (!std::isfinite(report.time_s) || report.time_s < 0.0 ||
       !std::isfinite(report.phase_rad) || !std::isfinite(report.rssi_dbm)) {

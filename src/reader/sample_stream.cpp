@@ -20,6 +20,7 @@ bool sameRead(const TagReport& a, const TagReport& b) {
 
 }  // namespace
 
+RFIPAD_HOT_PATH
 PushOutcome SampleStream::push(TagReport report) {
   if (!std::isfinite(report.time_s)) {
     ++invalid_count_;

@@ -43,8 +43,7 @@ void PumpRuntime::stop() {
     // Same handshake as notify(): flip to running, then lock/unlock the
     // worker's mutex before signalling so the wakeup cannot be lost.
     w->state.exchange(kRunning, std::memory_order_acq_rel);
-    { MutexLock lock(w->m); }
-    w->cv.notifyAll();
+    w->wakeAll();
   }
   for (auto& w : workers_)
     if (w->thread.joinable()) w->thread.join();
@@ -92,15 +91,12 @@ void PumpRuntime::workerLoop(std::size_t w) {
       continue;
     }
     self.parks.fetch_add(1, std::memory_order_relaxed);
-    {
-      MutexLock lock(self.m);
-      while (self.state.load(std::memory_order_acquire) == kParked)
-        self.cv.wait(self.m);
-    }
+    self.parkUntilRunning();
     idle_streak = 0;
   }
 }
 
+RFIPAD_HOT_PATH
 void PumpRuntime::notify(std::size_t shard) {
   RFIPAD_ASSERT(shard < shards_.size(), "PumpRuntime::notify: bad shard");
   Worker& w = *workers_[ownerOf(shard)];
@@ -112,11 +108,7 @@ void PumpRuntime::notify(std::size_t shard) {
   // wakeup.
   if (w.state.exchange(kRunning, std::memory_order_acq_rel) == kParked) {
     w.wakeups.fetch_add(1, std::memory_order_relaxed);
-    // Empty critical section: guarantees the worker is either before its
-    // state re-check (it will see kRunning) or already inside cv.wait
-    // (the notify below lands).
-    { MutexLock lock(w.m); }
-    w.cv.notifyOne();
+    w.wake();
   }
 }
 

@@ -106,6 +106,29 @@ class PumpRuntime {
     std::atomic<std::uint64_t> idle_passes{0};
     std::atomic<std::uint64_t> parks{0};
     std::atomic<std::uint64_t> wakeups{0};
+
+    /// Worker-side wait half of the park/wake handshake: blocks until a
+    /// producer or stop() flips `state` back to kRunning.  Must be called
+    /// only after advertising kParked and re-checking the rings (see the
+    /// file comment).
+    void parkUntilRunning() RFIPAD_EXCLUDES(m) {
+      MutexLock lock(m);
+      while (state.load(std::memory_order_acquire) == kParked) cv.wait(m);
+    }
+
+    /// Producer-side wake: the empty critical section guarantees the
+    /// worker is either before its state re-check (it will see kRunning)
+    /// or already inside cv.wait (the notify lands) — never between.
+    void wake() RFIPAD_EXCLUDES(m) {
+      { MutexLock lock(m); }
+      cv.notifyOne();
+    }
+
+    /// stop()'s variant of wake() (notifyAll, same lost-wakeup argument).
+    void wakeAll() RFIPAD_EXCLUDES(m) {
+      { MutexLock lock(m); }
+      cv.notifyAll();
+    }
   };
 
   void workerLoop(std::size_t w);

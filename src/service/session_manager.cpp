@@ -50,6 +50,7 @@ bool SessionManager::subscribe(SessionId id, bool enabled) {
   return shardFor(id).subscribe(id, enabled);
 }
 
+RFIPAD_HOT_PATH
 bool SessionManager::ingest(SessionId id, std::vector<reader::TagReport> chunk) {
   if (id == kNoSession) return false;
   const std::size_t shard = shardOf(id);

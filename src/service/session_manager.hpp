@@ -57,7 +57,7 @@ class SessionManager {
   SessionManager& operator=(const SessionManager&) = delete;
 
   /// Attach a pad; returns its session id (ids start at 1, monotonic).
-  SessionId attach(SessionConfig config);
+  SessionId attach(SessionConfig config) RFIPAD_EXCLUDES(id_mutex_);
 
   /// Flush + remove a session, returning its final letter events.
   std::vector<LetterEvent> detach(SessionId id, bool* found = nullptr,
@@ -67,8 +67,11 @@ class SessionManager {
   bool subscribe(SessionId id, bool enabled);
 
   /// Queue one chunk of reports for `id`.  Thread-safe, non-blocking;
-  /// returns false when backpressure refused the chunk.
-  bool ingest(SessionId id, std::vector<reader::TagReport> chunk);
+  /// returns false when backpressure refused the chunk.  Never takes a
+  /// lock (the hot-path contract tools/analyze enforces from the
+  /// RFIPAD_HOT_PATH root on the definition).
+  bool ingest(SessionId id, std::vector<reader::TagReport> chunk)
+      RFIPAD_EXCLUDES(id_mutex_);
 
   /// Drain every shard's queue, sweeping shards over the shared pool.
   /// Legacy caller-driven path; a no-op sweep is cheap.  Do not mix with

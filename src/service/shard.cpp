@@ -21,6 +21,7 @@ void accumulate(core::OnlineStats& into, const core::OnlineStats& from) {
 Shard::Shard(ShardOptions options)
     : options_(options), ring_(options.queue_capacity) {}
 
+RFIPAD_HOT_PATH
 bool Shard::enqueue(SessionId session, std::vector<reader::TagReport> chunk) {
   IngestItem item{session, std::move(chunk)};
   for (;;) {

@@ -57,7 +57,8 @@ class Shard {
   /// false when the chunk was refused (kRejectNew policy on a full ring);
   /// with kDropOldest it always returns true, evicting the oldest chunk
   /// when full.  Every outcome is counted in the queue stats.
-  bool enqueue(SessionId session, std::vector<reader::TagReport> chunk);
+  bool enqueue(SessionId session, std::vector<reader::TagReport> chunk)
+      RFIPAD_EXCLUDES(state_mutex_);
 
   /// Consumer side: drain the ring and feed each chunk to its session, in
   /// arrival order, sharing the shard scratch across all of them.

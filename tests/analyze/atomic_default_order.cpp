@@ -1,0 +1,20 @@
+// ANALYZE-EXPECT: atomic-explicit-order
+// ANALYZE-PATH: src/fixtures/atomic_default_order.cpp
+//
+// Method-form accesses that fall back to the defaulted seq_cst ordering.
+// Both the store and the load must be flagged — writing the order down is
+// what makes release/acquire pairing auditable.
+#include <atomic>
+
+namespace rfipad {
+
+class Flag {
+ public:
+  void publish() { ready_.store(true); }       // defaulted seq_cst
+  bool poll() const { return ready_.load(); }  // defaulted seq_cst
+
+ private:
+  std::atomic<bool> ready_{false};
+};
+
+}  // namespace rfipad

@@ -1,0 +1,20 @@
+// ANALYZE-EXPECT: atomic-explicit-order
+// ANALYZE-PATH: src/fixtures/atomic_operator_access.cpp
+//
+// Operator accesses on an atomic member (`++`, `+=`) are implicit seq_cst
+// operations; the analyzer flags bare-name and this-> forms inside the
+// declaring class.
+#include <atomic>
+
+namespace rfipad {
+
+class Counter {
+ public:
+  void bump() { hits_++; }
+  void bumpBy(unsigned n) { this->hits_ += n; }
+
+ private:
+  std::atomic<unsigned> hits_{0};
+};
+
+}  // namespace rfipad

@@ -1,0 +1,31 @@
+// ANALYZE-EXPECT: clean
+// ANALYZE-PATH: src/fixtures/atomic_ordering_clean.cpp
+//
+// The disciplined shape: every access names its order, the release store
+// has a matching acquire load (which may feed a branch — acquire loads in
+// conditions are fine), and the stats counter is relaxed on both sides.
+#include <atomic>
+
+namespace rfipad {
+
+class Gate {
+ public:
+  void open() { open_.store(true, std::memory_order_release); }
+
+  bool waitOpen() {
+    while (!open_.load(std::memory_order_acquire)) {
+      spins_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  unsigned long spins() const {
+    return spins_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> open_{false};
+  std::atomic<unsigned long> spins_{0};
+};
+
+}  // namespace rfipad

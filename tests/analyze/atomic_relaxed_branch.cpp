@@ -1,0 +1,26 @@
+// ANALYZE-EXPECT: atomic-relaxed-branch
+// ANALYZE-PATH: src/fixtures/atomic_relaxed_branch.cpp
+//
+// A relaxed load feeding a branch condition: the classic missed-stop /
+// lost-wakeup shape.  The stop flag is written relaxed too, so the pairing
+// rule stays quiet and the branch rule is isolated.
+#include <atomic>
+
+namespace rfipad {
+
+class Loop {
+ public:
+  void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  void run() {
+    while (!stop_.load(std::memory_order_relaxed)) {  // branch on relaxed
+      ++iterations_;
+    }
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  unsigned long iterations_ = 0;
+};
+
+}  // namespace rfipad

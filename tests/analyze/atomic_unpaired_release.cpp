@@ -1,0 +1,21 @@
+// ANALYZE-EXPECT: atomic-unpaired
+// ANALYZE-PATH: src/fixtures/atomic_unpaired_release.cpp
+//
+// A release store whose field is only ever read relaxed: the release
+// publishes nothing — either the reader needs acquire or the store can be
+// relaxed.  (The relaxed load sits in a return, not a branch, so the
+// branch rule stays quiet.)
+#include <atomic>
+
+namespace rfipad {
+
+class Publisher {
+ public:
+  void publish(int v) { value_.store(v, std::memory_order_release); }
+  int peek() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> value_{0};
+};
+
+}  // namespace rfipad

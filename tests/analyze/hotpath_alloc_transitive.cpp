@@ -1,0 +1,27 @@
+// ANALYZE-EXPECT: hotpath-alloc
+// ANALYZE-PATH: src/fixtures/hotpath_alloc_transitive.cpp
+//
+// The allocation hides one call below the hot root: ingest() itself is
+// clean, but the record() helper it calls grows a vector.  The lexical
+// no-heap rule cannot see this; the call-graph walk must.
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace rfipad {
+
+class Pipeline {
+ public:
+  RFIPAD_HOT_PATH bool ingest(int v) {
+    if (v < 0) return false;
+    record(v);
+    return true;
+  }
+
+ private:
+  void record(int v) { log_.push_back(v); }
+
+  std::vector<int> log_;
+};
+
+}  // namespace rfipad

@@ -1,0 +1,34 @@
+// ANALYZE-EXPECT: clean
+// ANALYZE-PATH: src/fixtures/hotpath_clean.cpp
+//
+// A hot root that stays on the straight and narrow — index arithmetic,
+// explicit-order atomics, a clean helper — next to a COLD function that
+// allocates.  The cold allocation must NOT be flagged: the walk is rooted
+// at RFIPAD_HOT_PATH definitions, not file-wide.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace rfipad {
+
+class Ring {
+ public:
+  void coldSetup(std::size_t capacity) { slots_.resize(capacity); }
+
+  RFIPAD_HOT_PATH bool tryPush(int v) {
+    const std::size_t pos =
+        head_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
+    slots_[pos] = transform(v);
+    return true;
+  }
+
+ private:
+  static int transform(int v) { return v * 2 + 1; }
+
+  std::vector<int> slots_;
+  std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace rfipad

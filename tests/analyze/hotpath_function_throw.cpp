@@ -1,0 +1,20 @@
+// ANALYZE-EXPECT: hotpath-function, hotpath-throw
+// ANALYZE-PATH: src/fixtures/hotpath_function_throw.cpp
+//
+// Two distinct hot-path sins in one root: constructing a std::function
+// (type-erased captures heap-allocate) and throwing (the unwinder
+// allocates; hot paths report failure by return value).
+#include <functional>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace rfipad {
+
+RFIPAD_HOT_PATH int process(int v) {
+  std::function<int(int)> shift = [](int x) { return x + 1; };
+  if (v < 0) throw std::runtime_error("negative sample");
+  return shift(v);
+}
+
+}  // namespace rfipad

@@ -1,0 +1,30 @@
+// ANALYZE-EXPECT: hotpath-alloc
+// ANALYZE-PATH: src/fixtures/hotpath_new.cpp
+//
+// Direct `new` under a hot root — the plain case the rule must always
+// catch, including through a make_unique spelling.
+#include <memory>
+
+#include "common/contracts.hpp"
+
+namespace rfipad {
+
+struct Node {
+  int value = 0;
+};
+
+RFIPAD_HOT_PATH int sample(int v) {
+  Node* n = new Node();
+  n->value = v;
+  const int out = n->value;
+  delete n;
+  return out;
+}
+
+RFIPAD_HOT_PATH int sampleSmart(int v) {
+  auto n = std::make_unique<Node>();
+  n->value = v;
+  return n->value;
+}
+
+}  // namespace rfipad

@@ -1,0 +1,41 @@
+// ANALYZE-EXPECT: lock-order-cycle
+// ANALYZE-PATH: src/fixtures/lock_cycle_transitive.cpp
+//
+// The cycle only exists across the call graph: refresh() holds index_m_
+// and calls loadEntry() (which takes cache_m_), while evict() holds
+// cache_m_ and calls touchIndex() (which takes index_m_).  No single
+// function nests both orders lexically.
+#include "common/mutex.hpp"
+
+namespace rfipad {
+
+class Cache {
+ public:
+  void refresh() {
+    MutexLock li(index_m_);
+    loadEntry();
+  }
+
+  void evict() {
+    MutexLock lc(cache_m_);
+    touchIndex();
+  }
+
+ private:
+  void loadEntry() {
+    MutexLock lc(cache_m_);
+    ++entries_;
+  }
+
+  void touchIndex() {
+    MutexLock li(index_m_);
+    ++touches_;
+  }
+
+  Mutex index_m_;
+  Mutex cache_m_;
+  long entries_ = 0;
+  long touches_ = 0;
+};
+
+}  // namespace rfipad

@@ -1,0 +1,33 @@
+// ANALYZE-EXPECT: lock-order-cycle
+// ANALYZE-PATH: src/fixtures/lock_cycle_two.cpp
+//
+// The direct two-mutex cycle: one method nests a_ then b_, another nests
+// b_ then a_ — a deadlock under the right interleaving.
+#include "common/mutex.hpp"
+
+namespace rfipad {
+
+class Transfer {
+ public:
+  void deposit() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+    ++balance_a_;
+    ++balance_b_;
+  }
+
+  void withdraw() {
+    MutexLock lb(b_);
+    MutexLock la(a_);
+    --balance_b_;
+    --balance_a_;
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  long balance_a_ = 0;
+  long balance_b_ = 0;
+};
+
+}  // namespace rfipad

@@ -1,0 +1,36 @@
+// ANALYZE-EXPECT: clean
+// ANALYZE-PATH: src/fixtures/lock_order_clean.cpp
+//
+// Consistent hierarchy: every path that holds both mutexes acquires a_
+// before b_ (directly or through a callee), so the acquired-after graph is
+// acyclic.
+#include "common/mutex.hpp"
+
+namespace rfipad {
+
+class Ledger {
+ public:
+  void post() {
+    MutexLock la(a_);
+    MutexLock lb(b_);
+    ++posted_;
+  }
+
+  void reconcile() {
+    MutexLock la(a_);
+    settle();
+  }
+
+ private:
+  void settle() {
+    MutexLock lb(b_);
+    ++settled_;
+  }
+
+  Mutex a_;
+  Mutex b_;
+  long posted_ = 0;
+  long settled_ = 0;
+};
+
+}  // namespace rfipad

@@ -424,18 +424,21 @@ def run_root(root, allowlist_path):
     file_lines = {p: t.split("\n") for p, t in raw_by_path.items()}
     findings = apply_allowlist(findings, entries, file_lines)
 
-    for e in entries:
-        if not e["used"]:
-            print(f"warning: unused allowlist entry "
-                  f"{e['path']}:{e['rule']} (line {e['lineno']})",
-                  file=sys.stderr)
+    # An entry nothing suppresses means the underlying finding was fixed
+    # (or the entry was always wrong): hard error, so the allowlist can
+    # only shrink along with the code it excuses.
+    unused = [e for e in entries if not e["used"]]
+    for e in unused:
+        print(f"error: unused allowlist entry "
+              f"{e['path']}:{e['rule']} (line {e['lineno']}) — stale "
+              f"entries are a hard error; delete it", file=sys.stderr)
 
     for f in findings:
         print(f)
     print(f"rfipad_lint: {len(sources)} files, {len(findings)} finding(s), "
           f"{sum(e['used'] for e in entries)}/{len(entries)} allowlist "
           f"entries used")
-    return 1 if findings else 0
+    return 1 if (findings or unused) else 0
 
 
 def run_self_test(fixture_dir):
